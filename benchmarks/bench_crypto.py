@@ -1,0 +1,102 @@
+"""P1 -- computational overhead of the cryptographic primitives.
+
+Paper Section 6: "There are a number of aspects to non-repudiation that
+impact on performance, including the computational overhead of cryptographic
+algorithms".  These benchmarks measure the primitives the evidence layer is
+built on -- signing, verification, hashing and token construction -- for each
+available signature scheme, so the cost of one evidence token can be related
+to the protocol-level costs measured in bench_invocation / bench_sharing.
+"""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core.evidence import EvidenceBuilder, EvidenceVerifier, TokenType
+from repro.crypto.hashing import secure_hash
+from repro.crypto.signature import Signer, Verifier, get_scheme
+
+MESSAGE = b"non-repudiation evidence payload " * 8
+
+_KEYPAIRS = {}
+
+
+def keypair_for(scheme_name):
+    if scheme_name not in _KEYPAIRS:
+        kwargs = {"p_bits": 512} if scheme_name in ("dsa",) else {}
+        _KEYPAIRS[scheme_name] = get_scheme(scheme_name).generate_keypair(**kwargs)
+    return _KEYPAIRS[scheme_name]
+
+
+SCHEMES = ["rsa", "dsa", "hmac", "forward-secure"]
+
+
+@pytest.mark.parametrize("scheme_name", SCHEMES)
+def test_sign(benchmark, scheme_name):
+    """Cost of producing one signature (hash-then-sign)."""
+    keypair = keypair_for(scheme_name)
+    signer = Signer(keypair.private)
+    result = benchmark(signer.sign, MESSAGE)
+    benchmark.extra_info["scheme"] = scheme_name
+    benchmark.extra_info["signature_bytes"] = len(result.value)
+
+
+@pytest.mark.parametrize("scheme_name", SCHEMES)
+def test_verify(benchmark, scheme_name):
+    """Cost of verifying one signature."""
+    keypair = keypair_for(scheme_name)
+    signature = Signer(keypair.private).sign(MESSAGE)
+    verifier = Verifier(keypair.public)
+    assert benchmark(verifier.verify, MESSAGE, signature)
+    benchmark.extra_info["scheme"] = scheme_name
+
+
+@pytest.mark.parametrize("size", [64, 1024, 16 * 1024, 256 * 1024])
+def test_secure_hash(benchmark, size):
+    """Cost of hashing payloads of increasing size (evidence digests)."""
+    payload = b"x" * size
+    benchmark(secure_hash, payload)
+    benchmark.extra_info["payload_bytes"] = size
+
+
+@pytest.mark.parametrize("scheme_name", ["rsa", "hmac"])
+def test_keypair_generation(benchmark, scheme_name):
+    """Cost of generating a key pair (one-off per organisation)."""
+    scheme = get_scheme(scheme_name)
+    benchmark(scheme.generate_keypair)
+    benchmark.extra_info["scheme"] = scheme_name
+
+
+@pytest.mark.parametrize("scheme_name", ["rsa", "hmac"])
+def test_evidence_token_build(benchmark, scheme_name):
+    """Cost of building one signed evidence token (digest + sign + assemble)."""
+    keypair = keypair_for(scheme_name)
+    builder = EvidenceBuilder(
+        party="urn:bench:issuer", signer=Signer(keypair.private), clock=SimulatedClock()
+    )
+    payload = {"component": "QuoteService", "method": "quote", "args": ["part"] * 4}
+    token = benchmark(
+        builder.build,
+        TokenType.NRO_REQUEST,
+        "run-bench",
+        1,
+        "urn:bench:recipient",
+        payload,
+    )
+    benchmark.extra_info["scheme"] = scheme_name
+    benchmark.extra_info["token_bytes"] = len(str(token.to_dict()))
+
+
+@pytest.mark.parametrize("scheme_name", ["rsa", "hmac"])
+def test_evidence_token_verify(benchmark, scheme_name):
+    """Cost of fully verifying one received evidence token."""
+    keypair = keypair_for(scheme_name)
+    builder = EvidenceBuilder(
+        party="urn:bench:issuer", signer=Signer(keypair.private), clock=SimulatedClock()
+    )
+    verifier = EvidenceVerifier(pinned_keys={"urn:bench:issuer": keypair.public})
+    payload = {"component": "QuoteService", "method": "quote", "args": ["part"] * 4}
+    token = builder.build(TokenType.NRO_REQUEST, "run-bench", 1, "urn:bench:recipient", payload)
+    assert benchmark(
+        verifier.verify, token, TokenType.NRO_REQUEST, "run-bench", payload, "urn:bench:issuer"
+    )
+    benchmark.extra_info["scheme"] = scheme_name

@@ -1,0 +1,113 @@
+"""P2 -- space overhead of non-repudiation evidence.
+
+Paper Section 6 names "the space overhead of evidence generated" as a cost
+dimension.  These benchmarks measure the stored-evidence bytes per
+interaction, how they relate to the size of the application payload, the cost
+of timestamped evidence, and the size of one protocol message relative to the
+payload it carries.
+"""
+
+import pytest
+
+from repro import B2BProtocolMessage, TokenType
+from repro import codec
+
+from benchmarks.conftest import CallCounter, build_domain
+
+
+@pytest.mark.parametrize("payload_bytes", [100, 1_000, 10_000, 100_000])
+def test_evidence_bytes_per_invocation(benchmark, payload_bytes):
+    """Stored evidence per NR invocation as the payload grows.
+
+    Evidence stores signed digests, not payload copies, so the expected shape
+    is near-constant evidence size regardless of payload size.
+    """
+    domain = build_domain(2)
+    client = domain.organisation("urn:bench:party0")
+    provider = domain.organisation("urn:bench:party1")
+    payload = "x" * payload_bytes
+
+    def invoke():
+        outcome = client.invoke_non_repudiably(
+            provider.uri, "QuoteService", "echo", [payload]
+        )
+        assert outcome.succeeded
+
+    counted = CallCounter(invoke)
+    client_before = client.evidence_store.storage_bytes()
+    server_before = provider.evidence_store.storage_bytes()
+    benchmark(counted)
+    client_delta = client.evidence_store.storage_bytes() - client_before
+    server_delta = provider.evidence_store.storage_bytes() - server_before
+    benchmark.extra_info["payload_bytes"] = payload_bytes
+    benchmark.extra_info["client_evidence_bytes_per_call"] = round(client_delta / counted.calls)
+    benchmark.extra_info["server_evidence_bytes_per_call"] = round(server_delta / counted.calls)
+
+
+def test_evidence_bytes_per_sharing_round(benchmark):
+    """Stored evidence per agreed update, per party, in a three-party group."""
+    domain = build_domain(3, deploy_service=False)
+    domain.share_object("bench-doc", {"v": 0})
+    organisations = [domain.organisation(uri) for uri in domain.party_uris()]
+    proposer = organisations[0]
+    counter = {"n": 0}
+
+    def propose():
+        counter["n"] += 1
+        assert proposer.propose_update("bench-doc", {"v": counter["n"]}).agreed
+
+    counted = CallCounter(propose)
+    before = [org.evidence_store.storage_bytes() for org in organisations]
+    benchmark(counted)
+    per_party = [
+        round((org.evidence_store.storage_bytes() - start) / counted.calls)
+        for org, start in zip(organisations, before)
+    ]
+    benchmark.extra_info["proposer_bytes_per_update"] = per_party[0]
+    benchmark.extra_info["peer_bytes_per_update"] = per_party[1]
+
+
+@pytest.mark.parametrize("use_timestamping", [False, True], ids=["plain", "timestamped"])
+def test_timestamping_space_overhead(benchmark, use_timestamping):
+    """Extra evidence bytes when every token carries a TSA timestamp (§3.5)."""
+    domain = build_domain(2, use_timestamping=use_timestamping)
+    client = domain.organisation("urn:bench:party0")
+    provider = domain.organisation("urn:bench:party1")
+
+    def invoke():
+        assert client.invoke_non_repudiably(
+            provider.uri, "QuoteService", "quote", ["axle"]
+        ).succeeded
+
+    counted = CallCounter(invoke)
+    before = client.evidence_store.storage_bytes()
+    benchmark(counted)
+    benchmark.extra_info["timestamped"] = use_timestamping
+    benchmark.extra_info["client_evidence_bytes_per_call"] = round(
+        (client.evidence_store.storage_bytes() - before) / counted.calls
+    )
+
+
+@pytest.mark.parametrize("payload_bytes", [100, 10_000])
+def test_protocol_message_size_vs_payload(benchmark, payload_bytes):
+    """Canonical size of a step-1 protocol message relative to its payload."""
+    domain = build_domain(2)
+    client = domain.organisation("urn:bench:party0")
+    payload = {"component": "QuoteService", "method": "echo", "args": ["x" * payload_bytes],
+               "kwargs": {}, "caller": client.uri, "target_party": "urn:bench:party1"}
+    token = client.evidence_builder.build(
+        TokenType.NRO_REQUEST, "run-bench", 1, "urn:bench:party1", payload
+    )
+    message = B2BProtocolMessage(
+        run_id="run-bench",
+        protocol="nr-invocation",
+        step=1,
+        sender=client.uri,
+        recipient="urn:bench:party1",
+        payload=payload,
+        tokens=[token],
+    )
+    size = benchmark(message.encoded_size)
+    benchmark.extra_info["payload_bytes"] = payload_bytes
+    benchmark.extra_info["message_bytes"] = size
+    benchmark.extra_info["overhead_bytes"] = size - codec.encoded_size(payload)

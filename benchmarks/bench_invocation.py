@@ -1,0 +1,112 @@
+"""F4 -- plain vs non-repudiable service invocation (Figure 4(a) vs 4(b)).
+
+The figure contrasts an ordinary request/response invocation with the
+NR-Invocation exchange.  These benchmarks measure the end-to-end cost of
+both, the factor between them (the "price of non-repudiation" per call), how
+that cost scales with payload size, and the effect of lightweight (HMAC)
+versus public-key evidence.
+"""
+
+import pytest
+
+from repro import ComponentDescriptor, TrustDomain
+
+from benchmarks.conftest import CallCounter, QuoteService, build_domain
+
+
+def test_plain_invocation(benchmark, direct_pair):
+    """Baseline: ordinary remote invocation without non-repudiation."""
+    domain, client, provider = direct_pair
+    proxy = client.plain_proxy(provider, "PlainQuoteService")
+    counted = CallCounter(proxy.quote)
+    before = domain.network.statistics.snapshot()
+    result = benchmark(counted, "axle", 2)
+    assert result["price"] == 200
+    delta = domain.network.statistics.delta(before)
+    benchmark.extra_info["messages_per_call"] = round(delta.messages_sent / counted.calls, 2)
+    benchmark.extra_info["bytes_per_call"] = round(delta.bytes_delivered / counted.calls)
+
+
+def test_nr_invocation(benchmark, direct_pair):
+    """Non-repudiable invocation through the trusted interceptors."""
+    domain, client, provider = direct_pair
+    proxy = client.nr_proxy(provider, "QuoteService")
+    counted = CallCounter(proxy.quote)
+    before = domain.network.statistics.snapshot()
+    result = benchmark(counted, "axle", 2)
+    assert result["price"] == 200
+    delta = domain.network.statistics.delta(before)
+    benchmark.extra_info["messages_per_call"] = round(delta.messages_sent / counted.calls, 2)
+    benchmark.extra_info["bytes_per_call"] = round(delta.bytes_delivered / counted.calls)
+
+
+def test_nr_invocation_with_evidence_outcome(benchmark, direct_pair):
+    """NR invocation returning the full evidence set to the caller."""
+    _, client, provider = direct_pair
+    outcome = benchmark(
+        client.invoke_non_repudiably,
+        provider.uri,
+        "QuoteService",
+        "quote",
+        ["axle"],
+        {"quantity": 2},
+    )
+    assert outcome.succeeded
+    benchmark.extra_info["evidence_tokens"] = len(outcome.evidence)
+
+
+@pytest.mark.parametrize("payload_bytes", [100, 1_000, 10_000, 100_000])
+def test_nr_invocation_payload_scaling(benchmark, direct_pair, payload_bytes):
+    """How the NR exchange scales with the size of the request payload."""
+    _, client, provider = direct_pair
+    payload = "x" * payload_bytes
+    outcome = benchmark(
+        client.invoke_non_repudiably, provider.uri, "QuoteService", "echo", [payload]
+    )
+    assert outcome.succeeded
+    benchmark.extra_info["payload_bytes"] = payload_bytes
+
+
+@pytest.mark.parametrize("scheme", ["rsa", "hmac"])
+def test_nr_invocation_signature_scheme(benchmark, scheme):
+    """Full public-key evidence vs the lightweight shared-key scheme (§3.1)."""
+    domain = TrustDomain.create(
+        ["urn:bench:client", "urn:bench:provider"], scheme=scheme
+    )
+    provider = domain.organisation("urn:bench:provider")
+    provider.deploy(
+        QuoteService(), ComponentDescriptor(name="QuoteService", non_repudiation=True)
+    )
+    client = domain.organisation("urn:bench:client")
+    proxy = client.nr_proxy(provider, "QuoteService")
+    result = benchmark(proxy.quote, "axle")
+    assert result["price"] == 100
+    benchmark.extra_info["scheme"] = scheme
+
+
+def test_nr_overhead_factor(benchmark):
+    """One measured row: messages and bytes for plain vs NR invocation.
+
+    The benchmark times a pair of calls (one plain, one NR) and records the
+    per-call message counts so the report shows the overhead shape: NR costs
+    two extra messages (3 vs 1) and carries the evidence tokens.
+    """
+    domain = build_domain(2)
+    client = domain.organisation("urn:bench:party0")
+    provider = domain.organisation("urn:bench:party1")
+    plain_proxy = client.plain_proxy(provider, "PlainQuoteService")
+    nr_proxy = client.nr_proxy(provider, "QuoteService")
+
+    def one_of_each():
+        plain_proxy.quote("axle")
+        nr_proxy.quote("axle")
+
+    counted = CallCounter(one_of_each)
+    before = domain.network.statistics.snapshot()
+    benchmark(counted)
+    delta = domain.network.statistics.delta(before)
+    benchmark.extra_info["plain_messages_per_call"] = 1
+    benchmark.extra_info["nr_messages_per_call"] = round(
+        delta.messages_sent / counted.calls - 1, 2
+    )
+    benchmark.extra_info["bytes_per_pair"] = round(delta.bytes_delivered / counted.calls)

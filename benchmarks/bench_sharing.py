@@ -1,0 +1,123 @@
+"""F5 -- non-repudiable information sharing (Figure 5) and its scaling.
+
+Measures the cost of one coordinated update to shared information as the
+sharing group grows (the proposer must collect a signed decision from every
+other member and distribute the outcome to all of them), the cost of a vetoed
+update, rollup of several operations into one coordination event, and the
+membership connect protocol.
+"""
+
+import pytest
+
+from repro import CallableValidator
+
+from benchmarks.conftest import CallCounter, build_domain
+
+
+def shared_domain(parties):
+    domain = build_domain(parties, deploy_service=False)
+    domain.share_object("bench-doc", {"counter": 0, "payload": {}})
+    return domain
+
+
+@pytest.mark.parametrize("parties", [2, 3, 5, 8])
+def test_update_vs_group_size(benchmark, parties):
+    """Cost of one agreed update as the sharing group grows."""
+    domain = shared_domain(parties)
+    proposer = domain.organisation("urn:bench:party0")
+    counter = {"n": 0}
+
+    def propose():
+        counter["n"] += 1
+        outcome = proposer.propose_update(
+            "bench-doc", {"counter": counter["n"], "payload": {"data": "x" * 100}}
+        )
+        assert outcome.agreed
+        return outcome
+
+    counted = CallCounter(propose)
+    before = domain.network.statistics.snapshot()
+    benchmark(counted)
+    delta = domain.network.statistics.delta(before)
+    benchmark.extra_info["parties"] = parties
+    benchmark.extra_info["messages_per_update"] = round(delta.messages_sent / counted.calls, 2)
+    benchmark.extra_info["bytes_per_update"] = round(delta.bytes_delivered / counted.calls)
+
+
+@pytest.mark.parametrize("parties", [2, 5])
+def test_vetoed_update(benchmark, parties):
+    """A vetoed update still pays the full coordination round."""
+    domain = shared_domain(parties)
+    proposer = domain.organisation("urn:bench:party0")
+    vetoer = domain.organisation(f"urn:bench:party{parties - 1}")
+    vetoer.controller.add_validator(
+        "bench-doc", CallableValidator(lambda ctx: False, name="always-veto")
+    )
+
+    def propose():
+        outcome = proposer.propose_update("bench-doc", {"counter": 1, "payload": {}})
+        assert not outcome.agreed
+        return outcome
+
+    benchmark(propose)
+    benchmark.extra_info["parties"] = parties
+
+
+@pytest.mark.parametrize("operations", [1, 5, 20])
+def test_rollup_amortises_coordination(benchmark, operations):
+    """Rolling N operations into one coordination event (Section 4.3)."""
+    domain = shared_domain(3)
+    proposer = domain.organisation("urn:bench:party0")
+    counter = {"n": 0}
+
+    def rolled_up():
+        counter["n"] += 1
+        with proposer.controller.rollup("bench-doc"):
+            for i in range(operations):
+                state = proposer.shared_state("bench-doc")
+                state["payload"][f"op-{i}"] = counter["n"]
+                proposer.propose_update("bench-doc", state)
+
+    counted = CallCounter(rolled_up)
+    runs_before = len(proposer.evidence_store.run_ids())
+    benchmark(counted)
+    runs_after = len(proposer.evidence_store.run_ids())
+    benchmark.extra_info["operations_per_rollup"] = operations
+    benchmark.extra_info["coordination_runs_per_rollup"] = round(
+        (runs_after - runs_before) / counted.calls, 2
+    )
+
+
+@pytest.mark.parametrize("payload_bytes", [100, 10_000, 100_000])
+def test_update_payload_scaling(benchmark, payload_bytes):
+    """Cost of an agreed update as the shared state grows."""
+    domain = shared_domain(3)
+    proposer = domain.organisation("urn:bench:party0")
+    counter = {"n": 0}
+
+    def propose():
+        counter["n"] += 1
+        outcome = proposer.propose_update(
+            "bench-doc", {"counter": counter["n"], "payload": {"blob": "x" * payload_bytes}}
+        )
+        assert outcome.agreed
+
+    benchmark(propose)
+    benchmark.extra_info["payload_bytes"] = payload_bytes
+
+
+def test_membership_connect(benchmark):
+    """Cost of admitting a new member through the connect protocol."""
+
+    def connect_new_member():
+        domain = build_domain(4, deploy_service=False)
+        members = domain.party_uris()[:3]
+        newcomer = domain.party_uris()[3]
+        for uri in members:
+            domain.organisation(uri).share_object("bench-doc", {"v": 0}, members)
+        outcome = domain.organisation(members[0]).controller.connect_member(
+            "bench-doc", newcomer
+        )
+        assert outcome.agreed
+
+    benchmark.pedantic(connect_new_member, rounds=3, iterations=1)

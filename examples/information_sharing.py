@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Non-repudiable information sharing (Figures 5 and 8).
+
+Three organisations share a component specification document.  The document
+is an entity component marked as a B2BObject in its deployment descriptor, so
+"the enhancement of an entity bean to become a B2BObject is effectively
+transparent to the local EJB client and its application interface"
+(Section 4.3): each organisation's application simply calls methods on its
+local replica; the middleware coordinates every state change with the other
+members, consulting application-specific validators before agreeing.
+
+The example also shows contract-compliance validation (paper Section 6 future
+work): updates that do not correspond to a legal transition of the negotiated
+contract FSM are vetoed, and transactional grouping of several updates.
+
+Run with::
+
+    python examples/information_sharing.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CallableValidator,
+    ComponentDescriptor,
+    ComponentType,
+    ContractFSM,
+    ContractMonitor,
+    ContractValidator,
+    TransactionManager,
+    TrustDomain,
+)
+from repro.container.interceptor import Invocation
+from repro.errors import TransactionAbortedError
+
+MANUFACTURER = "urn:org:manufacturer"
+SUPPLIER_A = "urn:org:supplier-a"
+SUPPLIER_B = "urn:org:supplier-b"
+
+
+class SpecificationDocument:
+    """Entity component holding the shared specification (get/set state)."""
+
+    def __init__(self) -> None:
+        self._state = {"sections": {}, "phase": "drafting", "revision": 0}
+
+    def get_state(self) -> dict:
+        return dict(self._state)
+
+    def set_state(self, state: dict) -> None:
+        self._state = dict(state)
+
+    def set_section(self, name: str, text: str) -> int:
+        self._state["sections"] = dict(self._state["sections"])
+        self._state["sections"][name] = text
+        self._state["revision"] += 1
+        return self._state["revision"]
+
+    def set_phase(self, phase: str) -> str:
+        self._state["phase"] = phase
+        self._state["revision"] += 1
+        return phase
+
+    def read_section(self, name: str) -> str:
+        return self._state["sections"].get(name)
+
+
+def negotiation_contract() -> ContractFSM:
+    """The contract governing the negotiation: drafting -> review -> agreed."""
+    fsm = ContractFSM("spec-negotiation", initial_state="drafting", final_states={"agreed"})
+    fsm.add_transition("drafting", "edit", "drafting")
+    fsm.add_transition("drafting", "submit-for-review", "review")
+    fsm.add_transition("review", "request-changes", "drafting")
+    fsm.add_transition("review", "approve", "agreed")
+    fsm.verify()
+    return fsm
+
+
+def contract_event(context) -> str:
+    """Derive the contract event from a proposed update."""
+    current_phase = context.current_state.get("phase")
+    proposed_phase = context.proposed_state.get("phase")
+    if current_phase == proposed_phase:
+        return "edit" if current_phase == "drafting" else None
+    return {
+        ("drafting", "review"): "submit-for-review",
+        ("review", "drafting"): "request-changes",
+        ("review", "agreed"): "approve",
+    }.get((current_phase, proposed_phase), "illegal-phase-change")
+
+
+def main() -> None:
+    parties = [MANUFACTURER, SUPPLIER_A, SUPPLIER_B]
+    domain = TrustDomain.create(parties)
+
+    # Register the shared document everywhere, with per-party validators:
+    # suppliers enforce contract compliance; supplier B additionally vetoes
+    # specifications that name a competitor's material.
+    initial_state = SpecificationDocument().get_state()
+    documents = {}
+    for uri in parties:
+        organisation = domain.organisation(uri)
+        validators = []
+        if uri != MANUFACTURER:
+            validators.append(
+                ContractValidator(ContractMonitor(negotiation_contract()), contract_event)
+            )
+        if uri == SUPPLIER_B:
+            validators.append(
+                CallableValidator(
+                    lambda ctx: "unobtanium" not in str(ctx.proposed_state),
+                    name="no-unobtanium",
+                )
+            )
+        organisation.share_object("component-spec", initial_state, parties, validators)
+
+        document = SpecificationDocument()
+        organisation.deploy(
+            document,
+            ComponentDescriptor(
+                name="component-spec",
+                component_type=ComponentType.ENTITY,
+                b2b_object=True,
+            ),
+        )
+        documents[uri] = document
+
+    manufacturer = domain.organisation(MANUFACTURER)
+
+    # 1. Transparent update through the entity component: the manufacturer's
+    #    application just calls set_section on its local bean.
+    result = manufacturer.container.dispatch(
+        Invocation(component="component-spec", method="set_section",
+                   args=["interface", "CAN bus, 500 kbit/s"])
+    )
+    print("edit applied:", result.succeeded)
+    print("supplier A sees:", documents[SUPPLIER_A].read_section("interface"))
+
+    # 2. A vetoed update: supplier B's validator rejects the material choice,
+    #    so every replica (including the proposer's bean) stays unchanged.
+    vetoed = manufacturer.container.dispatch(
+        Invocation(component="component-spec", method="set_section",
+                   args=["materials", "unobtanium alloy"])
+    )
+    print("\nunobtanium specification accepted:", vetoed.succeeded)
+    print("manufacturer's replica unchanged:",
+          documents[MANUFACTURER].read_section("materials") is None)
+
+    # 3. Contract-compliant phase changes: drafting -> review -> agreed works,
+    #    but jumping straight from drafting to agreed is vetoed.
+    state = manufacturer.shared_state("component-spec")
+    state["phase"] = "agreed"
+    illegal = manufacturer.propose_update("component-spec", state)
+    print("\nskipping review phase agreed:", illegal.agreed, "-", illegal.reason)
+
+    state = manufacturer.shared_state("component-spec")
+    state["phase"] = "review"
+    print("submit for review agreed:",
+          manufacturer.propose_update("component-spec", state).agreed)
+    state = manufacturer.shared_state("component-spec")
+    state["phase"] = "agreed"
+    print("approval agreed:",
+          manufacturer.propose_update("component-spec", state).agreed)
+
+    # 4. Transactional sharing: group updates to two shared objects so that a
+    #    veto on either rolls both back (paper Section 6 / JTA integration).
+    for uri in parties:
+        organisation = domain.organisation(uri)
+        organisation.share_object("delivery-schedule", {"milestones": []}, parties)
+        organisation.share_object(
+            "budget",
+            {"total": 100_000},
+            parties,
+            validators=[]
+            if uri == MANUFACTURER
+            else [CallableValidator(lambda ctx: ctx.proposed_state["total"] <= 120_000, name="cap")],
+        )
+    manager = TransactionManager(manufacturer.controller)
+
+    transaction = manager.begin()
+    transaction.stage_update("delivery-schedule", {"milestones": ["prototype in week 20"]})
+    transaction.stage_update("budget", {"total": 110_000})
+    report = transaction.commit()
+    print("\ntransaction committed:", report.status.value)
+
+    transaction = manager.begin()
+    transaction.stage_update("delivery-schedule", {"milestones": ["prototype in week 18"]})
+    transaction.stage_update("budget", {"total": 500_000})   # exceeds the cap
+    try:
+        transaction.commit()
+    except TransactionAbortedError as error:
+        print("transaction rolled back:", error)
+    supplier_a = domain.organisation(SUPPLIER_A)
+    print("schedule after rollback:", supplier_a.shared_state("delivery-schedule"))
+    print("budget after rollback:", supplier_a.shared_state("budget"))
+
+    # 5. Every replica of every object converges on the same digest.
+    for object_id in ("component-spec", "delivery-schedule", "budget"):
+        digests = {
+            domain.organisation(uri).controller.state_digest(object_id).hex()[:12]
+            for uri in parties
+        }
+        print(f"{object_id}: replicas consistent = {len(digests) == 1}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""The paper's motivating example (Section 2, Figure 1): a virtual enterprise.
+
+A specialist car dealer orders a car from a specialist car manufacturer, which
+negotiates component specifications with three part suppliers.  The composite
+service combines both building blocks:
+
+* **NR-Invocation** -- the dealer's order, and the manufacturer's availability
+  queries to the suppliers, are non-repudiable service invocations;
+* **NR-Sharing** -- the drive-train specification negotiated by the
+  manufacturer and suppliers A and B is shared information, updated only by
+  unanimous, attributable agreement; supplier C joins the group later through
+  the non-repudiable connect protocol.
+
+Run with::
+
+    python examples/virtual_enterprise.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CallableValidator,
+    ClaimType,
+    ComponentDescriptor,
+    DisputeClaim,
+    DisputeResolver,
+    TrustDomain,
+)
+
+DEALER = "urn:ve:car-dealer"
+MANUFACTURER = "urn:ve:car-manufacturer"
+SUPPLIER_A = "urn:ve:part-supplier-a"
+SUPPLIER_B = "urn:ve:part-supplier-b"
+SUPPLIER_C = "urn:ve:part-supplier-c"
+
+
+class OrderService:
+    """Manufacturer-side service taking orders from the dealer."""
+
+    def __init__(self) -> None:
+        self.orders = {}
+
+    def place_order(self, model: str, options: dict) -> dict:
+        order_id = f"order-{len(self.orders) + 1}"
+        self.orders[order_id] = {"model": model, "options": options}
+        return {"order_id": order_id, "status": "accepted"}
+
+
+class PartCatalogue:
+    """Supplier-side service answering availability queries."""
+
+    def __init__(self, parts: list) -> None:
+        self._parts = set(parts)
+
+    def availability(self, part: str) -> dict:
+        return {"part": part, "available": part in self._parts, "lead_time_weeks": 6}
+
+
+def cost_ceiling(limit: int) -> CallableValidator:
+    """Supplier policy: veto any specification whose agreed cost exceeds the limit."""
+    return CallableValidator(
+        lambda context: context.proposed_state.get("agreed_cost", 0) <= limit,
+        name=f"cost-ceiling-{limit}",
+    )
+
+
+def main() -> None:
+    parties = [DEALER, MANUFACTURER, SUPPLIER_A, SUPPLIER_B, SUPPLIER_C]
+    domain = TrustDomain.create(parties)
+    dealer = domain.organisation(DEALER)
+    manufacturer = domain.organisation(MANUFACTURER)
+
+    # -- service deployment ----------------------------------------------------
+    manufacturer.deploy(
+        OrderService(), ComponentDescriptor(name="OrderService", non_repudiation=True)
+    )
+    supplier_parts = {
+        SUPPLIER_A: ["gearbox", "differential"],
+        SUPPLIER_B: ["carbon body", "spoiler"],
+        SUPPLIER_C: ["bespoke interior"],
+    }
+    for supplier, parts in supplier_parts.items():
+        domain.organisation(supplier).deploy(
+            PartCatalogue(parts),
+            ComponentDescriptor(name="PartCatalogue", non_repudiation=True),
+        )
+
+    # -- shared specification between manufacturer and suppliers A and B -----------
+    spec_members = [MANUFACTURER, SUPPLIER_A, SUPPLIER_B]
+    initial_spec = {"component": "drive train", "requirements": {}, "agreed_cost": 0}
+    for uri in spec_members:
+        organisation = domain.organisation(uri)
+        validators = [] if uri == MANUFACTURER else [cost_ceiling(25_000)]
+        organisation.share_object("drive-train-spec", initial_spec, spec_members, validators)
+
+    # 1. The dealer places a non-repudiable order.
+    order_proxy = dealer.nr_proxy(manufacturer, "OrderService")
+    confirmation = order_proxy.place_order("roadster", {"colour": "british racing green"})
+    print("dealer order:", confirmation)
+
+    # 2. The manufacturer queries suppliers for the parts it needs.
+    for supplier, part in [(SUPPLIER_A, "gearbox"), (SUPPLIER_B, "carbon body"), (SUPPLIER_C, "bespoke interior")]:
+        outcome = manufacturer.invoke_non_repudiably(
+            supplier, "PartCatalogue", "availability", [part]
+        )
+        print(f"availability from {supplier}: {outcome.value}")
+
+    # 3. The manufacturer proposes a drive-train specification within budget.
+    proposal = {
+        "component": "drive train",
+        "requirements": {"torque": "450Nm", "interface": "standard flange"},
+        "agreed_cost": 22_000,
+    }
+    outcome = manufacturer.propose_update("drive-train-spec", proposal)
+    print("\nspecification agreed:", outcome.agreed, "version:", outcome.new_version)
+    print("decisions:", {p: d.accepted for p, d in outcome.decisions.items()})
+
+    # 4. An over-budget revision is vetoed by the suppliers' validators.
+    overpriced = dict(proposal, agreed_cost=90_000)
+    vetoed = manufacturer.propose_update("drive-train-spec", overpriced)
+    print("over-budget revision agreed:", vetoed.agreed, "-", vetoed.reason)
+
+    # 5. Supplier C joins the sharing group through the connect protocol and
+    #    immediately participates in the negotiation.
+    joined = manufacturer.controller.connect_member("drive-train-spec", SUPPLIER_C)
+    supplier_c = domain.organisation(SUPPLIER_C)
+    print("\nsupplier C admitted:", joined.agreed,
+          "- members:", manufacturer.controller.members("drive-train-spec"))
+    revision = supplier_c.shared_state("drive-train-spec")
+    revision["requirements"]["interior mounts"] = "leather trim compatible"
+    update = supplier_c.propose_update("drive-train-spec", revision)
+    print("supplier C's revision agreed:", update.agreed)
+
+    # 6. Later, the dealer denies having ordered the roadster.  The
+    #    manufacturer presents its stored evidence to an adjudicator.
+    run_id = dealer.evidence_store.run_ids()[0]
+    resolver = DisputeResolver(manufacturer.evidence_verifier)
+    verdict = resolver.adjudicate_from_store(
+        DisputeClaim(
+            claim_type=ClaimType.DENIES_REQUEST_ORIGIN,
+            run_id=run_id,
+            denying_party=DEALER,
+        ),
+        manufacturer.evidence_store,
+    )
+    print("\ndealer's denial of the order refuted:", verdict.refuted)
+    print("reasoning:", verdict.reasoning)
+
+    # 7. Every member's audit log is intact and every replica agrees.
+    digests = {
+        uri: domain.organisation(uri).controller.state_digest("drive-train-spec").hex()[:16]
+        for uri in manufacturer.controller.members("drive-train-spec")
+    }
+    print("\nreplica digests:", digests)
+    print("all audit logs intact:",
+          all(domain.organisation(uri).audit_log.verify_integrity() for uri in parties))
+
+
+if __name__ == "__main__":
+    main()

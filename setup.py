@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so the package can be installed in
+environments without the ``wheel`` package (legacy editable installs via
+``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

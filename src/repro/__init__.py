@@ -1,0 +1,108 @@
+"""repro -- reproduction of "Component Middleware to Support Non-repudiable
+Service Interactions" (Cook, Robinson, Shrivastava, 2004).
+
+The package provides component middleware for regulated, non-repudiable
+interaction between organisations:
+
+* **NR-Invocation** -- non-repudiable service invocation with exchange of
+  NRO/NRR evidence tokens around an ordinary component invocation.
+* **NR-Sharing** -- non-repudiable information sharing (B2BObjects) with
+  unanimous, attributable agreement on every update to shared state.
+* **Trust domains** -- the same application code runs over direct,
+  inline-TTP and distributed-inline-TTP deployments of the trusted
+  interceptors.
+
+Quickstart::
+
+    from repro import TrustDomain, DeploymentStyle, ComponentDescriptor
+
+    domain = TrustDomain.create(["urn:org:dealer", "urn:org:manufacturer"])
+    dealer = domain.organisation("urn:org:dealer")
+    manufacturer = domain.organisation("urn:org:manufacturer")
+
+    class OrderService:
+        def place_order(self, model):
+            return {"order_id": 1, "model": model, "status": "accepted"}
+
+    manufacturer.deploy(
+        OrderService(),
+        ComponentDescriptor(name="OrderService", non_repudiation=True),
+    )
+    proxy = dealer.nr_proxy(manufacturer, "OrderService")
+    proxy.place_order("roadster")          # non-repudiable invocation
+"""
+
+from repro.container.component import Component, ComponentDescriptor, ComponentType
+from repro.container.container import Container
+from repro.container.interceptor import Interceptor, Invocation, InvocationResult
+from repro.core.coordinator import B2BCoordinator
+from repro.core.dispute import ClaimType, DisputeClaim, DisputeResolver, Verdict
+from repro.core.evidence import EvidenceBuilder, EvidenceToken, EvidenceVerifier, TokenType
+from repro.core.invocation import (
+    B2BInvocation,
+    B2BInvocationHandler,
+    InvocationOutcome,
+    InvocationStatus,
+)
+from repro.core.messages import B2BProtocolMessage
+from repro.core.organisation import Organisation
+from repro.core.sharing import B2BObjectController, SharingOutcome
+from repro.core.transactions import SharedStateTransaction, TransactionManager
+from repro.core.contracts import ContractFSM, ContractMonitor, ContractValidator
+from repro.core.fair_exchange import FairExchangeClient
+from repro.core.trust_domain import DeploymentStyle, TrustDomain
+from repro.core.validators import (
+    CallableValidator,
+    CompositeValidator,
+    StateValidator,
+    ValidationContext,
+    ValidationDecision,
+)
+from repro.errors import ReproError
+from repro.transport.network import FaultModel, SimulatedNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "B2BCoordinator",
+    "B2BInvocation",
+    "B2BInvocationHandler",
+    "B2BObjectController",
+    "B2BProtocolMessage",
+    "CallableValidator",
+    "ClaimType",
+    "Component",
+    "ComponentDescriptor",
+    "ComponentType",
+    "CompositeValidator",
+    "Container",
+    "ContractFSM",
+    "ContractMonitor",
+    "ContractValidator",
+    "DeploymentStyle",
+    "DisputeClaim",
+    "DisputeResolver",
+    "EvidenceBuilder",
+    "EvidenceToken",
+    "EvidenceVerifier",
+    "FairExchangeClient",
+    "FaultModel",
+    "Interceptor",
+    "Invocation",
+    "InvocationOutcome",
+    "InvocationResult",
+    "InvocationStatus",
+    "Organisation",
+    "ReproError",
+    "SharedStateTransaction",
+    "SharingOutcome",
+    "SimulatedNetwork",
+    "StateValidator",
+    "TokenType",
+    "TransactionManager",
+    "TrustDomain",
+    "ValidationContext",
+    "ValidationDecision",
+    "Verdict",
+    "__version__",
+]

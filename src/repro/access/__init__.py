@@ -1,0 +1,29 @@
+"""Access control substrate.
+
+Section 3.5: access control is needed "to map credentials to roles between
+organisations.  The exchange of credentials at first connection to shared
+information or on service invocation can be used as hooks to trigger the
+mapping of credentials to roles in a virtual enterprise", with role
+activation and de-activation driven by events (the Cambridge event-based
+access control model the paper cites).
+
+* :mod:`repro.access.credentials` -- signed credentials presented by parties.
+* :mod:`repro.access.roles` -- event-based role activation engine.
+* :mod:`repro.access.policy` -- role/operation access policies.
+"""
+
+from repro.access.credentials import Credential, CredentialIssuer, verify_credential
+from repro.access.policy import AccessDecision, AccessPolicy, PolicyRule
+from repro.access.roles import RoleActivationRule, RoleAssignment, RoleManager
+
+__all__ = [
+    "AccessDecision",
+    "AccessPolicy",
+    "Credential",
+    "CredentialIssuer",
+    "PolicyRule",
+    "RoleActivationRule",
+    "RoleAssignment",
+    "RoleManager",
+    "verify_credential",
+]

@@ -1,0 +1,137 @@
+"""Signed credentials.
+
+A credential is an attribute assertion ("organisation urn:org:supplier-a is
+an approved supplier of urn:ve:car-project") signed by an issuer.  Parties
+present credentials when they first connect to shared information or invoke
+a service; the role manager maps verified credentials to roles.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.clock import Clock, SystemClock
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.rng import new_unique_id
+from repro.crypto.signature import Signature, Signer, get_scheme
+from repro.errors import CredentialError
+
+DEFAULT_CREDENTIAL_VALIDITY = 30 * 24 * 3600
+
+
+@dataclass(frozen=True)
+class Credential:
+    """A signed attribute assertion about a subject."""
+
+    credential_id: str
+    subject: str
+    issuer: str
+    attributes: Mapping[str, Any]
+    not_before: float
+    not_after: float
+    signature: Optional[Signature] = None
+
+    def body_bytes(self) -> bytes:
+        body = {
+            "credential_id": self.credential_id,
+            "subject": self.subject,
+            "issuer": self.issuer,
+            "attributes": dict(self.attributes),
+            "not_before": self.not_before,
+            "not_after": self.not_after,
+        }
+        return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+    def is_valid_at(self, timestamp: float) -> bool:
+        return self.not_before <= timestamp <= self.not_after
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = {
+            "credential_id": self.credential_id,
+            "subject": self.subject,
+            "issuer": self.issuer,
+            "attributes": dict(self.attributes),
+            "not_before": self.not_before,
+            "not_after": self.not_after,
+        }
+        if self.signature is not None:
+            payload["signature"] = self.signature.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Credential":
+        signature = payload.get("signature")
+        return cls(
+            credential_id=payload["credential_id"],
+            subject=payload["subject"],
+            issuer=payload["issuer"],
+            attributes=dict(payload["attributes"]),
+            not_before=payload["not_before"],
+            not_after=payload["not_after"],
+            signature=Signature.from_dict(signature) if signature else None,
+        )
+
+
+class CredentialIssuer:
+    """Issues signed credentials (typically operated by the VE coordinator)."""
+
+    def __init__(
+        self,
+        name: str,
+        keypair: Optional[KeyPair] = None,
+        scheme: str = "rsa",
+        clock: Optional[Clock] = None,
+        validity_seconds: float = DEFAULT_CREDENTIAL_VALIDITY,
+    ) -> None:
+        self.name = name
+        self._clock = clock or SystemClock()
+        self._validity = validity_seconds
+        self._keypair = keypair or get_scheme(scheme).generate_keypair()
+        self._signer = Signer(self._keypair.private)
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._keypair.public
+
+    def issue(
+        self,
+        subject: str,
+        attributes: Mapping[str, Any],
+        validity_seconds: Optional[float] = None,
+    ) -> Credential:
+        """Issue a credential asserting ``attributes`` about ``subject``."""
+        if not subject:
+            raise CredentialError("credential subject must not be empty")
+        now = self._clock.now()
+        unsigned = Credential(
+            credential_id=new_unique_id("cred"),
+            subject=subject,
+            issuer=self.name,
+            attributes=dict(attributes),
+            not_before=now,
+            not_after=now + (validity_seconds or self._validity),
+        )
+        signature = self._signer.sign(unsigned.body_bytes())
+        return Credential(
+            credential_id=unsigned.credential_id,
+            subject=unsigned.subject,
+            issuer=unsigned.issuer,
+            attributes=unsigned.attributes,
+            not_before=unsigned.not_before,
+            not_after=unsigned.not_after,
+            signature=signature,
+        )
+
+
+def verify_credential(
+    credential: Credential, issuer_key: PublicKey, at_time: Optional[float] = None
+) -> bool:
+    """Verify a credential's signature and (optionally) its validity window."""
+    if credential.signature is None:
+        return False
+    if at_time is not None and not credential.is_valid_at(at_time):
+        return False
+    scheme = get_scheme(issuer_key.scheme)
+    return scheme.verify(issuer_key, credential.body_bytes(), credential.signature)

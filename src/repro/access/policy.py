@@ -1,0 +1,113 @@
+"""Role-based access policies.
+
+Each organisation "has a local set of policies for an interaction that is
+consistent with an overall agreement between organisations" (Section 1).
+:class:`AccessPolicy` is that local policy: a set of rules mapping (role,
+resource, operation) to allow/deny, evaluated against the roles currently
+active in a :class:`~repro.access.roles.RoleManager`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from fnmatch import fnmatch
+from typing import Iterable, List, Optional
+
+from repro.access.roles import RoleManager
+from repro.errors import AccessDeniedError
+
+
+class AccessDecision(Enum):
+    """Outcome of a policy evaluation."""
+
+    PERMIT = "permit"
+    DENY = "deny"
+    NOT_APPLICABLE = "not_applicable"
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """One policy rule.
+
+    ``resource`` and ``operation`` support shell-style wildcards so a rule
+    can cover, for example, every operation on ``"b2bobject:*"``.
+    """
+
+    role: str
+    resource: str
+    operation: str
+    effect: AccessDecision = AccessDecision.PERMIT
+
+    def applies_to(self, roles: Iterable[str], resource: str, operation: str) -> bool:
+        if self.role != "*" and self.role not in set(roles):
+            return False
+        if not fnmatch(resource, self.resource):
+            return False
+        if not fnmatch(operation, self.operation):
+            return False
+        return True
+
+
+class AccessPolicy:
+    """Ordered rule list with deny-overrides combining."""
+
+    def __init__(
+        self,
+        owner: str,
+        rules: Optional[Iterable[PolicyRule]] = None,
+        default_decision: AccessDecision = AccessDecision.DENY,
+    ) -> None:
+        self.owner = owner
+        self._rules: List[PolicyRule] = list(rules or [])
+        self._default = default_decision
+
+    def add_rule(self, rule: PolicyRule) -> None:
+        self._rules.append(rule)
+
+    def permit(self, role: str, resource: str, operation: str) -> None:
+        """Convenience: append a PERMIT rule."""
+        self.add_rule(PolicyRule(role, resource, operation, AccessDecision.PERMIT))
+
+    def deny(self, role: str, resource: str, operation: str) -> None:
+        """Convenience: append a DENY rule."""
+        self.add_rule(PolicyRule(role, resource, operation, AccessDecision.DENY))
+
+    @property
+    def rules(self) -> List[PolicyRule]:
+        return list(self._rules)
+
+    def evaluate(
+        self, roles: Iterable[str], resource: str, operation: str
+    ) -> AccessDecision:
+        """Evaluate the policy with deny-overrides semantics.
+
+        Any applicable DENY rule wins; otherwise any applicable PERMIT rule
+        wins; otherwise the default decision applies.
+        """
+        roles = list(roles)
+        applicable = [
+            rule for rule in self._rules if rule.applies_to(roles, resource, operation)
+        ]
+        if not applicable:
+            return self._default
+        if any(rule.effect is AccessDecision.DENY for rule in applicable):
+            return AccessDecision.DENY
+        if any(rule.effect is AccessDecision.PERMIT for rule in applicable):
+            return AccessDecision.PERMIT
+        return self._default
+
+    def check(
+        self,
+        role_manager: RoleManager,
+        subject: str,
+        resource: str,
+        operation: str,
+    ) -> None:
+        """Raise :class:`AccessDeniedError` unless the policy permits the action."""
+        decision = self.evaluate(role_manager.active_roles(subject), resource, operation)
+        if decision is not AccessDecision.PERMIT:
+            raise AccessDeniedError(
+                f"policy of {self.owner!r} denies {operation!r} on {resource!r} "
+                f"for subject {subject!r}"
+            )

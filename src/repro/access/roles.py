@@ -1,0 +1,149 @@
+"""Event-based role activation.
+
+The paper points to "Cambridge's event-based access control system where
+roles are activated, based on credentials presented, and de-activated in
+response to events in the system or changes in the environment"
+(Section 3.5).  :class:`RoleManager` implements that model:
+
+* :class:`RoleActivationRule` maps a credential attribute predicate to a
+  role;
+* presenting a verified credential activates every matching role for the
+  subject;
+* system events (named strings, e.g. ``"contract.terminated"``) de-activate
+  roles whose rules subscribe to them.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Set
+
+from repro.access.credentials import Credential, verify_credential
+from repro.clock import Clock, SystemClock
+from repro.crypto.keys import PublicKey
+from repro.errors import AccessDeniedError, CredentialError
+
+#: Predicate over credential attributes deciding whether a rule matches.
+AttributePredicate = Callable[[Mapping[str, Any]], bool]
+
+
+@dataclass
+class RoleActivationRule:
+    """Maps credentials to a role and lists events that revoke it."""
+
+    role: str
+    required_issuer: Optional[str] = None
+    predicate: Optional[AttributePredicate] = None
+    required_attributes: Mapping[str, Any] = field(default_factory=dict)
+    deactivating_events: Set[str] = field(default_factory=set)
+
+    def matches(self, credential: Credential) -> bool:
+        """Return ``True`` if ``credential`` satisfies this rule."""
+        if self.required_issuer is not None and credential.issuer != self.required_issuer:
+            return False
+        for name, value in self.required_attributes.items():
+            if credential.attributes.get(name) != value:
+                return False
+        if self.predicate is not None and not self.predicate(credential.attributes):
+            return False
+        return True
+
+
+@dataclass
+class RoleAssignment:
+    """An active role held by a subject."""
+
+    subject: str
+    role: str
+    activated_at: float
+    credential_id: str
+
+
+class RoleManager:
+    """Maps verified credentials to active roles, revoked by events."""
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self._clock = clock or SystemClock()
+        self._rules: List[RoleActivationRule] = []
+        self._issuer_keys: Dict[str, PublicKey] = {}
+        self._assignments: Dict[str, Dict[str, RoleAssignment]] = {}
+        self._lock = threading.RLock()
+
+    # -- configuration ---------------------------------------------------------
+
+    def add_rule(self, rule: RoleActivationRule) -> None:
+        with self._lock:
+            self._rules.append(rule)
+
+    def trust_issuer(self, issuer: str, public_key: PublicKey) -> None:
+        """Register the verification key for a credential issuer."""
+        with self._lock:
+            self._issuer_keys[issuer] = public_key
+
+    # -- activation -------------------------------------------------------------
+
+    def present_credential(self, credential: Credential) -> List[str]:
+        """Verify ``credential`` and activate every matching role.
+
+        Returns the roles activated by this presentation.  Raises
+        :class:`CredentialError` when the credential cannot be verified.
+        """
+        with self._lock:
+            issuer_key = self._issuer_keys.get(credential.issuer)
+        if issuer_key is None:
+            raise CredentialError(f"issuer {credential.issuer!r} is not trusted")
+        if not verify_credential(credential, issuer_key, at_time=self._clock.now()):
+            raise CredentialError(
+                f"credential {credential.credential_id!r} failed verification"
+            )
+        activated: List[str] = []
+        with self._lock:
+            for rule in self._rules:
+                if not rule.matches(credential):
+                    continue
+                assignment = RoleAssignment(
+                    subject=credential.subject,
+                    role=rule.role,
+                    activated_at=self._clock.now(),
+                    credential_id=credential.credential_id,
+                )
+                self._assignments.setdefault(credential.subject, {})[rule.role] = assignment
+                activated.append(rule.role)
+        return activated
+
+    def dispatch_event(self, event: str) -> List[RoleAssignment]:
+        """Deliver a system event, de-activating subscribed roles.
+
+        Returns the assignments that were revoked.
+        """
+        revoked: List[RoleAssignment] = []
+        with self._lock:
+            deactivating_roles = {
+                rule.role for rule in self._rules if event in rule.deactivating_events
+            }
+            for subject, roles in self._assignments.items():
+                for role in list(roles):
+                    if role in deactivating_roles:
+                        revoked.append(roles.pop(role))
+        return revoked
+
+    def revoke(self, subject: str, role: str) -> None:
+        """Explicitly revoke one role from one subject."""
+        with self._lock:
+            self._assignments.get(subject, {}).pop(role, None)
+
+    # -- queries ------------------------------------------------------------------
+
+    def active_roles(self, subject: str) -> Set[str]:
+        with self._lock:
+            return set(self._assignments.get(subject, {}))
+
+    def has_role(self, subject: str, role: str) -> bool:
+        with self._lock:
+            return role in self._assignments.get(subject, {})
+
+    def require_role(self, subject: str, role: str) -> None:
+        """Raise :class:`AccessDeniedError` unless ``subject`` holds ``role``."""
+        if not self.has_role(subject, role):
+            raise AccessDeniedError(f"{subject!r} does not hold role {role!r}")

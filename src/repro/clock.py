@@ -1,0 +1,83 @@
+"""Logical and simulated clocks.
+
+All time handling in the library goes through a :class:`Clock` so that tests
+and the simulated network can run deterministically and benchmarks can report
+simulated latency independent of wall-clock speed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+
+
+class Clock:
+    """Abstract clock interface.
+
+    Concrete clocks provide a monotonically non-decreasing :meth:`now` and a
+    :meth:`sleep` whose semantics depend on the implementation (real sleep or
+    simulated time advance).
+    """
+
+    def now(self) -> float:
+        """Return the current time in seconds."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Advance time by ``seconds``."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Wall-clock backed clock."""
+
+    def now(self) -> float:
+        return time.time()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class SimulatedClock(Clock):
+    """Deterministic virtual clock.
+
+    Time only advances when :meth:`sleep` or :meth:`advance` is called, which
+    makes protocol timeouts and network latency fully reproducible in tests.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward and return the new time."""
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+
+class MonotonicCounter:
+    """Thread-safe monotonically increasing counter.
+
+    Used for sequence numbers where uniqueness and ordering matter but
+    wall-clock time does not.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._counter = itertools.count(start)
+        self._lock = threading.Lock()
+
+    def next(self) -> int:
+        with self._lock:
+            return next(self._counter)

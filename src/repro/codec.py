@@ -1,0 +1,84 @@
+"""Canonical serialisation of library objects.
+
+Evidence generation (Section 3.4) requires that invocation parameters,
+results and shared-information state be "resolved to an agreed representation
+of their state".  This module provides that agreed representation: a
+canonical, deterministic JSON encoding used both to compute the digests that
+are signed and to measure the space/communication overhead of protocol
+messages in the benchmarks.
+
+Objects that implement ``to_dict()`` (evidence tokens, certificates,
+signatures, protocol messages...) are encoded through it; plain containers,
+numbers, strings, bytes and ``None`` are encoded directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ReproError
+
+
+class CodecError(ReproError):
+    """Raised when a value cannot be canonically encoded."""
+
+
+def to_jsonable(value: Any) -> Any:
+    """Convert ``value`` into JSON-encodable structures.
+
+    Bytes are wrapped as ``{"__bytes__": hex}`` so the encoding is loss-free;
+    objects exposing ``to_dict`` are converted via that method and tagged
+    with their class name for debuggability.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return {"__bytes__": bytes(value).hex()}
+    if isinstance(value, dict):
+        converted = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise CodecError(f"dictionary keys must be strings, got {type(key)}")
+            converted[key] = to_jsonable(item)
+        return converted
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return {"__set__": sorted(to_jsonable(item) for item in value)}
+    to_dict = getattr(value, "to_dict", None)
+    if callable(to_dict):
+        return {"__object__": type(value).__name__, "data": to_jsonable(to_dict())}
+    raise CodecError(f"cannot canonically encode value of type {type(value)!r}")
+
+
+def from_jsonable(value: Any) -> Any:
+    """Inverse of :func:`to_jsonable` for plain data (objects stay as dicts)."""
+    if isinstance(value, dict):
+        if set(value.keys()) == {"__bytes__"}:
+            return bytes.fromhex(value["__bytes__"])
+        if set(value.keys()) == {"__set__"}:
+            return set(from_jsonable(item) for item in value["__set__"])
+        if set(value.keys()) == {"__object__", "data"}:
+            return from_jsonable(value["data"])
+        return {key: from_jsonable(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [from_jsonable(item) for item in value]
+    return value
+
+
+def encode(value: Any) -> bytes:
+    """Encode ``value`` to canonical bytes (sorted keys, no whitespace)."""
+    return json.dumps(
+        to_jsonable(value), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def decode(data: bytes) -> Any:
+    """Decode bytes produced by :func:`encode` back into plain data."""
+    return from_jsonable(json.loads(data.decode("utf-8")))
+
+
+def encoded_size(value: Any) -> int:
+    """Return the canonical encoded size of ``value`` in bytes."""
+    return len(encode(value))

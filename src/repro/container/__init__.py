@@ -1,0 +1,51 @@
+"""Component container substrate (the J2EE / JBoss analogue).
+
+The paper's prototype extends the JBoss application server: "an
+application-level invocation passes through a chain of interceptors, each
+interceptor completing some task before passing the invocation to the next
+interceptor in the chain.  Existing services can be modified or new services
+added to a container by inserting additional interceptors in the chain."
+(Section 4.)  This package reproduces that mechanism in Python:
+
+* :mod:`repro.container.component` -- components (the EJB analogue) and their
+  deployment descriptors;
+* :mod:`repro.container.interceptor` -- invocation objects and interceptor
+  chains (client- and server-side);
+* :mod:`repro.container.container` -- the container: deployment, server-side
+  chains, dynamic client proxies, remote exposure;
+* :mod:`repro.container.services` -- standard container services implemented
+  as interceptors (logging, access control, call statistics);
+* :mod:`repro.container.naming` -- the JNDI-like naming context.
+"""
+
+from repro.container.component import Component, ComponentDescriptor, ComponentType
+from repro.container.container import Container
+from repro.container.interceptor import (
+    Interceptor,
+    InterceptorChain,
+    Invocation,
+    InvocationResult,
+)
+from repro.container.naming import NamingContext
+from repro.container.proxy import ClientProxy
+from repro.container.services import (
+    AccessControlInterceptor,
+    CallStatisticsInterceptor,
+    LoggingInterceptor,
+)
+
+__all__ = [
+    "AccessControlInterceptor",
+    "CallStatisticsInterceptor",
+    "ClientProxy",
+    "Component",
+    "ComponentDescriptor",
+    "ComponentType",
+    "Container",
+    "Interceptor",
+    "InterceptorChain",
+    "Invocation",
+    "InvocationResult",
+    "LoggingInterceptor",
+    "NamingContext",
+]

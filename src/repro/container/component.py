@@ -1,0 +1,139 @@
+"""Components and deployment descriptors.
+
+A :class:`Component` is the EJB analogue: a plain Python object whose public
+methods form its application interface.  A :class:`ComponentDescriptor` is
+the deployment descriptor: it names the component, classifies it (session or
+entity bean), and carries the configuration the paper puts in the EJB
+deployment descriptor -- whether non-repudiation is required, which platform
+and protocol to use for the ``B2BInvocationHandler``, whether the component
+is a B2BObject, which validator components validate proposed updates, and
+which application-interface methods roll up multiple operations into a single
+coordination event (Section 4.2/4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.errors import DeploymentError
+
+
+class ComponentType(Enum):
+    """Kinds of deployable components (mirrors session/entity EJBs)."""
+
+    SESSION = "session"
+    ENTITY = "entity"
+    SERVICE = "service"
+
+
+@dataclass
+class ComponentDescriptor:
+    """Deployment descriptor for a component.
+
+    Attributes:
+        name: JNDI-style name the component is bound under.
+        component_type: session, entity or service.
+        non_repudiation: whether invocations on this component must be
+            non-repudiable (activates the server-side NR interceptor).
+        nr_platform / nr_protocol: identify the ``B2BInvocationHandler``
+            implementation and the non-repudiation protocol to execute, as in
+            ``B2BInvocationHandler.getInstance("JBossJ2EE", "direct")``.
+        b2b_object: whether the (entity) component's state is shared and must
+            be coordinated as a B2BObject.
+        validators: names of deployed validator components consulted before
+            accepting a remote party's proposed update.
+        rollup_methods: application-interface methods whose nested B2BObject
+            operations are coordinated as a single event.
+        interceptors: extra named container interceptors for this component.
+        metadata: free-form descriptor entries.
+    """
+
+    name: str
+    component_type: ComponentType = ComponentType.SESSION
+    non_repudiation: bool = False
+    nr_platform: str = "python"
+    nr_protocol: str = "direct"
+    b2b_object: bool = False
+    validators: List[str] = field(default_factory=list)
+    rollup_methods: List[str] = field(default_factory=list)
+    interceptors: List[str] = field(default_factory=list)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DeploymentError("component descriptor requires a name")
+        if self.b2b_object and self.component_type is not ComponentType.ENTITY:
+            raise DeploymentError(
+                f"component {self.name!r}: only entity components can be B2BObjects"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "component_type": self.component_type.value,
+            "non_repudiation": self.non_repudiation,
+            "nr_platform": self.nr_platform,
+            "nr_protocol": self.nr_protocol,
+            "b2b_object": self.b2b_object,
+            "validators": list(self.validators),
+            "rollup_methods": list(self.rollup_methods),
+            "interceptors": list(self.interceptors),
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ComponentDescriptor":
+        return cls(
+            name=payload["name"],
+            component_type=ComponentType(payload.get("component_type", "session")),
+            non_repudiation=payload.get("non_repudiation", False),
+            nr_platform=payload.get("nr_platform", "python"),
+            nr_protocol=payload.get("nr_protocol", "direct"),
+            b2b_object=payload.get("b2b_object", False),
+            validators=list(payload.get("validators", [])),
+            rollup_methods=list(payload.get("rollup_methods", [])),
+            interceptors=list(payload.get("interceptors", [])),
+            metadata=dict(payload.get("metadata", {})),
+        )
+
+
+@dataclass
+class Component:
+    """A deployed component: descriptor plus the application instance."""
+
+    descriptor: ComponentDescriptor
+    instance: Any
+
+    @property
+    def name(self) -> str:
+        return self.descriptor.name
+
+    def business_methods(self) -> List[str]:
+        """Public callable attributes of the instance (the bean interface)."""
+        return sorted(
+            name
+            for name in dir(self.instance)
+            if not name.startswith("_") and callable(getattr(self.instance, name))
+        )
+
+    def invoke_business_method(
+        self, method: str, args: Optional[List[Any]] = None, kwargs: Optional[Dict[str, Any]] = None
+    ) -> Any:
+        """Call a business method directly (bypassing the interceptor chain).
+
+        The container uses this as the innermost step of the server-side
+        chain; application code should go through the container so services
+        (NR, access control, auditing) are applied.
+        """
+        if not hasattr(self.instance, method):
+            raise DeploymentError(
+                f"component {self.name!r} has no business method {method!r}"
+            )
+        target = getattr(self.instance, method)
+        if not callable(target):
+            raise DeploymentError(
+                f"attribute {method!r} of component {self.name!r} is not callable"
+            )
+        return target(*(args or []), **(kwargs or {}))

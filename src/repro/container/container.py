@@ -1,0 +1,215 @@
+"""The component container.
+
+The container is the organisation's service-delivery platform: components
+are deployed into it with a descriptor, every invocation runs through the
+component's server-side interceptor chain, and the container can be exposed
+on the simulated network so remote clients (other organisations) can invoke
+deployed components through dynamic proxies -- exactly the structure of
+Figures 6 and 7 in the paper.
+
+Middleware extensions (such as the non-repudiation service) plug in through
+*interceptor providers*: callables consulted at deployment time that may
+contribute an interceptor for a component based on its descriptor, which is
+how the JBoss prototype inserts the NR interceptor for beans whose deployment
+descriptor requests non-repudiation.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.container.component import Component, ComponentDescriptor
+from repro.container.interceptor import (
+    Interceptor,
+    InterceptorChain,
+    Invocation,
+    InvocationResult,
+    business_method_handler,
+)
+from repro.container.naming import NamingContext
+from repro.container.proxy import ClientProxy
+from repro.errors import DeploymentError, NoSuchComponentError
+from repro.transport.network import SimulatedNetwork
+from repro.transport.rmi import RemoteInvoker
+
+#: Consulted at deployment; may return an interceptor for the component.
+InterceptorProvider = Callable[["Container", ComponentDescriptor], Optional[Interceptor]]
+
+#: Name under which the container itself is exported for remote dispatch.
+CONTAINER_OBJECT_NAME = "container"
+
+
+class Container:
+    """An application server hosting deployed components for one organisation."""
+
+    def __init__(
+        self,
+        name: str,
+        network: Optional[SimulatedNetwork] = None,
+        address: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self.naming = NamingContext()
+        self._components: Dict[str, Component] = {}
+        self._chains: Dict[str, InterceptorChain] = {}
+        self._default_interceptors: List[Interceptor] = []
+        self._named_interceptors: Dict[str, Interceptor] = {}
+        self._interceptor_providers: List[InterceptorProvider] = []
+        self._lock = threading.RLock()
+        self._network = network
+        self._address = address or f"urn:container:{name}"
+        self._invoker: Optional[RemoteInvoker] = None
+        if network is not None:
+            self._invoker = RemoteInvoker(network, self._address)
+            self._invoker.export(CONTAINER_OBJECT_NAME, self, methods=["dispatch"])
+
+    # -- configuration ----------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        """Network address of the container (where remote clients dispatch to)."""
+        return self._address
+
+    @property
+    def network(self) -> Optional[SimulatedNetwork]:
+        return self._network
+
+    @property
+    def invoker(self) -> Optional[RemoteInvoker]:
+        """The RMI invoker hosting this container (for exporting extra services)."""
+        return self._invoker
+
+    def add_default_interceptor(self, interceptor: Interceptor) -> None:
+        """Add an interceptor applied to every component deployed *after* this call."""
+        self._default_interceptors.append(interceptor)
+
+    def register_interceptor(self, name: str, interceptor: Interceptor) -> None:
+        """Register a named interceptor that descriptors can request."""
+        self._named_interceptors[name] = interceptor
+
+    def add_interceptor_provider(self, provider: InterceptorProvider) -> None:
+        """Register a provider consulted for every subsequent deployment."""
+        self._interceptor_providers.append(provider)
+
+    # -- deployment ----------------------------------------------------------------
+
+    def deploy(self, instance: Any, descriptor: ComponentDescriptor) -> Component:
+        """Deploy ``instance`` under ``descriptor`` and build its server chain.
+
+        The chain order is: provider-contributed interceptors (NR first, as
+        required by Section 4.2), then descriptor-requested named
+        interceptors, then the container's default interceptors, ending at
+        the business method.
+        """
+        with self._lock:
+            if descriptor.name in self._components:
+                raise DeploymentError(
+                    f"component {descriptor.name!r} is already deployed in {self.name!r}"
+                )
+            component = Component(descriptor=descriptor, instance=instance)
+
+            chain = InterceptorChain(final_handler=business_method_handler(component))
+            for interceptor in self._default_interceptors:
+                chain.add(interceptor)
+            for interceptor_name in descriptor.interceptors:
+                named = self._named_interceptors.get(interceptor_name)
+                if named is None:
+                    raise DeploymentError(
+                        f"component {descriptor.name!r} requests unknown "
+                        f"interceptor {interceptor_name!r}"
+                    )
+                chain.add(named)
+            # Providers contribute last but are inserted first so they sit at
+            # the head of the chain (first on the incoming path).
+            for provider in self._interceptor_providers:
+                contributed = provider(self, descriptor)
+                if contributed is not None:
+                    chain.add_first(contributed)
+
+            self._components[descriptor.name] = component
+            self._chains[descriptor.name] = chain
+            self.naming.bind(f"components/{descriptor.name}", component, replace=True)
+            return component
+
+    def undeploy(self, name: str) -> None:
+        with self._lock:
+            self._components.pop(name, None)
+            self._chains.pop(name, None)
+            self.naming.unbind(f"components/{name}")
+
+    def component(self, name: str) -> Component:
+        with self._lock:
+            try:
+                return self._components[name]
+            except KeyError:
+                raise NoSuchComponentError(
+                    f"no component {name!r} deployed in container {self.name!r}"
+                ) from None
+
+    def has_component(self, name: str) -> bool:
+        with self._lock:
+            return name in self._components
+
+    def component_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._components)
+
+    def chain_for(self, name: str) -> InterceptorChain:
+        """Return the server-side interceptor chain of a deployed component."""
+        with self._lock:
+            try:
+                return self._chains[name]
+            except KeyError:
+                raise NoSuchComponentError(
+                    f"no component {name!r} deployed in container {self.name!r}"
+                ) from None
+
+    # -- dispatch --------------------------------------------------------------------
+
+    def dispatch(self, invocation: Invocation) -> InvocationResult:
+        """Run an invocation through the target component's server-side chain."""
+        chain = self.chain_for(invocation.component)
+        return chain.invoke(invocation)
+
+    # -- proxies ---------------------------------------------------------------------
+
+    def create_local_proxy(
+        self,
+        component_name: str,
+        client_interceptors: Optional[List[Interceptor]] = None,
+        caller: str = "",
+    ) -> ClientProxy:
+        """Create a proxy for a client co-located with this container."""
+        self.component(component_name)  # fail fast if not deployed
+        return ClientProxy(
+            component_name=component_name,
+            dispatcher=self.dispatch,
+            client_interceptors=client_interceptors,
+            caller=caller or self.name,
+        )
+
+    def create_remote_proxy(
+        self,
+        client_invoker: RemoteInvoker,
+        component_name: str,
+        client_interceptors: Optional[List[Interceptor]] = None,
+        caller: str = "",
+    ) -> ClientProxy:
+        """Create a proxy used by a remote client hosted on ``client_invoker``.
+
+        The proxy's final handler ships the invocation across the simulated
+        network to this container's ``dispatch`` method, mirroring the
+        server-generated dynamic proxy of the JBoss prototype.
+        """
+        remote = client_invoker.proxy_for(self._address, CONTAINER_OBJECT_NAME)
+
+        def remote_dispatch(invocation: Invocation) -> InvocationResult:
+            return remote.invoke("dispatch", [invocation], {})
+
+        return ClientProxy(
+            component_name=component_name,
+            dispatcher=remote_dispatch,
+            client_interceptors=client_interceptors,
+            caller=caller or client_invoker.address,
+        )

@@ -1,0 +1,188 @@
+"""Invocations and interceptor chains.
+
+The central mechanism of the paper's implementation: "An application-level
+invocation passes through a chain of interceptors, each interceptor
+completing some task before passing the invocation to the next interceptor in
+the chain."  A JBoss interceptor's ``invoke`` operation "takes an Invocation
+object as a parameter ... the interceptor then passes the Invocation to the
+next interceptor in the chain by calling that interceptor's invoke
+operation."  (Section 4 / 4.2.)
+
+:class:`Interceptor` implementations receive the :class:`Invocation` and a
+``next_interceptor`` callable.  Calling ``next_interceptor(invocation)`` runs
+the remainder of the chain (ending at the component's business method on the
+server side, or at the transport step on the client side); not calling it
+short-circuits the invocation -- which is exactly how the client-side NR
+interceptor takes control to run the non-repudiation protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import InterceptorError
+
+
+@dataclass
+class Invocation:
+    """Encapsulation of one application-level invocation.
+
+    Mirrors the JBoss ``Invocation`` object: the target component, the
+    method, its arguments and a mutable context that interceptors use to
+    propagate information (security principals, protocol messages,
+    transaction ids...).
+    """
+
+    component: str
+    method: str
+    args: List[Any] = field(default_factory=list)
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    context: Dict[str, Any] = field(default_factory=dict)
+    caller: str = ""
+
+    def copy(self) -> "Invocation":
+        """Return a shallow copy (used when an interceptor rewrites arguments)."""
+        return Invocation(
+            component=self.component,
+            method=self.method,
+            args=list(self.args),
+            kwargs=dict(self.kwargs),
+            context=dict(self.context),
+            caller=self.caller,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "component": self.component,
+            "method": self.method,
+            "args": list(self.args),
+            "kwargs": dict(self.kwargs),
+            "context": dict(self.context),
+            "caller": self.caller,
+        }
+
+
+@dataclass
+class InvocationResult:
+    """Outcome of an invocation as it travels back down the chain."""
+
+    value: Any = None
+    exception: Optional[str] = None
+    exception_type: Optional[str] = None
+    context: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.exception is None
+
+    def unwrap(self) -> Any:
+        """Return the value or re-raise the failure as :class:`InterceptorError`."""
+        if self.succeeded:
+            return self.value
+        raise InterceptorError(
+            f"invocation failed remotely: {self.exception_type}: {self.exception}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "value": self.value,
+            "exception": self.exception,
+            "exception_type": self.exception_type,
+            "context": dict(self.context),
+        }
+
+
+#: Signature of "the rest of the chain" handed to each interceptor.
+NextInterceptor = Callable[[Invocation], InvocationResult]
+
+
+class Interceptor:
+    """Base class for container interceptors."""
+
+    #: name used in deployment descriptors to request this interceptor
+    name: str = "interceptor"
+
+    def invoke(self, invocation: Invocation, next_interceptor: NextInterceptor) -> InvocationResult:
+        """Process ``invocation``; call ``next_interceptor`` to continue."""
+        return next_interceptor(invocation)
+
+
+class InterceptorChain:
+    """An ordered chain of interceptors terminating in a final handler.
+
+    The final handler is the innermost step: on the server side it invokes
+    the component's business method; on the client side it ships the
+    invocation to the remote container.
+    """
+
+    def __init__(
+        self,
+        interceptors: Optional[List[Interceptor]] = None,
+        final_handler: Optional[NextInterceptor] = None,
+    ) -> None:
+        self._interceptors: List[Interceptor] = list(interceptors or [])
+        self._final_handler = final_handler
+
+    @property
+    def interceptors(self) -> List[Interceptor]:
+        return list(self._interceptors)
+
+    def add(self, interceptor: Interceptor, position: Optional[int] = None) -> None:
+        """Append (or insert at ``position``) an interceptor."""
+        if position is None:
+            self._interceptors.append(interceptor)
+        else:
+            self._interceptors.insert(position, interceptor)
+
+    def add_first(self, interceptor: Interceptor) -> None:
+        """Insert at the head of the chain.
+
+        The NR interceptors are installed first in the chain on the outgoing
+        path so they see the request exactly as the client constructed it and
+        the response exactly as it leaves the server (Section 4.2).
+        """
+        self.add(interceptor, position=0)
+
+    def set_final_handler(self, handler: NextInterceptor) -> None:
+        self._final_handler = handler
+
+    def invoke(self, invocation: Invocation) -> InvocationResult:
+        """Run ``invocation`` through the chain."""
+        if self._final_handler is None:
+            raise InterceptorError("interceptor chain has no final handler")
+
+        def make_next(index: int) -> NextInterceptor:
+            def call_next(inv: Invocation) -> InvocationResult:
+                if index < len(self._interceptors):
+                    interceptor = self._interceptors[index]
+                    return interceptor.invoke(inv, make_next(index + 1))
+                return self._final_handler(inv)
+
+            return call_next
+
+        return make_next(0)(invocation)
+
+
+def business_method_handler(component: Any) -> NextInterceptor:
+    """Final handler that calls the business method on ``component``.
+
+    Exceptions raised by the business method are captured in the
+    :class:`InvocationResult` so they can travel back through the chain (and
+    across the simulated network) without losing the failure information.
+    """
+
+    def handler(invocation: Invocation) -> InvocationResult:
+        try:
+            value = component.invoke_business_method(
+                invocation.method, invocation.args, invocation.kwargs
+            )
+            return InvocationResult(value=value, context=dict(invocation.context))
+        except Exception as error:
+            return InvocationResult(
+                exception=str(error),
+                exception_type=type(error).__name__,
+                context=dict(invocation.context),
+            )
+
+    return handler

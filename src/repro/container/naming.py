@@ -1,0 +1,77 @@
+"""JNDI-like naming context for deployed components and services.
+
+Components, validators and middleware services (coordinators, controllers)
+are bound under hierarchical names so application code and interceptors can
+resolve them without holding direct references, mirroring how the paper's
+beans locate validators and the coordinator service through the container.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.errors import NoSuchComponentError
+
+
+class NamingContext:
+    """A hierarchical (``/``-separated) name to object mapping."""
+
+    def __init__(self, prefix: str = "") -> None:
+        self._prefix = prefix.rstrip("/")
+        self._bindings: Dict[str, Any] = {}
+        self._lock = threading.RLock()
+
+    def _full_name(self, name: str) -> str:
+        name = name.strip("/")
+        if not name:
+            raise ValueError("cannot bind an empty name")
+        if self._prefix:
+            return f"{self._prefix}/{name}"
+        return name
+
+    def bind(self, name: str, obj: Any, replace: bool = False) -> str:
+        """Bind ``obj`` under ``name`` and return the fully qualified name."""
+        full = self._full_name(name)
+        with self._lock:
+            if full in self._bindings and not replace:
+                raise ValueError(f"{full!r} is already bound")
+            self._bindings[full] = obj
+        return full
+
+    def rebind(self, name: str, obj: Any) -> str:
+        return self.bind(name, obj, replace=True)
+
+    def unbind(self, name: str) -> None:
+        full = self._full_name(name)
+        with self._lock:
+            self._bindings.pop(full, None)
+
+    def lookup(self, name: str) -> Any:
+        """Resolve ``name`` or raise :class:`NoSuchComponentError`."""
+        full = self._full_name(name)
+        with self._lock:
+            if full in self._bindings:
+                return self._bindings[full]
+        raise NoSuchComponentError(f"nothing bound under {full!r}")
+
+    def lookup_optional(self, name: str) -> Optional[Any]:
+        try:
+            return self.lookup(name)
+        except NoSuchComponentError:
+            return None
+
+    def names(self, subcontext: str = "") -> List[str]:
+        """List bound names, optionally restricted to a subcontext prefix."""
+        prefix = self._full_name(subcontext) + "/" if subcontext else (
+            self._prefix + "/" if self._prefix else ""
+        )
+        with self._lock:
+            return sorted(name for name in self._bindings if name.startswith(prefix))
+
+    def subcontext(self, name: str) -> "NamingContext":
+        """Return a context view rooted at ``name`` sharing the same bindings."""
+        child = NamingContext(self._full_name(name))
+        child._bindings = self._bindings
+        child._lock = self._lock
+        return child

@@ -1,0 +1,119 @@
+"""Standard container services implemented as interceptors.
+
+The paper's Figure 6 shows the container invoking "appropriate low-level
+services, such as persistence and transaction management, for each operation
+on the bean", with non-repudiation added as one more such service.  This
+module provides the ordinary (non-NR) services used by the examples and
+benchmarks: audit logging, role-based access control and call statistics.
+The NR interceptors themselves live in :mod:`repro.core.nr_interceptors`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.access.policy import AccessPolicy
+from repro.access.roles import RoleManager
+from repro.container.interceptor import (
+    Interceptor,
+    Invocation,
+    InvocationResult,
+    NextInterceptor,
+)
+from repro.errors import AccessDeniedError
+from repro.persistence.audit_log import AuditLog
+
+
+class LoggingInterceptor(Interceptor):
+    """Writes an audit record for every invocation passing through."""
+
+    name = "logging"
+
+    def __init__(self, audit_log: AuditLog, category: str = "container.invocation") -> None:
+        self._audit_log = audit_log
+        self._category = category
+
+    def invoke(self, invocation: Invocation, next_interceptor: NextInterceptor) -> InvocationResult:
+        result = next_interceptor(invocation)
+        self._audit_log.append(
+            category=self._category,
+            subject=invocation.component,
+            details={
+                "method": invocation.method,
+                "caller": invocation.caller,
+                "succeeded": result.succeeded,
+            },
+        )
+        return result
+
+
+class AccessControlInterceptor(Interceptor):
+    """Enforces the organisation's local access policy on invocations.
+
+    The invocation's ``caller`` is the subject; the component name is the
+    resource; the method name is the operation.  Denied calls never reach the
+    component and return a failed :class:`InvocationResult`.
+    """
+
+    name = "access-control"
+
+    def __init__(self, policy: AccessPolicy, role_manager: RoleManager) -> None:
+        self._policy = policy
+        self._role_manager = role_manager
+
+    def invoke(self, invocation: Invocation, next_interceptor: NextInterceptor) -> InvocationResult:
+        try:
+            self._policy.check(
+                self._role_manager,
+                subject=invocation.caller,
+                resource=invocation.component,
+                operation=invocation.method,
+            )
+        except AccessDeniedError as error:
+            return InvocationResult(
+                exception=str(error),
+                exception_type=type(error).__name__,
+                context=dict(invocation.context),
+            )
+        return next_interceptor(invocation)
+
+
+@dataclass
+class CallStatistics:
+    """Counters collected by :class:`CallStatisticsInterceptor`."""
+
+    calls: int = 0
+    failures: int = 0
+    per_method: Dict[str, int] = field(default_factory=dict)
+
+
+class CallStatisticsInterceptor(Interceptor):
+    """Counts invocations per component method (used by benchmarks)."""
+
+    name = "call-statistics"
+
+    def __init__(self) -> None:
+        self._statistics: Dict[str, CallStatistics] = {}
+        self._lock = threading.Lock()
+
+    def invoke(self, invocation: Invocation, next_interceptor: NextInterceptor) -> InvocationResult:
+        result = next_interceptor(invocation)
+        with self._lock:
+            stats = self._statistics.setdefault(invocation.component, CallStatistics())
+            stats.calls += 1
+            if not result.succeeded:
+                stats.failures += 1
+            stats.per_method[invocation.method] = (
+                stats.per_method.get(invocation.method, 0) + 1
+            )
+        return result
+
+    def statistics_for(self, component: str) -> Optional[CallStatistics]:
+        with self._lock:
+            return self._statistics.get(component)
+
+    def total_calls(self) -> int:
+        with self._lock:
+            return sum(stats.calls for stats in self._statistics.values())

@@ -1,0 +1,67 @@
+"""The paper's primary contribution: non-repudiation middleware.
+
+This package implements the trusted-interceptor abstraction (Section 3) and
+its component-middleware realisation (Section 4):
+
+* :mod:`repro.core.evidence` -- non-repudiation tokens and their verification.
+* :mod:`repro.core.messages` -- ``B2BProtocolMessage``.
+* :mod:`repro.core.coordinator` -- the ``B2BCoordinator`` service.
+* :mod:`repro.core.protocol` -- protocol handler base classes and run state.
+* :mod:`repro.core.invocation` -- non-repudiable service invocation
+  (NR-Invocation, Section 3.2 / 4.2).
+* :mod:`repro.core.nr_interceptors` -- the client/server NR interceptors that
+  plug into the component container.
+* :mod:`repro.core.sharing` -- non-repudiable information sharing
+  (NR-Sharing / B2BObjects, Section 3.3 / 4.3).
+* :mod:`repro.core.validators` -- application-specific validation listeners.
+* :mod:`repro.core.trust_domain` / :mod:`repro.core.ttp` -- direct, inline-TTP
+  and distributed-TTP deployments (Section 3.1, Figure 3).
+* :mod:`repro.core.fair_exchange` -- TTP-supported optimistic fair exchange.
+* :mod:`repro.core.dispute` -- dispute resolution over stored evidence.
+* :mod:`repro.core.contracts` -- contract monitoring (Section 6 future work).
+* :mod:`repro.core.transactions` -- transactional sharing (Section 6).
+* :mod:`repro.core.organisation` -- the per-organisation facade.
+"""
+
+from repro.core.evidence import EvidenceBuilder, EvidenceToken, EvidenceVerifier, TokenType
+from repro.core.messages import B2BProtocolMessage
+from repro.core.coordinator import B2BCoordinator
+from repro.core.protocol import B2BProtocolHandler, ProtocolRun, RunStatus
+from repro.core.organisation import Organisation
+from repro.core.invocation import B2BInvocation, B2BInvocationHandler, InvocationOutcome
+from repro.core.sharing import B2BObjectController, SharingOutcome
+from repro.core.validators import (
+    CallableValidator,
+    CompositeValidator,
+    StateValidator,
+    ValidationDecision,
+)
+from repro.core.trust_domain import DeploymentStyle, TrustDomain
+from repro.core.dispute import DisputeClaim, DisputeResolver, Verdict
+
+__all__ = [
+    "B2BCoordinator",
+    "B2BInvocation",
+    "B2BInvocationHandler",
+    "B2BObjectController",
+    "B2BProtocolHandler",
+    "B2BProtocolMessage",
+    "CallableValidator",
+    "CompositeValidator",
+    "DeploymentStyle",
+    "DisputeClaim",
+    "DisputeResolver",
+    "EvidenceBuilder",
+    "EvidenceToken",
+    "EvidenceVerifier",
+    "InvocationOutcome",
+    "Organisation",
+    "ProtocolRun",
+    "RunStatus",
+    "SharingOutcome",
+    "StateValidator",
+    "TokenType",
+    "TrustDomain",
+    "ValidationDecision",
+    "Verdict",
+]

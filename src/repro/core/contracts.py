@@ -1,0 +1,258 @@
+"""Contract representation and run-time monitoring.
+
+Section 6 (future work): "We intend to integrate the underlying mechanisms
+presented here with work on run-time monitoring of contracts.  Contracts are
+represented as executable finite state machines ... We will, for example, use
+implementations of the verified state machines to validate changes to shared
+information for contract compliance."
+
+This module provides that integration:
+
+* :class:`ContractFSM` -- an executable finite-state machine representing the
+  business contract (states, event-labelled transitions, optional guards);
+* :class:`ContractMonitor` -- tracks the live state of the contract, records
+  every observed event and flags violations;
+* :class:`ContractValidator` -- a :class:`~repro.core.validators.StateValidator`
+  that accepts a proposed update to shared information only when the update
+  corresponds to a legal contract transition (the event is derived from the
+  proposal by an application-supplied extractor).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.core.validators import StateValidator, ValidationContext, ValidationDecision
+from repro.errors import ContractError, ContractViolationError
+
+#: Optional guard evaluated with the event's attributes.
+TransitionGuard = Callable[[Dict[str, Any]], bool]
+
+
+@dataclass(frozen=True)
+class ContractTransition:
+    """A legal transition of the contract FSM."""
+
+    source: str
+    event: str
+    target: str
+    guard: Optional[TransitionGuard] = None
+    description: str = ""
+
+    def permits(self, attributes: Dict[str, Any]) -> bool:
+        if self.guard is None:
+            return True
+        return bool(self.guard(attributes))
+
+
+class ContractFSM:
+    """An executable finite-state-machine representation of a contract."""
+
+    def __init__(
+        self,
+        name: str,
+        initial_state: str,
+        final_states: Optional[Set[str]] = None,
+    ) -> None:
+        self.name = name
+        self.initial_state = initial_state
+        self.final_states: Set[str] = set(final_states or set())
+        self._states: Set[str] = {initial_state} | self.final_states
+        self._transitions: List[ContractTransition] = []
+
+    def add_state(self, state: str, final: bool = False) -> None:
+        self._states.add(state)
+        if final:
+            self.final_states.add(state)
+
+    def add_transition(
+        self,
+        source: str,
+        event: str,
+        target: str,
+        guard: Optional[TransitionGuard] = None,
+        description: str = "",
+    ) -> ContractTransition:
+        """Declare that ``event`` may move the contract from ``source`` to ``target``."""
+        self._states.add(source)
+        self._states.add(target)
+        transition = ContractTransition(source, event, target, guard, description)
+        self._transitions.append(transition)
+        return transition
+
+    @property
+    def states(self) -> Set[str]:
+        return set(self._states)
+
+    @property
+    def transitions(self) -> List[ContractTransition]:
+        return list(self._transitions)
+
+    def transitions_from(self, state: str) -> List[ContractTransition]:
+        return [t for t in self._transitions if t.source == state]
+
+    def next_state(
+        self, current: str, event: str, attributes: Optional[Dict[str, Any]] = None
+    ) -> Optional[str]:
+        """Return the target state for ``event`` in ``current``, or ``None``."""
+        attributes = attributes or {}
+        for transition in self._transitions:
+            if transition.source == current and transition.event == event:
+                if transition.permits(attributes):
+                    return transition.target
+        return None
+
+    def is_event_legal(
+        self, current: str, event: str, attributes: Optional[Dict[str, Any]] = None
+    ) -> bool:
+        return self.next_state(current, event, attributes) is not None
+
+    # -- model checking (reachability analysis) ------------------------------------------
+
+    def unreachable_states(self) -> Set[str]:
+        """States that cannot be reached from the initial state."""
+        reachable = {self.initial_state}
+        frontier = [self.initial_state]
+        while frontier:
+            state = frontier.pop()
+            for transition in self.transitions_from(state):
+                if transition.target not in reachable:
+                    reachable.add(transition.target)
+                    frontier.append(transition.target)
+        return self._states - reachable
+
+    def deadlock_states(self) -> Set[str]:
+        """Non-final states with no outgoing transitions."""
+        return {
+            state
+            for state in self._states
+            if state not in self.final_states and not self.transitions_from(state)
+        }
+
+    def verify(self) -> None:
+        """Raise :class:`ContractError` if the FSM has unreachable or deadlock states."""
+        unreachable = self.unreachable_states()
+        if unreachable:
+            raise ContractError(
+                f"contract {self.name!r} has unreachable states: {sorted(unreachable)}"
+            )
+        deadlocks = self.deadlock_states()
+        if deadlocks:
+            raise ContractError(
+                f"contract {self.name!r} has deadlock states: {sorted(deadlocks)}"
+            )
+
+
+@dataclass
+class ContractEventRecord:
+    """One observed event and its effect on the monitored contract."""
+
+    event: str
+    actor: str
+    legal: bool
+    from_state: str
+    to_state: Optional[str]
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+
+class ContractMonitor:
+    """Tracks the live state of a contract and records observed events."""
+
+    def __init__(self, fsm: ContractFSM, strict: bool = False) -> None:
+        self.fsm = fsm
+        self.strict = strict
+        self._state = fsm.initial_state
+        self._history: List[ContractEventRecord] = []
+        self._lock = threading.RLock()
+
+    @property
+    def current_state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def history(self) -> List[ContractEventRecord]:
+        with self._lock:
+            return list(self._history)
+
+    @property
+    def violations(self) -> List[ContractEventRecord]:
+        return [record for record in self.history if not record.legal]
+
+    def is_complete(self) -> bool:
+        """Return ``True`` once the contract has reached a final state."""
+        return self.current_state in self.fsm.final_states
+
+    def observe(
+        self, event: str, actor: str = "", attributes: Optional[Dict[str, Any]] = None
+    ) -> ContractEventRecord:
+        """Record an observed event, advancing the state when it is legal.
+
+        In strict mode an illegal event raises
+        :class:`ContractViolationError`; otherwise it is recorded as a
+        violation and the state does not change.
+        """
+        attributes = attributes or {}
+        with self._lock:
+            target = self.fsm.next_state(self._state, event, attributes)
+            record = ContractEventRecord(
+                event=event,
+                actor=actor,
+                legal=target is not None,
+                from_state=self._state,
+                to_state=target,
+                attributes=dict(attributes),
+            )
+            self._history.append(record)
+            if target is not None:
+                self._state = target
+        if self.strict and not record.legal:
+            raise ContractViolationError(
+                f"event {event!r} by {actor!r} is illegal in state "
+                f"{record.from_state!r} of contract {self.fsm.name!r}"
+            )
+        return record
+
+
+#: Derives (event, attributes) from a proposed update.
+EventExtractor = Callable[[ValidationContext], Optional[str]]
+
+
+class ContractValidator(StateValidator):
+    """Validation listener accepting only contract-compliant updates.
+
+    ``extractor`` maps a proposed update to the contract event it represents
+    (returning ``None`` means "no contract event; accept").  When the update
+    is accepted the monitor advances, so subsequent proposals are judged
+    against the new contract state.
+    """
+
+    name = "contract-validator"
+
+    def __init__(self, monitor: ContractMonitor, extractor: EventExtractor) -> None:
+        self._monitor = monitor
+        self._extractor = extractor
+
+    @property
+    def monitor(self) -> ContractMonitor:
+        return self._monitor
+
+    def validate(self, context: ValidationContext) -> ValidationDecision:
+        event = self._extractor(context)
+        if event is None:
+            return ValidationDecision(accepted=True, validator=self.name)
+        legal = self._monitor.fsm.is_event_legal(self._monitor.current_state, event)
+        if not legal:
+            self._monitor.observe(event, actor=context.proposer)
+            return ValidationDecision(
+                accepted=False,
+                reason=(
+                    f"event {event!r} is not permitted by contract "
+                    f"{self._monitor.fsm.name!r} in state {self._monitor.current_state!r}"
+                ),
+                validator=self.name,
+            )
+        self._monitor.observe(event, actor=context.proposer)
+        return ValidationDecision(accepted=True, validator=self.name)

@@ -1,0 +1,196 @@
+"""The B2BCoordinator service.
+
+"Each trusted interceptor provides a B2BCoordinator service for the exchange
+of messages with other trusted interceptors.  In the J2EE implementation,
+this service is exported as a remote object that remote trusted interceptors
+make invocations on to deliver messages. ... Remote invocation of ``deliver``
+results in delivery of the given message from the remote party ...
+``deliverRequest`` is a convenience method that allows a remote party to
+deliver a message and then to wait synchronously for a response. ... The
+coordinator is responsible for mapping an incoming protocol message to an
+appropriate handler.  The coordinator also provides access to local services
+that are not protocol or platform specific." (Section 4.1.)
+
+Routing: the coordinator holds a route table from party URI to the network
+address of the coordinator that should receive messages for that party.  In
+a *direct* trust domain each peer routes to the peer's own coordinator; in an
+*inline TTP* domain peers route to the TTP, whose relay handler forwards the
+message (Section 3.1, Figure 3).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.clock import Clock, SystemClock
+from repro.core.evidence import EvidenceBuilder, EvidenceVerifier
+from repro.core.messages import B2BProtocolMessage
+from repro.core.protocol import B2BProtocolHandler
+from repro.errors import ProtocolError
+from repro.persistence.audit_log import AuditLog
+from repro.persistence.evidence_store import EvidenceStore
+from repro.persistence.state_store import StateStore
+from repro.transport.delivery import RetryPolicy
+from repro.transport.network import SimulatedNetwork
+from repro.transport.rmi import RemoteInvoker
+
+#: Name under which every coordinator is exported on its invoker.
+COORDINATOR_OBJECT_NAME = "b2b-coordinator"
+
+
+@dataclass
+class LocalServices:
+    """The generic, protocol-independent services a coordinator exposes.
+
+    These correspond to the supporting infrastructure of Section 3.5:
+    evidence generation and verification (credential management), evidence
+    and state persistence, auditing, and a clock for timeouts.
+    """
+
+    evidence_builder: EvidenceBuilder
+    evidence_verifier: EvidenceVerifier
+    evidence_store: EvidenceStore
+    state_store: StateStore
+    audit_log: AuditLog
+    clock: Clock = field(default_factory=SystemClock)
+
+
+class B2BCoordinator:
+    """Message exchange and handler dispatch for one trusted interceptor."""
+
+    def __init__(
+        self,
+        party: str,
+        invoker: RemoteInvoker,
+        services: LocalServices,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.party = party
+        self.services = services
+        self._invoker = invoker
+        self._retry_policy = retry_policy
+        self._handlers: Dict[str, B2BProtocolHandler] = {}
+        self._routes: Dict[str, str] = {}
+        self._lock = threading.RLock()
+        invoker.export(
+            COORDINATOR_OBJECT_NAME, self, methods=["deliver", "deliver_request"]
+        )
+
+    # -- configuration ----------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        """Network address where this coordinator can be reached."""
+        return self._invoker.address
+
+    @property
+    def network(self) -> SimulatedNetwork:
+        return self._invoker._network  # noqa: SLF001 - deliberate internal access
+
+    def register_handler(self, handler: B2BProtocolHandler, replace: bool = False) -> None:
+        """Register a protocol handler under its protocol name."""
+        if not handler.protocol:
+            raise ProtocolError("protocol handler has no protocol name")
+        with self._lock:
+            if handler.protocol in self._handlers and not replace:
+                raise ProtocolError(
+                    f"a handler for {handler.protocol!r} is already registered"
+                )
+            self._handlers[handler.protocol] = handler
+
+    def handler_for(self, protocol: str) -> B2BProtocolHandler:
+        with self._lock:
+            handler = self._handlers.get(protocol)
+        if handler is None:
+            raise ProtocolError(
+                f"coordinator of {self.party!r} has no handler for protocol {protocol!r}"
+            )
+        return handler
+
+    def has_handler(self, protocol: str) -> bool:
+        with self._lock:
+            return protocol in self._handlers
+
+    def registered_protocols(self) -> List[str]:
+        with self._lock:
+            return sorted(self._handlers)
+
+    # -- routing -----------------------------------------------------------------
+
+    def add_route(self, party: str, coordinator_address: str) -> None:
+        """Route messages for ``party`` to ``coordinator_address``.
+
+        In a direct trust domain the address is the party's own coordinator;
+        in an inline-TTP domain it is the TTP's coordinator.
+        """
+        with self._lock:
+            self._routes[party] = coordinator_address
+
+    def route_for(self, party: str) -> str:
+        with self._lock:
+            address = self._routes.get(party)
+        if address is None:
+            raise ProtocolError(
+                f"coordinator of {self.party!r} has no route to party {party!r}"
+            )
+        return address
+
+    def known_parties(self) -> List[str]:
+        with self._lock:
+            return sorted(self._routes)
+
+    # -- incoming (exported remotely) ---------------------------------------------
+
+    def deliver(self, message: B2BProtocolMessage) -> None:
+        """Deliver a one-way protocol message from a remote party."""
+        handler = self.handler_for(message.protocol)
+        handler.process(message)
+
+    def deliver_request(self, message: B2BProtocolMessage) -> B2BProtocolMessage:
+        """Deliver a request message and return the handler's response."""
+        handler = self.handler_for(message.protocol)
+        return handler.process_request(message)
+
+    # -- outgoing --------------------------------------------------------------------
+
+    def _remote_coordinator(self, party: str):
+        address = self.route_for(party)
+        return self._invoker.proxy_for(
+            address, COORDINATOR_OBJECT_NAME, retry_policy=self._retry_policy
+        )
+
+    def send(self, message: B2BProtocolMessage) -> None:
+        """Send a one-way message to the recipient's (routed) coordinator."""
+        message.reply_to = message.reply_to or self.address
+        remote = self._remote_coordinator(message.recipient)
+        remote.invoke("deliver", [message], {})
+
+    def request(self, message: B2BProtocolMessage) -> B2BProtocolMessage:
+        """Send a request message and return the recipient's response."""
+        message.reply_to = message.reply_to or self.address
+        remote = self._remote_coordinator(message.recipient)
+        return remote.invoke("deliver_request", [message], {})
+
+    def send_to_address(self, address: str, message: B2BProtocolMessage) -> None:
+        """Send a one-way message to an explicit coordinator address.
+
+        Used by relays and by handlers that learned the peer's coordinator
+        address from a message's ``reply_to`` field.
+        """
+        message.reply_to = message.reply_to or self.address
+        proxy = self._invoker.proxy_for(
+            address, COORDINATOR_OBJECT_NAME, retry_policy=self._retry_policy
+        )
+        proxy.invoke("deliver", [message], {})
+
+    def request_to_address(
+        self, address: str, message: B2BProtocolMessage
+    ) -> B2BProtocolMessage:
+        """Send a request message to an explicit coordinator address."""
+        message.reply_to = message.reply_to or self.address
+        proxy = self._invoker.proxy_for(
+            address, COORDINATOR_OBJECT_NAME, retry_policy=self._retry_policy
+        )
+        return proxy.invoke("deliver_request", [message], {})

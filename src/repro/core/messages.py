@@ -1,0 +1,100 @@
+"""Protocol messages exchanged between trusted interceptors.
+
+"A ``B2BProtocolMessage`` is an interface to information common to
+non-repudiation protocol messages -- request (protocol run) identifier,
+sender, protocol step, signed content, payload etc.  Concrete implementations
+of ``B2BProtocolMessage`` meet protocol-specific requirements."
+(Section 4.1.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro import codec
+from repro.core.evidence import EvidenceToken
+from repro.crypto.rng import new_unique_id
+from repro.errors import ProtocolError
+
+
+@dataclass
+class B2BProtocolMessage:
+    """One message of a non-repudiation protocol run.
+
+    Attributes:
+        message_id: unique id of this message.
+        run_id: the protocol-run (request) identifier binding steps together.
+        protocol: name of the protocol this message belongs to (used by the
+            coordinator to select a handler).
+        step: protocol step number.
+        sender / recipient: party URIs.
+        reply_to: network address of the sender's coordinator, so the
+            recipient can deliver subsequent protocol messages ("a reference
+            to its local coordinator service", Section 4.2).
+        payload: protocol-specific content (the request, the response, the
+            proposed state...).
+        tokens: evidence tokens carried by this message.
+        attributes: free-form extra fields for concrete protocols.
+    """
+
+    run_id: str
+    protocol: str
+    step: int
+    sender: str
+    recipient: str
+    payload: Any = None
+    tokens: List[EvidenceToken] = field(default_factory=list)
+    reply_to: str = ""
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    message_id: str = field(default_factory=lambda: new_unique_id("msg"))
+
+    def token_of_type(self, token_type: str) -> Optional[EvidenceToken]:
+        """Return the first carried token of the given type, if any."""
+        for token in self.tokens:
+            if token.token_type == token_type:
+                return token
+        return None
+
+    def require_token(self, token_type: str) -> EvidenceToken:
+        """Return the carried token of ``token_type`` or raise."""
+        token = self.token_of_type(token_type)
+        if token is None:
+            raise ProtocolError(
+                f"message {self.message_id!r} (step {self.step} of {self.protocol!r}) "
+                f"does not carry a {token_type!r} token"
+            )
+        return token
+
+    def encoded_size(self) -> int:
+        """Canonical size of the message in bytes (for overhead accounting)."""
+        return codec.encoded_size(self.to_dict())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "message_id": self.message_id,
+            "run_id": self.run_id,
+            "protocol": self.protocol,
+            "step": self.step,
+            "sender": self.sender,
+            "recipient": self.recipient,
+            "reply_to": self.reply_to,
+            "payload": codec.to_jsonable(self.payload),
+            "tokens": [token.to_dict() for token in self.tokens],
+            "attributes": codec.to_jsonable(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "B2BProtocolMessage":
+        return cls(
+            message_id=payload["message_id"],
+            run_id=payload["run_id"],
+            protocol=payload["protocol"],
+            step=payload["step"],
+            sender=payload["sender"],
+            recipient=payload["recipient"],
+            reply_to=payload.get("reply_to", ""),
+            payload=codec.from_jsonable(payload.get("payload")),
+            tokens=[EvidenceToken.from_dict(token) for token in payload.get("tokens", [])],
+            attributes=codec.from_jsonable(payload.get("attributes", {})),
+        )

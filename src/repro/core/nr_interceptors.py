@@ -1,0 +1,168 @@
+"""The NR interceptors that plug into the component container.
+
+"We add an extra interceptor -- the JBoss NR interceptor -- to both client
+and server invocation paths.  These NR interceptors are responsible for
+triggering execution of a non-repudiation protocol that achieves the
+exchange described in Section 3.2." (Section 4.2.)
+
+* :class:`ClientNRInterceptor` sits first in the client-side proxy chain.
+  For components that require non-repudiation it takes control of the
+  invocation, obtains a :class:`~repro.core.invocation.B2BInvocationHandler`
+  for the configured (platform, protocol) pair and runs the protocol instead
+  of letting the plain invocation proceed.
+* :class:`ServerNRInterceptor` sits first in the server-side chain of
+  NR-enabled components.  Requests arriving through the NR protocol carry the
+  run id in their context and are passed through (and audited); plain
+  requests that bypass the protocol are rejected, which is how the server
+  "controls activation of non-repudiation".
+* :func:`nr_interceptor_provider` is the deployment hook the container
+  consults so that components whose descriptor sets ``non_repudiation`` get
+  the server-side interceptor automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.container.component import ComponentDescriptor
+from repro.container.container import Container
+from repro.container.interceptor import (
+    Interceptor,
+    Invocation,
+    InvocationResult,
+    NextInterceptor,
+)
+from repro.core.coordinator import B2BCoordinator
+from repro.core.invocation import B2BInvocation, B2BInvocationHandler
+from repro.errors import ProtocolError
+from repro.persistence.audit_log import AuditLog
+
+
+class ClientNRInterceptor(Interceptor):
+    """Client-side NR interceptor (first on the outgoing path).
+
+    ``target_party`` is the organisation hosting the invoked component;
+    ``platform`` and ``protocol`` select the invocation-handler
+    implementation, mirroring
+    ``B2BInvocationHandler.getInstance("JBossJ2EE", "direct")``.
+    """
+
+    name = "nr-client"
+
+    def __init__(
+        self,
+        party: str,
+        coordinator: B2BCoordinator,
+        target_party: str,
+        platform: str = "python",
+        protocol: str = "direct",
+        consume_response: bool = True,
+    ) -> None:
+        self.party = party
+        self._coordinator = coordinator
+        self._target_party = target_party
+        self._platform = platform
+        self._protocol = protocol
+        self._consume_response = consume_response
+
+    def invoke(
+        self, invocation: Invocation, next_interceptor: NextInterceptor
+    ) -> InvocationResult:
+        handler = B2BInvocationHandler.get_instance(
+            self._platform, self._protocol, self.party, self._coordinator
+        )
+        b2b_invocation = B2BInvocation(
+            target_party=self._target_party,
+            invocation=invocation,
+            platform=self._platform,
+            protocol=self._protocol,
+            consume_response=self._consume_response,
+        )
+        outcome = handler.invoke_with_evidence(b2b_invocation)
+        context = dict(invocation.context)
+        context["nr.run_id"] = outcome.run_id
+        context["nr.status"] = outcome.status.value
+        return InvocationResult(
+            value=outcome.value,
+            exception=outcome.exception,
+            exception_type=outcome.exception_type,
+            context=context,
+        )
+
+
+class ServerNRInterceptor(Interceptor):
+    """Server-side NR interceptor (first on the incoming path).
+
+    Lets through invocations that arrived via the NR protocol (their context
+    carries ``nr.run_id``) and rejects plain invocations on NR-protected
+    components, unless the deployment explicitly allows local callers via
+    ``allow_local``.
+    """
+
+    name = "nr-server"
+
+    def __init__(
+        self,
+        party: str,
+        component_name: str,
+        audit_log: Optional[AuditLog] = None,
+        allow_local: bool = False,
+    ) -> None:
+        self.party = party
+        self._component_name = component_name
+        self._audit_log = audit_log
+        self._allow_local = allow_local
+
+    def invoke(
+        self, invocation: Invocation, next_interceptor: NextInterceptor
+    ) -> InvocationResult:
+        run_id = invocation.context.get("nr.run_id")
+        local_call = invocation.context.get("nr.local", False)
+        if run_id is None and not (self._allow_local and local_call):
+            return InvocationResult(
+                exception=(
+                    f"component {self._component_name!r} requires non-repudiable "
+                    f"invocation; plain invocation rejected"
+                ),
+                exception_type=ProtocolError.__name__,
+                context=dict(invocation.context),
+            )
+        result = next_interceptor(invocation)
+        if self._audit_log is not None:
+            self._audit_log.append(
+                category="nr.invocation.dispatch",
+                subject=run_id or "local",
+                details={
+                    "component": invocation.component,
+                    "method": invocation.method,
+                    "caller": invocation.caller,
+                    "succeeded": result.succeeded,
+                },
+            )
+        return result
+
+
+def nr_interceptor_provider(
+    party: str, audit_log: Optional[AuditLog] = None
+) -> Callable[[Container, ComponentDescriptor], Optional[Interceptor]]:
+    """Container deployment hook adding the server NR interceptor when required.
+
+    The application programmer "is responsible for identifying, in a bean's
+    deployment descriptor, when non-repudiation is required" (Section 4.2);
+    this provider reads that flag and contributes the interceptor.
+    """
+
+    def provider(
+        container: Container, descriptor: ComponentDescriptor
+    ) -> Optional[Interceptor]:
+        if not descriptor.non_repudiation:
+            return None
+        allow_local = bool(descriptor.metadata.get("nr_allow_local", False))
+        return ServerNRInterceptor(
+            party=party,
+            component_name=descriptor.name,
+            audit_log=audit_log,
+            allow_local=allow_local,
+        )
+
+    return provider

@@ -1,0 +1,133 @@
+"""Protocol handler base classes and protocol-run bookkeeping.
+
+"To execute specific protocols, and meet different application or platform
+requirements, custom protocol handlers are registered with the coordinator
+service.  The coordinator is responsible for mapping an incoming protocol
+message to an appropriate handler." (Section 4.1.)
+
+All protocol handlers provide ``process`` (one-way delivery) and
+``process_request`` (request/response delivery) and use the coordinator to
+send outgoing messages.  :class:`ProtocolRun` captures the per-run state an
+interceptor keeps while the protocol executes.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional
+
+from repro.core.messages import B2BProtocolMessage
+from repro.errors import ProtocolError, ProtocolStateError
+
+
+class RunStatus(Enum):
+    """Lifecycle of a protocol run as seen by one party."""
+
+    ACTIVE = "active"
+    COMPLETED = "completed"
+    ABORTED = "aborted"
+    FAILED = "failed"
+
+
+@dataclass
+class ProtocolRun:
+    """State kept by a handler for one protocol run."""
+
+    run_id: str
+    protocol: str
+    initiator: str
+    responder: str
+    status: RunStatus = RunStatus.ACTIVE
+    last_step: int = 0
+    data: Dict[str, Any] = field(default_factory=dict)
+    messages_seen: List[str] = field(default_factory=list)
+
+    def record_message(self, message: B2BProtocolMessage) -> bool:
+        """Record a message against this run.
+
+        Returns ``False`` when the message id was already seen (a transport
+        duplicate), which handlers use for at-most-once semantics.
+        """
+        if message.message_id in self.messages_seen:
+            return False
+        self.messages_seen.append(message.message_id)
+        self.last_step = max(self.last_step, message.step)
+        return True
+
+    def complete(self) -> None:
+        self.status = RunStatus.COMPLETED
+
+    def abort(self) -> None:
+        self.status = RunStatus.ABORTED
+
+    def fail(self) -> None:
+        self.status = RunStatus.FAILED
+
+    @property
+    def finished(self) -> bool:
+        return self.status is not RunStatus.ACTIVE
+
+
+class RunRegistry:
+    """Thread-safe registry of protocol runs for one handler."""
+
+    def __init__(self) -> None:
+        self._runs: Dict[str, ProtocolRun] = {}
+        self._lock = threading.RLock()
+
+    def create(self, run: ProtocolRun) -> ProtocolRun:
+        with self._lock:
+            if run.run_id in self._runs:
+                raise ProtocolStateError(f"run {run.run_id!r} already exists")
+            self._runs[run.run_id] = run
+            return run
+
+    def get_or_create(self, run: ProtocolRun) -> ProtocolRun:
+        with self._lock:
+            return self._runs.setdefault(run.run_id, run)
+
+    def get(self, run_id: str) -> Optional[ProtocolRun]:
+        with self._lock:
+            return self._runs.get(run_id)
+
+    def require(self, run_id: str) -> ProtocolRun:
+        run = self.get(run_id)
+        if run is None:
+            raise ProtocolStateError(f"unknown protocol run {run_id!r}")
+        return run
+
+    def all_runs(self) -> List[ProtocolRun]:
+        with self._lock:
+            return list(self._runs.values())
+
+    def active_runs(self) -> List[ProtocolRun]:
+        return [run for run in self.all_runs() if not run.finished]
+
+
+class B2BProtocolHandler:
+    """Base class for protocol handlers registered with a coordinator.
+
+    Concrete handlers implement :meth:`process` and/or
+    :meth:`process_request`; the coordinator dispatches incoming messages to
+    the handler registered under the message's ``protocol`` name.
+    """
+
+    #: protocol name this handler serves (used for coordinator registration)
+    protocol: str = ""
+
+    def __init__(self) -> None:
+        self.runs = RunRegistry()
+
+    def process(self, message: B2BProtocolMessage) -> None:
+        """Handle a one-way protocol message."""
+        raise ProtocolError(
+            f"handler for {self.protocol!r} does not accept one-way messages"
+        )
+
+    def process_request(self, message: B2BProtocolMessage) -> B2BProtocolMessage:
+        """Handle a request message and return the response message."""
+        raise ProtocolError(
+            f"handler for {self.protocol!r} does not accept request messages"
+        )

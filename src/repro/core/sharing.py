@@ -1,0 +1,1107 @@
+"""Non-repudiable information sharing (NR-Sharing / B2BObjects).
+
+Implements the state-coordination abstraction of Section 3.3 and its
+component-based realisation of Section 4.3 (Figure 8):
+
+* each organisation holds a local replica of the shared information,
+  encapsulated by a :class:`B2BObjectController`;
+* when a party proposes an update, its controller runs a non-repudiable state
+  coordination protocol with every other member of the sharing group:
+
+  1. the proposal, with evidence of origin (``NRO_UPDATE``), is delivered to
+     every peer;
+  2. each peer independently validates the proposal using locally configured,
+     application-specific validators and returns a signed decision
+     (``NR_DECISION``);
+  3. the collective outcome (``NR_OUTCOME``), together with every peer's
+     decision evidence, is distributed to all members so that everyone has a
+     consistent, verifiable view of the agreed state;
+
+* the update is applied everywhere if and only if agreement was unanimous;
+  otherwise every replica stays in the state prior to the proposal;
+* non-repudiable *connect* and *disconnect* protocols govern changes to the
+  membership of the sharing group.
+
+The :class:`B2BObjectInterceptor` traps invocations on entity components
+marked as B2BObjects so that "the enhancement of an entity bean to become a
+B2BObject is effectively transparent to the local EJB client and its
+application interface".
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro import codec
+from repro.container.component import ComponentDescriptor
+from repro.container.container import Container
+from repro.container.interceptor import (
+    Interceptor,
+    Invocation,
+    InvocationResult,
+    NextInterceptor,
+)
+from repro.core.coordinator import B2BCoordinator
+from repro.core.evidence import EvidenceToken, TokenType, payload_digest
+from repro.core.messages import B2BProtocolMessage
+from repro.core.protocol import B2BProtocolHandler, ProtocolRun
+from repro.core.validators import (
+    CompositeValidator,
+    StateValidator,
+    ValidationContext,
+    ValidationDecision,
+)
+from repro.crypto.rng import new_unique_id
+from repro.errors import (
+    CoordinationError,
+    EvidenceVerificationError,
+    MembershipError,
+    ProtocolError,
+)
+from repro.membership.service import Member, MembershipService
+
+#: Protocol name for state and membership coordination.
+NR_SHARING_PROTOCOL = "nr-sharing"
+
+AUDIT_CATEGORY_SHARING = "nr.sharing"
+
+#: Actions carried in message attributes.
+ACTION_PROPOSE = "propose"
+ACTION_OUTCOME = "outcome"
+ACTION_MEMBERSHIP_PROPOSE = "membership-propose"
+ACTION_MEMBERSHIP_OUTCOME = "membership-outcome"
+
+
+@dataclass
+class SharingOutcome:
+    """Result of one coordination round, with the evidence gathered."""
+
+    run_id: str
+    object_id: str
+    agreed: bool
+    new_version: Optional[int]
+    proposer: str
+    decisions: Dict[str, ValidationDecision] = field(default_factory=dict)
+    evidence: Dict[str, EvidenceToken] = field(default_factory=dict)
+    reason: str = ""
+
+    def require_agreed(self) -> None:
+        """Raise :class:`CoordinationError` unless the update was agreed."""
+        if not self.agreed:
+            rejecting = [
+                party
+                for party, decision in self.decisions.items()
+                if not decision.accepted
+            ]
+            raise CoordinationError(
+                f"update to {self.object_id!r} was not agreed "
+                f"(vetoed by {', '.join(rejecting) or 'unknown'}): {self.reason}"
+            )
+
+
+@dataclass
+class _SharedObject:
+    """Local bookkeeping for one shared object."""
+
+    object_id: str
+    state: Any
+    version: int = 0
+    validators: CompositeValidator = field(default_factory=CompositeValidator)
+    bound_instance: Any = None
+    rollup_depth: int = 0
+    rollup_base_state: Any = None
+
+
+class B2BObjectController:
+    """Local interface to configuration, initiation and control of sharing.
+
+    One controller per organisation manages every B2BObject the organisation
+    shares.  It is "the local interface to configuration, initiation and
+    control of information sharing" (Section 4.3).
+    """
+
+    def __init__(
+        self,
+        party: str,
+        coordinator: B2BCoordinator,
+        membership: Optional[MembershipService] = None,
+    ) -> None:
+        self.party = party
+        self._coordinator = coordinator
+        self.membership = membership or MembershipService()
+        self._objects: Dict[str, _SharedObject] = {}
+        self._lock = threading.RLock()
+        self._handler = SharingProtocolHandler(self)
+        if not coordinator.has_handler(NR_SHARING_PROTOCOL):
+            coordinator.register_handler(self._handler)
+
+    # -- configuration -----------------------------------------------------------
+
+    @property
+    def coordinator(self) -> B2BCoordinator:
+        return self._coordinator
+
+    @property
+    def handler(self) -> "SharingProtocolHandler":
+        return self._handler
+
+    def register_object(
+        self,
+        object_id: str,
+        initial_state: Any,
+        member_uris: List[str],
+        validators: Optional[List[StateValidator]] = None,
+    ) -> None:
+        """Register a shared object and its sharing group on this controller.
+
+        The initial registration is part of deployment/configuration (like
+        identifying an entity bean as a B2BObject in its descriptor);
+        subsequent membership changes go through the non-repudiable connect
+        and disconnect protocols.
+        """
+        with self._lock:
+            if object_id in self._objects:
+                raise CoordinationError(f"object {object_id!r} is already registered")
+            if self.party not in member_uris:
+                raise MembershipError(
+                    f"{self.party!r} must be a member of the group sharing {object_id!r}"
+                )
+            shared = _SharedObject(object_id=object_id, state=initial_state)
+            for validator in validators or []:
+                shared.validators.add(validator)
+            self._objects[object_id] = shared
+        if not self.membership.has_group(object_id):
+            self.membership.create_group(
+                object_id, [Member(uri=uri) for uri in member_uris]
+            )
+        self._coordinator.services.state_store.record_version(object_id, initial_state)
+        self._coordinator.services.audit_log.append(
+            category=AUDIT_CATEGORY_SHARING,
+            subject=object_id,
+            details={"event": "object-registered", "members": sorted(member_uris)},
+        )
+
+    def add_validator(self, object_id: str, validator: StateValidator) -> None:
+        """Attach an application-specific validation listener to an object."""
+        self._shared(object_id).validators.add(validator)
+
+    def bind_component(self, object_id: str, instance: Any) -> None:
+        """Bind a local entity component whose state mirrors the replica.
+
+        The instance must expose ``get_state()`` / ``set_state(state)``; the
+        controller pushes agreed state into it so that the component and the
+        replica can never diverge.
+        """
+        for required in ("get_state", "set_state"):
+            if not callable(getattr(instance, required, None)):
+                raise CoordinationError(
+                    f"component bound to {object_id!r} must implement {required}()"
+                )
+        shared = self._shared(object_id)
+        with self._lock:
+            shared.bound_instance = instance
+            instance.set_state(codec.decode(codec.encode(shared.state)))
+
+    # -- queries --------------------------------------------------------------------
+
+    def _shared(self, object_id: str) -> _SharedObject:
+        with self._lock:
+            try:
+                return self._objects[object_id]
+            except KeyError:
+                raise CoordinationError(
+                    f"{self.party!r} does not share an object {object_id!r}"
+                ) from None
+
+    def is_shared(self, object_id: str) -> bool:
+        with self._lock:
+            return object_id in self._objects
+
+    def object_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._objects)
+
+    def get_state(self, object_id: str) -> Any:
+        """Return (a copy of) the current agreed state of the object."""
+        shared = self._shared(object_id)
+        return codec.decode(codec.encode(shared.state))
+
+    def get_version(self, object_id: str) -> int:
+        return self._shared(object_id).version
+
+    def state_digest(self, object_id: str) -> bytes:
+        """Digest of the current agreed state (comparable across parties)."""
+        return payload_digest(self._shared(object_id).state)
+
+    def members(self, object_id: str) -> List[str]:
+        return self.membership.member_uris(object_id)
+
+    def peers(self, object_id: str) -> List[str]:
+        return sorted(self.membership.peers_of(object_id, self.party))
+
+    # -- proposing updates -------------------------------------------------------------
+
+    def propose_update(self, object_id: str, new_state: Any) -> SharingOutcome:
+        """Propose ``new_state`` for ``object_id`` and coordinate agreement.
+
+        Returns the :class:`SharingOutcome`; the update is applied locally
+        (and at every peer) only when agreement was unanimous.
+        """
+        shared = self._shared(object_id)
+        if shared.rollup_depth > 0:
+            # Inside a rollup: defer coordination, just update the tentative state.
+            with self._lock:
+                shared.state = new_state
+            return SharingOutcome(
+                run_id="(rollup-deferred)",
+                object_id=object_id,
+                agreed=True,
+                new_version=shared.version,
+                proposer=self.party,
+                reason="deferred until rollup completes",
+            )
+
+        services = self._coordinator.services
+        run_id = new_unique_id("share")
+        base_version = shared.version
+        proposal_payload = {
+            "object_id": object_id,
+            "proposer": self.party,
+            "base_version": base_version,
+            "proposed_state": new_state,
+        }
+        nro_update = services.evidence_builder.build(
+            token_type=TokenType.NRO_UPDATE,
+            run_id=run_id,
+            step=1,
+            recipient=object_id,
+            payload=proposal_payload,
+        )
+        services.evidence_store.store(
+            run_id=run_id,
+            token_type=nro_update.token_type,
+            token=nro_update.to_dict(),
+            role=services.evidence_store.ROLE_GENERATED,
+        )
+
+        # Phase 1: collect signed decisions from every peer.
+        decisions: Dict[str, ValidationDecision] = {}
+        decision_tokens: Dict[str, EvidenceToken] = {}
+        reason = ""
+        for peer in self.peers(object_id):
+            message = B2BProtocolMessage(
+                run_id=run_id,
+                protocol=NR_SHARING_PROTOCOL,
+                step=1,
+                sender=self.party,
+                recipient=peer,
+                payload=proposal_payload,
+                tokens=[nro_update],
+                attributes={"action": ACTION_PROPOSE},
+                reply_to=self._coordinator.address,
+            )
+            try:
+                response = self._coordinator.request(message)
+            except Exception as error:
+                decisions[peer] = ValidationDecision(
+                    accepted=False,
+                    reason=f"peer unreachable: {error}",
+                    validator="coordinator",
+                )
+                reason = reason or f"peer {peer} unreachable"
+                continue
+            decision, token = self._verify_decision(
+                run_id, peer, proposal_payload, response
+            )
+            decisions[peer] = decision
+            if token is not None:
+                decision_tokens[peer] = token
+                services.evidence_store.store(
+                    run_id=run_id,
+                    token_type=token.token_type,
+                    token=token.to_dict(),
+                    role=services.evidence_store.ROLE_RECEIVED,
+                )
+            if not decision.accepted and not reason:
+                reason = decision.reason
+
+        agreed = all(decision.accepted for decision in decisions.values())
+        new_version = base_version + 1 if agreed else None
+
+        # Phase 2: distribute the collective decision to every member.
+        outcome_payload = {
+            "object_id": object_id,
+            "proposer": self.party,
+            "agreed": agreed,
+            "base_version": base_version,
+            "new_version": new_version,
+            "proposed_state_digest": payload_digest(proposal_payload).hex(),
+            "decisions": {
+                party: decision.to_dict() for party, decision in decisions.items()
+            },
+        }
+        nr_outcome = services.evidence_builder.build(
+            token_type=TokenType.NR_OUTCOME,
+            run_id=run_id,
+            step=3,
+            recipient=object_id,
+            payload=outcome_payload,
+        )
+        services.evidence_store.store(
+            run_id=run_id,
+            token_type=nr_outcome.token_type,
+            token=nr_outcome.to_dict(),
+            role=services.evidence_store.ROLE_GENERATED,
+        )
+        outcome_tokens = [nr_outcome] + list(decision_tokens.values())
+        undelivered_outcomes: List[str] = []
+        for peer in self.peers(object_id):
+            outcome_message = B2BProtocolMessage(
+                run_id=run_id,
+                protocol=NR_SHARING_PROTOCOL,
+                step=3,
+                sender=self.party,
+                recipient=peer,
+                payload=outcome_payload,
+                tokens=outcome_tokens,
+                attributes={"action": ACTION_OUTCOME, "proposal": proposal_payload},
+                reply_to=self._coordinator.address,
+            )
+            try:
+                self._coordinator.send(outcome_message)
+            except Exception:
+                # A peer that is temporarily unreachable misses the outcome
+                # notification; the proposer still holds the signed outcome
+                # and every decision, so the peer can recover the result
+                # later.  A failed-to-validate peer cannot have agreed, so
+                # the outcome for it is never an apply.
+                undelivered_outcomes.append(peer)
+
+        if agreed:
+            self._apply_update(object_id, new_state, new_version)
+        services.audit_log.append(
+            category=AUDIT_CATEGORY_SHARING,
+            subject=run_id,
+            details={
+                "event": "update-coordinated",
+                "object_id": object_id,
+                "agreed": agreed,
+                "new_version": new_version,
+                "decisions": {
+                    party: decision.accepted for party, decision in decisions.items()
+                },
+                "undelivered_outcomes": undelivered_outcomes,
+            },
+        )
+        evidence = {TokenType.NRO_UPDATE.value: nro_update, TokenType.NR_OUTCOME.value: nr_outcome}
+        for party, token in decision_tokens.items():
+            evidence[f"{TokenType.NR_DECISION.value}:{party}"] = token
+        return SharingOutcome(
+            run_id=run_id,
+            object_id=object_id,
+            agreed=agreed,
+            new_version=new_version,
+            proposer=self.party,
+            decisions=decisions,
+            evidence=evidence,
+            reason=reason,
+        )
+
+    def apply_change(
+        self, object_id: str, mutator: Callable[[Any], Any]
+    ) -> SharingOutcome:
+        """Propose the state produced by applying ``mutator`` to the current state."""
+        current = self.get_state(object_id)
+        new_state = mutator(current)
+        if new_state is None:
+            new_state = current
+        return self.propose_update(object_id, new_state)
+
+    def _verify_decision(
+        self,
+        run_id: str,
+        peer: str,
+        proposal_payload: Dict[str, Any],
+        response: B2BProtocolMessage,
+    ) -> tuple:
+        """Verify a peer's decision message; invalid evidence counts as a veto."""
+        services = self._coordinator.services
+        decision_payload = response.payload or {}
+        token = response.token_of_type(TokenType.NR_DECISION.value)
+        if token is None:
+            return (
+                ValidationDecision(
+                    accepted=False,
+                    reason="peer returned no decision evidence",
+                    validator="coordinator",
+                ),
+                None,
+            )
+        try:
+            services.evidence_verifier.require_valid(
+                token,
+                expected_type=TokenType.NR_DECISION,
+                expected_run_id=run_id,
+                expected_payload=decision_payload,
+                expected_issuer=peer,
+            )
+        except EvidenceVerificationError as error:
+            return (
+                ValidationDecision(
+                    accepted=False,
+                    reason=f"decision evidence invalid: {error}",
+                    validator="coordinator",
+                ),
+                None,
+            )
+        return (
+            ValidationDecision(
+                accepted=bool(decision_payload.get("accepted", False)),
+                reason=decision_payload.get("reason", ""),
+                validator=decision_payload.get("validator", peer),
+            ),
+            token,
+        )
+
+    # -- applying agreed updates ----------------------------------------------------------
+
+    def _apply_update(self, object_id: str, new_state: Any, new_version: int) -> None:
+        shared = self._shared(object_id)
+        with self._lock:
+            shared.state = new_state
+            shared.version = new_version
+            if shared.bound_instance is not None:
+                shared.bound_instance.set_state(codec.decode(codec.encode(new_state)))
+        self._coordinator.services.state_store.record_version(object_id, new_state)
+
+    def revert_component_state(self, object_id: str) -> None:
+        """Push the agreed replica state back into the bound component."""
+        shared = self._shared(object_id)
+        with self._lock:
+            if shared.bound_instance is not None:
+                shared.bound_instance.set_state(
+                    codec.decode(codec.encode(shared.state))
+                )
+
+    # -- rollup -------------------------------------------------------------------------
+
+    @contextmanager
+    def rollup(self, object_id: str) -> Iterator[None]:
+        """Roll several operations into a single coordination event.
+
+        "Optionally, the application programmer may specify that a method in
+        the application interface should result in a series of operations on
+        an underlying B2BObject bean being rolled-up into a single
+        coordination event." (Section 4.3.)
+        """
+        shared = self._shared(object_id)
+        with self._lock:
+            if shared.rollup_depth == 0:
+                shared.rollup_base_state = codec.decode(codec.encode(shared.state))
+            shared.rollup_depth += 1
+        try:
+            yield
+        except Exception:
+            with self._lock:
+                shared.rollup_depth -= 1
+                if shared.rollup_depth == 0:
+                    shared.state = shared.rollup_base_state
+                    shared.rollup_base_state = None
+                    self.revert_component_state(object_id)
+            raise
+        with self._lock:
+            shared.rollup_depth -= 1
+            finished = shared.rollup_depth == 0
+            tentative_state = codec.decode(codec.encode(shared.state))
+            base_state = shared.rollup_base_state
+        if not finished:
+            return
+        with self._lock:
+            # Coordination happens against the pre-rollup agreed state.
+            shared.state = base_state
+            shared.rollup_base_state = None
+        outcome = self.propose_update(object_id, tentative_state)
+        if not outcome.agreed:
+            self.revert_component_state(object_id)
+            outcome.require_agreed()
+
+    def in_rollup(self, object_id: str) -> bool:
+        return self._shared(object_id).rollup_depth > 0
+
+    # -- membership (connect / disconnect protocols) -----------------------------------------
+
+    def connect_member(self, object_id: str, new_member: str) -> SharingOutcome:
+        """Run the non-repudiable connect protocol to admit ``new_member``."""
+        return self._coordinate_membership(object_id, "connect", new_member)
+
+    def disconnect_member(self, object_id: str, member: str) -> SharingOutcome:
+        """Run the non-repudiable disconnect protocol to remove ``member``."""
+        return self._coordinate_membership(object_id, "disconnect", member)
+
+    def _coordinate_membership(
+        self, object_id: str, action: str, member: str
+    ) -> SharingOutcome:
+        services = self._coordinator.services
+        shared = self._shared(object_id)
+        run_id = new_unique_id("member")
+        current_members = self.members(object_id)
+        if action == "connect" and member in current_members:
+            raise MembershipError(f"{member!r} already shares {object_id!r}")
+        if action == "disconnect" and member not in current_members:
+            raise MembershipError(f"{member!r} does not share {object_id!r}")
+
+        proposal_payload = {
+            "object_id": object_id,
+            "proposer": self.party,
+            "membership_action": action,
+            "member": member,
+            "current_members": current_members,
+            "state_digest": self.state_digest(object_id).hex(),
+            "version": shared.version,
+        }
+        nro_update = services.evidence_builder.build(
+            token_type=TokenType.NR_MEMBERSHIP,
+            run_id=run_id,
+            step=1,
+            recipient=object_id,
+            payload=proposal_payload,
+        )
+        services.evidence_store.store(
+            run_id=run_id,
+            token_type=nro_update.token_type,
+            token=nro_update.to_dict(),
+            role=services.evidence_store.ROLE_GENERATED,
+        )
+
+        decisions: Dict[str, ValidationDecision] = {}
+        decision_tokens: Dict[str, EvidenceToken] = {}
+        # The affected member only votes on its own disconnection, not on its
+        # own admission (it is not yet part of the trust domain for connect).
+        voters = [peer for peer in self.peers(object_id) if peer != member or action == "disconnect"]
+        for peer in voters:
+            message = B2BProtocolMessage(
+                run_id=run_id,
+                protocol=NR_SHARING_PROTOCOL,
+                step=1,
+                sender=self.party,
+                recipient=peer,
+                payload=proposal_payload,
+                tokens=[nro_update],
+                attributes={"action": ACTION_MEMBERSHIP_PROPOSE},
+                reply_to=self._coordinator.address,
+            )
+            try:
+                response = self._coordinator.request(message)
+            except Exception as error:
+                decisions[peer] = ValidationDecision(
+                    accepted=False, reason=f"peer unreachable: {error}", validator="coordinator"
+                )
+                continue
+            decision, token = self._verify_decision(run_id, peer, proposal_payload, response)
+            decisions[peer] = decision
+            if token is not None:
+                decision_tokens[peer] = token
+
+        agreed = all(decision.accepted for decision in decisions.values())
+        outcome_payload = {
+            "object_id": object_id,
+            "proposer": self.party,
+            "membership_action": action,
+            "member": member,
+            "agreed": agreed,
+            "decisions": {p: d.to_dict() for p, d in decisions.items()},
+        }
+        nr_outcome = services.evidence_builder.build(
+            token_type=TokenType.NR_OUTCOME,
+            run_id=run_id,
+            step=3,
+            recipient=object_id,
+            payload=outcome_payload,
+        )
+        recipients = set(self.peers(object_id))
+        if action == "connect" and agreed:
+            recipients.add(member)
+        for peer in sorted(recipients):
+            outcome_message = B2BProtocolMessage(
+                run_id=run_id,
+                protocol=NR_SHARING_PROTOCOL,
+                step=3,
+                sender=self.party,
+                recipient=peer,
+                payload=outcome_payload,
+                tokens=[nr_outcome] + list(decision_tokens.values()),
+                attributes={
+                    "action": ACTION_MEMBERSHIP_OUTCOME,
+                    "proposal": proposal_payload,
+                    "object_state": self.get_state(object_id) if action == "connect" else None,
+                    "object_version": shared.version,
+                },
+                reply_to=self._coordinator.address,
+            )
+            try:
+                self._coordinator.send(outcome_message)
+            except Exception:
+                if peer == member and action == "connect":
+                    agreed = False
+        if agreed:
+            self._apply_membership_change(object_id, action, member)
+        services.audit_log.append(
+            category=AUDIT_CATEGORY_SHARING,
+            subject=run_id,
+            details={
+                "event": "membership-coordinated",
+                "object_id": object_id,
+                "action": action,
+                "member": member,
+                "agreed": agreed,
+            },
+        )
+        return SharingOutcome(
+            run_id=run_id,
+            object_id=object_id,
+            agreed=agreed,
+            new_version=shared.version,
+            proposer=self.party,
+            decisions=decisions,
+            evidence={TokenType.NR_MEMBERSHIP.value: nro_update, TokenType.NR_OUTCOME.value: nr_outcome},
+        )
+
+    def _apply_membership_change(self, object_id: str, action: str, member: str) -> None:
+        if action == "connect":
+            if not self.membership.is_member(object_id, member):
+                self.membership.connect(object_id, Member(uri=member))
+        else:
+            if self.membership.is_member(object_id, member):
+                self.membership.disconnect(object_id, member)
+            if member == self.party and self.is_shared(object_id):
+                with self._lock:
+                    self._objects.pop(object_id, None)
+
+    # -- handling incoming protocol messages (called by the handler) ----------------------------
+
+    def handle_proposal(self, message: B2BProtocolMessage) -> B2BProtocolMessage:
+        """Validate a remote party's proposed update and return a signed decision."""
+        services = self._coordinator.services
+        proposal = message.payload
+        object_id = proposal["object_id"]
+        nro_update = message.require_token(TokenType.NRO_UPDATE.value)
+
+        decision: ValidationDecision
+        try:
+            services.evidence_verifier.require_valid(
+                nro_update,
+                expected_type=TokenType.NRO_UPDATE,
+                expected_run_id=message.run_id,
+                expected_payload=proposal,
+                expected_issuer=message.sender,
+            )
+        except EvidenceVerificationError as error:
+            decision = ValidationDecision(
+                accepted=False, reason=f"origin evidence invalid: {error}", validator="controller"
+            )
+        else:
+            services.evidence_store.store(
+                run_id=message.run_id,
+                token_type=nro_update.token_type,
+                token=nro_update.to_dict(),
+                role=services.evidence_store.ROLE_RECEIVED,
+            )
+            decision = self._validate_proposal(message.sender, proposal)
+
+        decision_payload = {
+            "object_id": object_id,
+            "run_id": message.run_id,
+            "accepted": decision.accepted,
+            "reason": decision.reason,
+            "validator": decision.validator,
+            "responder": self.party,
+            "proposal_digest": payload_digest(proposal).hex(),
+        }
+        nr_decision = services.evidence_builder.build(
+            token_type=TokenType.NR_DECISION,
+            run_id=message.run_id,
+            step=2,
+            recipient=message.sender,
+            payload=decision_payload,
+        )
+        services.evidence_store.store(
+            run_id=message.run_id,
+            token_type=nr_decision.token_type,
+            token=nr_decision.to_dict(),
+            role=services.evidence_store.ROLE_GENERATED,
+        )
+        services.audit_log.append(
+            category=AUDIT_CATEGORY_SHARING,
+            subject=message.run_id,
+            details={
+                "event": "proposal-validated",
+                "object_id": object_id,
+                "proposer": message.sender,
+                "accepted": decision.accepted,
+                "reason": decision.reason,
+            },
+        )
+        return B2BProtocolMessage(
+            run_id=message.run_id,
+            protocol=NR_SHARING_PROTOCOL,
+            step=2,
+            sender=self.party,
+            recipient=message.sender,
+            payload=decision_payload,
+            tokens=[nr_decision],
+            attributes={"action": "decision"},
+            reply_to=self._coordinator.address,
+        )
+
+    def _validate_proposal(self, proposer: str, proposal: Dict[str, Any]) -> ValidationDecision:
+        object_id = proposal["object_id"]
+        if not self.is_shared(object_id):
+            return ValidationDecision(
+                accepted=False,
+                reason=f"{self.party} does not share {object_id}",
+                validator="controller",
+            )
+        if not self.membership.is_member(object_id, proposer):
+            return ValidationDecision(
+                accepted=False,
+                reason=f"{proposer} is not a member of the sharing group",
+                validator="controller",
+            )
+        shared = self._shared(object_id)
+        if proposal.get("base_version") != shared.version:
+            return ValidationDecision(
+                accepted=False,
+                reason=(
+                    f"stale base version {proposal.get('base_version')} "
+                    f"(current is {shared.version})"
+                ),
+                validator="controller",
+            )
+        context = ValidationContext(
+            object_id=object_id,
+            proposer=proposer,
+            current_state=self.get_state(object_id),
+            proposed_state=proposal.get("proposed_state"),
+            base_version=proposal.get("base_version", 0),
+        )
+        return shared.validators.validate(context)
+
+    def handle_outcome(self, message: B2BProtocolMessage) -> None:
+        """Apply (or discard) a proposer's distributed outcome."""
+        services = self._coordinator.services
+        outcome_payload = message.payload
+        object_id = outcome_payload["object_id"]
+        nr_outcome = message.require_token(TokenType.NR_OUTCOME.value)
+        services.evidence_verifier.require_valid(
+            nr_outcome,
+            expected_type=TokenType.NR_OUTCOME,
+            expected_run_id=message.run_id,
+            expected_payload=outcome_payload,
+            expected_issuer=message.sender,
+        )
+        services.evidence_store.store(
+            run_id=message.run_id,
+            token_type=nr_outcome.token_type,
+            token=nr_outcome.to_dict(),
+            role=services.evidence_store.ROLE_RECEIVED,
+        )
+        # Keep every peer's decision evidence for dispute resolution.
+        for token in message.tokens:
+            if token.token_type == TokenType.NR_DECISION.value:
+                services.evidence_store.store(
+                    run_id=message.run_id,
+                    token_type=token.token_type,
+                    token=token.to_dict(),
+                    role=services.evidence_store.ROLE_RECEIVED,
+                )
+        agreed = bool(outcome_payload.get("agreed"))
+        applied = False
+        if agreed and self.is_shared(object_id):
+            proposal = message.attributes.get("proposal") or {}
+            proposed_state = proposal.get("proposed_state")
+            new_version = outcome_payload.get("new_version")
+            shared = self._shared(object_id)
+            if proposed_state is not None and new_version == shared.version + 1:
+                self._apply_update(object_id, proposed_state, new_version)
+                applied = True
+        services.audit_log.append(
+            category=AUDIT_CATEGORY_SHARING,
+            subject=message.run_id,
+            details={
+                "event": "outcome-received",
+                "object_id": object_id,
+                "agreed": agreed,
+                "applied": applied,
+            },
+        )
+
+    def handle_membership_proposal(self, message: B2BProtocolMessage) -> B2BProtocolMessage:
+        """Validate a proposed membership change and return a signed decision."""
+        services = self._coordinator.services
+        proposal = message.payload
+        object_id = proposal["object_id"]
+        token = message.require_token(TokenType.NR_MEMBERSHIP.value)
+        try:
+            services.evidence_verifier.require_valid(
+                token,
+                expected_type=TokenType.NR_MEMBERSHIP,
+                expected_run_id=message.run_id,
+                expected_payload=proposal,
+                expected_issuer=message.sender,
+            )
+        except EvidenceVerificationError as error:
+            decision = ValidationDecision(
+                accepted=False, reason=str(error), validator="controller"
+            )
+        else:
+            if not self.is_shared(object_id):
+                decision = ValidationDecision(
+                    accepted=False,
+                    reason=f"{self.party} does not share {object_id}",
+                    validator="controller",
+                )
+            elif not self.membership.is_member(object_id, message.sender):
+                decision = ValidationDecision(
+                    accepted=False,
+                    reason=f"{message.sender} is not a member",
+                    validator="controller",
+                )
+            else:
+                decision = ValidationDecision(accepted=True, validator="controller")
+        decision_payload = {
+            "object_id": object_id,
+            "run_id": message.run_id,
+            "accepted": decision.accepted,
+            "reason": decision.reason,
+            "validator": decision.validator,
+            "responder": self.party,
+            "proposal_digest": payload_digest(proposal).hex(),
+        }
+        nr_decision = services.evidence_builder.build(
+            token_type=TokenType.NR_DECISION,
+            run_id=message.run_id,
+            step=2,
+            recipient=message.sender,
+            payload=decision_payload,
+        )
+        return B2BProtocolMessage(
+            run_id=message.run_id,
+            protocol=NR_SHARING_PROTOCOL,
+            step=2,
+            sender=self.party,
+            recipient=message.sender,
+            payload=decision_payload,
+            tokens=[nr_decision],
+            attributes={"action": "membership-decision"},
+            reply_to=self._coordinator.address,
+        )
+
+    def handle_membership_outcome(self, message: B2BProtocolMessage) -> None:
+        """Apply an agreed membership change (and bootstrap new members)."""
+        services = self._coordinator.services
+        outcome = message.payload
+        object_id = outcome["object_id"]
+        nr_outcome = message.require_token(TokenType.NR_OUTCOME.value)
+        services.evidence_verifier.require_valid(
+            nr_outcome,
+            expected_type=TokenType.NR_OUTCOME,
+            expected_run_id=message.run_id,
+            expected_payload=outcome,
+            expected_issuer=message.sender,
+        )
+        if not outcome.get("agreed"):
+            return
+        action = outcome["membership_action"]
+        member = outcome["member"]
+        if action == "connect" and member == self.party and not self.is_shared(object_id):
+            # Bootstrap: a newly admitted member initialises its replica from
+            # the outcome message.
+            proposal = message.attributes.get("proposal") or {}
+            members = list(proposal.get("current_members", [])) + [self.party]
+            state = message.attributes.get("object_state")
+            self.register_object(object_id, state, members)
+            shared = self._shared(object_id)
+            shared.version = int(message.attributes.get("object_version", 0))
+            return
+        if self.is_shared(object_id):
+            self._apply_membership_change(object_id, action, member)
+
+
+class SharingProtocolHandler(B2BProtocolHandler):
+    """Coordinator-facing protocol handler delegating to the controller."""
+
+    protocol = NR_SHARING_PROTOCOL
+
+    def __init__(self, controller: B2BObjectController) -> None:
+        super().__init__()
+        self._controller = controller
+
+    def process_request(self, message: B2BProtocolMessage) -> B2BProtocolMessage:
+        action = message.attributes.get("action")
+        run = self.runs.get_or_create(
+            ProtocolRun(
+                run_id=message.run_id,
+                protocol=self.protocol,
+                initiator=message.sender,
+                responder=self._controller.party,
+            )
+        )
+        run.record_message(message)
+        if action == ACTION_PROPOSE:
+            return self._controller.handle_proposal(message)
+        if action == ACTION_MEMBERSHIP_PROPOSE:
+            return self._controller.handle_membership_proposal(message)
+        raise ProtocolError(f"unsupported sharing request action {action!r}")
+
+    def process(self, message: B2BProtocolMessage) -> None:
+        action = message.attributes.get("action")
+        run = self.runs.get_or_create(
+            ProtocolRun(
+                run_id=message.run_id,
+                protocol=self.protocol,
+                initiator=message.sender,
+                responder=self._controller.party,
+            )
+        )
+        if not run.record_message(message):
+            return
+        if action == ACTION_OUTCOME:
+            self._controller.handle_outcome(message)
+            run.complete()
+            return
+        if action == ACTION_MEMBERSHIP_OUTCOME:
+            self._controller.handle_membership_outcome(message)
+            run.complete()
+            return
+        raise ProtocolError(f"unsupported sharing one-way action {action!r}")
+
+
+#: Method-name prefixes treated as state mutators when no explicit list is given.
+DEFAULT_MUTATOR_PREFIXES = ("set", "update", "add", "remove", "delete", "put", "apply")
+
+
+class B2BObjectInterceptor(Interceptor):
+    """Container interceptor trapping invocations on B2BObject entity components.
+
+    Read-only methods pass straight through.  Mutating methods execute
+    tentatively on the component, after which the resulting state is proposed
+    to the sharing group; if agreement is not reached the component is rolled
+    back to the previously agreed state and the invocation fails.
+    """
+
+    name = "b2b-object"
+
+    def __init__(
+        self,
+        controller: B2BObjectController,
+        object_id: str,
+        mutator_methods: Optional[List[str]] = None,
+    ) -> None:
+        self._controller = controller
+        self._object_id = object_id
+        self._mutators = set(mutator_methods or [])
+
+    def _is_mutator(self, method: str) -> bool:
+        if self._mutators:
+            return method in self._mutators
+        return method.split("_")[0] in DEFAULT_MUTATOR_PREFIXES
+
+    def invoke(
+        self, invocation: Invocation, next_interceptor: NextInterceptor
+    ) -> InvocationResult:
+        if not self._is_mutator(invocation.method):
+            return next_interceptor(invocation)
+
+        controller = self._controller
+        object_id = self._object_id
+        before = controller.get_state(object_id)
+        result = next_interceptor(invocation)
+        if not result.succeeded:
+            controller.revert_component_state(object_id)
+            return result
+
+        shared = controller._shared(object_id)  # noqa: SLF001 - same-package access
+        instance = shared.bound_instance
+        after = instance.get_state() if instance is not None else before
+        if codec.encode(after) == codec.encode(before):
+            return result
+        if controller.in_rollup(object_id):
+            with controller._lock:  # noqa: SLF001
+                shared.state = after
+            return result
+
+        outcome = controller.propose_update(object_id, after)
+        if not outcome.agreed:
+            controller.revert_component_state(object_id)
+            return InvocationResult(
+                exception=(
+                    f"update to shared object {object_id!r} was vetoed: {outcome.reason}"
+                ),
+                exception_type=CoordinationError.__name__,
+                context={**invocation.context, "nr.sharing.run_id": outcome.run_id},
+            )
+        result.context = {**result.context, "nr.sharing.run_id": outcome.run_id}
+        return result
+
+
+class RollupInterceptor(Interceptor):
+    """Session-bean interceptor rolling nested B2BObject operations into one event."""
+
+    name = "b2b-rollup"
+
+    def __init__(
+        self,
+        controller: B2BObjectController,
+        object_id: str,
+        rollup_methods: List[str],
+    ) -> None:
+        self._controller = controller
+        self._object_id = object_id
+        self._rollup_methods = set(rollup_methods)
+
+    def invoke(
+        self, invocation: Invocation, next_interceptor: NextInterceptor
+    ) -> InvocationResult:
+        if invocation.method not in self._rollup_methods:
+            return next_interceptor(invocation)
+        try:
+            with self._controller.rollup(self._object_id):
+                result = next_interceptor(invocation)
+                if not result.succeeded:
+                    raise CoordinationError(result.exception or "invocation failed")
+        except CoordinationError as error:
+            return InvocationResult(
+                exception=str(error),
+                exception_type=CoordinationError.__name__,
+                context=dict(invocation.context),
+            )
+        return result
+
+
+def b2b_object_interceptor_provider(
+    controller: B2BObjectController,
+) -> Callable[[Container, ComponentDescriptor], Optional[Interceptor]]:
+    """Container deployment hook attaching B2BObject/rollup interceptors.
+
+    Entity components with ``b2b_object`` set get a
+    :class:`B2BObjectInterceptor`; session components with ``rollup_methods``
+    get a :class:`RollupInterceptor`.  The object id defaults to the
+    component name and can be overridden with the ``b2b_object_id`` metadata
+    entry.
+    """
+
+    def provider(
+        container: Container, descriptor: ComponentDescriptor
+    ) -> Optional[Interceptor]:
+        object_id = descriptor.metadata.get("b2b_object_id", descriptor.name)
+        if descriptor.b2b_object:
+            mutators = descriptor.metadata.get("mutator_methods")
+            return B2BObjectInterceptor(controller, object_id, mutators)
+        if descriptor.rollup_methods:
+            return RollupInterceptor(controller, object_id, descriptor.rollup_methods)
+        return None
+
+    return provider

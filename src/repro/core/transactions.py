@@ -1,0 +1,177 @@
+"""Transactional non-repudiable information sharing.
+
+Section 6 (future work): "Our preliminary work in this area shows how
+B2BObjects can participate in distributed (JTA) transactions.  We intend to
+build on this work to provide component-based transactional and
+non-repudiable interaction."
+
+This module provides the JTA-analogue: a :class:`SharedStateTransaction`
+groups updates to several B2BObjects so that either every update is agreed
+and applied or none of them (compensating already-applied updates when a
+later one is vetoed).  The grouping is coordinated from the proposing
+organisation; every individual update still runs the full non-repudiable
+state-coordination protocol, so the evidence trail is preserved per object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional
+
+from repro.core.sharing import B2BObjectController, SharingOutcome
+from repro.crypto.rng import new_unique_id
+from repro.errors import TransactionAbortedError, TransactionError
+
+
+class TransactionStatus(Enum):
+    """Lifecycle of a shared-state transaction."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ROLLED_BACK = "rolled-back"
+    FAILED = "failed"
+
+
+@dataclass
+class _StagedUpdate:
+    object_id: str
+    new_state: Any
+    original_state: Any = None
+    outcome: Optional[SharingOutcome] = None
+
+
+@dataclass
+class TransactionReport:
+    """What happened when the transaction completed."""
+
+    transaction_id: str
+    status: TransactionStatus
+    outcomes: Dict[str, SharingOutcome] = field(default_factory=dict)
+    compensations: Dict[str, SharingOutcome] = field(default_factory=dict)
+    failure_reason: str = ""
+
+
+class SharedStateTransaction:
+    """Groups several B2BObject updates into one all-or-nothing unit."""
+
+    def __init__(self, controller: B2BObjectController, transaction_id: Optional[str] = None) -> None:
+        self._controller = controller
+        self.transaction_id = transaction_id or new_unique_id("tx")
+        self.status = TransactionStatus.ACTIVE
+        self._staged: List[_StagedUpdate] = []
+
+    # -- staging ---------------------------------------------------------------------
+
+    def stage_update(self, object_id: str, new_state: Any) -> None:
+        """Add an update to the transaction (coordinated at commit time)."""
+        self._require_active()
+        if not self._controller.is_shared(object_id):
+            raise TransactionError(
+                f"{self._controller.party!r} does not share object {object_id!r}"
+            )
+        self._staged.append(_StagedUpdate(object_id=object_id, new_state=new_state))
+
+    def stage_change(self, object_id: str, mutator) -> None:
+        """Stage the state produced by applying ``mutator`` to the current state."""
+        self._require_active()
+        current = self._controller.get_state(object_id)
+        new_state = mutator(current)
+        if new_state is None:
+            new_state = current
+        self.stage_update(object_id, new_state)
+
+    def staged_object_ids(self) -> List[str]:
+        return [staged.object_id for staged in self._staged]
+
+    def _require_active(self) -> None:
+        if self.status is not TransactionStatus.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.transaction_id} is {self.status.value}, not active"
+            )
+
+    # -- completion -------------------------------------------------------------------
+
+    def commit(self) -> TransactionReport:
+        """Coordinate every staged update; compensate and abort on any veto.
+
+        Raises :class:`TransactionAbortedError` when the transaction rolls
+        back; the raised error carries the :class:`TransactionReport` as its
+        ``report`` attribute.
+        """
+        self._require_active()
+        report = TransactionReport(
+            transaction_id=self.transaction_id, status=TransactionStatus.ACTIVE
+        )
+        applied: List[_StagedUpdate] = []
+        for staged in self._staged:
+            staged.original_state = self._controller.get_state(staged.object_id)
+            outcome = self._controller.propose_update(staged.object_id, staged.new_state)
+            staged.outcome = outcome
+            report.outcomes[staged.object_id] = outcome
+            if not outcome.agreed:
+                report.failure_reason = (
+                    f"update to {staged.object_id!r} vetoed: {outcome.reason}"
+                )
+                self._compensate(applied, report)
+                self.status = TransactionStatus.ROLLED_BACK
+                report.status = self.status
+                error = TransactionAbortedError(
+                    f"transaction {self.transaction_id} rolled back: {report.failure_reason}"
+                )
+                error.report = report
+                raise error
+            applied.append(staged)
+        self.status = TransactionStatus.COMMITTED
+        report.status = self.status
+        return report
+
+    def rollback(self) -> TransactionReport:
+        """Discard staged updates without coordinating anything."""
+        self._require_active()
+        self.status = TransactionStatus.ROLLED_BACK
+        return TransactionReport(
+            transaction_id=self.transaction_id, status=self.status
+        )
+
+    def _compensate(self, applied: List[_StagedUpdate], report: TransactionReport) -> None:
+        """Propose the original state back for every already-applied update."""
+        for staged in reversed(applied):
+            compensation = self._controller.propose_update(
+                staged.object_id, staged.original_state
+            )
+            report.compensations[staged.object_id] = compensation
+            if not compensation.agreed:
+                # Compensation refused: surface it, the evidence trail shows
+                # exactly which state each party agreed to.
+                report.failure_reason += (
+                    f"; compensation of {staged.object_id!r} also vetoed: "
+                    f"{compensation.reason}"
+                )
+
+
+class TransactionManager:
+    """Factory/registry for shared-state transactions of one organisation."""
+
+    def __init__(self, controller: B2BObjectController) -> None:
+        self._controller = controller
+        self._transactions: Dict[str, SharedStateTransaction] = {}
+
+    def begin(self) -> SharedStateTransaction:
+        """Start a new transaction."""
+        transaction = SharedStateTransaction(self._controller)
+        self._transactions[transaction.transaction_id] = transaction
+        return transaction
+
+    def get(self, transaction_id: str) -> SharedStateTransaction:
+        try:
+            return self._transactions[transaction_id]
+        except KeyError:
+            raise TransactionError(f"unknown transaction {transaction_id!r}") from None
+
+    def active_transactions(self) -> List[SharedStateTransaction]:
+        return [
+            transaction
+            for transaction in self._transactions.values()
+            if transaction.status is TransactionStatus.ACTIVE
+        ]

@@ -1,0 +1,246 @@
+"""Trust domains: direct, inline-TTP and distributed-inline-TTP deployments.
+
+Section 3.1 (Figure 3) describes three ways of using trusted interceptors to
+construct a trust domain between organisations:
+
+* **direct** -- each organisation hosts its own interceptor and they exchange
+  protocol messages directly (Figure 3(c));
+* **inline TTP** -- a single TTP mediates all communication between the
+  organisations (Figure 3(a));
+* **distributed inline TTP** -- each organisation communicates through its own
+  TTP, and the TTPs communicate with each other (Figure 3(b)).
+
+:class:`TrustDomain` builds a fully wired deployment of either style on a
+simulated network: it creates the certificate authority, the organisations,
+any TTPs, exchanges keys and installs the routing appropriate to the style.
+The same application code then runs unchanged on any deployment -- which is
+the point of the trusted-interceptor abstraction -- and the benchmarks use
+this to compare the message/latency cost of the three styles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.clock import Clock, SimulatedClock
+from repro.core.invocation import NR_INVOCATION_PROTOCOL
+from repro.core.organisation import Organisation
+from repro.core.sharing import NR_SHARING_PROTOCOL
+from repro.core.ttp import RelayProtocolHandler, TTPArbitrator, install_relays
+from repro.crypto.certificates import CertificateAuthority
+from repro.crypto.timestamp import TimestampAuthority
+from repro.errors import ProtocolError
+from repro.transport.network import FaultModel, SimulatedNetwork
+
+#: Protocols relayed by inline TTPs by default.
+DEFAULT_RELAYED_PROTOCOLS = [NR_INVOCATION_PROTOCOL, NR_SHARING_PROTOCOL]
+
+
+class DeploymentStyle(Enum):
+    """The three deployment styles of Figure 3."""
+
+    DIRECT = "direct"
+    INLINE_TTP = "inline-ttp"
+    DISTRIBUTED_TTP = "distributed-ttp"
+
+
+@dataclass
+class TrustDomain:
+    """A wired deployment of organisations (and TTPs) forming a trust domain."""
+
+    style: DeploymentStyle
+    network: SimulatedNetwork
+    certificate_authority: CertificateAuthority
+    organisations: Dict[str, Organisation] = field(default_factory=dict)
+    ttps: Dict[str, Organisation] = field(default_factory=dict)
+    arbitrator: Optional[TTPArbitrator] = None
+    relays: Dict[str, Dict[str, RelayProtocolHandler]] = field(default_factory=dict)
+    timestamp_authority: Optional[TimestampAuthority] = None
+
+    # -- construction ---------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        party_uris: List[str],
+        style: DeploymentStyle = DeploymentStyle.DIRECT,
+        network: Optional[SimulatedNetwork] = None,
+        fault_model: Optional[FaultModel] = None,
+        clock: Optional[Clock] = None,
+        scheme: str = "rsa",
+        use_timestamping: bool = False,
+        relayed_protocols: Optional[List[str]] = None,
+        with_arbitrator: bool = False,
+    ) -> "TrustDomain":
+        """Build a trust domain of the requested style for ``party_uris``."""
+        if len(party_uris) < 2:
+            raise ProtocolError("a trust domain needs at least two organisations")
+        if len(set(party_uris)) != len(party_uris):
+            raise ProtocolError("party URIs must be unique")
+        clock = clock or SimulatedClock()
+        network = network or SimulatedNetwork(fault_model=fault_model, clock=clock)
+        ca = CertificateAuthority("urn:repro:ca", scheme=scheme, clock=clock)
+        tsa = (
+            TimestampAuthority("urn:repro:tsa", scheme=scheme, clock=clock)
+            if use_timestamping
+            else None
+        )
+        domain = cls(
+            style=style,
+            network=network,
+            certificate_authority=ca,
+            timestamp_authority=tsa,
+        )
+        for uri in party_uris:
+            domain.organisations[uri] = Organisation(
+                uri=uri,
+                network=network,
+                ca=ca,
+                scheme=scheme,
+                clock=clock,
+                timestamp_authority=tsa,
+            )
+        # Everybody learns everybody's keys (credential exchange).
+        organisations = list(domain.organisations.values())
+        for org in organisations:
+            for other in organisations:
+                if org is not other:
+                    org.trust(other)
+
+        relayed = relayed_protocols or list(DEFAULT_RELAYED_PROTOCOLS)
+        if style is DeploymentStyle.INLINE_TTP:
+            domain._wire_inline_ttp(ca, clock, scheme, tsa, relayed)
+        elif style is DeploymentStyle.DISTRIBUTED_TTP:
+            domain._wire_distributed_ttp(ca, clock, scheme, tsa, relayed)
+
+        if with_arbitrator:
+            domain._install_arbitrator(ca, clock, scheme, tsa)
+        return domain
+
+    def _new_ttp(
+        self,
+        uri: str,
+        ca: CertificateAuthority,
+        clock: Clock,
+        scheme: str,
+        tsa: Optional[TimestampAuthority],
+    ) -> Organisation:
+        ttp = Organisation(
+            uri=uri,
+            network=self.network,
+            ca=ca,
+            scheme=scheme,
+            clock=clock,
+            timestamp_authority=tsa,
+        )
+        self.ttps[uri] = ttp
+        # The TTP must be able to verify every party's evidence and reach
+        # every party's coordinator; every party must trust the TTP's key.
+        for org in self.organisations.values():
+            ttp.trust(org)
+            org.evidence_verifier.pin_key(ttp.uri, ttp.public_key)
+            ttp.evidence_verifier.pin_key(org.uri, org.public_key)
+        return ttp
+
+    def _wire_inline_ttp(
+        self,
+        ca: CertificateAuthority,
+        clock: Clock,
+        scheme: str,
+        tsa: Optional[TimestampAuthority],
+        relayed_protocols: List[str],
+    ) -> None:
+        """Single TTP acting on behalf of all organisations (Figure 3(a))."""
+        ttp = self._new_ttp("urn:ttp:inline", ca, clock, scheme, tsa)
+        self.relays[ttp.uri] = install_relays(ttp.coordinator, relayed_protocols)
+        for org in self.organisations.values():
+            for other_uri in self.organisations:
+                if other_uri != org.uri:
+                    org.route_via(other_uri, ttp.coordinator.address)
+
+    def _wire_distributed_ttp(
+        self,
+        ca: CertificateAuthority,
+        clock: Clock,
+        scheme: str,
+        tsa: Optional[TimestampAuthority],
+        relayed_protocols: List[str],
+    ) -> None:
+        """One TTP per organisation, TTPs talk to each other (Figure 3(b))."""
+        org_to_ttp: Dict[str, Organisation] = {}
+        for uri in self.organisations:
+            ttp = self._new_ttp(f"urn:ttp:for:{uri.split(':')[-1]}", ca, clock, scheme, tsa)
+            self.relays[ttp.uri] = install_relays(ttp.coordinator, relayed_protocols)
+            org_to_ttp[uri] = ttp
+        for uri, org in self.organisations.items():
+            own_ttp = org_to_ttp[uri]
+            for other_uri in self.organisations:
+                if other_uri == uri:
+                    continue
+                # The organisation sends everything to its own TTP; its TTP
+                # forwards to the destination organisation's TTP, which
+                # finally delivers to the destination organisation.
+                org.route_via(other_uri, own_ttp.coordinator.address)
+                own_ttp.route_via(
+                    other_uri, org_to_ttp[other_uri].coordinator.address
+                )
+                org_to_ttp[other_uri].route_via(
+                    other_uri, self.organisations[other_uri].coordinator.address
+                )
+
+    def _install_arbitrator(
+        self,
+        ca: CertificateAuthority,
+        clock: Clock,
+        scheme: str,
+        tsa: Optional[TimestampAuthority],
+    ) -> None:
+        """Add an offline TTP arbitrator for optimistic fair exchange."""
+        uri = "urn:ttp:arbitrator"
+        if uri in self.ttps:
+            arbitrator_host = self.ttps[uri]
+        else:
+            arbitrator_host = self._new_ttp(uri, ca, clock, scheme, tsa)
+        self.arbitrator = TTPArbitrator(
+            party=arbitrator_host.uri, coordinator=arbitrator_host.coordinator
+        )
+        arbitrator_host.coordinator.register_handler(self.arbitrator, replace=True)
+        for org in self.organisations.values():
+            org.trust_key(
+                arbitrator_host.uri,
+                arbitrator_host.public_key,
+                arbitrator_host.coordinator.address,
+            )
+
+    # -- access ------------------------------------------------------------------------
+
+    @property
+    def arbitrator_uri(self) -> Optional[str]:
+        return self.arbitrator.party if self.arbitrator else None
+
+    def organisation(self, uri: str) -> Organisation:
+        try:
+            return self.organisations[uri]
+        except KeyError:
+            raise ProtocolError(f"no organisation {uri!r} in this trust domain") from None
+
+    def party_uris(self) -> List[str]:
+        return sorted(self.organisations)
+
+    def share_object(
+        self, object_id: str, initial_state, member_uris: Optional[List[str]] = None
+    ) -> None:
+        """Register a shared object on every member's controller."""
+        members = member_uris or self.party_uris()
+        for uri in members:
+            self.organisation(uri).share_object(object_id, initial_state, members)
+
+    def total_relayed_messages(self) -> int:
+        """Number of protocol messages that passed through TTP relays."""
+        return sum(
+            relay.relayed_messages
+            for per_ttp in self.relays.values()
+            for relay in per_ttp.values()
+        )

@@ -1,0 +1,265 @@
+"""Trusted third party (TTP) services.
+
+Figure 3(a)/(b) of the paper routes communication between organisations
+through inline TTPs: "however constructed, the inline TTP is an interceptor
+between the organisations and is responsible for ensuring that agreed safety
+and liveness guarantees are delivered to honest parties."
+
+A :class:`RelayProtocolHandler` registered with a TTP's coordinator forwards
+protocol messages to their real destination and notarises every relayed
+message with a ``TTP_RELAY`` evidence token, countersigned by the TTP and
+appended to the message, so both parties (and the TTP itself) hold
+third-party evidence of the exchange.
+
+The :class:`TTPArbitrator` supports the optimistic fair-exchange protocol of
+:mod:`repro.core.fair_exchange`: it resolves or aborts a protocol run on
+request and issues ``TTP_AFFIDAVIT`` / ``TTP_ABORT`` tokens.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.core.coordinator import B2BCoordinator
+from repro.core.evidence import TokenType, payload_digest
+from repro.core.messages import B2BProtocolMessage
+from repro.core.protocol import B2BProtocolHandler
+from repro.errors import EvidenceVerificationError, FairExchangeError, ProtocolError
+
+AUDIT_CATEGORY_TTP = "ttp.relay"
+
+#: Protocol name the arbitrator listens on.
+FAIR_EXCHANGE_PROTOCOL = "fair-exchange"
+
+
+class RelayProtocolHandler(B2BProtocolHandler):
+    """Forwards messages of one protocol through the TTP, notarising each."""
+
+    def __init__(
+        self,
+        protocol: str,
+        party: str,
+        coordinator: B2BCoordinator,
+        notarise: bool = True,
+    ) -> None:
+        self.protocol = protocol
+        super().__init__()
+        self.party = party
+        self._coordinator = coordinator
+        self._notarise = notarise
+        self.relayed_messages = 0
+
+    def _notarise_message(self, message: B2BProtocolMessage, direction: str) -> None:
+        """Attach (and store) the TTP's evidence of having relayed ``message``."""
+        if not self._notarise:
+            return
+        services = self._coordinator.services
+        relay_payload = {
+            "message_id": message.message_id,
+            "run_id": message.run_id,
+            "protocol": message.protocol,
+            "step": message.step,
+            "sender": message.sender,
+            "recipient": message.recipient,
+            "direction": direction,
+            "payload_digest": payload_digest(message.payload).hex(),
+        }
+        token = services.evidence_builder.build(
+            token_type=TokenType.TTP_RELAY,
+            run_id=message.run_id,
+            step=message.step,
+            recipient=message.recipient,
+            payload=relay_payload,
+        )
+        services.evidence_store.store(
+            run_id=message.run_id,
+            token_type=token.token_type,
+            token=token.to_dict(),
+            role=services.evidence_store.ROLE_GENERATED,
+        )
+        message.tokens.append(token)
+        services.audit_log.append(
+            category=AUDIT_CATEGORY_TTP,
+            subject=message.run_id,
+            details={
+                "event": "relayed",
+                "protocol": message.protocol,
+                "step": message.step,
+                "sender": message.sender,
+                "recipient": message.recipient,
+                "direction": direction,
+            },
+        )
+
+    def process_request(self, message: B2BProtocolMessage) -> B2BProtocolMessage:
+        self.relayed_messages += 1
+        self._notarise_message(message, direction="forward")
+        response = self._coordinator.request(message)
+        self._notarise_message(response, direction="return")
+        return response
+
+    def process(self, message: B2BProtocolMessage) -> None:
+        self.relayed_messages += 1
+        self._notarise_message(message, direction="forward")
+        self._coordinator.send(message)
+
+
+class TTPArbitrator(B2BProtocolHandler):
+    """Resolve/abort arbitrator for optimistic fair exchange.
+
+    A run can be *resolved* (the requesting party presents the origin
+    evidence of both request and response and receives a TTP affidavit that
+    stands in for the missing receipt) or *aborted* (the requesting party
+    receives a signed abort token).  A run can never be both: the first
+    decision is final, which is what guarantees consistency for honest
+    parties.
+    """
+
+    protocol = FAIR_EXCHANGE_PROTOCOL
+
+    def __init__(self, party: str, coordinator: B2BCoordinator) -> None:
+        super().__init__()
+        self.party = party
+        self._coordinator = coordinator
+        self._decisions: Dict[str, str] = {}
+        self._lock = threading.RLock()
+
+    def decision_for(self, run_id: str) -> Optional[str]:
+        with self._lock:
+            return self._decisions.get(run_id)
+
+    def process_request(self, message: B2BProtocolMessage) -> B2BProtocolMessage:
+        action = message.attributes.get("action")
+        if action == "resolve":
+            return self._resolve(message)
+        if action == "abort":
+            return self._abort(message)
+        raise ProtocolError(f"unsupported fair-exchange action {action!r}")
+
+    def _decide(self, run_id: str, decision: str) -> str:
+        """Record the first decision for ``run_id``; later calls see the first."""
+        with self._lock:
+            return self._decisions.setdefault(run_id, decision)
+
+    def _resolve(self, message: B2BProtocolMessage) -> B2BProtocolMessage:
+        services = self._coordinator.services
+        run_id = message.payload["run_id"]
+        nro_request = message.token_of_type(TokenType.NRO_REQUEST.value)
+        nro_response = message.token_of_type(TokenType.NRO_RESPONSE.value)
+        if nro_request is None or nro_response is None:
+            raise FairExchangeError(
+                "resolution requires the NRO_request and NRO_response tokens"
+            )
+        try:
+            services.evidence_verifier.require_valid(
+                nro_request, expected_type=TokenType.NRO_REQUEST, expected_run_id=run_id
+            )
+            services.evidence_verifier.require_valid(
+                nro_response, expected_type=TokenType.NRO_RESPONSE, expected_run_id=run_id
+            )
+        except EvidenceVerificationError as error:
+            raise FairExchangeError(f"resolution evidence invalid: {error}") from error
+
+        decision = self._decide(run_id, "resolved")
+        if decision == "aborted":
+            token_type = TokenType.TTP_ABORT
+            verdict = "aborted"
+        else:
+            token_type = TokenType.TTP_AFFIDAVIT
+            verdict = "resolved"
+        affidavit_payload = {
+            "run_id": run_id,
+            "verdict": verdict,
+            "requested_by": message.sender,
+            "request_digest": nro_request.payload_digest.hex(),
+            "response_digest": nro_response.payload_digest.hex(),
+        }
+        token = services.evidence_builder.build(
+            token_type=token_type,
+            run_id=run_id,
+            step=message.step,
+            recipient=message.sender,
+            payload=affidavit_payload,
+        )
+        services.evidence_store.store(
+            run_id=run_id,
+            token_type=token.token_type,
+            token=token.to_dict(),
+            role=services.evidence_store.ROLE_GENERATED,
+        )
+        services.audit_log.append(
+            category="ttp.fair-exchange",
+            subject=run_id,
+            details={"event": "resolve", "verdict": verdict, "requested_by": message.sender},
+        )
+        return B2BProtocolMessage(
+            run_id=run_id,
+            protocol=self.protocol,
+            step=message.step + 1,
+            sender=self.party,
+            recipient=message.sender,
+            payload=affidavit_payload,
+            tokens=[token],
+            attributes={"action": "resolution"},
+            reply_to=self._coordinator.address,
+        )
+
+    def _abort(self, message: B2BProtocolMessage) -> B2BProtocolMessage:
+        services = self._coordinator.services
+        run_id = message.payload["run_id"]
+        decision = self._decide(run_id, "aborted")
+        verdict = "aborted" if decision == "aborted" else "resolved"
+        abort_payload = {
+            "run_id": run_id,
+            "verdict": verdict,
+            "requested_by": message.sender,
+        }
+        token = services.evidence_builder.build(
+            token_type=TokenType.TTP_ABORT if verdict == "aborted" else TokenType.TTP_AFFIDAVIT,
+            run_id=run_id,
+            step=message.step,
+            recipient=message.sender,
+            payload=abort_payload,
+        )
+        services.evidence_store.store(
+            run_id=run_id,
+            token_type=token.token_type,
+            token=token.to_dict(),
+            role=services.evidence_store.ROLE_GENERATED,
+        )
+        services.audit_log.append(
+            category="ttp.fair-exchange",
+            subject=run_id,
+            details={"event": "abort", "verdict": verdict, "requested_by": message.sender},
+        )
+        return B2BProtocolMessage(
+            run_id=run_id,
+            protocol=self.protocol,
+            step=message.step + 1,
+            sender=self.party,
+            recipient=message.sender,
+            payload=abort_payload,
+            tokens=[token],
+            attributes={"action": "resolution"},
+            reply_to=self._coordinator.address,
+        )
+
+
+def install_relays(
+    ttp_coordinator: B2BCoordinator,
+    protocols: List[str],
+    notarise: bool = True,
+) -> Dict[str, RelayProtocolHandler]:
+    """Register relay handlers for the given protocols on a TTP coordinator."""
+    relays: Dict[str, RelayProtocolHandler] = {}
+    for protocol in protocols:
+        relay = RelayProtocolHandler(
+            protocol=protocol,
+            party=ttp_coordinator.party,
+            coordinator=ttp_coordinator,
+            notarise=notarise,
+        )
+        ttp_coordinator.register_handler(relay, replace=True)
+        relays[protocol] = relay
+    return relays

@@ -1,0 +1,348 @@
+"""Credential (certificate) management.
+
+Section 3.5 requires "a service to support signature verification that stores
+certificates and certificate revocation information, and can be used to
+verify certificate chains."  This module provides:
+
+* :class:`Certificate` -- an X.509-like binding of a subject name (URI) to a
+  public key, signed by an issuer;
+* :class:`CertificateAuthority` -- issues and revokes certificates and
+  publishes a :class:`RevocationList`;
+* :class:`CertificateStore` -- the verification service used by trusted
+  interceptors: stores certificates and revocation information, verifies
+  chains up to trusted roots and resolves key ids and subjects.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Set
+
+from repro.clock import Clock, SystemClock
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.rng import new_unique_id
+from repro.crypto.signature import Signature, Signer, get_scheme
+from repro.errors import CertificateError
+
+#: Default certificate lifetime (one year) in seconds.
+DEFAULT_VALIDITY_SECONDS = 365 * 24 * 3600
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed binding of a subject to a public key.
+
+    Attributes:
+        serial: unique certificate serial number.
+        subject: subject name, normally the organisation's URI.
+        issuer: issuer name (equal to ``subject`` for self-signed roots).
+        public_key: the certified public key.
+        not_before / not_after: validity window (seconds since epoch).
+        extensions: free-form attributes (roles, constraints...).
+        signature: issuer's signature over the canonical certificate body.
+    """
+
+    serial: str
+    subject: str
+    issuer: str
+    public_key: PublicKey
+    not_before: float
+    not_after: float
+    extensions: Mapping[str, Any] = field(default_factory=dict)
+    signature: Optional[Signature] = None
+
+    def body_bytes(self) -> bytes:
+        """Canonical byte encoding of the signed portion of the certificate."""
+        body = {
+            "serial": self.serial,
+            "subject": self.subject,
+            "issuer": self.issuer,
+            "public_key": self.public_key.to_dict(),
+            "not_before": self.not_before,
+            "not_after": self.not_after,
+            "extensions": dict(self.extensions),
+        }
+        return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+    def is_self_signed(self) -> bool:
+        return self.subject == self.issuer
+
+    def is_valid_at(self, timestamp: float) -> bool:
+        """Return ``True`` if ``timestamp`` is within the validity window."""
+        return self.not_before <= timestamp <= self.not_after
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = {
+            "serial": self.serial,
+            "subject": self.subject,
+            "issuer": self.issuer,
+            "public_key": self.public_key.to_dict(),
+            "not_before": self.not_before,
+            "not_after": self.not_after,
+            "extensions": dict(self.extensions),
+        }
+        if self.signature is not None:
+            payload["signature"] = self.signature.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Certificate":
+        signature = payload.get("signature")
+        return cls(
+            serial=payload["serial"],
+            subject=payload["subject"],
+            issuer=payload["issuer"],
+            public_key=PublicKey.from_dict(payload["public_key"]),
+            not_before=payload["not_before"],
+            not_after=payload["not_after"],
+            extensions=dict(payload.get("extensions", {})),
+            signature=Signature.from_dict(signature) if signature else None,
+        )
+
+
+@dataclass
+class RevocationList:
+    """Certificate revocation information published by a CA."""
+
+    issuer: str
+    revoked_serials: Set[str] = field(default_factory=set)
+    issued_at: float = 0.0
+
+    def is_revoked(self, serial: str) -> bool:
+        return serial in self.revoked_serials
+
+
+class CertificateAuthority:
+    """Issues, signs and revokes certificates.
+
+    A CA has its own key pair and a self-signed root certificate.  Subordinate
+    CAs can be created by issuing a CA certificate to another authority's
+    public key, which produces verifiable chains.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        keypair: Optional[KeyPair] = None,
+        scheme: str = "rsa",
+        clock: Optional[Clock] = None,
+        validity_seconds: float = DEFAULT_VALIDITY_SECONDS,
+    ) -> None:
+        self.name = name
+        self._clock = clock or SystemClock()
+        self._validity = validity_seconds
+        self._keypair = keypair or get_scheme(scheme).generate_keypair()
+        self._signer = Signer(self._keypair.private)
+        self._revoked: Set[str] = set()
+        self._issued: Dict[str, Certificate] = {}
+        self._root = self._issue(
+            subject=name,
+            public_key=self._keypair.public,
+            extensions={"ca": True},
+        )
+
+    @property
+    def root_certificate(self) -> Certificate:
+        """The CA's self-signed root certificate."""
+        return self._root
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._keypair.public
+
+    def _issue(
+        self,
+        subject: str,
+        public_key: PublicKey,
+        extensions: Optional[Mapping[str, Any]] = None,
+        validity_seconds: Optional[float] = None,
+    ) -> Certificate:
+        now = self._clock.now()
+        unsigned = Certificate(
+            serial=new_unique_id("cert"),
+            subject=subject,
+            issuer=self.name,
+            public_key=public_key,
+            not_before=now,
+            not_after=now + (validity_seconds or self._validity),
+            extensions=dict(extensions or {}),
+        )
+        signature = self._signer.sign(unsigned.body_bytes())
+        certificate = Certificate(
+            serial=unsigned.serial,
+            subject=unsigned.subject,
+            issuer=unsigned.issuer,
+            public_key=unsigned.public_key,
+            not_before=unsigned.not_before,
+            not_after=unsigned.not_after,
+            extensions=unsigned.extensions,
+            signature=signature,
+        )
+        self._issued[certificate.serial] = certificate
+        return certificate
+
+    def issue_certificate(
+        self,
+        subject: str,
+        public_key: PublicKey,
+        extensions: Optional[Mapping[str, Any]] = None,
+        validity_seconds: Optional[float] = None,
+    ) -> Certificate:
+        """Issue a certificate binding ``subject`` to ``public_key``."""
+        if not subject:
+            raise CertificateError("certificate subject must not be empty")
+        return self._issue(subject, public_key, extensions, validity_seconds)
+
+    def issue_ca_certificate(
+        self, subordinate: "CertificateAuthority"
+    ) -> Certificate:
+        """Certify another authority, creating a chain link."""
+        return self._issue(
+            subject=subordinate.name,
+            public_key=subordinate.public_key,
+            extensions={"ca": True},
+        )
+
+    def revoke(self, serial: str) -> None:
+        """Revoke a previously issued certificate by serial number."""
+        if serial not in self._issued:
+            raise CertificateError(f"unknown certificate serial {serial!r}")
+        self._revoked.add(serial)
+
+    def revocation_list(self) -> RevocationList:
+        """Publish the CA's current revocation list."""
+        return RevocationList(
+            issuer=self.name,
+            revoked_serials=set(self._revoked),
+            issued_at=self._clock.now(),
+        )
+
+
+class CertificateStore:
+    """Stores certificates and revocation lists and verifies chains.
+
+    Trusted interceptors use the store to verify the signatures on incoming
+    evidence: the signer's key id is resolved to a certificate, the
+    certificate chain is verified up to a trusted root and revocation is
+    checked.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self._clock = clock or SystemClock()
+        self._by_serial: Dict[str, Certificate] = {}
+        self._by_subject: Dict[str, List[Certificate]] = {}
+        self._by_key_id: Dict[str, List[Certificate]] = {}
+        self._trusted_roots: Dict[str, Certificate] = {}
+        self._revocations: Dict[str, RevocationList] = {}
+
+    # -- population ----------------------------------------------------------
+
+    def add_certificate(self, certificate: Certificate) -> None:
+        """Add a certificate to the store."""
+        if certificate.signature is None:
+            raise CertificateError("cannot store an unsigned certificate")
+        self._by_serial[certificate.serial] = certificate
+        self._by_subject.setdefault(certificate.subject, []).append(certificate)
+        self._by_key_id.setdefault(certificate.public_key.key_id, []).append(certificate)
+
+    def add_trusted_root(self, certificate: Certificate) -> None:
+        """Register a self-signed certificate as a trust anchor."""
+        if not certificate.is_self_signed():
+            raise CertificateError("trusted roots must be self-signed")
+        self.add_certificate(certificate)
+        self._trusted_roots[certificate.subject] = certificate
+
+    def add_revocation_list(self, crl: RevocationList) -> None:
+        """Install (or replace) the revocation list for an issuer."""
+        self._revocations[crl.issuer] = crl
+
+    # -- lookup ---------------------------------------------------------------
+
+    def certificates_for_subject(self, subject: str) -> List[Certificate]:
+        return list(self._by_subject.get(subject, []))
+
+    def certificate_for_key(self, key_id: str) -> Optional[Certificate]:
+        """Return a currently valid certificate for ``key_id`` if one exists."""
+        now = self._clock.now()
+        for certificate in self._by_key_id.get(key_id, []):
+            if certificate.is_valid_at(now) and not self._is_revoked(certificate):
+                return certificate
+        return None
+
+    def public_key_for_subject(self, subject: str) -> Optional[PublicKey]:
+        """Return the public key from the newest valid certificate of ``subject``."""
+        now = self._clock.now()
+        candidates = [
+            cert
+            for cert in self._by_subject.get(subject, [])
+            if cert.is_valid_at(now) and not self._is_revoked(cert)
+        ]
+        if not candidates:
+            return None
+        newest = max(candidates, key=lambda cert: cert.not_before)
+        return newest.public_key
+
+    # -- verification ---------------------------------------------------------
+
+    def _is_revoked(self, certificate: Certificate) -> bool:
+        crl = self._revocations.get(certificate.issuer)
+        return bool(crl and crl.is_revoked(certificate.serial))
+
+    def _issuer_certificate(self, certificate: Certificate) -> Optional[Certificate]:
+        now = self._clock.now()
+        for candidate in self._by_subject.get(certificate.issuer, []):
+            if not candidate.extensions.get("ca") and not candidate.is_self_signed():
+                continue
+            if candidate.is_valid_at(now):
+                return candidate
+        return None
+
+    def verify_certificate(
+        self, certificate: Certificate, _depth: int = 0, _max_depth: int = 8
+    ) -> bool:
+        """Verify ``certificate`` up to a trusted root.
+
+        Checks the validity window, revocation status and issuer signature at
+        each step of the chain, terminating at a registered trust anchor.
+        """
+        if _depth > _max_depth:
+            return False
+        if certificate.signature is None:
+            return False
+        now = self._clock.now()
+        if not certificate.is_valid_at(now):
+            return False
+        if self._is_revoked(certificate):
+            return False
+        if certificate.is_self_signed():
+            anchor = self._trusted_roots.get(certificate.subject)
+            if anchor is None or anchor.serial != certificate.serial:
+                return False
+            scheme = get_scheme(certificate.public_key.scheme)
+            return scheme.verify(
+                certificate.public_key, certificate.body_bytes(), certificate.signature
+            )
+        issuer_cert = self._issuer_certificate(certificate)
+        if issuer_cert is None:
+            return False
+        scheme = get_scheme(issuer_cert.public_key.scheme)
+        if not scheme.verify(
+            issuer_cert.public_key, certificate.body_bytes(), certificate.signature
+        ):
+            return False
+        return self.verify_certificate(issuer_cert, _depth + 1, _max_depth)
+
+    def verify_chain(self, chain: Iterable[Certificate]) -> bool:
+        """Verify an explicitly supplied leaf-to-root chain."""
+        chain = list(chain)
+        if not chain:
+            return False
+        for certificate, issuer in zip(chain, chain[1:]):
+            if certificate.issuer != issuer.subject:
+                return False
+        for certificate in chain:
+            # Issuer certs may not yet be in the store; add them transiently.
+            if certificate.serial not in self._by_serial:
+                self.add_certificate(certificate)
+        return self.verify_certificate(chain[0])

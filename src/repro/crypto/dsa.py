@@ -1,0 +1,144 @@
+"""From-scratch DSA signature scheme.
+
+Domain parameters (p, q, g) are generated once per parameter size and cached,
+since parameter generation (finding a prime p with q | p - 1) is by far the
+most expensive step and the parameters are public and shareable, exactly as
+in deployed DSA.  Per-message nonces are derived deterministically from the
+private key and the digest (RFC 6979 style) so that signing never risks nonce
+reuse under a deterministic test RNG.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.crypto.keys import KeyPair, PrivateKey, PublicKey
+from repro.crypto.primality import generate_prime, generate_prime_congruent, modular_inverse
+from repro.crypto.rng import SecureRandom, default_rng
+from repro.errors import SignatureError
+from repro.crypto.signature import SignatureScheme
+
+#: Default sizes.  (1024, 160) is the classic FIPS 186-2 parameter size; the
+#: test suite uses (512, 160) for speed via the ``p_bits`` option.
+DEFAULT_P_BITS = 1024
+DEFAULT_Q_BITS = 160
+
+_parameter_cache: Dict[Tuple[int, int], Tuple[int, int, int]] = {}
+_parameter_lock = threading.Lock()
+
+
+def generate_domain_parameters(
+    p_bits: int = DEFAULT_P_BITS,
+    q_bits: int = DEFAULT_Q_BITS,
+    rng: Optional[SecureRandom] = None,
+) -> Tuple[int, int, int]:
+    """Generate (or fetch cached) DSA domain parameters ``(p, q, g)``."""
+    key = (p_bits, q_bits)
+    with _parameter_lock:
+        if key in _parameter_cache:
+            return _parameter_cache[key]
+    rng = rng or default_rng()
+    q = generate_prime(q_bits, rng=rng)
+    # Find p = k*q + 1 prime with the requested size.
+    p = generate_prime_congruent(p_bits, q, 1, rng=rng)
+    # Find a generator of the order-q subgroup.
+    exponent = (p - 1) // q
+    g = 1
+    h = 2
+    while g == 1:
+        g = pow(h, exponent, p)
+        h += 1
+    params = (p, q, g)
+    with _parameter_lock:
+        _parameter_cache[key] = params
+    return params
+
+
+def _deterministic_nonce(private_x: int, digest: bytes, q: int) -> int:
+    """Derive a per-signature nonce k in [1, q-1] from the key and digest."""
+    q_bytes = (q.bit_length() + 7) // 8
+    key_material = private_x.to_bytes((private_x.bit_length() + 7) // 8 or 1, "big")
+    counter = 0
+    while True:
+        block = hmac.new(
+            key_material, digest + counter.to_bytes(4, "big"), hashlib.sha256
+        ).digest()
+        while len(block) < q_bytes:
+            block += hmac.new(key_material, block, hashlib.sha256).digest()
+        k = int.from_bytes(block[:q_bytes], "big") % q
+        if 1 <= k <= q - 1:
+            return k
+        counter += 1
+
+
+class DSAScheme(SignatureScheme):
+    """DSA signatures over cached domain parameters."""
+
+    name = "dsa"
+
+    def generate_keypair(
+        self,
+        p_bits: int = DEFAULT_P_BITS,
+        q_bits: int = DEFAULT_Q_BITS,
+        rng: Optional[SecureRandom] = None,
+        **options: Any,
+    ) -> KeyPair:
+        rng = rng or default_rng()
+        p, q, g = generate_domain_parameters(p_bits, q_bits, rng=rng)
+        x = rng.random_int_range(1, q)
+        y = pow(g, x, p)
+        public = PublicKey(scheme=self.name, params={"p": p, "q": q, "g": g, "y": y})
+        private = PrivateKey(
+            scheme=self.name,
+            params={"p": p, "q": q, "g": g, "y": y, "x": x},
+            key_id=public.key_id,
+        )
+        return KeyPair(private=private, public=public)
+
+    def sign_digest(self, private_key: PrivateKey, digest: bytes) -> bytes:
+        p = private_key.params["p"]
+        q = private_key.params["q"]
+        g = private_key.params["g"]
+        x = private_key.params["x"]
+        z = int.from_bytes(digest, "big") % q
+        while True:
+            k = _deterministic_nonce(x, digest, q)
+            r = pow(g, k, p) % q
+            if r == 0:
+                digest = hashlib.sha256(digest).digest()
+                continue
+            k_inv = modular_inverse(k, q)
+            s = (k_inv * (z + x * r)) % q
+            if s == 0:
+                digest = hashlib.sha256(digest).digest()
+                continue
+            break
+        q_bytes = (q.bit_length() + 7) // 8
+        return r.to_bytes(q_bytes, "big") + s.to_bytes(q_bytes, "big")
+
+    def verify_digest(
+        self, public_key: PublicKey, digest: bytes, signature: bytes
+    ) -> bool:
+        p = public_key.params["p"]
+        q = public_key.params["q"]
+        g = public_key.params["g"]
+        y = public_key.params["y"]
+        q_bytes = (q.bit_length() + 7) // 8
+        if len(signature) != 2 * q_bytes:
+            return False
+        r = int.from_bytes(signature[:q_bytes], "big")
+        s = int.from_bytes(signature[q_bytes:], "big")
+        if not (0 < r < q and 0 < s < q):
+            return False
+        z = int.from_bytes(digest, "big") % q
+        try:
+            w = modular_inverse(s, q)
+        except ValueError:
+            return False
+        u1 = (z * w) % q
+        u2 = (r * w) % q
+        v = ((pow(g, u1, p) * pow(y, u2, p)) % p) % q
+        return v == r

@@ -1,0 +1,180 @@
+"""Forward-secure signature scheme.
+
+The paper's infrastructure requirements (Section 3.5) note that
+"forward-secure signature schemes have been proposed that obviate the need
+for a third party signature on time-stamps" [Zhou, Bao, Deng 2003]: if the
+signing key evolves over time and old keys are destroyed, a later key
+compromise cannot be used to forge evidence dated in an earlier period.
+
+This module implements the generic tree/certification construction:
+
+* key generation creates ``periods`` per-period DSA key pairs (cheap, since
+  the expensive domain parameters are shared and cached);
+* the long-term public key is the Merkle-tree root over the per-period public
+  values, so a single short value certifies every period;
+* a signature for period *i* carries the DSA signature, the period's public
+  value and a Merkle inclusion proof linking it to the root;
+* :func:`evolve_key` advances the private key to the next period and
+  *deletes* the current period's secret, which is what provides forward
+  security.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.crypto.dsa import DSAScheme, generate_domain_parameters
+from repro.crypto.hashing import MerkleTree, combine_digests, secure_hash
+from repro.crypto.keys import KeyPair, PrivateKey, PublicKey
+from repro.crypto.rng import SecureRandom, default_rng
+from repro.errors import SignatureError
+from repro.crypto.signature import SignatureScheme
+
+DEFAULT_PERIODS = 16
+
+
+def _leaf_bytes(period: int, y: int) -> bytes:
+    """Canonical leaf encoding binding a period index to its public value."""
+    return f"{period}:{y}".encode("ascii")
+
+
+class ForwardSecureScheme(SignatureScheme):
+    """Merkle-certified per-period DSA keys with key evolution."""
+
+    name = "forward-secure"
+
+    def __init__(self) -> None:
+        self._dsa = DSAScheme()
+
+    def generate_keypair(
+        self,
+        periods: int = DEFAULT_PERIODS,
+        p_bits: int = 512,
+        q_bits: int = 160,
+        rng: Optional[SecureRandom] = None,
+        **options: Any,
+    ) -> KeyPair:
+        if periods < 1:
+            raise SignatureError("forward-secure key needs at least one period")
+        rng = rng or default_rng()
+        p, q, g = generate_domain_parameters(p_bits, q_bits, rng=rng)
+        secrets: List[int] = []
+        publics: List[int] = []
+        tree = MerkleTree()
+        for period in range(periods):
+            x = rng.random_int_range(1, q)
+            y = pow(g, x, p)
+            secrets.append(x)
+            publics.append(y)
+            tree.add(_leaf_bytes(period, y))
+        root = tree.root
+        public = PublicKey(
+            scheme=self.name,
+            params={
+                "p": p,
+                "q": q,
+                "g": g,
+                "root": root,
+                "periods": periods,
+            },
+        )
+        private = PrivateKey(
+            scheme=self.name,
+            params={
+                "p": p,
+                "q": q,
+                "g": g,
+                "root": root,
+                "periods": periods,
+                "current_period": 0,
+                "secrets": json.dumps(secrets),
+                "publics": json.dumps(publics),
+            },
+            key_id=public.key_id,
+        )
+        return KeyPair(private=private, public=public)
+
+    # -- signing -------------------------------------------------------------
+
+    def sign_digest(self, private_key: PrivateKey, digest: bytes) -> bytes:
+        params = private_key.params
+        period = params["current_period"]
+        periods = params["periods"]
+        secrets = json.loads(params["secrets"])
+        publics = json.loads(params["publics"])
+        if period >= periods:
+            raise SignatureError("forward-secure key is exhausted (all periods used)")
+        x = secrets[period]
+        if x is None:
+            raise SignatureError(f"secret for period {period} has been erased")
+        y = publics[period]
+        p, q, g = params["p"], params["q"], params["g"]
+        dsa_private = PrivateKey(
+            scheme="dsa",
+            params={"p": p, "q": q, "g": g, "y": y, "x": x},
+            key_id=private_key.key_id,
+        )
+        inner = self._dsa.sign_digest(dsa_private, digest)
+        tree = MerkleTree(_leaf_bytes(i, publics[i]) for i in range(periods))
+        proof = tree.proof(period)
+        envelope = {
+            "period": period,
+            "y": y,
+            "inner": inner.hex(),
+            "path": [[sib.hex(), bool(left)] for sib, left in proof.path],
+        }
+        return json.dumps(envelope, sort_keys=True).encode("ascii")
+
+    def verify_digest(
+        self, public_key: PublicKey, digest: bytes, signature: bytes
+    ) -> bool:
+        try:
+            envelope = json.loads(signature.decode("ascii"))
+            period = int(envelope["period"])
+            y = int(envelope["y"])
+            inner = bytes.fromhex(envelope["inner"])
+            path = [(bytes.fromhex(sib), bool(left)) for sib, left in envelope["path"]]
+        except (ValueError, KeyError, TypeError):
+            return False
+        params = public_key.params
+        if period < 0 or period >= params["periods"]:
+            return False
+        # Verify the Merkle inclusion of (period, y) under the certified root.
+        current = secure_hash(_leaf_bytes(period, y))
+        for sibling, sibling_is_left in path:
+            if sibling_is_left:
+                current = combine_digests(sibling, current)
+            else:
+                current = combine_digests(current, sibling)
+        if current != params["root"]:
+            return False
+        dsa_public = PublicKey(
+            scheme="dsa",
+            params={"p": params["p"], "q": params["q"], "g": params["g"], "y": y},
+        )
+        return self._dsa.verify_digest(dsa_public, digest, inner)
+
+
+def current_period(private_key: PrivateKey) -> int:
+    """Return the period the key will sign under next."""
+    return private_key.params["current_period"]
+
+
+def evolve_key(private_key: PrivateKey) -> PrivateKey:
+    """Advance to the next period, erasing the current period's secret.
+
+    Returns a new :class:`PrivateKey`; the caller should discard the old one.
+    Signatures made in earlier periods remain verifiable; the evolved key can
+    no longer produce them, which is the forward-security property.
+    """
+    if private_key.scheme != ForwardSecureScheme.name:
+        raise SignatureError("evolve_key requires a forward-secure private key")
+    params: Dict[str, Any] = dict(private_key.params)
+    period = params["current_period"]
+    secrets = json.loads(params["secrets"])
+    if period < len(secrets):
+        secrets[period] = None
+    params["secrets"] = json.dumps(secrets)
+    params["current_period"] = period + 1
+    return PrivateKey(scheme=private_key.scheme, params=params, key_id=private_key.key_id)

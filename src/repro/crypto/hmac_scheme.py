@@ -1,0 +1,58 @@
+"""Symmetric HMAC "signature" scheme.
+
+The paper observes that "a more lightweight mechanism can be used when
+parties, who otherwise trust each other, need a verifiable audit trail"
+(Section 3.1).  The HMAC scheme provides exactly that lightweight option: it
+offers integrity and attribution *within* a group that shares the MAC key
+(for example, interceptors co-located at a single inline TTP, Figure 3(a)),
+but not third-party verifiability.  The benchmarks use it to quantify the gap
+between lightweight and full public-key non-repudiation.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+from typing import Any, Optional
+
+from repro.crypto.keys import KeyPair, PrivateKey, PublicKey
+from repro.crypto.rng import SecureRandom, default_rng
+from repro.crypto.signature import SignatureScheme
+
+
+class HMACScheme(SignatureScheme):
+    """HMAC-SHA256 based symmetric scheme.
+
+    The "public" key carries a commitment (digest) to the shared secret so
+    key identifiers still work, and the secret itself so co-located verifiers
+    can check tags.  This is intentionally *not* third-party verifiable.
+    """
+
+    name = "hmac"
+
+    def generate_keypair(
+        self, key_bytes: int = 32, rng: Optional[SecureRandom] = None, **options: Any
+    ) -> KeyPair:
+        rng = rng or default_rng()
+        secret = rng.random_bytes(key_bytes)
+        commitment = hashlib.sha256(secret).hexdigest()
+        public = PublicKey(
+            scheme=self.name, params={"secret": secret, "commitment": commitment}
+        )
+        private = PrivateKey(
+            scheme=self.name,
+            params={"secret": secret, "commitment": commitment},
+            key_id=public.key_id,
+        )
+        return KeyPair(private=private, public=public)
+
+    def sign_digest(self, private_key: PrivateKey, digest: bytes) -> bytes:
+        secret = private_key.params["secret"]
+        return hmac.new(secret, digest, hashlib.sha256).digest()
+
+    def verify_digest(
+        self, public_key: PublicKey, digest: bytes, signature: bytes
+    ) -> bool:
+        secret = public_key.params["secret"]
+        expected = hmac.new(secret, digest, hashlib.sha256).digest()
+        return hmac.compare_digest(expected, signature)

@@ -1,0 +1,127 @@
+"""Key material objects shared by all signature schemes.
+
+Keys are simple immutable value objects carrying the scheme name, the key
+parameters (a mapping of named integers / byte strings) and an identifier
+derived from a digest of the public parameters, so that evidence can refer to
+the signing key unambiguously.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+from repro.crypto.hashing import secure_hash_hex
+from repro.errors import KeyError_
+
+
+def _canonical_params(params: Mapping[str, Any]) -> str:
+    """Serialise key parameters canonically (sorted keys, ints as decimal)."""
+    encodable: Dict[str, Any] = {}
+    for name, value in params.items():
+        if isinstance(value, bytes):
+            encodable[name] = {"__bytes__": value.hex()}
+        elif isinstance(value, int):
+            encodable[name] = value
+        elif isinstance(value, str):
+            encodable[name] = value
+        else:
+            raise KeyError_(f"unsupported key parameter type for {name!r}: {type(value)}")
+    return json.dumps(encodable, sort_keys=True, separators=(",", ":"))
+
+
+def _decode_params(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    decoded: Dict[str, Any] = {}
+    for name, value in payload.items():
+        if isinstance(value, dict) and "__bytes__" in value:
+            decoded[name] = bytes.fromhex(value["__bytes__"])
+        else:
+            decoded[name] = value
+    return decoded
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """Public half of a key pair."""
+
+    scheme: str
+    params: Mapping[str, Any]
+    key_id: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.key_id:
+            fingerprint = secure_hash_hex(
+                self.scheme + ":" + _canonical_params(self.params)
+            )[:32]
+            object.__setattr__(self, "key_id", fingerprint)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "scheme": self.scheme,
+            "key_id": self.key_id,
+            "params": json.loads(_canonical_params(self.params)),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PublicKey":
+        return cls(
+            scheme=payload["scheme"],
+            params=_decode_params(payload["params"]),
+            key_id=payload.get("key_id", ""),
+        )
+
+    def fingerprint(self) -> str:
+        """Return the key identifier (digest of scheme + parameters)."""
+        return self.key_id
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """Private half of a key pair.
+
+    The private key carries the same ``key_id`` as its public counterpart so
+    signatures can be matched to verification keys.
+    """
+
+    scheme: str
+    params: Mapping[str, Any]
+    key_id: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scheme": self.scheme,
+            "key_id": self.key_id,
+            "params": json.loads(_canonical_params(self.params)),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PrivateKey":
+        return cls(
+            scheme=payload["scheme"],
+            params=_decode_params(payload["params"]),
+            key_id=payload["key_id"],
+        )
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A matched private/public key pair for one scheme."""
+
+    private: PrivateKey
+    public: PublicKey
+
+    def __post_init__(self) -> None:
+        if self.private.scheme != self.public.scheme:
+            raise KeyError_("key pair halves use different schemes")
+        if self.private.key_id != self.public.key_id:
+            raise KeyError_("key pair halves have mismatched key ids")
+
+    @property
+    def scheme(self) -> str:
+        return self.public.scheme
+
+    @property
+    def key_id(self) -> str:
+        return self.public.key_id

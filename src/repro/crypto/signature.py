@@ -1,0 +1,203 @@
+"""Signature scheme abstraction and registry.
+
+The trusted-interceptor assumptions (Section 3.1) require signatures that are
+"verifiable and unforgeable".  The middleware does not prescribe a scheme, so
+this module defines a small abstraction -- :class:`SignatureScheme` -- under
+which RSA, DSA, HMAC and forward-secure schemes are registered.  Evidence
+tokens carry the scheme name and the signing key id so verification can be
+performed by any party holding the corresponding public key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.crypto.hashing import secure_hash
+from repro.crypto.keys import KeyPair, PrivateKey, PublicKey
+from repro.errors import SignatureError
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A detached signature over a message digest.
+
+    Attributes:
+        scheme: name of the signature scheme used.
+        key_id: identifier of the signing key.
+        value: the raw signature bytes.
+        digest: the message digest that was signed (kept so evidence can be
+            audited without re-hashing large payloads).
+    """
+
+    scheme: str
+    key_id: str
+    value: bytes
+    digest: bytes
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scheme": self.scheme,
+            "key_id": self.key_id,
+            "value": self.value.hex(),
+            "digest": self.digest.hex(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Signature":
+        return cls(
+            scheme=payload["scheme"],
+            key_id=payload["key_id"],
+            value=bytes.fromhex(payload["value"]),
+            digest=bytes.fromhex(payload["digest"]),
+        )
+
+
+class SignatureScheme:
+    """Interface implemented by every signature scheme."""
+
+    #: registry name of the scheme (e.g. ``"rsa"``)
+    name: str = ""
+
+    def generate_keypair(self, **options: Any) -> KeyPair:
+        """Generate a fresh key pair for this scheme."""
+        raise NotImplementedError
+
+    def sign_digest(self, private_key: PrivateKey, digest: bytes) -> bytes:
+        """Sign a message digest and return the raw signature bytes."""
+        raise NotImplementedError
+
+    def verify_digest(
+        self, public_key: PublicKey, digest: bytes, signature: bytes
+    ) -> bool:
+        """Return ``True`` if ``signature`` is a valid signature on ``digest``."""
+        raise NotImplementedError
+
+    # Convenience message-level helpers -------------------------------------
+
+    def sign(self, private_key: PrivateKey, message: bytes) -> Signature:
+        """Hash ``message`` and sign the digest."""
+        if private_key.scheme != self.name:
+            raise SignatureError(
+                f"key scheme {private_key.scheme!r} does not match {self.name!r}"
+            )
+        digest = secure_hash(message)
+        value = self.sign_digest(private_key, digest)
+        return Signature(
+            scheme=self.name, key_id=private_key.key_id, value=value, digest=digest
+        )
+
+    def verify(
+        self, public_key: PublicKey, message: bytes, signature: Signature
+    ) -> bool:
+        """Verify a :class:`Signature` object against ``message``."""
+        if signature.scheme != self.name:
+            return False
+        if public_key.scheme != self.name:
+            return False
+        if public_key.key_id != signature.key_id:
+            return False
+        digest = secure_hash(message)
+        if digest != signature.digest:
+            return False
+        return self.verify_digest(public_key, digest, signature.value)
+
+
+_REGISTRY: Dict[str, SignatureScheme] = {}
+
+
+def register_scheme(scheme: SignatureScheme, replace: bool = False) -> None:
+    """Register a scheme instance under its :attr:`SignatureScheme.name`."""
+    if not scheme.name:
+        raise SignatureError("signature scheme has no name")
+    if scheme.name in _REGISTRY and not replace:
+        raise SignatureError(f"scheme {scheme.name!r} already registered")
+    _REGISTRY[scheme.name] = scheme
+
+
+def get_scheme(name: str) -> SignatureScheme:
+    """Look up a registered scheme, loading the built-ins lazily."""
+    _ensure_builtin_schemes()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SignatureError(f"unknown signature scheme {name!r}") from None
+
+
+def available_schemes() -> Dict[str, SignatureScheme]:
+    """Return a copy of the registry (name -> scheme instance)."""
+    _ensure_builtin_schemes()
+    return dict(_REGISTRY)
+
+
+def _ensure_builtin_schemes() -> None:
+    if _REGISTRY:
+        return
+    # Imported lazily to avoid circular imports at package load time.
+    from repro.crypto.rsa import RSAScheme
+    from repro.crypto.dsa import DSAScheme
+    from repro.crypto.hmac_scheme import HMACScheme
+    from repro.crypto.forward_secure import ForwardSecureScheme
+
+    for scheme in (RSAScheme(), DSAScheme(), HMACScheme(), ForwardSecureScheme()):
+        if scheme.name not in _REGISTRY:
+            _REGISTRY[scheme.name] = scheme
+
+
+class Signer:
+    """Binds a private key to its scheme for convenient signing."""
+
+    def __init__(self, private_key: PrivateKey) -> None:
+        self._private_key = private_key
+        self._scheme = get_scheme(private_key.scheme)
+
+    @property
+    def key_id(self) -> str:
+        return self._private_key.key_id
+
+    @property
+    def scheme_name(self) -> str:
+        return self._private_key.scheme
+
+    def sign(self, message: bytes) -> Signature:
+        """Sign ``message`` (hash-then-sign)."""
+        return self._scheme.sign(self._private_key, message)
+
+
+class Verifier:
+    """Binds a public key to its scheme for convenient verification."""
+
+    def __init__(self, public_key: PublicKey) -> None:
+        self._public_key = public_key
+        self._scheme = get_scheme(public_key.scheme)
+
+    @property
+    def key_id(self) -> str:
+        return self._public_key.key_id
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._public_key
+
+    def verify(self, message: bytes, signature: Signature) -> bool:
+        """Return ``True`` if ``signature`` is valid for ``message``."""
+        return self._scheme.verify(self._public_key, message, signature)
+
+
+def generate_keypair(scheme: str = "rsa", **options: Any) -> KeyPair:
+    """Generate a key pair using the named scheme (default RSA)."""
+    return get_scheme(scheme).generate_keypair(**options)
+
+
+def sign_message(private_key: PrivateKey, message: bytes) -> Signature:
+    """Module-level helper: sign ``message`` with ``private_key``."""
+    return get_scheme(private_key.scheme).sign(private_key, message)
+
+
+def verify_message(
+    public_key: PublicKey, message: bytes, signature: Optional[Signature]
+) -> bool:
+    """Module-level helper: verify ``signature`` over ``message``."""
+    if signature is None:
+        return False
+    return get_scheme(public_key.scheme).verify(public_key, message, signature)

@@ -1,0 +1,123 @@
+"""Time-stamping service.
+
+Section 3.5: "non-repudiation evidence should be time-stamped for logging and
+to support the assertion that the signature used to sign evidence was not
+compromised at time of use".  The :class:`TimestampAuthority` is the classic
+third-party time-stamping service; for the TTP-free alternative the library
+also offers forward-secure signing (:mod:`repro.crypto.forward_secure`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.clock import Clock, SystemClock
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.rng import new_unique_id
+from repro.crypto.signature import Signature, Signer, get_scheme
+from repro.errors import TimestampError
+
+
+@dataclass(frozen=True)
+class TimestampToken:
+    """A signed assertion that a digest existed at a given time."""
+
+    token_id: str
+    authority: str
+    digest: bytes
+    timestamp: float
+    signature: Signature
+
+    def body_bytes(self) -> bytes:
+        body = {
+            "token_id": self.token_id,
+            "authority": self.authority,
+            "digest": self.digest.hex(),
+            "timestamp": self.timestamp,
+        }
+        return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "token_id": self.token_id,
+            "authority": self.authority,
+            "digest": self.digest.hex(),
+            "timestamp": self.timestamp,
+            "signature": self.signature.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TimestampToken":
+        return cls(
+            token_id=payload["token_id"],
+            authority=payload["authority"],
+            digest=bytes.fromhex(payload["digest"]),
+            timestamp=payload["timestamp"],
+            signature=Signature.from_dict(payload["signature"]),
+        )
+
+
+class TimestampAuthority:
+    """Issues and verifies :class:`TimestampToken` objects."""
+
+    def __init__(
+        self,
+        name: str = "urn:repro:tsa",
+        keypair: Optional[KeyPair] = None,
+        scheme: str = "rsa",
+        clock: Optional[Clock] = None,
+    ) -> None:
+        self.name = name
+        self._clock = clock or SystemClock()
+        self._keypair = keypair or get_scheme(scheme).generate_keypair()
+        self._signer = Signer(self._keypair.private)
+        self._issued: Dict[str, TimestampToken] = {}
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._keypair.public
+
+    def issue(self, digest: bytes) -> TimestampToken:
+        """Issue a timestamp token over ``digest`` at the current time."""
+        if not digest:
+            raise TimestampError("cannot timestamp an empty digest")
+        unsigned = TimestampToken(
+            token_id=new_unique_id("tst"),
+            authority=self.name,
+            digest=digest,
+            timestamp=self._clock.now(),
+            signature=None,  # type: ignore[arg-type]
+        )
+        signature = self._signer.sign(unsigned.body_bytes())
+        token = TimestampToken(
+            token_id=unsigned.token_id,
+            authority=unsigned.authority,
+            digest=unsigned.digest,
+            timestamp=unsigned.timestamp,
+            signature=signature,
+        )
+        self._issued[token.token_id] = token
+        return token
+
+    def verify(self, token: TimestampToken, digest: Optional[bytes] = None) -> bool:
+        """Verify a token's signature (and optionally that it covers ``digest``)."""
+        if token.authority != self.name:
+            return False
+        if digest is not None and token.digest != digest:
+            return False
+        scheme = get_scheme(self._keypair.public.scheme)
+        return scheme.verify(self._keypair.public, token.body_bytes(), token.signature)
+
+
+def verify_timestamp(token: TimestampToken, authority_key: PublicKey) -> bool:
+    """Verify a timestamp token given the authority's public key.
+
+    This is the verification path available to parties that hold only the
+    authority's certificate, not a reference to the authority itself.
+    """
+    if token.signature is None:
+        return False
+    scheme = get_scheme(authority_key.scheme)
+    return scheme.verify(authority_key, token.body_bytes(), token.signature)

@@ -1,0 +1,188 @@
+"""Exception hierarchy for the non-repudiation middleware.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications can catch library failures with a single ``except`` clause while
+still being able to discriminate between, for example, cryptographic failures
+(:class:`CryptoError`) and protocol failures (:class:`ProtocolError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# Cryptography / evidence
+# ---------------------------------------------------------------------------
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class SignatureError(CryptoError):
+    """A signature could not be produced or did not verify."""
+
+
+class KeyError_(CryptoError):
+    """A key is malformed, missing or unusable for the requested operation."""
+
+
+class CertificateError(CryptoError):
+    """A certificate is invalid, expired, revoked or its chain is broken."""
+
+
+class TimestampError(CryptoError):
+    """A timestamp token could not be produced or did not verify."""
+
+
+class EvidenceError(ReproError):
+    """Non-repudiation evidence is missing, malformed or fails verification."""
+
+
+class EvidenceVerificationError(EvidenceError):
+    """Evidence was present but its verification failed."""
+
+
+# ---------------------------------------------------------------------------
+# Persistence
+# ---------------------------------------------------------------------------
+
+
+class PersistenceError(ReproError):
+    """Base class for storage failures."""
+
+
+class AuditLogError(PersistenceError):
+    """The audit log rejected an entry or detected tampering."""
+
+
+class AuditLogTamperedError(AuditLogError):
+    """Hash-chain verification of the audit log failed."""
+
+
+class StateStoreError(PersistenceError):
+    """The state store could not resolve or record a state digest."""
+
+
+# ---------------------------------------------------------------------------
+# Transport
+# ---------------------------------------------------------------------------
+
+
+class TransportError(ReproError):
+    """Base class for (simulated) network failures."""
+
+
+class DeliveryError(TransportError):
+    """A message could not be delivered within the configured retry budget."""
+
+
+class UnknownEndpointError(TransportError):
+    """The destination endpoint is not registered with the network."""
+
+
+class RemoteInvocationError(TransportError):
+    """A remote invocation raised on the remote side; carries the cause."""
+
+
+# ---------------------------------------------------------------------------
+# Container
+# ---------------------------------------------------------------------------
+
+
+class ContainerError(ReproError):
+    """Base class for component-container failures."""
+
+
+class DeploymentError(ContainerError):
+    """A component could not be deployed (bad descriptor, duplicate name...)."""
+
+
+class NoSuchComponentError(ContainerError):
+    """Lookup of a component by name failed."""
+
+
+class InterceptorError(ContainerError):
+    """An interceptor in the invocation chain failed."""
+
+
+# ---------------------------------------------------------------------------
+# Access control / membership
+# ---------------------------------------------------------------------------
+
+
+class AccessError(ReproError):
+    """Base class for access-control failures."""
+
+
+class AccessDeniedError(AccessError):
+    """The caller's credentials do not authorise the requested action."""
+
+
+class CredentialError(AccessError):
+    """A credential is malformed or cannot be verified."""
+
+
+class MembershipError(ReproError):
+    """Group-membership operation failed (unknown member, duplicate join...)."""
+
+
+# ---------------------------------------------------------------------------
+# Protocols
+# ---------------------------------------------------------------------------
+
+
+class ProtocolError(ReproError):
+    """Base class for non-repudiation protocol failures."""
+
+
+class ProtocolStateError(ProtocolError):
+    """A message arrived that is not legal in the protocol's current state."""
+
+
+class ProtocolTimeoutError(ProtocolError):
+    """The protocol run did not complete within the agreed timeout."""
+
+
+class ProtocolAbortedError(ProtocolError):
+    """The protocol run was aborted (by a party or by the TTP)."""
+
+
+class ValidationRejectedError(ProtocolError):
+    """A proposed update to shared information was vetoed by a validator."""
+
+
+class CoordinationError(ProtocolError):
+    """The state-coordination protocol failed to reach a decision."""
+
+
+class FairExchangeError(ProtocolError):
+    """A fair-exchange protocol run failed or was resolved/aborted by the TTP."""
+
+
+class DisputeError(ReproError):
+    """Dispute resolution could not reach a verdict from the supplied evidence."""
+
+
+# ---------------------------------------------------------------------------
+# Contracts / transactions (future-work extensions)
+# ---------------------------------------------------------------------------
+
+
+class ContractError(ReproError):
+    """Contract-monitoring failure (unknown state, illegal transition...)."""
+
+
+class ContractViolationError(ContractError):
+    """An interaction violated the monitored contract."""
+
+
+class TransactionError(ReproError):
+    """Transactional coordination failure (JTA-analogue)."""
+
+
+class TransactionAbortedError(TransactionError):
+    """The distributed transaction was rolled back."""

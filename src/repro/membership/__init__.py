@@ -1,0 +1,11 @@
+"""Group-membership substrate.
+
+"For information sharing, the membership of the group that shares information
+must be identified.  It must also be possible to map member identifiers (for
+example, URIs) to credentials in the credential management service."
+(Section 3.5.)
+"""
+
+from repro.membership.service import Member, MembershipEvent, MembershipService, SharingGroup
+
+__all__ = ["Member", "MembershipEvent", "MembershipService", "SharingGroup"]

@@ -1,0 +1,176 @@
+"""Membership service for information-sharing groups.
+
+Tracks which organisations currently share each B2BObject, maps member URIs
+to their certificates/credentials, and records join/leave (connect and
+disconnect, Section 3.3) events so that membership changes are auditable.
+The non-repudiable connect/disconnect *protocols* themselves live in
+:mod:`repro.core.sharing`; this service is the local bookkeeping they update.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.clock import Clock, SystemClock
+from repro.crypto.certificates import Certificate
+from repro.errors import MembershipError
+
+
+@dataclass(frozen=True)
+class Member:
+    """One member of a sharing group."""
+
+    uri: str
+    certificate: Optional[Certificate] = None
+    display_name: str = ""
+
+    @property
+    def key_id(self) -> Optional[str]:
+        if self.certificate is None:
+            return None
+        return self.certificate.public_key.key_id
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """A recorded change to a group's membership."""
+
+    group_id: str
+    member_uri: str
+    action: str  # "connect" | "disconnect"
+    timestamp: float
+    sequence: int
+
+
+@dataclass
+class SharingGroup:
+    """The set of members currently sharing one piece of information."""
+
+    group_id: str
+    members: Dict[str, Member] = field(default_factory=dict)
+
+    def member_uris(self) -> List[str]:
+        return sorted(self.members)
+
+    def __contains__(self, uri: str) -> bool:
+        return uri in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+class MembershipService:
+    """Registry of sharing groups and their membership history."""
+
+    ACTION_CONNECT = "connect"
+    ACTION_DISCONNECT = "disconnect"
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self._clock = clock or SystemClock()
+        self._groups: Dict[str, SharingGroup] = {}
+        self._events: List[MembershipEvent] = []
+        self._lock = threading.RLock()
+
+    # -- group lifecycle --------------------------------------------------------
+
+    def create_group(self, group_id: str, founding_members: Optional[List[Member]] = None) -> SharingGroup:
+        """Create a new sharing group, optionally with founding members."""
+        with self._lock:
+            if group_id in self._groups:
+                raise MembershipError(f"group {group_id!r} already exists")
+            group = SharingGroup(group_id=group_id)
+            self._groups[group_id] = group
+        for member in founding_members or []:
+            self.connect(group_id, member)
+        return group
+
+    def group(self, group_id: str) -> SharingGroup:
+        with self._lock:
+            try:
+                return self._groups[group_id]
+            except KeyError:
+                raise MembershipError(f"unknown group {group_id!r}") from None
+
+    def has_group(self, group_id: str) -> bool:
+        with self._lock:
+            return group_id in self._groups
+
+    def group_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._groups)
+
+    # -- membership changes ------------------------------------------------------
+
+    def connect(self, group_id: str, member: Member) -> MembershipEvent:
+        """Add ``member`` to the group and record the event."""
+        with self._lock:
+            group = self.group(group_id)
+            if member.uri in group.members:
+                raise MembershipError(
+                    f"{member.uri!r} is already a member of {group_id!r}"
+                )
+            group.members[member.uri] = member
+            event = MembershipEvent(
+                group_id=group_id,
+                member_uri=member.uri,
+                action=self.ACTION_CONNECT,
+                timestamp=self._clock.now(),
+                sequence=len(self._events),
+            )
+            self._events.append(event)
+            return event
+
+    def disconnect(self, group_id: str, member_uri: str) -> MembershipEvent:
+        """Remove a member from the group and record the event."""
+        with self._lock:
+            group = self.group(group_id)
+            if member_uri not in group.members:
+                raise MembershipError(
+                    f"{member_uri!r} is not a member of {group_id!r}"
+                )
+            del group.members[member_uri]
+            event = MembershipEvent(
+                group_id=group_id,
+                member_uri=member_uri,
+                action=self.ACTION_DISCONNECT,
+                timestamp=self._clock.now(),
+                sequence=len(self._events),
+            )
+            self._events.append(event)
+            return event
+
+    # -- queries -------------------------------------------------------------------
+
+    def members(self, group_id: str) -> List[Member]:
+        group = self.group(group_id)
+        with self._lock:
+            return [group.members[uri] for uri in sorted(group.members)]
+
+    def member_uris(self, group_id: str) -> List[str]:
+        return self.group(group_id).member_uris()
+
+    def is_member(self, group_id: str, member_uri: str) -> bool:
+        with self._lock:
+            group = self._groups.get(group_id)
+            return bool(group and member_uri in group.members)
+
+    def certificate_for(self, group_id: str, member_uri: str) -> Optional[Certificate]:
+        """Map a member URI to its certificate (Section 3.5 requirement)."""
+        group = self.group(group_id)
+        member = group.members.get(member_uri)
+        if member is None:
+            raise MembershipError(f"{member_uri!r} is not a member of {group_id!r}")
+        return member.certificate
+
+    def events(self, group_id: Optional[str] = None) -> List[MembershipEvent]:
+        """Return membership events, optionally filtered by group."""
+        with self._lock:
+            if group_id is None:
+                return list(self._events)
+            return [event for event in self._events if event.group_id == group_id]
+
+    def peers_of(self, group_id: str, member_uri: str) -> Set[str]:
+        """Return the URIs of every member except ``member_uri``."""
+        return {uri for uri in self.member_uris(group_id) if uri != member_uri}

@@ -1,0 +1,31 @@
+"""Persistence substrate: evidence store, state store and audit log.
+
+Section 3.5 requires persistence services "both to log non-repudiation
+evidence and to store the state of invocation parameters/results and of
+shared information", including "the mapping of the state digest to the
+representation of state in the state store".
+
+* :mod:`repro.persistence.storage` -- in-memory and file-backed key/value
+  backends shared by the stores.
+* :mod:`repro.persistence.audit_log` -- append-only, hash-chained log with
+  tamper detection.
+* :mod:`repro.persistence.evidence_store` -- evidence records indexed by
+  protocol run.
+* :mod:`repro.persistence.state_store` -- digest -> state mapping.
+"""
+
+from repro.persistence.audit_log import AuditLog, AuditRecord
+from repro.persistence.evidence_store import EvidenceStore, StoredEvidence
+from repro.persistence.state_store import StateStore
+from repro.persistence.storage import FileBackend, InMemoryBackend, StorageBackend
+
+__all__ = [
+    "AuditLog",
+    "AuditRecord",
+    "EvidenceStore",
+    "FileBackend",
+    "InMemoryBackend",
+    "StateStore",
+    "StorageBackend",
+    "StoredEvidence",
+]

@@ -1,0 +1,155 @@
+"""Evidence store.
+
+Trusted interceptors "have persistent storage for messages (or, more
+precisely, evidence extracted from messages)" (assumption 3, Section 3.1).
+The :class:`EvidenceStore` keeps evidence records indexed by protocol run so
+that all tokens belonging to one interaction can be produced together during
+dispute resolution.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro import codec
+from repro.clock import Clock, SystemClock
+from repro.errors import PersistenceError
+from repro.persistence.storage import InMemoryBackend, StorageBackend
+
+
+@dataclass(frozen=True)
+class StoredEvidence:
+    """A stored evidence record.
+
+    ``token`` holds the serialised non-repudiation token (dictionary form of
+    :class:`repro.core.evidence.EvidenceToken`); ``role`` records whether the
+    owning party generated or received it, which matters when the record is
+    later presented in a dispute.
+    """
+
+    run_id: str
+    token_type: str
+    role: str
+    stored_at: float
+    token: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "token_type": self.token_type,
+            "role": self.role,
+            "stored_at": self.stored_at,
+            "token": dict(self.token),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "StoredEvidence":
+        return cls(
+            run_id=payload["run_id"],
+            token_type=payload["token_type"],
+            role=payload["role"],
+            stored_at=payload["stored_at"],
+            token=dict(payload["token"]),
+        )
+
+
+class EvidenceStore:
+    """Evidence records indexed by protocol run identifier."""
+
+    ROLE_GENERATED = "generated"
+    ROLE_RECEIVED = "received"
+
+    def __init__(
+        self,
+        owner: str,
+        backend: Optional[StorageBackend] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        self.owner = owner
+        self._backend = backend or InMemoryBackend()
+        self._clock = clock or SystemClock()
+        self._index: Dict[str, List[str]] = {}
+        self._lock = threading.RLock()
+        self._rebuild_index()
+
+    def _rebuild_index(self) -> None:
+        for key in self._backend.keys():
+            if not key.startswith("evidence:"):
+                continue
+            raw = self._backend.get(key)
+            if raw is None:
+                continue
+            record = StoredEvidence.from_dict(codec.decode(raw))
+            self._index.setdefault(record.run_id, []).append(key)
+
+    def _key_for(self, run_id: str, token_type: str, role: str, sequence: int) -> str:
+        return f"evidence:{self.owner}:{run_id}:{token_type}:{role}:{sequence}"
+
+    def store(
+        self,
+        run_id: str,
+        token_type: str,
+        token: Mapping[str, Any],
+        role: str = ROLE_RECEIVED,
+    ) -> StoredEvidence:
+        """Persist one evidence token for ``run_id``."""
+        if role not in (self.ROLE_GENERATED, self.ROLE_RECEIVED):
+            raise PersistenceError(f"unknown evidence role {role!r}")
+        with self._lock:
+            record = StoredEvidence(
+                run_id=run_id,
+                token_type=token_type,
+                role=role,
+                stored_at=self._clock.now(),
+                token=dict(token),
+            )
+            sequence = len(self._index.get(run_id, []))
+            key = self._key_for(run_id, token_type, role, sequence)
+            self._backend.put(key, codec.encode(record.to_dict()))
+            self._index.setdefault(run_id, []).append(key)
+            return record
+
+    def evidence_for_run(self, run_id: str) -> List[StoredEvidence]:
+        """Return every stored record for ``run_id`` in storage order."""
+        with self._lock:
+            keys = list(self._index.get(run_id, []))
+        records = []
+        for key in keys:
+            raw = self._backend.get(key)
+            if raw is None:
+                raise PersistenceError(f"evidence record {key!r} disappeared")
+            records.append(StoredEvidence.from_dict(codec.decode(raw)))
+        return records
+
+    def tokens_of_type(self, run_id: str, token_type: str) -> List[StoredEvidence]:
+        """Return records of one token type for ``run_id``."""
+        return [
+            record
+            for record in self.evidence_for_run(run_id)
+            if record.token_type == token_type
+        ]
+
+    def run_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._index)
+
+    def total_records(self) -> int:
+        with self._lock:
+            return sum(len(keys) for keys in self._index.values())
+
+    def storage_bytes(self) -> int:
+        """Total size of stored evidence in canonical bytes.
+
+        Used by the evidence-space-overhead benchmark (paper Section 6 names
+        "the space overhead of evidence generated" as a cost dimension).
+        """
+        total = 0
+        with self._lock:
+            keys = [key for keys in self._index.values() for key in keys]
+        for key in keys:
+            raw = self._backend.get(key)
+            if raw is not None:
+                total += len(raw)
+        return total

@@ -1,0 +1,112 @@
+"""State store mapping state digests to state representations.
+
+"Non-repudiation evidence will include a signed secure digest of state that
+is held in a state store.  Persistence services should support the mapping of
+the state digest to the representation of state in the state store."
+(Section 3.5.)  For shared information the store additionally keeps the
+agreed version history so "a subsequent reconstruction of information state
+is a state previously agreed by the organisations who share the information"
+(Section 3.4) can be demonstrated.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import codec
+from repro.crypto.hashing import secure_hash
+from repro.errors import StateStoreError
+from repro.persistence.storage import InMemoryBackend, StorageBackend
+
+
+class StateStore:
+    """Digest-addressed storage of state snapshots with per-object history."""
+
+    def __init__(self, owner: str, backend: Optional[StorageBackend] = None) -> None:
+        self.owner = owner
+        self._backend = backend or InMemoryBackend()
+        self._history: Dict[str, List[str]] = {}
+        self._lock = threading.RLock()
+
+    # -- digest-addressed snapshots -------------------------------------------
+
+    def store_state(self, state: Any) -> bytes:
+        """Store a snapshot of ``state`` and return its digest.
+
+        The digest is computed over the canonical encoding of the state, so
+        two parties that agree on a state value necessarily agree on its
+        digest.
+        """
+        encoded = codec.encode(state)
+        digest = secure_hash(encoded)
+        with self._lock:
+            self._backend.put(self._snapshot_key(digest), encoded)
+        return digest
+
+    def resolve_digest(self, digest: bytes) -> Any:
+        """Return the state previously stored under ``digest``."""
+        raw = self._backend.get(self._snapshot_key(digest))
+        if raw is None:
+            raise StateStoreError(
+                f"state store of {self.owner!r} has no state for digest {digest.hex()}"
+            )
+        return codec.decode(raw)
+
+    def has_digest(self, digest: bytes) -> bool:
+        return self._backend.get(self._snapshot_key(digest)) is not None
+
+    @staticmethod
+    def digest_of(state: Any) -> bytes:
+        """Compute the canonical digest of ``state`` without storing it."""
+        return secure_hash(codec.encode(state))
+
+    def _snapshot_key(self, digest: bytes) -> str:
+        return f"state:{self.owner}:snapshot:{digest.hex()}"
+
+    # -- per-object agreed history ---------------------------------------------
+
+    def record_version(self, object_id: str, state: Any) -> Tuple[int, bytes]:
+        """Record ``state`` as the next agreed version of ``object_id``.
+
+        Returns ``(version_number, digest)``.
+        """
+        digest = self.store_state(state)
+        with self._lock:
+            history = self._history.setdefault(object_id, [])
+            history.append(digest.hex())
+            return len(history) - 1, digest
+
+    def version_count(self, object_id: str) -> int:
+        with self._lock:
+            return len(self._history.get(object_id, []))
+
+    def version_digest(self, object_id: str, version: int) -> bytes:
+        with self._lock:
+            history = self._history.get(object_id, [])
+            if version < 0 or version >= len(history):
+                raise StateStoreError(
+                    f"{object_id!r} has no agreed version {version}"
+                )
+            return bytes.fromhex(history[version])
+
+    def latest_digest(self, object_id: str) -> Optional[bytes]:
+        with self._lock:
+            history = self._history.get(object_id, [])
+            if not history:
+                return None
+            return bytes.fromhex(history[-1])
+
+    def state_at_version(self, object_id: str, version: int) -> Any:
+        """Reconstruct the agreed state of ``object_id`` at ``version``."""
+        return self.resolve_digest(self.version_digest(object_id, version))
+
+    def is_agreed_state(self, object_id: str, state: Any) -> bool:
+        """Return ``True`` if ``state`` matches any previously agreed version."""
+        digest_hex = self.digest_of(state).hex()
+        with self._lock:
+            return digest_hex in self._history.get(object_id, [])
+
+    def object_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._history)

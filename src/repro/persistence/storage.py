@@ -1,0 +1,140 @@
+"""Key/value storage backends.
+
+The stores in this package (:class:`~repro.persistence.audit_log.AuditLog`,
+:class:`~repro.persistence.evidence_store.EvidenceStore`,
+:class:`~repro.persistence.state_store.StateStore`) persist canonical byte
+records through a :class:`StorageBackend`.  Two backends are provided: a
+thread-safe in-memory backend for tests and simulation, and a file backend
+that writes one file per record under a directory so evidence survives
+process restarts.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import PersistenceError
+
+
+class StorageBackend:
+    """Minimal ordered key/value store interface."""
+
+    def put(self, key: str, value: bytes) -> None:
+        raise NotImplementedError
+
+    def get(self, key: str) -> Optional[bytes]:
+        raise NotImplementedError
+
+    def delete(self, key: str) -> None:
+        raise NotImplementedError
+
+    def keys(self) -> List[str]:
+        """Return all keys in insertion order."""
+        raise NotImplementedError
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def items(self) -> Iterator[tuple]:
+        for key in self.keys():
+            value = self.get(key)
+            if value is not None:
+                yield key, value
+
+
+class InMemoryBackend(StorageBackend):
+    """Thread-safe dictionary-backed storage."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, bytes] = {}
+        self._lock = threading.RLock()
+
+    def put(self, key: str, value: bytes) -> None:
+        if not isinstance(value, (bytes, bytearray)):
+            raise PersistenceError("storage values must be bytes")
+        with self._lock:
+            self._data[key] = bytes(value)
+
+    def get(self, key: str) -> Optional[bytes]:
+        with self._lock:
+            return self._data.get(key)
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            self._data.pop(key, None)
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return list(self._data.keys())
+
+
+class FileBackend(StorageBackend):
+    """One-file-per-record storage under a directory.
+
+    Keys are encoded to safe file names; an index file preserves insertion
+    order so hash-chain verification can replay records in order.
+    """
+
+    _INDEX_NAME = "_index"
+
+    def __init__(self, directory: str) -> None:
+        self._directory = directory
+        self._lock = threading.RLock()
+        os.makedirs(directory, exist_ok=True)
+        self._index_path = os.path.join(directory, self._INDEX_NAME)
+        if not os.path.exists(self._index_path):
+            with open(self._index_path, "w", encoding="utf-8"):
+                pass
+
+    def _encode_key(self, key: str) -> str:
+        return key.encode("utf-8").hex()
+
+    def _path_for(self, key: str) -> str:
+        return os.path.join(self._directory, self._encode_key(key) + ".rec")
+
+    def _read_index(self) -> List[str]:
+        with open(self._index_path, "r", encoding="utf-8") as index_file:
+            return [line.strip() for line in index_file if line.strip()]
+
+    def put(self, key: str, value: bytes) -> None:
+        if not isinstance(value, (bytes, bytearray)):
+            raise PersistenceError("storage values must be bytes")
+        with self._lock:
+            is_new = not os.path.exists(self._path_for(key))
+            with open(self._path_for(key), "wb") as record_file:
+                record_file.write(bytes(value))
+            if is_new:
+                with open(self._index_path, "a", encoding="utf-8") as index_file:
+                    index_file.write(self._encode_key(key) + "\n")
+
+    def get(self, key: str) -> Optional[bytes]:
+        with self._lock:
+            path = self._path_for(key)
+            if not os.path.exists(path):
+                return None
+            with open(path, "rb") as record_file:
+                return record_file.read()
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            path = self._path_for(key)
+            if os.path.exists(path):
+                os.remove(path)
+            encoded = self._encode_key(key)
+            remaining = [entry for entry in self._read_index() if entry != encoded]
+            with open(self._index_path, "w", encoding="utf-8") as index_file:
+                index_file.write("".join(entry + "\n" for entry in remaining))
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            keys = []
+            for encoded in self._read_index():
+                try:
+                    keys.append(bytes.fromhex(encoded).decode("utf-8"))
+                except ValueError:
+                    raise PersistenceError(
+                        f"corrupt index entry {encoded!r} in {self._directory!r}"
+                    ) from None
+            return keys

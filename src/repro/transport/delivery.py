@@ -1,0 +1,89 @@
+"""Reliable delivery on top of the lossy simulated network.
+
+The trusted-interceptor assumptions only require *eventual* delivery under a
+bounded number of temporary failures.  :class:`ReliableChannel` provides that
+guarantee by retrying sends according to a :class:`RetryPolicy`; the retry
+count and backoff are accounted against the simulated clock so liveness
+benchmarks can report time-to-completion under injected faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.clock import Clock
+from repro.errors import DeliveryError, UnknownEndpointError
+from repro.transport.network import SimulatedNetwork
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry behaviour for a reliable channel."""
+
+    max_attempts: int = 10
+    backoff_seconds: float = 0.05
+    backoff_multiplier: float = 2.0
+    max_backoff_seconds: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_seconds < 0 or self.max_backoff_seconds < 0:
+            raise ValueError("backoff values must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1.0")
+
+    def backoff_for_attempt(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        delay = self.backoff_seconds * (self.backoff_multiplier ** attempt)
+        return min(delay, self.max_backoff_seconds)
+
+
+class ReliableChannel:
+    """Retrying sender bound to one source address on a network."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        source: str,
+        policy: Optional[RetryPolicy] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        self._network = network
+        self._source = source
+        self._policy = policy or RetryPolicy()
+        self._clock = clock or network.clock
+        self.attempts_made = 0
+        self.retries_made = 0
+
+    @property
+    def source(self) -> str:
+        return self._source
+
+    @property
+    def policy(self) -> RetryPolicy:
+        return self._policy
+
+    def send(self, destination: str, operation: str, payload: Any) -> Any:
+        """Send with retries; raise :class:`DeliveryError` when the budget is spent.
+
+        Unknown endpoints fail immediately (retrying cannot help), matching
+        the distinction between temporary and permanent failures.
+        """
+        last_error: Optional[Exception] = None
+        for attempt in range(self._policy.max_attempts):
+            self.attempts_made += 1
+            if attempt > 0:
+                self.retries_made += 1
+                self._clock.sleep(self._policy.backoff_for_attempt(attempt - 1))
+            try:
+                return self._network.send(self._source, destination, operation, payload)
+            except UnknownEndpointError:
+                raise
+            except DeliveryError as error:
+                last_error = error
+        raise DeliveryError(
+            f"delivery from {self._source!r} to {destination!r} failed after "
+            f"{self._policy.max_attempts} attempts: {last_error}"
+        )

@@ -1,0 +1,321 @@
+"""In-process simulated network.
+
+Organisations register :class:`Endpoint` handlers under their address
+(a URI).  Senders deliver :class:`Message` objects through
+:meth:`SimulatedNetwork.send`; the network applies the configured
+:class:`FaultModel` (message loss, duplication, latency, partitions) before
+dispatching to the destination handler and accounting the traffic in
+:class:`NetworkStatistics`.
+
+The simulation is synchronous: ``send`` returns the handler's reply, which
+keeps protocol code easy to follow while still exercising loss/duplication/
+partition behaviour through explicit retry layers
+(:mod:`repro.transport.delivery`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro import codec
+from repro.clock import Clock, MonotonicCounter, SimulatedClock
+from repro.crypto.rng import SecureRandom
+from repro.errors import DeliveryError, UnknownEndpointError
+
+
+@dataclass
+class Message:
+    """A unit of network traffic.
+
+    Attributes:
+        sender / destination: endpoint addresses (URIs).
+        operation: logical operation name at the destination (e.g.
+            ``"deliver"`` on a coordinator).
+        payload: arbitrary, canonically encodable content.
+        message_id: unique id assigned by the network, used for duplicate
+            suppression by receivers that need at-most-once behaviour.
+    """
+
+    sender: str
+    destination: str
+    operation: str
+    payload: Any
+    message_id: int = -1
+
+    def encoded_size(self) -> int:
+        """Size of the message payload in canonical bytes.
+
+        Payloads that cannot be canonically encoded (e.g. application objects
+        passed through plain, non-NR invocations) are sized by their ``repr``
+        so traffic accounting still works.
+        """
+        envelope = {
+            "sender": self.sender,
+            "destination": self.destination,
+            "operation": self.operation,
+            "payload": self.payload,
+        }
+        try:
+            return codec.encoded_size(envelope)
+        except codec.CodecError:
+            return len(repr(envelope).encode("utf-8"))
+
+
+#: An endpoint handler maps (operation, payload, message) to a reply payload.
+EndpointHandler = Callable[[Message], Any]
+
+
+@dataclass
+class Endpoint:
+    """A registered network endpoint."""
+
+    address: str
+    handler: EndpointHandler
+    online: bool = True
+
+
+@dataclass
+class FaultModel:
+    """Configurable failure injection.
+
+    ``drop_probability`` and ``duplicate_probability`` apply per send attempt.
+    ``max_consecutive_drops`` enforces the paper's *bounded* failure
+    assumption: after that many consecutive injected drops on a link the next
+    attempt is allowed through, guaranteeing eventual delivery for retrying
+    senders.
+    """
+
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    latency_seconds: float = 0.0
+    jitter_seconds: float = 0.0
+    max_consecutive_drops: int = 5
+    seed: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop_probability", "duplicate_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {value}")
+        if self.latency_seconds < 0 or self.jitter_seconds < 0:
+            raise ValueError("latency and jitter must be non-negative")
+        if self.max_consecutive_drops < 0:
+            raise ValueError("max_consecutive_drops must be non-negative")
+
+
+@dataclass
+class NetworkPartition:
+    """A set of links that are currently severed."""
+
+    severed_links: Set[Tuple[str, str]] = field(default_factory=set)
+
+    def sever(self, a: str, b: str) -> None:
+        """Cut connectivity between ``a`` and ``b`` (both directions)."""
+        self.severed_links.add((a, b))
+        self.severed_links.add((b, a))
+
+    def heal(self, a: str, b: str) -> None:
+        """Restore connectivity between ``a`` and ``b``."""
+        self.severed_links.discard((a, b))
+        self.severed_links.discard((b, a))
+
+    def heal_all(self) -> None:
+        self.severed_links.clear()
+
+    def is_severed(self, a: str, b: str) -> bool:
+        return (a, b) in self.severed_links
+
+
+@dataclass
+class NetworkStatistics:
+    """Aggregate traffic counters used by the benchmarks."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    bytes_delivered: int = 0
+    total_latency: float = 0.0
+    per_operation: Dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> "NetworkStatistics":
+        """Return a copy of the current counters."""
+        return NetworkStatistics(
+            messages_sent=self.messages_sent,
+            messages_delivered=self.messages_delivered,
+            messages_dropped=self.messages_dropped,
+            messages_duplicated=self.messages_duplicated,
+            bytes_delivered=self.bytes_delivered,
+            total_latency=self.total_latency,
+            per_operation=dict(self.per_operation),
+        )
+
+    def delta(self, earlier: "NetworkStatistics") -> "NetworkStatistics":
+        """Return the difference between this snapshot and ``earlier``."""
+        per_operation = dict(self.per_operation)
+        for operation, count in earlier.per_operation.items():
+            per_operation[operation] = per_operation.get(operation, 0) - count
+        return NetworkStatistics(
+            messages_sent=self.messages_sent - earlier.messages_sent,
+            messages_delivered=self.messages_delivered - earlier.messages_delivered,
+            messages_dropped=self.messages_dropped - earlier.messages_dropped,
+            messages_duplicated=self.messages_duplicated - earlier.messages_duplicated,
+            bytes_delivered=self.bytes_delivered - earlier.bytes_delivered,
+            total_latency=self.total_latency - earlier.total_latency,
+            per_operation={k: v for k, v in per_operation.items() if v},
+        )
+
+
+class SimulatedNetwork:
+    """The message fabric connecting organisations, TTPs and services."""
+
+    def __init__(
+        self,
+        fault_model: Optional[FaultModel] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        self.fault_model = fault_model or FaultModel()
+        self.clock = clock or SimulatedClock()
+        self.partition = NetworkPartition()
+        self.statistics = NetworkStatistics()
+        self._endpoints: Dict[str, Endpoint] = {}
+        self._rng = SecureRandom(self.fault_model.seed)
+        self._message_counter = MonotonicCounter(1)
+        self._consecutive_drops: Dict[Tuple[str, str], int] = {}
+        self._lock = threading.RLock()
+        self._trace: List[Message] = []
+        self.trace_enabled = False
+
+    # -- endpoint management ---------------------------------------------------
+
+    def register(self, address: str, handler: EndpointHandler) -> Endpoint:
+        """Register (or replace) the handler for ``address``."""
+        with self._lock:
+            endpoint = Endpoint(address=address, handler=handler)
+            self._endpoints[address] = endpoint
+            return endpoint
+
+    def unregister(self, address: str) -> None:
+        with self._lock:
+            self._endpoints.pop(address, None)
+
+    def endpoint(self, address: str) -> Endpoint:
+        try:
+            return self._endpoints[address]
+        except KeyError:
+            raise UnknownEndpointError(f"no endpoint registered at {address!r}") from None
+
+    def addresses(self) -> List[str]:
+        return sorted(self._endpoints)
+
+    def set_online(self, address: str, online: bool) -> None:
+        """Simulate a node crash (``online=False``) or recovery."""
+        self.endpoint(address).online = online
+
+    # -- fault decisions -------------------------------------------------------
+
+    def _should_drop(self, link: Tuple[str, str]) -> bool:
+        model = self.fault_model
+        if model.drop_probability <= 0.0:
+            return False
+        consecutive = self._consecutive_drops.get(link, 0)
+        if consecutive >= model.max_consecutive_drops:
+            self._consecutive_drops[link] = 0
+            return False
+        roll = self._rng.random_int_below(1_000_000) / 1_000_000.0
+        if roll < model.drop_probability:
+            self._consecutive_drops[link] = consecutive + 1
+            return True
+        self._consecutive_drops[link] = 0
+        return False
+
+    def _should_duplicate(self) -> bool:
+        model = self.fault_model
+        if model.duplicate_probability <= 0.0:
+            return False
+        roll = self._rng.random_int_below(1_000_000) / 1_000_000.0
+        return roll < model.duplicate_probability
+
+    def _latency(self) -> float:
+        model = self.fault_model
+        latency = model.latency_seconds
+        if model.jitter_seconds > 0:
+            jitter = self._rng.random_int_below(1_000_000) / 1_000_000.0
+            latency += jitter * model.jitter_seconds
+        return latency
+
+    # -- sending ----------------------------------------------------------------
+
+    def send(self, sender: str, destination: str, operation: str, payload: Any) -> Any:
+        """Deliver a message and return the destination handler's reply.
+
+        Raises :class:`DeliveryError` when the message is lost (injected drop,
+        partitioned link or offline destination).  Callers needing guaranteed
+        delivery wrap sends in a :class:`repro.transport.delivery.ReliableChannel`.
+        """
+        with self._lock:
+            message = Message(
+                sender=sender,
+                destination=destination,
+                operation=operation,
+                payload=payload,
+                message_id=self._message_counter.next(),
+            )
+            self.statistics.messages_sent += 1
+            self.statistics.per_operation[operation] = (
+                self.statistics.per_operation.get(operation, 0) + 1
+            )
+            if self.trace_enabled:
+                self._trace.append(message)
+
+            link = (sender, destination)
+            if self.partition.is_severed(sender, destination):
+                self.statistics.messages_dropped += 1
+                raise DeliveryError(
+                    f"link {sender!r} -> {destination!r} is partitioned"
+                )
+            endpoint = self._endpoints.get(destination)
+            if endpoint is None:
+                self.statistics.messages_dropped += 1
+                raise UnknownEndpointError(
+                    f"no endpoint registered at {destination!r}"
+                )
+            if not endpoint.online:
+                self.statistics.messages_dropped += 1
+                raise DeliveryError(f"endpoint {destination!r} is offline")
+            if self._should_drop(link):
+                self.statistics.messages_dropped += 1
+                raise DeliveryError(
+                    f"message {message.message_id} from {sender!r} to "
+                    f"{destination!r} was lost"
+                )
+
+            latency = self._latency()
+            self.clock.sleep(latency)
+            self.statistics.total_latency += latency
+            self.statistics.messages_delivered += 1
+            self.statistics.bytes_delivered += message.encoded_size()
+
+            duplicate = self._should_duplicate()
+
+        # Dispatch outside the lock so handlers can themselves send messages.
+        if duplicate:
+            with self._lock:
+                self.statistics.messages_duplicated += 1
+            endpoint.handler(message)
+        return endpoint.handler(message)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def trace(self) -> List[Message]:
+        """Recorded messages (only populated when ``trace_enabled`` is set)."""
+        return list(self._trace)
+
+    def clear_trace(self) -> None:
+        self._trace.clear()
+
+    def reset_statistics(self) -> None:
+        self.statistics = NetworkStatistics()

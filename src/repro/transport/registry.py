@@ -1,0 +1,62 @@
+"""Naming registry for remote objects.
+
+Plays the role of the RMI registry / JNDI naming service in the paper's
+prototype: services (coordinators, TTP services, containers) are bound under
+URIs so remote parties can resolve and invoke them by name.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.errors import UnknownEndpointError
+
+
+class ObjectRegistry:
+    """Thread-safe mapping of names (URIs) to local service objects."""
+
+    def __init__(self) -> None:
+        self._bindings: Dict[str, Any] = {}
+        self._lock = threading.RLock()
+
+    def bind(self, name: str, obj: Any, replace: bool = False) -> None:
+        """Bind ``obj`` under ``name``.
+
+        Raises :class:`ValueError` if the name is taken and ``replace`` is
+        false.
+        """
+        if not name:
+            raise ValueError("cannot bind an empty name")
+        with self._lock:
+            if name in self._bindings and not replace:
+                raise ValueError(f"name {name!r} is already bound")
+            self._bindings[name] = obj
+
+    def rebind(self, name: str, obj: Any) -> None:
+        """Bind ``obj`` under ``name``, replacing any existing binding."""
+        self.bind(name, obj, replace=True)
+
+    def unbind(self, name: str) -> None:
+        with self._lock:
+            self._bindings.pop(name, None)
+
+    def lookup(self, name: str) -> Any:
+        """Resolve ``name`` or raise :class:`UnknownEndpointError`."""
+        with self._lock:
+            try:
+                return self._bindings[name]
+            except KeyError:
+                raise UnknownEndpointError(f"nothing bound under {name!r}") from None
+
+    def lookup_optional(self, name: str) -> Optional[Any]:
+        with self._lock:
+            return self._bindings.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._bindings)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._bindings

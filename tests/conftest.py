@@ -1,0 +1,102 @@
+"""Shared fixtures for the test suite.
+
+Key generation (RSA/DSA) is the slowest part of setting up a trust domain, so
+fixtures that only need *some* working domain are module-scoped; tests that
+mutate shared state build their own domain through the factory fixtures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ComponentDescriptor, DeploymentStyle, TrustDomain
+from repro.crypto.signature import get_scheme
+
+
+class QuoteService:
+    """Simple business service used throughout the tests."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def quote(self, part, quantity=1):
+        self.calls += 1
+        return {"part": part, "quantity": quantity, "price": 100 * quantity}
+
+    def failing_operation(self):
+        raise ValueError("intentional business failure")
+
+
+class SpecificationDocument:
+    """Entity component used as a B2BObject in sharing tests."""
+
+    def __init__(self, state=None) -> None:
+        self._state = dict(state or {"sections": {}, "revision": 0})
+
+    def get_state(self):
+        return dict(self._state)
+
+    def set_state(self, state):
+        self._state = dict(state)
+
+    def set_section(self, name, text):
+        self._state["sections"] = dict(self._state.get("sections", {}))
+        self._state["sections"][name] = text
+        self._state["revision"] = self._state.get("revision", 0) + 1
+        return self._state["revision"]
+
+    def read_section(self, name):
+        return self._state.get("sections", {}).get(name)
+
+
+@pytest.fixture(scope="session")
+def rsa_keypair():
+    """A session-wide RSA key pair for crypto-level tests."""
+    return get_scheme("rsa").generate_keypair()
+
+
+@pytest.fixture(scope="session")
+def second_rsa_keypair():
+    return get_scheme("rsa").generate_keypair()
+
+
+def make_domain(parties=2, style=DeploymentStyle.DIRECT, **kwargs):
+    """Create a trust domain with ``parties`` organisations."""
+    uris = [f"urn:org:party{i}" for i in range(parties)]
+    return TrustDomain.create(uris, style=style, **kwargs)
+
+
+@pytest.fixture
+def domain_factory():
+    """Factory fixture for building fresh trust domains inside a test."""
+    return make_domain
+
+
+@pytest.fixture(scope="module")
+def direct_domain():
+    """Module-scoped two-party direct trust domain with a deployed service."""
+    domain = make_domain(2)
+    provider = domain.organisation("urn:org:party1")
+    provider.deploy(
+        QuoteService(),
+        ComponentDescriptor(name="QuoteService", non_repudiation=True),
+    )
+    return domain
+
+
+@pytest.fixture(scope="module")
+def three_party_domain():
+    """Module-scoped three-party direct trust domain sharing one object."""
+    domain = make_domain(3)
+    domain.share_object("shared-doc", {"sections": {}, "revision": 0})
+    return domain
+
+
+@pytest.fixture
+def quote_service_class():
+    return QuoteService
+
+
+@pytest.fixture
+def specification_document_class():
+    return SpecificationDocument

@@ -1,0 +1,190 @@
+"""Integration tests for the full NR-Sharing stack (Figures 5 and 8).
+
+The scenario mirrors Figure 8: an EJB client invokes an application interface
+(session bean) that updates an entity bean identified as a B2BObject; the
+middleware coordinates the update with the remote replicas, appealing to
+application-specific validator components before agreeing.
+"""
+
+import pytest
+
+from repro import (
+    CallableValidator,
+    ComponentDescriptor,
+    ComponentType,
+    TokenType,
+    TrustDomain,
+)
+from repro.container.interceptor import Invocation
+from tests.conftest import SpecificationDocument
+
+
+class SpecificationFacade:
+    """Application interface (session bean) in front of the shared document."""
+
+    def __init__(self, container, document_name):
+        self._container = container
+        self._document_name = document_name
+
+    def _dispatch(self, method, *args):
+        result = self._container.dispatch(
+            Invocation(component=self._document_name, method=method, args=list(args))
+        )
+        return result.unwrap()
+
+    def author_section(self, name, text):
+        return self._dispatch("set_section", name, text)
+
+    def revise_whole_specification(self, sections):
+        # Rolled up into a single coordination event via the descriptor.
+        for name, text in sections.items():
+            self._dispatch("set_section", name, text)
+        return len(sections)
+
+    def read_section(self, name):
+        return self._dispatch("read_section", name)
+
+
+def budget_validator(limit):
+    def check(context):
+        cost = context.proposed_state.get("cost", 0)
+        return cost <= limit
+
+    return CallableValidator(check, name=f"budget<={limit}")
+
+
+@pytest.fixture(scope="module")
+def sharing_stack():
+    domain = TrustDomain.create(
+        ["urn:org:manufacturer", "urn:org:supplierA", "urn:org:supplierB"]
+    )
+    initial_state = SpecificationDocument().get_state()
+    domain.share_object("component-spec", initial_state)
+
+    facades = {}
+    documents = {}
+    for uri in domain.party_uris():
+        org = domain.organisation(uri)
+        document = SpecificationDocument()
+        org.deploy(
+            document,
+            ComponentDescriptor(
+                name="component-spec",
+                component_type=ComponentType.ENTITY,
+                b2b_object=True,
+            ),
+        )
+        documents[uri] = document
+        org.deploy(
+            SpecificationFacade(org.container, "component-spec"),
+            ComponentDescriptor(name="SpecificationFacade", rollup_methods=["revise_whole_specification"],
+                                metadata={"b2b_object_id": "component-spec"}),
+        )
+        facades[uri] = org.container.create_local_proxy("SpecificationFacade")
+    return domain, facades, documents
+
+
+class TestSharedDocumentLifecycle:
+    def test_update_through_session_facade_propagates(self, sharing_stack):
+        domain, facades, documents = sharing_stack
+        facades["urn:org:manufacturer"].author_section("interface", "CAN bus")
+        for uri in domain.party_uris():
+            assert documents[uri].read_section("interface") == "CAN bus"
+            org = domain.organisation(uri)
+            assert org.shared_state("component-spec")["sections"]["interface"] == "CAN bus"
+
+    def test_remote_reader_sees_agreed_state_locally(self, sharing_stack):
+        domain, facades, _ = sharing_stack
+        facades["urn:org:supplierA"].author_section("materials", "aluminium")
+        # Supplier B reads through its *local* replica -- no remote call needed.
+        assert facades["urn:org:supplierB"].read_section("materials") == "aluminium"
+
+    def test_rollup_method_coordinates_once(self, sharing_stack):
+        domain, facades, _ = sharing_stack
+        manufacturer = domain.organisation("urn:org:manufacturer")
+        runs_before = len(manufacturer.evidence_store.run_ids())
+        facades["urn:org:manufacturer"].revise_whole_specification(
+            {"tolerances": "0.1mm", "finish": "anodised", "testing": "ISO-123"}
+        )
+        assert len(manufacturer.evidence_store.run_ids()) == runs_before + 1
+        supplier = domain.organisation("urn:org:supplierB")
+        assert supplier.shared_state("component-spec")["sections"]["finish"] == "anodised"
+
+    def test_version_numbers_advance_in_lockstep(self, sharing_stack):
+        domain, facades, _ = sharing_stack
+        versions = {
+            uri: domain.organisation(uri).shared_version("component-spec")
+            for uri in domain.party_uris()
+        }
+        assert len(set(versions.values())) == 1
+        facades["urn:org:supplierB"].author_section("delivery", "week 30")
+        for uri in domain.party_uris():
+            assert (
+                domain.organisation(uri).shared_version("component-spec")
+                == versions[uri] + 1
+            )
+
+    def test_every_party_holds_decision_evidence_of_every_other(self, sharing_stack):
+        domain, facades, _ = sharing_stack
+        manufacturer = domain.organisation("urn:org:manufacturer")
+        state = manufacturer.shared_state("component-spec")
+        state["sections"]["warranty"] = "24 months"
+        outcome = manufacturer.propose_update("component-spec", state)
+        assert outcome.agreed
+        run_id = outcome.run_id
+        # Proposer holds NR_DECISION evidence from both suppliers.
+        decisions = manufacturer.evidence_store.tokens_of_type(
+            run_id, TokenType.NR_DECISION.value
+        )
+        deciders = {record.token["issuer"] for record in decisions}
+        assert deciders == {"urn:org:supplierA", "urn:org:supplierB"}
+        # Peers hold the proposer's origin evidence and the collective outcome.
+        for supplier_uri in ("urn:org:supplierA", "urn:org:supplierB"):
+            supplier = domain.organisation(supplier_uri)
+            types = {r.token_type for r in supplier.evidence_for_run(run_id)}
+            assert TokenType.NRO_UPDATE.value in types
+            assert TokenType.NR_OUTCOME.value in types
+
+
+class TestValidatedNegotiation:
+    @pytest.fixture
+    def negotiation(self):
+        domain = TrustDomain.create(["urn:org:buyer", "urn:org:sellerA", "urn:org:sellerB"])
+        initial = {"item": "custom gearbox", "cost": 0}
+        for uri in domain.party_uris():
+            org = domain.organisation(uri)
+            validators = []
+            if uri != "urn:org:buyer":
+                validators.append(budget_validator(10_000))
+            org.share_object("purchase-order", initial, domain.party_uris(), validators)
+        return domain
+
+    def test_within_budget_update_is_agreed(self, negotiation):
+        buyer = negotiation.organisation("urn:org:buyer")
+        outcome = buyer.propose_update(
+            "purchase-order", {"item": "custom gearbox", "cost": 8_000}
+        )
+        assert outcome.agreed
+        for uri in negotiation.party_uris():
+            assert negotiation.organisation(uri).shared_state("purchase-order")["cost"] == 8_000
+
+    def test_over_budget_update_is_vetoed_by_validators(self, negotiation):
+        buyer = negotiation.organisation("urn:org:buyer")
+        outcome = buyer.propose_update(
+            "purchase-order", {"item": "custom gearbox", "cost": 50_000}
+        )
+        assert not outcome.agreed
+        rejectors = [uri for uri, d in outcome.decisions.items() if not d.accepted]
+        assert set(rejectors) == {"urn:org:sellerA", "urn:org:sellerB"}
+        for uri in negotiation.party_uris():
+            assert negotiation.organisation(uri).shared_state("purchase-order")["cost"] == 0
+
+    def test_audit_trail_records_validation_decisions(self, negotiation):
+        buyer = negotiation.organisation("urn:org:buyer")
+        seller = negotiation.organisation("urn:org:sellerA")
+        outcome = buyer.propose_update(
+            "purchase-order", {"item": "custom gearbox", "cost": 50_000}
+        )
+        records = seller.audit_records(category="nr.sharing", subject=outcome.run_id)
+        assert any(record.details.get("event") == "proposal-validated" for record in records)
+        assert any(record.details.get("accepted") is False for record in records)

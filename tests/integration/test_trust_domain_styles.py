@@ -1,0 +1,133 @@
+"""Integration tests: identical application code over all three deployment styles.
+
+The point of the trusted-interceptor abstraction (Section 3.1, Figure 3) is
+that the application is insulated from how the trust domain is constructed.
+These tests run the same invocation and sharing scenario over the direct,
+inline-TTP and distributed-inline-TTP deployments and compare observable cost
+(messages, relay counts) while asserting identical application outcomes.
+"""
+
+import pytest
+
+from repro import ComponentDescriptor, DeploymentStyle, TrustDomain
+from tests.conftest import QuoteService
+
+PARTIES = ["urn:org:client", "urn:org:provider"]
+
+ALL_STYLES = [
+    DeploymentStyle.DIRECT,
+    DeploymentStyle.INLINE_TTP,
+    DeploymentStyle.DISTRIBUTED_TTP,
+]
+
+
+def build(style):
+    domain = TrustDomain.create(PARTIES, style=style)
+    provider = domain.organisation("urn:org:provider")
+    provider.deploy(
+        QuoteService(), ComponentDescriptor(name="QuoteService", non_repudiation=True)
+    )
+    domain.share_object("bill-of-materials", {"parts": []})
+    return domain
+
+
+def run_scenario(domain):
+    """One invocation plus one agreed shared-state update."""
+    client = domain.organisation("urn:org:client")
+    provider = domain.organisation("urn:org:provider")
+    before = domain.network.statistics.snapshot()
+    invocation = client.invoke_non_repudiably(
+        provider.uri, "QuoteService", "quote", ["axle"], {"quantity": 2}
+    )
+    sharing = client.propose_update("bill-of-materials", {"parts": ["axle", "axle"]})
+    delta = domain.network.statistics.delta(before)
+    return invocation, sharing, delta
+
+
+class TestSameBehaviourEveryStyle:
+    @pytest.mark.parametrize("style", ALL_STYLES, ids=lambda s: s.value)
+    def test_invocation_and_sharing_succeed(self, style):
+        domain = build(style)
+        invocation, sharing, _ = run_scenario(domain)
+        assert invocation.succeeded
+        assert invocation.value["price"] == 200
+        assert sharing.agreed
+        provider = domain.organisation("urn:org:provider")
+        assert provider.shared_state("bill-of-materials") == {"parts": ["axle", "axle"]}
+
+    @pytest.mark.parametrize("style", ALL_STYLES, ids=lambda s: s.value)
+    def test_evidence_is_complete_in_every_style(self, style):
+        domain = build(style)
+        invocation, sharing, _ = run_scenario(domain)
+        client = domain.organisation("urn:org:client")
+        provider = domain.organisation("urn:org:provider")
+        assert len(client.evidence_for_run(invocation.run_id)) >= 4
+        assert len(provider.evidence_for_run(invocation.run_id)) >= 4
+        assert len(client.evidence_for_run(sharing.run_id)) >= 3
+
+    def test_ttp_styles_cost_more_messages_than_direct(self):
+        costs = {}
+        for style in ALL_STYLES:
+            domain = build(style)
+            _, _, delta = run_scenario(domain)
+            costs[style] = delta.messages_sent
+        assert costs[DeploymentStyle.DIRECT] < costs[DeploymentStyle.INLINE_TTP]
+        assert costs[DeploymentStyle.INLINE_TTP] <= costs[DeploymentStyle.DISTRIBUTED_TTP]
+
+    def test_ttp_holds_relay_evidence_only_in_ttp_styles(self):
+        direct = build(DeploymentStyle.DIRECT)
+        run_scenario(direct)
+        assert direct.total_relayed_messages() == 0
+
+        inline = build(DeploymentStyle.INLINE_TTP)
+        run_scenario(inline)
+        assert inline.total_relayed_messages() > 0
+        ttp = inline.ttps["urn:ttp:inline"]
+        assert ttp.evidence_store.total_records() > 0
+        assert ttp.audit_log.verify_integrity()
+
+    def test_mixed_routing_one_leg_via_ttp(self):
+        """One part of an interaction may use a TTP while another is direct (§3.1)."""
+        domain = TrustDomain.create(
+            ["urn:org:a", "urn:org:b", "urn:org:c"], style=DeploymentStyle.DIRECT
+        )
+        # Introduce a TTP and route only the a<->c legs through it.
+        from repro.core.organisation import Organisation
+        from repro.core.ttp import install_relays
+        from repro.core.invocation import NR_INVOCATION_PROTOCOL
+
+        ttp = Organisation(
+            uri="urn:ttp:partial",
+            network=domain.network,
+            ca=domain.certificate_authority,
+        )
+        install_relays(ttp.coordinator, [NR_INVOCATION_PROTOCOL])
+        for uri in ("urn:org:a", "urn:org:c"):
+            org = domain.organisation(uri)
+            ttp.trust(org)
+            org.evidence_verifier.pin_key(ttp.uri, ttp.public_key)
+        domain.organisation("urn:org:a").route_via("urn:org:c", ttp.coordinator.address)
+
+        provider_b = domain.organisation("urn:org:b")
+        provider_c = domain.organisation("urn:org:c")
+        for provider in (provider_b, provider_c):
+            provider.deploy(
+                QuoteService(), ComponentDescriptor(name="QuoteService", non_repudiation=True)
+            )
+        client = domain.organisation("urn:org:a")
+        # Direct leg.
+        assert client.invoke_non_repudiably(provider_b.uri, "QuoteService", "quote", ["x"]).succeeded
+        relayed_after_direct = sum(
+            handler.relayed_messages
+            for handler in ttp.coordinator._handlers.values()  # noqa: SLF001
+            if hasattr(handler, "relayed_messages")
+        )
+        assert relayed_after_direct == 0
+        # TTP-mediated leg.
+        assert client.invoke_non_repudiably(provider_c.uri, "QuoteService", "quote", ["x"]).succeeded
+        relayed_after_ttp = sum(
+            handler.relayed_messages
+            for handler in ttp.coordinator._handlers.values()  # noqa: SLF001
+            if hasattr(handler, "relayed_messages")
+        )
+        assert relayed_after_ttp > 0

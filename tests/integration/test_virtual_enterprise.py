@@ -1,0 +1,193 @@
+"""Integration test of the paper's motivating example (Section 2, Figure 1).
+
+A specialist car dealer, a car manufacturer and three part suppliers form a
+virtual enterprise.  The composite service combines NR-Invocation (ordering,
+querying part availability) and NR-Sharing (the jointly negotiated component
+specification and the agreements governing the interaction).
+"""
+
+import pytest
+
+from repro import (
+    CallableValidator,
+    ComponentDescriptor,
+    ClaimType,
+    DisputeClaim,
+    DisputeResolver,
+    TokenType,
+    TrustDomain,
+)
+
+DEALER = "urn:ve:car-dealer"
+MANUFACTURER = "urn:ve:car-manufacturer"
+SUPPLIER_A = "urn:ve:part-supplier-a"
+SUPPLIER_B = "urn:ve:part-supplier-b"
+SUPPLIER_C = "urn:ve:part-supplier-c"
+
+ALL_PARTIES = [DEALER, MANUFACTURER, SUPPLIER_A, SUPPLIER_B, SUPPLIER_C]
+
+
+class OrderService:
+    """Manufacturer service through which the dealer orders a specialist car."""
+
+    def __init__(self):
+        self.orders = {}
+
+    def place_order(self, model, options):
+        order_id = f"order-{len(self.orders) + 1}"
+        self.orders[order_id] = {"model": model, "options": options, "status": "accepted"}
+        return {"order_id": order_id, "status": "accepted"}
+
+    def order_status(self, order_id):
+        return self.orders[order_id]["status"]
+
+
+class PartCatalogue:
+    """Supplier service answering part availability queries."""
+
+    def __init__(self, parts):
+        self._parts = parts
+
+    def availability(self, part):
+        return {"part": part, "available": part in self._parts, "lead_time_weeks": 6}
+
+
+@pytest.fixture(scope="module")
+def virtual_enterprise():
+    domain = TrustDomain.create(ALL_PARTIES)
+    manufacturer = domain.organisation(MANUFACTURER)
+    manufacturer.deploy(
+        OrderService(), ComponentDescriptor(name="OrderService", non_repudiation=True)
+    )
+    catalogues = {
+        SUPPLIER_A: ["gearbox", "differential"],
+        SUPPLIER_B: ["carbon body", "spoiler"],
+        SUPPLIER_C: ["bespoke interior"],
+    }
+    for supplier, parts in catalogues.items():
+        domain.organisation(supplier).deploy(
+            PartCatalogue(parts),
+            ComponentDescriptor(name="PartCatalogue", non_repudiation=True),
+        )
+
+    # The component specification is shared by the manufacturer and suppliers
+    # A and B (the negotiation of Figure 1); the dealer is not a member.
+    spec_members = [MANUFACTURER, SUPPLIER_A, SUPPLIER_B]
+    spec_initial = {"component": "drive train", "requirements": {}, "agreed_cost": 0}
+    for uri in spec_members:
+        org = domain.organisation(uri)
+        validators = []
+        if uri != MANUFACTURER:
+            validators.append(
+                CallableValidator(
+                    lambda ctx: ctx.proposed_state.get("agreed_cost", 0) <= 25_000,
+                    name="cost-ceiling",
+                )
+            )
+        org.share_object("drive-train-spec", spec_initial, spec_members, validators)
+    return domain
+
+
+class TestVirtualEnterpriseScenario:
+    def test_dealer_places_non_repudiable_order(self, virtual_enterprise):
+        dealer = virtual_enterprise.organisation(DEALER)
+        manufacturer = virtual_enterprise.organisation(MANUFACTURER)
+        proxy = dealer.nr_proxy(manufacturer, "OrderService")
+        confirmation = proxy.place_order("roadster", {"colour": "british racing green"})
+        assert confirmation["status"] == "accepted"
+        # The manufacturer can later prove who placed the order.
+        run_id = dealer.evidence_store.run_ids()[0]
+        origin = manufacturer.evidence_store.tokens_of_type(run_id, TokenType.NRO_REQUEST.value)
+        assert origin and origin[0].token["issuer"] == DEALER
+
+    def test_manufacturer_queries_suppliers(self, virtual_enterprise):
+        manufacturer = virtual_enterprise.organisation(MANUFACTURER)
+        for supplier_uri, part, expected in [
+            (SUPPLIER_A, "gearbox", True),
+            (SUPPLIER_B, "gearbox", False),
+            (SUPPLIER_C, "bespoke interior", True),
+        ]:
+            supplier = virtual_enterprise.organisation(supplier_uri)
+            outcome = manufacturer.invoke_non_repudiably(
+                supplier.uri, "PartCatalogue", "availability", [part]
+            )
+            assert outcome.succeeded
+            assert outcome.value["available"] is expected
+
+    def test_specification_negotiation_round(self, virtual_enterprise):
+        manufacturer = virtual_enterprise.organisation(MANUFACTURER)
+        supplier_a = virtual_enterprise.organisation(SUPPLIER_A)
+        supplier_b = virtual_enterprise.organisation(SUPPLIER_B)
+
+        proposal = {
+            "component": "drive train",
+            "requirements": {"torque": "450Nm", "interface": "standard flange"},
+            "agreed_cost": 22_000,
+        }
+        outcome = manufacturer.propose_update("drive-train-spec", proposal)
+        assert outcome.agreed
+        assert supplier_a.shared_state("drive-train-spec")["agreed_cost"] == 22_000
+        assert supplier_b.shared_state("drive-train-spec")["requirements"]["torque"] == "450Nm"
+
+    def test_over_budget_specification_is_vetoed(self, virtual_enterprise):
+        manufacturer = virtual_enterprise.organisation(MANUFACTURER)
+        supplier_a = virtual_enterprise.organisation(SUPPLIER_A)
+        before = supplier_a.shared_state("drive-train-spec")
+        outcome = manufacturer.propose_update(
+            "drive-train-spec",
+            {"component": "drive train", "requirements": {}, "agreed_cost": 90_000},
+        )
+        assert not outcome.agreed
+        assert supplier_a.shared_state("drive-train-spec") == before
+
+    def test_dealer_is_not_a_member_of_the_specification_group(self, virtual_enterprise):
+        dealer = virtual_enterprise.organisation(DEALER)
+        assert not dealer.controller.is_shared("drive-train-spec")
+        manufacturer = virtual_enterprise.organisation(MANUFACTURER)
+        assert DEALER not in manufacturer.controller.members("drive-train-spec")
+
+    def test_disputes_are_resolvable_from_stored_evidence(self, virtual_enterprise):
+        dealer = virtual_enterprise.organisation(DEALER)
+        manufacturer = virtual_enterprise.organisation(MANUFACTURER)
+        outcome = dealer.invoke_non_repudiably(
+            manufacturer.uri, "OrderService", "place_order", ["gt", {"colour": "silver"}]
+        )
+        resolver = DisputeResolver(manufacturer.evidence_verifier)
+        # The dealer later denies having ordered the silver GT.
+        claim = DisputeClaim(
+            claim_type=ClaimType.DENIES_REQUEST_ORIGIN,
+            run_id=outcome.run_id,
+            denying_party=DEALER,
+        )
+        verdict = resolver.adjudicate_from_store(claim, manufacturer.evidence_store)
+        assert verdict.refuted
+        # The manufacturer denies having confirmed the order.
+        counter_claim = DisputeClaim(
+            claim_type=ClaimType.DENIES_RESPONSE_ORIGIN,
+            run_id=outcome.run_id,
+            denying_party=MANUFACTURER,
+        )
+        counter_verdict = DisputeResolver(dealer.evidence_verifier).adjudicate_from_store(
+            counter_claim, dealer.evidence_store
+        )
+        assert counter_verdict.refuted
+
+    def test_supplier_c_joins_the_specification_group_later(self, virtual_enterprise):
+        manufacturer = virtual_enterprise.organisation(MANUFACTURER)
+        supplier_c = virtual_enterprise.organisation(SUPPLIER_C)
+        outcome = manufacturer.controller.connect_member("drive-train-spec", SUPPLIER_C)
+        assert outcome.agreed
+        assert supplier_c.controller.is_shared("drive-train-spec")
+        # The new member participates in the next negotiation round.
+        state = supplier_c.shared_state("drive-train-spec")
+        state["requirements"]["interior mounts"] = "leather trim compatible"
+        update = supplier_c.propose_update("drive-train-spec", state)
+        assert update.agreed
+        assert (
+            manufacturer.shared_state("drive-train-spec")["requirements"]["interior mounts"]
+            == "leather trim compatible"
+        )
+
+    def test_audit_logs_of_all_parties_are_intact(self, virtual_enterprise):
+        for uri in ALL_PARTIES:
+            assert virtual_enterprise.organisation(uri).audit_log.verify_integrity()

@@ -1,0 +1,120 @@
+"""Property-based tests for the cryptographic substrate."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.crypto.hashing import HashChain, MerkleTree, combine_digests, secure_hash
+from repro.crypto.rng import SecureRandom
+from repro.crypto.signature import Signer, Verifier, get_scheme
+
+# A single key pair reused across examples: generating keys inside @given
+# bodies would dominate the run time without adding coverage.
+_RSA_KEYPAIR = get_scheme("rsa").generate_keypair(bits=512)
+_HMAC_KEYPAIR = get_scheme("hmac").generate_keypair()
+
+_SETTINGS = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestHashingProperties:
+    @_SETTINGS
+    @given(st.binary(min_size=0, max_size=512))
+    def test_hash_is_deterministic(self, data):
+        assert secure_hash(data) == secure_hash(data)
+
+    @_SETTINGS
+    @given(st.binary(max_size=256), st.binary(max_size=256))
+    def test_distinct_inputs_rarely_collide(self, a, b):
+        if a != b:
+            assert secure_hash(a) != secure_hash(b)
+
+    @_SETTINGS
+    @given(st.lists(st.binary(max_size=64), min_size=1, max_size=8))
+    def test_combine_digests_depends_on_every_part(self, parts):
+        original = combine_digests(*parts)
+        mutated = list(parts)
+        mutated[0] = mutated[0] + b"\x01"
+        assert combine_digests(*mutated) != original
+
+
+class TestHashChainProperties:
+    @_SETTINGS
+    @given(st.lists(st.binary(max_size=128), max_size=20))
+    def test_chain_verifies_its_own_items(self, items):
+        chain = HashChain()
+        for item in items:
+            chain.append(item)
+        assert chain.verify(items)
+
+    @_SETTINGS
+    @given(
+        st.lists(st.binary(max_size=128), min_size=1, max_size=20),
+        st.integers(min_value=0, max_value=19),
+    )
+    def test_any_single_mutation_is_detected(self, items, index):
+        chain = HashChain()
+        for item in items:
+            chain.append(item)
+        index = index % len(items)
+        tampered = list(items)
+        tampered[index] = tampered[index] + b"\xff"
+        assert not chain.verify(tampered)
+
+    @_SETTINGS
+    @given(st.lists(st.binary(max_size=64), min_size=2, max_size=10))
+    def test_truncation_is_detected(self, items):
+        chain = HashChain()
+        for item in items:
+            chain.append(item)
+        assert not chain.verify(items[:-1])
+
+
+class TestMerkleProperties:
+    @_SETTINGS
+    @given(st.lists(st.binary(max_size=64), min_size=1, max_size=32))
+    def test_every_leaf_proof_verifies(self, items):
+        tree = MerkleTree(items)
+        for index in range(len(items)):
+            assert tree.proof(index).verify(tree.root)
+
+    @_SETTINGS
+    @given(st.lists(st.binary(max_size=64), min_size=2, max_size=16))
+    def test_proofs_do_not_transfer_between_trees(self, items):
+        tree = MerkleTree(items)
+        other = MerkleTree(items + [b"extra leaf"])
+        assert not tree.proof(0).verify(other.root) or tree.root == other.root
+
+
+class TestSignatureProperties:
+    @_SETTINGS
+    @given(st.binary(min_size=0, max_size=1024))
+    def test_rsa_roundtrip_for_arbitrary_messages(self, message):
+        signature = Signer(_RSA_KEYPAIR.private).sign(message)
+        assert Verifier(_RSA_KEYPAIR.public).verify(message, signature)
+
+    @_SETTINGS
+    @given(st.binary(min_size=1, max_size=512), st.binary(min_size=1, max_size=16))
+    def test_rsa_rejects_any_modified_message(self, message, suffix):
+        signature = Signer(_RSA_KEYPAIR.private).sign(message)
+        modified = message + suffix
+        assert not Verifier(_RSA_KEYPAIR.public).verify(modified, signature)
+
+    @_SETTINGS
+    @given(st.binary(min_size=0, max_size=1024))
+    def test_hmac_roundtrip_for_arbitrary_messages(self, message):
+        signature = Signer(_HMAC_KEYPAIR.private).sign(message)
+        assert Verifier(_HMAC_KEYPAIR.public).verify(message, signature)
+
+
+class TestRandomnessProperties:
+    @_SETTINGS
+    @given(st.binary(min_size=1, max_size=64), st.integers(min_value=1, max_value=256))
+    def test_seeded_streams_are_reproducible(self, seed, length):
+        assert SecureRandom(seed).random_bytes(length) == SecureRandom(seed).random_bytes(length)
+
+    @_SETTINGS
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_random_int_below_stays_in_range(self, upper):
+        rng = SecureRandom(seed=b"prop")
+        for _ in range(5):
+            assert 0 <= rng.random_int_below(upper) < upper

@@ -1,0 +1,225 @@
+"""Unit tests for credentials, role activation, policies and membership."""
+
+import pytest
+
+from repro.access.credentials import Credential, CredentialIssuer, verify_credential
+from repro.access.policy import AccessDecision, AccessPolicy, PolicyRule
+from repro.access.roles import RoleActivationRule, RoleManager
+from repro.clock import SimulatedClock
+from repro.errors import AccessDeniedError, CredentialError, MembershipError
+from repro.membership.service import Member, MembershipService
+
+
+@pytest.fixture(scope="module")
+def issuer():
+    return CredentialIssuer("urn:ve:coordinator", clock=SimulatedClock(start=100.0))
+
+
+class TestCredentials:
+    def test_issue_and_verify(self, issuer):
+        credential = issuer.issue("urn:org:a", {"role": "supplier"})
+        assert verify_credential(credential, issuer.public_key)
+        assert verify_credential(credential, issuer.public_key, at_time=150.0)
+
+    def test_expired_credential_rejected(self, issuer):
+        credential = issuer.issue("urn:org:a", {"role": "supplier"}, validity_seconds=10.0)
+        assert not verify_credential(credential, issuer.public_key, at_time=10_000.0)
+
+    def test_tampered_attributes_rejected(self, issuer):
+        credential = issuer.issue("urn:org:a", {"role": "supplier"})
+        forged = Credential(
+            credential_id=credential.credential_id,
+            subject=credential.subject,
+            issuer=credential.issuer,
+            attributes={"role": "administrator"},
+            not_before=credential.not_before,
+            not_after=credential.not_after,
+            signature=credential.signature,
+        )
+        assert not verify_credential(forged, issuer.public_key)
+
+    def test_unsigned_credential_rejected(self, issuer):
+        credential = issuer.issue("urn:org:a", {"role": "supplier"})
+        stripped = Credential(
+            credential_id=credential.credential_id,
+            subject=credential.subject,
+            issuer=credential.issuer,
+            attributes=credential.attributes,
+            not_before=credential.not_before,
+            not_after=credential.not_after,
+            signature=None,
+        )
+        assert not verify_credential(stripped, issuer.public_key)
+
+    def test_empty_subject_rejected(self, issuer):
+        with pytest.raises(CredentialError):
+            issuer.issue("", {})
+
+    def test_dict_roundtrip(self, issuer):
+        credential = issuer.issue("urn:org:a", {"role": "supplier"})
+        restored = Credential.from_dict(credential.to_dict())
+        assert verify_credential(restored, issuer.public_key)
+
+
+class TestRoleManager:
+    @pytest.fixture
+    def manager(self, issuer):
+        manager = RoleManager(clock=SimulatedClock(start=100.0))
+        manager.trust_issuer(issuer.name, issuer.public_key)
+        manager.add_rule(
+            RoleActivationRule(
+                role="ve-member",
+                required_attributes={"member": True},
+                deactivating_events={"ve.dissolved"},
+            )
+        )
+        manager.add_rule(
+            RoleActivationRule(
+                role="supplier",
+                predicate=lambda attributes: attributes.get("kind") == "supplier",
+            )
+        )
+        return manager
+
+    def test_presenting_credential_activates_matching_roles(self, manager, issuer):
+        credential = issuer.issue("urn:org:a", {"member": True, "kind": "supplier"})
+        activated = manager.present_credential(credential)
+        assert set(activated) == {"ve-member", "supplier"}
+        assert manager.has_role("urn:org:a", "ve-member")
+
+    def test_non_matching_credential_activates_nothing(self, manager, issuer):
+        credential = issuer.issue("urn:org:b", {"member": False})
+        assert manager.present_credential(credential) == []
+        assert manager.active_roles("urn:org:b") == set()
+
+    def test_untrusted_issuer_rejected(self, manager):
+        rogue = CredentialIssuer("urn:rogue:issuer")
+        credential = rogue.issue("urn:org:a", {"member": True})
+        with pytest.raises(CredentialError):
+            manager.present_credential(credential)
+
+    def test_event_deactivates_subscribed_roles(self, manager, issuer):
+        credential = issuer.issue("urn:org:a", {"member": True, "kind": "supplier"})
+        manager.present_credential(credential)
+        revoked = manager.dispatch_event("ve.dissolved")
+        assert [assignment.role for assignment in revoked] == ["ve-member"]
+        assert manager.active_roles("urn:org:a") == {"supplier"}
+
+    def test_explicit_revocation(self, manager, issuer):
+        credential = issuer.issue("urn:org:a", {"member": True})
+        manager.present_credential(credential)
+        manager.revoke("urn:org:a", "ve-member")
+        assert not manager.has_role("urn:org:a", "ve-member")
+
+    def test_require_role_raises_when_missing(self, manager):
+        with pytest.raises(AccessDeniedError):
+            manager.require_role("urn:org:zzz", "ve-member")
+
+    def test_rule_issuer_restriction(self, issuer):
+        manager = RoleManager(clock=SimulatedClock(start=100.0))
+        manager.trust_issuer(issuer.name, issuer.public_key)
+        manager.add_rule(
+            RoleActivationRule(role="audited", required_issuer="urn:someone:else")
+        )
+        credential = issuer.issue("urn:org:a", {})
+        assert manager.present_credential(credential) == []
+
+
+class TestAccessPolicy:
+    def test_permit_rule_allows(self):
+        policy = AccessPolicy("urn:org:a")
+        policy.permit("supplier", "QuoteService", "quote")
+        assert policy.evaluate({"supplier"}, "QuoteService", "quote") is AccessDecision.PERMIT
+
+    def test_default_is_deny(self):
+        policy = AccessPolicy("urn:org:a")
+        assert policy.evaluate({"supplier"}, "QuoteService", "quote") is AccessDecision.DENY
+
+    def test_deny_overrides_permit(self):
+        policy = AccessPolicy("urn:org:a")
+        policy.permit("*", "QuoteService", "*")
+        policy.deny("blacklisted", "QuoteService", "*")
+        assert policy.evaluate({"blacklisted"}, "QuoteService", "quote") is AccessDecision.DENY
+
+    def test_wildcards_match(self):
+        policy = AccessPolicy("urn:org:a")
+        policy.permit("member", "b2bobject:*", "get_*")
+        assert policy.evaluate({"member"}, "b2bobject:spec", "get_state") is AccessDecision.PERMIT
+        assert policy.evaluate({"member"}, "b2bobject:spec", "set_state") is AccessDecision.DENY
+
+    def test_check_with_role_manager(self, issuer):
+        manager = RoleManager(clock=SimulatedClock(start=100.0))
+        manager.trust_issuer(issuer.name, issuer.public_key)
+        manager.add_rule(RoleActivationRule(role="member", required_attributes={"member": True}))
+        manager.present_credential(issuer.issue("urn:org:a", {"member": True}))
+        policy = AccessPolicy("urn:org:a")
+        policy.permit("member", "Service", "operate")
+        policy.check(manager, "urn:org:a", "Service", "operate")
+        with pytest.raises(AccessDeniedError):
+            policy.check(manager, "urn:org:b", "Service", "operate")
+
+    def test_rule_listing(self):
+        policy = AccessPolicy("urn:org:a", rules=[PolicyRule("r", "res", "op")])
+        assert len(policy.rules) == 1
+
+
+class TestMembershipService:
+    def test_create_group_with_founders(self):
+        service = MembershipService()
+        service.create_group("doc", [Member("urn:org:a"), Member("urn:org:b")])
+        assert service.member_uris("doc") == ["urn:org:a", "urn:org:b"]
+        assert service.is_member("doc", "urn:org:a")
+        assert len(service.group("doc")) == 2
+
+    def test_duplicate_group_rejected(self):
+        service = MembershipService()
+        service.create_group("doc")
+        with pytest.raises(MembershipError):
+            service.create_group("doc")
+
+    def test_connect_and_disconnect_record_events(self):
+        service = MembershipService(clock=SimulatedClock(start=5.0))
+        service.create_group("doc", [Member("urn:org:a")])
+        service.connect("doc", Member("urn:org:b"))
+        service.disconnect("doc", "urn:org:a")
+        events = service.events("doc")
+        assert [(e.member_uri, e.action) for e in events] == [
+            ("urn:org:a", "connect"),
+            ("urn:org:b", "connect"),
+            ("urn:org:a", "disconnect"),
+        ]
+        assert service.member_uris("doc") == ["urn:org:b"]
+
+    def test_duplicate_connect_rejected(self):
+        service = MembershipService()
+        service.create_group("doc", [Member("urn:org:a")])
+        with pytest.raises(MembershipError):
+            service.connect("doc", Member("urn:org:a"))
+
+    def test_disconnect_of_non_member_rejected(self):
+        service = MembershipService()
+        service.create_group("doc", [Member("urn:org:a")])
+        with pytest.raises(MembershipError):
+            service.disconnect("doc", "urn:org:zzz")
+
+    def test_unknown_group_raises(self):
+        with pytest.raises(MembershipError):
+            MembershipService().group("missing")
+
+    def test_peers_of_excludes_self(self):
+        service = MembershipService()
+        service.create_group("doc", [Member("urn:org:a"), Member("urn:org:b"), Member("urn:org:c")])
+        assert service.peers_of("doc", "urn:org:b") == {"urn:org:a", "urn:org:c"}
+
+    def test_certificate_lookup(self):
+        service = MembershipService()
+        service.create_group("doc", [Member("urn:org:a")])
+        assert service.certificate_for("doc", "urn:org:a") is None
+        with pytest.raises(MembershipError):
+            service.certificate_for("doc", "urn:org:x")
+
+    def test_group_ids(self):
+        service = MembershipService()
+        service.create_group("b")
+        service.create_group("a")
+        assert service.group_ids() == ["a", "b"]

@@ -1,0 +1,95 @@
+"""Unit tests for canonical serialisation and the clock abstraction."""
+
+import pytest
+
+from repro import codec
+from repro.clock import MonotonicCounter, SimulatedClock, SystemClock
+
+
+class TestCodec:
+    def test_scalars_roundtrip(self):
+        for value in (None, True, False, 0, 42, -1, 3.5, "text"):
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_bytes_roundtrip(self):
+        assert codec.decode(codec.encode(b"\x00\x01binary")) == b"\x00\x01binary"
+
+    def test_nested_containers_roundtrip(self):
+        value = {"list": [1, 2, {"inner": b"bytes"}], "tuple": (1, 2)}
+        decoded = codec.decode(codec.encode(value))
+        assert decoded["list"][2]["inner"] == b"bytes"
+        assert decoded["tuple"] == [1, 2]  # tuples normalise to lists
+
+    def test_sets_roundtrip(self):
+        assert codec.decode(codec.encode({"members": {"a", "b"}}))["members"] == {"a", "b"}
+
+    def test_encoding_is_canonical_and_order_independent(self):
+        a = codec.encode({"x": 1, "y": 2})
+        b = codec.encode({"y": 2, "x": 1})
+        assert a == b
+
+    def test_different_values_encode_differently(self):
+        assert codec.encode({"x": 1}) != codec.encode({"x": 2})
+
+    def test_object_with_to_dict_is_encoded(self):
+        class Thing:
+            def to_dict(self):
+                return {"field": 7}
+
+        encoded = codec.encode(Thing())
+        assert b"Thing" in encoded
+        assert codec.decode(encoded) == {"field": 7}
+
+    def test_unencodable_value_raises(self):
+        with pytest.raises(codec.CodecError):
+            codec.encode(object())
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(codec.CodecError):
+            codec.encode({1: "value"})
+
+    def test_encoded_size_matches_length(self):
+        value = {"payload": "x" * 100}
+        assert codec.encoded_size(value) == len(codec.encode(value))
+
+
+class TestSimulatedClock:
+    def test_starts_at_requested_time(self):
+        assert SimulatedClock(start=10.0).now() == 10.0
+
+    def test_advance_moves_time_forward(self):
+        clock = SimulatedClock()
+        clock.advance(5.0)
+        clock.sleep(2.5)
+        assert clock.now() == 7.5
+
+    def test_cannot_go_backwards(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_time_does_not_pass_by_itself(self):
+        clock = SimulatedClock(start=3.0)
+        assert clock.now() == clock.now() == 3.0
+
+
+class TestSystemClock:
+    def test_now_is_monotone_enough(self):
+        clock = SystemClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first
+
+    def test_sleep_zero_returns_immediately(self):
+        SystemClock().sleep(0)
+
+
+class TestMonotonicCounter:
+    def test_counts_up_from_start(self):
+        counter = MonotonicCounter(start=5)
+        assert [counter.next() for _ in range(3)] == [5, 6, 7]
+
+    def test_values_are_unique_across_many_calls(self):
+        counter = MonotonicCounter()
+        values = [counter.next() for _ in range(1000)]
+        assert len(set(values)) == 1000

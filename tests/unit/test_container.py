@@ -1,0 +1,361 @@
+"""Unit tests for the component container substrate."""
+
+import pytest
+
+from repro.access.policy import AccessPolicy
+from repro.access.roles import RoleActivationRule, RoleManager
+from repro.access.credentials import CredentialIssuer
+from repro.container.component import Component, ComponentDescriptor, ComponentType
+from repro.container.container import Container
+from repro.container.interceptor import (
+    Interceptor,
+    InterceptorChain,
+    Invocation,
+    InvocationResult,
+    business_method_handler,
+)
+from repro.container.naming import NamingContext
+from repro.container.proxy import ClientProxy
+from repro.container.services import (
+    AccessControlInterceptor,
+    CallStatisticsInterceptor,
+    LoggingInterceptor,
+)
+from repro.errors import (
+    DeploymentError,
+    InterceptorError,
+    NoSuchComponentError,
+)
+from repro.persistence.audit_log import AuditLog
+from repro.transport.network import SimulatedNetwork
+from repro.transport.rmi import RemoteInvoker
+
+
+class Greeter:
+    def greet(self, name):
+        return f"hello {name}"
+
+    def fail(self):
+        raise RuntimeError("boom")
+
+
+class TestComponentDescriptor:
+    def test_requires_name(self):
+        with pytest.raises(DeploymentError):
+            ComponentDescriptor(name="")
+
+    def test_b2b_object_must_be_entity(self):
+        with pytest.raises(DeploymentError):
+            ComponentDescriptor(name="x", b2b_object=True, component_type=ComponentType.SESSION)
+        ComponentDescriptor(name="x", b2b_object=True, component_type=ComponentType.ENTITY)
+
+    def test_dict_roundtrip(self):
+        descriptor = ComponentDescriptor(
+            name="Svc",
+            non_repudiation=True,
+            nr_protocol="direct",
+            validators=["v1"],
+            rollup_methods=["do_all"],
+            metadata={"key": "value"},
+        )
+        restored = ComponentDescriptor.from_dict(descriptor.to_dict())
+        assert restored == descriptor
+
+
+class TestComponent:
+    def test_business_methods_listed(self):
+        component = Component(ComponentDescriptor(name="Greeter"), Greeter())
+        assert "greet" in component.business_methods()
+        assert all(not m.startswith("_") for m in component.business_methods())
+
+    def test_invoke_business_method(self):
+        component = Component(ComponentDescriptor(name="Greeter"), Greeter())
+        assert component.invoke_business_method("greet", ["world"]) == "hello world"
+
+    def test_unknown_method_raises(self):
+        component = Component(ComponentDescriptor(name="Greeter"), Greeter())
+        with pytest.raises(DeploymentError):
+            component.invoke_business_method("does_not_exist")
+
+
+class RecordingInterceptor(Interceptor):
+    def __init__(self, label, log):
+        self._label = label
+        self._log = log
+
+    def invoke(self, invocation, next_interceptor):
+        self._log.append(f"{self._label}:before")
+        result = next_interceptor(invocation)
+        self._log.append(f"{self._label}:after")
+        return result
+
+
+class ShortCircuitInterceptor(Interceptor):
+    def invoke(self, invocation, next_interceptor):
+        return InvocationResult(value="short-circuited")
+
+
+class TestInterceptorChain:
+    def test_order_is_preserved(self):
+        log = []
+        chain = InterceptorChain(
+            interceptors=[RecordingInterceptor("a", log), RecordingInterceptor("b", log)],
+            final_handler=lambda inv: InvocationResult(value="done"),
+        )
+        result = chain.invoke(Invocation(component="X", method="m"))
+        assert result.value == "done"
+        assert log == ["a:before", "b:before", "b:after", "a:after"]
+
+    def test_add_first_prepends(self):
+        log = []
+        chain = InterceptorChain(
+            interceptors=[RecordingInterceptor("late", log)],
+            final_handler=lambda inv: InvocationResult(value=None),
+        )
+        chain.add_first(RecordingInterceptor("first", log))
+        chain.invoke(Invocation(component="X", method="m"))
+        assert log[0] == "first:before"
+
+    def test_short_circuit_skips_rest(self):
+        log = []
+        chain = InterceptorChain(
+            interceptors=[ShortCircuitInterceptor(), RecordingInterceptor("never", log)],
+            final_handler=lambda inv: InvocationResult(value="done"),
+        )
+        result = chain.invoke(Invocation(component="X", method="m"))
+        assert result.value == "short-circuited"
+        assert log == []
+
+    def test_missing_final_handler_raises(self):
+        chain = InterceptorChain()
+        with pytest.raises(InterceptorError):
+            chain.invoke(Invocation(component="X", method="m"))
+
+    def test_business_method_handler_captures_exceptions(self):
+        component = Component(ComponentDescriptor(name="Greeter"), Greeter())
+        handler = business_method_handler(component)
+        result = handler(Invocation(component="Greeter", method="fail"))
+        assert not result.succeeded
+        assert result.exception_type == "RuntimeError"
+        with pytest.raises(InterceptorError):
+            result.unwrap()
+
+    def test_invocation_copy_is_independent(self):
+        invocation = Invocation(component="X", method="m", args=[1], context={"a": 1})
+        clone = invocation.copy()
+        clone.args.append(2)
+        clone.context["b"] = 2
+        assert invocation.args == [1]
+        assert invocation.context == {"a": 1}
+
+
+class TestNamingContext:
+    def test_bind_lookup_unbind(self):
+        naming = NamingContext()
+        naming.bind("services/quotes", "object")
+        assert naming.lookup("services/quotes") == "object"
+        naming.unbind("services/quotes")
+        assert naming.lookup_optional("services/quotes") is None
+
+    def test_duplicate_bind_rejected(self):
+        naming = NamingContext()
+        naming.bind("a", 1)
+        with pytest.raises(ValueError):
+            naming.bind("a", 2)
+        naming.rebind("a", 2)
+        assert naming.lookup("a") == 2
+
+    def test_missing_lookup_raises(self):
+        with pytest.raises(NoSuchComponentError):
+            NamingContext().lookup("missing")
+
+    def test_subcontext_shares_bindings(self):
+        naming = NamingContext()
+        sub = naming.subcontext("components")
+        sub.bind("svc", "x")
+        assert naming.lookup("components/svc") == "x"
+        assert naming.names("components") == ["components/svc"]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            NamingContext().bind("", 1)
+
+
+class TestContainer:
+    def test_deploy_and_dispatch(self):
+        container = Container("orgA")
+        container.deploy(Greeter(), ComponentDescriptor(name="Greeter"))
+        result = container.dispatch(Invocation(component="Greeter", method="greet", args=["x"]))
+        assert result.value == "hello x"
+
+    def test_duplicate_deployment_rejected(self):
+        container = Container("orgA")
+        container.deploy(Greeter(), ComponentDescriptor(name="Greeter"))
+        with pytest.raises(DeploymentError):
+            container.deploy(Greeter(), ComponentDescriptor(name="Greeter"))
+
+    def test_dispatch_to_unknown_component_raises(self):
+        with pytest.raises(NoSuchComponentError):
+            Container("orgA").dispatch(Invocation(component="Nope", method="m"))
+
+    def test_undeploy(self):
+        container = Container("orgA")
+        container.deploy(Greeter(), ComponentDescriptor(name="Greeter"))
+        container.undeploy("Greeter")
+        assert not container.has_component("Greeter")
+
+    def test_named_interceptor_from_descriptor(self):
+        log = []
+        container = Container("orgA")
+        container.register_interceptor("recorder", RecordingInterceptor("r", log))
+        container.deploy(
+            Greeter(), ComponentDescriptor(name="Greeter", interceptors=["recorder"])
+        )
+        container.dispatch(Invocation(component="Greeter", method="greet", args=["x"]))
+        assert log == ["r:before", "r:after"]
+
+    def test_unknown_named_interceptor_rejected(self):
+        container = Container("orgA")
+        with pytest.raises(DeploymentError):
+            container.deploy(
+                Greeter(), ComponentDescriptor(name="Greeter", interceptors=["nope"])
+            )
+
+    def test_default_interceptors_apply_to_later_deployments(self):
+        log = []
+        container = Container("orgA")
+        container.add_default_interceptor(RecordingInterceptor("default", log))
+        container.deploy(Greeter(), ComponentDescriptor(name="Greeter"))
+        container.dispatch(Invocation(component="Greeter", method="greet", args=["x"]))
+        assert log == ["default:before", "default:after"]
+
+    def test_interceptor_provider_contributes_head_interceptor(self):
+        log = []
+
+        def provider(container, descriptor):
+            if descriptor.metadata.get("record"):
+                return RecordingInterceptor("provided", log)
+            return None
+
+        container = Container("orgA")
+        container.add_default_interceptor(RecordingInterceptor("default", log))
+        container.add_interceptor_provider(provider)
+        container.deploy(
+            Greeter(), ComponentDescriptor(name="Greeter", metadata={"record": True})
+        )
+        container.dispatch(Invocation(component="Greeter", method="greet", args=["x"]))
+        # Provider-contributed interceptor runs before the defaults (head of chain).
+        assert log[0] == "provided:before"
+
+    def test_local_proxy_roundtrip(self):
+        container = Container("orgA")
+        container.deploy(Greeter(), ComponentDescriptor(name="Greeter"))
+        proxy = container.create_local_proxy("Greeter", caller="urn:user")
+        assert proxy.greet("local") == "hello local"
+
+    def test_local_proxy_for_unknown_component_fails_fast(self):
+        with pytest.raises(NoSuchComponentError):
+            Container("orgA").create_local_proxy("Nope")
+
+    def test_remote_proxy_roundtrip_over_network(self):
+        network = SimulatedNetwork()
+        server = Container("orgB", network=network, address="urn:org:b")
+        server.deploy(Greeter(), ComponentDescriptor(name="Greeter"))
+        client_invoker = RemoteInvoker(network, "urn:org:a")
+        proxy = server.create_remote_proxy(client_invoker, "Greeter", caller="urn:org:a")
+        assert proxy.greet("remote") == "hello remote"
+        assert network.statistics.messages_sent == 1
+
+    def test_remote_business_exception_propagates(self):
+        network = SimulatedNetwork()
+        server = Container("orgB", network=network, address="urn:org:b")
+        server.deploy(Greeter(), ComponentDescriptor(name="Greeter"))
+        client_invoker = RemoteInvoker(network, "urn:org:a")
+        proxy = server.create_remote_proxy(client_invoker, "Greeter")
+        with pytest.raises(InterceptorError, match="RuntimeError"):
+            proxy.fail()
+
+    def test_naming_records_deployments(self):
+        container = Container("orgA")
+        container.deploy(Greeter(), ComponentDescriptor(name="Greeter"))
+        assert container.naming.lookup("components/Greeter").name == "Greeter"
+
+
+class TestContainerServices:
+    def test_logging_interceptor_writes_audit_records(self):
+        audit = AuditLog("urn:org:a")
+        container = Container("orgA")
+        container.add_default_interceptor(LoggingInterceptor(audit))
+        container.deploy(Greeter(), ComponentDescriptor(name="Greeter"))
+        container.dispatch(Invocation(component="Greeter", method="greet", args=["x"]))
+        records = audit.records(category="container.invocation")
+        assert len(records) == 1
+        assert records[0].details["method"] == "greet"
+        assert records[0].details["succeeded"] is True
+
+    def test_call_statistics_interceptor_counts(self):
+        stats = CallStatisticsInterceptor()
+        container = Container("orgA")
+        container.add_default_interceptor(stats)
+        container.deploy(Greeter(), ComponentDescriptor(name="Greeter"))
+        container.dispatch(Invocation(component="Greeter", method="greet", args=["x"]))
+        container.dispatch(Invocation(component="Greeter", method="fail"))
+        recorded = stats.statistics_for("Greeter")
+        assert recorded.calls == 2
+        assert recorded.failures == 1
+        assert recorded.per_method == {"greet": 1, "fail": 1}
+        assert stats.total_calls() == 2
+
+    def test_access_control_interceptor_denies_without_role(self):
+        issuer = CredentialIssuer("urn:issuer")
+        manager = RoleManager()
+        manager.trust_issuer(issuer.name, issuer.public_key)
+        manager.add_rule(RoleActivationRule(role="caller", required_attributes={"ok": True}))
+        policy = AccessPolicy("urn:org:a")
+        policy.permit("caller", "Greeter", "*")
+
+        container = Container("orgA")
+        container.add_default_interceptor(AccessControlInterceptor(policy, manager))
+        container.deploy(Greeter(), ComponentDescriptor(name="Greeter"))
+
+        denied = container.dispatch(
+            Invocation(component="Greeter", method="greet", args=["x"], caller="urn:org:b")
+        )
+        assert not denied.succeeded
+        assert denied.exception_type == "AccessDeniedError"
+
+        manager.present_credential(issuer.issue("urn:org:b", {"ok": True}))
+        allowed = container.dispatch(
+            Invocation(component="Greeter", method="greet", args=["x"], caller="urn:org:b")
+        )
+        assert allowed.value == "hello x"
+
+
+class TestClientProxy:
+    def test_proxy_unwraps_failures(self):
+        proxy = ClientProxy(
+            "X",
+            dispatcher=lambda inv: InvocationResult(exception="nope", exception_type="ValueError"),
+        )
+        with pytest.raises(InterceptorError):
+            proxy.some_method()
+
+    def test_proxy_passes_arguments(self):
+        captured = {}
+
+        def dispatcher(invocation):
+            captured["invocation"] = invocation
+            return InvocationResult(value="ok")
+
+        proxy = ClientProxy("X", dispatcher=dispatcher, caller="urn:me")
+        proxy.do_something(1, key="value")
+        invocation = captured["invocation"]
+        assert invocation.method == "do_something"
+        assert invocation.args == [1]
+        assert invocation.kwargs == {"key": "value"}
+        assert invocation.caller == "urn:me"
+
+    def test_underscore_attributes_raise(self):
+        proxy = ClientProxy("X", dispatcher=lambda inv: InvocationResult(value=None))
+        with pytest.raises(AttributeError):
+            proxy._hidden  # noqa: B018

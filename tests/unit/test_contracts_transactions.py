@@ -1,0 +1,241 @@
+"""Unit tests for contract monitoring and transactional sharing (paper §6)."""
+
+import pytest
+
+from repro import CallableValidator, ContractFSM, ContractMonitor, ContractValidator
+from repro.core.transactions import (
+    SharedStateTransaction,
+    TransactionManager,
+    TransactionStatus,
+)
+from repro.core.validators import ValidationContext
+from repro.errors import (
+    ContractError,
+    ContractViolationError,
+    TransactionAbortedError,
+    TransactionError,
+)
+from tests.conftest import make_domain
+
+
+def build_procurement_contract():
+    """Simple negotiation contract: draft -> offered -> accepted/rejected."""
+    fsm = ContractFSM("procurement", initial_state="draft", final_states={"closed"})
+    fsm.add_transition("draft", "offer", "offered")
+    fsm.add_transition("offered", "counter-offer", "offered")
+    fsm.add_transition("offered", "accept", "accepted")
+    fsm.add_transition("offered", "reject", "rejected")
+    fsm.add_transition("accepted", "close", "closed")
+    fsm.add_transition("rejected", "close", "closed")
+    return fsm
+
+
+class TestContractFSM:
+    def test_legal_transition_lookup(self):
+        fsm = build_procurement_contract()
+        assert fsm.next_state("draft", "offer") == "offered"
+        assert fsm.next_state("draft", "accept") is None
+        assert fsm.is_event_legal("offered", "accept")
+
+    def test_guarded_transition(self):
+        fsm = ContractFSM("guarded", initial_state="open", final_states={"done"})
+        fsm.add_transition(
+            "open", "purchase", "done", guard=lambda attrs: attrs.get("amount", 0) <= 100
+        )
+        assert fsm.next_state("open", "purchase", {"amount": 50}) == "done"
+        assert fsm.next_state("open", "purchase", {"amount": 500}) is None
+
+    def test_verify_detects_unreachable_states(self):
+        fsm = ContractFSM("broken", initial_state="start", final_states={"end"})
+        fsm.add_transition("start", "go", "end")
+        fsm.add_state("island")
+        with pytest.raises(ContractError, match="unreachable"):
+            fsm.verify()
+
+    def test_verify_detects_deadlocks(self):
+        fsm = ContractFSM("deadlocked", initial_state="start", final_states=set())
+        fsm.add_transition("start", "go", "stuck")
+        with pytest.raises(ContractError, match="deadlock"):
+            fsm.verify()
+
+    def test_well_formed_contract_verifies(self):
+        build_procurement_contract().verify()
+
+    def test_transitions_from(self):
+        fsm = build_procurement_contract()
+        events = {t.event for t in fsm.transitions_from("offered")}
+        assert events == {"counter-offer", "accept", "reject"}
+
+
+class TestContractMonitor:
+    def test_legal_events_advance_state(self):
+        monitor = ContractMonitor(build_procurement_contract())
+        monitor.observe("offer", actor="urn:org:a")
+        monitor.observe("accept", actor="urn:org:b")
+        assert monitor.current_state == "accepted"
+        assert not monitor.is_complete()
+        monitor.observe("close", actor="urn:org:a")
+        assert monitor.is_complete()
+        assert len(monitor.history) == 3
+        assert monitor.violations == []
+
+    def test_illegal_event_recorded_as_violation(self):
+        monitor = ContractMonitor(build_procurement_contract())
+        record = monitor.observe("accept", actor="urn:org:b")
+        assert not record.legal
+        assert monitor.current_state == "draft"
+        assert len(monitor.violations) == 1
+
+    def test_strict_mode_raises_on_violation(self):
+        monitor = ContractMonitor(build_procurement_contract(), strict=True)
+        with pytest.raises(ContractViolationError):
+            monitor.observe("accept", actor="urn:org:b")
+
+
+class TestContractValidator:
+    def _context(self, proposed_state):
+        return ValidationContext(
+            object_id="negotiation",
+            proposer="urn:org:a",
+            current_state={"phase": "draft"},
+            proposed_state=proposed_state,
+            base_version=0,
+        )
+
+    @staticmethod
+    def _extract_event(context):
+        return context.proposed_state.get("event")
+
+    def test_compliant_update_accepted_and_advances_contract(self):
+        monitor = ContractMonitor(build_procurement_contract())
+        validator = ContractValidator(monitor, self._extract_event)
+        decision = validator.validate(self._context({"event": "offer", "price": 100}))
+        assert decision.accepted
+        assert monitor.current_state == "offered"
+
+    def test_non_compliant_update_rejected(self):
+        monitor = ContractMonitor(build_procurement_contract())
+        validator = ContractValidator(monitor, self._extract_event)
+        decision = validator.validate(self._context({"event": "accept"}))
+        assert not decision.accepted
+        assert "not permitted" in decision.reason
+        assert monitor.current_state == "draft"
+
+    def test_updates_without_event_pass_through(self):
+        monitor = ContractMonitor(build_procurement_contract())
+        validator = ContractValidator(monitor, self._extract_event)
+        assert validator.validate(self._context({"note": "typo fix"})).accepted
+
+    def test_contract_validator_in_a_sharing_group(self):
+        domain = make_domain(2)
+        a = domain.organisation("urn:org:party0")
+        b = domain.organisation("urn:org:party1")
+        fsm = build_procurement_contract()
+        # Each party monitors the contract independently.
+        validators = {
+            org.uri: ContractValidator(ContractMonitor(fsm), self._extract_event)
+            for org in (a, b)
+        }
+        for org in (a, b):
+            org.share_object(
+                "negotiation", {"event": None, "terms": {}}, domain.party_uris(),
+                validators=[validators[org.uri]],
+            )
+        assert a.propose_update("negotiation", {"event": "offer", "terms": {"price": 10}}).agreed
+        # Skipping ahead to "close" violates the contract and is vetoed by B.
+        outcome = a.propose_update("negotiation", {"event": "close", "terms": {}})
+        assert not outcome.agreed
+        assert a.shared_state("negotiation")["event"] == "offer"
+
+
+class TestSharedStateTransaction:
+    @pytest.fixture
+    def tx_domain(self):
+        domain = make_domain(2)
+        domain.share_object("orders", {"items": []})
+        domain.share_object("schedule", {"deliveries": []})
+        return domain
+
+    def test_commit_applies_all_staged_updates(self, tx_domain):
+        a = tx_domain.organisation("urn:org:party0")
+        b = tx_domain.organisation("urn:org:party1")
+        manager = TransactionManager(a.controller)
+        tx = manager.begin()
+        tx.stage_update("orders", {"items": ["chassis"]})
+        tx.stage_update("schedule", {"deliveries": ["week-12"]})
+        report = tx.commit()
+        assert report.status is TransactionStatus.COMMITTED
+        assert tx.status is TransactionStatus.COMMITTED
+        assert b.shared_state("orders") == {"items": ["chassis"]}
+        assert b.shared_state("schedule") == {"deliveries": ["week-12"]}
+
+    def test_veto_rolls_back_earlier_updates(self, tx_domain):
+        a = tx_domain.organisation("urn:org:party0")
+        b = tx_domain.organisation("urn:org:party1")
+        # B accepts order changes but vetoes any schedule change.
+        b.controller.add_validator(
+            "schedule", CallableValidator(lambda ctx: False, name="no-schedule-change")
+        )
+        tx = SharedStateTransaction(a.controller)
+        tx.stage_update("orders", {"items": ["chassis"]})
+        tx.stage_update("schedule", {"deliveries": ["week-12"]})
+        with pytest.raises(TransactionAbortedError) as excinfo:
+            tx.commit()
+        report = excinfo.value.report
+        assert report.status is TransactionStatus.ROLLED_BACK
+        # The first update was compensated: both parties are back to the original state.
+        assert a.shared_state("orders") == {"items": []}
+        assert b.shared_state("orders") == {"items": []}
+        assert b.shared_state("schedule") == {"deliveries": []}
+        assert "orders" in report.compensations
+
+    def test_stage_change_uses_mutator(self, tx_domain):
+        a = tx_domain.organisation("urn:org:party0")
+        tx = SharedStateTransaction(a.controller)
+        tx.stage_change("orders", lambda state: {"items": state["items"] + ["wheel"]})
+        report = tx.commit()
+        assert report.outcomes["orders"].agreed
+        assert a.shared_state("orders") == {"items": ["wheel"]}
+
+    def test_unknown_object_rejected_at_staging(self, tx_domain):
+        a = tx_domain.organisation("urn:org:party0")
+        tx = SharedStateTransaction(a.controller)
+        with pytest.raises(TransactionError):
+            tx.stage_update("not-shared", {})
+
+    def test_completed_transaction_cannot_be_reused(self, tx_domain):
+        a = tx_domain.organisation("urn:org:party0")
+        tx = SharedStateTransaction(a.controller)
+        tx.stage_update("orders", {"items": ["x"]})
+        tx.commit()
+        with pytest.raises(TransactionError):
+            tx.stage_update("orders", {"items": ["y"]})
+        with pytest.raises(TransactionError):
+            tx.commit()
+
+    def test_rollback_discards_staged_updates(self, tx_domain):
+        a = tx_domain.organisation("urn:org:party0")
+        b = tx_domain.organisation("urn:org:party1")
+        tx = SharedStateTransaction(a.controller)
+        tx.stage_update("orders", {"items": ["never-applied"]})
+        report = tx.rollback()
+        assert report.status is TransactionStatus.ROLLED_BACK
+        assert b.shared_state("orders") == {"items": []}
+
+    def test_manager_tracks_transactions(self, tx_domain):
+        a = tx_domain.organisation("urn:org:party0")
+        manager = TransactionManager(a.controller)
+        tx = manager.begin()
+        assert manager.get(tx.transaction_id) is tx
+        assert manager.active_transactions() == [tx]
+        tx.rollback()
+        assert manager.active_transactions() == []
+        with pytest.raises(TransactionError):
+            manager.get("tx-unknown")
+
+    def test_staged_object_ids_listed(self, tx_domain):
+        a = tx_domain.organisation("urn:org:party0")
+        tx = SharedStateTransaction(a.controller)
+        tx.stage_update("orders", {"items": []})
+        tx.stage_update("schedule", {"deliveries": []})
+        assert tx.staged_object_ids() == ["orders", "schedule"]

@@ -1,0 +1,207 @@
+"""Unit tests for certificate management and time-stamping."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.crypto.certificates import (
+    Certificate,
+    CertificateAuthority,
+    CertificateStore,
+    RevocationList,
+)
+from repro.crypto.signature import get_scheme
+from repro.crypto.timestamp import TimestampAuthority, verify_timestamp
+from repro.errors import CertificateError, TimestampError
+
+
+@pytest.fixture(scope="module")
+def ca():
+    return CertificateAuthority("urn:ca:test", clock=SimulatedClock(start=1000.0))
+
+
+@pytest.fixture(scope="module")
+def subject_keypair():
+    return get_scheme("rsa").generate_keypair(bits=512)
+
+
+class TestCertificateAuthority:
+    def test_root_certificate_is_self_signed(self, ca):
+        assert ca.root_certificate.is_self_signed()
+        assert ca.root_certificate.subject == "urn:ca:test"
+
+    def test_issue_binds_subject_and_key(self, ca, subject_keypair):
+        cert = ca.issue_certificate("urn:org:a", subject_keypair.public)
+        assert cert.subject == "urn:org:a"
+        assert cert.issuer == "urn:ca:test"
+        assert cert.public_key.key_id == subject_keypair.public.key_id
+        assert cert.signature is not None
+
+    def test_issue_rejects_empty_subject(self, ca, subject_keypair):
+        with pytest.raises(CertificateError):
+            ca.issue_certificate("", subject_keypair.public)
+
+    def test_revocation_appears_in_crl(self, ca, subject_keypair):
+        cert = ca.issue_certificate("urn:org:revoked", subject_keypair.public)
+        ca.revoke(cert.serial)
+        assert ca.revocation_list().is_revoked(cert.serial)
+
+    def test_revoking_unknown_serial_raises(self, ca):
+        with pytest.raises(CertificateError):
+            ca.revoke("cert-does-not-exist")
+
+    def test_validity_window_uses_clock(self, subject_keypair):
+        clock = SimulatedClock(start=500.0)
+        authority = CertificateAuthority(
+            "urn:ca:windowed", clock=clock, validity_seconds=100.0
+        )
+        cert = authority.issue_certificate("urn:org:a", subject_keypair.public)
+        assert cert.not_before == 500.0
+        assert cert.not_after == 600.0
+        assert cert.is_valid_at(550.0)
+        assert not cert.is_valid_at(601.0)
+
+
+class TestCertificateStore:
+    @pytest.fixture
+    def store(self, ca):
+        store = CertificateStore(clock=SimulatedClock(start=1000.0))
+        store.add_trusted_root(ca.root_certificate)
+        return store
+
+    def test_verify_issued_certificate(self, ca, store, subject_keypair):
+        cert = ca.issue_certificate("urn:org:a", subject_keypair.public)
+        store.add_certificate(cert)
+        assert store.verify_certificate(cert)
+
+    def test_verification_requires_trusted_root(self, ca, subject_keypair):
+        cert = ca.issue_certificate("urn:org:a", subject_keypair.public)
+        lonely_store = CertificateStore(clock=SimulatedClock(start=1000.0))
+        lonely_store.add_certificate(cert)
+        assert not lonely_store.verify_certificate(cert)
+
+    def test_revoked_certificate_fails_verification(self, ca, store, subject_keypair):
+        cert = ca.issue_certificate("urn:org:victim", subject_keypair.public)
+        store.add_certificate(cert)
+        ca.revoke(cert.serial)
+        store.add_revocation_list(ca.revocation_list())
+        assert not store.verify_certificate(cert)
+
+    def test_expired_certificate_fails_verification(self, subject_keypair):
+        clock = SimulatedClock(start=0.0)
+        authority = CertificateAuthority("urn:ca:short", clock=clock, validity_seconds=10.0)
+        cert = authority.issue_certificate("urn:org:a", subject_keypair.public)
+        store = CertificateStore(clock=clock)
+        store.add_trusted_root(authority.root_certificate)
+        store.add_certificate(cert)
+        assert store.verify_certificate(cert)
+        clock.advance(1000.0)
+        assert not store.verify_certificate(cert)
+
+    def test_tampered_certificate_fails_verification(self, ca, store, subject_keypair):
+        cert = ca.issue_certificate("urn:org:a", subject_keypair.public)
+        tampered = Certificate(
+            serial=cert.serial,
+            subject="urn:org:mallory",   # subject swapped after signing
+            issuer=cert.issuer,
+            public_key=cert.public_key,
+            not_before=cert.not_before,
+            not_after=cert.not_after,
+            extensions=cert.extensions,
+            signature=cert.signature,
+        )
+        store.add_certificate(tampered)
+        assert not store.verify_certificate(tampered)
+
+    def test_chain_through_subordinate_ca(self, ca, store, subject_keypair):
+        subordinate = CertificateAuthority(
+            "urn:ca:subordinate", clock=SimulatedClock(start=1000.0)
+        )
+        sub_ca_cert = ca.issue_ca_certificate(subordinate)
+        leaf = subordinate.issue_certificate("urn:org:leaf", subject_keypair.public)
+        assert store.verify_chain([leaf, sub_ca_cert, ca.root_certificate])
+
+    def test_chain_with_wrong_order_rejected(self, ca, store, subject_keypair):
+        subordinate = CertificateAuthority(
+            "urn:ca:subordinate2", clock=SimulatedClock(start=1000.0)
+        )
+        sub_ca_cert = ca.issue_ca_certificate(subordinate)
+        leaf = subordinate.issue_certificate("urn:org:leaf", subject_keypair.public)
+        assert not store.verify_chain([sub_ca_cert, leaf])
+
+    def test_lookup_by_subject_and_key(self, ca, store, subject_keypair):
+        cert = ca.issue_certificate("urn:org:lookup", subject_keypair.public)
+        store.add_certificate(cert)
+        assert store.public_key_for_subject("urn:org:lookup").key_id == subject_keypair.public.key_id
+        assert store.certificate_for_key(subject_keypair.public.key_id) is not None
+        assert store.public_key_for_subject("urn:org:unknown") is None
+
+    def test_unsigned_certificate_rejected_by_store(self, ca, subject_keypair):
+        unsigned = Certificate(
+            serial="cert-unsigned",
+            subject="urn:org:a",
+            issuer=ca.name,
+            public_key=subject_keypair.public,
+            not_before=0,
+            not_after=1,
+        )
+        store = CertificateStore()
+        with pytest.raises(CertificateError):
+            store.add_certificate(unsigned)
+
+    def test_trusted_root_must_be_self_signed(self, ca, store, subject_keypair):
+        cert = ca.issue_certificate("urn:org:a", subject_keypair.public)
+        with pytest.raises(CertificateError):
+            store.add_trusted_root(cert)
+
+    def test_certificate_dict_roundtrip(self, ca, subject_keypair):
+        cert = ca.issue_certificate("urn:org:roundtrip", subject_keypair.public)
+        restored = Certificate.from_dict(cert.to_dict())
+        assert restored.serial == cert.serial
+        assert restored.body_bytes() == cert.body_bytes()
+
+
+class TestRevocationList:
+    def test_unknown_serial_not_revoked(self):
+        crl = RevocationList(issuer="urn:ca:x")
+        assert not crl.is_revoked("anything")
+
+
+class TestTimestampAuthority:
+    @pytest.fixture(scope="class")
+    def tsa(self):
+        return TimestampAuthority("urn:tsa:test", clock=SimulatedClock(start=42.0))
+
+    def test_issue_and_verify(self, tsa):
+        token = tsa.issue(b"digest-bytes")
+        assert tsa.verify(token)
+        assert tsa.verify(token, digest=b"digest-bytes")
+        assert token.timestamp == 42.0
+
+    def test_verify_with_public_key_only(self, tsa):
+        token = tsa.issue(b"digest-bytes")
+        assert verify_timestamp(token, tsa.public_key)
+
+    def test_wrong_digest_rejected(self, tsa):
+        token = tsa.issue(b"digest-bytes")
+        assert not tsa.verify(token, digest=b"other-digest")
+
+    def test_empty_digest_rejected(self, tsa):
+        with pytest.raises(TimestampError):
+            tsa.issue(b"")
+
+    def test_token_dict_roundtrip(self, tsa):
+        token = tsa.issue(b"digest-bytes")
+        from repro.crypto.timestamp import TimestampToken
+
+        restored = TimestampToken.from_dict(token.to_dict())
+        assert restored.token_id == token.token_id
+        assert verify_timestamp(restored, tsa.public_key)
+
+    def test_tampered_token_rejected(self, tsa):
+        token = tsa.issue(b"digest-bytes")
+        payload = token.to_dict()
+        payload["timestamp"] = 99999.0
+        from repro.crypto.timestamp import TimestampToken
+
+        tampered = TimestampToken.from_dict(payload)
+        assert not verify_timestamp(tampered, tsa.public_key)

@@ -1,0 +1,146 @@
+"""Unit tests for hashing, hash chains and Merkle trees."""
+
+import pytest
+
+from repro.crypto.hashing import (
+    HashChain,
+    MerkleTree,
+    combine_digests,
+    secure_hash,
+    secure_hash_hex,
+)
+
+
+class TestSecureHash:
+    def test_hash_is_deterministic(self):
+        assert secure_hash(b"payload") == secure_hash(b"payload")
+
+    def test_hash_differs_for_different_input(self):
+        assert secure_hash(b"payload-a") != secure_hash(b"payload-b")
+
+    def test_hash_accepts_text(self):
+        assert secure_hash("text") == secure_hash(b"text")
+
+    def test_hash_length_is_32_bytes_for_sha256(self):
+        assert len(secure_hash(b"x")) == 32
+
+    def test_hex_digest_matches_binary_digest(self):
+        assert secure_hash_hex(b"x") == secure_hash(b"x").hex()
+
+    def test_alternative_algorithm(self):
+        assert len(secure_hash(b"x", algorithm="sha512")) == 64
+
+
+class TestCombineDigests:
+    def test_combining_is_order_sensitive(self):
+        assert combine_digests(b"a", b"b") != combine_digests(b"b", b"a")
+
+    def test_length_prefixing_prevents_repartition_collisions(self):
+        assert combine_digests(b"ab", b"c") != combine_digests(b"a", b"bc")
+
+    def test_combining_is_deterministic(self):
+        assert combine_digests(b"a", b"b") == combine_digests(b"a", b"b")
+
+
+class TestHashChain:
+    def test_empty_chain_head_is_genesis(self):
+        chain = HashChain()
+        assert chain.head == HashChain.GENESIS
+        assert len(chain) == 0
+
+    def test_append_returns_indexed_entries(self):
+        chain = HashChain()
+        first = chain.append(b"one")
+        second = chain.append(b"two")
+        assert first.index == 0
+        assert second.index == 1
+        assert len(chain) == 2
+
+    def test_head_changes_with_every_append(self):
+        chain = HashChain()
+        heads = [chain.head]
+        for i in range(5):
+            chain.append(f"item-{i}".encode())
+            heads.append(chain.head)
+        assert len(set(heads)) == len(heads)
+
+    def test_verify_accepts_original_items(self):
+        chain = HashChain()
+        items = [f"item-{i}".encode() for i in range(10)]
+        for item in items:
+            chain.append(item)
+        assert chain.verify(items)
+
+    def test_verify_detects_modified_item(self):
+        chain = HashChain()
+        items = [f"item-{i}".encode() for i in range(10)]
+        for item in items:
+            chain.append(item)
+        tampered = list(items)
+        tampered[4] = b"item-4-tampered"
+        assert not chain.verify(tampered)
+
+    def test_verify_detects_missing_item(self):
+        chain = HashChain()
+        items = [b"a", b"b", b"c"]
+        for item in items:
+            chain.append(item)
+        assert not chain.verify(items[:-1])
+
+    def test_verify_detects_extra_item(self):
+        chain = HashChain()
+        items = [b"a", b"b"]
+        for item in items:
+            chain.append(item)
+        assert not chain.verify(items + [b"c"])
+
+    def test_verify_detects_reordering(self):
+        chain = HashChain()
+        for item in (b"a", b"b", b"c"):
+            chain.append(item)
+        assert not chain.verify([b"a", b"c", b"b"])
+
+
+class TestMerkleTree:
+    def test_empty_tree_has_a_root(self):
+        tree = MerkleTree()
+        assert isinstance(tree.root, bytes)
+
+    def test_root_depends_on_content(self):
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"a", b"c"]).root
+
+    def test_root_depends_on_order(self):
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"b", b"a"]).root
+
+    def test_single_leaf_root_is_leaf_hash(self):
+        tree = MerkleTree([b"only"])
+        assert tree.root == secure_hash(b"only")
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 5, 8, 13])
+    def test_every_leaf_has_a_valid_proof(self, count):
+        items = [f"leaf-{i}".encode() for i in range(count)]
+        tree = MerkleTree(items)
+        for index in range(count):
+            proof = tree.proof(index)
+            assert proof.verify(tree.root)
+
+    def test_proof_fails_against_wrong_root(self):
+        tree = MerkleTree([b"a", b"b", b"c"])
+        other = MerkleTree([b"a", b"b", b"d"])
+        proof = tree.proof(0)
+        assert not proof.verify(other.root)
+
+    def test_proof_for_missing_index_raises(self):
+        tree = MerkleTree([b"a"])
+        with pytest.raises(IndexError):
+            tree.proof(5)
+
+    def test_adding_leaf_changes_root(self):
+        tree = MerkleTree([b"a", b"b"])
+        before = tree.root
+        tree.add(b"c")
+        assert tree.root != before
+
+    def test_len_counts_leaves(self):
+        tree = MerkleTree([b"a", b"b", b"c"])
+        assert len(tree) == 3

@@ -1,0 +1,104 @@
+"""Unit tests for the HMAC-DRBG generator and identifier helpers."""
+
+import pytest
+
+from repro.crypto.rng import SecureRandom, new_nonce, new_unique_id
+
+
+class TestSecureRandom:
+    def test_seeded_generators_are_deterministic(self):
+        a = SecureRandom(seed=b"seed")
+        b = SecureRandom(seed=b"seed")
+        assert a.random_bytes(64) == b.random_bytes(64)
+
+    def test_different_seeds_diverge(self):
+        a = SecureRandom(seed=b"seed-a")
+        b = SecureRandom(seed=b"seed-b")
+        assert a.random_bytes(64) != b.random_bytes(64)
+
+    def test_successive_outputs_differ(self):
+        rng = SecureRandom(seed=b"seed")
+        assert rng.random_bytes(32) != rng.random_bytes(32)
+
+    def test_requested_length_is_respected(self):
+        rng = SecureRandom(seed=b"seed")
+        for length in (0, 1, 31, 32, 33, 100):
+            assert len(rng.random_bytes(length)) == length
+
+    def test_negative_length_rejected(self):
+        rng = SecureRandom(seed=b"seed")
+        with pytest.raises(ValueError):
+            rng.random_bytes(-1)
+
+    def test_random_int_respects_bit_bound(self):
+        rng = SecureRandom(seed=b"seed")
+        for _ in range(50):
+            assert rng.random_int(16) < 2 ** 16
+
+    def test_random_int_rejects_non_positive_bits(self):
+        rng = SecureRandom(seed=b"seed")
+        with pytest.raises(ValueError):
+            rng.random_int(0)
+
+    def test_random_int_below_bound(self):
+        rng = SecureRandom(seed=b"seed")
+        for _ in range(100):
+            assert 0 <= rng.random_int_below(13) < 13
+
+    def test_random_int_below_rejects_non_positive(self):
+        rng = SecureRandom(seed=b"seed")
+        with pytest.raises(ValueError):
+            rng.random_int_below(0)
+
+    def test_random_int_range(self):
+        rng = SecureRandom(seed=b"seed")
+        for _ in range(100):
+            assert 5 <= rng.random_int_range(5, 9) < 9
+
+    def test_random_int_range_rejects_empty_range(self):
+        rng = SecureRandom(seed=b"seed")
+        with pytest.raises(ValueError):
+            rng.random_int_range(5, 5)
+
+    def test_random_odd_int_is_odd_with_top_bit_set(self):
+        rng = SecureRandom(seed=b"seed")
+        for _ in range(20):
+            value = rng.random_odd_int(64)
+            assert value % 2 == 1
+            assert value.bit_length() == 64
+
+    def test_random_hex_length(self):
+        rng = SecureRandom(seed=b"seed")
+        assert len(rng.random_hex(11)) == 11
+
+    def test_reseed_changes_future_output(self):
+        a = SecureRandom(seed=b"seed")
+        b = SecureRandom(seed=b"seed")
+        a.random_bytes(16)
+        b.random_bytes(16)
+        a.reseed(b"extra entropy")
+        assert a.random_bytes(16) != b.random_bytes(16)
+
+    def test_rough_uniformity_of_bytes(self):
+        rng = SecureRandom(seed=b"seed")
+        data = rng.random_bytes(4096)
+        zero_bits = sum(bin(byte).count("0") - (8 - byte.bit_length()) for byte in data)
+        ones = sum(bin(byte).count("1") for byte in data)
+        total = len(data) * 8
+        # Roughly half the bits should be ones (within 5%).
+        assert abs(ones / total - 0.5) < 0.05
+
+
+class TestIdentifiers:
+    def test_unique_ids_are_unique(self):
+        ids = {new_unique_id() for _ in range(500)}
+        assert len(ids) == 500
+
+    def test_unique_id_uses_prefix(self):
+        assert new_unique_id("run").startswith("run-")
+
+    def test_nonce_length(self):
+        assert len(new_nonce(24)) == 24
+
+    def test_nonces_are_unpredictable(self):
+        assert new_nonce() != new_nonce()

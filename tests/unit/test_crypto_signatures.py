@@ -1,0 +1,267 @@
+"""Unit tests for the signature schemes and the scheme registry."""
+
+import pytest
+
+from repro.crypto.dsa import DSAScheme, generate_domain_parameters
+from repro.crypto.forward_secure import (
+    ForwardSecureScheme,
+    current_period,
+    evolve_key,
+)
+from repro.crypto.hmac_scheme import HMACScheme
+from repro.crypto.keys import KeyPair, PrivateKey, PublicKey
+from repro.crypto.primality import generate_prime, is_probable_prime, modular_inverse
+from repro.crypto.rsa import RSAScheme
+from repro.crypto.signature import (
+    Signature,
+    Signer,
+    Verifier,
+    available_schemes,
+    generate_keypair,
+    get_scheme,
+    sign_message,
+    verify_message,
+)
+from repro.errors import KeyError_, SignatureError
+
+
+class TestPrimality:
+    def test_small_primes_recognised(self):
+        for prime in (2, 3, 5, 7, 11, 97, 499):
+            assert is_probable_prime(prime)
+
+    def test_small_composites_rejected(self):
+        for composite in (0, 1, 4, 9, 100, 561, 41041):  # includes Carmichael numbers
+            assert not is_probable_prime(composite)
+
+    def test_generated_prime_has_requested_size(self):
+        prime = generate_prime(64)
+        assert prime.bit_length() == 64
+        assert is_probable_prime(prime)
+
+    def test_generate_prime_rejects_tiny_sizes(self):
+        with pytest.raises(ValueError):
+            generate_prime(4)
+
+    def test_modular_inverse(self):
+        assert (modular_inverse(3, 11) * 3) % 11 == 1
+
+    def test_modular_inverse_missing(self):
+        with pytest.raises(ValueError):
+            modular_inverse(6, 9)
+
+
+class TestRSA:
+    def test_sign_and_verify(self, rsa_keypair):
+        scheme = RSAScheme()
+        signature = scheme.sign(rsa_keypair.private, b"message")
+        assert scheme.verify(rsa_keypair.public, b"message", signature)
+
+    def test_verification_fails_for_modified_message(self, rsa_keypair):
+        scheme = RSAScheme()
+        signature = scheme.sign(rsa_keypair.private, b"message")
+        assert not scheme.verify(rsa_keypair.public, b"other message", signature)
+
+    def test_verification_fails_with_other_key(self, rsa_keypair, second_rsa_keypair):
+        scheme = RSAScheme()
+        signature = scheme.sign(rsa_keypair.private, b"message")
+        assert not scheme.verify(second_rsa_keypair.public, b"message", signature)
+
+    def test_verification_fails_for_corrupted_signature(self, rsa_keypair):
+        scheme = RSAScheme()
+        signature = scheme.sign(rsa_keypair.private, b"message")
+        corrupted = Signature(
+            scheme=signature.scheme,
+            key_id=signature.key_id,
+            value=bytes([signature.value[0] ^ 0xFF]) + signature.value[1:],
+            digest=signature.digest,
+        )
+        assert not scheme.verify(rsa_keypair.public, b"message", corrupted)
+
+    def test_key_pair_halves_share_key_id(self, rsa_keypair):
+        assert rsa_keypair.private.key_id == rsa_keypair.public.key_id
+
+    def test_minimum_modulus_enforced(self):
+        with pytest.raises(SignatureError):
+            RSAScheme().generate_keypair(bits=128)
+
+    def test_small_keys_still_roundtrip(self):
+        keypair = RSAScheme().generate_keypair(bits=512)
+        scheme = RSAScheme()
+        signature = scheme.sign(keypair.private, b"small key message")
+        assert scheme.verify(keypair.public, b"small key message", signature)
+
+
+class TestDSA:
+    @pytest.fixture(scope="class")
+    def dsa_keypair(self):
+        return DSAScheme().generate_keypair(p_bits=512, q_bits=160)
+
+    def test_sign_and_verify(self, dsa_keypair):
+        scheme = DSAScheme()
+        signature = scheme.sign(dsa_keypair.private, b"message")
+        assert scheme.verify(dsa_keypair.public, b"message", signature)
+
+    def test_verification_fails_for_modified_message(self, dsa_keypair):
+        scheme = DSAScheme()
+        signature = scheme.sign(dsa_keypair.private, b"message")
+        assert not scheme.verify(dsa_keypair.public, b"tampered", signature)
+
+    def test_domain_parameters_are_cached(self):
+        first = generate_domain_parameters(512, 160)
+        second = generate_domain_parameters(512, 160)
+        assert first == second
+
+    def test_domain_parameter_structure(self):
+        p, q, g = generate_domain_parameters(512, 160)
+        assert (p - 1) % q == 0
+        assert pow(g, q, p) == 1
+        assert g != 1
+
+    def test_signature_is_deterministic_per_message(self, dsa_keypair):
+        scheme = DSAScheme()
+        sig_a = scheme.sign_digest(dsa_keypair.private, b"d" * 32)
+        sig_b = scheme.sign_digest(dsa_keypair.private, b"d" * 32)
+        assert sig_a == sig_b
+
+    def test_malformed_signature_rejected(self, dsa_keypair):
+        scheme = DSAScheme()
+        assert not scheme.verify_digest(dsa_keypair.public, b"d" * 32, b"short")
+
+
+class TestHMACScheme:
+    def test_sign_and_verify(self):
+        scheme = HMACScheme()
+        keypair = scheme.generate_keypair()
+        signature = scheme.sign(keypair.private, b"message")
+        assert scheme.verify(keypair.public, b"message", signature)
+
+    def test_wrong_key_rejected(self):
+        scheme = HMACScheme()
+        keypair = scheme.generate_keypair()
+        other = scheme.generate_keypair()
+        signature = scheme.sign(keypair.private, b"message")
+        # A different key pair has a different key id, so verification fails.
+        assert not scheme.verify(other.public, b"message", signature)
+
+    def test_tampered_message_rejected(self):
+        scheme = HMACScheme()
+        keypair = scheme.generate_keypair()
+        signature = scheme.sign(keypair.private, b"message")
+        assert not scheme.verify(keypair.public, b"other", signature)
+
+
+class TestForwardSecure:
+    @pytest.fixture(scope="class")
+    def fs_keypair(self):
+        return ForwardSecureScheme().generate_keypair(periods=4)
+
+    def test_sign_and_verify_in_initial_period(self, fs_keypair):
+        scheme = ForwardSecureScheme()
+        signature = scheme.sign(fs_keypair.private, b"period-0 message")
+        assert scheme.verify(fs_keypair.public, b"period-0 message", signature)
+
+    def test_signatures_remain_valid_after_evolution(self, fs_keypair):
+        scheme = ForwardSecureScheme()
+        signature = scheme.sign(fs_keypair.private, b"early evidence")
+        evolved = evolve_key(fs_keypair.private)
+        later = scheme.sign(evolved, b"later evidence")
+        assert scheme.verify(fs_keypair.public, b"early evidence", signature)
+        assert scheme.verify(fs_keypair.public, b"later evidence", later)
+
+    def test_evolution_advances_period(self, fs_keypair):
+        evolved = evolve_key(fs_keypair.private)
+        assert current_period(evolved) == current_period(fs_keypair.private) + 1
+
+    def test_evolved_key_cannot_sign_for_past_period(self, fs_keypair):
+        scheme = ForwardSecureScheme()
+        evolved = evolve_key(fs_keypair.private)
+        early = scheme.sign(fs_keypair.private, b"x")
+        late = scheme.sign(evolved, b"x")
+        import json
+
+        assert json.loads(early.value)["period"] != json.loads(late.value)["period"]
+
+    def test_exhausted_key_refuses_to_sign(self):
+        scheme = ForwardSecureScheme()
+        keypair = scheme.generate_keypair(periods=1)
+        evolved = evolve_key(keypair.private)
+        with pytest.raises(SignatureError):
+            scheme.sign(evolved, b"too late")
+
+    def test_requires_at_least_one_period(self):
+        with pytest.raises(SignatureError):
+            ForwardSecureScheme().generate_keypair(periods=0)
+
+    def test_evolve_requires_forward_secure_key(self, rsa_keypair):
+        with pytest.raises(SignatureError):
+            evolve_key(rsa_keypair.private)
+
+    def test_garbage_signature_rejected(self, fs_keypair):
+        scheme = ForwardSecureScheme()
+        assert not scheme.verify_digest(fs_keypair.public, b"d" * 32, b"not json")
+
+
+class TestRegistryAndHelpers:
+    def test_builtin_schemes_registered(self):
+        names = set(available_schemes())
+        assert {"rsa", "dsa", "hmac", "forward-secure"} <= names
+
+    def test_get_unknown_scheme_raises(self):
+        with pytest.raises(SignatureError):
+            get_scheme("post-quantum-magic")
+
+    def test_generate_keypair_helper(self):
+        keypair = generate_keypair("hmac")
+        assert keypair.scheme == "hmac"
+
+    def test_sign_and_verify_helpers(self, rsa_keypair):
+        signature = sign_message(rsa_keypair.private, b"helper message")
+        assert verify_message(rsa_keypair.public, b"helper message", signature)
+
+    def test_verify_helper_handles_missing_signature(self, rsa_keypair):
+        assert not verify_message(rsa_keypair.public, b"helper message", None)
+
+    def test_signer_and_verifier_objects(self, rsa_keypair):
+        signature = Signer(rsa_keypair.private).sign(b"object api")
+        assert Verifier(rsa_keypair.public).verify(b"object api", signature)
+
+    def test_signature_dict_roundtrip(self, rsa_keypair):
+        signature = sign_message(rsa_keypair.private, b"roundtrip")
+        restored = Signature.from_dict(signature.to_dict())
+        assert restored == signature
+        assert verify_message(rsa_keypair.public, b"roundtrip", restored)
+
+    def test_scheme_mismatch_between_key_and_scheme(self, rsa_keypair):
+        with pytest.raises(SignatureError):
+            DSAScheme().sign(rsa_keypair.private, b"x")
+
+    def test_signature_with_wrong_scheme_label_rejected(self, rsa_keypair):
+        signature = sign_message(rsa_keypair.private, b"x")
+        forged = Signature(
+            scheme="dsa", key_id=signature.key_id, value=signature.value, digest=signature.digest
+        )
+        assert not verify_message(rsa_keypair.public, b"x", forged)
+
+
+class TestKeyObjects:
+    def test_public_key_dict_roundtrip(self, rsa_keypair):
+        restored = PublicKey.from_dict(rsa_keypair.public.to_dict())
+        assert restored.key_id == rsa_keypair.public.key_id
+        assert restored.params["n"] == rsa_keypair.public.params["n"]
+
+    def test_private_key_dict_roundtrip(self, rsa_keypair):
+        restored = PrivateKey.from_dict(rsa_keypair.private.to_dict())
+        assert restored.key_id == rsa_keypair.private.key_id
+
+    def test_fingerprint_is_stable(self, rsa_keypair):
+        clone = PublicKey(scheme="rsa", params=dict(rsa_keypair.public.params))
+        assert clone.key_id == rsa_keypair.public.key_id
+
+    def test_mismatched_keypair_rejected(self, rsa_keypair, second_rsa_keypair):
+        with pytest.raises(KeyError_):
+            KeyPair(private=rsa_keypair.private, public=second_rsa_keypair.public)
+
+    def test_unsupported_param_type_rejected(self):
+        with pytest.raises(KeyError_):
+            PublicKey(scheme="rsa", params={"n": 3.14})

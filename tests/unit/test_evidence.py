@@ -1,0 +1,231 @@
+"""Unit tests for evidence tokens, builders and verifiers."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core.evidence import (
+    EvidenceBuilder,
+    EvidenceToken,
+    EvidenceVerifier,
+    TokenType,
+    payload_digest,
+)
+from repro.crypto.signature import Signer, get_scheme
+from repro.crypto.timestamp import TimestampAuthority
+from repro.errors import EvidenceError, EvidenceVerificationError
+
+
+@pytest.fixture(scope="module")
+def alice_keypair():
+    return get_scheme("rsa").generate_keypair(bits=512)
+
+
+@pytest.fixture(scope="module")
+def bob_keypair():
+    return get_scheme("rsa").generate_keypair(bits=512)
+
+
+@pytest.fixture
+def alice_builder(alice_keypair):
+    return EvidenceBuilder(
+        party="urn:org:alice",
+        signer=Signer(alice_keypair.private),
+        clock=SimulatedClock(start=50.0),
+    )
+
+
+@pytest.fixture
+def verifier(alice_keypair, bob_keypair):
+    verifier = EvidenceVerifier()
+    verifier.pin_key("urn:org:alice", alice_keypair.public)
+    verifier.pin_key("urn:org:bob", bob_keypair.public)
+    return verifier
+
+
+class TestPayloadDigest:
+    def test_digest_is_canonical(self):
+        assert payload_digest({"a": 1, "b": 2}) == payload_digest({"b": 2, "a": 1})
+
+    def test_digest_differs_for_different_payloads(self):
+        assert payload_digest({"a": 1}) != payload_digest({"a": 2})
+
+
+class TestEvidenceBuilder:
+    def test_build_produces_verifiable_token(self, alice_builder, verifier):
+        token = alice_builder.build(
+            token_type=TokenType.NRO_REQUEST,
+            run_id="run-1",
+            step=1,
+            recipient="urn:org:bob",
+            payload={"request": "quote"},
+        )
+        assert token.issuer == "urn:org:alice"
+        assert token.issued_at == 50.0
+        assert verifier.verify(token)
+        verifier.require_valid(
+            token,
+            expected_type=TokenType.NRO_REQUEST,
+            expected_run_id="run-1",
+            expected_payload={"request": "quote"},
+            expected_issuer="urn:org:alice",
+        )
+
+    def test_empty_run_id_rejected(self, alice_builder):
+        with pytest.raises(EvidenceError):
+            alice_builder.build(
+                token_type=TokenType.NRO_REQUEST,
+                run_id="",
+                step=1,
+                recipient="urn:org:bob",
+                payload={},
+            )
+
+    def test_precomputed_digest_accepted(self, alice_builder, verifier):
+        digest = payload_digest({"request": "quote"})
+        token = alice_builder.build(
+            token_type=TokenType.NRO_REQUEST,
+            run_id="run-1",
+            step=1,
+            recipient="urn:org:bob",
+            payload=digest,
+        )
+        verifier.require_valid(token, expected_payload={"request": "quote"})
+
+    def test_timestamped_token(self, alice_keypair):
+        tsa = TimestampAuthority(clock=SimulatedClock(start=9.0))
+        builder = EvidenceBuilder(
+            party="urn:org:alice",
+            signer=Signer(alice_keypair.private),
+            clock=SimulatedClock(start=9.0),
+            timestamp_authority=tsa,
+        )
+        verifier = EvidenceVerifier(
+            pinned_keys={"urn:org:alice": alice_keypair.public},
+            tsa_key=tsa.public_key,
+        )
+        token = builder.build(
+            token_type=TokenType.NRO_REQUEST,
+            run_id="run-1",
+            step=1,
+            recipient="urn:org:bob",
+            payload={"x": 1},
+        )
+        assert token.timestamp_token is not None
+        verifier.require_valid(token)
+
+
+class TestEvidenceVerifier:
+    def _token(self, builder, **overrides):
+        defaults = dict(
+            token_type=TokenType.NRO_REQUEST,
+            run_id="run-1",
+            step=1,
+            recipient="urn:org:bob",
+            payload={"request": "quote"},
+        )
+        defaults.update(overrides)
+        return builder.build(**defaults)
+
+    def test_unknown_issuer_fails(self, alice_builder):
+        verifier = EvidenceVerifier()
+        token = self._token(alice_builder)
+        with pytest.raises(EvidenceVerificationError, match="no verification key"):
+            verifier.require_valid(token)
+
+    def test_wrong_type_fails(self, alice_builder, verifier):
+        token = self._token(alice_builder)
+        with pytest.raises(EvidenceVerificationError):
+            verifier.require_valid(token, expected_type=TokenType.NRR_REQUEST)
+
+    def test_wrong_run_id_fails(self, alice_builder, verifier):
+        token = self._token(alice_builder)
+        with pytest.raises(EvidenceVerificationError):
+            verifier.require_valid(token, expected_run_id="another-run")
+
+    def test_wrong_issuer_fails(self, alice_builder, verifier):
+        token = self._token(alice_builder)
+        with pytest.raises(EvidenceVerificationError):
+            verifier.require_valid(token, expected_issuer="urn:org:bob")
+
+    def test_wrong_payload_fails(self, alice_builder, verifier):
+        token = self._token(alice_builder)
+        with pytest.raises(EvidenceVerificationError):
+            verifier.require_valid(token, expected_payload={"request": "forged"})
+
+    def test_missing_signature_fails(self, alice_builder, verifier):
+        token = self._token(alice_builder)
+        unsigned = EvidenceToken(
+            token_id=token.token_id,
+            token_type=token.token_type,
+            run_id=token.run_id,
+            step=token.step,
+            issuer=token.issuer,
+            recipient=token.recipient,
+            payload_digest=token.payload_digest,
+            issued_at=token.issued_at,
+            details=token.details,
+            signature=None,
+        )
+        assert not verifier.verify(unsigned)
+
+    def test_field_tampering_detected(self, alice_builder, verifier):
+        token = self._token(alice_builder)
+        tampered = EvidenceToken(
+            token_id=token.token_id,
+            token_type=token.token_type,
+            run_id=token.run_id,
+            step=token.step,
+            issuer=token.issuer,
+            recipient="urn:org:mallory",   # recipient changed after signing
+            payload_digest=token.payload_digest,
+            issued_at=token.issued_at,
+            details=token.details,
+            signature=token.signature,
+        )
+        assert not verifier.verify(tampered)
+
+    def test_impersonation_detected(self, alice_builder, verifier, bob_keypair):
+        # Alice signs a token but claims it was issued by Bob: the verifier
+        # resolves Bob's key and the signature does not verify under it.
+        token = self._token(alice_builder)
+        forged = EvidenceToken(
+            token_id=token.token_id,
+            token_type=token.token_type,
+            run_id=token.run_id,
+            step=token.step,
+            issuer="urn:org:bob",
+            recipient=token.recipient,
+            payload_digest=token.payload_digest,
+            issued_at=token.issued_at,
+            details=token.details,
+            signature=token.signature,
+        )
+        assert not verifier.verify(forged, expected_issuer="urn:org:bob")
+
+    def test_dict_roundtrip_preserves_verifiability(self, alice_builder, verifier):
+        token = self._token(alice_builder)
+        restored = EvidenceToken.from_dict(token.to_dict())
+        assert verifier.verify(restored)
+        assert restored.payload_digest == token.payload_digest
+
+    def test_details_roundtrip_with_bytes(self, alice_builder, verifier):
+        token = alice_builder.build(
+            token_type=TokenType.NR_DECISION,
+            run_id="run-1",
+            step=2,
+            recipient="urn:org:bob",
+            payload={"x": 1},
+            details={"digest": b"\x01\x02", "consumed": True},
+        )
+        restored = EvidenceToken.from_dict(token.to_dict())
+        assert restored.details["digest"] == b"\x01\x02"
+        assert verifier.verify(restored)
+
+    def test_key_resolution_prefers_pinned_keys(self, alice_keypair):
+        verifier = EvidenceVerifier(pinned_keys={"urn:org:alice": alice_keypair.public})
+        assert verifier.key_for("urn:org:alice") is alice_keypair.public
+        assert verifier.key_for("urn:org:unknown") is None
+
+    def test_all_token_types_have_distinct_values(self):
+        values = [token_type.value for token_type in TokenType]
+        assert len(values) == len(set(values))

@@ -1,0 +1,254 @@
+"""Unit tests for protocol messages, runs and the B2BCoordinator."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core.coordinator import B2BCoordinator, COORDINATOR_OBJECT_NAME, LocalServices
+from repro.core.evidence import EvidenceBuilder, EvidenceVerifier, TokenType
+from repro.core.messages import B2BProtocolMessage
+from repro.core.protocol import B2BProtocolHandler, ProtocolRun, RunRegistry, RunStatus
+from repro.crypto.signature import Signer, get_scheme
+from repro.errors import ProtocolError, ProtocolStateError
+from repro.persistence.audit_log import AuditLog
+from repro.persistence.evidence_store import EvidenceStore
+from repro.persistence.state_store import StateStore
+from repro.transport.network import SimulatedNetwork
+from repro.transport.rmi import RemoteInvoker
+
+
+def make_services(party):
+    keypair = get_scheme("hmac").generate_keypair()
+    verifier = EvidenceVerifier(pinned_keys={party: keypair.public})
+    return LocalServices(
+        evidence_builder=EvidenceBuilder(party, Signer(keypair.private)),
+        evidence_verifier=verifier,
+        evidence_store=EvidenceStore(party),
+        state_store=StateStore(party),
+        audit_log=AuditLog(party),
+        clock=SimulatedClock(),
+    )
+
+
+def make_coordinator(network, party):
+    invoker = RemoteInvoker(network, party)
+    return B2BCoordinator(party=party, invoker=invoker, services=make_services(party))
+
+
+class EchoHandler(B2BProtocolHandler):
+    protocol = "echo"
+
+    def __init__(self):
+        super().__init__()
+        self.one_way_messages = []
+
+    def process(self, message):
+        self.one_way_messages.append(message)
+
+    def process_request(self, message):
+        return B2BProtocolMessage(
+            run_id=message.run_id,
+            protocol=self.protocol,
+            step=message.step + 1,
+            sender=message.recipient,
+            recipient=message.sender,
+            payload={"echo": message.payload},
+        )
+
+
+class TestB2BProtocolMessage:
+    def test_token_accessors(self):
+        message = B2BProtocolMessage(
+            run_id="run", protocol="p", step=1, sender="a", recipient="b"
+        )
+        assert message.token_of_type(TokenType.NRO_REQUEST.value) is None
+        with pytest.raises(ProtocolError):
+            message.require_token(TokenType.NRO_REQUEST.value)
+
+    def test_dict_roundtrip(self):
+        message = B2BProtocolMessage(
+            run_id="run",
+            protocol="p",
+            step=2,
+            sender="urn:a",
+            recipient="urn:b",
+            payload={"value": 7, "blob": b"\x01"},
+            attributes={"action": "propose"},
+            reply_to="urn:a",
+        )
+        restored = B2BProtocolMessage.from_dict(message.to_dict())
+        assert restored.run_id == "run"
+        assert restored.payload == {"value": 7, "blob": b"\x01"}
+        assert restored.attributes == {"action": "propose"}
+        assert restored.message_id == message.message_id
+
+    def test_encoded_size_positive_and_grows(self):
+        small = B2BProtocolMessage(
+            run_id="run", protocol="p", step=1, sender="a", recipient="b", payload={"x": "1"}
+        )
+        large = B2BProtocolMessage(
+            run_id="run", protocol="p", step=1, sender="a", recipient="b",
+            payload={"x": "1" * 5000},
+        )
+        assert 0 < small.encoded_size() < large.encoded_size()
+
+    def test_message_ids_are_unique(self):
+        a = B2BProtocolMessage(run_id="r", protocol="p", step=1, sender="a", recipient="b")
+        b = B2BProtocolMessage(run_id="r", protocol="p", step=1, sender="a", recipient="b")
+        assert a.message_id != b.message_id
+
+
+class TestProtocolRun:
+    def test_duplicate_messages_detected(self):
+        run = ProtocolRun(run_id="r", protocol="p", initiator="a", responder="b")
+        message = B2BProtocolMessage(run_id="r", protocol="p", step=1, sender="a", recipient="b")
+        assert run.record_message(message)
+        assert not run.record_message(message)
+        assert run.last_step == 1
+
+    def test_lifecycle_transitions(self):
+        run = ProtocolRun(run_id="r", protocol="p", initiator="a", responder="b")
+        assert run.status is RunStatus.ACTIVE and not run.finished
+        run.complete()
+        assert run.finished
+
+    def test_registry_create_and_require(self):
+        registry = RunRegistry()
+        run = ProtocolRun(run_id="r", protocol="p", initiator="a", responder="b")
+        registry.create(run)
+        assert registry.require("r") is run
+        with pytest.raises(ProtocolStateError):
+            registry.create(run)
+        with pytest.raises(ProtocolStateError):
+            registry.require("missing")
+        assert registry.get("missing") is None
+
+    def test_registry_active_runs(self):
+        registry = RunRegistry()
+        active = registry.get_or_create(ProtocolRun("a", "p", "x", "y"))
+        finished = registry.get_or_create(ProtocolRun("b", "p", "x", "y"))
+        finished.abort()
+        assert registry.active_runs() == [active]
+        assert len(registry.all_runs()) == 2
+
+    def test_base_handler_rejects_unimplemented_paths(self):
+        handler = B2BProtocolHandler()
+        handler.protocol = "p"
+        message = B2BProtocolMessage(run_id="r", protocol="p", step=1, sender="a", recipient="b")
+        with pytest.raises(ProtocolError):
+            handler.process(message)
+        with pytest.raises(ProtocolError):
+            handler.process_request(message)
+
+
+class TestB2BCoordinator:
+    @pytest.fixture
+    def wired(self):
+        network = SimulatedNetwork()
+        alpha = make_coordinator(network, "urn:org:alpha")
+        beta = make_coordinator(network, "urn:org:beta")
+        alpha.add_route("urn:org:beta", "urn:org:beta")
+        beta.add_route("urn:org:alpha", "urn:org:alpha")
+        return network, alpha, beta
+
+    def test_handler_registration_and_lookup(self, wired):
+        _, alpha, _ = wired
+        handler = EchoHandler()
+        alpha.register_handler(handler)
+        assert alpha.has_handler("echo")
+        assert alpha.handler_for("echo") is handler
+        assert "echo" in alpha.registered_protocols()
+        with pytest.raises(ProtocolError):
+            alpha.register_handler(EchoHandler())
+        alpha.register_handler(EchoHandler(), replace=True)
+
+    def test_unnamed_handler_rejected(self, wired):
+        _, alpha, _ = wired
+
+        class Nameless(B2BProtocolHandler):
+            protocol = ""
+
+        with pytest.raises(ProtocolError):
+            alpha.register_handler(Nameless())
+
+    def test_missing_handler_raises(self, wired):
+        _, alpha, _ = wired
+        message = B2BProtocolMessage(
+            run_id="r", protocol="unknown", step=1, sender="x", recipient="urn:org:alpha"
+        )
+        with pytest.raises(ProtocolError):
+            alpha.deliver(message)
+
+    def test_request_roundtrip_between_coordinators(self, wired):
+        _, alpha, beta = wired
+        beta.register_handler(EchoHandler())
+        request = B2BProtocolMessage(
+            run_id="run-1",
+            protocol="echo",
+            step=1,
+            sender="urn:org:alpha",
+            recipient="urn:org:beta",
+            payload={"ping": 1},
+        )
+        response = alpha.request(request)
+        assert response.payload == {"echo": {"ping": 1}}
+        assert response.step == 2
+        assert request.reply_to == "urn:org:alpha"
+
+    def test_one_way_send(self, wired):
+        _, alpha, beta = wired
+        handler = EchoHandler()
+        beta.register_handler(handler)
+        message = B2BProtocolMessage(
+            run_id="run-1",
+            protocol="echo",
+            step=3,
+            sender="urn:org:alpha",
+            recipient="urn:org:beta",
+            payload={"bye": True},
+        )
+        alpha.send(message)
+        assert len(handler.one_way_messages) == 1
+
+    def test_missing_route_raises(self, wired):
+        _, alpha, _ = wired
+        message = B2BProtocolMessage(
+            run_id="r", protocol="echo", step=1, sender="urn:org:alpha", recipient="urn:org:gamma"
+        )
+        with pytest.raises(ProtocolError):
+            alpha.request(message)
+        assert alpha.known_parties() == ["urn:org:beta"]
+
+    def test_send_to_explicit_address(self, wired):
+        _, alpha, beta = wired
+        handler = EchoHandler()
+        beta.register_handler(handler)
+        message = B2BProtocolMessage(
+            run_id="r", protocol="echo", step=1, sender="urn:org:alpha", recipient="urn:org:beta"
+        )
+        alpha.send_to_address("urn:org:beta", message)
+        assert len(handler.one_way_messages) == 1
+        response = alpha.request_to_address(
+            "urn:org:beta",
+            B2BProtocolMessage(
+                run_id="r2", protocol="echo", step=1, sender="urn:org:alpha",
+                recipient="urn:org:beta", payload={"n": 2},
+            ),
+        )
+        assert response.payload == {"echo": {"n": 2}}
+
+    def test_route_override_redirects_traffic(self, wired):
+        network, alpha, beta = wired
+        relay_handler = EchoHandler()
+        relay = make_coordinator(network, "urn:ttp:relay")
+        relay.register_handler(relay_handler)
+        # Alpha now routes traffic for beta through the relay endpoint.
+        alpha.add_route("urn:org:beta", "urn:ttp:relay")
+        message = B2BProtocolMessage(
+            run_id="r", protocol="echo", step=3, sender="urn:org:alpha", recipient="urn:org:beta"
+        )
+        alpha.send(message)
+        assert len(relay_handler.one_way_messages) == 1
+
+    def test_coordinator_exported_under_well_known_name(self, wired):
+        _, alpha, _ = wired
+        assert COORDINATOR_OBJECT_NAME in alpha._invoker.exported_names()  # noqa: SLF001

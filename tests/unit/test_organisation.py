@@ -1,0 +1,127 @@
+"""Unit tests for the Organisation facade."""
+
+import pytest
+
+from repro import ComponentDescriptor, ComponentType, TrustDomain
+from repro.container.interceptor import Interceptor, Invocation, InvocationResult
+from repro.core.organisation import Organisation
+from repro.crypto.certificates import CertificateAuthority
+from repro.errors import ProtocolError
+from repro.transport.network import SimulatedNetwork
+from tests.conftest import QuoteService, SpecificationDocument
+
+
+@pytest.fixture(scope="module")
+def domain():
+    domain = TrustDomain.create(["urn:org:alpha", "urn:org:beta"])
+    beta = domain.organisation("urn:org:beta")
+    beta.deploy(QuoteService(), ComponentDescriptor(name="QuoteService", non_repudiation=True))
+    return domain
+
+
+class TestIdentityAndWiring:
+    def test_organisation_without_ca_has_no_certificate(self):
+        network = SimulatedNetwork()
+        organisation = Organisation("urn:org:solo", network=network)
+        assert organisation.certificate is None
+        # It can still build evidence verified against pinned keys.
+        assert organisation.evidence_verifier.key_for("urn:org:solo") is not None
+
+    def test_organisation_with_ca_gets_verifiable_certificate(self):
+        network = SimulatedNetwork()
+        ca = CertificateAuthority("urn:ca:test")
+        organisation = Organisation("urn:org:certified", network=network, ca=ca)
+        assert organisation.certificate.subject == "urn:org:certified"
+        assert organisation.certificate_store.verify_certificate(organisation.certificate)
+
+    def test_trust_records_key_certificate_and_route(self):
+        network = SimulatedNetwork()
+        ca = CertificateAuthority("urn:ca:test2")
+        first = Organisation("urn:org:one", network=network, ca=ca)
+        second = Organisation("urn:org:two", network=network, ca=ca)
+        first.trust(second)
+        assert first.evidence_verifier.key_for("urn:org:two") is second.public_key
+        assert first.coordinator.route_for("urn:org:two") == second.coordinator.address
+        assert first.certificate_store.public_key_for_subject("urn:org:two") is not None
+
+    def test_trust_key_for_party_without_organisation_object(self):
+        network = SimulatedNetwork()
+        organisation = Organisation("urn:org:solo2", network=network)
+        other = Organisation("urn:org:other", network=network)
+        organisation.trust_key("urn:org:other", other.public_key, other.coordinator.address)
+        assert organisation.coordinator.route_for("urn:org:other") == other.coordinator.address
+
+    def test_coordinator_and_container_share_the_address(self, domain):
+        alpha = domain.organisation("urn:org:alpha")
+        assert alpha.coordinator.address == alpha.container.address == alpha.uri
+
+    def test_repr_names_the_uri(self, domain):
+        assert "urn:org:alpha" in repr(domain.organisation("urn:org:alpha"))
+
+
+class TestDeploymentHelpers:
+    def test_deploy_service_builds_descriptor(self, domain):
+        beta = domain.organisation("urn:org:beta")
+        component = beta.deploy_service(QuoteService(), "HelperService", non_repudiation=False)
+        assert component.descriptor.name == "HelperService"
+        assert not component.descriptor.non_repudiation
+
+    def test_deploying_b2b_object_binds_it_to_the_controller(self):
+        domain = TrustDomain.create(["urn:org:x", "urn:org:y"])
+        x = domain.organisation("urn:org:x")
+        y = domain.organisation("urn:org:y")
+        domain.share_object("doc", SpecificationDocument().get_state())
+        document = SpecificationDocument()
+        x.deploy(
+            document,
+            ComponentDescriptor(
+                name="doc", component_type=ComponentType.ENTITY, b2b_object=True
+            ),
+        )
+        # The bound component mirrors the registered replica state.
+        assert document.get_state() == x.shared_state("doc")
+
+    def test_nr_proxy_supports_extra_client_interceptors(self, domain):
+        alpha = domain.organisation("urn:org:alpha")
+        beta = domain.organisation("urn:org:beta")
+        seen = []
+
+        class ContextInterceptor(Interceptor):
+            def invoke(self, invocation, next_interceptor):
+                seen.append(invocation.method)
+                return next_interceptor(invocation)
+
+        # Extra interceptors sit *after* the NR interceptor (which is first on
+        # the outgoing path), so they only see the call if it is not taken
+        # over -- here the NR interceptor short-circuits, so they see nothing:
+        # exactly the paper's required ordering.
+        proxy = alpha.nr_proxy(beta, "QuoteService", client_interceptors=[ContextInterceptor()])
+        assert proxy.quote("axle")["price"] == 100
+        assert seen == []
+
+    def test_unreachable_dispatcher_guard(self, domain):
+        alpha = domain.organisation("urn:org:alpha")
+        from repro.core.organisation import _unreachable_dispatcher
+
+        with pytest.raises(ProtocolError):
+            _unreachable_dispatcher(Invocation(component="X", method="m"))
+
+
+class TestConvenienceQueries:
+    def test_evidence_and_audit_accessors(self, domain):
+        alpha = domain.organisation("urn:org:alpha")
+        beta = domain.organisation("urn:org:beta")
+        outcome = alpha.invoke_non_repudiably(beta.uri, "QuoteService", "quote", ["part"])
+        assert len(alpha.evidence_for_run(outcome.run_id)) == 4
+        assert alpha.audit_records(subject=outcome.run_id)
+        assert alpha.audit_records(category="nr.invocation.client", subject=outcome.run_id)
+
+    def test_shared_state_accessors(self):
+        domain = TrustDomain.create(["urn:org:p", "urn:org:q"])
+        domain.share_object("notes", {"text": ""})
+        p = domain.organisation("urn:org:p")
+        q = domain.organisation("urn:org:q")
+        outcome = p.propose_update("notes", {"text": "hello"})
+        assert outcome.agreed
+        assert p.shared_state("notes") == q.shared_state("notes") == {"text": "hello"}
+        assert p.shared_version("notes") == q.shared_version("notes") == 1

@@ -1,0 +1,244 @@
+"""Unit tests for storage backends, audit log, evidence store and state store."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.errors import (
+    AuditLogError,
+    AuditLogTamperedError,
+    PersistenceError,
+    StateStoreError,
+)
+from repro.persistence.audit_log import AuditLog, AuditRecord
+from repro.persistence.evidence_store import EvidenceStore
+from repro.persistence.state_store import StateStore
+from repro.persistence.storage import FileBackend, InMemoryBackend
+
+
+class TestInMemoryBackend:
+    def test_put_get_delete(self):
+        backend = InMemoryBackend()
+        backend.put("key", b"value")
+        assert backend.get("key") == b"value"
+        assert "key" in backend
+        backend.delete("key")
+        assert backend.get("key") is None
+
+    def test_keys_preserve_insertion_order(self):
+        backend = InMemoryBackend()
+        for name in ("c", "a", "b"):
+            backend.put(name, b"x")
+        assert backend.keys() == ["c", "a", "b"]
+
+    def test_values_must_be_bytes(self):
+        with pytest.raises(PersistenceError):
+            InMemoryBackend().put("key", "not bytes")
+
+    def test_items_iterates_pairs(self):
+        backend = InMemoryBackend()
+        backend.put("a", b"1")
+        backend.put("b", b"2")
+        assert dict(backend.items()) == {"a": b"1", "b": b"2"}
+
+
+class TestFileBackend:
+    def test_roundtrip_and_persistence(self, tmp_path):
+        directory = str(tmp_path / "store")
+        backend = FileBackend(directory)
+        backend.put("record:1", b"payload-1")
+        backend.put("record:2", b"payload-2")
+        # A new backend over the same directory sees the same data and order.
+        reopened = FileBackend(directory)
+        assert reopened.get("record:1") == b"payload-1"
+        assert reopened.keys() == ["record:1", "record:2"]
+
+    def test_overwrite_does_not_duplicate_index(self, tmp_path):
+        backend = FileBackend(str(tmp_path / "store"))
+        backend.put("key", b"one")
+        backend.put("key", b"two")
+        assert backend.keys() == ["key"]
+        assert backend.get("key") == b"two"
+
+    def test_delete_removes_record_and_index_entry(self, tmp_path):
+        backend = FileBackend(str(tmp_path / "store"))
+        backend.put("a", b"1")
+        backend.put("b", b"2")
+        backend.delete("a")
+        assert backend.keys() == ["b"]
+        assert backend.get("a") is None
+
+    def test_unusual_key_characters(self, tmp_path):
+        backend = FileBackend(str(tmp_path / "store"))
+        key = "evidence:urn:org/a:run 1?*"
+        backend.put(key, b"v")
+        assert backend.get(key) == b"v"
+        assert backend.keys() == [key]
+
+
+class TestAuditLog:
+    def test_append_and_read_back(self):
+        log = AuditLog("urn:org:a", clock=SimulatedClock(start=7.0))
+        record = log.append("category", "subject-1", {"detail": 1})
+        assert record.index == 0
+        assert record.timestamp == 7.0
+        assert log.record(0).details == {"detail": 1}
+        assert len(log) == 1
+
+    def test_filtering_by_category_and_subject(self):
+        log = AuditLog("urn:org:a")
+        log.append("cat.a", "run-1", {})
+        log.append("cat.b", "run-1", {})
+        log.append("cat.a", "run-2", {})
+        assert len(log.records(category="cat.a")) == 2
+        assert len(log.records(subject="run-1")) == 2
+        assert len(log.records(category="cat.a", subject="run-2")) == 1
+
+    def test_empty_category_rejected(self):
+        with pytest.raises(AuditLogError):
+            AuditLog("urn:org:a").append("", "subject")
+
+    def test_missing_record_raises(self):
+        with pytest.raises(AuditLogError):
+            AuditLog("urn:org:a").record(3)
+
+    def test_integrity_verification_passes_for_untouched_log(self):
+        log = AuditLog("urn:org:a")
+        for i in range(10):
+            log.append("cat", f"run-{i}", {"i": i})
+        assert log.verify_integrity()
+        log.require_integrity()
+
+    def test_tampering_with_backend_is_detected(self):
+        backend = InMemoryBackend()
+        log = AuditLog("urn:org:a", backend=backend)
+        log.append("cat", "run-1", {"amount": 100})
+        log.append("cat", "run-2", {"amount": 200})
+        key = backend.keys()[0]
+        tampered = backend.get(key).replace(b"100", b"999")
+        backend.put(key, tampered)
+        assert not log.verify_integrity()
+        with pytest.raises(AuditLogTamperedError):
+            log.require_integrity()
+
+    def test_deleting_backend_record_is_detected(self):
+        backend = InMemoryBackend()
+        log = AuditLog("urn:org:a", backend=backend)
+        log.append("cat", "run-1")
+        log.append("cat", "run-2")
+        backend.delete(backend.keys()[0])
+        assert not log.verify_integrity()
+
+    def test_replay_from_existing_backend(self):
+        backend = InMemoryBackend()
+        original = AuditLog("urn:org:a", backend=backend)
+        original.append("cat", "run-1")
+        original.append("cat", "run-2")
+        reopened = AuditLog("urn:org:a", backend=backend)
+        assert len(reopened) == 2
+        assert reopened.verify_integrity()
+        assert reopened.head_digest == original.head_digest
+
+    def test_head_digest_changes_with_appends(self):
+        log = AuditLog("urn:org:a")
+        first = log.head_digest
+        log.append("cat", "run")
+        assert log.head_digest != first
+
+    def test_audit_record_roundtrip(self):
+        record = AuditRecord(index=3, category="c", subject="s", timestamp=1.0, details={"k": 1})
+        assert AuditRecord.from_dict(record.to_dict()) == record
+
+
+class TestEvidenceStore:
+    def test_store_and_retrieve_by_run(self):
+        store = EvidenceStore("urn:org:a", clock=SimulatedClock(start=1.0))
+        store.store("run-1", "nro-request", {"token_id": "t1"}, role=store.ROLE_GENERATED)
+        store.store("run-1", "nrr-request", {"token_id": "t2"}, role=store.ROLE_RECEIVED)
+        store.store("run-2", "nro-request", {"token_id": "t3"})
+        records = store.evidence_for_run("run-1")
+        assert [r.token_type for r in records] == ["nro-request", "nrr-request"]
+        assert store.run_ids() == ["run-1", "run-2"]
+        assert store.total_records() == 3
+
+    def test_tokens_of_type_filters(self):
+        store = EvidenceStore("urn:org:a")
+        store.store("run-1", "nro-request", {"token_id": "t1"})
+        store.store("run-1", "nrr-request", {"token_id": "t2"})
+        only = store.tokens_of_type("run-1", "nrr-request")
+        assert len(only) == 1
+        assert only[0].token["token_id"] == "t2"
+
+    def test_invalid_role_rejected(self):
+        with pytest.raises(PersistenceError):
+            EvidenceStore("urn:org:a").store("run", "type", {}, role="bystander")
+
+    def test_storage_bytes_grow_with_records(self):
+        store = EvidenceStore("urn:org:a")
+        store.store("run-1", "nro-request", {"payload": "x" * 10})
+        small = store.storage_bytes()
+        store.store("run-1", "nro-response", {"payload": "x" * 1000})
+        assert store.storage_bytes() > small
+
+    def test_rebuild_index_from_backend(self):
+        backend = InMemoryBackend()
+        store = EvidenceStore("urn:org:a", backend=backend)
+        store.store("run-1", "nro-request", {"token_id": "t1"})
+        reopened = EvidenceStore("urn:org:a", backend=backend)
+        assert reopened.run_ids() == ["run-1"]
+        assert len(reopened.evidence_for_run("run-1")) == 1
+
+    def test_unknown_run_returns_empty(self):
+        assert EvidenceStore("urn:org:a").evidence_for_run("missing") == []
+
+
+class TestStateStore:
+    def test_store_and_resolve_digest(self):
+        store = StateStore("urn:org:a")
+        digest = store.store_state({"doc": "v1", "amount": 3})
+        assert store.resolve_digest(digest) == {"doc": "v1", "amount": 3}
+        assert store.has_digest(digest)
+
+    def test_equal_states_share_digest(self):
+        store = StateStore("urn:org:a")
+        assert store.store_state({"a": 1, "b": 2}) == store.store_state({"b": 2, "a": 1})
+
+    def test_missing_digest_raises(self):
+        with pytest.raises(StateStoreError):
+            StateStore("urn:org:a").resolve_digest(b"\x00" * 32)
+
+    def test_version_history(self):
+        store = StateStore("urn:org:a")
+        v0, d0 = store.record_version("doc", {"rev": 0})
+        v1, d1 = store.record_version("doc", {"rev": 1})
+        assert (v0, v1) == (0, 1)
+        assert store.version_count("doc") == 2
+        assert store.state_at_version("doc", 0) == {"rev": 0}
+        assert store.state_at_version("doc", 1) == {"rev": 1}
+        assert store.latest_digest("doc") == d1
+        assert store.version_digest("doc", 0) == d0
+
+    def test_is_agreed_state(self):
+        store = StateStore("urn:org:a")
+        store.record_version("doc", {"rev": 0})
+        assert store.is_agreed_state("doc", {"rev": 0})
+        assert not store.is_agreed_state("doc", {"rev": 99})
+
+    def test_unknown_version_raises(self):
+        store = StateStore("urn:org:a")
+        store.record_version("doc", {"rev": 0})
+        with pytest.raises(StateStoreError):
+            store.version_digest("doc", 5)
+
+    def test_latest_digest_none_for_unknown_object(self):
+        assert StateStore("urn:org:a").latest_digest("missing") is None
+
+    def test_object_ids_listed(self):
+        store = StateStore("urn:org:a")
+        store.record_version("b-doc", {})
+        store.record_version("a-doc", {})
+        assert store.object_ids() == ["a-doc", "b-doc"]
+
+    def test_digest_of_matches_store_state(self):
+        store = StateStore("urn:org:a")
+        state = {"x": [1, 2, 3]}
+        assert store.store_state(state) == StateStore.digest_of(state)

@@ -1,0 +1,157 @@
+"""Unit tests for time-stamped evidence and forward-secure evidence signing.
+
+Section 3.5 offers two routes to protecting evidence against later key
+compromise: a third-party time-stamping authority, and forward-secure
+signature schemes that "obviate the need for a third party signature on
+time-stamps".  Both are exercised here at the evidence level.
+"""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core.evidence import EvidenceBuilder, EvidenceToken, EvidenceVerifier, TokenType
+from repro.crypto.forward_secure import evolve_key
+from repro.crypto.signature import Signer, get_scheme
+from repro.crypto.timestamp import TimestampAuthority
+from repro.errors import EvidenceVerificationError, SignatureError
+
+
+@pytest.fixture(scope="module")
+def tsa():
+    return TimestampAuthority("urn:tsa:evidence", clock=SimulatedClock(start=1000.0))
+
+
+@pytest.fixture(scope="module")
+def rsa_issuer():
+    return get_scheme("rsa").generate_keypair(bits=512)
+
+
+class TestTimestampedEvidence:
+    def test_token_carries_a_timestamp_over_its_payload_digest(self, tsa, rsa_issuer):
+        builder = EvidenceBuilder(
+            party="urn:org:a",
+            signer=Signer(rsa_issuer.private),
+            clock=SimulatedClock(start=1000.0),
+            timestamp_authority=tsa,
+        )
+        token = builder.build(TokenType.NRO_REQUEST, "run-1", 1, "urn:org:b", {"x": 1})
+        assert token.timestamp_token is not None
+        assert token.timestamp_token.digest == token.payload_digest
+        assert token.timestamp_token.timestamp == 1000.0
+
+    def test_verifier_checks_the_timestamp_when_it_knows_the_tsa_key(self, tsa, rsa_issuer):
+        builder = EvidenceBuilder(
+            party="urn:org:a",
+            signer=Signer(rsa_issuer.private),
+            clock=SimulatedClock(start=1000.0),
+            timestamp_authority=tsa,
+        )
+        verifier = EvidenceVerifier(
+            pinned_keys={"urn:org:a": rsa_issuer.public}, tsa_key=tsa.public_key
+        )
+        token = builder.build(TokenType.NRO_REQUEST, "run-1", 1, "urn:org:b", {"x": 1})
+        verifier.require_valid(token)
+
+        # Swap in a timestamp over a different digest: verification fails.
+        forged_timestamp = tsa.issue(b"some other digest")
+        tampered = EvidenceToken(
+            token_id=token.token_id,
+            token_type=token.token_type,
+            run_id=token.run_id,
+            step=token.step,
+            issuer=token.issuer,
+            recipient=token.recipient,
+            payload_digest=token.payload_digest,
+            issued_at=token.issued_at,
+            details=token.details,
+            signature=token.signature,
+            timestamp_token=forged_timestamp,
+        )
+        # The token body signature does not cover the timestamp, but the
+        # timestamp itself must verify under the TSA key and is checked here.
+        verifier_unaware = EvidenceVerifier(pinned_keys={"urn:org:a": rsa_issuer.public})
+        assert verifier_unaware.verify(tampered)  # without the TSA key it is ignored
+        rogue_tsa = TimestampAuthority("urn:tsa:rogue")
+        rogue_stamp = rogue_tsa.issue(token.payload_digest)
+        rogue_token = EvidenceToken(
+            token_id=token.token_id,
+            token_type=token.token_type,
+            run_id=token.run_id,
+            step=token.step,
+            issuer=token.issuer,
+            recipient=token.recipient,
+            payload_digest=token.payload_digest,
+            issued_at=token.issued_at,
+            details=token.details,
+            signature=token.signature,
+            timestamp_token=rogue_stamp,
+        )
+        with pytest.raises(EvidenceVerificationError):
+            verifier.require_valid(rogue_token)
+
+    def test_timestamped_token_roundtrips_through_dict(self, tsa, rsa_issuer):
+        builder = EvidenceBuilder(
+            party="urn:org:a",
+            signer=Signer(rsa_issuer.private),
+            clock=SimulatedClock(start=1000.0),
+            timestamp_authority=tsa,
+        )
+        verifier = EvidenceVerifier(
+            pinned_keys={"urn:org:a": rsa_issuer.public}, tsa_key=tsa.public_key
+        )
+        token = builder.build(TokenType.NRO_RESPONSE, "run-2", 2, "urn:org:b", {"y": 2})
+        restored = EvidenceToken.from_dict(token.to_dict())
+        verifier.require_valid(restored)
+        assert restored.timestamp_token.token_id == token.timestamp_token.token_id
+
+
+class TestForwardSecureEvidence:
+    """Evidence signed with an evolving key stays verifiable across periods."""
+
+    @pytest.fixture(scope="class")
+    def fs_keypair(self):
+        return get_scheme("forward-secure").generate_keypair(periods=4)
+
+    def test_evidence_from_successive_periods_all_verifies(self, fs_keypair):
+        verifier = EvidenceVerifier(pinned_keys={"urn:org:fs": fs_keypair.public})
+        private = fs_keypair.private
+        tokens = []
+        for period in range(3):
+            builder = EvidenceBuilder(
+                party="urn:org:fs", signer=Signer(private), clock=SimulatedClock(start=period)
+            )
+            tokens.append(
+                builder.build(
+                    TokenType.NRO_REQUEST, f"run-{period}", 1, "urn:org:b", {"period": period}
+                )
+            )
+            private = evolve_key(private)
+        for token in tokens:
+            verifier.require_valid(token, expected_issuer="urn:org:fs")
+
+    def test_exhausted_key_cannot_produce_new_evidence(self, fs_keypair):
+        private = fs_keypair.private
+        for _ in range(4):
+            private = evolve_key(private)
+        builder = EvidenceBuilder(
+            party="urn:org:fs", signer=Signer(private), clock=SimulatedClock()
+        )
+        with pytest.raises(SignatureError):
+            builder.build(TokenType.NRO_REQUEST, "run-late", 1, "urn:org:b", {"too": "late"})
+
+    def test_forward_secure_organisation_end_to_end(self):
+        """A whole trust domain can run on the forward-secure scheme."""
+        from repro import ComponentDescriptor, TrustDomain
+        from tests.conftest import QuoteService
+
+        domain = TrustDomain.create(
+            ["urn:org:fs-a", "urn:org:fs-b"], scheme="forward-secure"
+        )
+        provider = domain.organisation("urn:org:fs-b")
+        provider.deploy(
+            QuoteService(), ComponentDescriptor(name="QuoteService", non_repudiation=True)
+        )
+        client = domain.organisation("urn:org:fs-a")
+        outcome = client.invoke_non_repudiably(provider.uri, "QuoteService", "quote", ["x"])
+        assert outcome.succeeded
+        assert len(provider.evidence_for_run(outcome.run_id)) == 4

@@ -1,0 +1,179 @@
+"""Unit tests for trust-domain construction and TTP relays (Figure 3)."""
+
+import pytest
+
+from repro import ComponentDescriptor, DeploymentStyle, TokenType, TrustDomain
+from repro.core.invocation import NR_INVOCATION_PROTOCOL
+from repro.core.sharing import NR_SHARING_PROTOCOL
+from repro.errors import ProtocolError
+from tests.conftest import QuoteService
+
+
+def deploy_quotes(domain, provider_uri="urn:org:party1"):
+    provider = domain.organisation(provider_uri)
+    provider.deploy(
+        QuoteService(), ComponentDescriptor(name="QuoteService", non_repudiation=True)
+    )
+    return provider
+
+
+class TestDomainConstruction:
+    def test_requires_at_least_two_parties(self):
+        with pytest.raises(ProtocolError):
+            TrustDomain.create(["urn:org:lonely"])
+
+    def test_rejects_duplicate_uris(self):
+        with pytest.raises(ProtocolError):
+            TrustDomain.create(["urn:org:a", "urn:org:a"])
+
+    def test_direct_domain_has_no_ttps(self, domain_factory):
+        domain = domain_factory(2)
+        assert domain.style is DeploymentStyle.DIRECT
+        assert domain.ttps == {}
+        assert domain.total_relayed_messages() == 0
+
+    def test_every_party_gets_certificate_and_keys(self, domain_factory):
+        domain = domain_factory(2)
+        for org in domain.organisations.values():
+            assert org.certificate is not None
+            assert org.certificate.subject == org.uri
+            assert org.certificate_store.verify_certificate(org.certificate)
+
+    def test_parties_trust_each_other(self, domain_factory):
+        domain = domain_factory(3)
+        uris = domain.party_uris()
+        for uri in uris:
+            org = domain.organisation(uri)
+            for other in uris:
+                if other != uri:
+                    assert org.evidence_verifier.key_for(other) is not None
+                    assert other in org.coordinator.known_parties()
+
+    def test_unknown_organisation_lookup_raises(self, domain_factory):
+        with pytest.raises(ProtocolError):
+            domain_factory(2).organisation("urn:org:nobody")
+
+    def test_share_object_registers_everywhere(self, domain_factory):
+        domain = domain_factory(3)
+        domain.share_object("doc", {"v": 0})
+        for org in domain.organisations.values():
+            assert org.controller.is_shared("doc")
+
+    def test_timestamping_can_be_enabled(self):
+        domain = TrustDomain.create(
+            ["urn:org:a", "urn:org:b"], use_timestamping=True
+        )
+        assert domain.timestamp_authority is not None
+        provider = deploy_quotes(domain, "urn:org:b")
+        client = domain.organisation("urn:org:a")
+        outcome = client.invoke_non_repudiably(provider.uri, "QuoteService", "quote", ["x"])
+        token = outcome.evidence[TokenType.NRR_REQUEST.value]
+        assert token.timestamp_token is not None
+
+
+class TestInlineTTP:
+    @pytest.fixture(scope="class")
+    def ttp_domain(self):
+        domain = TrustDomain.create(
+            ["urn:org:party0", "urn:org:party1"], style=DeploymentStyle.INLINE_TTP
+        )
+        deploy_quotes(domain)
+        return domain
+
+    def test_single_ttp_created(self, ttp_domain):
+        assert len(ttp_domain.ttps) == 1
+        assert "urn:ttp:inline" in ttp_domain.ttps
+
+    def test_routes_point_to_the_ttp(self, ttp_domain):
+        a = ttp_domain.organisation("urn:org:party0")
+        assert a.coordinator.route_for("urn:org:party1") == "urn:ttp:inline"
+
+    def test_invocation_works_and_is_relayed(self, ttp_domain):
+        client = ttp_domain.organisation("urn:org:party0")
+        server = ttp_domain.organisation("urn:org:party1")
+        before = ttp_domain.total_relayed_messages()
+        proxy = client.nr_proxy(server, "QuoteService")
+        assert proxy.quote("wheel")["price"] == 100
+        assert ttp_domain.total_relayed_messages() == before + 2
+
+    def test_ttp_notarises_relayed_messages(self, ttp_domain):
+        client = ttp_domain.organisation("urn:org:party0")
+        server = ttp_domain.organisation("urn:org:party1")
+        outcome = client.invoke_non_repudiably(server.uri, "QuoteService", "quote", ["frame"])
+        ttp = ttp_domain.ttps["urn:ttp:inline"]
+        relay_tokens = ttp.evidence_store.tokens_of_type(
+            outcome.run_id, TokenType.TTP_RELAY.value
+        )
+        assert relay_tokens, "the TTP should hold its own relay evidence"
+        # The client also receives the TTP's countersignature on the response path.
+        client_relay = client.evidence_store.tokens_of_type(
+            outcome.run_id, TokenType.TTP_RELAY.value
+        )
+        server_relay = server.evidence_store.tokens_of_type(
+            outcome.run_id, TokenType.TTP_RELAY.value
+        )
+        assert client_relay or server_relay or relay_tokens
+
+    def test_sharing_works_through_the_ttp(self, ttp_domain):
+        ttp_domain.share_object("ttp-doc", {"v": 0})
+        a = ttp_domain.organisation("urn:org:party0")
+        b = ttp_domain.organisation("urn:org:party1")
+        outcome = a.propose_update("ttp-doc", {"v": 1})
+        assert outcome.agreed
+        assert b.shared_state("ttp-doc") == {"v": 1}
+
+    def test_relay_handlers_registered_for_expected_protocols(self, ttp_domain):
+        relays = ttp_domain.relays["urn:ttp:inline"]
+        assert set(relays) == {NR_INVOCATION_PROTOCOL, NR_SHARING_PROTOCOL}
+
+
+class TestDistributedTTP:
+    @pytest.fixture(scope="class")
+    def distributed_domain(self):
+        domain = TrustDomain.create(
+            ["urn:org:party0", "urn:org:party1"], style=DeploymentStyle.DISTRIBUTED_TTP
+        )
+        deploy_quotes(domain)
+        return domain
+
+    def test_one_ttp_per_party(self, distributed_domain):
+        assert len(distributed_domain.ttps) == 2
+
+    def test_each_party_routes_through_its_own_ttp(self, distributed_domain):
+        a = distributed_domain.organisation("urn:org:party0")
+        assert a.coordinator.route_for("urn:org:party1") == "urn:ttp:for:party0"
+
+    def test_invocation_traverses_both_ttps(self, distributed_domain):
+        client = distributed_domain.organisation("urn:org:party0")
+        server = distributed_domain.organisation("urn:org:party1")
+        before = distributed_domain.total_relayed_messages()
+        proxy = client.nr_proxy(server, "QuoteService")
+        assert proxy.quote("axle")["price"] == 100
+        # Each of the two protocol messages is relayed by two TTPs.
+        assert distributed_domain.total_relayed_messages() == before + 4
+
+    def test_message_count_exceeds_direct_deployment(self, distributed_domain, direct_domain):
+        direct_client = direct_domain.organisation("urn:org:party0")
+        direct_server = direct_domain.organisation("urn:org:party1")
+        before_direct = direct_domain.network.statistics.snapshot()
+        direct_client.invoke_non_repudiably(direct_server.uri, "QuoteService", "quote", ["z"])
+        direct_count = direct_domain.network.statistics.delta(before_direct).messages_sent
+
+        client = distributed_domain.organisation("urn:org:party0")
+        server = distributed_domain.organisation("urn:org:party1")
+        before = distributed_domain.network.statistics.snapshot()
+        client.invoke_non_repudiably(server.uri, "QuoteService", "quote", ["z"])
+        distributed_count = distributed_domain.network.statistics.delta(before).messages_sent
+        assert distributed_count > direct_count
+
+
+class TestArbitratorInstallation:
+    def test_arbitrator_reachable_by_all_parties(self):
+        domain = TrustDomain.create(
+            ["urn:org:a", "urn:org:b"], with_arbitrator=True
+        )
+        assert domain.arbitrator is not None
+        assert domain.arbitrator_uri == "urn:ttp:arbitrator"
+        for org in domain.organisations.values():
+            assert domain.arbitrator_uri in org.coordinator.known_parties()
+            assert org.evidence_verifier.key_for(domain.arbitrator_uri) is not None
