@@ -1,0 +1,133 @@
+"""Benchmark driver producing comparable ``BENCH_<n>.json`` files.
+
+Runs the pytest-benchmark suite with a fixed number of rounds (so numbers
+are comparable across PRs), then condenses the raw pytest-benchmark report
+into a small JSON document keyed by test id with ops/sec, mean/stddev and
+each benchmark's ``extra_info`` counters (messages per update, bytes per
+update, evidence bytes per call, ...).
+
+Usage::
+
+    python benchmarks/run_benchmarks.py --out BENCH_1.json
+    python benchmarks/run_benchmarks.py --out BENCH_2.json \
+        --compare BENCH_1.json benchmarks/bench_sharing.py
+
+``--compare`` embeds an earlier run (either a previous ``BENCH_<n>.json`` or
+a raw ``--benchmark-json`` report) as the baseline and records per-test
+speedups, so the perf trajectory of the repo is tracked file by file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_ROUNDS = 7
+
+
+def condense(raw: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Reduce a raw pytest-benchmark report to the comparable core."""
+    results: Dict[str, Dict[str, Any]] = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        results[bench["fullname"]] = {
+            "ops_per_sec": round(stats["ops"], 3),
+            "mean_seconds": stats["mean"],
+            "stddev_seconds": stats["stddev"],
+            "rounds": stats["rounds"],
+            "extra_info": bench.get("extra_info", {}),
+        }
+    return results
+
+
+def load_comparable(path: Path) -> Dict[str, Dict[str, Any]]:
+    """Load results from a BENCH_<n>.json or a raw pytest-benchmark report."""
+    document = json.loads(path.read_text())
+    if "benchmarks" in document:
+        return condense(document)
+    if "results" in document:
+        return document["results"]
+    raise SystemExit(f"{path} is neither a BENCH_<n>.json nor a raw report")
+
+
+def run_suite(files: List[str], rounds: int) -> Dict[str, Any]:
+    """Run the benchmark suite and return the raw pytest-benchmark report."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        report_path = handle.name
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *files,
+        "-q",
+        f"--benchmark-min-rounds={rounds}",
+        # A negligible max-time pins the round count to --benchmark-min-rounds,
+        # which is what makes runs comparable across machines and PRs.
+        "--benchmark-max-time=0.000001",
+        f"--benchmark-json={report_path}",
+    ]
+    try:
+        completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+        if completed.returncode != 0:
+            raise SystemExit(f"benchmark run failed with exit code {completed.returncode}")
+        return json.loads(Path(report_path).read_text())
+    finally:
+        Path(report_path).unlink(missing_ok=True)
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", help="benchmark files (default: all)")
+    parser.add_argument("--out", required=True, help="output BENCH_<n>.json path")
+    parser.add_argument(
+        "--compare", help="earlier BENCH_<n>.json (or raw report) to baseline against"
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=DEFAULT_ROUNDS, help="fixed rounds per benchmark"
+    )
+    args = parser.parse_args(argv)
+
+    files = args.files or sorted(
+        str(path.relative_to(REPO_ROOT))
+        for path in (REPO_ROOT / "benchmarks").glob("bench_*.py")
+    )
+    raw = run_suite(files, args.rounds)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.crypto.modexp import backend_name
+
+    document: Dict[str, Any] = {
+        "meta": {
+            "selection": files,
+            "rounds": args.rounds,
+            "python": sys.version.split()[0],
+            "modexp_backend": backend_name(),
+            "machine": raw.get("machine_info", {}).get("machine", ""),
+        },
+        "results": condense(raw),
+    }
+    if args.compare:
+        baseline = load_comparable(Path(args.compare))
+        document["baseline"] = baseline
+        document["speedup"] = {
+            name: round(result["ops_per_sec"] / baseline[name]["ops_per_sec"], 2)
+            for name, result in document["results"].items()
+            if name in baseline and baseline[name]["ops_per_sec"]
+        }
+    Path(args.out).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out} ({len(document['results'])} benchmarks)")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,50 @@ Quickstart::
     )
     proxy = dealer.nr_proxy(manufacturer, "OrderService")
     proxy.place_order("roadster")          # non-repudiable invocation
+
+Performance architecture
+------------------------
+
+The paper's own evaluation names cryptographic computation, evidence space
+overhead and protocol communication as the dominant costs of non-repudiable
+interaction.  The hot paths are built around an **encode-once invariant**:
+every value that crosses a protocol boundary is resolved to its canonical
+representation exactly once, and the ``(bytes, digest, size)`` triple of
+that representation is reused everywhere downstream.
+
+* **Content-addressed canonical encoding** -- ``repro.codec.canonicalize``
+  produces an immutable ``Encoded`` snapshot; ``Encoded`` values (and the
+  cached encodings of evidence tokens and protocol messages) are *spliced*
+  verbatim into any enclosing encoding, so fanning one proposal out to N
+  peers encodes the shared body once, not N times.  ``Encoded`` behaves as a
+  read-only mapping over its source value, so handlers keep treating
+  payloads as dictionaries.
+
+* **Cache keys and invalidation** -- per-instance caches live on immutable
+  carriers (frozen ``EvidenceToken``; ``B2BProtocolMessage`` drops its cache
+  whenever a public field is reassigned -- mutate fields by reassignment,
+  never in place).  Agreed shared state is held directly as its canonical
+  encoding (content-addressed versions), so state digests are free and no
+  version-keyed lookup is needed on the hot paths.  For values that lack an
+  immutable carrier, ``repro.codec.EncodingCache`` provides keyed
+  cross-version reuse: keys must change with the payload (e.g.
+  ``(object_id, version)``), and payloads replaced in place under an
+  unchanged key require an explicit ``invalidate(key)``.
+
+* **Verification memoisation** -- signature verification verdicts are
+  memoised process-wide, keyed on (scheme, key id, digest, signature bytes),
+  so redistributed ``NR_DECISION``/``NR_OUTCOME`` tokens verify once per
+  process.  Signing uses per-key CRT exponents, and all modular
+  exponentiation routes through OpenSSL's ``BN_mod_exp`` when libcrypto is
+  loadable (``repro.crypto.modexp``), with a built-in ``pow`` fallback.
+
+* **Batched coordination fan-out** -- ``B2BCoordinator.request_all`` /
+  ``send_all`` deliver a whole fan-out through one batched, retried network
+  call (``SimulatedNetwork.send_batch``), accounting per-message statistics
+  identically to sequential sends without re-encoding the shared body per
+  recipient.  Message sizes are computed once and cached; payloads that fall
+  back to lossy ``repr`` sizing are surfaced in
+  ``NetworkStatistics.messages_sized_by_repr``.
 """
 
 from repro.container.component import Component, ComponentDescriptor, ComponentType

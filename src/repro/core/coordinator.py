@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.clock import Clock, SystemClock
 from repro.core.evidence import EvidenceBuilder, EvidenceVerifier
@@ -172,6 +172,51 @@ class B2BCoordinator:
         message.reply_to = message.reply_to or self.address
         remote = self._remote_coordinator(message.recipient)
         return remote.invoke("deliver_request", [message], {})
+
+    # -- batched fan-out ---------------------------------------------------------
+
+    def _fan_out(
+        self, messages: List[B2BProtocolMessage], method: str
+    ) -> List[Tuple[Any, Optional[Exception]]]:
+        calls = []
+        results: List[Tuple[Any, Optional[Exception]]] = [(None, None)] * len(messages)
+        indices: List[int] = []
+        for index, message in enumerate(messages):
+            message.reply_to = message.reply_to or self.address
+            try:
+                address = self.route_for(message.recipient)
+            except ProtocolError as error:
+                results[index] = (None, error)
+                continue
+            calls.append((address, COORDINATOR_OBJECT_NAME, method, [message], {}))
+            indices.append(index)
+        if calls:
+            outcomes = self._invoker.call_batch(calls, retry_policy=self._retry_policy)
+            for index, outcome in zip(indices, outcomes):
+                results[index] = outcome
+        return results
+
+    def send_all(
+        self, messages: List[B2BProtocolMessage]
+    ) -> List[Optional[Exception]]:
+        """Send one-way messages to each message's routed coordinator.
+
+        The whole fan-out is delivered through one batched network call, so
+        shared message content (tokens, a common proposal payload) is encoded
+        once rather than once per recipient.  Returns one entry per message:
+        ``None`` on delivery, the delivery/handler error otherwise.
+        """
+        return [error for _, error in self._fan_out(messages, "deliver")]
+
+    def request_all(
+        self, messages: List[B2BProtocolMessage]
+    ) -> List[Tuple[Optional[B2BProtocolMessage], Optional[Exception]]]:
+        """Send request messages as one batched fan-out and collect replies.
+
+        Returns one ``(response, error)`` pair per message, in order; at most
+        one element of each pair is set.
+        """
+        return self._fan_out(messages, "deliver_request")
 
     def send_to_address(self, address: str, message: B2BProtocolMessage) -> None:
         """Send a one-way message to an explicit coordinator address.

@@ -66,22 +66,40 @@ class EvidenceToken:
     signature: Optional[Signature] = None
     timestamp_token: Optional[TimestampToken] = None
 
+    # Tokens are frozen, so every canonical representation is computed once
+    # and memoised on the instance (plain attribute caching in __dict__,
+    # which bypasses the frozen-dataclass setattr guard).
+
+    def _details_jsonable(self) -> Any:
+        cached = self.__dict__.get("_details_json")
+        if cached is None:
+            cached = codec.to_jsonable(dict(self.details))
+            self.__dict__["_details_json"] = cached
+        return cached
+
     def body_bytes(self) -> bytes:
         """Canonical byte encoding of the signed portion of the token."""
-        body = {
-            "token_id": self.token_id,
-            "token_type": self.token_type,
-            "run_id": self.run_id,
-            "step": self.step,
-            "issuer": self.issuer,
-            "recipient": self.recipient,
-            "payload_digest": self.payload_digest.hex(),
-            "issued_at": self.issued_at,
-            "details": codec.to_jsonable(dict(self.details)),
-        }
-        return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        cached = self.__dict__.get("_body_bytes")
+        if cached is None:
+            body = {
+                "token_id": self.token_id,
+                "token_type": self.token_type,
+                "run_id": self.run_id,
+                "step": self.step,
+                "issuer": self.issuer,
+                "recipient": self.recipient,
+                "payload_digest": self.payload_digest.hex(),
+                "issued_at": self.issued_at,
+                "details": self._details_jsonable(),
+            }
+            cached = json.dumps(body, sort_keys=True, separators=(",", ":")).encode(
+                "utf-8"
+            )
+            self.__dict__["_body_bytes"] = cached
+        return cached
 
-    def to_dict(self) -> Dict[str, Any]:
+    def _build_dict(self) -> Dict[str, Any]:
+        """Dictionary form sharing the instance caches; internal use only."""
         payload: Dict[str, Any] = {
             "token_id": self.token_id,
             "token_type": self.token_type,
@@ -91,13 +109,38 @@ class EvidenceToken:
             "recipient": self.recipient,
             "payload_digest": self.payload_digest.hex(),
             "issued_at": self.issued_at,
-            "details": codec.to_jsonable(dict(self.details)),
+            "details": self._details_jsonable(),
         }
         if self.signature is not None:
             payload["signature"] = self.signature.to_dict()
         if self.timestamp_token is not None:
             payload["timestamp_token"] = self.timestamp_token.to_dict()
         return payload
+
+    def to_dict(self) -> Dict[str, Any]:
+        # Parsed fresh from the cached canonical text: C-speed, and callers
+        # may freely mutate the result without corrupting the caches that
+        # back body_bytes()/data_encoded().
+        return self.data_encoded().jsonable()
+
+    def data_encoded(self) -> codec.Encoded:
+        """Canonical encoding of :meth:`to_dict`, computed once per token."""
+        encoded = self.__dict__.get("_data_encoded")
+        if encoded is None:
+            encoded = codec.Encoded(codec.encode_text(self._build_dict()))
+            self.__dict__["_data_encoded"] = encoded
+        return encoded
+
+    def canonical_encoded(self) -> codec.Encoded:
+        """Canonical object-tagged encoding, spliced into enclosing messages."""
+        encoded = self.__dict__.get("_canonical_encoded")
+        if encoded is None:
+            encoded = codec.Encoded(
+                '{"__object__":"%s","data":%s}'
+                % (type(self).__name__, self.data_encoded().text)
+            )
+            self.__dict__["_canonical_encoded"] = encoded
+        return encoded
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "EvidenceToken":
@@ -124,8 +167,12 @@ def payload_digest(payload: Any) -> bytes:
     """Digest of the agreed (canonical) representation of ``payload``.
 
     This is the "meaningful snapshot" requirement of Section 3.4: value types
-    are resolved to their canonical encoded state before hashing.
+    are resolved to their canonical encoded state before hashing.  Payloads
+    that were already canonicalised (:class:`repro.codec.Encoded`) reuse
+    their cached digest without re-encoding.
     """
+    if isinstance(payload, codec.Encoded):
+        return payload.digest
     return secure_hash(codec.encode(payload))
 
 
@@ -172,11 +219,12 @@ class EvidenceBuilder:
             issued_at=self._clock.now(),
             details=dict(details or {}),
         )
-        signature = self._signer.sign(unsigned.body_bytes())
+        body = unsigned.body_bytes()
+        signature = self._signer.sign(body)
         timestamp_token = None
         if self._tsa is not None:
             timestamp_token = self._tsa.issue(digest)
-        return EvidenceToken(
+        signed = EvidenceToken(
             token_id=unsigned.token_id,
             token_type=unsigned.token_type,
             run_id=unsigned.run_id,
@@ -189,6 +237,10 @@ class EvidenceBuilder:
             signature=signature,
             timestamp_token=timestamp_token,
         )
+        # The signature covers only the body, which is identical for the
+        # signed copy -- seed its cache instead of re-encoding.
+        signed.__dict__["_body_bytes"] = body
+        return signed
 
 
 class EvidenceVerifier:

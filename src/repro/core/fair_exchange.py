@@ -120,7 +120,7 @@ class FairExchangeClient:
         services.evidence_store.store(
             run_id=run_id,
             token_type=token.token_type,
-            token=token.to_dict(),
+            token=token,
             role=services.evidence_store.ROLE_RECEIVED,
         )
         services.audit_log.append(

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro import codec
 from repro.container.interceptor import Invocation, InvocationResult
 from repro.core.coordinator import B2BCoordinator
 from repro.core.evidence import EvidenceToken, TokenType
@@ -179,7 +180,7 @@ class ServerInvocationHandler(B2BProtocolHandler):
         services.evidence_store.store(
             run_id=message.run_id,
             token_type=nro_request.token_type,
-            token=nro_request.to_dict(),
+            token=nro_request,
             role=services.evidence_store.ROLE_RECEIVED,
         )
 
@@ -195,7 +196,7 @@ class ServerInvocationHandler(B2BProtocolHandler):
         services.evidence_store.store(
             run_id=message.run_id,
             token_type=nrr_request.token_type,
-            token=nrr_request.to_dict(),
+            token=nrr_request,
             role=services.evidence_store.ROLE_GENERATED,
         )
 
@@ -208,6 +209,9 @@ class ServerInvocationHandler(B2BProtocolHandler):
                 "exception": rejection_reason,
                 "exception_type": "EvidenceVerificationError",
             }
+        # Canonicalise once: the same encoding backs the NRO_resp digest, the
+        # response message and the client's NRR_resp verification.
+        response_payload = codec.canonicalize(response_payload)
 
         # NRO_resp: evidence that this server produced the response.
         nro_response = services.evidence_builder.build(
@@ -221,7 +225,7 @@ class ServerInvocationHandler(B2BProtocolHandler):
         services.evidence_store.store(
             run_id=message.run_id,
             token_type=nro_response.token_type,
-            token=nro_response.to_dict(),
+            token=nro_response,
             role=services.evidence_store.ROLE_GENERATED,
         )
 
@@ -311,7 +315,7 @@ class ServerInvocationHandler(B2BProtocolHandler):
         services.evidence_store.store(
             run_id=message.run_id,
             token_type=nrr_response.token_type,
-            token=nrr_response.to_dict(),
+            token=nrr_response,
             role=services.evidence_store.ROLE_RECEIVED,
         )
         consumed = bool(nrr_response.details.get("consumed", True))
@@ -385,7 +389,9 @@ class B2BInvocationHandler:
         """Run the protocol and return the full outcome with evidence."""
         services = self._coordinator.services
         run_id = new_unique_id("inv")
-        request_payload = b2b_invocation.request_payload()
+        # Canonicalise once: the same encoding backs the NRO_req digest, the
+        # request message body and the server-side verification.
+        request_payload = codec.canonicalize(b2b_invocation.request_payload())
 
         nro_request = services.evidence_builder.build(
             token_type=TokenType.NRO_REQUEST,
@@ -398,7 +404,7 @@ class B2BInvocationHandler:
         services.evidence_store.store(
             run_id=run_id,
             token_type=nro_request.token_type,
-            token=nro_request.to_dict(),
+            token=nro_request,
             role=services.evidence_store.ROLE_GENERATED,
         )
 
@@ -452,7 +458,7 @@ class B2BInvocationHandler:
             services.evidence_store.store(
                 run_id=run_id,
                 token_type=token.token_type,
-                token=token.to_dict(),
+                token=token,
                 role=services.evidence_store.ROLE_RECEIVED,
             )
 
@@ -469,7 +475,7 @@ class B2BInvocationHandler:
         services.evidence_store.store(
             run_id=run_id,
             token_type=nrr_response.token_type,
-            token=nrr_response.to_dict(),
+            token=nrr_response,
             role=services.evidence_store.ROLE_GENERATED,
         )
         receipt_message = B2BProtocolMessage(

@@ -66,9 +66,55 @@ class B2BProtocolMessage:
             )
         return token
 
+    # -- encode-once support -----------------------------------------------------
+    #
+    # A message is canonically encoded at most once: the encoding is cached
+    # on the instance and dropped automatically when any public field is
+    # reassigned.  Payloads, tokens and attribute values are treated as
+    # immutable once attached (the encode-once invariant); pre-canonicalised
+    # payloads (codec.Encoded) and the tokens' own cached encodings are
+    # spliced into the output instead of being re-walked.
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if not name.startswith("_") and "_data_encoded" in self.__dict__:
+            del self.__dict__["_data_encoded"]
+            self.__dict__.pop("_canonical_encoded", None)
+        object.__setattr__(self, name, value)
+
+    def data_encoded(self) -> codec.Encoded:
+        """Canonical encoding of :meth:`to_dict`, computed once per message."""
+        encoded = self.__dict__.get("_data_encoded")
+        if encoded is None:
+            body = {
+                "message_id": self.message_id,
+                "run_id": self.run_id,
+                "protocol": self.protocol,
+                "step": self.step,
+                "sender": self.sender,
+                "recipient": self.recipient,
+                "reply_to": self.reply_to,
+                "payload": self.payload,
+                "tokens": [token.data_encoded() for token in self.tokens],
+                "attributes": self.attributes,
+            }
+            encoded = codec.Encoded(codec.encode_text(body))
+            self.__dict__["_data_encoded"] = encoded
+        return encoded
+
+    def canonical_encoded(self) -> codec.Encoded:
+        """Canonical object-tagged encoding, spliced into network envelopes."""
+        encoded = self.__dict__.get("_canonical_encoded")
+        if encoded is None:
+            encoded = codec.Encoded(
+                '{"__object__":"%s","data":%s}'
+                % (type(self).__name__, self.data_encoded().text)
+            )
+            self.__dict__["_canonical_encoded"] = encoded
+        return encoded
+
     def encoded_size(self) -> int:
         """Canonical size of the message in bytes (for overhead accounting)."""
-        return codec.encoded_size(self.to_dict())
+        return self.data_encoded().size
 
     def to_dict(self) -> Dict[str, Any]:
         return {

@@ -104,7 +104,14 @@ class SharingOutcome:
 
 @dataclass
 class _SharedObject:
-    """Local bookkeeping for one shared object."""
+    """Local bookkeeping for one shared object.
+
+    Outside a rollup, ``state`` is held as its canonical encoding
+    (:class:`repro.codec.Encoded`), so the digest and byte form of the agreed
+    state are computed exactly once per agreed version -- the
+    content-addressed-version idiom.  During a rollup the tentative state is
+    kept raw, since it mutates without coordination.
+    """
 
     object_id: str
     state: Any
@@ -113,6 +120,10 @@ class _SharedObject:
     bound_instance: Any = None
     rollup_depth: int = 0
     rollup_base_state: Any = None
+
+    def state_copy(self) -> Any:
+        """A defensive plain copy of the state, decoded from canonical bytes."""
+        return codec.decode(codec.encode(self.state))
 
 
 class B2BObjectController:
@@ -169,7 +180,9 @@ class B2BObjectController:
                 raise MembershipError(
                     f"{self.party!r} must be a member of the group sharing {object_id!r}"
                 )
-            shared = _SharedObject(object_id=object_id, state=initial_state)
+            shared = _SharedObject(
+                object_id=object_id, state=codec.canonicalize(initial_state)
+            )
             for validator in validators or []:
                 shared.validators.add(validator)
             self._objects[object_id] = shared
@@ -177,7 +190,7 @@ class B2BObjectController:
             self.membership.create_group(
                 object_id, [Member(uri=uri) for uri in member_uris]
             )
-        self._coordinator.services.state_store.record_version(object_id, initial_state)
+        self._coordinator.services.state_store.record_version(object_id, shared.state)
         self._coordinator.services.audit_log.append(
             category=AUDIT_CATEGORY_SHARING,
             subject=object_id,
@@ -203,7 +216,7 @@ class B2BObjectController:
         shared = self._shared(object_id)
         with self._lock:
             shared.bound_instance = instance
-            instance.set_state(codec.decode(codec.encode(shared.state)))
+            instance.set_state(shared.state_copy())
 
     # -- queries --------------------------------------------------------------------
 
@@ -226,8 +239,7 @@ class B2BObjectController:
 
     def get_state(self, object_id: str) -> Any:
         """Return (a copy of) the current agreed state of the object."""
-        shared = self._shared(object_id)
-        return codec.decode(codec.encode(shared.state))
+        return self._shared(object_id).state_copy()
 
     def get_version(self, object_id: str) -> int:
         return self._shared(object_id).version
@@ -267,45 +279,55 @@ class B2BObjectController:
         services = self._coordinator.services
         run_id = new_unique_id("share")
         base_version = shared.version
-        proposal_payload = {
-            "object_id": object_id,
-            "proposer": self.party,
-            "base_version": base_version,
-            "proposed_state": new_state,
-        }
+        # Encode once: the proposed state and the proposal envelope are
+        # canonicalised here and their (bytes, digest, size) shared by every
+        # evidence token, per-peer message and traffic account downstream.
+        proposal = codec.canonicalize(
+            {
+                "object_id": object_id,
+                "proposer": self.party,
+                "base_version": base_version,
+                "proposed_state": codec.canonicalize(new_state),
+            }
+        )
         nro_update = services.evidence_builder.build(
             token_type=TokenType.NRO_UPDATE,
             run_id=run_id,
             step=1,
             recipient=object_id,
-            payload=proposal_payload,
+            payload=proposal,
         )
         services.evidence_store.store(
             run_id=run_id,
             token_type=nro_update.token_type,
-            token=nro_update.to_dict(),
+            token=nro_update,
             role=services.evidence_store.ROLE_GENERATED,
         )
 
-        # Phase 1: collect signed decisions from every peer.
+        # Phase 1: collect signed decisions from every peer through one
+        # batched fan-out; the shared proposal body is encoded exactly once.
+        peers = self.peers(object_id)
         decisions: Dict[str, ValidationDecision] = {}
         decision_tokens: Dict[str, EvidenceToken] = {}
         reason = ""
-        for peer in self.peers(object_id):
-            message = B2BProtocolMessage(
+        proposal_messages = [
+            B2BProtocolMessage(
                 run_id=run_id,
                 protocol=NR_SHARING_PROTOCOL,
                 step=1,
                 sender=self.party,
                 recipient=peer,
-                payload=proposal_payload,
+                payload=proposal,
                 tokens=[nro_update],
                 attributes={"action": ACTION_PROPOSE},
                 reply_to=self._coordinator.address,
             )
-            try:
-                response = self._coordinator.request(message)
-            except Exception as error:
+            for peer in peers
+        ]
+        for peer, (response, error) in zip(
+            peers, self._coordinator.request_all(proposal_messages)
+        ):
+            if error is not None:
                 decisions[peer] = ValidationDecision(
                     accepted=False,
                     reason=f"peer unreachable: {error}",
@@ -313,16 +335,14 @@ class B2BObjectController:
                 )
                 reason = reason or f"peer {peer} unreachable"
                 continue
-            decision, token = self._verify_decision(
-                run_id, peer, proposal_payload, response
-            )
+            decision, token = self._verify_decision(run_id, peer, proposal, response)
             decisions[peer] = decision
             if token is not None:
                 decision_tokens[peer] = token
                 services.evidence_store.store(
                     run_id=run_id,
                     token_type=token.token_type,
-                    token=token.to_dict(),
+                    token=token,
                     role=services.evidence_store.ROLE_RECEIVED,
                 )
             if not decision.accepted and not reason:
@@ -332,56 +352,60 @@ class B2BObjectController:
         new_version = base_version + 1 if agreed else None
 
         # Phase 2: distribute the collective decision to every member.
-        outcome_payload = {
-            "object_id": object_id,
-            "proposer": self.party,
-            "agreed": agreed,
-            "base_version": base_version,
-            "new_version": new_version,
-            "proposed_state_digest": payload_digest(proposal_payload).hex(),
-            "decisions": {
-                party: decision.to_dict() for party, decision in decisions.items()
-            },
-        }
+        outcome = codec.canonicalize(
+            {
+                "object_id": object_id,
+                "proposer": self.party,
+                "agreed": agreed,
+                "base_version": base_version,
+                "new_version": new_version,
+                "proposed_state_digest": proposal.digest.hex(),
+                "decisions": {
+                    party: decision.to_dict() for party, decision in decisions.items()
+                },
+            }
+        )
         nr_outcome = services.evidence_builder.build(
             token_type=TokenType.NR_OUTCOME,
             run_id=run_id,
             step=3,
             recipient=object_id,
-            payload=outcome_payload,
+            payload=outcome,
         )
         services.evidence_store.store(
             run_id=run_id,
             token_type=nr_outcome.token_type,
-            token=nr_outcome.to_dict(),
+            token=nr_outcome,
             role=services.evidence_store.ROLE_GENERATED,
         )
         outcome_tokens = [nr_outcome] + list(decision_tokens.values())
-        undelivered_outcomes: List[str] = []
-        for peer in self.peers(object_id):
-            outcome_message = B2BProtocolMessage(
+        outcome_messages = [
+            B2BProtocolMessage(
                 run_id=run_id,
                 protocol=NR_SHARING_PROTOCOL,
                 step=3,
                 sender=self.party,
                 recipient=peer,
-                payload=outcome_payload,
+                payload=outcome,
                 tokens=outcome_tokens,
-                attributes={"action": ACTION_OUTCOME, "proposal": proposal_payload},
+                attributes={"action": ACTION_OUTCOME, "proposal": proposal},
                 reply_to=self._coordinator.address,
             )
-            try:
-                self._coordinator.send(outcome_message)
-            except Exception:
-                # A peer that is temporarily unreachable misses the outcome
-                # notification; the proposer still holds the signed outcome
-                # and every decision, so the peer can recover the result
-                # later.  A failed-to-validate peer cannot have agreed, so
-                # the outcome for it is never an apply.
-                undelivered_outcomes.append(peer)
+            for peer in peers
+        ]
+        # A peer that is temporarily unreachable misses the outcome
+        # notification; the proposer still holds the signed outcome and every
+        # decision, so the peer can recover the result later.  A
+        # failed-to-validate peer cannot have agreed, so the outcome for it
+        # is never an apply.
+        undelivered_outcomes = [
+            peer
+            for peer, error in zip(peers, self._coordinator.send_all(outcome_messages))
+            if error is not None
+        ]
 
         if agreed:
-            self._apply_update(object_id, new_state, new_version)
+            self._apply_update(object_id, proposal["proposed_state"], new_version)
         services.audit_log.append(
             category=AUDIT_CATEGORY_SHARING,
             subject=run_id,
@@ -470,21 +494,20 @@ class B2BObjectController:
 
     def _apply_update(self, object_id: str, new_state: Any, new_version: int) -> None:
         shared = self._shared(object_id)
+        agreed_state = codec.canonicalize(new_state)
         with self._lock:
-            shared.state = new_state
+            shared.state = agreed_state
             shared.version = new_version
             if shared.bound_instance is not None:
-                shared.bound_instance.set_state(codec.decode(codec.encode(new_state)))
-        self._coordinator.services.state_store.record_version(object_id, new_state)
+                shared.bound_instance.set_state(shared.state_copy())
+        self._coordinator.services.state_store.record_version(object_id, agreed_state)
 
     def revert_component_state(self, object_id: str) -> None:
         """Push the agreed replica state back into the bound component."""
         shared = self._shared(object_id)
         with self._lock:
             if shared.bound_instance is not None:
-                shared.bound_instance.set_state(
-                    codec.decode(codec.encode(shared.state))
-                )
+                shared.bound_instance.set_state(shared.state_copy())
 
     # -- rollup -------------------------------------------------------------------------
 
@@ -500,7 +523,7 @@ class B2BObjectController:
         shared = self._shared(object_id)
         with self._lock:
             if shared.rollup_depth == 0:
-                shared.rollup_base_state = codec.decode(codec.encode(shared.state))
+                shared.rollup_base_state = shared.state_copy()
             shared.rollup_depth += 1
         try:
             yield
@@ -515,7 +538,7 @@ class B2BObjectController:
         with self._lock:
             shared.rollup_depth -= 1
             finished = shared.rollup_depth == 0
-            tentative_state = codec.decode(codec.encode(shared.state))
+            tentative_state = shared.state_copy()
             base_state = shared.rollup_base_state
         if not finished:
             return
@@ -553,26 +576,28 @@ class B2BObjectController:
         if action == "disconnect" and member not in current_members:
             raise MembershipError(f"{member!r} does not share {object_id!r}")
 
-        proposal_payload = {
-            "object_id": object_id,
-            "proposer": self.party,
-            "membership_action": action,
-            "member": member,
-            "current_members": current_members,
-            "state_digest": self.state_digest(object_id).hex(),
-            "version": shared.version,
-        }
+        proposal = codec.canonicalize(
+            {
+                "object_id": object_id,
+                "proposer": self.party,
+                "membership_action": action,
+                "member": member,
+                "current_members": current_members,
+                "state_digest": self.state_digest(object_id).hex(),
+                "version": shared.version,
+            }
+        )
         nro_update = services.evidence_builder.build(
             token_type=TokenType.NR_MEMBERSHIP,
             run_id=run_id,
             step=1,
             recipient=object_id,
-            payload=proposal_payload,
+            payload=proposal,
         )
         services.evidence_store.store(
             run_id=run_id,
             token_type=nro_update.token_type,
-            token=nro_update.to_dict(),
+            token=nro_update,
             role=services.evidence_store.ROLE_GENERATED,
         )
 
@@ -581,71 +606,80 @@ class B2BObjectController:
         # The affected member only votes on its own disconnection, not on its
         # own admission (it is not yet part of the trust domain for connect).
         voters = [peer for peer in self.peers(object_id) if peer != member or action == "disconnect"]
-        for peer in voters:
-            message = B2BProtocolMessage(
+        proposal_messages = [
+            B2BProtocolMessage(
                 run_id=run_id,
                 protocol=NR_SHARING_PROTOCOL,
                 step=1,
                 sender=self.party,
                 recipient=peer,
-                payload=proposal_payload,
+                payload=proposal,
                 tokens=[nro_update],
                 attributes={"action": ACTION_MEMBERSHIP_PROPOSE},
                 reply_to=self._coordinator.address,
             )
-            try:
-                response = self._coordinator.request(message)
-            except Exception as error:
+            for peer in voters
+        ]
+        for peer, (response, error) in zip(
+            voters, self._coordinator.request_all(proposal_messages)
+        ):
+            if error is not None:
                 decisions[peer] = ValidationDecision(
                     accepted=False, reason=f"peer unreachable: {error}", validator="coordinator"
                 )
                 continue
-            decision, token = self._verify_decision(run_id, peer, proposal_payload, response)
+            decision, token = self._verify_decision(run_id, peer, proposal, response)
             decisions[peer] = decision
             if token is not None:
                 decision_tokens[peer] = token
 
         agreed = all(decision.accepted for decision in decisions.values())
-        outcome_payload = {
-            "object_id": object_id,
-            "proposer": self.party,
-            "membership_action": action,
-            "member": member,
-            "agreed": agreed,
-            "decisions": {p: d.to_dict() for p, d in decisions.items()},
-        }
+        outcome = codec.canonicalize(
+            {
+                "object_id": object_id,
+                "proposer": self.party,
+                "membership_action": action,
+                "member": member,
+                "agreed": agreed,
+                "decisions": {p: d.to_dict() for p, d in decisions.items()},
+            }
+        )
         nr_outcome = services.evidence_builder.build(
             token_type=TokenType.NR_OUTCOME,
             run_id=run_id,
             step=3,
             recipient=object_id,
-            payload=outcome_payload,
+            payload=outcome,
         )
         recipients = set(self.peers(object_id))
         if action == "connect" and agreed:
             recipients.add(member)
-        for peer in sorted(recipients):
-            outcome_message = B2BProtocolMessage(
+        ordered_recipients = sorted(recipients)
+        outcome_tokens = [nr_outcome] + list(decision_tokens.values())
+        outcome_messages = [
+            B2BProtocolMessage(
                 run_id=run_id,
                 protocol=NR_SHARING_PROTOCOL,
                 step=3,
                 sender=self.party,
                 recipient=peer,
-                payload=outcome_payload,
-                tokens=[nr_outcome] + list(decision_tokens.values()),
+                payload=outcome,
+                tokens=outcome_tokens,
                 attributes={
                     "action": ACTION_MEMBERSHIP_OUTCOME,
-                    "proposal": proposal_payload,
-                    "object_state": self.get_state(object_id) if action == "connect" else None,
+                    "proposal": proposal,
+                    "object_state": shared.state if action == "connect" else None,
                     "object_version": shared.version,
                 },
                 reply_to=self._coordinator.address,
             )
-            try:
-                self._coordinator.send(outcome_message)
-            except Exception:
-                if peer == member and action == "connect":
-                    agreed = False
+            for peer in ordered_recipients
+        ]
+        for peer, error in zip(
+            ordered_recipients, self._coordinator.send_all(outcome_messages)
+        ):
+            if error is not None and peer == member and action == "connect":
+                agreed = False
         if agreed:
             self._apply_membership_change(object_id, action, member)
         services.audit_log.append(
@@ -706,20 +740,22 @@ class B2BObjectController:
             services.evidence_store.store(
                 run_id=message.run_id,
                 token_type=nro_update.token_type,
-                token=nro_update.to_dict(),
+                token=nro_update,
                 role=services.evidence_store.ROLE_RECEIVED,
             )
             decision = self._validate_proposal(message.sender, proposal)
 
-        decision_payload = {
-            "object_id": object_id,
-            "run_id": message.run_id,
-            "accepted": decision.accepted,
-            "reason": decision.reason,
-            "validator": decision.validator,
-            "responder": self.party,
-            "proposal_digest": payload_digest(proposal).hex(),
-        }
+        decision_payload = codec.canonicalize(
+            {
+                "object_id": object_id,
+                "run_id": message.run_id,
+                "accepted": decision.accepted,
+                "reason": decision.reason,
+                "validator": decision.validator,
+                "responder": self.party,
+                "proposal_digest": payload_digest(proposal).hex(),
+            }
+        )
         nr_decision = services.evidence_builder.build(
             token_type=TokenType.NR_DECISION,
             run_id=message.run_id,
@@ -730,7 +766,7 @@ class B2BObjectController:
         services.evidence_store.store(
             run_id=message.run_id,
             token_type=nr_decision.token_type,
-            token=nr_decision.to_dict(),
+            token=nr_decision,
             role=services.evidence_store.ROLE_GENERATED,
         )
         services.audit_log.append(
@@ -784,7 +820,7 @@ class B2BObjectController:
             object_id=object_id,
             proposer=proposer,
             current_state=self.get_state(object_id),
-            proposed_state=proposal.get("proposed_state"),
+            proposed_state=codec.unwrap(proposal.get("proposed_state")),
             base_version=proposal.get("base_version", 0),
         )
         return shared.validators.validate(context)
@@ -805,7 +841,7 @@ class B2BObjectController:
         services.evidence_store.store(
             run_id=message.run_id,
             token_type=nr_outcome.token_type,
-            token=nr_outcome.to_dict(),
+            token=nr_outcome,
             role=services.evidence_store.ROLE_RECEIVED,
         )
         # Keep every peer's decision evidence for dispute resolution.
@@ -814,7 +850,7 @@ class B2BObjectController:
                 services.evidence_store.store(
                     run_id=message.run_id,
                     token_type=token.token_type,
-                    token=token.to_dict(),
+                    token=token,
                     role=services.evidence_store.ROLE_RECEIVED,
                 )
         agreed = bool(outcome_payload.get("agreed"))
@@ -871,15 +907,17 @@ class B2BObjectController:
                 )
             else:
                 decision = ValidationDecision(accepted=True, validator="controller")
-        decision_payload = {
-            "object_id": object_id,
-            "run_id": message.run_id,
-            "accepted": decision.accepted,
-            "reason": decision.reason,
-            "validator": decision.validator,
-            "responder": self.party,
-            "proposal_digest": payload_digest(proposal).hex(),
-        }
+        decision_payload = codec.canonicalize(
+            {
+                "object_id": object_id,
+                "run_id": message.run_id,
+                "accepted": decision.accepted,
+                "reason": decision.reason,
+                "validator": decision.validator,
+                "responder": self.party,
+                "proposal_digest": payload_digest(proposal).hex(),
+            }
+        )
         nr_decision = services.evidence_builder.build(
             token_type=TokenType.NR_DECISION,
             run_id=message.run_id,

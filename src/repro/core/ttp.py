@@ -75,10 +75,12 @@ class RelayProtocolHandler(B2BProtocolHandler):
         services.evidence_store.store(
             run_id=message.run_id,
             token_type=token.token_type,
-            token=token.to_dict(),
+            token=token,
             role=services.evidence_store.ROLE_GENERATED,
         )
-        message.tokens.append(token)
+        # Reassign (rather than append in place) so the message's cached
+        # canonical encoding is invalidated before the relay re-sends it.
+        message.tokens = message.tokens + [token]
         services.audit_log.append(
             category=AUDIT_CATEGORY_TTP,
             subject=message.run_id,
@@ -185,7 +187,7 @@ class TTPArbitrator(B2BProtocolHandler):
         services.evidence_store.store(
             run_id=run_id,
             token_type=token.token_type,
-            token=token.to_dict(),
+            token=token,
             role=services.evidence_store.ROLE_GENERATED,
         )
         services.audit_log.append(
@@ -225,7 +227,7 @@ class TTPArbitrator(B2BProtocolHandler):
         services.evidence_store.store(
             run_id=run_id,
             token_type=token.token_type,
-            token=token.to_dict(),
+            token=token,
             role=services.evidence_store.ROLE_GENERATED,
         )
         services.audit_log.append(

@@ -16,6 +16,7 @@ import threading
 from typing import Any, Dict, Optional, Tuple
 
 from repro.crypto.keys import KeyPair, PrivateKey, PublicKey
+from repro.crypto.modexp import mod_exp
 from repro.crypto.primality import generate_prime, generate_prime_congruent, modular_inverse
 from repro.crypto.rng import SecureRandom, default_rng
 from repro.errors import SignatureError
@@ -49,7 +50,7 @@ def generate_domain_parameters(
     g = 1
     h = 2
     while g == 1:
-        g = pow(h, exponent, p)
+        g = mod_exp(h, exponent, p)
         h += 1
     params = (p, q, g)
     with _parameter_lock:
@@ -89,7 +90,7 @@ class DSAScheme(SignatureScheme):
         rng = rng or default_rng()
         p, q, g = generate_domain_parameters(p_bits, q_bits, rng=rng)
         x = rng.random_int_range(1, q)
-        y = pow(g, x, p)
+        y = mod_exp(g, x, p)
         public = PublicKey(scheme=self.name, params={"p": p, "q": q, "g": g, "y": y})
         private = PrivateKey(
             scheme=self.name,
@@ -106,7 +107,7 @@ class DSAScheme(SignatureScheme):
         z = int.from_bytes(digest, "big") % q
         while True:
             k = _deterministic_nonce(x, digest, q)
-            r = pow(g, k, p) % q
+            r = mod_exp(g, k, p) % q
             if r == 0:
                 digest = hashlib.sha256(digest).digest()
                 continue
@@ -140,5 +141,5 @@ class DSAScheme(SignatureScheme):
             return False
         u1 = (z * w) % q
         u2 = (r * w) % q
-        v = ((pow(g, u1, p) * pow(y, u2, p)) % p) % q
+        v = ((mod_exp(g, u1, p) * mod_exp(y, u2, p)) % p) % q
         return v == r

@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional
 from repro.crypto.dsa import DSAScheme, generate_domain_parameters
 from repro.crypto.hashing import MerkleTree, combine_digests, secure_hash
 from repro.crypto.keys import KeyPair, PrivateKey, PublicKey
+from repro.crypto.modexp import mod_exp
 from repro.crypto.rng import SecureRandom, default_rng
 from repro.errors import SignatureError
 from repro.crypto.signature import SignatureScheme
@@ -64,7 +65,7 @@ class ForwardSecureScheme(SignatureScheme):
         tree = MerkleTree()
         for period in range(periods):
             x = rng.random_int_range(1, q)
-            y = pow(g, x, p)
+            y = mod_exp(g, x, p)
             secrets.append(x)
             publics.append(y)
             tree.add(_leaf_bytes(period, y))

@@ -50,11 +50,23 @@ class PublicKey:
     key_id: str = field(default="")
 
     def __post_init__(self) -> None:
+        fingerprint = secure_hash_hex(
+            self.scheme + ":" + _canonical_params(self.params)
+        )[:32]
+        self.__dict__["_material_fingerprint"] = fingerprint
         if not self.key_id:
-            fingerprint = secure_hash_hex(
-                self.scheme + ":" + _canonical_params(self.params)
-            )[:32]
             object.__setattr__(self, "key_id", fingerprint)
+
+    def material_fingerprint(self) -> str:
+        """Digest of the actual key material (scheme + parameters).
+
+        Unlike :attr:`key_id` -- which deserialisation accepts verbatim from
+        the payload -- this is always recomputed from the parameters, so it
+        cannot be spoofed by declaring someone else's identifier.  Security
+        decisions that are cached across calls (e.g. the signature
+        verification memo) must key on this, never on ``key_id``.
+        """
+        return self.__dict__["_material_fingerprint"]
 
     def to_dict(self) -> Dict[str, Any]:
         """Serialise to a JSON-compatible dictionary."""

@@ -1,0 +1,119 @@
+"""Hardware-speed modular exponentiation.
+
+Every signature scheme in this package bottoms out in ``base ** exp % mod``
+over multi-hundred-bit integers.  CPython's built-in ``pow`` implements this
+portably but roughly an order of magnitude slower than OpenSSL's
+Montgomery-multiplication path.  Python itself links against libcrypto, so
+when that shared library is loadable this module routes :func:`mod_exp`
+through ``BN_mod_exp`` via :mod:`ctypes`; otherwise it falls back to the
+built-in ``pow`` with identical results.
+
+The OpenSSL path is self-checked against ``pow`` on a few vectors at import
+time and disabled (falling back silently) on any disagreement or loading
+failure, so correctness never depends on the accelerator.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import ctypes.util
+from typing import Callable, Optional
+
+__all__ = ["mod_exp", "backend_name"]
+
+
+def _python_mod_exp(base: int, exponent: int, modulus: int) -> int:
+    return pow(base, exponent, modulus)
+
+
+def _load_openssl() -> Optional[Callable[[int, int, int], int]]:
+    """Bind ``BN_mod_exp`` from libcrypto, or return ``None``."""
+    library_name = ctypes.util.find_library("crypto")
+    if library_name is None:
+        return None
+    try:
+        lib = ctypes.CDLL(library_name)
+        prototypes = [
+            ("BN_new", ctypes.c_void_p, []),
+            ("BN_free", None, [ctypes.c_void_p]),
+            ("BN_CTX_new", ctypes.c_void_p, []),
+            ("BN_CTX_free", None, [ctypes.c_void_p]),
+            ("BN_bin2bn", ctypes.c_void_p, [ctypes.c_char_p, ctypes.c_int, ctypes.c_void_p]),
+            ("BN_bn2bin", ctypes.c_int, [ctypes.c_void_p, ctypes.c_char_p]),
+            ("BN_num_bits", ctypes.c_int, [ctypes.c_void_p]),
+            ("BN_mod_exp", ctypes.c_int, [ctypes.c_void_p] * 5),
+        ]
+        for name, restype, argtypes in prototypes:
+            function = getattr(lib, name)
+            function.restype = restype
+            function.argtypes = argtypes
+    except (OSError, AttributeError):
+        return None
+
+    bn_new = lib.BN_new
+    bn_free = lib.BN_free
+    bn_ctx_new = lib.BN_CTX_new
+    bn_ctx_free = lib.BN_CTX_free
+    bn_bin2bn = lib.BN_bin2bn
+    bn_bn2bin = lib.BN_bn2bin
+    bn_num_bits = lib.BN_num_bits
+    bn_mod_exp = lib.BN_mod_exp
+
+    def openssl_mod_exp(base: int, exponent: int, modulus: int) -> int:
+        if exponent < 0 or modulus <= 0 or base < 0:
+            # Rare edge shapes (modular inverses, zero moduli errors) keep
+            # the built-in semantics exactly.
+            return pow(base, exponent, modulus)
+        base_bytes = base.to_bytes((base.bit_length() + 7) // 8 or 1, "big")
+        exp_bytes = exponent.to_bytes((exponent.bit_length() + 7) // 8 or 1, "big")
+        mod_bytes = modulus.to_bytes((modulus.bit_length() + 7) // 8 or 1, "big")
+        ctx = bn_ctx_new()
+        result = bn_new()
+        bn_base = bn_bin2bn(base_bytes, len(base_bytes), None)
+        bn_exp = bn_bin2bn(exp_bytes, len(exp_bytes), None)
+        bn_mod = bn_bin2bn(mod_bytes, len(mod_bytes), None)
+        try:
+            if ctx is None or result is None or None in (bn_base, bn_exp, bn_mod):
+                return pow(base, exponent, modulus)
+            if bn_mod_exp(result, bn_base, bn_exp, bn_mod, ctx) != 1:
+                return pow(base, exponent, modulus)
+            length = (bn_num_bits(result) + 7) // 8
+            if length == 0:
+                return 0
+            buffer = ctypes.create_string_buffer(length)
+            written = bn_bn2bin(result, buffer)
+            return int.from_bytes(buffer.raw[:written], "big")
+        finally:
+            for bn in (result, bn_base, bn_exp, bn_mod):
+                if bn is not None:
+                    bn_free(bn)
+            if ctx is not None:
+                bn_ctx_free(ctx)
+
+    # Import-time self-check: any disagreement disables the accelerator.
+    try:
+        vectors = [
+            (0, 1, 7),
+            (5, 0, 9),
+            (2, 10, 1),
+            (1234567, 891011, 2**61 - 1),
+            (3**50, 2**127 + 9, (2**89 - 1) * 97),
+        ]
+        for b, e, m in vectors:
+            if openssl_mod_exp(b, e, m) != pow(b, e, m):
+                return None
+    except Exception:
+        return None
+    return openssl_mod_exp
+
+
+_OPENSSL_MOD_EXP = _load_openssl()
+
+#: ``mod_exp(base, exponent, modulus)`` -- drop-in for the three-argument
+#: ``pow`` on non-negative operands, using OpenSSL when available.
+mod_exp: Callable[[int, int, int], int] = _OPENSSL_MOD_EXP or _python_mod_exp
+
+
+def backend_name() -> str:
+    """Which implementation backs :func:`mod_exp` (``openssl`` or ``python``)."""
+    return "openssl" if _OPENSSL_MOD_EXP is not None else "python"

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.crypto.modexp import mod_exp
 from repro.crypto.rng import SecureRandom, default_rng
 
 # Small primes used for cheap trial division before Miller-Rabin.
@@ -46,7 +47,7 @@ def is_probable_prime(candidate: int, rounds: int = 32, rng: Optional[SecureRand
         r += 1
     for _ in range(rounds):
         base = rng.random_int_range(2, candidate - 1)
-        x = pow(base, d, candidate)
+        x = mod_exp(base, d, candidate)
         if x == 1 or x == candidate - 1:
             continue
         for _ in range(r - 1):

@@ -10,8 +10,10 @@ performed by any party holding the corresponding public key.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.crypto.hashing import secure_hash
 from repro.crypto.keys import KeyPair, PrivateKey, PublicKey
@@ -90,7 +92,16 @@ class SignatureScheme:
     def verify(
         self, public_key: PublicKey, message: bytes, signature: Signature
     ) -> bool:
-        """Verify a :class:`Signature` object against ``message``."""
+        """Verify a :class:`Signature` object against ``message``.
+
+        Results are memoised process-wide: re-verifying a token that was
+        redistributed (e.g. ``NR_DECISION`` evidence forwarded with an
+        outcome) costs one cache lookup instead of a modular exponentiation.
+        The memo key binds (scheme, key-material fingerprint, digest,
+        signature bytes), so a different key -- even re-pinned under the same
+        party name or carrying a spoofed ``key_id`` -- or any tampering with
+        digest or signature bytes misses the cache.
+        """
         if signature.scheme != self.name:
             return False
         if public_key.scheme != self.name:
@@ -100,7 +111,74 @@ class SignatureScheme:
         digest = secure_hash(message)
         if digest != signature.digest:
             return False
-        return self.verify_digest(public_key, digest, signature.value)
+        # Key on the recomputed material fingerprint, not the declared
+        # key_id: deserialised keys carry whatever key_id the payload
+        # claimed, and a memo entry poisoned through a spoofed id would
+        # otherwise make forged signatures verify as the victim's.
+        key = (self.name, public_key.material_fingerprint(), digest, signature.value)
+        cached = _VERIFICATION_CACHE.get(key)
+        if cached is None:
+            cached = self.verify_digest(public_key, digest, signature.value)
+            _VERIFICATION_CACHE.put(key, cached)
+        return cached
+
+
+class _VerificationCache:
+    """Bounded LRU memo of signature-verification verdicts.
+
+    Every scheme's ``verify_digest`` is a deterministic function of
+    (public key, digest, signature bytes), so both positive and negative
+    verdicts are safe to cache for the lifetime of the process.
+    """
+
+    def __init__(self, maxsize: int = 8192) -> None:
+        self._maxsize = maxsize
+        self._entries: "OrderedDict[Tuple, bool]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Tuple) -> Optional[bool]:
+        with self._lock:
+            verdict = self._entries.get(key)
+            if verdict is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return verdict
+
+    def put(self, key: Tuple, verdict: bool) -> None:
+        with self._lock:
+            self._entries[key] = verdict
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
+_VERIFICATION_CACHE = _VerificationCache()
+
+
+def clear_verification_cache() -> None:
+    """Drop all memoised verification verdicts (mainly for tests)."""
+    _VERIFICATION_CACHE.clear()
+
+
+def verification_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the process-wide verification memo."""
+    return _VERIFICATION_CACHE.stats()
 
 
 _REGISTRY: Dict[str, SignatureScheme] = {}

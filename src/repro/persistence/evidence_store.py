@@ -91,23 +91,37 @@ class EvidenceStore:
         self,
         run_id: str,
         token_type: str,
-        token: Mapping[str, Any],
+        token: Any,
         role: str = ROLE_RECEIVED,
     ) -> StoredEvidence:
-        """Persist one evidence token for ``run_id``."""
+        """Persist one evidence token for ``run_id``.
+
+        ``token`` is either the dictionary form of a token or a token object
+        (anything exposing ``to_dict``).  Token objects that also carry their
+        canonical encoding (``data_encoded``, e.g.
+        :class:`repro.core.evidence.EvidenceToken`) are persisted by splicing
+        that cached encoding into the stored record, so a token that is
+        stored by several parties is canonically encoded only once.
+        """
         if role not in (self.ROLE_GENERATED, self.ROLE_RECEIVED):
             raise PersistenceError(f"unknown evidence role {role!r}")
+        to_dict = getattr(token, "to_dict", None)
+        token_mapping = to_dict() if callable(to_dict) else dict(token)
+        data_encoded = getattr(token, "data_encoded", None)
         with self._lock:
             record = StoredEvidence(
                 run_id=run_id,
                 token_type=token_type,
                 role=role,
                 stored_at=self._clock.now(),
-                token=dict(token),
+                token=token_mapping,
             )
+            payload = record.to_dict()
+            if callable(data_encoded):
+                payload["token"] = data_encoded()  # spliced pre-computed bytes
             sequence = len(self._index.get(run_id, []))
             key = self._key_for(run_id, token_type, role, sequence)
-            self._backend.put(key, codec.encode(record.to_dict()))
+            self._backend.put(key, codec.encode(payload))
             self._index.setdefault(run_id, []).append(key)
             return record
 

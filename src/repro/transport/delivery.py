@@ -10,11 +10,11 @@ benchmarks can report time-to-completion under injected faults.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, List, Optional, Tuple
 
 from repro.clock import Clock
 from repro.errors import DeliveryError, UnknownEndpointError
-from repro.transport.network import SimulatedNetwork
+from repro.transport.network import BatchResult, SimulatedNetwork
 
 
 @dataclass(frozen=True)
@@ -87,3 +87,50 @@ class ReliableChannel:
             f"delivery from {self._source!r} to {destination!r} failed after "
             f"{self._policy.max_attempts} attempts: {last_error}"
         )
+
+    def send_batch(
+        self, entries: List[Tuple[str, str, Any]]
+    ) -> List[BatchResult]:
+        """Send a fan-out of ``(destination, operation, payload)`` entries.
+
+        Each entry gets the same retry guarantee as :meth:`send`, but all
+        still-pending entries of one attempt go through a single
+        :meth:`SimulatedNetwork.send_batch` call, and the backoff between
+        attempts is paid once for the whole batch rather than once per
+        destination.  Per-entry failures are reported in the returned
+        :class:`BatchResult` list instead of being raised, so one unreachable
+        peer never masks the other deliveries.
+        """
+        results: List[BatchResult] = [BatchResult() for _ in entries]
+        pending = list(range(len(entries)))
+        for attempt in range(self._policy.max_attempts):
+            if attempt > 0:
+                self.retries_made += len(pending)
+                self._clock.sleep(self._policy.backoff_for_attempt(attempt - 1))
+            self.attempts_made += len(pending)
+            batch = self._network.send_batch(
+                self._source, [entries[index] for index in pending]
+            )
+            still_pending: List[int] = []
+            for index, outcome in zip(pending, batch):
+                if outcome.error is None:
+                    results[index] = outcome
+                elif isinstance(outcome.error, UnknownEndpointError):
+                    results[index] = outcome  # permanent: retrying cannot help
+                elif isinstance(outcome.error, DeliveryError):
+                    results[index] = outcome
+                    still_pending.append(index)
+                else:
+                    results[index] = outcome  # handler-raised failure
+            pending = still_pending
+            if not pending:
+                break
+        for index in pending:
+            results[index] = BatchResult(
+                error=DeliveryError(
+                    f"delivery from {self._source!r} to "
+                    f"{entries[index][0]!r} failed after "
+                    f"{self._policy.max_attempts} attempts: {results[index].error}"
+                )
+            )
+        return results

@@ -25,6 +25,11 @@ from repro.crypto.rng import SecureRandom
 from repro.errors import DeliveryError, UnknownEndpointError
 
 
+#: ``Message.sizing`` values: how the byte size of a message was obtained.
+SIZING_CANONICAL = "canonical"
+SIZING_REPR = "repr"
+
+
 @dataclass
 class Message:
     """A unit of network traffic.
@@ -44,13 +49,24 @@ class Message:
     payload: Any
     message_id: int = -1
 
+    #: How this message was sized: ``"canonical"`` for the canonical codec
+    #: encoding, ``"repr"`` for the lossy fallback (set by ``encoded_size``).
+    sizing: str = SIZING_CANONICAL
+
     def encoded_size(self) -> int:
-        """Size of the message payload in canonical bytes.
+        """Size of the message payload in canonical bytes, computed once.
 
         Payloads that cannot be canonically encoded (e.g. application objects
         passed through plain, non-NR invocations) are sized by their ``repr``
-        so traffic accounting still works.
+        so traffic accounting still works; such messages are marked with
+        ``sizing == "repr"`` and surfaced in
+        :attr:`NetworkStatistics.messages_sized_by_repr` so benchmark byte
+        counts are honest about the fallback.  The computed size is cached on
+        the message (messages are immutable once handed to the network).
         """
+        cached = self.__dict__.get("_size")
+        if cached is not None:
+            return cached
         envelope = {
             "sender": self.sender,
             "destination": self.destination,
@@ -58,9 +74,24 @@ class Message:
             "payload": self.payload,
         }
         try:
-            return codec.encoded_size(envelope)
+            size = codec.encoded_size(envelope)
         except codec.CodecError:
-            return len(repr(envelope).encode("utf-8"))
+            size = len(repr(envelope).encode("utf-8"))
+            self.sizing = SIZING_REPR
+        self.__dict__["_size"] = size
+        return size
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one entry of a batched send: a reply or an error."""
+
+    result: Any = None
+    error: Optional[Exception] = None
+
+    @property
+    def delivered(self) -> bool:
+        return self.error is None
 
 
 #: An endpoint handler maps (operation, payload, message) to a reply payload.
@@ -137,6 +168,9 @@ class NetworkStatistics:
     messages_dropped: int = 0
     messages_duplicated: int = 0
     bytes_delivered: int = 0
+    #: Messages whose size came from the lossy ``repr`` fallback rather than
+    #: the canonical encoding; nonzero means byte counters are approximate.
+    messages_sized_by_repr: int = 0
     total_latency: float = 0.0
     per_operation: Dict[str, int] = field(default_factory=dict)
 
@@ -148,6 +182,7 @@ class NetworkStatistics:
             messages_dropped=self.messages_dropped,
             messages_duplicated=self.messages_duplicated,
             bytes_delivered=self.bytes_delivered,
+            messages_sized_by_repr=self.messages_sized_by_repr,
             total_latency=self.total_latency,
             per_operation=dict(self.per_operation),
         )
@@ -163,6 +198,9 @@ class NetworkStatistics:
             messages_dropped=self.messages_dropped - earlier.messages_dropped,
             messages_duplicated=self.messages_duplicated - earlier.messages_duplicated,
             bytes_delivered=self.bytes_delivered - earlier.bytes_delivered,
+            messages_sized_by_repr=(
+                self.messages_sized_by_repr - earlier.messages_sized_by_repr
+            ),
             total_latency=self.total_latency - earlier.total_latency,
             per_operation={k: v for k, v in per_operation.items() if v},
         )
@@ -248,6 +286,48 @@ class SimulatedNetwork:
 
     # -- sending ----------------------------------------------------------------
 
+    def _admit_locked(self, message: Message) -> Tuple[Endpoint, bool]:
+        """Account and fault-check one message; caller must hold the lock.
+
+        Returns ``(endpoint, duplicate)`` on admission; raises
+        :class:`DeliveryError` / :class:`UnknownEndpointError` on loss.
+        """
+        sender, destination = message.sender, message.destination
+        self.statistics.messages_sent += 1
+        self.statistics.per_operation[message.operation] = (
+            self.statistics.per_operation.get(message.operation, 0) + 1
+        )
+        if self.trace_enabled:
+            self._trace.append(message)
+
+        link = (sender, destination)
+        if self.partition.is_severed(sender, destination):
+            self.statistics.messages_dropped += 1
+            raise DeliveryError(f"link {sender!r} -> {destination!r} is partitioned")
+        endpoint = self._endpoints.get(destination)
+        if endpoint is None:
+            self.statistics.messages_dropped += 1
+            raise UnknownEndpointError(f"no endpoint registered at {destination!r}")
+        if not endpoint.online:
+            self.statistics.messages_dropped += 1
+            raise DeliveryError(f"endpoint {destination!r} is offline")
+        if self._should_drop(link):
+            self.statistics.messages_dropped += 1
+            raise DeliveryError(
+                f"message {message.message_id} from {sender!r} to "
+                f"{destination!r} was lost"
+            )
+
+        latency = self._latency()
+        self.clock.sleep(latency)
+        self.statistics.total_latency += latency
+        self.statistics.messages_delivered += 1
+        self.statistics.bytes_delivered += message.encoded_size()
+        if message.sizing == SIZING_REPR:
+            self.statistics.messages_sized_by_repr += 1
+
+        return endpoint, self._should_duplicate()
+
     def send(self, sender: str, destination: str, operation: str, payload: Any) -> Any:
         """Deliver a message and return the destination handler's reply.
 
@@ -263,42 +343,7 @@ class SimulatedNetwork:
                 payload=payload,
                 message_id=self._message_counter.next(),
             )
-            self.statistics.messages_sent += 1
-            self.statistics.per_operation[operation] = (
-                self.statistics.per_operation.get(operation, 0) + 1
-            )
-            if self.trace_enabled:
-                self._trace.append(message)
-
-            link = (sender, destination)
-            if self.partition.is_severed(sender, destination):
-                self.statistics.messages_dropped += 1
-                raise DeliveryError(
-                    f"link {sender!r} -> {destination!r} is partitioned"
-                )
-            endpoint = self._endpoints.get(destination)
-            if endpoint is None:
-                self.statistics.messages_dropped += 1
-                raise UnknownEndpointError(
-                    f"no endpoint registered at {destination!r}"
-                )
-            if not endpoint.online:
-                self.statistics.messages_dropped += 1
-                raise DeliveryError(f"endpoint {destination!r} is offline")
-            if self._should_drop(link):
-                self.statistics.messages_dropped += 1
-                raise DeliveryError(
-                    f"message {message.message_id} from {sender!r} to "
-                    f"{destination!r} was lost"
-                )
-
-            latency = self._latency()
-            self.clock.sleep(latency)
-            self.statistics.total_latency += latency
-            self.statistics.messages_delivered += 1
-            self.statistics.bytes_delivered += message.encoded_size()
-
-            duplicate = self._should_duplicate()
+            endpoint, duplicate = self._admit_locked(message)
 
         # Dispatch outside the lock so handlers can themselves send messages.
         if duplicate:
@@ -306,6 +351,51 @@ class SimulatedNetwork:
                 self.statistics.messages_duplicated += 1
             endpoint.handler(message)
         return endpoint.handler(message)
+
+    def send_batch(
+        self, sender: str, entries: List[Tuple[str, str, Any]]
+    ) -> List[BatchResult]:
+        """Deliver a fan-out of messages, accounting each exactly like ``send``.
+
+        ``entries`` is a list of ``(destination, operation, payload)``
+        triples.  Payloads that share pre-canonicalised content (tokens,
+        proposal bodies) are sized from their cached encodings, so the shared
+        body is never re-encoded per recipient; per-message statistics
+        (``messages_sent``, ``bytes_delivered``, ``per_operation``) are
+        identical to an equivalent sequence of individual sends.  Admission
+        and accounting happen under one lock acquisition; handlers are then
+        dispatched outside the lock in entry order.  Failures are returned
+        per entry (:class:`BatchResult`) rather than raised, so one lost link
+        never masks the remaining deliveries.
+        """
+        admitted: List[Tuple[int, Message, Endpoint, bool]] = []
+        results: List[BatchResult] = [BatchResult() for _ in entries]
+        with self._lock:
+            for index, (destination, operation, payload) in enumerate(entries):
+                message = Message(
+                    sender=sender,
+                    destination=destination,
+                    operation=operation,
+                    payload=payload,
+                    message_id=self._message_counter.next(),
+                )
+                try:
+                    endpoint, duplicate = self._admit_locked(message)
+                except (DeliveryError, UnknownEndpointError) as error:
+                    results[index].error = error
+                    continue
+                if duplicate:
+                    self.statistics.messages_duplicated += 1
+                admitted.append((index, message, endpoint, duplicate))
+
+        for index, message, endpoint, duplicate in admitted:
+            try:
+                if duplicate:
+                    endpoint.handler(message)
+                results[index].result = endpoint.handler(message)
+            except Exception as error:  # per-entry isolation, mirrors callers'
+                results[index].error = error  # per-peer try/except semantics
+        return results
 
     # -- introspection -----------------------------------------------------------
 

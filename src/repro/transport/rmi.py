@@ -19,11 +19,15 @@ the payload.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import RemoteInvocationError, UnknownEndpointError
 from repro.transport.delivery import ReliableChannel, RetryPolicy
 from repro.transport.network import Message, SimulatedNetwork
+
+#: One entry of a batched remote call:
+#: ``(remote_address, object_name, method, args, kwargs)``.
+RemoteCall = Tuple[str, str, str, List[Any], Dict[str, Any]]
 
 #: Operation name used for all RMI traffic on the network.
 RMI_OPERATION = "rmi.invoke"
@@ -114,6 +118,50 @@ class RemoteInvoker:
             object_name=object_name,
             retry_policy=retry_policy,
         )
+
+    def call_batch(
+        self,
+        calls: List[RemoteCall],
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> List[Tuple[Any, Optional[Exception]]]:
+        """Invoke many remote methods through one batched, retried fan-out.
+
+        Returns one ``(result, error)`` pair per call, in order.  Shared
+        argument content (pre-encoded protocol messages and tokens) is sized
+        from its cached canonical form, so the fan-out never re-encodes the
+        common body per recipient.
+        """
+        channel = ReliableChannel(self._network, self._address, retry_policy)
+        entries = [
+            (
+                address,
+                RMI_OPERATION,
+                {"object": object_name, "method": method, "args": args, "kwargs": kwargs},
+            )
+            for address, object_name, method, args, kwargs in calls
+        ]
+        outcomes = channel.send_batch(entries)
+        results: List[Tuple[Any, Optional[Exception]]] = []
+        for call, outcome in zip(calls, outcomes):
+            if outcome.error is not None:
+                results.append((None, outcome.error))
+                continue
+            reply = outcome.result
+            if reply["status"] == "ok":
+                results.append((reply["result"], None))
+            else:
+                address, object_name, method = call[0], call[1], call[2]
+                results.append(
+                    (
+                        None,
+                        RemoteInvocationError(
+                            f"remote invocation of {object_name}.{method} at "
+                            f"{address} failed: {reply['error_type']}: "
+                            f"{reply['error_message']}"
+                        ),
+                    )
+                )
+        return results
 
 
 class _RemoteMethod:

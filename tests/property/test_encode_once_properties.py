@@ -1,0 +1,134 @@
+"""Property-based tests for the encode-once pipeline.
+
+Covers the canonical-encoding invariants the pipeline relies on: the
+fragment writer is byte-identical to the reference ``json.dumps`` encoding,
+splicing pre-canonicalised values never changes the output, sets (including
+heterogeneous ones) encode deterministically, and the OpenSSL modular
+exponentiation backend agrees with the built-in ``pow``.
+"""
+
+import json
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import codec
+from repro.crypto.modexp import mod_exp
+
+_SETTINGS = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 63), max_value=2 ** 63),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+
+set_items = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(2 ** 31), max_value=2 ** 31),
+    st.text(max_size=10),
+    st.binary(max_size=10),
+    st.floats(allow_nan=False, allow_infinity=False),
+)
+
+
+class _WithToDict:
+    def __init__(self, inner):
+        self._inner = inner
+
+    def to_dict(self):
+        return {"inner": self._inner}
+
+
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+        st.sets(set_items, max_size=5),
+        children.map(_WithToDict),
+    ),
+    max_leaves=25,
+)
+
+
+def _reference_encode(value):
+    """The seed encoding: json.dumps over the jsonable conversion."""
+    return json.dumps(
+        codec.to_jsonable(value), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def normalise(value):
+    """What the codec is specified to round-trip values into."""
+    if isinstance(value, (list, tuple)):
+        return [normalise(item) for item in value]
+    if isinstance(value, dict):
+        return {key: normalise(item) for key, item in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return {normalise(item) for item in value}
+    if isinstance(value, _WithToDict):
+        return normalise(value.to_dict())
+    if isinstance(value, (bytearray, memoryview)):
+        return bytes(value)
+    return value
+
+
+class TestCanonicalEncodingProperties:
+    @_SETTINGS
+    @given(json_values)
+    def test_fragment_writer_matches_reference_encoding(self, value):
+        assert codec.encode(value) == _reference_encode(value)
+
+    @_SETTINGS
+    @given(json_values)
+    def test_roundtrip_through_jsonable_is_lossless(self, value):
+        restored = codec.from_jsonable(codec.to_jsonable(value))
+        assert restored == normalise(value)
+
+    @_SETTINGS
+    @given(json_values)
+    def test_decode_inverts_encode(self, value):
+        assert codec.decode(codec.encode(value)) == normalise(value)
+
+    @_SETTINGS
+    @given(json_values)
+    def test_splicing_encoded_values_is_transparent(self, value):
+        encoded = codec.canonicalize(value)
+        wrapped_plain = {"body": value, "copies": [value, value]}
+        wrapped_spliced = {"body": encoded, "copies": [encoded, encoded]}
+        assert codec.encode(wrapped_plain) == codec.encode(wrapped_spliced)
+
+    @_SETTINGS
+    @given(json_values)
+    def test_encoded_carries_consistent_digest_and_size(self, value):
+        encoded = codec.canonicalize(value)
+        assert encoded.data == codec.encode(value)
+        assert encoded.size == len(encoded.data)
+        assert encoded.digest == codec.digest_of(value)
+        assert codec.canonicalize(encoded) is encoded
+
+    @_SETTINGS
+    @given(st.sets(set_items, max_size=8))
+    def test_heterogeneous_sets_encode_deterministically(self, items):
+        # Regression: sorted() over mixed jsonable items used to raise
+        # TypeError; items are now ordered by their canonical encoded form.
+        first = codec.encode(items)
+        second = codec.encode(set(list(items)))
+        assert first == second
+        assert codec.decode(first) == normalise(items)
+
+
+class TestModExpBackendProperties:
+    @_SETTINGS
+    @given(
+        st.integers(min_value=0, max_value=2 ** 512),
+        st.integers(min_value=0, max_value=2 ** 512),
+        st.integers(min_value=1, max_value=2 ** 512),
+    )
+    def test_mod_exp_matches_builtin_pow(self, base, exponent, modulus):
+        assert mod_exp(base, exponent, modulus) == pow(base, exponent, modulus)
