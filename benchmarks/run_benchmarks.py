@@ -11,10 +11,16 @@ Usage::
     python benchmarks/run_benchmarks.py --out BENCH_1.json
     python benchmarks/run_benchmarks.py --out BENCH_2.json \
         --compare BENCH_1.json benchmarks/bench_sharing.py
+    python benchmarks/run_benchmarks.py --quick
 
 ``--compare`` embeds an earlier run (either a previous ``BENCH_<n>.json`` or
 a raw ``--benchmark-json`` report) as the baseline and records per-test
 speedups, so the perf trajectory of the repo is tracked file by file.
+
+``--quick`` is the CI smoke mode: one round per benchmark, ``--out``
+optional.  The numbers are not comparable across machines -- the point is
+that every benchmark still *runs*, so perf-path regressions (crashes, broken
+counters) surface in pull requests before a full run is ever attempted.
 """
 
 from __future__ import annotations
@@ -89,14 +95,23 @@ def run_suite(files: List[str], rounds: int) -> Dict[str, Any]:
 def main(argv: Optional[List[str]] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("files", nargs="*", help="benchmark files (default: all)")
-    parser.add_argument("--out", required=True, help="output BENCH_<n>.json path")
+    parser.add_argument("--out", help="output BENCH_<n>.json path")
     parser.add_argument(
         "--compare", help="earlier BENCH_<n>.json (or raw report) to baseline against"
     )
     parser.add_argument(
         "--rounds", type=int, default=DEFAULT_ROUNDS, help="fixed rounds per benchmark"
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: one round per benchmark, --out optional",
+    )
     args = parser.parse_args(argv)
+    if args.quick:
+        args.rounds = 1
+    elif not args.out:
+        parser.error("--out is required unless --quick is given")
 
     files = args.files or sorted(
         str(path.relative_to(REPO_ROOT))
@@ -125,8 +140,11 @@ def main(argv: Optional[List[str]] = None) -> None:
             for name, result in document["results"].items()
             if name in baseline and baseline[name]["ops_per_sec"]
         }
-    Path(args.out).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {args.out} ({len(document['results'])} benchmarks)")
+    if args.out:
+        Path(args.out).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out} ({len(document['results'])} benchmarks)")
+    else:
+        print(f"quick run ok ({len(document['results'])} benchmarks)")
 
 
 if __name__ == "__main__":

@@ -74,6 +74,50 @@ that representation is reused everywhere downstream.
   recipient.  Message sizes are computed once and cached; payloads that fall
   back to lossy ``repr`` sizing are surfaced in
   ``NetworkStatistics.messages_sized_by_repr``.
+
+Concurrency model
+-----------------
+
+On top of the encode-once substrate, the protocol engine runs concurrently:
+
+* **What the network lock protects** -- admission of every message (fault
+  decisions, statistics, trace, message ids) happens under the single
+  network lock, in entry order, so traffic accounting is deterministic and
+  bit-identical whatever happens afterwards.  Handler *dispatch* happens
+  outside the lock through a pluggable ``DispatchStrategy``:
+  ``SequentialDispatch`` (default) preserves strict entry-order execution,
+  ``ParallelDispatch`` runs the admitted handlers of one ``send_batch`` on a
+  shared worker pool, so per-destination link latency and GIL-releasing
+  signature work (``BN_mod_exp`` via ctypes) overlap across the fan-out.
+  Property tests assert that both strategies produce identical
+  ``NetworkStatistics`` and replica state for the same seeded fault model.
+
+* **Handler thread-safety contract** -- any endpoint reachable through a
+  batched call on a parallel network may be invoked concurrently with other
+  endpoints (never concurrently with itself for one message).  Every store
+  in this package (evidence, state, audit), the coordinator tables, the
+  membership service and the signature-verification memo are lock-protected;
+  application handlers deployed behind NR interceptors must either be
+  thread-safe or be deployed on a sequential network.  Work submitted from a
+  worker thread runs inline (``repro.parallel``), so nested fan-outs degrade
+  to sequential execution instead of risking pool-exhaustion deadlock.
+
+* **Nonce-pool lifecycle** -- DSA's expensive per-signature work
+  (``r = g^k mod p``, ``k^-1 mod q``) is message-independent, so a
+  ``repro.crypto.dsa.NoncePool`` precomputes ``(k, k^-1, r)`` triples per
+  domain-parameter set.  Pools are created lazily after
+  ``enable_nonce_pools()`` and dropped by ``disable_nonce_pools()``; a
+  daemon refill thread tops the pool up whenever it drains below its
+  low-water mark, and an empty pool computes triples synchronously, so
+  signing is never blocked on the refill thread.  Pooling trades the
+  deterministic RFC 6979 nonce derivation for offline precomputation
+  (nonces then come from the thread-safe HMAC-DRBG) and is therefore
+  opt-in; the default remains deterministic signing.
+
+* **Batched verification** -- ``EvidenceVerifier.verify_all`` checks an
+  evidence-token set concurrently (one ``require_valid`` per token, errors
+  reported per slot), used by dispute resolution and by ``handle_outcome``
+  for the decision evidence forwarded with a sharing outcome.
 """
 
 from repro.container.component import Component, ComponentDescriptor, ComponentType

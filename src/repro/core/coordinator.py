@@ -203,8 +203,10 @@ class B2BCoordinator:
 
         The whole fan-out is delivered through one batched network call, so
         shared message content (tokens, a common proposal payload) is encoded
-        once rather than once per recipient.  Returns one entry per message:
-        ``None`` on delivery, the delivery/handler error otherwise.
+        once rather than once per recipient; under a parallel dispatch
+        strategy the recipients process their deliveries concurrently.
+        Returns one entry per message: ``None`` on delivery, the
+        delivery/handler error otherwise.
         """
         return [error for _, error in self._fan_out(messages, "deliver")]
 
@@ -214,7 +216,10 @@ class B2BCoordinator:
         """Send request messages as one batched fan-out and collect replies.
 
         Returns one ``(response, error)`` pair per message, in order; at most
-        one element of each pair is set.
+        one element of each pair is set.  Under a parallel dispatch strategy
+        the peers validate and respond concurrently -- an 8-party proposal
+        round pays one slowest-peer round trip instead of the sum -- so the
+        registered protocol handlers must be thread-safe.
         """
         return self._fan_out(messages, "deliver_request")
 

@@ -100,20 +100,26 @@ class DisputeResolver:
         refuting_type = _REFUTING_TOKEN.get(claim.claim_type)
         if refuting_type is None:
             raise DisputeError(f"cannot adjudicate claim type {claim.claim_type!r}")
-        for token in presented_evidence:
-            if token.token_type != refuting_type.value:
-                continue
-            if token.issuer != claim.denying_party:
-                continue
-            try:
-                self._verifier.require_valid(
-                    token,
-                    expected_type=refuting_type,
-                    expected_run_id=claim.run_id,
-                    expected_issuer=claim.denying_party,
-                    expected_payload=claim.disputed_payload,
-                )
-            except EvidenceVerificationError:
+        candidates = [
+            token
+            for token in presented_evidence
+            if token.token_type == refuting_type.value
+            and token.issuer == claim.denying_party
+        ]
+        verdicts = self._verifier.verify_all(
+            (
+                token,
+                {
+                    "expected_type": refuting_type,
+                    "expected_run_id": claim.run_id,
+                    "expected_issuer": claim.denying_party,
+                    "expected_payload": claim.disputed_payload,
+                },
+            )
+            for token in candidates
+        )
+        for token, error in zip(candidates, verdicts):
+            if error is not None:
                 continue
             return Verdict(
                 claim=claim,
@@ -154,26 +160,40 @@ class DisputeResolver:
             if token.token_type == TokenType.NR_DECISION.value
             and token.issuer == claim.denying_party
         ]
-        verified_outcome = None
-        for token in outcome_tokens:
-            try:
-                self._verifier.require_valid(token, expected_run_id=claim.run_id)
-                verified_outcome = token
-                break
-            except EvidenceVerificationError:
-                continue
-        verified_decision = None
-        for token in decision_tokens:
-            try:
-                self._verifier.require_valid(
-                    token,
-                    expected_run_id=claim.run_id,
-                    expected_issuer=claim.denying_party,
-                )
-                verified_decision = token
-                break
-            except EvidenceVerificationError:
-                continue
+        # Both candidate sets are verified together in one parallel batch;
+        # the first verifiable token of each kind (in presentation order)
+        # supports the verdict, exactly as the sequential scan did.
+        checks = [
+            (token, {"expected_run_id": claim.run_id}) for token in outcome_tokens
+        ] + [
+            (
+                token,
+                {
+                    "expected_run_id": claim.run_id,
+                    "expected_issuer": claim.denying_party,
+                },
+            )
+            for token in decision_tokens
+        ]
+        verdicts = self._verifier.verify_all(checks)
+        outcome_verdicts = verdicts[: len(outcome_tokens)]
+        decision_verdicts = verdicts[len(outcome_tokens):]
+        verified_outcome = next(
+            (
+                token
+                for token, error in zip(outcome_tokens, outcome_verdicts)
+                if error is None
+            ),
+            None,
+        )
+        verified_decision = next(
+            (
+                token
+                for token, error in zip(decision_tokens, decision_verdicts)
+                if error is None
+            ),
+            None,
+        )
         if verified_outcome is not None and verified_decision is not None:
             return Verdict(
                 claim=claim,

@@ -16,9 +16,9 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
-from repro import codec
+from repro import codec, parallel
 from repro.clock import Clock, SystemClock
 from repro.crypto.certificates import CertificateStore
 from repro.crypto.hashing import secure_hash
@@ -343,3 +343,44 @@ class EvidenceVerifier:
                 raise EvidenceVerificationError(
                     f"timestamp on token {token.token_id!r} failed verification"
                 )
+
+    def verify_all(
+        self,
+        checks: Iterable[Tuple[EvidenceToken, Mapping[str, Any]]],
+        parallel_verification: bool = True,
+    ) -> List[Optional[EvidenceVerificationError]]:
+        """Verify a set of tokens together, one :meth:`require_valid` per entry.
+
+        ``checks`` yields ``(token, expectations)`` pairs where
+        ``expectations`` holds :meth:`require_valid` keyword arguments
+        (``expected_type``, ``expected_run_id``, ...).  Returns one entry per
+        check, in order: ``None`` on success, the verification error
+        otherwise -- an invalid token never masks the other verdicts.
+
+        Verification is read-only and each check is independent, so the
+        checks run concurrently on the shared worker pool (the modular
+        exponentiations release the GIL); dispute resolution over a full
+        evidence set and outcome handling over forwarded decision tokens pay
+        one slowest-verification latency instead of the sum.
+        """
+        checks = list(checks)
+
+        def make_thunk(
+            token: EvidenceToken, expectations: Mapping[str, Any]
+        ):
+            def thunk() -> None:
+                self.require_valid(token, **dict(expectations))
+
+            return thunk
+
+        outcomes = parallel.run_all(
+            [make_thunk(token, expectations) for token, expectations in checks],
+            parallel=parallel_verification,
+        )
+        verdicts: List[Optional[EvidenceVerificationError]] = []
+        for _, error in outcomes:
+            if error is None or isinstance(error, EvidenceVerificationError):
+                verdicts.append(error)
+            else:  # infrastructure failure: never misread as "token invalid"
+                raise error
+        return verdicts

@@ -844,15 +844,42 @@ class B2BObjectController:
             token=nr_outcome,
             role=services.evidence_store.ROLE_RECEIVED,
         )
-        # Keep every peer's decision evidence for dispute resolution.
-        for token in message.tokens:
-            if token.token_type == TokenType.NR_DECISION.value:
-                services.evidence_store.store(
-                    run_id=message.run_id,
-                    token_type=token.token_type,
-                    token=token,
-                    role=services.evidence_store.ROLE_RECEIVED,
+        # Keep every peer's decision evidence for dispute resolution: the
+        # forwarded tokens are verified as a set and only verifiable evidence
+        # is retained.  Verification stays on this thread: under parallel
+        # dispatch handle_outcome itself already runs on a worker (one per
+        # recipient), and the proposer verified each decision once, so these
+        # re-checks hit the process-wide signature memo -- offloading
+        # microsecond memo hits would cost more than it saves.
+        decision_tokens = [
+            token
+            for token in message.tokens
+            if token.token_type == TokenType.NR_DECISION.value
+        ]
+        verdicts = services.evidence_verifier.verify_all(
+            (
+                (
+                    token,
+                    {
+                        "expected_type": TokenType.NR_DECISION,
+                        "expected_run_id": message.run_id,
+                    },
                 )
+                for token in decision_tokens
+            ),
+            parallel_verification=False,
+        )
+        rejected_decisions = []
+        for token, error in zip(decision_tokens, verdicts):
+            if error is not None:
+                rejected_decisions.append(token.token_id)
+                continue
+            services.evidence_store.store(
+                run_id=message.run_id,
+                token_type=token.token_type,
+                token=token,
+                role=services.evidence_store.ROLE_RECEIVED,
+            )
         agreed = bool(outcome_payload.get("agreed"))
         applied = False
         if agreed and self.is_shared(object_id):
@@ -871,6 +898,7 @@ class B2BObjectController:
                 "object_id": object_id,
                 "agreed": agreed,
                 "applied": applied,
+                "rejected_decisions": rejected_decisions,
             },
         )
 

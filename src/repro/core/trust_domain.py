@@ -32,7 +32,7 @@ from repro.core.ttp import RelayProtocolHandler, TTPArbitrator, install_relays
 from repro.crypto.certificates import CertificateAuthority
 from repro.crypto.timestamp import TimestampAuthority
 from repro.errors import ProtocolError
-from repro.transport.network import FaultModel, SimulatedNetwork
+from repro.transport.network import DispatchStrategy, FaultModel, SimulatedNetwork
 
 #: Protocols relayed by inline TTPs by default.
 DEFAULT_RELAYED_PROTOCOLS = [NR_INVOCATION_PROTOCOL, NR_SHARING_PROTOCOL]
@@ -73,14 +73,23 @@ class TrustDomain:
         use_timestamping: bool = False,
         relayed_protocols: Optional[List[str]] = None,
         with_arbitrator: bool = False,
+        dispatch: Optional[DispatchStrategy] = None,
     ) -> "TrustDomain":
-        """Build a trust domain of the requested style for ``party_uris``."""
+        """Build a trust domain of the requested style for ``party_uris``.
+
+        ``dispatch`` selects the network's handler-dispatch strategy (e.g.
+        :class:`repro.transport.network.ParallelDispatch` to run batched
+        protocol fan-outs concurrently); it is only consulted when the domain
+        constructs its own network.
+        """
         if len(party_uris) < 2:
             raise ProtocolError("a trust domain needs at least two organisations")
         if len(set(party_uris)) != len(party_uris):
             raise ProtocolError("party URIs must be unique")
         clock = clock or SimulatedClock()
-        network = network or SimulatedNetwork(fault_model=fault_model, clock=clock)
+        network = network or SimulatedNetwork(
+            fault_model=fault_model, clock=clock, dispatch=dispatch
+        )
         ca = CertificateAuthority("urn:repro:ca", scheme=scheme, clock=clock)
         tsa = (
             TimestampAuthority("urn:repro:tsa", scheme=scheme, clock=clock)

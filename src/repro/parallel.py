@@ -1,0 +1,113 @@
+"""Shared thread-pool infrastructure for the parallel protocol engine.
+
+The protocol hot paths fan work out in two places: the simulated network
+dispatches a batch of admitted messages to their destination handlers
+(:class:`repro.transport.network.ParallelDispatch`), and evidence-token sets
+are verified together (:meth:`repro.core.evidence.EvidenceVerifier.verify_all`).
+Both draw worker threads from one process-wide executor managed here, so the
+engine's total thread count is bounded no matter how many networks, verifiers
+or protocol runs are live.
+
+Re-entrancy contract: work submitted *from* a pool worker runs inline on the
+calling thread instead of being resubmitted.  A nested fan-out (a handler
+that itself fans out, a verification triggered inside a dispatched handler)
+therefore can never deadlock on an exhausted pool -- it degrades to the
+sequential behaviour, which is always correct because every parallel path in
+this package is also valid executed serially.
+
+The heavy lifting on these paths is multi-hundred-bit modular exponentiation
+routed through OpenSSL's ``BN_mod_exp`` via :mod:`ctypes`
+(:mod:`repro.crypto.modexp`); ctypes foreign calls release the GIL, so
+signature work genuinely overlaps across workers, as do real-latency sleeps
+of a wall-clock network model.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_MAX_WORKERS",
+    "in_worker_thread",
+    "mark_worker_thread",
+    "run_all",
+    "shared_executor",
+    "shutdown_shared_executor",
+]
+
+#: Sized for latency overlap (an 8-party fan-out should dispatch in one
+#: wave), not for CPU count: workers spend most of their time either inside
+#: GIL-releasing OpenSSL calls or sleeping on simulated link latency.
+DEFAULT_MAX_WORKERS = max(16, 4 * (os.cpu_count() or 1))
+
+_executor: Optional[ThreadPoolExecutor] = None
+_executor_lock = threading.Lock()
+_worker_state = threading.local()
+
+
+def mark_worker_thread() -> None:
+    """Mark the calling thread as a fan-out worker.
+
+    Used as the executor ``initializer`` by the shared pool and by any
+    private dispatch pool, so that :func:`in_worker_thread` — and with it
+    the run-nested-work-inline rule — covers every pool that participates
+    in the re-entrancy contract.
+    """
+    _worker_state.inside = True
+
+
+def in_worker_thread() -> bool:
+    """True when the calling thread is a marked fan-out worker."""
+    return getattr(_worker_state, "inside", False)
+
+
+def shared_executor() -> ThreadPoolExecutor:
+    """Return the process-wide executor, creating it lazily."""
+    global _executor
+    with _executor_lock:
+        if _executor is None:
+            _executor = ThreadPoolExecutor(
+                max_workers=DEFAULT_MAX_WORKERS,
+                thread_name_prefix="repro-parallel",
+                initializer=mark_worker_thread,
+            )
+        return _executor
+
+
+def shutdown_shared_executor() -> None:
+    """Shut the shared executor down (mainly for tests); it is recreated on demand."""
+    global _executor
+    with _executor_lock:
+        executor, _executor = _executor, None
+    if executor is not None:
+        executor.shutdown(wait=True)
+
+
+def run_all(
+    thunks: Sequence[Callable[[], Any]], parallel: bool = True
+) -> List[Tuple[Any, Optional[Exception]]]:
+    """Run ``thunks`` and return one ``(result, error)`` pair per thunk, in order.
+
+    With ``parallel=True`` the thunks run on the shared executor; each thunk's
+    exception is captured in its own slot, so one failure never masks the
+    other outcomes.  Falls back to inline sequential execution for trivial
+    batches and for calls issued from a pool worker (see the re-entrancy
+    contract in the module docstring).
+    """
+    thunks = list(thunks)
+    if not parallel or len(thunks) <= 1 or in_worker_thread():
+        return [_run_one(thunk) for thunk in thunks]
+    futures: List[Future] = [
+        shared_executor().submit(_run_one, thunk) for thunk in thunks
+    ]
+    return [future.result() for future in futures]
+
+
+def _run_one(thunk: Callable[[], Any]) -> Tuple[Any, Optional[Exception]]:
+    try:
+        return thunk(), None
+    except Exception as error:  # noqa: BLE001 - per-thunk isolation by design
+        return None, error

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro import codec
 from repro.clock import Clock, SystemClock
@@ -56,7 +56,17 @@ class StoredEvidence:
 
 
 class EvidenceStore:
-    """Evidence records indexed by protocol run identifier."""
+    """Evidence records indexed by protocol run identifier.
+
+    Dispute-time queries are index-backed: besides the per-run key index the
+    store maintains a per-``(run, token_type)`` index (so
+    :meth:`tokens_of_type` touches only matching records), a per-record size
+    cache with a running total (so :meth:`storage_bytes` is O(1) and never
+    re-reads the backend) and a decoded-record memo (so repeated
+    :meth:`evidence_for_run` calls decode each record at most once per
+    process).  All indexes are derived state: they are rebuilt from the
+    backend on construction and maintained incrementally by :meth:`store`.
+    """
 
     ROLE_GENERATED = "generated"
     ROLE_RECEIVED = "received"
@@ -71,18 +81,61 @@ class EvidenceStore:
         self._backend = backend or InMemoryBackend()
         self._clock = clock or SystemClock()
         self._index: Dict[str, List[str]] = {}
+        self._type_index: Dict[Tuple[str, str], List[str]] = {}
+        self._sizes: Dict[str, int] = {}
+        self._total_bytes = 0
+        self._decoded: Dict[str, StoredEvidence] = {}
         self._lock = threading.RLock()
         self._rebuild_index()
 
+    @staticmethod
+    def _sequence_of(key: str) -> Optional[int]:
+        """The storage-order sequence suffix of an evidence key, if parsable."""
+        try:
+            return int(key.rsplit(":", 1)[1])
+        except (IndexError, ValueError):
+            return None
+
+    def _register_locked(
+        self, key: str, record: StoredEvidence, size: int
+    ) -> None:
+        """Add one record to every derived index; caller must hold the lock."""
+        self._index.setdefault(record.run_id, []).append(key)
+        self._type_index.setdefault((record.run_id, record.token_type), []).append(key)
+        self._sizes[key] = size
+        self._total_bytes += size
+        self._decoded[key] = record
+
     def _rebuild_index(self) -> None:
-        for key in self._backend.keys():
+        """Recover the indexes from the backend.
+
+        Backend ``keys()`` order is *insertion* order of that backend
+        instance, which for a reopened store is not necessarily the original
+        storage order (e.g. a file backend whose index was compacted, or a
+        replicated backend filled out of order).  Records are therefore
+        ordered per run by the monotonic sequence suffix baked into each key;
+        keys with an unparsable suffix sort after the well-formed ones, in
+        backend order.
+        """
+        per_run: Dict[str, List[Tuple[int, int, str, StoredEvidence, int]]] = {}
+        for position, key in enumerate(self._backend.keys()):
             if not key.startswith("evidence:"):
                 continue
             raw = self._backend.get(key)
             if raw is None:
                 continue
             record = StoredEvidence.from_dict(codec.decode(raw))
-            self._index.setdefault(record.run_id, []).append(key)
+            sequence = self._sequence_of(key)
+            sort_key = (0, sequence) if sequence is not None else (1, position)
+            per_run.setdefault(record.run_id, []).append(
+                (sort_key[0], sort_key[1], key, record, len(raw))
+            )
+        with self._lock:
+            for entries in per_run.values():
+                for _, _, key, record, size in sorted(
+                    entries, key=lambda entry: (entry[0], entry[1])
+                ):
+                    self._register_locked(key, record, size)
 
     def _key_for(self, run_id: str, token_type: str, role: str, sequence: int) -> str:
         return f"evidence:{self.owner}:{run_id}:{token_type}:{role}:{sequence}"
@@ -121,29 +174,44 @@ class EvidenceStore:
                 payload["token"] = data_encoded()  # spliced pre-computed bytes
             sequence = len(self._index.get(run_id, []))
             key = self._key_for(run_id, token_type, role, sequence)
-            self._backend.put(key, codec.encode(payload))
-            self._index.setdefault(run_id, []).append(key)
+            encoded = codec.encode(payload)
+            self._backend.put(key, encoded)
+            self._register_locked(key, record, len(encoded))
             return record
 
-    def evidence_for_run(self, run_id: str) -> List[StoredEvidence]:
-        """Return every stored record for ``run_id`` in storage order."""
-        with self._lock:
-            keys = list(self._index.get(run_id, []))
-        records = []
-        for key in keys:
+    def _record_for_locked(self, key: str) -> StoredEvidence:
+        """Decoded record for ``key``, memoised; caller must hold the lock."""
+        record = self._decoded.get(key)
+        if record is None:
             raw = self._backend.get(key)
             if raw is None:
                 raise PersistenceError(f"evidence record {key!r} disappeared")
-            records.append(StoredEvidence.from_dict(codec.decode(raw)))
-        return records
+            record = StoredEvidence.from_dict(codec.decode(raw))
+            self._decoded[key] = record
+        return record
+
+    def evidence_for_run(self, run_id: str) -> List[StoredEvidence]:
+        """Return every stored record for ``run_id`` in storage order.
+
+        Records are served from the decoded-record memo; treat them (and
+        their ``token`` mappings) as read-only.
+        """
+        with self._lock:
+            return [
+                self._record_for_locked(key) for key in self._index.get(run_id, [])
+            ]
 
     def tokens_of_type(self, run_id: str, token_type: str) -> List[StoredEvidence]:
-        """Return records of one token type for ``run_id``."""
-        return [
-            record
-            for record in self.evidence_for_run(run_id)
-            if record.token_type == token_type
-        ]
+        """Return records of one token type for ``run_id``, in storage order.
+
+        Served from the per-``(run, token_type)`` index: records of other
+        types are neither read from the backend nor decoded.
+        """
+        with self._lock:
+            return [
+                self._record_for_locked(key)
+                for key in self._type_index.get((run_id, token_type), [])
+            ]
 
     def run_ids(self) -> List[str]:
         with self._lock:
@@ -154,16 +222,12 @@ class EvidenceStore:
             return sum(len(keys) for keys in self._index.values())
 
     def storage_bytes(self) -> int:
-        """Total size of stored evidence in canonical bytes.
+        """Total size of stored evidence in canonical bytes, in O(1).
 
         Used by the evidence-space-overhead benchmark (paper Section 6 names
         "the space overhead of evidence generated" as a cost dimension).
+        Maintained as a running total from the per-record size cache, so no
+        backend reads or re-encodes happen here.
         """
-        total = 0
         with self._lock:
-            keys = [key for keys in self._index.values() for key in keys]
-        for key in keys:
-            raw = self._backend.get(key)
-            if raw is not None:
-                total += len(raw)
-        return total
+            return self._total_bytes

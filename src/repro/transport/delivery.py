@@ -100,6 +100,11 @@ class ReliableChannel:
         destination.  Per-entry failures are reported in the returned
         :class:`BatchResult` list instead of being raised, so one unreachable
         peer never masks the other deliveries.
+
+        Under a parallel network dispatch strategy the entries of one
+        attempt are delivered concurrently; the channel's retry loop (and
+        its ``attempts_made`` / ``retries_made`` counters) still runs on the
+        calling thread, so the retry accounting needs no locking.
         """
         results: List[BatchResult] = [BatchResult() for _ in entries]
         pending = list(range(len(entries)))

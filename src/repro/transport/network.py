@@ -11,6 +11,17 @@ The simulation is synchronous: ``send`` returns the handler's reply, which
 keeps protocol code easy to follow while still exercising loss/duplication/
 partition behaviour through explicit retry layers
 (:mod:`repro.transport.delivery`).
+
+Concurrency model: admission (fault decisions, statistics, trace) always
+happens under one lock, in entry order, so traffic accounting is
+deterministic and bit-identical regardless of how handlers are then
+dispatched.  The dispatch phase is pluggable through a
+:class:`DispatchStrategy`: :class:`SequentialDispatch` (the default) invokes
+handlers one at a time in entry order, while :class:`ParallelDispatch` runs
+the admitted handlers of one ``send_batch`` concurrently on a thread pool --
+link-latency sleeps and GIL-releasing signature work then overlap across
+destinations.  Handlers reached through a parallel network must be
+thread-safe (every store and coordinator in this package is lock-protected).
 """
 
 from __future__ import annotations
@@ -19,7 +30,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-from repro import codec
+from repro import codec, parallel
 from repro.clock import Clock, MonotonicCounter, SimulatedClock
 from repro.crypto.rng import SecureRandom
 from repro.errors import DeliveryError, UnknownEndpointError
@@ -206,6 +217,92 @@ class NetworkStatistics:
         )
 
 
+class DispatchStrategy:
+    """How the admitted handlers of one ``send_batch`` are executed.
+
+    Admission and accounting always run first, under the network lock, in
+    entry order -- a strategy only chooses how the already-admitted handler
+    invocations (each packaged as a self-contained thunk that records its own
+    result or error) are scheduled.  Strategies must run every thunk exactly
+    once and return only when all have finished.
+    """
+
+    name: str = ""
+
+    def run(self, units: List[Callable[[], None]]) -> None:
+        raise NotImplementedError
+
+
+class SequentialDispatch(DispatchStrategy):
+    """Default strategy: invoke handlers one at a time, in entry order.
+
+    The reference semantics the parallel mode is property-tested against:
+    traffic accounting is bit-identical to pre-strategy releases.  (When
+    link latency is modelled, handler-observed virtual-clock times differ
+    slightly from older releases, because latency is now paid per entry at
+    dispatch instead of being summed during admission; statistics are
+    unaffected.)
+    """
+
+    name = "sequential"
+
+    def run(self, units: List[Callable[[], None]]) -> None:
+        for unit in units:
+            unit()
+
+
+class ParallelDispatch(DispatchStrategy):
+    """Dispatch admitted handlers concurrently on a thread pool.
+
+    Per-destination link-latency sleeps and GIL-releasing crypto
+    (``BN_mod_exp`` via ctypes) overlap across the fan-out, so an 8-party
+    proposal round pays one round-trip latency instead of eight.  Nested
+    fan-outs issued from a worker thread run inline sequentially (see
+    :mod:`repro.parallel`), which keeps pool-exhaustion deadlocks impossible.
+
+    ``max_workers=None`` (the default) draws threads from the process-wide
+    shared executor; passing an explicit ``max_workers`` gives this strategy
+    a private pool of that size (release it with :meth:`close` when the
+    strategy is no longer needed).  Private-pool workers are marked exactly
+    like shared-pool workers, so the nested-runs-inline rule holds for both.
+    """
+
+    name = "parallel"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self._own_executor = None
+        if max_workers is not None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._own_executor = ThreadPoolExecutor(
+                max_workers=max_workers,
+                thread_name_prefix="repro-dispatch",
+                initializer=parallel.mark_worker_thread,
+            )
+
+    def run(self, units: List[Callable[[], None]]) -> None:
+        if len(units) <= 1 or parallel.in_worker_thread():
+            for unit in units:
+                unit()
+            return
+        if self._own_executor is not None:
+            futures = [self._own_executor.submit(unit) for unit in units]
+            for future in futures:
+                future.result()
+            return
+        # Units trap their own exceptions into the batch results, so run_all
+        # outcomes only surface unexpected infrastructure failures.
+        for _, error in parallel.run_all(units):
+            if error is not None:
+                raise error
+
+    def close(self) -> None:
+        """Shut down the private pool, if any (the shared executor is untouched)."""
+        if self._own_executor is not None:
+            self._own_executor.shutdown(wait=True)
+            self._own_executor = None
+
+
 class SimulatedNetwork:
     """The message fabric connecting organisations, TTPs and services."""
 
@@ -213,9 +310,11 @@ class SimulatedNetwork:
         self,
         fault_model: Optional[FaultModel] = None,
         clock: Optional[Clock] = None,
+        dispatch: Optional[DispatchStrategy] = None,
     ) -> None:
         self.fault_model = fault_model or FaultModel()
         self.clock = clock or SimulatedClock()
+        self.dispatch = dispatch or SequentialDispatch()
         self.partition = NetworkPartition()
         self.statistics = NetworkStatistics()
         self._endpoints: Dict[str, Endpoint] = {}
@@ -225,6 +324,10 @@ class SimulatedNetwork:
         self._lock = threading.RLock()
         self._trace: List[Message] = []
         self.trace_enabled = False
+
+    def set_dispatch(self, dispatch: DispatchStrategy) -> None:
+        """Switch the handler-dispatch strategy for subsequent batches."""
+        self.dispatch = dispatch
 
     # -- endpoint management ---------------------------------------------------
 
@@ -286,11 +389,17 @@ class SimulatedNetwork:
 
     # -- sending ----------------------------------------------------------------
 
-    def _admit_locked(self, message: Message) -> Tuple[Endpoint, bool]:
+    def _admit_locked(self, message: Message) -> Tuple[Endpoint, bool, float]:
         """Account and fault-check one message; caller must hold the lock.
 
-        Returns ``(endpoint, duplicate)`` on admission; raises
-        :class:`DeliveryError` / :class:`UnknownEndpointError` on loss.
+        Returns ``(endpoint, duplicate, latency)`` on admission; raises
+        :class:`DeliveryError` / :class:`UnknownEndpointError` on loss.  All
+        statistics -- including the duplicate counter -- are taken here, under
+        the lock and before any handler runs, so accounting is identical for
+        ``send`` and ``send_batch`` and independent of the dispatch strategy.
+        The latency itself is *paid* by the caller during dispatch, outside
+        the lock, so concurrent deliveries of a parallel batch overlap their
+        link latency instead of serialising it through admission.
         """
         sender, destination = message.sender, message.destination
         self.statistics.messages_sent += 1
@@ -319,14 +428,16 @@ class SimulatedNetwork:
             )
 
         latency = self._latency()
-        self.clock.sleep(latency)
         self.statistics.total_latency += latency
         self.statistics.messages_delivered += 1
         self.statistics.bytes_delivered += message.encoded_size()
         if message.sizing == SIZING_REPR:
             self.statistics.messages_sized_by_repr += 1
 
-        return endpoint, self._should_duplicate()
+        duplicate = self._should_duplicate()
+        if duplicate:
+            self.statistics.messages_duplicated += 1
+        return endpoint, duplicate, latency
 
     def send(self, sender: str, destination: str, operation: str, payload: Any) -> Any:
         """Deliver a message and return the destination handler's reply.
@@ -343,12 +454,11 @@ class SimulatedNetwork:
                 payload=payload,
                 message_id=self._message_counter.next(),
             )
-            endpoint, duplicate = self._admit_locked(message)
+            endpoint, duplicate, latency = self._admit_locked(message)
 
         # Dispatch outside the lock so handlers can themselves send messages.
+        self.clock.sleep(latency)
         if duplicate:
-            with self._lock:
-                self.statistics.messages_duplicated += 1
             endpoint.handler(message)
         return endpoint.handler(message)
 
@@ -363,12 +473,15 @@ class SimulatedNetwork:
         body is never re-encoded per recipient; per-message statistics
         (``messages_sent``, ``bytes_delivered``, ``per_operation``) are
         identical to an equivalent sequence of individual sends.  Admission
-        and accounting happen under one lock acquisition; handlers are then
-        dispatched outside the lock in entry order.  Failures are returned
-        per entry (:class:`BatchResult`) rather than raised, so one lost link
-        never masks the remaining deliveries.
+        and accounting happen under one lock acquisition, in entry order;
+        the admitted handlers are then executed outside the lock by the
+        configured :class:`DispatchStrategy` (in entry order under
+        :class:`SequentialDispatch`, concurrently under
+        :class:`ParallelDispatch`).  Failures are returned per entry
+        (:class:`BatchResult`) rather than raised, so one lost link never
+        masks the remaining deliveries.
         """
-        admitted: List[Tuple[int, Message, Endpoint, bool]] = []
+        admitted: List[Tuple[int, Message, Endpoint, bool, float]] = []
         results: List[BatchResult] = [BatchResult() for _ in entries]
         with self._lock:
             for index, (destination, operation, payload) in enumerate(entries):
@@ -380,21 +493,31 @@ class SimulatedNetwork:
                     message_id=self._message_counter.next(),
                 )
                 try:
-                    endpoint, duplicate = self._admit_locked(message)
+                    endpoint, duplicate, latency = self._admit_locked(message)
                 except (DeliveryError, UnknownEndpointError) as error:
                     results[index].error = error
                     continue
-                if duplicate:
-                    self.statistics.messages_duplicated += 1
-                admitted.append((index, message, endpoint, duplicate))
+                admitted.append((index, message, endpoint, duplicate, latency))
 
-        for index, message, endpoint, duplicate in admitted:
-            try:
-                if duplicate:
-                    endpoint.handler(message)
-                results[index].result = endpoint.handler(message)
-            except Exception as error:  # per-entry isolation, mirrors callers'
-                results[index].error = error  # per-peer try/except semantics
+        def make_unit(
+            index: int,
+            message: Message,
+            endpoint: Endpoint,
+            duplicate: bool,
+            latency: float,
+        ) -> Callable[[], None]:
+            def unit() -> None:
+                try:
+                    self.clock.sleep(latency)
+                    if duplicate:
+                        endpoint.handler(message)
+                    results[index].result = endpoint.handler(message)
+                except Exception as error:  # per-entry isolation, mirrors
+                    results[index].error = error  # callers' per-peer semantics
+
+            return unit
+
+        self.dispatch.run([make_unit(*entry) for entry in admitted])
         return results
 
     # -- introspection -----------------------------------------------------------

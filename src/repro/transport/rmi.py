@@ -129,7 +129,10 @@ class RemoteInvoker:
         Returns one ``(result, error)`` pair per call, in order.  Shared
         argument content (pre-encoded protocol messages and tokens) is sized
         from its cached canonical form, so the fan-out never re-encodes the
-        common body per recipient.
+        common body per recipient.  When the network runs a parallel
+        dispatch strategy the remote invocations of one attempt execute
+        concurrently, so every exported object reached through a batched
+        call must be thread-safe.
         """
         channel = ReliableChannel(self._network, self._address, retry_policy)
         entries = [

@@ -187,6 +187,54 @@ class TestEvidenceStore:
         assert reopened.run_ids() == ["run-1"]
         assert len(reopened.evidence_for_run("run-1")) == 1
 
+    def test_rebuild_index_restores_storage_order(self):
+        # Backend keys() order is insertion order of that backend instance,
+        # not necessarily the original storage order: a rebuilt index must
+        # order records by the sequence suffix baked into each key.
+        backend = InMemoryBackend()
+        store = EvidenceStore("urn:org:a", backend=backend)
+        types = ["nro-request", "nrr-request", "nro-response", "nrr-response"]
+        for token_type in types:
+            store.store("run-1", token_type, {"token_id": token_type})
+        shuffled = InMemoryBackend()
+        for key in reversed(backend.keys()):
+            shuffled.put(key, backend.get(key))
+        reopened = EvidenceStore("urn:org:a", backend=shuffled)
+        assert [r.token_type for r in reopened.evidence_for_run("run-1")] == types
+        # New records continue the per-run sequence after a rebuild.
+        reopened.store("run-1", "nr-outcome", {"token_id": "t5"})
+        assert [r.token_type for r in reopened.evidence_for_run("run-1")][-1] == (
+            "nr-outcome"
+        )
+
+    def test_storage_bytes_matches_backend_contents(self):
+        # storage_bytes is O(1) (a running total); it must stay equal to the
+        # actual backend byte count, including after an index rebuild.
+        backend = InMemoryBackend()
+        store = EvidenceStore("urn:org:a", backend=backend)
+        for index in range(4):
+            store.store("run-1", "nro-request", {"payload": "x" * (10 * index)})
+        expected = sum(len(backend.get(key)) for key in backend.keys())
+        assert store.storage_bytes() == expected
+        reopened = EvidenceStore("urn:org:a", backend=backend)
+        assert reopened.storage_bytes() == expected
+
+    def test_tokens_of_type_uses_type_index(self):
+        store = EvidenceStore("urn:org:a")
+        for index in range(3):
+            store.store("run-1", "nro-request", {"token_id": f"req-{index}"})
+            store.store("run-1", "nr-decision", {"token_id": f"dec-{index}"})
+        decisions = store.tokens_of_type("run-1", "nr-decision")
+        assert [r.token["token_id"] for r in decisions] == ["dec-0", "dec-1", "dec-2"]
+        assert store.tokens_of_type("run-1", "nr-outcome") == []
+
+    def test_decoded_records_are_memoised(self):
+        store = EvidenceStore("urn:org:a")
+        store.store("run-1", "nro-request", {"token_id": "t1"})
+        first = store.evidence_for_run("run-1")
+        second = store.evidence_for_run("run-1")
+        assert first[0] is second[0]  # decoded once, served from the memo
+
     def test_unknown_run_returns_empty(self):
         assert EvidenceStore("urn:org:a").evidence_for_run("missing") == []
 
