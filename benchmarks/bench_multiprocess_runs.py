@@ -1,0 +1,169 @@
+"""P8 -- multi-process concurrent runs over the file-backed evidence store.
+
+The concurrent-runs benchmark (P6) drives N proposers from one process, so
+interceptor concurrency is bounded by one interpreter's GIL and the evidence
+stores stay in memory.  This driver launches N *proposer processes*; each
+builds its own 4-party trust domain (event-driven retries enabled, its own
+seeded lossy fault model) whose organisations persist evidence through
+:class:`repro.persistence.storage.FileBackend` directories shared across the
+processes -- the same owner's store in every process appends into the same
+directory, which exercises true cross-interceptor concurrency and the file
+backend's index under contention, and retires the multi-process follow-up
+from the ROADMAP.
+
+The file doubles as the worker program: ``python bench_multiprocess_runs.py
+--worker --dir D --index I --updates N`` runs one proposer process and
+writes ``result-I.json`` into ``D``.  The pytest-benchmark entry point
+spawns the workers, waits for the wave, and reports aggregate throughput.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+PARTIES = 4
+UPDATES_PER_PROCESS = 6
+DROP_PROBABILITY = 0.05
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# -- worker process -----------------------------------------------------------
+
+
+def worker_main(directory: str, index: int, updates: int) -> None:
+    from repro import FaultModel, TrustDomain
+    from repro.persistence.evidence_store import EvidenceStore
+    from repro.persistence.storage import FileBackend
+
+    uris = [f"urn:mp:party{i}" for i in range(PARTIES)]
+
+    def backend_for(uri: str) -> FileBackend:
+        # One directory per *owner*, shared by every process: concurrent
+        # interceptors for the same organisation append into one index.
+        return FileBackend(os.path.join(directory, "evidence", uri.split(":")[-1]))
+
+    domain = TrustDomain.create(
+        uris,
+        scheme="hmac",
+        fault_model=FaultModel(
+            drop_probability=DROP_PROBABILITY,
+            max_consecutive_drops=3,
+            seed=b"mp-%d" % index,
+        ),
+        scheduled_retries=True,
+        evidence_backend_factory=backend_for,
+    )
+    object_id = f"mp-doc-{index}"
+    domain.share_object(object_id, {"counter": 0})
+    proposer = domain.organisation(uris[index % PARTIES])
+
+    started = time.perf_counter()
+    last_run_id = ""
+    for value in range(1, updates + 1):
+        outcome = proposer.propose_update(object_id, {"counter": value})
+        assert outcome.agreed, outcome.reason
+        last_run_id = outcome.run_id
+    elapsed = time.perf_counter() - started
+
+    # Reopen the proposer's store from disk: the records this process wrote
+    # must be recoverable by a fresh interceptor process.
+    reopened = EvidenceStore(owner=proposer.uri, backend=backend_for(proposer.uri))
+    recovered = len(reopened.evidence_for_run(last_run_id))
+    assert recovered >= 2, f"run {last_run_id} not recoverable from disk: {recovered}"
+
+    stats = domain.network.statistics
+    result = {
+        "index": index,
+        "updates": updates,
+        "elapsed_seconds": elapsed,
+        "evidence_records": proposer.evidence_store.total_records(),
+        "evidence_bytes": proposer.evidence_store.storage_bytes(),
+        "recovered_records_last_run": recovered,
+        "messages_sent": stats.messages_sent,
+        "retries": sum(stats.failed_attempts_per_destination().values()),
+    }
+    with open(os.path.join(directory, f"result-{index}.json"), "w") as handle:
+        json.dump(result, handle)
+
+
+# -- benchmark entry point ----------------------------------------------------
+
+
+def launch_wave(processes: int, updates: int):
+    directory = tempfile.mkdtemp(prefix="bench-mp-")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    try:
+        procs = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    str(Path(__file__).resolve()),
+                    "--worker",
+                    "--dir",
+                    directory,
+                    "--index",
+                    str(index),
+                    "--updates",
+                    str(updates),
+                ],
+                env=env,
+                cwd=str(REPO_ROOT),
+            )
+            for index in range(processes)
+        ]
+        exit_codes = [proc.wait(timeout=300) for proc in procs]
+        assert all(code == 0 for code in exit_codes), exit_codes
+        results = []
+        for index in range(processes):
+            with open(os.path.join(directory, f"result-{index}.json")) as handle:
+                results.append(json.load(handle))
+        return results
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def test_multiprocess_concurrent_runs(benchmark):
+    """A wave of 4 proposer processes against shared file-backed stores."""
+    import pytest  # noqa: F401 - imported for parity with the other benches
+
+    processes = 4
+    # pedantic mode ignores the driver's --benchmark-min-rounds pinning, so
+    # pin one round explicitly: one wave is 4 interpreters x 6 protocol
+    # updates -- heavy enough that CI smoke must not pay it twice.
+    results = benchmark.pedantic(
+        lambda: launch_wave(processes, UPDATES_PER_PROCESS), rounds=1, iterations=1
+    )
+    total_updates = sum(result["updates"] for result in results)
+    slowest = max(result["elapsed_seconds"] for result in results)
+    benchmark.extra_info["processes"] = processes
+    benchmark.extra_info["parties"] = PARTIES
+    benchmark.extra_info["updates_per_process"] = UPDATES_PER_PROCESS
+    benchmark.extra_info["drop_probability"] = DROP_PROBABILITY
+    benchmark.extra_info["aggregate_updates_per_second"] = round(
+        total_updates / slowest, 2
+    )
+    benchmark.extra_info["evidence_records_per_process"] = results[0][
+        "evidence_records"
+    ]
+    benchmark.extra_info["total_retries"] = sum(
+        result["retries"] for result in results
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--worker", action="store_true", required=True)
+    parser.add_argument("--dir", required=True)
+    parser.add_argument("--index", type=int, required=True)
+    parser.add_argument("--updates", type=int, default=UPDATES_PER_PROCESS)
+    arguments = parser.parse_args()
+    worker_main(arguments.dir, arguments.index, arguments.updates)

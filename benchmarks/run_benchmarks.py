@@ -21,6 +21,14 @@ speedups, so the perf trajectory of the repo is tracked file by file.
 optional.  The numbers are not comparable across machines -- the point is
 that every benchmark still *runs*, so perf-path regressions (crashes, broken
 counters) surface in pull requests before a full run is ever attempted.
+
+``--check BENCH_<n>.json`` is the CI regression gate: after the run it
+compares the deterministic protocol-cost counters (``messages_per_update``,
+``bytes_per_update``) of every benchmark present in both the run and the
+committed baseline, and exits non-zero on drift beyond ``--check-tolerance``
+(relative, default 2%).  Timings are machine-dependent and never gated on;
+the message/byte counters are products of the protocol itself, so a drift
+means a PR changed the protocol's cost, not the runner's hardware.
 """
 
 from __future__ import annotations
@@ -36,6 +44,57 @@ from typing import Any, Dict, List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_ROUNDS = 7
+
+#: extra_info counters gated by ``--check``: deterministic products of the
+#: protocol (message and byte cost per coordinated update), not of timing.
+CHECK_KEYS = ("messages_per_update", "bytes_per_update")
+
+
+def check_against_baseline(
+    baseline: Dict[str, Dict[str, Any]],
+    results: Dict[str, Dict[str, Any]],
+    tolerance: float,
+) -> List[str]:
+    """Compare protocol-cost counters against a committed baseline.
+
+    Returns human-readable failure lines (empty when the gate passes).
+    Adding new benchmarks never trips the gate, but every baseline
+    benchmark that carries a gated counter must still exist in the run:
+    deleting or renaming one would otherwise silently shrink the gate.
+    """
+    failures: List[str] = []
+    checked = 0
+    for name, base in sorted(baseline.items()):
+        base_info = base.get("extra_info", {})
+        current = results.get(name)
+        if current is None:
+            if any(key in base_info for key in CHECK_KEYS):
+                failures.append(
+                    f"{name}: gated benchmark missing from the run (renamed or "
+                    "deleted? update the baseline deliberately)"
+                )
+            continue
+        current_info = current.get("extra_info", {})
+        for key in CHECK_KEYS:
+            if key not in base_info:
+                continue
+            if key not in current_info:
+                failures.append(f"{name}: counter {key!r} disappeared from the run")
+                continue
+            expected = float(base_info[key])
+            actual = float(current_info[key])
+            checked += 1
+            if abs(actual - expected) > abs(expected) * tolerance:
+                failures.append(
+                    f"{name}: {key} drifted from baseline {expected} to {actual} "
+                    f"(tolerance {tolerance:.1%})"
+                )
+    if checked == 0:
+        failures.append(
+            "no gated counters were compared -- baseline and run share no "
+            f"benchmark with {' / '.join(CHECK_KEYS)}"
+        )
+    return failures
 
 
 def condense(raw: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
@@ -107,6 +166,17 @@ def main(argv: Optional[List[str]] = None) -> None:
         action="store_true",
         help="CI smoke mode: one round per benchmark, --out optional",
     )
+    parser.add_argument(
+        "--check",
+        help="baseline BENCH_<n>.json to gate protocol-cost counters against "
+        "(exit non-zero on drift)",
+    )
+    parser.add_argument(
+        "--check-tolerance",
+        type=float,
+        default=0.02,
+        help="relative drift tolerated by --check (default 2%%)",
+    )
     args = parser.parse_args(argv)
     if args.quick:
         args.rounds = 1
@@ -145,6 +215,18 @@ def main(argv: Optional[List[str]] = None) -> None:
         print(f"wrote {args.out} ({len(document['results'])} benchmarks)")
     else:
         print(f"quick run ok ({len(document['results'])} benchmarks)")
+
+    if args.check:
+        baseline = load_comparable(Path(args.check))
+        failures = check_against_baseline(
+            baseline, document["results"], args.check_tolerance
+        )
+        if failures:
+            print(f"benchmark-regression gate FAILED against {args.check}:")
+            for line in failures:
+                print(f"  {line}")
+            raise SystemExit(1)
+        print(f"benchmark-regression gate ok against {args.check}")
 
 
 if __name__ == "__main__":

@@ -118,6 +118,31 @@ On top of the encode-once substrate, the protocol engine runs concurrently:
   evidence-token set concurrently (one ``require_valid`` per token, errors
   reported per slot), used by dispute resolution and by ``handle_outcome``
   for the decision evidence forwarded with a sharing outcome.
+
+* **Event-driven retries** -- delivery retries over lossy links used to
+  sleep their exponential backoff on the calling thread, so one flaky link
+  parked a whole protocol run.  With a
+  ``repro.transport.scheduler.RetryScheduler`` attached to the network
+  (``TrustDomain.create(..., scheduled_retries=True)``), a failed
+  ``send``/``send_batch`` entry instead registers a deadline timer and
+  resolves through a ``DeliveryFuture``: the retry state machine is
+  attempt -> outcome -> complete the future (success, permanent failure,
+  exhausted budget) or schedule the next attempt at ``now + backoff``.
+  There is no dedicated timer thread -- threads *waiting* on futures drive
+  the scheduler, firing whatever is due (their own run's retries or any
+  other's) and advancing a virtual clock idempotently to the next deadline,
+  so concurrent runs overlap their retry waits instead of summing them and
+  pool workers are never parked in backoff sleeps.  Completion futures
+  thread through ``RemoteInvoker.call_batch_async`` and
+  ``B2BCoordinator.request_all_async`` / ``send_all_async``, which the
+  sharing and membership fan-outs await as sets.  The scheduled batch state
+  machine groups retry waves exactly like the blocking loop, so for
+  non-interleaved workloads statistics and replica state are *byte
+  identical* between modes (property-tested, including under a seeded
+  lossy fault model); delivery effort is observable either way through
+  ``NetworkStatistics.attempts_per_destination`` /
+  ``deliveries_per_destination``.  ``ReliableChannel.close()`` cancels
+  in-flight retries without leaking timers.
 """
 
 from repro.container.component import Component, ComponentDescriptor, ComponentType

@@ -18,7 +18,15 @@ class Clock:
     Concrete clocks provide a monotonically non-decreasing :meth:`now` and a
     :meth:`sleep` whose semantics depend on the implementation (real sleep or
     simulated time advance).
+
+    ``virtual`` marks clocks whose time only moves when somebody advances it.
+    Timer infrastructure (:class:`repro.transport.scheduler.RetryScheduler`)
+    uses the flag to decide how to reach a deadline: a virtual clock is
+    advanced directly with :meth:`advance_to`, a wall clock is waited on.
     """
+
+    #: True when time only moves by explicit advance (see class docstring).
+    virtual = False
 
     def now(self) -> float:
         """Return the current time in seconds."""
@@ -26,6 +34,16 @@ class Clock:
 
     def sleep(self, seconds: float) -> None:
         """Advance time by ``seconds``."""
+        raise NotImplementedError
+
+    def advance_to(self, deadline: float) -> float:
+        """Move time forward to ``deadline`` (no-op if already reached).
+
+        Unlike :meth:`sleep`, this is idempotent: two threads racing to reach
+        the same timer deadline advance the clock once, not twice, which is
+        what makes deadline-driven timers overlap their waits instead of
+        serialising them.
+        """
         raise NotImplementedError
 
 
@@ -39,6 +57,13 @@ class SystemClock(Clock):
         if seconds > 0:
             time.sleep(seconds)
 
+    def advance_to(self, deadline: float) -> float:
+        """Sleep until ``deadline`` (wall time passes by itself)."""
+        remaining = deadline - self.now()
+        if remaining > 0:
+            time.sleep(remaining)
+        return self.now()
+
 
 class SimulatedClock(Clock):
     """Deterministic virtual clock.
@@ -46,6 +71,8 @@ class SimulatedClock(Clock):
     Time only advances when :meth:`sleep` or :meth:`advance` is called, which
     makes protocol timeouts and network latency fully reproducible in tests.
     """
+
+    virtual = True
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
@@ -64,6 +91,13 @@ class SimulatedClock(Clock):
             raise ValueError("cannot advance a clock backwards")
         with self._lock:
             self._now += seconds
+            return self._now
+
+    def advance_to(self, deadline: float) -> float:
+        """Move the clock to ``deadline`` if it is ahead of now (idempotent)."""
+        with self._lock:
+            if deadline > self._now:
+                self._now = float(deadline)
             return self._now
 
 

@@ -34,7 +34,7 @@ from repro.persistence.evidence_store import EvidenceStore
 from repro.persistence.state_store import StateStore
 from repro.transport.delivery import RetryPolicy
 from repro.transport.network import SimulatedNetwork
-from repro.transport.rmi import RemoteInvoker
+from repro.transport.rmi import RemoteCallBatch, RemoteInvoker
 
 #: Name under which every coordinator is exported on its invoker.
 COORDINATOR_OBJECT_NAME = "b2b-coordinator"
@@ -175,9 +175,9 @@ class B2BCoordinator:
 
     # -- batched fan-out ---------------------------------------------------------
 
-    def _fan_out(
+    def _fan_out_async(
         self, messages: List[B2BProtocolMessage], method: str
-    ) -> List[Tuple[Any, Optional[Exception]]]:
+    ) -> "CoordinatorFanOut":
         calls = []
         results: List[Tuple[Any, Optional[Exception]]] = [(None, None)] * len(messages)
         indices: List[int] = []
@@ -190,11 +190,12 @@ class B2BCoordinator:
                 continue
             calls.append((address, COORDINATOR_OBJECT_NAME, method, [message], {}))
             indices.append(index)
+        batch = None
         if calls:
-            outcomes = self._invoker.call_batch(calls, retry_policy=self._retry_policy)
-            for index, outcome in zip(indices, outcomes):
-                results[index] = outcome
-        return results
+            batch = self._invoker.call_batch_async(
+                calls, retry_policy=self._retry_policy
+            )
+        return CoordinatorFanOut(results, indices, batch)
 
     def send_all(
         self, messages: List[B2BProtocolMessage]
@@ -208,7 +209,7 @@ class B2BCoordinator:
         Returns one entry per message: ``None`` on delivery, the
         delivery/handler error otherwise.
         """
-        return [error for _, error in self._fan_out(messages, "deliver")]
+        return self.send_all_async(messages).errors()
 
     def request_all(
         self, messages: List[B2BProtocolMessage]
@@ -221,7 +222,26 @@ class B2BCoordinator:
         round pays one slowest-peer round trip instead of the sum -- so the
         registered protocol handlers must be thread-safe.
         """
-        return self._fan_out(messages, "deliver_request")
+        return self.request_all_async(messages).results()
+
+    def send_all_async(
+        self, messages: List[B2BProtocolMessage]
+    ) -> "CoordinatorFanOut":
+        """Start a one-way fan-out; returns its completion handle.
+
+        With a retry scheduler on the network the handle completes as
+        deliveries succeed (retries wait as timers, not sleeps); without one
+        it is already complete on return.  Await it with
+        :meth:`CoordinatorFanOut.errors`.
+        """
+        return self._fan_out_async(messages, "deliver")
+
+    def request_all_async(
+        self, messages: List[B2BProtocolMessage]
+    ) -> "CoordinatorFanOut":
+        """Start a request fan-out; await replies with
+        :meth:`CoordinatorFanOut.results`."""
+        return self._fan_out_async(messages, "deliver_request")
 
     def send_to_address(self, address: str, message: B2BProtocolMessage) -> None:
         """Send a one-way message to an explicit coordinator address.
@@ -244,3 +264,40 @@ class B2BCoordinator:
             address, COORDINATOR_OBJECT_NAME, retry_policy=self._retry_policy
         )
         return proxy.invoke("deliver_request", [message], {})
+
+
+class CoordinatorFanOut:
+    """Completion handle of one coordinator fan-out (requests or one-ways).
+
+    Wraps the underlying :class:`repro.transport.rmi.RemoteCallBatch`
+    together with the route-resolution failures that never reached the
+    network, preserving per-message result order.  Waiting on the handle
+    drives the retry scheduler (when one is configured), so the proposer's
+    thread services other runs' due retries while its own fan-out completes.
+    """
+
+    def __init__(
+        self,
+        results: List[Tuple[Any, Optional[Exception]]],
+        indices: List[int],
+        batch: Optional["RemoteCallBatch"],
+    ) -> None:
+        self._results = results
+        self._indices = indices
+        self._batch = batch
+        self._resolved = batch is None
+
+    def done(self) -> bool:
+        return self._resolved or self._batch.done()
+
+    def results(self) -> List[Tuple[Any, Optional[Exception]]]:
+        """Wait for completion; one ``(response, error)`` pair per message."""
+        if not self._resolved:
+            for index, outcome in zip(self._indices, self._batch.results()):
+                self._results[index] = outcome
+            self._resolved = True
+        return list(self._results)
+
+    def errors(self) -> List[Optional[Exception]]:
+        """Wait for completion; one ``None``-or-error entry per message."""
+        return [error for _, error in self.results()]

@@ -51,6 +51,7 @@ from repro.membership.service import MembershipService
 from repro.persistence.audit_log import AuditLog
 from repro.persistence.evidence_store import EvidenceStore
 from repro.persistence.state_store import StateStore
+from repro.persistence.storage import StorageBackend
 from repro.transport.delivery import RetryPolicy
 from repro.transport.network import SimulatedNetwork
 
@@ -77,6 +78,7 @@ class Organisation:
         timestamp_authority: Optional[TimestampAuthority] = None,
         retry_policy: Optional[RetryPolicy] = None,
         display_name: str = "",
+        evidence_backend: Optional[StorageBackend] = None,
     ) -> None:
         self.uri = uri
         self.display_name = display_name or uri
@@ -94,7 +96,12 @@ class Organisation:
 
         # -- persistence / infrastructure -----------------------------------------
         self.audit_log = AuditLog(owner=uri, clock=self.clock)
-        self.evidence_store = EvidenceStore(owner=uri, clock=self.clock)
+        # ``evidence_backend`` lets a deployment persist evidence outside the
+        # process (file-backed store shared across interceptor processes);
+        # the default stays in memory for tests and simulation.
+        self.evidence_store = EvidenceStore(
+            owner=uri, backend=evidence_backend, clock=self.clock
+        )
         self.state_store = StateStore(owner=uri)
         self.membership = MembershipService(clock=self.clock)
         self.role_manager = RoleManager(clock=self.clock)

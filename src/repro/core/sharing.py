@@ -324,9 +324,11 @@ class B2BObjectController:
             )
             for peer in peers
         ]
-        for peer, (response, error) in zip(
-            peers, self._coordinator.request_all(proposal_messages)
-        ):
+        # The fan-out completes through per-peer delivery futures: while a
+        # flaky link waits out its backoff as a scheduler timer, this thread
+        # drives other runs' retries instead of sleeping (event-driven mode).
+        decision_fan_out = self._coordinator.request_all_async(proposal_messages)
+        for peer, (response, error) in zip(peers, decision_fan_out.results()):
             if error is not None:
                 decisions[peer] = ValidationDecision(
                     accepted=False,
@@ -398,9 +400,10 @@ class B2BObjectController:
         # decision, so the peer can recover the result later.  A
         # failed-to-validate peer cannot have agreed, so the outcome for it
         # is never an apply.
+        outcome_fan_out = self._coordinator.send_all_async(outcome_messages)
         undelivered_outcomes = [
             peer
-            for peer, error in zip(peers, self._coordinator.send_all(outcome_messages))
+            for peer, error in zip(peers, outcome_fan_out.errors())
             if error is not None
         ]
 
@@ -620,9 +623,8 @@ class B2BObjectController:
             )
             for peer in voters
         ]
-        for peer, (response, error) in zip(
-            voters, self._coordinator.request_all(proposal_messages)
-        ):
+        decision_fan_out = self._coordinator.request_all_async(proposal_messages)
+        for peer, (response, error) in zip(voters, decision_fan_out.results()):
             if error is not None:
                 decisions[peer] = ValidationDecision(
                     accepted=False, reason=f"peer unreachable: {error}", validator="coordinator"
@@ -675,9 +677,8 @@ class B2BObjectController:
             )
             for peer in ordered_recipients
         ]
-        for peer, error in zip(
-            ordered_recipients, self._coordinator.send_all(outcome_messages)
-        ):
+        outcome_fan_out = self._coordinator.send_all_async(outcome_messages)
+        for peer, error in zip(ordered_recipients, outcome_fan_out.errors()):
             if error is not None and peer == member and action == "connect":
                 agreed = False
         if agreed:

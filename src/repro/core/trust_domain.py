@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.clock import Clock, SimulatedClock
 from repro.core.invocation import NR_INVOCATION_PROTOCOL
@@ -32,7 +32,9 @@ from repro.core.ttp import RelayProtocolHandler, TTPArbitrator, install_relays
 from repro.crypto.certificates import CertificateAuthority
 from repro.crypto.timestamp import TimestampAuthority
 from repro.errors import ProtocolError
+from repro.persistence.storage import StorageBackend
 from repro.transport.network import DispatchStrategy, FaultModel, SimulatedNetwork
+from repro.transport.scheduler import RetryScheduler
 
 #: Protocols relayed by inline TTPs by default.
 DEFAULT_RELAYED_PROTOCOLS = [NR_INVOCATION_PROTOCOL, NR_SHARING_PROTOCOL]
@@ -74,13 +76,22 @@ class TrustDomain:
         relayed_protocols: Optional[List[str]] = None,
         with_arbitrator: bool = False,
         dispatch: Optional[DispatchStrategy] = None,
+        scheduled_retries: bool = False,
+        evidence_backend_factory: Optional[Callable[[str], StorageBackend]] = None,
     ) -> "TrustDomain":
         """Build a trust domain of the requested style for ``party_uris``.
 
         ``dispatch`` selects the network's handler-dispatch strategy (e.g.
         :class:`repro.transport.network.ParallelDispatch` to run batched
         protocol fan-outs concurrently); it is only consulted when the domain
-        constructs its own network.
+        constructs its own network.  ``scheduled_retries`` attaches a
+        :class:`repro.transport.scheduler.RetryScheduler` to the network, so
+        delivery retries wait as deadline timers that overlap across
+        concurrent protocol runs instead of blocking their proposer threads.
+        ``evidence_backend_factory`` maps a party URI to the storage backend
+        its evidence store should persist into (e.g. a
+        :class:`repro.persistence.storage.FileBackend` directory for
+        multi-process deployments); the default keeps evidence in memory.
         """
         if len(party_uris) < 2:
             raise ProtocolError("a trust domain needs at least two organisations")
@@ -90,6 +101,8 @@ class TrustDomain:
         network = network or SimulatedNetwork(
             fault_model=fault_model, clock=clock, dispatch=dispatch
         )
+        if scheduled_retries and network.retry_scheduler is None:
+            network.set_retry_scheduler(RetryScheduler(network.clock))
         ca = CertificateAuthority("urn:repro:ca", scheme=scheme, clock=clock)
         tsa = (
             TimestampAuthority("urn:repro:tsa", scheme=scheme, clock=clock)
@@ -110,6 +123,9 @@ class TrustDomain:
                 scheme=scheme,
                 clock=clock,
                 timestamp_authority=tsa,
+                evidence_backend=(
+                    evidence_backend_factory(uri) if evidence_backend_factory else None
+                ),
             )
         # Everybody learns everybody's keys (credential exchange).
         organisations = list(domain.organisations.values())
@@ -228,6 +244,11 @@ class TrustDomain:
     @property
     def arbitrator_uri(self) -> Optional[str]:
         return self.arbitrator.party if self.arbitrator else None
+
+    @property
+    def retry_scheduler(self) -> Optional[RetryScheduler]:
+        """The network's event-driven retry scheduler, when one is attached."""
+        return self.network.retry_scheduler
 
     def organisation(self, uri: str) -> Organisation:
         try:

@@ -36,6 +36,7 @@ __all__ = [
     "run_all",
     "shared_executor",
     "shutdown_shared_executor",
+    "submit",
 ]
 
 #: Sized for latency overlap (an 8-party fan-out should dispatch in one
@@ -104,6 +105,24 @@ def run_all(
         shared_executor().submit(_run_one, thunk) for thunk in thunks
     ]
     return [future.result() for future in futures]
+
+
+def submit(thunk: Callable[[], Any]) -> Optional[Future]:
+    """Run one thunk on the shared executor, honouring the re-entrancy contract.
+
+    Returns the :class:`Future` tracking the submitted work, or ``None`` when
+    the calling thread is itself a pool worker -- the thunk then ran inline
+    before this function returned (same rule as :func:`run_all`).  Used by the
+    retry scheduler to fire due wall-clock timers concurrently: each fired
+    callback re-sends on a possibly slow link, so firing inline would
+    serialise the resend latencies the scheduler exists to overlap.  Thunks
+    must trap their own exceptions (retry state machines do); an exception
+    escaping an unawaited future would otherwise vanish.
+    """
+    if in_worker_thread():
+        thunk()
+        return None
+    return shared_executor().submit(thunk)
 
 
 def _run_one(thunk: Callable[[], Any]) -> Tuple[Any, Optional[Exception]]:

@@ -9,6 +9,8 @@ with a bounded number of temporary network and computer related failures*.
 * :mod:`repro.transport.network` -- endpoints, fault models, delivery,
   message statistics (used by the communication-overhead benchmarks).
 * :mod:`repro.transport.delivery` -- retrying reliable channel.
+* :mod:`repro.transport.scheduler` -- event-driven retry timers and
+  delivery futures (backoffs overlap across concurrent protocol runs).
 * :mod:`repro.transport.registry` -- naming registry of remote objects.
 * :mod:`repro.transport.rmi` -- dynamic proxies for remote method invocation.
 """
@@ -23,9 +25,11 @@ from repro.transport.network import (
 )
 from repro.transport.delivery import ReliableChannel, RetryPolicy
 from repro.transport.registry import ObjectRegistry
-from repro.transport.rmi import RemoteInvoker, RemoteProxy, RemoteStub
+from repro.transport.rmi import RemoteCallBatch, RemoteInvoker, RemoteProxy, RemoteStub
+from repro.transport.scheduler import DeliveryFuture, RetryScheduler, TimerHandle, wait_all
 
 __all__ = [
+    "DeliveryFuture",
     "Endpoint",
     "FaultModel",
     "Message",
@@ -33,9 +37,13 @@ __all__ = [
     "NetworkStatistics",
     "ObjectRegistry",
     "ReliableChannel",
+    "RemoteCallBatch",
     "RemoteInvoker",
     "RemoteProxy",
     "RemoteStub",
     "RetryPolicy",
+    "RetryScheduler",
     "SimulatedNetwork",
+    "TimerHandle",
+    "wait_all",
 ]

@@ -5,16 +5,36 @@ bounded number of temporary failures.  :class:`ReliableChannel` provides that
 guarantee by retrying sends according to a :class:`RetryPolicy`; the retry
 count and backoff are accounted against the simulated clock so liveness
 benchmarks can report time-to-completion under injected faults.
+
+Two retry execution modes share one policy:
+
+* **Blocking** (no scheduler): the classic loop -- attempt, sleep the
+  backoff on the calling thread, reattempt.  This is the reference
+  behaviour; its statistics are the baseline every other mode is
+  property-tested against.
+* **Scheduled** (a :class:`repro.transport.scheduler.RetryScheduler` is
+  attached to the channel or its network): each failed attempt registers a
+  deferred reattempt with the scheduler and returns a
+  :class:`~repro.transport.scheduler.DeliveryFuture` instead of sleeping.
+  The state machine per send is attempt -> outcome -> either complete the
+  future (success, permanent failure, exhausted budget) or schedule the next
+  attempt at ``now + backoff``.  Waiting on the future drives the scheduler,
+  so concurrent runs interleave their retry backoffs instead of summing
+  them.  The blocking entry points (``send`` / ``send_batch``) transparently
+  delegate to the scheduled machinery when a scheduler is present, which
+  keeps every caller working unchanged.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Any, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.clock import Clock
 from repro.errors import DeliveryError, UnknownEndpointError
 from repro.transport.network import BatchResult, SimulatedNetwork
+from repro.transport.scheduler import DeliveryFuture, RetryScheduler, TimerHandle
 
 
 @dataclass(frozen=True)
@@ -49,11 +69,18 @@ class ReliableChannel:
         source: str,
         policy: Optional[RetryPolicy] = None,
         clock: Optional[Clock] = None,
+        scheduler: Optional[RetryScheduler] = None,
     ) -> None:
         self._network = network
         self._source = source
         self._policy = policy or RetryPolicy()
         self._clock = clock or network.clock
+        self._scheduler = (
+            scheduler if scheduler is not None else network.retry_scheduler
+        )
+        self._counter_lock = threading.Lock()
+        self._pending: Dict[TimerHandle, Callable[[], None]] = {}
+        self._closed = False
         self.attempts_made = 0
         self.retries_made = 0
 
@@ -65,17 +92,32 @@ class ReliableChannel:
     def policy(self) -> RetryPolicy:
         return self._policy
 
+    @property
+    def scheduler(self) -> Optional[RetryScheduler]:
+        return self._scheduler
+
+    def _count(self, attempts: int, retries: int) -> None:
+        """Update the retry accounting; scheduled reattempts fire on any thread."""
+        with self._counter_lock:
+            self.attempts_made += attempts
+            self.retries_made += retries
+
+    # -- blocking entry points --------------------------------------------------
+
     def send(self, destination: str, operation: str, payload: Any) -> Any:
         """Send with retries; raise :class:`DeliveryError` when the budget is spent.
 
         Unknown endpoints fail immediately (retrying cannot help), matching
-        the distinction between temporary and permanent failures.
+        the distinction between temporary and permanent failures.  With a
+        retry scheduler attached the wait is event-driven: this thread
+        drives other runs' pending retries while its own backoffs elapse.
         """
+        if self._scheduler is not None:
+            return self.send_scheduled(destination, operation, payload).result()
         last_error: Optional[Exception] = None
         for attempt in range(self._policy.max_attempts):
-            self.attempts_made += 1
+            self._count(attempts=1, retries=1 if attempt > 0 else 0)
             if attempt > 0:
-                self.retries_made += 1
                 self._clock.sleep(self._policy.backoff_for_attempt(attempt - 1))
             try:
                 return self._network.send(self._source, destination, operation, payload)
@@ -102,17 +144,20 @@ class ReliableChannel:
         peer never masks the other deliveries.
 
         Under a parallel network dispatch strategy the entries of one
-        attempt are delivered concurrently; the channel's retry loop (and
-        its ``attempts_made`` / ``retries_made`` counters) still runs on the
-        calling thread, so the retry accounting needs no locking.
+        attempt are delivered concurrently; with a retry scheduler the
+        backoff between attempts is a timer rather than a sleep, so the
+        calling thread's wait overlaps with every other run's retries.
         """
+        if self._scheduler is not None:
+            futures = self.send_batch_scheduled(entries)
+            return [future.outcome() for future in futures]
         results: List[BatchResult] = [BatchResult() for _ in entries]
         pending = list(range(len(entries)))
         for attempt in range(self._policy.max_attempts):
             if attempt > 0:
-                self.retries_made += len(pending)
+                self._count(attempts=0, retries=len(pending))
                 self._clock.sleep(self._policy.backoff_for_attempt(attempt - 1))
-            self.attempts_made += len(pending)
+            self._count(attempts=len(pending), retries=0)
             batch = self._network.send_batch(
                 self._source, [entries[index] for index in pending]
             )
@@ -131,11 +176,204 @@ class ReliableChannel:
             if not pending:
                 break
         for index in pending:
-            results[index] = BatchResult(
-                error=DeliveryError(
-                    f"delivery from {self._source!r} to "
-                    f"{entries[index][0]!r} failed after "
-                    f"{self._policy.max_attempts} attempts: {results[index].error}"
-                )
-            )
+            results[index] = BatchResult(error=self._exhausted(entries[index][0], results[index].error))
         return results
+
+    def _exhausted(self, destination: str, last_error: Optional[Exception]) -> DeliveryError:
+        return DeliveryError(
+            f"delivery from {self._source!r} to {destination!r} failed after "
+            f"{self._policy.max_attempts} attempts: {last_error}"
+        )
+
+    def _closed_in_flight(
+        self, destination: str, last_error: Optional[Exception]
+    ) -> DeliveryError:
+        return DeliveryError(
+            f"channel at {self._source!r} closed with delivery "
+            f"to {destination!r} in flight: {last_error}"
+        )
+
+    # -- scheduled state machines -----------------------------------------------
+
+    def _require_scheduler(self) -> RetryScheduler:
+        if self._scheduler is None:
+            raise DeliveryError(
+                f"channel at {self._source!r} has no retry scheduler attached"
+            )
+        return self._scheduler
+
+    def _schedule_retry(
+        self, delay: float, reattempt: Callable[[], None], on_cancel: Callable[[], None]
+    ) -> None:
+        """Register a deferred reattempt, tracked for cancellation on close."""
+        scheduler = self._require_scheduler()
+        cell: Dict[str, TimerHandle] = {}
+
+        def fire() -> None:
+            with self._counter_lock:
+                self._pending.pop(cell.get("handle"), None)
+                closed = self._closed
+            if closed:
+                on_cancel()
+                return
+            reattempt()
+
+        with self._counter_lock:
+            if self._closed:
+                on_cancel()
+                return
+            handle = scheduler.schedule(delay, fire)
+            cell["handle"] = handle
+            self._pending[handle] = on_cancel
+
+    def send_scheduled(
+        self, destination: str, operation: str, payload: Any
+    ) -> DeliveryFuture:
+        """Start the retrying send as a state machine; returns its future.
+
+        The first attempt runs on the calling thread (so a healthy link is
+        exactly as fast as a blocking send); failed attempts schedule their
+        reattempt and return, leaving the thread free.  The future resolves
+        to the destination handler's reply or fails with the same errors
+        :meth:`send` raises.
+        """
+        scheduler = self._require_scheduler()
+        future = DeliveryFuture(scheduler)
+
+        def attempt(attempt_no: int) -> None:
+            self._count(attempts=1, retries=1 if attempt_no > 0 else 0)
+            try:
+                reply = self._network.send(
+                    self._source, destination, operation, payload
+                )
+            except UnknownEndpointError as error:
+                future.fail(error)  # permanent: no reattempt is scheduled
+                return
+            except DeliveryError as error:
+                next_attempt = attempt_no + 1
+                if next_attempt >= self._policy.max_attempts:
+                    future.fail(self._exhausted(destination, error))
+                    return
+                # ``except`` unbinds its name on exit; keep the error alive
+                # for the deferred cancellation closure.
+                last_error = error
+                self._schedule_retry(
+                    self._policy.backoff_for_attempt(attempt_no),
+                    lambda: attempt(next_attempt),
+                    on_cancel=lambda: future.fail(
+                        self._closed_in_flight(destination, last_error)
+                    ),
+                )
+                return
+            except Exception as error:  # handler-raised: propagate, no retry
+                future.fail(error)
+                return
+            future.complete(reply)
+
+        attempt(0)
+        return future
+
+    def send_batch_scheduled(
+        self, entries: List[Tuple[str, str, Any]]
+    ) -> List[DeliveryFuture]:
+        """Start a retrying fan-out; returns one future per entry.
+
+        Retry grouping matches :meth:`send_batch` exactly -- all
+        still-pending entries of one attempt go through a single network
+        batch and share one backoff timer -- so attempt accounting, network
+        statistics and fault-model draws are identical to the blocking path.
+        Entry futures resolve individually (to the entry's
+        :class:`BatchResult`) as soon as their outcome is decided; only the
+        still-failing remainder stays in the state machine.
+        """
+        scheduler = self._require_scheduler()
+        futures = [DeliveryFuture(scheduler) for _ in entries]
+
+        def attempt(attempt_no: int, pending: List[int], last: Dict[int, Exception]) -> None:
+            self._count(
+                attempts=len(pending),
+                retries=len(pending) if attempt_no > 0 else 0,
+            )
+            try:
+                batch = self._network.send_batch(
+                    self._source, [entries[index] for index in pending]
+                )
+            except Exception as error:  # noqa: BLE001 - must resolve the wave
+                # The first attempt runs on the calling thread: propagate,
+                # exactly like the blocking loop would (programming errors
+                # stay loud).  Deferred reattempts fire on arbitrary driving
+                # threads, where an escaping exception would leave every
+                # pending future unresolved (and its waiters spinning) -- so
+                # there infrastructure failures resolve the wave instead.
+                if attempt_no == 0:
+                    raise
+                for index in pending:
+                    futures[index].complete(BatchResult(error=error))
+                return
+            still_pending: List[int] = []
+            for index, outcome in zip(pending, batch):
+                if outcome.error is None or isinstance(
+                    outcome.error, UnknownEndpointError
+                ):
+                    futures[index].complete(outcome)
+                elif isinstance(outcome.error, DeliveryError):
+                    last[index] = outcome.error
+                    still_pending.append(index)
+                else:
+                    futures[index].complete(outcome)  # handler-raised failure
+            if not still_pending:
+                return
+            next_attempt = attempt_no + 1
+            if next_attempt >= self._policy.max_attempts:
+                for index in still_pending:
+                    futures[index].complete(
+                        BatchResult(
+                            error=self._exhausted(entries[index][0], last.get(index))
+                        )
+                    )
+                return
+
+            def cancel_pending() -> None:
+                for index in still_pending:
+                    futures[index].complete(
+                        BatchResult(
+                            error=self._closed_in_flight(
+                                entries[index][0], last.get(index)
+                            )
+                        )
+                    )
+
+            self._schedule_retry(
+                self._policy.backoff_for_attempt(attempt_no),
+                lambda: attempt(next_attempt, still_pending, last),
+                on_cancel=cancel_pending,
+            )
+
+        if entries:
+            attempt(0, list(range(len(entries))), {})
+        return futures
+
+    # -- teardown ---------------------------------------------------------------
+
+    def pending_retries(self) -> int:
+        """Number of reattempts currently parked on the scheduler."""
+        with self._counter_lock:
+            return len(self._pending)
+
+    def close(self) -> None:
+        """Cancel in-flight retries; their futures fail as 'channel closed'.
+
+        Idempotent.  Every cancelled timer is removed from the scheduler (no
+        leaked timers) and every affected future completes, so no waiter is
+        left hanging.  Attempts already executing on another thread complete
+        their current network call but schedule no further reattempt.
+        """
+        with self._counter_lock:
+            if self._closed:
+                return
+            self._closed = True
+            pending = list(self._pending.items())
+            self._pending.clear()
+        for handle, on_cancel in pending:
+            if handle.cancel():
+                on_cancel()

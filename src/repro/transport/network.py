@@ -34,6 +34,7 @@ from repro import codec, parallel
 from repro.clock import Clock, MonotonicCounter, SimulatedClock
 from repro.crypto.rng import SecureRandom
 from repro.errors import DeliveryError, UnknownEndpointError
+from repro.transport.scheduler import RetryScheduler
 
 
 #: ``Message.sizing`` values: how the byte size of a message was obtained.
@@ -184,6 +185,35 @@ class NetworkStatistics:
     messages_sized_by_repr: int = 0
     total_latency: float = 0.0
     per_operation: Dict[str, int] = field(default_factory=dict)
+    #: Delivery effort per destination: every send *attempt* (including
+    #: retries and attempts that were dropped) versus the attempts that were
+    #: actually delivered.  The difference is the retry traffic a flaky link
+    #: cost, which benchmarks and dispute reports surface as
+    #: ``attempts - deliveries`` without needing access to every channel.
+    attempts_per_destination: Dict[str, int] = field(default_factory=dict)
+    deliveries_per_destination: Dict[str, int] = field(default_factory=dict)
+
+    @staticmethod
+    def _dict_delta(current: Dict[str, int], earlier: Dict[str, int]) -> Dict[str, int]:
+        merged = dict(current)
+        for key, count in earlier.items():
+            merged[key] = merged.get(key, 0) - count
+        return {key: value for key, value in merged.items() if value}
+
+    def failed_attempts_per_destination(self) -> Dict[str, int]:
+        """Attempts that did not result in delivery, per destination.
+
+        Note this counts every undelivered attempt -- including a
+        destination's *first* attempt when it too failed -- so for a
+        never-delivered destination it reads ``max_attempts``, one more than
+        the channel-level ``retries_made`` (which counts reattempts only).
+        """
+        return {
+            destination: attempts
+            - self.deliveries_per_destination.get(destination, 0)
+            for destination, attempts in self.attempts_per_destination.items()
+            if attempts != self.deliveries_per_destination.get(destination, 0)
+        }
 
     def snapshot(self) -> "NetworkStatistics":
         """Return a copy of the current counters."""
@@ -196,13 +226,12 @@ class NetworkStatistics:
             messages_sized_by_repr=self.messages_sized_by_repr,
             total_latency=self.total_latency,
             per_operation=dict(self.per_operation),
+            attempts_per_destination=dict(self.attempts_per_destination),
+            deliveries_per_destination=dict(self.deliveries_per_destination),
         )
 
     def delta(self, earlier: "NetworkStatistics") -> "NetworkStatistics":
         """Return the difference between this snapshot and ``earlier``."""
-        per_operation = dict(self.per_operation)
-        for operation, count in earlier.per_operation.items():
-            per_operation[operation] = per_operation.get(operation, 0) - count
         return NetworkStatistics(
             messages_sent=self.messages_sent - earlier.messages_sent,
             messages_delivered=self.messages_delivered - earlier.messages_delivered,
@@ -213,7 +242,13 @@ class NetworkStatistics:
                 self.messages_sized_by_repr - earlier.messages_sized_by_repr
             ),
             total_latency=self.total_latency - earlier.total_latency,
-            per_operation={k: v for k, v in per_operation.items() if v},
+            per_operation=self._dict_delta(self.per_operation, earlier.per_operation),
+            attempts_per_destination=self._dict_delta(
+                self.attempts_per_destination, earlier.attempts_per_destination
+            ),
+            deliveries_per_destination=self._dict_delta(
+                self.deliveries_per_destination, earlier.deliveries_per_destination
+            ),
         )
 
 
@@ -311,10 +346,15 @@ class SimulatedNetwork:
         fault_model: Optional[FaultModel] = None,
         clock: Optional[Clock] = None,
         dispatch: Optional[DispatchStrategy] = None,
+        retry_scheduler: Optional["RetryScheduler"] = None,
     ) -> None:
         self.fault_model = fault_model or FaultModel()
         self.clock = clock or SimulatedClock()
         self.dispatch = dispatch or SequentialDispatch()
+        #: When set, every :class:`repro.transport.delivery.ReliableChannel`
+        #: created on this network defaults to event-driven (scheduled)
+        #: retries instead of blocking backoff sleeps.
+        self.retry_scheduler = retry_scheduler
         self.partition = NetworkPartition()
         self.statistics = NetworkStatistics()
         self._endpoints: Dict[str, Endpoint] = {}
@@ -328,6 +368,14 @@ class SimulatedNetwork:
     def set_dispatch(self, dispatch: DispatchStrategy) -> None:
         """Switch the handler-dispatch strategy for subsequent batches."""
         self.dispatch = dispatch
+
+    def set_retry_scheduler(self, scheduler: Optional["RetryScheduler"]) -> None:
+        """Attach (or detach, with ``None``) the event-driven retry scheduler.
+
+        Only channels created after the switch pick the scheduler up; live
+        channels keep the mode they were created with.
+        """
+        self.retry_scheduler = scheduler
 
     # -- endpoint management ---------------------------------------------------
 
@@ -406,6 +454,9 @@ class SimulatedNetwork:
         self.statistics.per_operation[message.operation] = (
             self.statistics.per_operation.get(message.operation, 0) + 1
         )
+        self.statistics.attempts_per_destination[destination] = (
+            self.statistics.attempts_per_destination.get(destination, 0) + 1
+        )
         if self.trace_enabled:
             self._trace.append(message)
 
@@ -430,6 +481,9 @@ class SimulatedNetwork:
         latency = self._latency()
         self.statistics.total_latency += latency
         self.statistics.messages_delivered += 1
+        self.statistics.deliveries_per_destination[destination] = (
+            self.statistics.deliveries_per_destination.get(destination, 0) + 1
+        )
         self.statistics.bytes_delivered += message.encoded_size()
         if message.sizing == SIZING_REPR:
             self.statistics.messages_sized_by_repr += 1

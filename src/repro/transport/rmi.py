@@ -23,7 +23,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import RemoteInvocationError, UnknownEndpointError
 from repro.transport.delivery import ReliableChannel, RetryPolicy
-from repro.transport.network import Message, SimulatedNetwork
+from repro.transport.network import BatchResult, Message, SimulatedNetwork
+from repro.transport.scheduler import DeliveryFuture, wait_all
 
 #: One entry of a batched remote call:
 #: ``(remote_address, object_name, method, args, kwargs)``.
@@ -134,6 +135,23 @@ class RemoteInvoker:
         concurrently, so every exported object reached through a batched
         call must be thread-safe.
         """
+        return self.call_batch_async(calls, retry_policy).results()
+
+    def call_batch_async(
+        self,
+        calls: List[RemoteCall],
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> "RemoteCallBatch":
+        """Start a batched remote fan-out; returns its completion handle.
+
+        With a retry scheduler on the network the call returns as soon as
+        the first delivery attempts have run: failed entries wait for their
+        backoff as scheduler timers, not as sleeps, and resolve through
+        per-entry futures.  Without a scheduler the batch executes eagerly
+        (the classic blocking loop) and the returned handle is already
+        complete -- callers can treat both cases uniformly through
+        :meth:`RemoteCallBatch.results`.
+        """
         channel = ReliableChannel(self._network, self._address, retry_policy)
         entries = [
             (
@@ -143,9 +161,40 @@ class RemoteInvoker:
             )
             for address, object_name, method, args, kwargs in calls
         ]
-        outcomes = channel.send_batch(entries)
+        if channel.scheduler is not None:
+            return RemoteCallBatch(calls, futures=channel.send_batch_scheduled(entries))
+        return RemoteCallBatch(calls, outcomes=channel.send_batch(entries))
+
+
+class RemoteCallBatch:
+    """Completion handle of one :meth:`RemoteInvoker.call_batch_async` fan-out."""
+
+    def __init__(
+        self,
+        calls: List[RemoteCall],
+        futures: Optional[List[DeliveryFuture]] = None,
+        outcomes: Optional[List[BatchResult]] = None,
+    ) -> None:
+        self._calls = calls
+        self._futures = futures
+        self._outcomes = outcomes
+
+    def done(self) -> bool:
+        if self._futures is None:
+            return True
+        return all(future.done() for future in self._futures)
+
+    def results(self) -> List[Tuple[Any, Optional[Exception]]]:
+        """Wait for every entry and unwrap replies into (result, error) pairs.
+
+        Waiting drives the retry scheduler, so a caller blocked here fires
+        other runs' due retries instead of idling.
+        """
+        if self._outcomes is None:
+            wait_all(self._futures)
+            self._outcomes = [future.outcome() for future in self._futures]
         results: List[Tuple[Any, Optional[Exception]]] = []
-        for call, outcome in zip(calls, outcomes):
+        for call, outcome in zip(self._calls, self._outcomes):
             if outcome.error is not None:
                 results.append((None, outcome.error))
                 continue

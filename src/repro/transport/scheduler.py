@@ -1,0 +1,335 @@
+"""Event-driven retry scheduling for the transport layer.
+
+:class:`repro.transport.delivery.ReliableChannel` originally slept through
+every retry backoff on the calling thread, so one flaky link parked a whole
+protocol run (and, under a simulated clock, *summed* the backoffs of
+concurrent runs into the virtual timeline).  This module replaces the sleeps
+with deadline timers:
+
+* :class:`RetryScheduler` owns a heap of pending timers keyed on the
+  channel's clock.  A failed send registers a deferred reattempt (a timer)
+  and returns immediately; the worker that observed the failure is free to
+  do other work during the backoff.
+* :class:`DeliveryFuture` is the completion handle of one scheduled delivery.
+  Waiting on a future *drives* the scheduler: the waiting thread fires due
+  timers (its own or any other run's) and advances a virtual clock to the
+  next deadline, so concurrent runs overlap their retry waits instead of
+  queueing behind each other.
+* :class:`TimerHandle` supports cancellation, which
+  :meth:`ReliableChannel.close` uses to withdraw in-flight retries without
+  leaking timers.
+
+Clock integration: on a *virtual* clock (``clock.virtual``) a driving thread
+reaches the next deadline with the idempotent ``clock.advance_to`` -- racing
+drivers advance time once, not once each, which is exactly the overlap the
+event-driven design buys.  On a wall clock the driver waits on the scheduler
+condition (so a newly scheduled earlier timer or a cancellation wakes it) and
+fires whatever has become due; due callbacks are fanned out on the shared
+executor (:func:`repro.parallel.submit`) so one driver can re-send over many
+slow links concurrently.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro import parallel
+from repro.clock import Clock
+
+__all__ = ["DeliveryFuture", "RetryScheduler", "TimerHandle", "wait_all"]
+
+#: How long (wall seconds) a driver waits for other threads to make progress
+#: when it has nothing due and no deadline of its own to advance to.
+_IDLE_WAIT_SECONDS = 0.01
+
+#: Upper bound on one wall-clock wait towards a deadline, so cancellations
+#: and newly scheduled earlier timers are picked up promptly.
+_MAX_WALL_WAIT_SECONDS = 0.05
+
+_PENDING = "pending"
+_FIRED = "fired"
+_CANCELLED = "cancelled"
+
+
+class TimerHandle:
+    """One scheduled callback; cancellable until it fires."""
+
+    __slots__ = ("deadline", "_scheduler", "_callback", "_state")
+
+    def __init__(
+        self, scheduler: "RetryScheduler", deadline: float, callback: Callable[[], None]
+    ) -> None:
+        self.deadline = deadline
+        self._scheduler = scheduler
+        self._callback = callback
+        self._state = _PENDING
+
+    def cancel(self) -> bool:
+        """Withdraw the timer; returns False when it already fired."""
+        return self._scheduler._cancel(self)
+
+    @property
+    def cancelled(self) -> bool:
+        return self._state == _CANCELLED
+
+    @property
+    def fired(self) -> bool:
+        return self._state == _FIRED
+
+
+class DeliveryFuture:
+    """Completion handle for one scheduled delivery.
+
+    Exactly one of ``complete``/``fail`` is ever called, by the retry state
+    machine that owns the future.  ``result()`` drives the owning scheduler
+    while waiting, so a thread blocked on its own delivery keeps the whole
+    timer wheel moving (see module docstring).
+    """
+
+    def __init__(self, scheduler: Optional["RetryScheduler"] = None) -> None:
+        self._scheduler = scheduler
+        self._event = threading.Event()
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        """The failure, if the delivery failed (None while pending)."""
+        return self._error
+
+    def complete(self, result: Any) -> None:
+        if self._event.is_set():
+            return
+        self._result = result
+        self._event.set()
+        if self._scheduler is not None:
+            self._scheduler._notify()
+
+    def fail(self, error: BaseException) -> None:
+        if self._event.is_set():
+            return
+        self._error = error
+        self._event.set()
+        if self._scheduler is not None:
+            self._scheduler._notify()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Wait for completion; raise the delivery error if it failed.
+
+        With a scheduler attached the calling thread participates in driving
+        timers; without one it simply blocks.  ``timeout`` is wall-clock
+        seconds and exists as a safety net for tests; the budget is shared
+        between driving and the final wait, not paid twice.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        if self._scheduler is not None:
+            self._scheduler.drive_until(self.done, timeout=timeout)
+        remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+        if not self._event.wait(remaining):
+            raise TimeoutError("delivery future was not completed in time")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def outcome(self, timeout: Optional[float] = None) -> Any:
+        """Like :meth:`result` but returns the stored error instead of raising.
+
+        Only delivery failures (ordinary exceptions) are returned as values;
+        ``TimeoutError`` from the safety net and interrupts
+        (``KeyboardInterrupt`` etc.) still propagate.
+        """
+        try:
+            return self.result(timeout)
+        except TimeoutError:
+            raise
+        except Exception as error:  # noqa: BLE001 - mirror of BatchResult
+            return error
+
+
+def wait_all(futures: Iterable[DeliveryFuture], timeout: Optional[float] = None) -> None:
+    """Drive the scheduler(s) until every future is done (errors not raised).
+
+    ``timeout`` bounds the whole wait, shared across the set, not per future.
+    """
+    deadline = None if timeout is None else time.monotonic() + timeout
+    for future in futures:
+        if future.done():
+            continue
+        remaining = (
+            None if deadline is None else max(0.0, deadline - time.monotonic())
+        )
+        future.outcome(remaining)
+
+
+class RetryScheduler:
+    """A deadline heap of pending retries, driven by the threads that wait.
+
+    There is no dedicated timer thread: any thread waiting on a
+    :class:`DeliveryFuture` (or calling :meth:`drive_until`) pops due timers,
+    fires them, and -- on a virtual clock -- advances time to the earliest
+    pending deadline.  This keeps virtual-clock runs deterministic (time
+    moves only when every live thread has nothing due) and means pool
+    workers that must wait for a nested delivery do useful timer work
+    instead of sleeping through a backoff.
+    """
+
+    def __init__(self, clock: Clock) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._condition = threading.Condition(self._lock)
+        self._heap: List[tuple] = []  # (deadline, seq, TimerHandle)
+        self._seq = itertools.count()
+        self._pending = 0
+        self.timers_scheduled = 0
+        self.timers_fired = 0
+        self.timers_cancelled = 0
+
+    @property
+    def clock(self) -> Clock:
+        return self._clock
+
+    # -- scheduling -------------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        """Register ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule a timer in the past")
+        with self._condition:
+            handle = TimerHandle(self, self._clock.now() + delay, callback)
+            heapq.heappush(self._heap, (handle.deadline, next(self._seq), handle))
+            self._pending += 1
+            self.timers_scheduled += 1
+            self._condition.notify_all()
+            return handle
+
+    def _cancel(self, handle: TimerHandle) -> bool:
+        with self._condition:
+            if handle._state != _PENDING:
+                return False
+            handle._state = _CANCELLED
+            self._pending -= 1
+            self.timers_cancelled += 1
+            # Compact eagerly: a lazily discarded entry would keep the
+            # callback closure (payloads, futures, the channel) referenced
+            # until some later drive happened to pop past it.
+            self._heap = [
+                entry for entry in self._heap if entry[2]._state == _PENDING
+            ]
+            heapq.heapify(self._heap)
+            self._condition.notify_all()  # wake drivers waiting on its deadline
+            return True
+
+    def pending_timers(self) -> int:
+        """Number of live (scheduled, not yet fired or cancelled) timers."""
+        with self._lock:
+            return self._pending
+
+    def _notify(self) -> None:
+        with self._condition:
+            self._condition.notify_all()
+
+    # -- driving ----------------------------------------------------------------
+
+    def _pop_due_locked(self) -> List[TimerHandle]:
+        """Claim every timer whose deadline has been reached."""
+        now = self._clock.now()
+        due: List[TimerHandle] = []
+        while self._heap and self._heap[0][0] <= now:
+            _, _, handle = heapq.heappop(self._heap)
+            if handle._state != _PENDING:
+                continue  # cancelled; lazily discarded here
+            handle._state = _FIRED
+            self._pending -= 1
+            self.timers_fired += 1
+            due.append(handle)
+        return due
+
+    def _next_deadline_locked(self) -> Optional[float]:
+        while self._heap and self._heap[0][2]._state != _PENDING:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def _fire(self, due: List[TimerHandle]) -> None:
+        """Run claimed timers outside the lock.
+
+        Virtual clock: inline and in deadline order, for determinism.  Wall
+        clock: the earliest callback runs inline on the driving thread --
+        claimed timers can only run here, so inline execution guarantees
+        progress even when the shared executor is saturated by workers that
+        are themselves blocked waiting on these timers -- and the rest fan
+        out through the executor so concurrent resends overlap their link
+        latency.  Completion is signalled through the futures the callbacks
+        complete, so the driver need not join the submitted ones.
+        """
+        if self._clock.virtual or len(due) == 1:
+            for handle in due:
+                handle._callback()
+            self._notify()
+            return
+        for handle in due[1:]:
+            parallel.submit(handle._callback)
+        due[0]._callback()
+        self._notify()
+
+    def fire_due(self) -> int:
+        """Fire everything currently due; returns how many timers fired."""
+        with self._condition:
+            due = self._pop_due_locked()
+        if due:
+            self._fire(due)
+        return len(due)
+
+    def drive_until(
+        self, predicate: Callable[[], bool], timeout: Optional[float] = None
+    ) -> bool:
+        """Fire timers / advance time until ``predicate()`` holds.
+
+        Returns the final predicate value (False only on wall-clock
+        ``timeout``, which is a safety net -- the protocol layers above have
+        bounded retry budgets, so a well-formed wait always terminates).
+        """
+        deadline_wall = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if deadline_wall is not None and time.monotonic() >= deadline_wall:
+                return predicate()
+            if self.fire_due():
+                if predicate():
+                    return True
+                continue
+            if predicate():
+                return True
+            with self._condition:
+                # Re-check under the lock: a timer may have become due (or
+                # the predicate may have flipped) between fire_due and here.
+                due_deadline = self._next_deadline_locked()
+                now = self._clock.now()
+                if due_deadline is not None and due_deadline <= now:
+                    continue
+                if predicate():
+                    return True
+                if due_deadline is None:
+                    # Nothing scheduled: some other thread owns the work that
+                    # completes the predicate.  Wait for it to notify.
+                    self._condition.wait(_IDLE_WAIT_SECONDS)
+                elif self._clock.virtual:
+                    self._clock.advance_to(due_deadline)
+                else:
+                    self._condition.wait(
+                        min(due_deadline - now, _MAX_WALL_WAIT_SECONDS)
+                    )
+
+    # -- shutdown ---------------------------------------------------------------
+
+    def cancel_all(self) -> int:
+        """Cancel every pending timer (used by tests and channel teardown)."""
+        with self._condition:
+            handles = [entry[2] for entry in self._heap]
+        cancelled = sum(1 for handle in handles if handle.cancel())
+        return cancelled

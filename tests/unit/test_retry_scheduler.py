@@ -1,0 +1,320 @@
+"""Unit tests for the event-driven retry engine (scheduler + channel modes)."""
+
+import threading
+
+import pytest
+
+from repro.clock import SimulatedClock, SystemClock
+from repro.errors import DeliveryError, UnknownEndpointError
+from repro.transport.delivery import ReliableChannel, RetryPolicy
+from repro.transport.network import FaultModel, SimulatedNetwork
+from repro.transport.scheduler import DeliveryFuture, RetryScheduler, wait_all
+
+
+def scheduled_network(fault_model=None, clock=None):
+    clock = clock or SimulatedClock()
+    network = SimulatedNetwork(fault_model, clock=clock)
+    network.set_retry_scheduler(RetryScheduler(clock))
+    return network
+
+
+class TestRetryScheduler:
+    def test_timers_fire_in_deadline_order(self):
+        clock = SimulatedClock()
+        scheduler = RetryScheduler(clock)
+        fired = []
+        scheduler.schedule(0.3, lambda: fired.append("late"))
+        scheduler.schedule(0.1, lambda: fired.append("early"))
+        scheduler.schedule(0.2, lambda: fired.append("middle"))
+        scheduler.drive_until(lambda: len(fired) == 3)
+        assert fired == ["early", "middle", "late"]
+        assert clock.now() == pytest.approx(0.3)
+        assert scheduler.timers_fired == 3
+        assert scheduler.pending_timers() == 0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            RetryScheduler(SimulatedClock()).schedule(-0.1, lambda: None)
+
+    def test_cancelled_timer_never_fires(self):
+        clock = SimulatedClock()
+        scheduler = RetryScheduler(clock)
+        fired = []
+        handle = scheduler.schedule(0.1, lambda: fired.append("cancelled"))
+        scheduler.schedule(0.2, lambda: fired.append("kept"))
+        assert handle.cancel() is True
+        assert handle.cancelled
+        scheduler.drive_until(lambda: len(fired) == 1)
+        assert fired == ["kept"]
+        assert scheduler.timers_cancelled == 1
+        assert scheduler.pending_timers() == 0
+
+    def test_cancel_after_fire_reports_false(self):
+        scheduler = RetryScheduler(SimulatedClock())
+        handle = scheduler.schedule(0.0, lambda: None)
+        assert scheduler.fire_due() == 1
+        assert handle.fired
+        assert handle.cancel() is False
+
+    def test_callback_can_schedule_follow_up(self):
+        clock = SimulatedClock()
+        scheduler = RetryScheduler(clock)
+        fired = []
+
+        def first():
+            fired.append("first")
+            scheduler.schedule(0.5, lambda: fired.append("second"))
+
+        scheduler.schedule(0.25, first)
+        scheduler.drive_until(lambda: len(fired) == 2)
+        assert fired == ["first", "second"]
+        assert clock.now() == pytest.approx(0.75)
+
+    def test_waiting_thread_drives_other_runs_timers(self):
+        # The thread waiting on its own future fires whatever is due,
+        # including timers belonging to other deliveries.
+        clock = SimulatedClock()
+        scheduler = RetryScheduler(clock)
+        future = DeliveryFuture(scheduler)
+        scheduler.schedule(0.2, lambda: future.complete("done"))
+        assert future.result() == "done"
+        assert clock.now() == pytest.approx(0.2)
+
+    def test_wall_clock_timers_fire_without_dedicated_thread(self):
+        scheduler = RetryScheduler(SystemClock())
+        future = DeliveryFuture(scheduler)
+        scheduler.schedule(0.02, lambda: future.complete("ticked"))
+        assert future.result(timeout=5.0) == "ticked"
+
+    def test_cancel_all(self):
+        scheduler = RetryScheduler(SimulatedClock())
+        scheduler.schedule(0.1, lambda: None)
+        scheduler.schedule(0.2, lambda: None)
+        assert scheduler.cancel_all() == 2
+        assert scheduler.pending_timers() == 0
+
+
+class TestScheduledSend:
+    def test_healthy_link_completes_inline(self):
+        network = scheduled_network()
+        network.register("urn:dst", lambda message: "ok")
+        channel = ReliableChannel(network, "urn:src")
+        future = channel.send_scheduled("urn:dst", "op", {})
+        assert future.done()  # first attempt ran on the calling thread
+        assert future.result() == "ok"
+        assert network.retry_scheduler.timers_scheduled == 0
+
+    def test_permanent_failure_completes_immediately_without_timer(self):
+        network = scheduled_network()
+        channel = ReliableChannel(network, "urn:src", RetryPolicy(max_attempts=5))
+        future = channel.send_scheduled("urn:nowhere", "op", {})
+        assert future.done()
+        with pytest.raises(UnknownEndpointError):
+            future.result()
+        # Permanent failures must not schedule a reattempt.
+        assert network.retry_scheduler.timers_scheduled == 0
+        assert channel.attempts_made == 1
+
+    def test_handler_exception_completes_without_retry(self):
+        network = scheduled_network()
+
+        def failing(message):
+            raise RuntimeError("handler blew up")
+
+        network.register("urn:dst", failing)
+        channel = ReliableChannel(network, "urn:src")
+        future = channel.send_scheduled("urn:dst", "op", {})
+        with pytest.raises(RuntimeError, match="handler blew up"):
+            future.result()
+        assert network.retry_scheduler.timers_scheduled == 0
+
+    def test_budget_exhaustion_matches_policy_and_backoff_schedule(self):
+        clock = SimulatedClock()
+        network = scheduled_network(clock=clock)
+        network.register("urn:dst", lambda message: "ok")
+        network.set_online("urn:dst", False)
+        policy = RetryPolicy(
+            max_attempts=4,
+            backoff_seconds=0.1,
+            backoff_multiplier=2.0,
+            max_backoff_seconds=0.25,
+        )
+        channel = ReliableChannel(network, "urn:src", policy)
+        future = channel.send_scheduled("urn:dst", "op", {})
+        with pytest.raises(DeliveryError, match="failed after 4 attempts"):
+            future.result()
+        assert channel.attempts_made == 4
+        assert channel.retries_made == 3
+        # The scheduler must honour backoff_for_attempt exactly: waits are
+        # 0.1, 0.2, then capped at 0.25 -- never the uncapped 0.4.
+        expected = sum(policy.backoff_for_attempt(n) for n in range(3))
+        assert clock.now() == pytest.approx(expected)
+        assert network.retry_scheduler.pending_timers() == 0
+
+    def test_eventual_success_on_lossy_link(self):
+        network = scheduled_network(
+            FaultModel(drop_probability=0.8, max_consecutive_drops=4, seed=b"lossy")
+        )
+        network.register("urn:dst", lambda message: "delivered")
+        channel = ReliableChannel(network, "urn:src", RetryPolicy(max_attempts=20))
+        assert channel.send_scheduled("urn:dst", "op", {}).result() == "delivered"
+
+    def test_blocking_entry_point_delegates_to_scheduler(self):
+        clock = SimulatedClock()
+        network = scheduled_network(clock=clock)
+        network.register("urn:dst", lambda message: "ok")
+        network.partition.sever("urn:src", "urn:dst")
+        channel = ReliableChannel(
+            network, "urn:src", RetryPolicy(max_attempts=3, backoff_seconds=0.5)
+        )
+        with pytest.raises(DeliveryError):
+            channel.send("urn:dst", "op", {})
+        # The wait went through scheduler timers, not clock.sleep loops.
+        assert network.retry_scheduler.timers_fired == 2
+
+    def test_concurrent_retry_waits_overlap_in_virtual_time(self):
+        clock = SimulatedClock()
+        network = scheduled_network(clock=clock)
+        network.register("urn:a", lambda message: "a")
+        network.register("urn:b", lambda message: "b")
+        network.partition.sever("urn:src", "urn:a")
+        network.partition.sever("urn:src", "urn:b")
+        policy = RetryPolicy(max_attempts=5, backoff_seconds=1.0, backoff_multiplier=1.0)
+        channel = ReliableChannel(network, "urn:src", policy)
+        futures = [
+            channel.send_scheduled("urn:a", "op", {}),
+            channel.send_scheduled("urn:b", "op", {}),
+        ]
+        network.partition.heal_all()
+        wait_all(futures)
+        assert [future.result() for future in futures] == ["a", "b"]
+        # Both backoffs were pending together, so virtual time advanced once.
+        assert clock.now() == pytest.approx(1.0)
+
+
+class TestScheduledBatch:
+    def test_mixed_outcomes_resolve_per_entry(self):
+        network = scheduled_network()
+        network.register("urn:ok", lambda message: "fine")
+        network.register("urn:flaky", lambda message: "eventually")
+        network.partition.sever("urn:src", "urn:flaky")
+        channel = ReliableChannel(
+            network, "urn:src", RetryPolicy(max_attempts=4, backoff_seconds=0.1)
+        )
+        futures = channel.send_batch_scheduled(
+            [
+                ("urn:ok", "op", {}),
+                ("urn:missing", "op", {}),
+                ("urn:flaky", "op", {}),
+            ]
+        )
+        # Entries with an immediate outcome resolved on the first attempt.
+        assert futures[0].done() and futures[0].outcome().result == "fine"
+        assert futures[1].done()
+        assert isinstance(futures[1].outcome().error, UnknownEndpointError)
+        assert not futures[2].done()
+        network.partition.heal_all()
+        wait_all(futures)
+        assert futures[2].outcome().result == "eventually"
+
+    def test_batch_budget_exhaustion_message_matches_blocking_mode(self):
+        def run(scheduled):
+            network = SimulatedNetwork()
+            if scheduled:
+                network.set_retry_scheduler(RetryScheduler(network.clock))
+            network.register("urn:dst", lambda message: "ok")
+            network.set_online("urn:dst", False)
+            channel = ReliableChannel(
+                network, "urn:src", RetryPolicy(max_attempts=3, backoff_seconds=0.01)
+            )
+            results = channel.send_batch([("urn:dst", "op", {})])
+            return str(results[0].error), channel.attempts_made, channel.retries_made
+
+        assert run(scheduled=False) == run(scheduled=True)
+
+    def test_channel_close_cancels_in_flight_retries_without_leaking_timers(self):
+        network = scheduled_network()
+        network.register("urn:dst", lambda message: "ok")
+        network.partition.sever("urn:src", "urn:dst")
+        channel = ReliableChannel(
+            network, "urn:src", RetryPolicy(max_attempts=10, backoff_seconds=1.0)
+        )
+        futures = channel.send_batch_scheduled(
+            [("urn:dst", "op", {}), ("urn:dst", "other-op", {})]
+        )
+        single = channel.send_scheduled("urn:dst", "op", {})
+        scheduler = network.retry_scheduler
+        assert channel.pending_retries() == 2  # one batch timer + one send timer
+        assert scheduler.pending_timers() == 2
+        channel.close()
+        assert scheduler.pending_timers() == 0
+        assert channel.pending_retries() == 0
+        for future in futures:
+            assert isinstance(future.outcome().error, DeliveryError)
+            assert "closed" in str(future.outcome().error)
+        with pytest.raises(DeliveryError, match="closed"):
+            single.result()
+        # Close is idempotent and new sends after close fail cleanly.
+        channel.close()
+
+    def test_close_without_scheduler_is_a_no_op(self):
+        network = SimulatedNetwork()
+        channel = ReliableChannel(network, "urn:src")
+        channel.close()
+        assert channel.pending_retries() == 0
+
+
+class TestRetryStatistics:
+    def test_attempts_vs_deliveries_per_destination(self):
+        network = SimulatedNetwork()
+        network.register("urn:dst", lambda message: "ok")
+        network.partition.sever("urn:src", "urn:dst")
+        channel = ReliableChannel(
+            network, "urn:src", RetryPolicy(max_attempts=3, backoff_seconds=0.0)
+        )
+        with pytest.raises(DeliveryError):
+            channel.send("urn:dst", "op", {})
+        network.partition.heal_all()
+        channel.send("urn:dst", "op", {})
+        stats = network.statistics
+        assert stats.attempts_per_destination == {"urn:dst": 4}
+        assert stats.deliveries_per_destination == {"urn:dst": 1}
+        assert stats.failed_attempts_per_destination() == {"urn:dst": 3}
+
+    def test_retry_counters_survive_snapshot_and_delta(self):
+        network = SimulatedNetwork()
+        network.register("urn:dst", lambda message: "ok")
+        network.send("urn:src", "urn:dst", "op", {})
+        before = network.statistics.snapshot()
+        network.send("urn:src", "urn:dst", "op", {})
+        delta = network.statistics.delta(before)
+        assert delta.attempts_per_destination == {"urn:dst": 1}
+        assert delta.deliveries_per_destination == {"urn:dst": 1}
+        assert delta.failed_attempts_per_destination() == {}
+
+
+class TestSchedulerThreadSafety:
+    def test_many_threads_waiting_on_shared_scheduler(self):
+        clock = SimulatedClock()
+        network = scheduled_network(clock=clock)
+        for index in range(4):
+            network.register(f"urn:dst{index}", lambda message: "ok")
+            network.partition.sever("urn:src", f"urn:dst{index}")
+        policy = RetryPolicy(max_attempts=8, backoff_seconds=0.2, backoff_multiplier=1.0)
+        channel = ReliableChannel(network, "urn:src", policy)
+        # Heal through a timer so recovery happens at a *virtual* instant the
+        # retrying threads drive towards -- wall-clock healing would race the
+        # (instant) virtual backoffs.
+        network.retry_scheduler.schedule(0.5, network.partition.heal_all)
+        results = []
+
+        def send(index):
+            results.append(channel.send(f"urn:dst{index}", "op", {}))
+
+        threads = [threading.Thread(target=send, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert results == ["ok"] * 4
+        assert network.retry_scheduler.pending_timers() == 0
