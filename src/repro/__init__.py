@@ -143,6 +143,44 @@ On top of the encode-once substrate, the protocol engine runs concurrently:
   ``NetworkStatistics.attempts_per_destination`` /
   ``deliveries_per_destination``.  ``ReliableChannel.close()`` cancels
   in-flight retries without leaking timers.
+
+* **Run multiplexing (async protocol engine)** -- a coordination round is
+  an explicit two-phase state machine (``repro.core.sharing``) with two
+  drivers over the same protocol hooks: the blocking driver awaits each
+  fan-out inline (the reference behaviour), while
+  ``propose_update_async`` / ``connect_member_async`` /
+  ``disconnect_member_async`` register each subsequent phase as a
+  *continuation* on its ``CoordinatorFanOut`` (executed via
+  ``repro.parallel``) and return a ``RunFuture`` immediately.  Between
+  phases a run occupies no thread -- only timers and callbacks -- so a
+  bounded pool multiplexes hundreds of concurrent runs (BENCH_4: 256 runs
+  over 8 workers).  ``TrustDomain.create(async_runs=True)`` routes the
+  blocking sharing API through the async engine (``.result()`` wrappers);
+  stats, evidence and replica state are property-tested identical across
+  engines at 0% and seeded 10% drop.  Virtual-clock integrity is kept by
+  scheduler *advance holds*: while a continuation is in flight, drivers
+  wait instead of advancing simulated time over it.
+
+* **Protocol deadlines as timers** -- scheduler timers carry an optional
+  *run tag*, and ``RetryScheduler.cancel_run(run_id)`` withdraws every
+  timer of one protocol run at once.  On top of this, an async run accepts
+  a ``deadline`` (fair-exchange-style abort for updates, membership-change
+  expiry for connect/disconnect): expiry aborts the pending run --
+  cancelling its delivery retries, resolving its ``RunFuture`` as
+  not-agreed, leaking no timers -- instead of parking a thread in a
+  timeout wait.  ``FairExchangeClient.schedule_abort`` registers the
+  TTP abort deadline the same way.
+
+* **Forward-secure offline/online split** -- everything in a
+  forward-secure signature except the inner DSA operation is
+  message-independent (per-period key, Merkle inclusion proof).
+  ``repro.crypto.forward_secure.enable_period_precompute()`` (opt-in,
+  beside ``enable_nonce_pools()``) caches that context per
+  ``(root, period)``, builds the Merkle tree once per key set, and stages
+  the next period's context on the shared executor at first use and on
+  ``evolve_key`` -- which also eagerly evicts the evolved-away period's
+  secret from the cache, so forward security never depends on cache luck.
+  Signature bytes are identical to the uncached path.
 """
 
 from repro.container.component import Component, ComponentDescriptor, ComponentType
@@ -159,7 +197,7 @@ from repro.core.invocation import (
 )
 from repro.core.messages import B2BProtocolMessage
 from repro.core.organisation import Organisation
-from repro.core.sharing import B2BObjectController, SharingOutcome
+from repro.core.sharing import B2BObjectController, RunFuture, SharingOutcome
 from repro.core.transactions import SharedStateTransaction, TransactionManager
 from repro.core.contracts import ContractFSM, ContractMonitor, ContractValidator
 from repro.core.fair_exchange import FairExchangeClient
@@ -207,6 +245,7 @@ __all__ = [
     "InvocationStatus",
     "Organisation",
     "ReproError",
+    "RunFuture",
     "SharedStateTransaction",
     "SharingOutcome",
     "SimulatedNetwork",

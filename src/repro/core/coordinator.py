@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.clock import Clock, SystemClock
 from repro.core.evidence import EvidenceBuilder, EvidenceVerifier
@@ -181,8 +181,10 @@ class B2BCoordinator:
         calls = []
         results: List[Tuple[Any, Optional[Exception]]] = [(None, None)] * len(messages)
         indices: List[int] = []
+        run_id: Optional[str] = None
         for index, message in enumerate(messages):
             message.reply_to = message.reply_to or self.address
+            run_id = run_id or message.run_id
             try:
                 address = self.route_for(message.recipient)
             except ProtocolError as error:
@@ -192,8 +194,10 @@ class B2BCoordinator:
             indices.append(index)
         batch = None
         if calls:
+            # A fan-out serves one protocol run; tagging its retry timers
+            # with the run id lets a run-level abort withdraw them together.
             batch = self._invoker.call_batch_async(
-                calls, retry_policy=self._retry_policy
+                calls, retry_policy=self._retry_policy, run_id=run_id
             )
         return CoordinatorFanOut(results, indices, batch)
 
@@ -290,6 +294,22 @@ class CoordinatorFanOut:
     def done(self) -> bool:
         return self._resolved or self._batch.done()
 
+    def add_done_callback(
+        self, callback: Callable[["CoordinatorFanOut"], None]
+    ) -> None:
+        """Invoke ``callback(self)`` once the whole fan-out has resolved.
+
+        This is what lets a protocol phase *register a continuation* instead
+        of blocking on :meth:`results`: an already-complete fan-out (no
+        scheduler, or no failures) fires on the calling thread, otherwise the
+        thread resolving the last delivery fires it.  Continuations should
+        offload non-trivial work through :func:`repro.parallel.submit`.
+        """
+        if self._batch is None:
+            callback(self)
+            return
+        self._batch.add_done_callback(lambda _batch: callback(self))
+
     def results(self) -> List[Tuple[Any, Optional[Exception]]]:
         """Wait for completion; one ``(response, error)`` pair per message."""
         if not self._resolved:
@@ -301,3 +321,8 @@ class CoordinatorFanOut:
     def errors(self) -> List[Optional[Exception]]:
         """Wait for completion; one ``None``-or-error entry per message."""
         return [error for _, error in self.results()]
+
+    def cancel(self) -> None:
+        """Withdraw the fan-out's pending retries (see RemoteCallBatch.cancel)."""
+        if self._batch is not None:
+            self._batch.cancel()

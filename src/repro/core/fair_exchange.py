@@ -21,6 +21,14 @@ contacted to *resolve* or *abort* a run when the normal exchange breaks down.
 
 The first decision (resolve or abort) is final, which keeps the evidence held
 by honest parties consistent.
+
+Abort deadlines: instead of parking a thread in a timeout wait before
+calling :meth:`FairExchangeClient.request_abort`, a client can register the
+deadline as a :class:`~repro.transport.scheduler.RetryScheduler` timer with
+:meth:`FairExchangeClient.schedule_abort`.  If the expected response arrives
+first, cancelling the returned handle withdraws the deadline; otherwise the
+timer fires the abort request on whichever thread drives the scheduler, and
+the audit log records how the deadline resolved.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ from repro.core.messages import B2BProtocolMessage
 from repro.core.ttp import FAIR_EXCHANGE_PROTOCOL
 from repro.crypto.rng import new_unique_id
 from repro.errors import FairExchangeError
+from repro.transport.scheduler import TimerHandle
 
 
 class FairExchangeClient:
@@ -91,6 +100,51 @@ class FairExchangeClient:
             )
         self._store_and_audit(run_id, token, "abort")
         return token
+
+    # -- deadline-driven recovery ------------------------------------------------------
+
+    def schedule_abort(self, run_id: str, timeout: float) -> TimerHandle:
+        """Register a fair-exchange abort deadline as a scheduler timer.
+
+        After ``timeout`` seconds, unless the returned handle was cancelled
+        (because the awaited response arrived), :meth:`request_abort` runs on
+        the thread driving the scheduler -- no thread is parked waiting for
+        the deadline.  The timer carries ``run_id`` as its run tag, so
+        aborting the whole run through ``RetryScheduler.cancel_run`` also
+        withdraws the deadline.  A deadline that fires after the arbitrator
+        already resolved the run in the server's favour is recorded in the
+        audit log instead of raising on the driving thread.
+        """
+        scheduler = self._coordinator.network.retry_scheduler
+        if scheduler is None:
+            raise FairExchangeError(
+                f"{self.party!r} cannot schedule an abort deadline: the network "
+                "has no retry scheduler attached"
+            )
+
+        def fire() -> None:
+            try:
+                self.request_abort(run_id)
+            except FairExchangeError as error:
+                # Final-decision conflict (already resolved) or missing
+                # token: the deadline loses the race; the evidence trail
+                # still shows what happened.
+                self._coordinator.services.audit_log.append(
+                    category="nr.fair-exchange",
+                    subject=run_id,
+                    details={"event": "abort-deadline-refused", "error": str(error)},
+                )
+            except Exception as error:  # noqa: BLE001 - timer callbacks fire on
+                # arbitrary driving threads and must trap their own failures
+                # (an unreachable arbitrator raises DeliveryError here); an
+                # escape would crash an unrelated run's wait.
+                self._coordinator.services.audit_log.append(
+                    category="nr.fair-exchange",
+                    subject=run_id,
+                    details={"event": "abort-deadline-failed", "error": str(error)},
+                )
+
+        return scheduler.schedule(timeout, fire, run_id=run_id)
 
     # -- helpers -----------------------------------------------------------------------
 

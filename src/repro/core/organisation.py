@@ -38,6 +38,7 @@ from repro.core.invocation import (
 from repro.core.nr_interceptors import ClientNRInterceptor, nr_interceptor_provider
 from repro.core.sharing import (
     B2BObjectController,
+    RunFuture,
     SharingOutcome,
     b2b_object_interceptor_provider,
 )
@@ -79,6 +80,7 @@ class Organisation:
         retry_policy: Optional[RetryPolicy] = None,
         display_name: str = "",
         evidence_backend: Optional[StorageBackend] = None,
+        async_runs: bool = False,
     ) -> None:
         self.uri = uri
         self.display_name = display_name or uri
@@ -148,6 +150,7 @@ class Organisation:
             party=uri,
             coordinator=self.coordinator,
             membership=self.membership,
+            async_runs=async_runs,
         )
 
         # -- container integration of the NR middleware ------------------------------------
@@ -301,6 +304,12 @@ class Organisation:
     def propose_update(self, object_id: str, new_state: Any) -> SharingOutcome:
         """Propose an update to a shared object (NR-Sharing, Section 3.3)."""
         return self.controller.propose_update(object_id, new_state)
+
+    def propose_update_async(
+        self, object_id: str, new_state: Any, deadline: Optional[float] = None
+    ) -> RunFuture:
+        """Start a non-blocking coordination run; returns its :class:`RunFuture`."""
+        return self.controller.propose_update_async(object_id, new_state, deadline)
 
     def shared_state(self, object_id: str) -> Any:
         return self.controller.get_state(object_id)

@@ -26,6 +26,27 @@ The :class:`B2BObjectInterceptor` traps invocations on entity components
 marked as B2BObjects so that "the enhancement of an entity bean to become a
 B2BObject is effectively transparent to the local EJB client and its
 application interface".
+
+Execution model: every coordination round (state update or membership
+change) is one :class:`_CoordinationRun` -- an explicit two-phase state
+machine whose protocol logic lives in three hooks (build the phase-1
+proposal fan-out, turn the collected decisions into the phase-2 outcome
+fan-out, finalise).  Two drivers execute the same hooks:
+
+* ``run_inline()`` awaits each fan-out on the calling thread -- the
+  blocking reference behaviour, byte-identical to the pre-async engine;
+* ``start()`` registers each subsequent phase as a *continuation* on its
+  :class:`~repro.core.coordinator.CoordinatorFanOut` (running on the shared
+  :mod:`repro.parallel` executor) and returns a :class:`RunFuture`
+  immediately, so a bounded worker pool can multiplex thousands of
+  concurrent runs: between phases a run occupies no thread at all, only
+  scheduler timers and completion callbacks.
+
+Runs started asynchronously may carry a *deadline*: a
+:class:`~repro.transport.scheduler.RetryScheduler` timer that aborts the
+pending run (cancelling its delivery retries via their run tag and
+resolving its future as not-agreed) instead of parking a thread in a
+timeout wait.
 """
 
 from __future__ import annotations
@@ -35,7 +56,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
-from repro import codec
+from repro import codec, parallel
 from repro.container.component import ComponentDescriptor
 from repro.container.container import Container
 from repro.container.interceptor import (
@@ -62,6 +83,7 @@ from repro.errors import (
     ProtocolError,
 )
 from repro.membership.service import Member, MembershipService
+from repro.transport.scheduler import DeliveryFuture, RetryScheduler, TimerHandle
 
 #: Protocol name for state and membership coordination.
 NR_SHARING_PROTOCOL = "nr-sharing"
@@ -102,6 +124,315 @@ class SharingOutcome:
             )
 
 
+class RunFuture(DeliveryFuture):
+    """Completion handle of one asynchronous coordination run.
+
+    Resolves to the run's :class:`SharingOutcome`.  Like every
+    :class:`~repro.transport.scheduler.DeliveryFuture`, waiting on it drives
+    the retry scheduler, so a thread blocked on one run keeps every other
+    run's timers (and deadlines) moving.  A timed-out or aborted run
+    *completes* -- with ``agreed=False`` and the abort reason -- rather than
+    failing, so ``result()`` only raises for unexpected engine errors.
+    """
+
+    def __init__(
+        self, run_id: str, scheduler: Optional[RetryScheduler] = None
+    ) -> None:
+        super().__init__(scheduler)
+        self.run_id = run_id
+        self._machine: Optional["_CoordinationRun"] = None
+
+    def abort(self, reason: str = "aborted by caller") -> bool:
+        """Abort the pending run; returns False when it can no longer abort.
+
+        Cancels the run's scheduled delivery retries and deadline timer and
+        completes the future with a not-agreed outcome.  Refused once the
+        run has settled or has dispatched its outcome fan-out (the peers are
+        applying the decision; disowning it would diverge the replicas).
+        """
+        if self._machine is None:
+            return False
+        return self._machine.abort(reason)
+
+
+class _CoordinationRun:
+    """One two-phase coordination round as an explicit state machine.
+
+    Subclasses implement the protocol logic as pure phase hooks; the base
+    class owns run lifecycle (deadline timer, abort/settle races) and the
+    two drivers described in the module docstring.  Whichever of normal
+    completion, failure, abort or deadline expiry happens first settles the
+    run; the losers become no-ops, and every settle path cancels the
+    deadline timer so settled runs leak no timers.
+    """
+
+    def __init__(
+        self,
+        controller: "B2BObjectController",
+        object_id: str,
+        run_id: str,
+        deadline: Optional[float] = None,
+    ) -> None:
+        self._controller = controller
+        self._coordinator = controller.coordinator
+        self._services = controller.coordinator.services
+        self.object_id = object_id
+        self.run_id = run_id
+        self._scheduler: Optional[RetryScheduler] = (
+            controller.coordinator.network.retry_scheduler
+        )
+        self._deadline = deadline
+        self._deadline_handle: Optional[TimerHandle] = None
+        self._state_lock = threading.Lock()
+        self._settled = False
+        # Once the outcome fan-out is dispatched the collective decision is
+        # out in the world; from that point the run can complete but no
+        # longer abort (a late abort would leave peers applying an outcome
+        # the proposer disowned -- permanent divergence).
+        self._committed = False
+        self._fan_outs: List = []
+        self.future = RunFuture(run_id, self._scheduler)
+        self.future._machine = self
+
+    # -- protocol hooks (one coordination round = three steps) -------------------
+
+    def _phase1_messages(self) -> List[B2BProtocolMessage]:
+        """Build (and evidence) the proposal; returns the request fan-out."""
+        raise NotImplementedError
+
+    def _phase2_messages(self, results: List) -> List[B2BProtocolMessage]:
+        """Digest phase-1 replies into the outcome; returns the one-way fan-out."""
+        raise NotImplementedError
+
+    def _finalize(self, errors: List[Optional[Exception]]) -> SharingOutcome:
+        """Apply the agreed change (if any), audit, and build the outcome."""
+        raise NotImplementedError
+
+    def _aborted_outcome(self, reason: str) -> SharingOutcome:
+        """Audit the abort and build the not-agreed outcome it resolves to."""
+        raise NotImplementedError
+
+    # -- blocking driver ---------------------------------------------------------
+
+    def run_inline(self) -> SharingOutcome:
+        """Drive the round to completion on the calling thread.
+
+        The reference behaviour the continuation driver is property-tested
+        against: each fan-out is awaited in place (the wait itself drives
+        the retry scheduler when one is attached).
+        """
+        decision_fan_out = self._register_fan_out(
+            self._coordinator.request_all_async(self._phase1_messages())
+        )
+        outcome_messages = self._phase2_messages(decision_fan_out.results())
+        outcome_fan_out = self._commit_outcome(outcome_messages)
+        if outcome_fan_out is None:  # aborted concurrently; future holds why
+            return self.future.result()
+        outcome = self._finalize(outcome_fan_out.errors())
+        self._settle(lambda: self.future.complete(outcome))
+        return outcome
+
+    def _commit_outcome(self, outcome_messages: List[B2BProtocolMessage]):
+        """Mark the run committed and dispatch the outcome fan-out.
+
+        The committed flag flips atomically with the settled check, so an
+        abort either wins *before* any outcome message leaves (and nothing
+        is sent) or is refused forever after.  Returns ``None`` when an
+        abort won the race.
+        """
+        with self._state_lock:
+            if self._settled:
+                return None
+            self._committed = True
+        # Only now is the outcome part of the run's permanent record: an
+        # abort that won the race above must leave no generated evidence
+        # asserting an outcome that never shipped.
+        self._on_committed()
+        return self._register_fan_out(
+            self._coordinator.send_all_async(outcome_messages)
+        )
+
+    def _on_committed(self) -> None:
+        """Persist outcome evidence; runs only when the outcome really ships."""
+
+    def _register_fan_out(self, fan_out):
+        """Track a live fan-out so an abort can close its retry channel.
+
+        Timer-heap sweeps alone cannot stop a retry wave that is already
+        firing (its timer left the heap before its callback ran); closing
+        the channel flips the flag that every firing reattempt re-checks, so
+        no post-abort timer is ever rescheduled.
+        """
+        with self._state_lock:
+            self._fan_outs.append(fan_out)
+            aborted = self._settled
+        if aborted:  # abort won while the fan-out was being created
+            fan_out.cancel()
+        return fan_out
+
+    # -- continuation driver ------------------------------------------------------
+
+    def start(self) -> RunFuture:
+        """Start the round without blocking; returns its :class:`RunFuture`.
+
+        Phase 1's first delivery attempts run on the calling thread (a
+        healthy fan-out is exactly as fast as the blocking driver); every
+        subsequent step runs as a continuation on the shared executor when
+        the fan-out it waits for completes.  Errors raised while *building*
+        phase 1 (unknown object, membership violations) propagate
+        synchronously, exactly like the blocking driver.
+        """
+        hold = self._hold_advance()
+        try:
+            if self._deadline is not None:
+                if self._scheduler is None:
+                    raise CoordinationError(
+                        f"a deadline for the run on {self.object_id!r} requires a "
+                        "retry scheduler on the network"
+                    )
+                self._deadline_handle = self._scheduler.schedule(
+                    self._deadline, self._expire, run_id=self.run_id
+                )
+            try:
+                decision_fan_out = self._register_fan_out(
+                    self._coordinator.request_all_async(self._phase1_messages())
+                )
+            except Exception:
+                self._cancel_deadline()
+                raise
+            self._chain(decision_fan_out, self._after_phase1)
+        finally:
+            if hold is not None:
+                hold.release()
+        return self.future
+
+    def _hold_advance(self):
+        """Keep drivers from advancing virtual time while this run computes.
+
+        A run that is between phases -- verifying decisions, building the
+        outcome -- holds no earlier timer, so without the hold a concurrent
+        driver could advance a virtual clock straight to the run's own
+        deadline and expire it mid-stride.
+        """
+        if self._scheduler is None:
+            return None
+        return self._scheduler.hold_advance()
+
+    def _chain(self, fan_out, continuation: Callable[[Any], None]) -> None:
+        """Register ``continuation(fan_out)`` to run once the fan-out settles.
+
+        The continuation executes on the shared executor (inline when the
+        resolving thread is itself a pool worker), bridged by an advance
+        hold so the hop to the worker is invisible to virtual time.
+        """
+
+        def resume(done_fan_out) -> None:
+            hold = self._hold_advance()
+
+            def step() -> None:
+                try:
+                    continuation(done_fan_out)
+                finally:
+                    if hold is not None:
+                        hold.release()
+
+            parallel.submit(step)
+
+        fan_out.add_done_callback(resume)
+
+    def _after_phase1(self, decision_fan_out) -> None:
+        if self._done():
+            return
+        try:
+            outcome_messages = self._phase2_messages(decision_fan_out.results())
+            outcome_fan_out = self._commit_outcome(outcome_messages)
+            if outcome_fan_out is None:  # aborted while verifying: no outcome
+                return
+        except Exception as error:  # noqa: BLE001 - resolve, never strand waiters
+            self._settle(lambda: self.future.fail(error))
+            return
+        self._chain(outcome_fan_out, self._after_phase2)
+
+    def _after_phase2(self, outcome_fan_out) -> None:
+        if self._done():
+            return
+        try:
+            outcome = self._finalize(outcome_fan_out.errors())
+        except Exception as error:  # noqa: BLE001 - resolve, never strand waiters
+            self._settle(lambda: self.future.fail(error))
+            return
+        self._settle(lambda: self.future.complete(outcome))
+
+    # -- abort / timeout ----------------------------------------------------------
+
+    def abort(self, reason: str = "aborted by caller") -> bool:
+        """Settle the run as not-agreed and withdraw its pending timers.
+
+        Refused (returns False) once the run has settled *or committed its
+        outcome fan-out*: after the collective decision has been dispatched
+        to peers, disowning it locally would diverge the replicas, so a late
+        abort/deadline lets the run finish instead.
+        """
+
+        def settle_abort() -> None:
+            # Close the live fan-outs' retry channels first: the closed flag
+            # stops even a concurrently firing retry wave from rescheduling,
+            # and resolves their futures -- any registered continuation then
+            # fires, observes the settled run and sends no further phase.
+            with self._state_lock:
+                fan_outs = list(self._fan_outs)
+            for fan_out in fan_outs:
+                fan_out.cancel()
+            if self._scheduler is not None:
+                # Sweep whatever else carries the run tag (the deadline
+                # timer if still pending, externally scheduled run timers).
+                self._scheduler.cancel_run(self.run_id)
+            self.future.complete(self._aborted_outcome(reason))
+
+        with self._state_lock:
+            if self._settled or self._committed:
+                return False
+            self._settled = True
+        self._cancel_deadline()
+        self._resolve_settled(settle_abort)
+        return True
+
+    def _expire(self) -> None:
+        self.abort(f"run deadline of {self._deadline}s expired")
+
+    def _done(self) -> bool:
+        with self._state_lock:
+            return self._settled
+
+    def _settle(self, resolve: Callable[[], None]) -> bool:
+        """Run ``resolve`` iff the run has not settled yet (exactly once)."""
+        with self._state_lock:
+            if self._settled:
+                return False
+            self._settled = True
+        self._cancel_deadline()
+        self._resolve_settled(resolve)
+        return True
+
+    def _resolve_settled(self, resolve: Callable[[], None]) -> None:
+        """Resolve the future; a resolver that raises must still resolve it.
+
+        The settled flag is already set, so no other path will touch the
+        future again -- an escaping exception here (e.g. a bug in an
+        outcome builder running on a timer-driving thread) would otherwise
+        strand every waiter forever.
+        """
+        try:
+            resolve()
+        except Exception as error:  # noqa: BLE001 - last line of defence
+            self.future.fail(error)
+
+    def _cancel_deadline(self) -> None:
+        handle, self._deadline_handle = self._deadline_handle, None
+        if handle is not None:
+            handle.cancel()
+
+
 @dataclass
 class _SharedObject:
     """Local bookkeeping for one shared object.
@@ -139,10 +470,15 @@ class B2BObjectController:
         party: str,
         coordinator: B2BCoordinator,
         membership: Optional[MembershipService] = None,
+        async_runs: bool = False,
     ) -> None:
         self.party = party
         self._coordinator = coordinator
         self.membership = membership or MembershipService()
+        #: When set, the blocking entry points delegate to the continuation
+        #: driver (``propose_update`` == ``propose_update_async().result()``);
+        #: when clear they drive the same state machine inline.
+        self.async_runs = async_runs
         self._objects: Dict[str, _SharedObject] = {}
         self._lock = threading.RLock()
         self._handler = SharingProtocolHandler(self)
@@ -260,181 +596,56 @@ class B2BObjectController:
         """Propose ``new_state`` for ``object_id`` and coordinate agreement.
 
         Returns the :class:`SharingOutcome`; the update is applied locally
-        (and at every peer) only when agreement was unanimous.
+        (and at every peer) only when agreement was unanimous.  With
+        ``async_runs`` enabled this is a thin ``.result()`` wrapper around
+        :meth:`propose_update_async`; otherwise the same state machine runs
+        inline on the calling thread (the blocking reference behaviour).
         """
+        if self.async_runs:
+            # propose_update_async performs the rollup-deferral check itself.
+            return self.propose_update_async(object_id, new_state).result()
+        deferred = self._rollup_deferred(object_id, new_state)
+        if deferred is not None:
+            return deferred
+        return _UpdateRun(self, object_id, new_state).run_inline()
+
+    def propose_update_async(
+        self, object_id: str, new_state: Any, deadline: Optional[float] = None
+    ) -> RunFuture:
+        """Start a coordination round without blocking; returns a :class:`RunFuture`.
+
+        Phase transitions run as continuations on the shared executor, so
+        between phases the run occupies no thread -- a bounded pool can
+        multiplex arbitrarily many concurrent runs.  ``deadline`` (seconds,
+        requires a retry scheduler on the network) aborts a run that has not
+        settled in time: its pending delivery retries are withdrawn and the
+        future completes with ``agreed=False``.  A run whose outcome fan-out
+        was already dispatched is past aborting (the collective decision is
+        out at the peers) and completes normally even if the deadline fires.
+        """
+        deferred = self._rollup_deferred(object_id, new_state)
+        if deferred is not None:
+            future = RunFuture(deferred.run_id)
+            future.complete(deferred)
+            return future
+        return _UpdateRun(self, object_id, new_state, deadline=deadline).start()
+
+    def _rollup_deferred(
+        self, object_id: str, new_state: Any
+    ) -> Optional[SharingOutcome]:
+        """Inside a rollup: defer coordination, just update the tentative state."""
         shared = self._shared(object_id)
-        if shared.rollup_depth > 0:
-            # Inside a rollup: defer coordination, just update the tentative state.
-            with self._lock:
-                shared.state = new_state
-            return SharingOutcome(
-                run_id="(rollup-deferred)",
-                object_id=object_id,
-                agreed=True,
-                new_version=shared.version,
-                proposer=self.party,
-                reason="deferred until rollup completes",
-            )
-
-        services = self._coordinator.services
-        run_id = new_unique_id("share")
-        base_version = shared.version
-        # Encode once: the proposed state and the proposal envelope are
-        # canonicalised here and their (bytes, digest, size) shared by every
-        # evidence token, per-peer message and traffic account downstream.
-        proposal = codec.canonicalize(
-            {
-                "object_id": object_id,
-                "proposer": self.party,
-                "base_version": base_version,
-                "proposed_state": codec.canonicalize(new_state),
-            }
-        )
-        nro_update = services.evidence_builder.build(
-            token_type=TokenType.NRO_UPDATE,
-            run_id=run_id,
-            step=1,
-            recipient=object_id,
-            payload=proposal,
-        )
-        services.evidence_store.store(
-            run_id=run_id,
-            token_type=nro_update.token_type,
-            token=nro_update,
-            role=services.evidence_store.ROLE_GENERATED,
-        )
-
-        # Phase 1: collect signed decisions from every peer through one
-        # batched fan-out; the shared proposal body is encoded exactly once.
-        peers = self.peers(object_id)
-        decisions: Dict[str, ValidationDecision] = {}
-        decision_tokens: Dict[str, EvidenceToken] = {}
-        reason = ""
-        proposal_messages = [
-            B2BProtocolMessage(
-                run_id=run_id,
-                protocol=NR_SHARING_PROTOCOL,
-                step=1,
-                sender=self.party,
-                recipient=peer,
-                payload=proposal,
-                tokens=[nro_update],
-                attributes={"action": ACTION_PROPOSE},
-                reply_to=self._coordinator.address,
-            )
-            for peer in peers
-        ]
-        # The fan-out completes through per-peer delivery futures: while a
-        # flaky link waits out its backoff as a scheduler timer, this thread
-        # drives other runs' retries instead of sleeping (event-driven mode).
-        decision_fan_out = self._coordinator.request_all_async(proposal_messages)
-        for peer, (response, error) in zip(peers, decision_fan_out.results()):
-            if error is not None:
-                decisions[peer] = ValidationDecision(
-                    accepted=False,
-                    reason=f"peer unreachable: {error}",
-                    validator="coordinator",
-                )
-                reason = reason or f"peer {peer} unreachable"
-                continue
-            decision, token = self._verify_decision(run_id, peer, proposal, response)
-            decisions[peer] = decision
-            if token is not None:
-                decision_tokens[peer] = token
-                services.evidence_store.store(
-                    run_id=run_id,
-                    token_type=token.token_type,
-                    token=token,
-                    role=services.evidence_store.ROLE_RECEIVED,
-                )
-            if not decision.accepted and not reason:
-                reason = decision.reason
-
-        agreed = all(decision.accepted for decision in decisions.values())
-        new_version = base_version + 1 if agreed else None
-
-        # Phase 2: distribute the collective decision to every member.
-        outcome = codec.canonicalize(
-            {
-                "object_id": object_id,
-                "proposer": self.party,
-                "agreed": agreed,
-                "base_version": base_version,
-                "new_version": new_version,
-                "proposed_state_digest": proposal.digest.hex(),
-                "decisions": {
-                    party: decision.to_dict() for party, decision in decisions.items()
-                },
-            }
-        )
-        nr_outcome = services.evidence_builder.build(
-            token_type=TokenType.NR_OUTCOME,
-            run_id=run_id,
-            step=3,
-            recipient=object_id,
-            payload=outcome,
-        )
-        services.evidence_store.store(
-            run_id=run_id,
-            token_type=nr_outcome.token_type,
-            token=nr_outcome,
-            role=services.evidence_store.ROLE_GENERATED,
-        )
-        outcome_tokens = [nr_outcome] + list(decision_tokens.values())
-        outcome_messages = [
-            B2BProtocolMessage(
-                run_id=run_id,
-                protocol=NR_SHARING_PROTOCOL,
-                step=3,
-                sender=self.party,
-                recipient=peer,
-                payload=outcome,
-                tokens=outcome_tokens,
-                attributes={"action": ACTION_OUTCOME, "proposal": proposal},
-                reply_to=self._coordinator.address,
-            )
-            for peer in peers
-        ]
-        # A peer that is temporarily unreachable misses the outcome
-        # notification; the proposer still holds the signed outcome and every
-        # decision, so the peer can recover the result later.  A
-        # failed-to-validate peer cannot have agreed, so the outcome for it
-        # is never an apply.
-        outcome_fan_out = self._coordinator.send_all_async(outcome_messages)
-        undelivered_outcomes = [
-            peer
-            for peer, error in zip(peers, outcome_fan_out.errors())
-            if error is not None
-        ]
-
-        if agreed:
-            self._apply_update(object_id, proposal["proposed_state"], new_version)
-        services.audit_log.append(
-            category=AUDIT_CATEGORY_SHARING,
-            subject=run_id,
-            details={
-                "event": "update-coordinated",
-                "object_id": object_id,
-                "agreed": agreed,
-                "new_version": new_version,
-                "decisions": {
-                    party: decision.accepted for party, decision in decisions.items()
-                },
-                "undelivered_outcomes": undelivered_outcomes,
-            },
-        )
-        evidence = {TokenType.NRO_UPDATE.value: nro_update, TokenType.NR_OUTCOME.value: nr_outcome}
-        for party, token in decision_tokens.items():
-            evidence[f"{TokenType.NR_DECISION.value}:{party}"] = token
+        if shared.rollup_depth == 0:
+            return None
+        with self._lock:
+            shared.state = new_state
         return SharingOutcome(
-            run_id=run_id,
+            run_id="(rollup-deferred)",
             object_id=object_id,
-            agreed=agreed,
-            new_version=new_version,
+            agreed=True,
+            new_version=shared.version,
             proposer=self.party,
-            decisions=decisions,
-            evidence=evidence,
-            reason=reason,
+            reason="deferred until rollup completes",
         )
 
     def apply_change(
@@ -567,142 +778,32 @@ class B2BObjectController:
         """Run the non-repudiable disconnect protocol to remove ``member``."""
         return self._coordinate_membership(object_id, "disconnect", member)
 
+    def connect_member_async(
+        self, object_id: str, new_member: str, deadline: Optional[float] = None
+    ) -> RunFuture:
+        """Start the connect protocol without blocking.
+
+        ``deadline`` is the membership-change expiry: a connect that has not
+        settled in time aborts as not-agreed instead of parking a thread.
+        """
+        return _MembershipRun(
+            self, object_id, "connect", new_member, deadline=deadline
+        ).start()
+
+    def disconnect_member_async(
+        self, object_id: str, member: str, deadline: Optional[float] = None
+    ) -> RunFuture:
+        """Start the disconnect protocol without blocking (see connect)."""
+        return _MembershipRun(
+            self, object_id, "disconnect", member, deadline=deadline
+        ).start()
+
     def _coordinate_membership(
         self, object_id: str, action: str, member: str
     ) -> SharingOutcome:
-        services = self._coordinator.services
-        shared = self._shared(object_id)
-        run_id = new_unique_id("member")
-        current_members = self.members(object_id)
-        if action == "connect" and member in current_members:
-            raise MembershipError(f"{member!r} already shares {object_id!r}")
-        if action == "disconnect" and member not in current_members:
-            raise MembershipError(f"{member!r} does not share {object_id!r}")
-
-        proposal = codec.canonicalize(
-            {
-                "object_id": object_id,
-                "proposer": self.party,
-                "membership_action": action,
-                "member": member,
-                "current_members": current_members,
-                "state_digest": self.state_digest(object_id).hex(),
-                "version": shared.version,
-            }
-        )
-        nro_update = services.evidence_builder.build(
-            token_type=TokenType.NR_MEMBERSHIP,
-            run_id=run_id,
-            step=1,
-            recipient=object_id,
-            payload=proposal,
-        )
-        services.evidence_store.store(
-            run_id=run_id,
-            token_type=nro_update.token_type,
-            token=nro_update,
-            role=services.evidence_store.ROLE_GENERATED,
-        )
-
-        decisions: Dict[str, ValidationDecision] = {}
-        decision_tokens: Dict[str, EvidenceToken] = {}
-        # The affected member only votes on its own disconnection, not on its
-        # own admission (it is not yet part of the trust domain for connect).
-        voters = [peer for peer in self.peers(object_id) if peer != member or action == "disconnect"]
-        proposal_messages = [
-            B2BProtocolMessage(
-                run_id=run_id,
-                protocol=NR_SHARING_PROTOCOL,
-                step=1,
-                sender=self.party,
-                recipient=peer,
-                payload=proposal,
-                tokens=[nro_update],
-                attributes={"action": ACTION_MEMBERSHIP_PROPOSE},
-                reply_to=self._coordinator.address,
-            )
-            for peer in voters
-        ]
-        decision_fan_out = self._coordinator.request_all_async(proposal_messages)
-        for peer, (response, error) in zip(voters, decision_fan_out.results()):
-            if error is not None:
-                decisions[peer] = ValidationDecision(
-                    accepted=False, reason=f"peer unreachable: {error}", validator="coordinator"
-                )
-                continue
-            decision, token = self._verify_decision(run_id, peer, proposal, response)
-            decisions[peer] = decision
-            if token is not None:
-                decision_tokens[peer] = token
-
-        agreed = all(decision.accepted for decision in decisions.values())
-        outcome = codec.canonicalize(
-            {
-                "object_id": object_id,
-                "proposer": self.party,
-                "membership_action": action,
-                "member": member,
-                "agreed": agreed,
-                "decisions": {p: d.to_dict() for p, d in decisions.items()},
-            }
-        )
-        nr_outcome = services.evidence_builder.build(
-            token_type=TokenType.NR_OUTCOME,
-            run_id=run_id,
-            step=3,
-            recipient=object_id,
-            payload=outcome,
-        )
-        recipients = set(self.peers(object_id))
-        if action == "connect" and agreed:
-            recipients.add(member)
-        ordered_recipients = sorted(recipients)
-        outcome_tokens = [nr_outcome] + list(decision_tokens.values())
-        outcome_messages = [
-            B2BProtocolMessage(
-                run_id=run_id,
-                protocol=NR_SHARING_PROTOCOL,
-                step=3,
-                sender=self.party,
-                recipient=peer,
-                payload=outcome,
-                tokens=outcome_tokens,
-                attributes={
-                    "action": ACTION_MEMBERSHIP_OUTCOME,
-                    "proposal": proposal,
-                    "object_state": shared.state if action == "connect" else None,
-                    "object_version": shared.version,
-                },
-                reply_to=self._coordinator.address,
-            )
-            for peer in ordered_recipients
-        ]
-        outcome_fan_out = self._coordinator.send_all_async(outcome_messages)
-        for peer, error in zip(ordered_recipients, outcome_fan_out.errors()):
-            if error is not None and peer == member and action == "connect":
-                agreed = False
-        if agreed:
-            self._apply_membership_change(object_id, action, member)
-        services.audit_log.append(
-            category=AUDIT_CATEGORY_SHARING,
-            subject=run_id,
-            details={
-                "event": "membership-coordinated",
-                "object_id": object_id,
-                "action": action,
-                "member": member,
-                "agreed": agreed,
-            },
-        )
-        return SharingOutcome(
-            run_id=run_id,
-            object_id=object_id,
-            agreed=agreed,
-            new_version=shared.version,
-            proposer=self.party,
-            decisions=decisions,
-            evidence={TokenType.NR_MEMBERSHIP.value: nro_update, TokenType.NR_OUTCOME.value: nr_outcome},
-        )
+        if self.async_runs:
+            return _MembershipRun(self, object_id, action, member).start().result()
+        return _MembershipRun(self, object_id, action, member).run_inline()
 
     def _apply_membership_change(self, object_id: str, action: str, member: str) -> None:
         if action == "connect":
@@ -995,6 +1096,445 @@ class B2BObjectController:
             return
         if self.is_shared(object_id):
             self._apply_membership_change(object_id, action, member)
+
+
+class _UpdateRun(_CoordinationRun):
+    """State-update coordination (propose / decide / outcome) as a run machine."""
+
+    def __init__(
+        self,
+        controller: B2BObjectController,
+        object_id: str,
+        new_state: Any,
+        deadline: Optional[float] = None,
+    ) -> None:
+        super().__init__(controller, object_id, new_unique_id("share"), deadline)
+        self._shared = controller._shared(object_id)  # noqa: SLF001 - same module
+        self._new_state = new_state
+        self._base_version = 0
+        self._proposal: Any = None
+        self._nro_update: Optional[EvidenceToken] = None
+        self._peers: List[str] = []
+        self._decisions: Dict[str, ValidationDecision] = {}
+        self._decision_tokens: Dict[str, EvidenceToken] = {}
+        self._reason = ""
+        self._agreed = False
+        self._new_version: Optional[int] = None
+        self._nr_outcome: Optional[EvidenceToken] = None
+
+    def _phase1_messages(self) -> List[B2BProtocolMessage]:
+        controller, services = self._controller, self._services
+        self._base_version = self._shared.version
+        # Encode once: the proposed state and the proposal envelope are
+        # canonicalised here and their (bytes, digest, size) shared by every
+        # evidence token, per-peer message and traffic account downstream.
+        self._proposal = codec.canonicalize(
+            {
+                "object_id": self.object_id,
+                "proposer": controller.party,
+                "base_version": self._base_version,
+                "proposed_state": codec.canonicalize(self._new_state),
+            }
+        )
+        self._nro_update = services.evidence_builder.build(
+            token_type=TokenType.NRO_UPDATE,
+            run_id=self.run_id,
+            step=1,
+            recipient=self.object_id,
+            payload=self._proposal,
+        )
+        services.evidence_store.store(
+            run_id=self.run_id,
+            token_type=self._nro_update.token_type,
+            token=self._nro_update,
+            role=services.evidence_store.ROLE_GENERATED,
+        )
+        # Phase 1: collect signed decisions from every peer through one
+        # batched fan-out; the shared proposal body is encoded exactly once.
+        self._peers = controller.peers(self.object_id)
+        return [
+            B2BProtocolMessage(
+                run_id=self.run_id,
+                protocol=NR_SHARING_PROTOCOL,
+                step=1,
+                sender=controller.party,
+                recipient=peer,
+                payload=self._proposal,
+                tokens=[self._nro_update],
+                attributes={"action": ACTION_PROPOSE},
+                reply_to=self._coordinator.address,
+            )
+            for peer in self._peers
+        ]
+
+    def _phase2_messages(self, results: List) -> List[B2BProtocolMessage]:
+        controller, services = self._controller, self._services
+        # Built locally and published by (atomic) reference assignment: a
+        # concurrent abort snapshots either no decisions or all of them,
+        # never a dict mid-mutation.
+        decisions: Dict[str, ValidationDecision] = {}
+        decision_tokens: Dict[str, EvidenceToken] = {}
+        reason = ""
+        for peer, (response, error) in zip(self._peers, results):
+            if error is not None:
+                decisions[peer] = ValidationDecision(
+                    accepted=False,
+                    reason=f"peer unreachable: {error}",
+                    validator="coordinator",
+                )
+                reason = reason or f"peer {peer} unreachable"
+                continue
+            decision, token = controller._verify_decision(  # noqa: SLF001
+                self.run_id, peer, self._proposal, response
+            )
+            decisions[peer] = decision
+            if token is not None:
+                decision_tokens[peer] = token
+                services.evidence_store.store(
+                    run_id=self.run_id,
+                    token_type=token.token_type,
+                    token=token,
+                    role=services.evidence_store.ROLE_RECEIVED,
+                )
+            if not decision.accepted and not reason:
+                reason = decision.reason
+        self._decisions = decisions
+        self._decision_tokens = decision_tokens
+        self._reason = reason
+
+        self._agreed = all(
+            decision.accepted for decision in self._decisions.values()
+        )
+        self._new_version = self._base_version + 1 if self._agreed else None
+
+        # Phase 2: distribute the collective decision to every member.
+        outcome = codec.canonicalize(
+            {
+                "object_id": self.object_id,
+                "proposer": controller.party,
+                "agreed": self._agreed,
+                "base_version": self._base_version,
+                "new_version": self._new_version,
+                "proposed_state_digest": self._proposal.digest.hex(),
+                "decisions": {
+                    party: decision.to_dict()
+                    for party, decision in self._decisions.items()
+                },
+            }
+        )
+        self._nr_outcome = services.evidence_builder.build(
+            token_type=TokenType.NR_OUTCOME,
+            run_id=self.run_id,
+            step=3,
+            recipient=self.object_id,
+            payload=outcome,
+        )
+        # Stored by _on_committed once the commit barrier is passed, so an
+        # abort racing this continuation never leaves a generated NR_OUTCOME
+        # contradicting the run's not-agreed result in the evidence store.
+        outcome_tokens = [self._nr_outcome] + list(self._decision_tokens.values())
+        return [
+            B2BProtocolMessage(
+                run_id=self.run_id,
+                protocol=NR_SHARING_PROTOCOL,
+                step=3,
+                sender=controller.party,
+                recipient=peer,
+                payload=outcome,
+                tokens=outcome_tokens,
+                attributes={"action": ACTION_OUTCOME, "proposal": self._proposal},
+                reply_to=self._coordinator.address,
+            )
+            for peer in self._peers
+        ]
+
+    def _on_committed(self) -> None:
+        services = self._services
+        services.evidence_store.store(
+            run_id=self.run_id,
+            token_type=self._nr_outcome.token_type,
+            token=self._nr_outcome,
+            role=services.evidence_store.ROLE_GENERATED,
+        )
+
+    def _finalize(self, errors: List[Optional[Exception]]) -> SharingOutcome:
+        controller, services = self._controller, self._services
+        # A peer that is temporarily unreachable misses the outcome
+        # notification; the proposer still holds the signed outcome and every
+        # decision, so the peer can recover the result later.  A
+        # failed-to-validate peer cannot have agreed, so the outcome for it
+        # is never an apply.
+        undelivered_outcomes = [
+            peer for peer, error in zip(self._peers, errors) if error is not None
+        ]
+        if self._agreed:
+            controller._apply_update(  # noqa: SLF001
+                self.object_id, self._proposal["proposed_state"], self._new_version
+            )
+        services.audit_log.append(
+            category=AUDIT_CATEGORY_SHARING,
+            subject=self.run_id,
+            details={
+                "event": "update-coordinated",
+                "object_id": self.object_id,
+                "agreed": self._agreed,
+                "new_version": self._new_version,
+                "decisions": {
+                    party: decision.accepted
+                    for party, decision in self._decisions.items()
+                },
+                "undelivered_outcomes": undelivered_outcomes,
+            },
+        )
+        evidence = {
+            TokenType.NRO_UPDATE.value: self._nro_update,
+            TokenType.NR_OUTCOME.value: self._nr_outcome,
+        }
+        for party, token in self._decision_tokens.items():
+            evidence[f"{TokenType.NR_DECISION.value}:{party}"] = token
+        return SharingOutcome(
+            run_id=self.run_id,
+            object_id=self.object_id,
+            agreed=self._agreed,
+            new_version=self._new_version,
+            proposer=controller.party,
+            decisions=self._decisions,
+            evidence=evidence,
+            reason=self._reason,
+        )
+
+    def _aborted_outcome(self, reason: str) -> SharingOutcome:
+        self._services.audit_log.append(
+            category=AUDIT_CATEGORY_SHARING,
+            subject=self.run_id,
+            details={
+                "event": "update-aborted",
+                "object_id": self.object_id,
+                "reason": reason,
+            },
+        )
+        evidence: Dict[str, EvidenceToken] = {}
+        if self._nro_update is not None:
+            evidence[TokenType.NRO_UPDATE.value] = self._nro_update
+        return SharingOutcome(
+            run_id=self.run_id,
+            object_id=self.object_id,
+            agreed=False,
+            new_version=None,
+            proposer=self._controller.party,
+            decisions=dict(self._decisions),
+            evidence=evidence,
+            reason=reason,
+        )
+
+
+class _MembershipRun(_CoordinationRun):
+    """Membership-change coordination (connect / disconnect) as a run machine."""
+
+    def __init__(
+        self,
+        controller: B2BObjectController,
+        object_id: str,
+        action: str,
+        member: str,
+        deadline: Optional[float] = None,
+    ) -> None:
+        super().__init__(controller, object_id, new_unique_id("member"), deadline)
+        self._shared = controller._shared(object_id)  # noqa: SLF001 - same module
+        self._action = action
+        self._member = member
+        self._proposal: Any = None
+        self._nro_update: Optional[EvidenceToken] = None
+        self._voters: List[str] = []
+        self._ordered_recipients: List[str] = []
+        self._decisions: Dict[str, ValidationDecision] = {}
+        self._decision_tokens: Dict[str, EvidenceToken] = {}
+        self._agreed = False
+        self._nr_outcome: Optional[EvidenceToken] = None
+
+    def _phase1_messages(self) -> List[B2BProtocolMessage]:
+        controller, services = self._controller, self._services
+        action, member = self._action, self._member
+        current_members = controller.members(self.object_id)
+        if action == "connect" and member in current_members:
+            raise MembershipError(f"{member!r} already shares {self.object_id!r}")
+        if action == "disconnect" and member not in current_members:
+            raise MembershipError(f"{member!r} does not share {self.object_id!r}")
+
+        self._proposal = codec.canonicalize(
+            {
+                "object_id": self.object_id,
+                "proposer": controller.party,
+                "membership_action": action,
+                "member": member,
+                "current_members": current_members,
+                "state_digest": controller.state_digest(self.object_id).hex(),
+                "version": self._shared.version,
+            }
+        )
+        self._nro_update = services.evidence_builder.build(
+            token_type=TokenType.NR_MEMBERSHIP,
+            run_id=self.run_id,
+            step=1,
+            recipient=self.object_id,
+            payload=self._proposal,
+        )
+        services.evidence_store.store(
+            run_id=self.run_id,
+            token_type=self._nro_update.token_type,
+            token=self._nro_update,
+            role=services.evidence_store.ROLE_GENERATED,
+        )
+        # The affected member only votes on its own disconnection, not on its
+        # own admission (it is not yet part of the trust domain for connect).
+        self._voters = [
+            peer
+            for peer in controller.peers(self.object_id)
+            if peer != member or action == "disconnect"
+        ]
+        return [
+            B2BProtocolMessage(
+                run_id=self.run_id,
+                protocol=NR_SHARING_PROTOCOL,
+                step=1,
+                sender=controller.party,
+                recipient=peer,
+                payload=self._proposal,
+                tokens=[self._nro_update],
+                attributes={"action": ACTION_MEMBERSHIP_PROPOSE},
+                reply_to=self._coordinator.address,
+            )
+            for peer in self._voters
+        ]
+
+    def _phase2_messages(self, results: List) -> List[B2BProtocolMessage]:
+        controller, services = self._controller, self._services
+        action, member = self._action, self._member
+        # Local build + atomic publish, same reasoning as the update run.
+        decisions: Dict[str, ValidationDecision] = {}
+        decision_tokens: Dict[str, EvidenceToken] = {}
+        for peer, (response, error) in zip(self._voters, results):
+            if error is not None:
+                decisions[peer] = ValidationDecision(
+                    accepted=False,
+                    reason=f"peer unreachable: {error}",
+                    validator="coordinator",
+                )
+                continue
+            decision, token = controller._verify_decision(  # noqa: SLF001
+                self.run_id, peer, self._proposal, response
+            )
+            decisions[peer] = decision
+            if token is not None:
+                decision_tokens[peer] = token
+        self._decisions = decisions
+        self._decision_tokens = decision_tokens
+
+        self._agreed = all(
+            decision.accepted for decision in self._decisions.values()
+        )
+        outcome = codec.canonicalize(
+            {
+                "object_id": self.object_id,
+                "proposer": controller.party,
+                "membership_action": action,
+                "member": member,
+                "agreed": self._agreed,
+                "decisions": {p: d.to_dict() for p, d in self._decisions.items()},
+            }
+        )
+        self._nr_outcome = services.evidence_builder.build(
+            token_type=TokenType.NR_OUTCOME,
+            run_id=self.run_id,
+            step=3,
+            recipient=self.object_id,
+            payload=outcome,
+        )
+        recipients = set(controller.peers(self.object_id))
+        if action == "connect" and self._agreed:
+            recipients.add(member)
+        self._ordered_recipients = sorted(recipients)
+        outcome_tokens = [self._nr_outcome] + list(self._decision_tokens.values())
+        return [
+            B2BProtocolMessage(
+                run_id=self.run_id,
+                protocol=NR_SHARING_PROTOCOL,
+                step=3,
+                sender=controller.party,
+                recipient=peer,
+                payload=outcome,
+                tokens=outcome_tokens,
+                attributes={
+                    "action": ACTION_MEMBERSHIP_OUTCOME,
+                    "proposal": self._proposal,
+                    "object_state": self._shared.state if action == "connect" else None,
+                    "object_version": self._shared.version,
+                },
+                reply_to=self._coordinator.address,
+            )
+            for peer in self._ordered_recipients
+        ]
+
+    def _finalize(self, errors: List[Optional[Exception]]) -> SharingOutcome:
+        controller, services = self._controller, self._services
+        action, member = self._action, self._member
+        agreed = self._agreed
+        for peer, error in zip(self._ordered_recipients, errors):
+            if error is not None and peer == member and action == "connect":
+                agreed = False
+        if agreed:
+            controller._apply_membership_change(  # noqa: SLF001
+                self.object_id, action, member
+            )
+        services.audit_log.append(
+            category=AUDIT_CATEGORY_SHARING,
+            subject=self.run_id,
+            details={
+                "event": "membership-coordinated",
+                "object_id": self.object_id,
+                "action": action,
+                "member": member,
+                "agreed": agreed,
+            },
+        )
+        return SharingOutcome(
+            run_id=self.run_id,
+            object_id=self.object_id,
+            agreed=agreed,
+            new_version=self._shared.version,
+            proposer=controller.party,
+            decisions=self._decisions,
+            evidence={
+                TokenType.NR_MEMBERSHIP.value: self._nro_update,
+                TokenType.NR_OUTCOME.value: self._nr_outcome,
+            },
+        )
+
+    def _aborted_outcome(self, reason: str) -> SharingOutcome:
+        self._services.audit_log.append(
+            category=AUDIT_CATEGORY_SHARING,
+            subject=self.run_id,
+            details={
+                "event": "membership-aborted",
+                "object_id": self.object_id,
+                "action": self._action,
+                "member": self._member,
+                "reason": reason,
+            },
+        )
+        evidence: Dict[str, EvidenceToken] = {}
+        if self._nro_update is not None:
+            evidence[TokenType.NR_MEMBERSHIP.value] = self._nro_update
+        return SharingOutcome(
+            run_id=self.run_id,
+            object_id=self.object_id,
+            agreed=False,
+            new_version=self._shared.version,
+            proposer=self._controller.party,
+            decisions=dict(self._decisions),
+            evidence=evidence,
+            reason=reason,
+        )
 
 
 class SharingProtocolHandler(B2BProtocolHandler):

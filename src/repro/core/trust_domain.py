@@ -77,6 +77,7 @@ class TrustDomain:
         with_arbitrator: bool = False,
         dispatch: Optional[DispatchStrategy] = None,
         scheduled_retries: bool = False,
+        async_runs: bool = False,
         evidence_backend_factory: Optional[Callable[[str], StorageBackend]] = None,
     ) -> "TrustDomain":
         """Build a trust domain of the requested style for ``party_uris``.
@@ -88,10 +89,16 @@ class TrustDomain:
         :class:`repro.transport.scheduler.RetryScheduler` to the network, so
         delivery retries wait as deadline timers that overlap across
         concurrent protocol runs instead of blocking their proposer threads.
-        ``evidence_backend_factory`` maps a party URI to the storage backend
-        its evidence store should persist into (e.g. a
-        :class:`repro.persistence.storage.FileBackend` directory for
-        multi-process deployments); the default keeps evidence in memory.
+        ``async_runs`` opts every organisation into the run-multiplexing
+        protocol engine: blocking sharing calls become thin ``.result()``
+        wrappers over ``propose_update_async`` and friends, whose phase
+        transitions run as continuations instead of occupying a thread per
+        run; it implies ``scheduled_retries`` (the scheduler also carries
+        the engine's protocol deadlines).  ``evidence_backend_factory`` maps
+        a party URI to the storage backend its evidence store should persist
+        into (e.g. a :class:`repro.persistence.storage.FileBackend`
+        directory for multi-process deployments); the default keeps evidence
+        in memory.
         """
         if len(party_uris) < 2:
             raise ProtocolError("a trust domain needs at least two organisations")
@@ -101,7 +108,7 @@ class TrustDomain:
         network = network or SimulatedNetwork(
             fault_model=fault_model, clock=clock, dispatch=dispatch
         )
-        if scheduled_retries and network.retry_scheduler is None:
+        if (scheduled_retries or async_runs) and network.retry_scheduler is None:
             network.set_retry_scheduler(RetryScheduler(network.clock))
         ca = CertificateAuthority("urn:repro:ca", scheme=scheme, clock=clock)
         tsa = (
@@ -126,6 +133,7 @@ class TrustDomain:
                 evidence_backend=(
                     evidence_backend_factory(uri) if evidence_backend_factory else None
                 ),
+                async_runs=async_runs,
             )
         # Everybody learns everybody's keys (credential exchange).
         organisations = list(domain.organisations.values())

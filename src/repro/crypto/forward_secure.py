@@ -17,13 +17,30 @@ This module implements the generic tree/certification construction:
 * :func:`evolve_key` advances the private key to the next period and
   *deletes* the current period's secret, which is what provides forward
   security.
+
+Offline/online split: everything in a forward-secure signature except the
+inner DSA signature is *message-independent* -- the period's public value,
+its Merkle inclusion proof (which naively rebuilds the whole tree per
+signature) and the per-period DSA key.  Analogous to the DSA ``NoncePool``,
+:func:`enable_period_precompute` moves that work off the signing path into a
+per-``(root, period)`` context cache: the Merkle tree is built once per key
+set, the next period's context is precomputed on the shared
+:mod:`repro.parallel` executor whenever a period is first used or the key
+evolves, and online signing is reduced to the inner DSA operation (itself
+pooled when nonce pools are enabled) plus a JSON envelope.  The cache holds
+the *current* period's secret in one more place, so :func:`evolve_key`
+evicts the evolved-away period eagerly -- forward security never depends on
+the cache forgetting by luck -- and the split is opt-in, mirroring
+``enable_nonce_pools``.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+import threading
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro import parallel
 from repro.crypto.dsa import DSAScheme, generate_domain_parameters
 from repro.crypto.hashing import MerkleTree, combine_digests, secure_hash
 from repro.crypto.keys import KeyPair, PrivateKey, PublicKey
@@ -38,6 +55,154 @@ DEFAULT_PERIODS = 16
 def _leaf_bytes(period: int, y: int) -> bytes:
     """Canonical leaf encoding binding a period index to its public value."""
     return f"{period}:{y}".encode("ascii")
+
+
+# -- offline/online period-context precompute ---------------------------------------
+
+_precompute_lock = threading.Lock()
+_precompute_enabled = False
+#: Merkle tree over the per-period public values, one per key set (root).
+_trees: Dict[bytes, MerkleTree] = {}
+#: Message-independent signing context per (root, period): the period secret
+#: and public value plus the serialised inclusion proof.
+_contexts: Dict[Tuple[bytes, int], Dict[str, Any]] = {}
+_precompute_stats = {"hits": 0, "misses": 0, "precomputed": 0, "evicted": 0}
+
+#: Bound on cached key sets: contexts hold live period secrets, so a key
+#: that was rotated out must not keep them resident for the process
+#: lifetime.  Admitting key set N+1 evicts the oldest-admitted root (FIFO)
+#: together with all its contexts.  Far above any simulated deployment's
+#: concurrent key count; raise deliberately if a real one exceeds it.
+_MAX_CACHED_KEYSETS = 32
+
+
+def _admit_root_locked(root: bytes, tree: MerkleTree) -> None:
+    """Cache the tree for ``root``, evicting the oldest key set at the cap."""
+    if root in _trees:
+        return
+    while len(_trees) >= _MAX_CACHED_KEYSETS:
+        oldest = next(iter(_trees))
+        del _trees[oldest]
+        for key in [k for k in _contexts if k[0] == oldest]:
+            del _contexts[key]
+            _precompute_stats["evicted"] += 1
+    _trees[root] = tree
+
+
+def enable_period_precompute() -> None:
+    """Turn on the offline/online split for forward-secure signing."""
+    global _precompute_enabled
+    with _precompute_lock:
+        _precompute_enabled = True
+
+
+def disable_period_precompute() -> None:
+    """Return to per-signature proof construction and drop every cached context."""
+    global _precompute_enabled
+    with _precompute_lock:
+        _precompute_enabled = False
+        _trees.clear()
+        _contexts.clear()
+
+
+def period_precompute_enabled() -> bool:
+    with _precompute_lock:
+        return _precompute_enabled
+
+
+def period_precompute_stats() -> Dict[str, int]:
+    """Counters of the context cache (hits/misses on the signing path,
+    background precomputations, evictions by key evolution)."""
+    with _precompute_lock:
+        return dict(_precompute_stats)
+
+
+def _cached_context(root: bytes, period: int) -> Optional[Dict[str, Any]]:
+    with _precompute_lock:
+        if not _precompute_enabled:
+            return None
+        return _contexts.get((root, period))
+
+
+def _build_context(params: Dict[str, Any], period: int) -> Optional[Dict[str, Any]]:
+    """Compute the message-independent signing context for ``period``.
+
+    Returns ``None`` past the last period.  The secret may be ``None`` (an
+    erased period); signing with such a context raises exactly like the
+    uncached path, so the cache never resurrects forward security.
+    """
+    periods = params["periods"]
+    if period < 0 or period >= periods:
+        return None
+    secrets = json.loads(params["secrets"])
+    publics = json.loads(params["publics"])
+    root = params["root"]
+    with _precompute_lock:
+        tree = _trees.get(root)
+    if tree is None:
+        tree = MerkleTree(_leaf_bytes(i, publics[i]) for i in range(periods))
+        with _precompute_lock:
+            _admit_root_locked(root, tree)
+    proof = tree.proof(period)
+    return {
+        "x": secrets[period],
+        "y": publics[period],
+        "path": [[sib.hex(), bool(left)] for sib, left in proof.path],
+    }
+
+
+def _context_for(params: Dict[str, Any], period: int) -> Optional[Dict[str, Any]]:
+    """Fetch (or compute and cache) the signing context for ``period``.
+
+    One lock acquisition on the hot path: enabled check, lookup and hit/miss
+    accounting share a single critical section.
+    """
+    root = params["root"]
+    with _precompute_lock:
+        if not _precompute_enabled:
+            return None
+        context = _contexts.get((root, period))
+        if context is not None:
+            _precompute_stats["hits"] += 1
+            return context
+        _precompute_stats["misses"] += 1
+    context = _build_context(params, period)
+    if context is None:
+        return None
+    with _precompute_lock:
+        if not _precompute_enabled:
+            return context  # usable, but do not repopulate a dropped cache
+        return _contexts.setdefault((root, period), context)
+
+
+def _precompute_period(params: Dict[str, Any], period: int) -> None:
+    """Offline half: populate the context for ``period`` ahead of use.
+
+    Runs on the shared executor (or inline from a pool worker); a no-op when
+    the context already exists or the period is out of range.
+    """
+    root = params["root"]
+    if _cached_context(root, period) is not None:
+        return
+    context = _build_context(params, period)
+    if context is None:
+        return
+    with _precompute_lock:
+        if _precompute_enabled and (root, period) not in _contexts:
+            _contexts[(root, period)] = context
+            _precompute_stats["precomputed"] += 1
+
+
+def _schedule_precompute(params: Dict[str, Any], period: int) -> None:
+    if period >= params["periods"] or _cached_context(params["root"], period) is not None:
+        return
+    parallel.submit(lambda: _precompute_period(params, period))
+
+
+def _evict_context(root: bytes, period: int) -> None:
+    with _precompute_lock:
+        if _contexts.pop((root, period), None) is not None:
+            _precompute_stats["evicted"] += 1
 
 
 class ForwardSecureScheme(SignatureScheme):
@@ -102,28 +267,36 @@ class ForwardSecureScheme(SignatureScheme):
         params = private_key.params
         period = params["current_period"]
         periods = params["periods"]
-        secrets = json.loads(params["secrets"])
-        publics = json.loads(params["publics"])
         if period >= periods:
             raise SignatureError("forward-secure key is exhausted (all periods used)")
-        x = secrets[period]
+        p, q, g = params["p"], params["q"], params["g"]
+        context = _context_for(params, period)
+        if context is not None:
+            # Online fast path: the Merkle proof and per-period key material
+            # were precomputed; stage the *next* period off-path so key
+            # evolution never pays the tree walk online either.
+            _schedule_precompute(params, period + 1)
+            x, y, path = context["x"], context["y"], context["path"]
+        else:
+            secrets = json.loads(params["secrets"])
+            publics = json.loads(params["publics"])
+            x = secrets[period]
+            y = publics[period]
+            tree = MerkleTree(_leaf_bytes(i, publics[i]) for i in range(periods))
+            path = [[sib.hex(), bool(left)] for sib, left in tree.proof(period).path]
         if x is None:
             raise SignatureError(f"secret for period {period} has been erased")
-        y = publics[period]
-        p, q, g = params["p"], params["q"], params["g"]
         dsa_private = PrivateKey(
             scheme="dsa",
             params={"p": p, "q": q, "g": g, "y": y, "x": x},
             key_id=private_key.key_id,
         )
         inner = self._dsa.sign_digest(dsa_private, digest)
-        tree = MerkleTree(_leaf_bytes(i, publics[i]) for i in range(periods))
-        proof = tree.proof(period)
         envelope = {
             "period": period,
             "y": y,
             "inner": inner.hex(),
-            "path": [[sib.hex(), bool(left)] for sib, left in proof.path],
+            "path": path,
         }
         return json.dumps(envelope, sort_keys=True).encode("ascii")
 
@@ -168,6 +341,11 @@ def evolve_key(private_key: PrivateKey) -> PrivateKey:
     Returns a new :class:`PrivateKey`; the caller should discard the old one.
     Signatures made in earlier periods remain verifiable; the evolved key can
     no longer produce them, which is the forward-security property.
+
+    With period precompute enabled the evolved-away period's cached signing
+    context (which holds its secret) is evicted immediately, and the new
+    period's context is staged on the shared executor so the first signature
+    of the period stays on the online fast path.
     """
     if private_key.scheme != ForwardSecureScheme.name:
         raise SignatureError("evolve_key requires a forward-secure private key")
@@ -178,4 +356,10 @@ def evolve_key(private_key: PrivateKey) -> PrivateKey:
         secrets[period] = None
     params["secrets"] = json.dumps(secrets)
     params["current_period"] = period + 1
-    return PrivateKey(scheme=private_key.scheme, params=params, key_id=private_key.key_id)
+    evolved = PrivateKey(
+        scheme=private_key.scheme, params=params, key_id=private_key.key_id
+    )
+    if period_precompute_enabled():
+        _evict_context(params["root"], period)
+        _schedule_precompute(params, period + 1)
+    return evolved

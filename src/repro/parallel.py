@@ -31,9 +31,11 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 __all__ = [
     "DEFAULT_MAX_WORKERS",
+    "current_max_workers",
     "in_worker_thread",
     "mark_worker_thread",
     "run_all",
+    "set_max_workers",
     "shared_executor",
     "shutdown_shared_executor",
     "submit",
@@ -46,6 +48,7 @@ DEFAULT_MAX_WORKERS = max(16, 4 * (os.cpu_count() or 1))
 
 _executor: Optional[ThreadPoolExecutor] = None
 _executor_lock = threading.Lock()
+_max_workers = DEFAULT_MAX_WORKERS
 _worker_state = threading.local()
 
 
@@ -71,11 +74,35 @@ def shared_executor() -> ThreadPoolExecutor:
     with _executor_lock:
         if _executor is None:
             _executor = ThreadPoolExecutor(
-                max_workers=DEFAULT_MAX_WORKERS,
+                max_workers=_max_workers,
                 thread_name_prefix="repro-parallel",
                 initializer=mark_worker_thread,
             )
         return _executor
+
+
+def set_max_workers(count: Optional[int]) -> None:
+    """Bound (or, with ``None``, restore the default size of) the shared pool.
+
+    Shuts the current executor down and lets the next :func:`shared_executor`
+    call recreate it at the new size.  Benchmarks use this to demonstrate
+    run multiplexing on a deliberately small pool (hundreds of concurrent
+    protocol runs over <= 8 workers); production code normally leaves the
+    latency-overlap default alone.  Call only from quiescent points -- live
+    fan-outs on the old executor are waited for during shutdown.
+    """
+    global _max_workers
+    if count is not None and count < 1:
+        raise ValueError("the shared pool needs at least one worker")
+    shutdown_shared_executor()
+    with _executor_lock:
+        _max_workers = DEFAULT_MAX_WORKERS if count is None else count
+
+
+def current_max_workers() -> int:
+    """The worker bound the next-created shared executor will use."""
+    with _executor_lock:
+        return _max_workers
 
 
 def shutdown_shared_executor() -> None:

@@ -70,6 +70,7 @@ class ReliableChannel:
         policy: Optional[RetryPolicy] = None,
         clock: Optional[Clock] = None,
         scheduler: Optional[RetryScheduler] = None,
+        run_id: Optional[str] = None,
     ) -> None:
         self._network = network
         self._source = source
@@ -78,6 +79,11 @@ class ReliableChannel:
         self._scheduler = (
             scheduler if scheduler is not None else network.retry_scheduler
         )
+        #: Protocol run this channel's deliveries belong to; scheduled retry
+        #: timers carry the tag so ``RetryScheduler.cancel_run`` can withdraw
+        #: them when the run is aborted (their futures then resolve through
+        #: the same cancellation path ``close`` uses).
+        self._run_id = run_id
         self._counter_lock = threading.Lock()
         self._pending: Dict[TimerHandle, Callable[[], None]] = {}
         self._closed = False
@@ -205,7 +211,13 @@ class ReliableChannel:
     def _schedule_retry(
         self, delay: float, reattempt: Callable[[], None], on_cancel: Callable[[], None]
     ) -> None:
-        """Register a deferred reattempt, tracked for cancellation on close."""
+        """Register a deferred reattempt, tracked for cancellation.
+
+        The timer carries the channel's run tag and its cancellation hook, so
+        both :meth:`close` and a run-level ``RetryScheduler.cancel_run`` tear
+        the reattempt down the same way: the timer leaves the heap and the
+        affected futures resolve through ``on_cancel``.
+        """
         scheduler = self._require_scheduler()
         cell: Dict[str, TimerHandle] = {}
 
@@ -218,11 +230,18 @@ class ReliableChannel:
                 return
             reattempt()
 
+        def cancelled() -> None:
+            with self._counter_lock:
+                self._pending.pop(cell.get("handle"), None)
+            on_cancel()
+
         with self._counter_lock:
             if self._closed:
                 on_cancel()
                 return
-            handle = scheduler.schedule(delay, fire)
+            handle = scheduler.schedule(
+                delay, fire, run_id=self._run_id, on_cancel=cancelled
+            )
             cell["handle"] = handle
             self._pending[handle] = on_cancel
 
@@ -372,8 +391,10 @@ class ReliableChannel:
             if self._closed:
                 return
             self._closed = True
-            pending = list(self._pending.items())
+            pending = list(self._pending)
             self._pending.clear()
-        for handle, on_cancel in pending:
-            if handle.cancel():
-                on_cancel()
+        for handle in pending:
+            # The timer's on_cancel hook (registered at schedule time) fails
+            # the affected futures; a handle that already fired resolved (or
+            # will resolve) its future through the fire path instead.
+            handle.cancel()

@@ -19,7 +19,8 @@ the payload.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import RemoteInvocationError, UnknownEndpointError
 from repro.transport.delivery import ReliableChannel, RetryPolicy
@@ -141,6 +142,7 @@ class RemoteInvoker:
         self,
         calls: List[RemoteCall],
         retry_policy: Optional[RetryPolicy] = None,
+        run_id: Optional[str] = None,
     ) -> "RemoteCallBatch":
         """Start a batched remote fan-out; returns its completion handle.
 
@@ -150,9 +152,13 @@ class RemoteInvoker:
         per-entry futures.  Without a scheduler the batch executes eagerly
         (the classic blocking loop) and the returned handle is already
         complete -- callers can treat both cases uniformly through
-        :meth:`RemoteCallBatch.results`.
+        :meth:`RemoteCallBatch.results`.  ``run_id`` tags the fan-out's retry
+        timers with the protocol run they serve, so aborting the run
+        (``RetryScheduler.cancel_run``) withdraws them in one sweep.
         """
-        channel = ReliableChannel(self._network, self._address, retry_policy)
+        channel = ReliableChannel(
+            self._network, self._address, retry_policy, run_id=run_id
+        )
         entries = [
             (
                 address,
@@ -162,7 +168,9 @@ class RemoteInvoker:
             for address, object_name, method, args, kwargs in calls
         ]
         if channel.scheduler is not None:
-            return RemoteCallBatch(calls, futures=channel.send_batch_scheduled(entries))
+            return RemoteCallBatch(
+                calls, futures=channel.send_batch_scheduled(entries), channel=channel
+            )
         return RemoteCallBatch(calls, outcomes=channel.send_batch(entries))
 
 
@@ -174,15 +182,54 @@ class RemoteCallBatch:
         calls: List[RemoteCall],
         futures: Optional[List[DeliveryFuture]] = None,
         outcomes: Optional[List[BatchResult]] = None,
+        channel: Optional[ReliableChannel] = None,
     ) -> None:
         self._calls = calls
         self._futures = futures
         self._outcomes = outcomes
+        self._channel = channel
 
     def done(self) -> bool:
         if self._futures is None:
             return True
         return all(future.done() for future in self._futures)
+
+    def cancel(self) -> None:
+        """Withdraw the batch's pending retries; their futures fail "closed".
+
+        Goes through :meth:`ReliableChannel.close`, whose closed flag is
+        re-checked by every firing reattempt -- so even a retry wave that is
+        mid-flight when the cancel lands schedules no further timers.  An
+        eager (schedulerless) batch is already complete; cancelling it is a
+        no-op.
+        """
+        if self._channel is not None:
+            self._channel.close()
+
+    def add_done_callback(self, callback: Callable[["RemoteCallBatch"], None]) -> None:
+        """Invoke ``callback(self)`` once every entry of the batch resolved.
+
+        The continuation hook of the async protocol engine: an eager
+        (schedulerless) batch fires immediately on the calling thread, a
+        scheduled batch fires on whichever thread resolves the last pending
+        entry.  Same contract as :meth:`DeliveryFuture.add_done_callback` --
+        do not block, trap your own exceptions.
+        """
+        if self._futures is None or not self._futures:
+            callback(self)
+            return
+        remaining = {"count": len(self._futures)}
+        lock = threading.Lock()
+
+        def entry_done(_future: DeliveryFuture) -> None:
+            with lock:
+                remaining["count"] -= 1
+                last = remaining["count"] == 0
+            if last:
+                callback(self)
+
+        for future in self._futures:
+            future.add_done_callback(entry_done)
 
     def results(self) -> List[Tuple[Any, Optional[Exception]]]:
         """Wait for every entry and unwrap replies into (result, error) pairs.

@@ -17,7 +17,15 @@ with deadline timers:
   queueing behind each other.
 * :class:`TimerHandle` supports cancellation, which
   :meth:`ReliableChannel.close` uses to withdraw in-flight retries without
-  leaking timers.
+  leaking timers.  Timers carry an optional *run tag* so every timer
+  belonging to one protocol run -- delivery retries and protocol deadlines
+  alike -- can be withdrawn together with :meth:`RetryScheduler.cancel_run`
+  when the run is aborted or times out.
+
+Beyond retries, the same deadline heap schedules *protocol* timeouts: a
+fair-exchange abort deadline or a membership-change expiry is just a timer
+whose callback aborts the pending run and releases its resources, instead of
+a thread parked in a wait.
 
 Clock integration: on a *virtual* clock (``clock.virtual``) a driving thread
 reaches the next deadline with the idempotent ``clock.advance_to`` -- racing
@@ -40,7 +48,13 @@ from typing import Any, Callable, Iterable, List, Optional
 from repro import parallel
 from repro.clock import Clock
 
-__all__ = ["DeliveryFuture", "RetryScheduler", "TimerHandle", "wait_all"]
+__all__ = [
+    "AdvanceHold",
+    "DeliveryFuture",
+    "RetryScheduler",
+    "TimerHandle",
+    "wait_all",
+]
 
 #: How long (wall seconds) a driver waits for other threads to make progress
 #: when it has nothing due and no deadline of its own to advance to.
@@ -56,16 +70,30 @@ _CANCELLED = "cancelled"
 
 
 class TimerHandle:
-    """One scheduled callback; cancellable until it fires."""
+    """One scheduled callback; cancellable until it fires.
 
-    __slots__ = ("deadline", "_scheduler", "_callback", "_state")
+    ``run_id`` tags the timer with the protocol run it belongs to (see
+    :meth:`RetryScheduler.cancel_run`); ``on_cancel`` is invoked exactly once
+    if the timer is withdrawn before firing, so the owner of the deferred
+    work can resolve its completion future instead of leaving waiters
+    hanging.
+    """
+
+    __slots__ = ("deadline", "run_id", "_scheduler", "_callback", "_on_cancel", "_state")
 
     def __init__(
-        self, scheduler: "RetryScheduler", deadline: float, callback: Callable[[], None]
+        self,
+        scheduler: "RetryScheduler",
+        deadline: float,
+        callback: Callable[[], None],
+        run_id: Optional[str] = None,
+        on_cancel: Optional[Callable[[], None]] = None,
     ) -> None:
         self.deadline = deadline
+        self.run_id = run_id
         self._scheduler = scheduler
         self._callback = callback
+        self._on_cancel = on_cancel
         self._state = _PENDING
 
     def cancel(self) -> bool:
@@ -79,6 +107,20 @@ class TimerHandle:
     @property
     def fired(self) -> bool:
         return self._state == _FIRED
+
+
+class AdvanceHold:
+    """Handle of one :meth:`RetryScheduler.hold_advance`; release exactly once."""
+
+    __slots__ = ("_scheduler",)
+
+    def __init__(self, scheduler: "RetryScheduler") -> None:
+        self._scheduler = scheduler
+
+    def release(self) -> None:
+        scheduler, self._scheduler = self._scheduler, None
+        if scheduler is not None:
+            scheduler._release_hold()
 
 
 class DeliveryFuture:
@@ -95,6 +137,8 @@ class DeliveryFuture:
         self._event = threading.Event()
         self._result: Any = None
         self._error: Optional[BaseException] = None
+        self._callback_lock = threading.Lock()
+        self._callbacks: List[Callable[["DeliveryFuture"], None]] = []
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -104,21 +148,39 @@ class DeliveryFuture:
         """The failure, if the delivery failed (None while pending)."""
         return self._error
 
-    def complete(self, result: Any) -> None:
-        if self._event.is_set():
-            return
-        self._result = result
-        self._event.set()
+    def add_done_callback(self, callback: Callable[["DeliveryFuture"], None]) -> None:
+        """Invoke ``callback(self)`` once the future resolves.
+
+        An already-resolved future fires the callback immediately on the
+        calling thread; otherwise it fires on whichever thread resolves the
+        future.  Callbacks are the continuation hook of the async protocol
+        engine -- they must not block (offload real work with
+        :func:`repro.parallel.submit`) and must trap their own exceptions.
+        """
+        with self._callback_lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+    def _resolve(self, result: Any, error: Optional[BaseException]) -> None:
+        with self._callback_lock:
+            if self._event.is_set():
+                return
+            self._result = result
+            self._error = error
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
         if self._scheduler is not None:
             self._scheduler._notify()
+        for callback in callbacks:
+            callback(self)
+
+    def complete(self, result: Any) -> None:
+        self._resolve(result, None)
 
     def fail(self, error: BaseException) -> None:
-        if self._event.is_set():
-            return
-        self._error = error
-        self._event.set()
-        if self._scheduler is not None:
-            self._scheduler._notify()
+        self._resolve(None, error)
 
     def result(self, timeout: Optional[float] = None) -> Any:
         """Wait for completion; raise the delivery error if it failed.
@@ -187,6 +249,14 @@ class RetryScheduler:
         self._heap: List[tuple] = []  # (deadline, seq, TimerHandle)
         self._seq = itertools.count()
         self._pending = 0
+        # Advance holds: while > 0 (excluding holds taken by the asking
+        # thread itself), drivers must not advance a virtual clock -- some
+        # thread is doing real work (a firing callback, a protocol
+        # continuation) that may schedule an earlier timer or complete the
+        # awaited future; jumping to the next heap deadline would fire
+        # protocol *deadlines* over runs that are actively progressing.
+        self._holds = 0
+        self._local_holds = threading.local()
         self.timers_scheduled = 0
         self.timers_fired = 0
         self.timers_cancelled = 0
@@ -197,12 +267,25 @@ class RetryScheduler:
 
     # -- scheduling -------------------------------------------------------------
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
-        """Register ``callback`` to fire ``delay`` seconds from now."""
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        run_id: Optional[str] = None,
+        on_cancel: Optional[Callable[[], None]] = None,
+    ) -> TimerHandle:
+        """Register ``callback`` to fire ``delay`` seconds from now.
+
+        ``run_id`` tags the timer for bulk withdrawal via :meth:`cancel_run`;
+        ``on_cancel`` runs (outside the scheduler lock, exactly once) if the
+        timer is cancelled before it fires.
+        """
         if delay < 0:
             raise ValueError("cannot schedule a timer in the past")
         with self._condition:
-            handle = TimerHandle(self, self._clock.now() + delay, callback)
+            handle = TimerHandle(
+                self, self._clock.now() + delay, callback, run_id, on_cancel
+            )
             heapq.heappush(self._heap, (handle.deadline, next(self._seq), handle))
             self._pending += 1
             self.timers_scheduled += 1
@@ -224,16 +307,92 @@ class RetryScheduler:
             ]
             heapq.heapify(self._heap)
             self._condition.notify_all()  # wake drivers waiting on its deadline
-            return True
+        # Outside the lock: the hook typically completes a future, which
+        # notifies this scheduler again (the lock is not reentrant).
+        if handle._on_cancel is not None:
+            handle._on_cancel()
+        return True
+
+    def cancel_run(self, run_id: str) -> int:
+        """Withdraw every pending timer tagged with ``run_id``.
+
+        The bulk-cancel path of a protocol-run abort: delivery retries and
+        deadline timers belonging to the run are removed from the heap and
+        their ``on_cancel`` hooks resolve the affected futures, so an aborted
+        or timed-out run leaks no timers and leaves no waiter hanging.
+        Returns the number of timers cancelled.  All matching timers are
+        cancelled under one lock acquisition with a single heap compaction
+        (per-handle ``cancel()`` would rebuild the heap once per timer);
+        hooks run outside the lock, like every cancellation path.
+        """
+        with self._condition:
+            cancelled: List[TimerHandle] = []
+            for entry in self._heap:
+                handle = entry[2]
+                if handle.run_id == run_id and handle._state == _PENDING:
+                    handle._state = _CANCELLED
+                    cancelled.append(handle)
+            if cancelled:
+                self._pending -= len(cancelled)
+                self.timers_cancelled += len(cancelled)
+                self._heap = [
+                    entry for entry in self._heap if entry[2]._state == _PENDING
+                ]
+                heapq.heapify(self._heap)
+                self._condition.notify_all()
+        for handle in cancelled:
+            if handle._on_cancel is not None:
+                handle._on_cancel()
+        return len(cancelled)
 
     def pending_timers(self) -> int:
         """Number of live (scheduled, not yet fired or cancelled) timers."""
         with self._lock:
             return self._pending
 
+    def pending_timers_for_run(self, run_id: str) -> int:
+        """Number of live timers tagged with ``run_id`` (leak assertions)."""
+        with self._lock:
+            return sum(
+                1
+                for entry in self._heap
+                if entry[2].run_id == run_id and entry[2]._state == _PENDING
+            )
+
     def _notify(self) -> None:
         with self._condition:
             self._condition.notify_all()
+
+    # -- advance holds ------------------------------------------------------------
+
+    def hold_advance(self) -> "AdvanceHold":
+        """Forbid virtual-time advancement until the hold is released.
+
+        Taken by the async protocol engine around in-flight continuations:
+        between "a fan-out completed" and "the next phase registered its own
+        timers", a run is working, not waiting, and a driver that advanced
+        the virtual clock to the next heap deadline could expire the run's
+        own deadline out from under it.  The hold may be released from a
+        different thread (continuations hop to the executor).
+        """
+        with self._condition:
+            self._holds += 1
+        return AdvanceHold(self)
+
+    def _release_hold(self) -> None:
+        with self._condition:
+            self._holds -= 1
+            self._condition.notify_all()
+
+    def _blocked_on_work_locked(self) -> bool:
+        """True when some *other* thread holds back virtual-time advancement.
+
+        Holds taken by the asking thread itself are excluded so that work
+        nested inside a firing callback (a handler that waits on a delivery
+        of its own) can still drive time forward instead of livelocking on
+        its own hold.
+        """
+        return self._holds - getattr(self._local_holds, "count", 0) > 0
 
     # -- driving ----------------------------------------------------------------
 
@@ -279,11 +438,26 @@ class RetryScheduler:
         self._notify()
 
     def fire_due(self) -> int:
-        """Fire everything currently due; returns how many timers fired."""
+        """Fire everything currently due; returns how many timers fired.
+
+        The whole firing pass runs under an advance hold (owned by this
+        thread), so a concurrent driver cannot advance a virtual clock while
+        callbacks are mid-flight -- the callbacks may complete futures whose
+        continuations take over the hold before it is dropped here.
+        """
         with self._condition:
             due = self._pop_due_locked()
-        if due:
+            if due:
+                self._holds += 1
+        if not due:
+            return 0
+        local = self._local_holds
+        local.count = getattr(local, "count", 0) + 1
+        try:
             self._fire(due)
+        finally:
+            local.count -= 1
+            self._release_hold()
         return len(due)
 
     def drive_until(
@@ -319,7 +493,13 @@ class RetryScheduler:
                     # completes the predicate.  Wait for it to notify.
                     self._condition.wait(_IDLE_WAIT_SECONDS)
                 elif self._clock.virtual:
-                    self._clock.advance_to(due_deadline)
+                    if self._blocked_on_work_locked():
+                        # In-flight work may schedule something earlier than
+                        # the heap's next deadline; wait for it to settle
+                        # rather than jumping virtual time over it.
+                        self._condition.wait(_IDLE_WAIT_SECONDS)
+                    else:
+                        self._clock.advance_to(due_deadline)
                 else:
                     self._condition.wait(
                         min(due_deadline - now, _MAX_WALL_WAIT_SECONDS)

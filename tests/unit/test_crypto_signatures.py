@@ -5,8 +5,12 @@ import pytest
 from repro.crypto.dsa import DSAScheme, generate_domain_parameters
 from repro.crypto.forward_secure import (
     ForwardSecureScheme,
+    _cached_context,
     current_period,
+    disable_period_precompute,
+    enable_period_precompute,
     evolve_key,
+    period_precompute_stats,
 )
 from repro.crypto.hmac_scheme import HMACScheme
 from repro.crypto.keys import KeyPair, PrivateKey, PublicKey
@@ -200,6 +204,65 @@ class TestForwardSecure:
     def test_garbage_signature_rejected(self, fs_keypair):
         scheme = ForwardSecureScheme()
         assert not scheme.verify_digest(fs_keypair.public, b"d" * 32, b"not json")
+
+
+class TestForwardSecurePrecompute:
+    """Offline/online split of the message-independent per-period work."""
+
+    @pytest.fixture
+    def precompute(self):
+        enable_period_precompute()
+        yield
+        disable_period_precompute()
+
+    def test_signature_bytes_identical_to_uncached_path(self):
+        scheme = ForwardSecureScheme()
+        keypair = scheme.generate_keypair(periods=4)
+        digest = b"\x05" * 20
+        baseline = scheme.sign_digest(keypair.private, digest)
+        enable_period_precompute()
+        try:
+            pooled = scheme.sign_digest(keypair.private, digest)
+            again = scheme.sign_digest(keypair.private, digest)  # cache hit
+        finally:
+            disable_period_precompute()
+        # The split only relocates work: envelope, proof and the (RFC 6979
+        # deterministic) inner DSA signature are bit-identical.
+        assert pooled == baseline
+        assert again == baseline
+        assert scheme.verify_digest(keypair.public, digest, pooled)
+
+    def test_cache_hits_after_first_signature(self, precompute):
+        scheme = ForwardSecureScheme()
+        keypair = scheme.generate_keypair(periods=4)
+        before = period_precompute_stats()
+        for _ in range(3):
+            scheme.sign_digest(keypair.private, b"\x07" * 20)
+        after = period_precompute_stats()
+        assert after["misses"] == before["misses"] + 1
+        assert after["hits"] >= before["hits"] + 2
+
+    def test_evolve_evicts_cached_secret_and_stages_next_period(self, precompute):
+        scheme = ForwardSecureScheme()
+        keypair = scheme.generate_keypair(periods=4)
+        digest = b"\x09" * 20
+        scheme.sign_digest(keypair.private, digest)  # populate period 0
+        root = keypair.private.params["root"]
+        before = period_precompute_stats()
+        evolved = evolve_key(keypair.private)
+        # The evolved-away period's context (which held its secret) is gone.
+        assert _cached_context(root, 0) is None
+        assert period_precompute_stats()["evicted"] == before["evicted"] + 1
+        # The next period still signs correctly (staged or rebuilt on miss).
+        signature = scheme.sign_digest(evolved, digest)
+        assert scheme.verify_digest(keypair.public, digest, signature)
+
+    def test_exhausted_and_erased_periods_still_refuse(self, precompute):
+        scheme = ForwardSecureScheme()
+        keypair = scheme.generate_keypair(periods=1)
+        evolved = evolve_key(keypair.private)
+        with pytest.raises(SignatureError):
+            scheme.sign(evolved, b"too late")
 
 
 class TestRegistryAndHelpers:

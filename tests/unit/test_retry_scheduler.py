@@ -93,6 +93,46 @@ class TestRetryScheduler:
         assert scheduler.cancel_all() == 2
         assert scheduler.pending_timers() == 0
 
+    def test_on_cancel_hook_fires_exactly_once_outside_cancel(self):
+        scheduler = RetryScheduler(SimulatedClock())
+        cancelled = []
+        handle = scheduler.schedule(0.1, lambda: None, on_cancel=lambda: cancelled.append(1))
+        assert handle.cancel() is True
+        assert handle.cancel() is False
+        assert cancelled == [1]
+
+    def test_on_cancel_hook_not_fired_when_timer_fires(self):
+        scheduler = RetryScheduler(SimulatedClock())
+        events = []
+        scheduler.schedule(0.0, lambda: events.append("fired"), on_cancel=lambda: events.append("cancelled"))
+        assert scheduler.fire_due() == 1
+        assert events == ["fired"]
+
+    def test_cancel_run_withdraws_only_that_runs_timers(self):
+        clock = SimulatedClock()
+        scheduler = RetryScheduler(clock)
+        fired, cancelled = [], []
+        scheduler.schedule(0.1, lambda: fired.append("a1"), run_id="run-a",
+                           on_cancel=lambda: cancelled.append("a1"))
+        scheduler.schedule(0.3, lambda: fired.append("a2"), run_id="run-a",
+                           on_cancel=lambda: cancelled.append("a2"))
+        scheduler.schedule(0.2, lambda: fired.append("b"), run_id="run-b")
+        untagged = scheduler.schedule(0.2, lambda: fired.append("plain"))
+        assert scheduler.pending_timers_for_run("run-a") == 2
+        assert scheduler.cancel_run("run-a") == 2
+        assert sorted(cancelled) == ["a1", "a2"]
+        assert scheduler.pending_timers_for_run("run-a") == 0
+        assert scheduler.pending_timers() == 2  # run-b and the untagged timer
+        scheduler.drive_until(lambda: len(fired) == 2)
+        assert sorted(fired) == ["b", "plain"]
+        assert not untagged.cancelled
+
+    def test_cancel_run_with_no_matching_timers_is_a_no_op(self):
+        scheduler = RetryScheduler(SimulatedClock())
+        scheduler.schedule(0.1, lambda: None, run_id="other")
+        assert scheduler.cancel_run("missing") == 0
+        assert scheduler.pending_timers() == 1
+
 
 class TestScheduledSend:
     def test_healthy_link_completes_inline(self):
@@ -256,6 +296,27 @@ class TestScheduledBatch:
             single.result()
         # Close is idempotent and new sends after close fail cleanly.
         channel.close()
+
+    def test_cancel_run_resolves_channel_futures_without_leaking_timers(self):
+        # The run-level sibling of close(): cancelling by run tag withdraws
+        # the batch's pending reattempt and resolves its futures.
+        network = scheduled_network()
+        network.register("urn:dst", lambda message: "ok")
+        network.partition.sever("urn:src", "urn:dst")
+        channel = ReliableChannel(
+            network, "urn:src", RetryPolicy(max_attempts=10, backoff_seconds=1.0),
+            run_id="run-x",
+        )
+        futures = channel.send_batch_scheduled(
+            [("urn:dst", "op", {}), ("urn:dst", "other-op", {})]
+        )
+        scheduler = network.retry_scheduler
+        assert scheduler.pending_timers_for_run("run-x") == 1
+        assert scheduler.cancel_run("run-x") == 1
+        assert scheduler.pending_timers() == 0
+        assert channel.pending_retries() == 0
+        for future in futures:
+            assert isinstance(future.outcome().error, DeliveryError)
 
     def test_close_without_scheduler_is_a_no_op(self):
         network = SimulatedNetwork()
