@@ -3,13 +3,21 @@
 The concurrent-runs benchmark (P6) drives N proposers from one process, so
 interceptor concurrency is bounded by one interpreter's GIL and the evidence
 stores stay in memory.  This driver launches N *proposer processes*; each
-builds its own 4-party trust domain (event-driven retries enabled, its own
-seeded lossy fault model) whose organisations persist evidence through
-:class:`repro.persistence.storage.FileBackend` directories shared across the
-processes -- the same owner's store in every process appends into the same
-directory, which exercises true cross-interceptor concurrency and the file
-backend's index under contention, and retires the multi-process follow-up
-from the ROADMAP.
+builds its own 4-party trust domain (async run-multiplexing engine enabled,
+its own seeded lossy fault model) whose organisations persist evidence
+through :class:`repro.persistence.storage.FileBackend` directories shared
+across the processes -- the same owner's store in every process appends into
+the same directory, which exercises true cross-interceptor concurrency and
+the file backend's index under contention, and retires the multi-process
+follow-up from the ROADMAP.
+
+Each worker drives its updates as *concurrent* ``propose_update_async``
+runs, every run carrying a protocol deadline, plus one run it deliberately
+aborts -- so cancellation, deadline timers and continuation interleaving are
+exercised while the file backend is contended by the sibling processes (the
+PR 4 follow-up combining the async engine with this driver).  After the
+wave, the new scheduler quiescence criterion must report a fully settled
+engine: no pending timers, holds or queued continuations.
 
 The file doubles as the worker program: ``python bench_multiprocess_runs.py
 --worker --dir D --index I --updates N`` runs one proposer process and
@@ -56,20 +64,46 @@ def worker_main(directory: str, index: int, updates: int) -> None:
             max_consecutive_drops=3,
             seed=b"mp-%d" % index,
         ),
-        scheduled_retries=True,
+        async_runs=True,
         evidence_backend_factory=backend_for,
     )
-    object_id = f"mp-doc-{index}"
-    domain.share_object(object_id, {"counter": 0})
+    # One object per update so the concurrent async runs never contend on
+    # base versions -- the contention under test is the shared file backend.
+    for value in range(1, updates + 1):
+        domain.share_object(f"mp-doc-{index}-{value}", {"counter": 0})
+    domain.share_object(f"mp-doc-{index}-aborted", {"counter": 0})
     proposer = domain.organisation(uris[index % PARTIES])
 
     started = time.perf_counter()
-    last_run_id = ""
-    for value in range(1, updates + 1):
-        outcome = proposer.propose_update(object_id, {"counter": value})
-        assert outcome.agreed, outcome.reason
-        last_run_id = outcome.run_id
+    # All runs in flight at once on the continuation engine, each with a
+    # protocol deadline riding the retry scheduler (generous: the deadline
+    # path is exercised, expiry is not expected).
+    futures = [
+        proposer.propose_update_async(
+            f"mp-doc-{index}-{value}", {"counter": value}, deadline=300.0
+        )
+        for value in range(1, updates + 1)
+    ]
+    # One more run is aborted mid-flight: its timers must be withdrawn and
+    # its future must resolve not-agreed without disturbing the others.
+    aborted_future = proposer.propose_update_async(
+        f"mp-doc-{index}-aborted", {"counter": 1}, deadline=300.0
+    )
+    aborted_future.abort("cancelled by the benchmark")
+    outcomes = [future.result(timeout=240) for future in futures]
+    aborted_outcome = aborted_future.result(timeout=240)
     elapsed = time.perf_counter() - started
+
+    for outcome in outcomes:
+        assert outcome.agreed, outcome.reason
+    scheduler = domain.retry_scheduler
+    # Aborting after dispatch may lose the race with completion; either way
+    # the run must leave no timers behind.
+    assert scheduler.pending_timers_for_run(aborted_outcome.run_id) == 0
+    # The engine must be fully quiescent: no timers, holds or queued
+    # continuations survive the wave (the new quiescence criterion).
+    assert scheduler.wait_quiescent(timeout=30), scheduler.quiescence()
+    last_run_id = outcomes[-1].run_id
 
     # Reopen the proposer's store from disk: the records this process wrote
     # must be recoverable by a fresh interceptor process.

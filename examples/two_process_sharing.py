@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Non-repudiable information sharing between two OS processes.
+
+Every other example simulates the network inside one interpreter.  This one
+does what the paper's middleware was built for: two organisations whose
+trusted interceptors live in *different processes*, exchanging protocol
+messages over real TCP sockets through the wire transport
+(:mod:`repro.transport.wire`).
+
+The script plays both roles.  Run without arguments it is organisation A's
+process: it starts a wire node, spawns organisation B's process (this same
+file with ``--peer``), exchanges credentials over the socket, proposes an
+update to a shared document, and verifies the non-repudiation evidence it
+holds.  The peer process independently validates the proposal, applies the
+agreed state and verifies the evidence *it* holds -- so after the run, both
+sides can prove origin and agreement of the update to a third party without
+trusting each other.
+
+Run with::
+
+    python examples/two_process_sharing.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import TokenType, TrustDomain
+from repro.transport.wire import WireTransport
+
+ORG_A = "urn:org:design-house"
+ORG_B = "urn:org:fabrication"
+PARTIES = [ORG_A, ORG_B]
+OBJECT_ID = "component-spec"
+INITIAL_STATE = {"material": "unspecified", "tolerance_mm": None, "revision": 0}
+AGREED_STATE = {"material": "Ti-6Al-4V", "tolerance_mm": 0.05, "revision": 1}
+
+
+def verify_held_evidence(organisation, run_id):
+    """Re-verify every token this organisation stored for the run."""
+    from repro.core.evidence import EvidenceToken
+
+    verified = []
+    for record in organisation.evidence_store.evidence_for_run(run_id):
+        token = EvidenceToken.from_dict(record.token)
+        organisation.evidence_verifier.require_valid(token, expected_run_id=run_id)
+        verified.append((record.token_type, record.role))
+    return sorted(verified)
+
+
+# -- organisation B's process --------------------------------------------------
+
+
+def peer_main(directory: str) -> None:
+    a_endpoint = json.loads((Path(directory) / "org-a.json").read_text())
+    transport = WireTransport(
+        local_parties=[ORG_B],
+        peers={ORG_A: (a_endpoint["host"], a_endpoint["port"])},
+    )
+    # create() exchanges credentials with A's process over the socket before
+    # returning: B can then verify A's signatures, and vice versa.
+    domain = TrustDomain.create(PARTIES, transport=transport, scheme="hmac")
+    domain.share_object(OBJECT_ID, dict(INITIAL_STATE))
+    org_b = domain.organisation(ORG_B)
+    (Path(directory) / "org-b-ready").touch()
+
+    # B's interceptor now serves A's proposal from the wire; wait until the
+    # outcome evidence lands, then verify what *this* side holds.
+    deadline = time.monotonic() + 60
+    run_ids = []
+    while time.monotonic() < deadline:
+        run_ids = org_b.evidence_store.run_ids()
+        if run_ids and org_b.evidence_store.tokens_of_type(
+            run_ids[0], TokenType.NR_OUTCOME.value
+        ):
+            break
+        time.sleep(0.05)
+    assert run_ids, "no protocol run ever reached organisation B"
+    run_id = run_ids[0]
+    assert org_b.shared_state(OBJECT_ID) == AGREED_STATE
+
+    result = {
+        "run_id": run_id,
+        "state": org_b.shared_state(OBJECT_ID),
+        "verified_evidence": verify_held_evidence(org_b, run_id),
+    }
+    (Path(directory) / "org-b-result.json").write_text(json.dumps(result))
+    transport.close()
+
+
+# -- organisation A's process (the entry point) --------------------------------
+
+
+def main() -> None:
+    directory = tempfile.mkdtemp(prefix="two-process-sharing-")
+    transport = WireTransport(
+        local_parties=[ORG_A],
+        await_remote_credentials=False,  # B introduces itself when it starts
+    )
+    domain = TrustDomain.create(PARTIES, transport=transport, scheme="hmac")
+    (Path(directory) / "org-a.json").write_text(
+        json.dumps({"host": transport.host, "port": transport.port})
+    )
+    print(f"organisation A listening on {transport.host}:{transport.port}")
+
+    peer = subprocess.Popen(
+        [sys.executable, str(Path(__file__).resolve()), "--peer", "--dir", directory]
+    )
+    try:
+        transport.wait_for_party(ORG_B, timeout=30)
+        print("organisation B introduced itself from its own process")
+        domain.share_object(OBJECT_ID, dict(INITIAL_STATE))
+        deadline = time.monotonic() + 60
+        while not (Path(directory) / "org-b-ready").exists():
+            assert peer.poll() is None, "organisation B's process died during setup"
+            assert time.monotonic() < deadline, "organisation B never became ready"
+            time.sleep(0.05)
+
+        org_a = domain.organisation(ORG_A)
+        outcome = org_a.propose_update(OBJECT_ID, dict(AGREED_STATE))
+        assert outcome.agreed, outcome.reason
+        print(f"update agreed across processes (run {outcome.run_id})")
+        print(f"  replica at A: {org_a.shared_state(OBJECT_ID)}")
+
+        for token_type, role in verify_held_evidence(org_a, outcome.run_id):
+            print(f"  A holds verified evidence: {token_type} ({role})")
+
+        assert peer.wait(timeout=60) == 0, "organisation B's process failed"
+        peer_result = json.loads(
+            (Path(directory) / "org-b-result.json").read_text()
+        )
+        assert peer_result["run_id"] == outcome.run_id
+        assert peer_result["state"] == AGREED_STATE
+        print(f"  replica at B: {peer_result['state']}")
+        for token_type, role in peer_result["verified_evidence"]:
+            print(f"  B holds verified evidence: {token_type} ({role})")
+        print("non-repudiation evidence verified on both sides of the socket")
+    finally:
+        if peer.poll() is None:
+            peer.kill()
+        transport.close()
+        import shutil
+
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--peer", action="store_true")
+    parser.add_argument("--dir")
+    arguments = parser.parse_args()
+    if arguments.peer:
+        peer_main(arguments.dir)
+    else:
+        main()

@@ -181,6 +181,60 @@ On top of the encode-once substrate, the protocol engine runs concurrently:
   ``evolve_key`` -- which also eagerly evicts the evolved-away period's
   secret from the cache, so forward security never depends on cache luck.
   Signature bytes are identical to the uncached path.
+
+Deployment architecture
+-----------------------
+
+Two transports implement one network surface (``register`` / ``send`` /
+``send_batch`` + statistics, clock, retry-scheduler and dispatch-strategy
+attachment points), so every engine above the transport -- reliable
+channels, scheduled retries, parallel dispatch, the async run engine -- is
+deployment-agnostic:
+
+* **Simulated (in-process)** -- ``repro.transport.network.SimulatedNetwork``
+  hosts every endpoint in one interpreter with a configurable injected
+  fault model (loss, duplication, latency, partitions) on a virtual clock.
+  This is the deterministic research instrument: seeded faults, exact
+  statistics, reproducible timelines.
+
+* **Wire (cross-process)** -- ``repro.transport.wire.WireNetwork`` is one
+  *node* of a multi-process deployment: locally registered endpoints are
+  served from a length-prefixed TCP frame loop, remote destinations are
+  resolved through a peer address book (endpoint URI -> ``host:port``) and
+  reached through a per-peer connection pool.  Frame bodies reuse the
+  encode-once canonical codec; the receiving side *revives* protocol
+  objects (messages, evidence tokens) from a wire type registry.  A
+  ``repro.transport.wire.WireTransport`` bundles one process's share of a
+  trust domain -- hosted parties plus a symmetric credential exchange over
+  the node's system channel (introductions pin verification keys and
+  routes, trust-on-first-use) -- and plugs into
+  ``TrustDomain.create(transport=...)``: the domain then builds
+  organisations only for the local parties and resolves the rest over the
+  socket.  See ``examples/two_process_sharing.py`` and
+  ``benchmarks/bench_wire_runs.py``.
+
+* **Addressing** -- protocol-level addresses stay URIs in both transports
+  (coordinator routes, ``reply_to`` fields); only the wire's address book
+  knows which process serves which URI, so application and protocol code
+  never see ``host:port``.
+
+* **Failure model** -- the wire injects no faults; its failures are real.
+  Socket-level failures (refused, reset, timeout, killed connection) and
+  offline endpoints surface as retryable ``DeliveryError`` -- recovered by
+  the same retry state machines, which simply reconnect on their next
+  attempt -- while unmapped/unregistered endpoints are permanent
+  ``UnknownEndpointError`` and remote handler exceptions are revived as
+  themselves after the delivery was counted.  Statistics are sender-side,
+  so summing every node's counters reproduces the simulator's global view;
+  at 0% loss a split deployment is property-tested counter-identical to
+  the simulated one.
+
+* **Quiescence** -- external drivers (serve loops, benchmark orchestrators)
+  can *check* that the engine has settled instead of sleeping:
+  ``RetryScheduler.quiescence()`` samples pending timers (optionally within
+  a horizon), advance holds and the shared executor's queue depth, and
+  ``wait_quiescent(until=T)`` drives the engine up to -- never past -- the
+  horizon.
 """
 
 from repro.container.component import Component, ComponentDescriptor, ComponentType
@@ -211,6 +265,7 @@ from repro.core.validators import (
 )
 from repro.errors import ReproError
 from repro.transport.network import FaultModel, SimulatedNetwork
+from repro.transport.wire import WireNetwork, WireTransport
 
 __version__ = "1.0.0"
 
@@ -256,5 +311,7 @@ __all__ = [
     "ValidationContext",
     "ValidationDecision",
     "Verdict",
+    "WireNetwork",
+    "WireTransport",
     "__version__",
 ]

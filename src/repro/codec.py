@@ -43,7 +43,7 @@ from __future__ import annotations
 import json
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, Iterator, List, Optional, Tuple
 
 from repro.crypto.hashing import secure_hash
 from repro.errors import ReproError
@@ -343,18 +343,35 @@ def to_jsonable(value: Any) -> Any:
     raise CodecError(f"cannot canonically encode value of type {type(value)!r}")
 
 
-def from_jsonable(value: Any) -> Any:
-    """Inverse of :func:`to_jsonable` for plain data (objects stay as dicts)."""
+def from_jsonable(
+    value: Any,
+    object_reviver: Optional[Callable[[str, Any], Any]] = None,
+) -> Any:
+    """Inverse of :func:`to_jsonable` for plain data.
+
+    ``object_reviver(name, data)`` -- when given -- decides what an
+    ``{"__object__": name, "data": ...}`` tag becomes (``data`` arrives
+    already revived); without one, objects decay to their plain ``data``.
+    The wire transport supplies a reviver backed by its type registry, so
+    there is exactly one implementation of the canonical tag rules.
+    """
     if isinstance(value, dict):
         if set(value.keys()) == {"__bytes__"}:
             return bytes.fromhex(value["__bytes__"])
         if set(value.keys()) == {"__set__"}:
-            return set(from_jsonable(item) for item in value["__set__"])
+            return set(
+                from_jsonable(item, object_reviver) for item in value["__set__"]
+            )
         if set(value.keys()) == {"__object__", "data"}:
-            return from_jsonable(value["data"])
-        return {key: from_jsonable(item) for key, item in value.items()}
+            data = from_jsonable(value["data"], object_reviver)
+            if object_reviver is not None:
+                return object_reviver(value["__object__"], data)
+            return data
+        return {
+            key: from_jsonable(item, object_reviver) for key, item in value.items()
+        }
     if isinstance(value, list):
-        return [from_jsonable(item) for item in value]
+        return [from_jsonable(item, object_reviver) for item in value]
     return value
 
 

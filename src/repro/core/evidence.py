@@ -143,9 +143,18 @@ class EvidenceToken:
         return encoded
 
     @classmethod
-    def from_dict(cls, payload: Mapping[str, Any]) -> "EvidenceToken":
+    def from_dict(
+        cls, payload: Mapping[str, Any], revived: bool = False
+    ) -> "EvidenceToken":
+        """Rebuild a token from its dictionary form.
+
+        ``revived=True`` marks input whose nested values already went
+        through :func:`codec.from_jsonable` (wire frames are revived
+        bottom-up), skipping the redundant second walk over ``details``.
+        """
         signature = payload.get("signature")
         timestamp_token = payload.get("timestamp_token")
+        details = payload.get("details", {})
         return cls(
             token_id=payload["token_id"],
             token_type=payload["token_type"],
@@ -155,7 +164,7 @@ class EvidenceToken:
             recipient=payload["recipient"],
             payload_digest=bytes.fromhex(payload["payload_digest"]),
             issued_at=payload["issued_at"],
-            details=codec.from_jsonable(payload.get("details", {})),
+            details=details if revived else codec.from_jsonable(details),
             signature=Signature.from_dict(signature) if signature else None,
             timestamp_token=(
                 TimestampToken.from_dict(timestamp_token) if timestamp_token else None

@@ -131,7 +131,17 @@ class B2BProtocolMessage:
         }
 
     @classmethod
-    def from_dict(cls, payload: Mapping[str, Any]) -> "B2BProtocolMessage":
+    def from_dict(
+        cls, payload: Mapping[str, Any], revived: bool = False
+    ) -> "B2BProtocolMessage":
+        """Rebuild a message from its dictionary form.
+
+        ``revived=True`` marks input whose nested values already went
+        through :func:`codec.from_jsonable` (the wire transport revives
+        frame bodies bottom-up), skipping a second -- guaranteed no-op --
+        walk over the payload and attributes on the receive hot path.
+        """
+        decode = (lambda value: value) if revived else codec.from_jsonable
         return cls(
             message_id=payload["message_id"],
             run_id=payload["run_id"],
@@ -140,7 +150,10 @@ class B2BProtocolMessage:
             sender=payload["sender"],
             recipient=payload["recipient"],
             reply_to=payload.get("reply_to", ""),
-            payload=codec.from_jsonable(payload.get("payload")),
-            tokens=[EvidenceToken.from_dict(token) for token in payload.get("tokens", [])],
-            attributes=codec.from_jsonable(payload.get("attributes", {})),
+            payload=decode(payload.get("payload")),
+            tokens=[
+                EvidenceToken.from_dict(token, revived=revived)
+                for token in payload.get("tokens", [])
+            ],
+            attributes=decode(payload.get("attributes", {})),
         )

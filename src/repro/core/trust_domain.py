@@ -60,6 +60,11 @@ class TrustDomain:
     arbitrator: Optional[TTPArbitrator] = None
     relays: Dict[str, Dict[str, RelayProtocolHandler]] = field(default_factory=dict)
     timestamp_authority: Optional[TimestampAuthority] = None
+    #: Parties of the domain hosted by *other processes* (wire deployments):
+    #: they are routable and verifiable but have no local Organisation.
+    remote_parties: List[str] = field(default_factory=list)
+    #: The per-process wire bundle, when this domain spans processes.
+    transport: Optional["WireTransport"] = None  # noqa: F821 - lazy import
 
     # -- construction ---------------------------------------------------------------
 
@@ -79,6 +84,7 @@ class TrustDomain:
         scheduled_retries: bool = False,
         async_runs: bool = False,
         evidence_backend_factory: Optional[Callable[[str], StorageBackend]] = None,
+        transport: Optional["WireTransport"] = None,  # noqa: F821 - lazy import
     ) -> "TrustDomain":
         """Build a trust domain of the requested style for ``party_uris``.
 
@@ -98,12 +104,35 @@ class TrustDomain:
         a party URI to the storage backend its evidence store should persist
         into (e.g. a :class:`repro.persistence.storage.FileBackend`
         directory for multi-process deployments); the default keeps evidence
-        in memory.
+        in memory.  ``transport`` turns the domain into one *process* of a
+        cross-process deployment (see
+        :class:`repro.transport.wire.WireTransport`): organisations are
+        built only for the transport's local parties, registered on its
+        socket-backed :class:`~repro.transport.wire.WireNetwork`, and every
+        other party of ``party_uris`` is resolved through the wire
+        credential exchange instead of direct object access.
         """
         if len(party_uris) < 2:
             raise ProtocolError("a trust domain needs at least two organisations")
         if len(set(party_uris)) != len(party_uris):
             raise ProtocolError("party URIs must be unique")
+        if transport is not None:
+            return cls._create_wired(
+                party_uris=party_uris,
+                transport=transport,
+                style=style,
+                network=network,
+                fault_model=fault_model,
+                clock=clock,
+                dispatch=dispatch,
+                scheme=scheme,
+                use_timestamping=use_timestamping,
+                relayed_protocols=relayed_protocols,
+                with_arbitrator=with_arbitrator,
+                scheduled_retries=scheduled_retries,
+                async_runs=async_runs,
+                evidence_backend_factory=evidence_backend_factory,
+            )
         clock = clock or SimulatedClock()
         network = network or SimulatedNetwork(
             fault_model=fault_model, clock=clock, dispatch=dispatch
@@ -150,6 +179,109 @@ class TrustDomain:
 
         if with_arbitrator:
             domain._install_arbitrator(ca, clock, scheme, tsa)
+        return domain
+
+    @classmethod
+    def _create_wired(
+        cls,
+        party_uris: List[str],
+        transport: "WireTransport",  # noqa: F821 - lazy import below
+        style: DeploymentStyle,
+        network: Optional[SimulatedNetwork],
+        fault_model: Optional[FaultModel],
+        clock: Optional[Clock],
+        dispatch: Optional[DispatchStrategy],
+        scheme: str,
+        use_timestamping: bool,
+        relayed_protocols: Optional[List[str]],
+        with_arbitrator: bool,
+        scheduled_retries: bool,
+        async_runs: bool,
+        evidence_backend_factory: Optional[Callable[[str], StorageBackend]],
+    ) -> "TrustDomain":
+        """Build one process's share of a socket-connected trust domain.
+
+        Organisations are created for the transport's local parties only
+        and registered on its :class:`~repro.transport.wire.WireNetwork`;
+        remote parties are learned through the wire credential exchange
+        (pinned keys plus routed coordinator addresses).  The wire carries
+        no injected fault model and no relayed styles: faults are real
+        (killed connections, stopped peers) and every party talks to every
+        other directly.
+        """
+        from repro.transport.wire import WireTransport  # local: avoid cycle
+
+        if not isinstance(transport, WireTransport):
+            raise ProtocolError(
+                f"transport must be a WireTransport, got {type(transport).__name__}"
+            )
+        if style is not DeploymentStyle.DIRECT or relayed_protocols is not None:
+            raise ProtocolError(
+                "wire transports support the DIRECT deployment style only "
+                "(no relayed protocols); TTP-relayed styles need an "
+                "in-process TTP host"
+            )
+        if network is not None or fault_model is not None:
+            raise ProtocolError(
+                "a wire domain uses the transport's own network; pass neither "
+                "network= nor fault_model= (the wire injects no faults)"
+            )
+        if use_timestamping or with_arbitrator:
+            raise ProtocolError(
+                "timestamping authorities and arbitrators are in-process "
+                "services; host them as parties instead on a wire domain"
+            )
+        local = list(transport.local_parties)
+        unknown = sorted(set(local) - set(party_uris))
+        if unknown:
+            raise ProtocolError(
+                f"transport hosts parties outside the domain: {unknown}"
+            )
+        wire_network = transport.network
+        if clock is not None and clock is not wire_network.clock:
+            # A half-applied clock (organisations virtual, network/scheduler
+            # wall) would mix timestamp domains; the transport owns the
+            # clock, so it must be set there.
+            raise ProtocolError(
+                "a wire domain runs on its transport's clock; pass clock= to "
+                "WireTransport(...) instead"
+            )
+        clock = wire_network.clock
+        if dispatch is not None:
+            wire_network.set_dispatch(dispatch)
+        if (scheduled_retries or async_runs) and wire_network.retry_scheduler is None:
+            wire_network.set_retry_scheduler(RetryScheduler(wire_network.clock))
+        ca = CertificateAuthority("urn:repro:ca", scheme=scheme, clock=clock)
+        domain = cls(
+            style=style,
+            network=wire_network,
+            certificate_authority=ca,
+            remote_parties=sorted(set(party_uris) - set(local)),
+            transport=transport,
+        )
+        for uri in local:
+            domain.organisations[uri] = Organisation(
+                uri=uri,
+                network=wire_network,
+                ca=ca,
+                scheme=scheme,
+                clock=clock,
+                evidence_backend=(
+                    evidence_backend_factory(uri) if evidence_backend_factory else None
+                ),
+                async_runs=async_runs,
+            )
+        # Local parties exchange credentials directly; publishing them on
+        # the transport makes them introducible to (and by) peer processes.
+        organisations = list(domain.organisations.values())
+        for org in organisations:
+            for other in organisations:
+                if org is not other:
+                    org.trust(other)
+        for org in organisations:
+            transport.publish(org)
+        if transport.await_remote_credentials and domain.remote_parties:
+            transport.exchange(domain.remote_parties)
         return domain
 
     def _new_ttp(
@@ -265,15 +397,25 @@ class TrustDomain:
             raise ProtocolError(f"no organisation {uri!r} in this trust domain") from None
 
     def party_uris(self) -> List[str]:
-        return sorted(self.organisations)
+        """Every party of the domain, including remotely hosted ones."""
+        return sorted(set(self.organisations) | set(self.remote_parties))
 
     def share_object(
         self, object_id: str, initial_state, member_uris: Optional[List[str]] = None
     ) -> None:
-        """Register a shared object on every member's controller."""
+        """Register a shared object on every *locally hosted* member's controller.
+
+        Remote members of a wire domain register the object in their own
+        process (their ``TrustDomain.create`` + ``share_object`` call); the
+        full member list still includes them, so coordination fans out to
+        them over the wire.
+        """
         members = member_uris or self.party_uris()
         for uri in members:
-            self.organisation(uri).share_object(object_id, initial_state, members)
+            if uri in self.organisations:
+                self.organisation(uri).share_object(object_id, initial_state, members)
+            elif uri not in self.remote_parties:
+                raise ProtocolError(f"no organisation {uri!r} in this trust domain")
 
     def total_relayed_messages(self) -> int:
         """Number of protocol messages that passed through TTP relays."""

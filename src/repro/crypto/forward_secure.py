@@ -196,7 +196,9 @@ def _precompute_period(params: Dict[str, Any], period: int) -> None:
 def _schedule_precompute(params: Dict[str, Any], period: int) -> None:
     if period >= params["periods"] or _cached_context(params["root"], period) is not None:
         return
-    parallel.submit(lambda: _precompute_period(params, period))
+    # Background: staging a period is opportunistic cache warming, so it
+    # must not count against the retry scheduler's quiescence criterion.
+    parallel.submit(lambda: _precompute_period(params, period), background=True)
 
 
 def _evict_context(root: bytes, period: int) -> None:

@@ -32,6 +32,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 __all__ = [
     "DEFAULT_MAX_WORKERS",
     "current_max_workers",
+    "executor_queue_depth",
     "in_worker_thread",
     "mark_worker_thread",
     "run_all",
@@ -50,6 +51,41 @@ _executor: Optional[ThreadPoolExecutor] = None
 _executor_lock = threading.Lock()
 _max_workers = DEFAULT_MAX_WORKERS
 _worker_state = threading.local()
+
+# Work accounting for the quiescence criterion: every thunk routed through
+# submit()/run_all() -- queued or executing, shared pool or inline fallback --
+# is counted until it finishes, so "executor queue depth zero" really means
+# no engine work is in flight anywhere.
+_inflight = 0
+_inflight_lock = threading.Lock()
+
+
+def _enter_work() -> None:
+    global _inflight
+    with _inflight_lock:
+        _inflight += 1
+
+
+def _exit_work() -> None:
+    global _inflight
+    with _inflight_lock:
+        _inflight -= 1
+
+
+def executor_queue_depth() -> int:
+    """Engine thunks currently queued or executing (see module accounting).
+
+    The third leg of the retry scheduler's quiescence criterion
+    (:meth:`repro.transport.scheduler.RetryScheduler.quiescence`): pending
+    continuations and fanned-out timer callbacks live here between being
+    scheduled and finishing.  The count is process-wide, so when several
+    engines share the process one engine's in-flight work delays another's
+    idle verdict -- conservative (never a false idle), and avoidable for
+    work that is not protocol-run state by submitting it with
+    ``background=True``.
+    """
+    with _inflight_lock:
+        return _inflight
 
 
 def mark_worker_thread() -> None:
@@ -128,13 +164,22 @@ def run_all(
     thunks = list(thunks)
     if not parallel or len(thunks) <= 1 or in_worker_thread():
         return [_run_one(thunk) for thunk in thunks]
-    futures: List[Future] = [
-        shared_executor().submit(_run_one, thunk) for thunk in thunks
-    ]
+    futures: List[Future] = []
+    for thunk in thunks:
+        _enter_work()
+        try:
+            futures.append(shared_executor().submit(_run_one_counted, thunk))
+        except BaseException:
+            # A failed submit (e.g. executor shut down concurrently) runs no
+            # thunk: undo its count or quiescence would block forever.
+            _exit_work()
+            for future in futures:
+                future.result()
+            raise
     return [future.result() for future in futures]
 
 
-def submit(thunk: Callable[[], Any]) -> Optional[Future]:
+def submit(thunk: Callable[[], Any], background: bool = False) -> Optional[Future]:
     """Run one thunk on the shared executor, honouring the re-entrancy contract.
 
     Returns the :class:`Future` tracking the submitted work, or ``None`` when
@@ -145,11 +190,31 @@ def submit(thunk: Callable[[], Any]) -> Optional[Future]:
     serialise the resend latencies the scheduler exists to overlap.  Thunks
     must trap their own exceptions (retry state machines do); an exception
     escaping an unawaited future would otherwise vanish.
+
+    ``background=True`` marks work that is *not* part of any protocol run
+    (opportunistic precomputation, cache warming): it is excluded from
+    :func:`executor_queue_depth`, so it cannot hold the retry scheduler's
+    quiescence criterion hostage -- quiescence answers "can anything still
+    change a run's state?", which background work by definition cannot.
     """
     if in_worker_thread():
         thunk()
         return None
-    return shared_executor().submit(thunk)
+    if background:
+        return shared_executor().submit(thunk)
+    _enter_work()
+
+    def counted() -> None:
+        try:
+            thunk()
+        finally:
+            _exit_work()
+
+    try:
+        return shared_executor().submit(counted)
+    except BaseException:
+        _exit_work()
+        raise
 
 
 def _run_one(thunk: Callable[[], Any]) -> Tuple[Any, Optional[Exception]]:
@@ -157,3 +222,10 @@ def _run_one(thunk: Callable[[], Any]) -> Tuple[Any, Optional[Exception]]:
         return thunk(), None
     except Exception as error:  # noqa: BLE001 - per-thunk isolation by design
         return None, error
+
+
+def _run_one_counted(thunk: Callable[[], Any]) -> Tuple[Any, Optional[Exception]]:
+    try:
+        return _run_one(thunk)
+    finally:
+        _exit_work()

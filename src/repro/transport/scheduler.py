@@ -51,6 +51,7 @@ from repro.clock import Clock
 __all__ = [
     "AdvanceHold",
     "DeliveryFuture",
+    "Quiescence",
     "RetryScheduler",
     "TimerHandle",
     "wait_all",
@@ -121,6 +122,52 @@ class AdvanceHold:
         scheduler, self._scheduler = self._scheduler, None
         if scheduler is not None:
             scheduler._release_hold()
+
+
+class Quiescence:
+    """One sample of the scheduler's quiescence criterion.
+
+    The engine is *quiescent up to time T* when nothing can still change
+    the state of any run at or before T: no timer with a deadline at or
+    before T is pending, no thread holds back virtual-time advancement (a
+    hold means a continuation is mid-flight and may schedule earlier
+    timers), and no engine work is queued or executing on the shared
+    executor.  External drivers -- a wire serve loop, a benchmark
+    orchestrator, a test -- use this to *check* "the simulation reached T"
+    instead of sleeping and hoping.
+    """
+
+    __slots__ = ("pending_timers", "due_timers", "advance_holds", "executor_queue_depth")
+
+    def __init__(
+        self,
+        pending_timers: int,
+        due_timers: int,
+        advance_holds: int,
+        executor_queue_depth: int,
+    ) -> None:
+        self.pending_timers = pending_timers
+        #: Pending timers that fall within the asked-about horizon (all of
+        #: them when no horizon was given).
+        self.due_timers = due_timers
+        self.advance_holds = advance_holds
+        self.executor_queue_depth = executor_queue_depth
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing within the horizon can still fire or run."""
+        return (
+            self.due_timers == 0
+            and self.advance_holds == 0
+            and self.executor_queue_depth == 0
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Quiescence(pending_timers={self.pending_timers}, "
+            f"due_timers={self.due_timers}, advance_holds={self.advance_holds}, "
+            f"executor_queue_depth={self.executor_queue_depth})"
+        )
 
 
 class DeliveryFuture:
@@ -393,6 +440,88 @@ class RetryScheduler:
         its own hold.
         """
         return self._holds - getattr(self._local_holds, "count", 0) > 0
+
+    # -- quiescence ---------------------------------------------------------------
+
+    def quiescence(self, until: Optional[float] = None) -> "Quiescence":
+        """Sample the quiescence criterion (see :class:`Quiescence`).
+
+        ``until`` bounds the horizon: timers strictly beyond it do not
+        count against idleness, so ``quiescence(T).idle`` answers "has the
+        simulation fully settled up to time T?".  Holds taken by the
+        calling thread itself are excluded, mirroring the advance rule.
+        """
+        # Sample the executor BEFORE the timer/hold state: an in-flight
+        # callback that schedules a timer and exits between the two samples
+        # must be seen by at least one of them.  Depth-first ordering
+        # guarantees that -- either the callback still counts as queued
+        # work, or it finished and its timer is already on the heap.
+        depth = parallel.executor_queue_depth()
+        with self._lock:
+            pending = self._pending
+            if until is None:
+                due = pending
+            else:
+                due = sum(
+                    1
+                    for entry in self._heap
+                    if entry[2]._state == _PENDING and entry[2].deadline <= until
+                )
+            holds = self._holds - getattr(self._local_holds, "count", 0)
+        return Quiescence(
+            pending_timers=pending,
+            due_timers=due,
+            advance_holds=holds,
+            executor_queue_depth=depth,
+        )
+
+    def is_quiescent(self, until: Optional[float] = None) -> bool:
+        """True when nothing can still fire or run within the horizon."""
+        return self.quiescence(until).idle
+
+    def wait_quiescent(
+        self, until: Optional[float] = None, timeout: Optional[float] = None
+    ) -> bool:
+        """Drive the engine until it is quiescent (within the horizon).
+
+        Unlike :meth:`drive_until` this never advances a virtual clock
+        *past* ``until``: timers inside the horizon are reached and fired,
+        timers beyond it are left pending.  Returns the final
+        :meth:`is_quiescent` value (False only on wall-clock ``timeout``).
+        """
+        deadline_wall = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self.fire_due():
+                continue
+            if self.is_quiescent(until):
+                return True
+            if deadline_wall is not None and time.monotonic() >= deadline_wall:
+                return self.is_quiescent(until)
+            with self._condition:
+                due_deadline = self._next_deadline_locked()
+                in_horizon = due_deadline is not None and (
+                    until is None or due_deadline <= until
+                )
+                if in_horizon and self._clock.virtual:
+                    if not self._blocked_on_work_locked():
+                        self._clock.advance_to(due_deadline)
+                        continue
+                    # In-flight work holds back virtual time; wait for it.
+                    self._condition.wait(_IDLE_WAIT_SECONDS)
+                elif in_horizon:
+                    # Wall clock: sleep towards the deadline (bounded, so
+                    # cancellations and earlier timers wake us), same as
+                    # drive_until -- not a fixed-interval poll.
+                    self._condition.wait(
+                        min(
+                            max(due_deadline - self._clock.now(), 0.0),
+                            _MAX_WALL_WAIT_SECONDS,
+                        )
+                    )
+                else:
+                    # Waiting on executor work draining or another thread's
+                    # hold being released.
+                    self._condition.wait(_IDLE_WAIT_SECONDS)
 
     # -- driving ----------------------------------------------------------------
 

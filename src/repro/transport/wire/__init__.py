@@ -1,0 +1,67 @@
+"""Wire transport: socket-based cross-process delivery.
+
+The simulated network keeps every trusted interceptor in one process.  This
+package provides the production-shaped alternative: organisations hosted in
+*different OS processes* exchanging the same protocol messages over TCP
+sockets, behind the same network surface, so every retry/dispatch/async
+engine of the transport layer works unchanged.
+
+Layers (bottom up):
+
+* :mod:`repro.transport.wire.framing` -- length-prefixed frames over a
+  stream socket.
+* :mod:`repro.transport.wire.wirecodec` -- canonical frame bodies (reusing
+  the encode-once :class:`repro.codec.Encoded` pipeline) plus revival of
+  protocol objects and exceptions on the receiving side.
+* :mod:`repro.transport.wire.peers` -- the address book mapping endpoint
+  URIs to the ``host:port`` of the process hosting them.
+* :mod:`repro.transport.wire.connection` -- per-peer connection pool with
+  reconnect-on-failure; socket faults surface as retryable delivery errors.
+* :mod:`repro.transport.wire.server` -- accept/serve loop dispatching
+  inbound frames to registered endpoint handlers.
+* :mod:`repro.transport.wire.network` -- :class:`WireNetwork`, the node
+  object implementing the :class:`~repro.transport.network.SimulatedNetwork`
+  surface over the pieces above.
+* :mod:`repro.transport.wire.transport` -- :class:`WireTransport`, the
+  per-process deployment bundle (hosted parties + credential exchange),
+  threaded through ``TrustDomain.create(transport=...)``.
+"""
+
+from repro.transport.wire.connection import ConnectionPool
+from repro.transport.wire.framing import (
+    ConnectionClosed,
+    FramingError,
+    MAX_FRAME_BYTES,
+    read_frame,
+    write_frame,
+)
+from repro.transport.wire.network import SYSTEM_ADDRESS, WireNetwork
+from repro.transport.wire.peers import PeerAddressBook
+from repro.transport.wire.server import WireServer
+from repro.transport.wire.transport import WireTransport
+from repro.transport.wire.wirecodec import (
+    WireCodecError,
+    decode_body,
+    encode_body,
+    register_wire_type,
+    revive_error,
+)
+
+__all__ = [
+    "ConnectionClosed",
+    "ConnectionPool",
+    "FramingError",
+    "MAX_FRAME_BYTES",
+    "PeerAddressBook",
+    "SYSTEM_ADDRESS",
+    "WireCodecError",
+    "WireNetwork",
+    "WireServer",
+    "WireTransport",
+    "decode_body",
+    "encode_body",
+    "read_frame",
+    "register_wire_type",
+    "revive_error",
+    "write_frame",
+]

@@ -1,0 +1,86 @@
+"""Length-prefixed framing for the wire transport.
+
+A frame is a 4-byte big-endian unsigned length followed by that many payload
+bytes.  The payload is always a canonical codec encoding (see
+:mod:`repro.transport.wire.wirecodec`), so the framing layer never inspects
+content -- it only guarantees message boundaries over a byte stream and
+bounds the size of a single frame so a corrupt or hostile peer cannot make
+the receiver allocate unbounded memory.
+
+All failures surface as :class:`FramingError` (malformed length, oversized
+frame) or :class:`ConnectionClosed` (EOF mid-frame).  The connection layer
+maps read-side failures -- stream corruption, EOF -- onto *retryable*
+delivery errors; a write-side :class:`FramingError` (the caller's own
+payload exceeds the bound) is input-determined and stays *permanent*.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+from repro.errors import TransportError
+
+__all__ = [
+    "ConnectionClosed",
+    "FramingError",
+    "MAX_FRAME_BYTES",
+    "read_frame",
+    "write_frame",
+]
+
+#: Upper bound on one frame's payload.  Protocol messages are a few KB;
+#: 16 MiB leaves room for large shared states without allowing a corrupt
+#: length word to trigger a gigabyte allocation.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct("!I")
+
+
+class FramingError(TransportError):
+    """The byte stream does not contain a well-formed frame."""
+
+
+class ConnectionClosed(TransportError):
+    """The peer closed the connection (possibly mid-frame)."""
+
+
+def write_frame(sock: socket.socket, payload: bytes) -> None:
+    """Write one length-prefixed frame to ``sock``."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FramingError(
+            f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    # One sendall keeps the length word and payload in a single syscall for
+    # small frames, which is every protocol message.
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def _read_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionClosed(
+                f"connection closed with {remaining} of {count} bytes outstanding"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> bytes:
+    """Read one length-prefixed frame from ``sock``.
+
+    Raises :class:`ConnectionClosed` on EOF (clean EOF between frames raises
+    too -- the caller decides whether that is an orderly shutdown) and
+    :class:`FramingError` when the announced length exceeds
+    :data:`MAX_FRAME_BYTES`.
+    """
+    (length,) = _LENGTH.unpack(_read_exact(sock, _LENGTH.size))
+    if length > MAX_FRAME_BYTES:
+        raise FramingError(
+            f"peer announced a {length}-byte frame (limit {MAX_FRAME_BYTES})"
+        )
+    return _read_exact(sock, length)

@@ -1,0 +1,489 @@
+"""Socket-backed network implementing the simulated network's surface.
+
+A :class:`WireNetwork` is one *node* of a cross-process deployment: it hosts
+the local endpoints of this process (registered exactly like on a
+:class:`~repro.transport.network.SimulatedNetwork`), serves inbound frames
+for them through a :class:`~repro.transport.wire.server.WireServer`, and
+sends to endpoints hosted elsewhere through a per-peer
+:class:`~repro.transport.wire.connection.ConnectionPool`, resolving the
+destination process via a :class:`~repro.transport.wire.peers.
+PeerAddressBook`.
+
+The class exposes the same ``register`` / ``send`` / ``send_batch`` surface
+(and the same :class:`~repro.transport.network.NetworkStatistics`,
+``clock``, ``retry_scheduler`` and dispatch-strategy attachment points) as
+the simulator, so every layer above -- :class:`~repro.transport.delivery.
+ReliableChannel` state machines, :class:`~repro.transport.scheduler.
+RetryScheduler` futures, :class:`~repro.transport.network.ParallelDispatch`,
+the async run engine -- works unchanged on real sockets.
+
+Invariants preserved relative to the simulator:
+
+* **Accounting is sender-side.**  Every counter of ``statistics`` is taken
+  by the node that *originates* a message (attempts and sends at admission,
+  delivered/bytes on a successful reply, dropped on loss), so summing the
+  statistics of all nodes of a deployment yields exactly the global view
+  the simulator keeps, and ``messages_per_update`` / ``bytes_per_update``
+  match the simulated transport.  Byte counts use the same canonical
+  envelope size the simulator charges, not raw frame bytes.
+* **Failure taxonomy.**  Socket-level failures (refused, reset, timeout)
+  and offline endpoints surface as retryable
+  :class:`~repro.errors.DeliveryError`; unmapped or unregistered endpoints
+  as permanent :class:`~repro.errors.UnknownEndpointError`; exceptions
+  raised by the remote handler are revived as themselves (see
+  :func:`~repro.transport.wire.wirecodec.revive_error`) after the delivery
+  was counted -- exactly the simulator's semantics, which is what keeps the
+  retry state machines' recovery behaviour identical.
+* **Local fast path.**  A destination registered on *this* node is invoked
+  in process (no socket), like the simulator would; only genuinely remote
+  destinations pay a frame round trip.
+
+There is no injected fault model: the wire's faults are real (kill a
+connection, stop a peer).  Deployments needing deterministic loss keep
+using the simulator.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.clock import Clock, MonotonicCounter, SystemClock
+from repro.errors import DeliveryError, UnknownEndpointError
+from repro.transport.network import (
+    BatchResult,
+    DispatchStrategy,
+    Endpoint,
+    EndpointHandler,
+    Message,
+    NetworkStatistics,
+    SequentialDispatch,
+)
+from repro.transport.scheduler import RetryScheduler
+from repro.transport.wire import wirecodec
+from repro.transport.wire.connection import ConnectionPool
+from repro.transport.wire.framing import MAX_FRAME_BYTES, FramingError
+from repro.transport.wire.peers import HostPort, PeerAddressBook
+from repro.transport.wire.server import WireServer
+
+__all__ = ["SYSTEM_ADDRESS", "WireNetwork"]
+
+#: Reserved destination served by the node itself (credential exchange,
+#: peer introduction) rather than by a registered endpoint.  System traffic
+#: is infrastructure, not protocol traffic, and is not accounted in
+#: ``statistics`` -- mirroring the simulator, where key exchange happens out
+#: of band.
+SYSTEM_ADDRESS = "@system"
+
+
+class WireNetwork:
+    """One node of a socket-connected deployment."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        clock: Optional[Clock] = None,
+        dispatch: Optional[DispatchStrategy] = None,
+        retry_scheduler: Optional[RetryScheduler] = None,
+        address_book: Optional[PeerAddressBook] = None,
+        connection_pool: Optional[ConnectionPool] = None,
+        system_handlers: Optional[Dict[str, Callable[[Any], Any]]] = None,
+    ) -> None:
+        self.clock = clock or SystemClock()
+        self.dispatch = dispatch or SequentialDispatch()
+        self.retry_scheduler = retry_scheduler
+        self.address_book = address_book or PeerAddressBook()
+        self.statistics = NetworkStatistics()
+        self.pool = connection_pool or ConnectionPool()
+        self._endpoints: Dict[str, Endpoint] = {}
+        # ``system_handlers`` passed here are installed BEFORE the server
+        # starts accepting: on a fixed port, a fast peer's first frame can
+        # land the instant the listener is up, and it must find the node's
+        # infrastructure operations (credential exchange) already serving.
+        self._system_handlers: Dict[str, Callable[[Any], Any]] = dict(
+            system_handlers or {}
+        )
+        self._lock = threading.RLock()
+        self._message_counter = MonotonicCounter(1)
+        self._seq = MonotonicCounter(1)
+        self._trace: List[Message] = []
+        self.trace_enabled = False
+        self._closed = False
+        self.server = WireServer(self._serve_frame, host=host, port=port)
+
+    # -- node identity -----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def set_dispatch(self, dispatch: DispatchStrategy) -> None:
+        """Switch the handler-dispatch strategy for subsequent batches."""
+        self.dispatch = dispatch
+
+    def set_retry_scheduler(self, scheduler: Optional[RetryScheduler]) -> None:
+        """Attach (or detach) the event-driven retry scheduler (see simulator)."""
+        self.retry_scheduler = scheduler
+
+    # -- endpoint management -------------------------------------------------------
+
+    def register(self, address: str, handler: EndpointHandler) -> Endpoint:
+        """Register (or replace) the local handler for ``address``."""
+        with self._lock:
+            endpoint = Endpoint(address=address, handler=handler)
+            self._endpoints[address] = endpoint
+            return endpoint
+
+    def unregister(self, address: str) -> None:
+        with self._lock:
+            self._endpoints.pop(address, None)
+
+    def endpoint(self, address: str) -> Endpoint:
+        try:
+            return self._endpoints[address]
+        except KeyError:
+            raise UnknownEndpointError(
+                f"no endpoint registered at {address!r} on this node"
+            ) from None
+
+    def addresses(self) -> List[str]:
+        """Locally hosted endpoint addresses."""
+        return sorted(self._endpoints)
+
+    def set_online(self, address: str, online: bool) -> None:
+        """Take a *local* endpoint down (or back up); peers see DeliveryError."""
+        self.endpoint(address).online = online
+
+    def register_system_handler(self, operation: str, handler: Callable[[Any], Any]) -> None:
+        """Serve ``operation`` on the node's reserved system destination."""
+        with self._lock:
+            self._system_handlers[operation] = handler
+
+    # -- sending -------------------------------------------------------------------
+
+    def _admit_locked(self, message: Message) -> None:
+        """Sender-side admission accounting, identical for send and send_batch."""
+        self.statistics.messages_sent += 1
+        self.statistics.per_operation[message.operation] = (
+            self.statistics.per_operation.get(message.operation, 0) + 1
+        )
+        self.statistics.attempts_per_destination[message.destination] = (
+            self.statistics.attempts_per_destination.get(message.destination, 0) + 1
+        )
+        if self.trace_enabled:
+            self._trace.append(message)
+
+    def _account_delivered_locked(self, message: Message) -> None:
+        self.statistics.messages_delivered += 1
+        self.statistics.deliveries_per_destination[message.destination] = (
+            self.statistics.deliveries_per_destination.get(message.destination, 0) + 1
+        )
+        self.statistics.bytes_delivered += message.encoded_size()
+        if message.sizing == "repr":
+            self.statistics.messages_sized_by_repr += 1
+
+    def _deliver_local(self, endpoint: Endpoint, message: Message) -> Any:
+        """Deliver to an endpoint hosted on this node (no socket)."""
+        with self._lock:
+            if not endpoint.online:
+                self.statistics.messages_dropped += 1
+                raise DeliveryError(f"endpoint {message.destination!r} is offline")
+            self._account_delivered_locked(message)
+        return endpoint.handler(message)
+
+    def _round_trip(
+        self,
+        hostport: HostPort,
+        sender: str,
+        destination: str,
+        operation: str,
+        payload: Any,
+        message_id: int,
+    ) -> Dict[str, Any]:
+        """One request/reply exchange with a peer; returns the reply envelope.
+
+        The single definition of the wire's failure taxonomy, shared by
+        protocol and system traffic: :class:`~repro.transport.wire.wirecodec.
+        WireCodecError` for an unencodable *request* (permanent,
+        input-determined), :class:`FramingError` for a frame-size violation
+        (permanent, passed through by the pool unwrapped so retry layers do
+        not burn their budget), :class:`DeliveryError` for everything
+        transport-shaped -- unreachable peer, corrupt reply frame, lost
+        correlation -- which retries recover.
+        """
+        seq = self._seq.next()
+        request = wirecodec.encode_body(
+            {
+                "kind": "call",
+                "seq": seq,
+                "sender": sender,
+                "destination": destination,
+                "operation": operation,
+                "message_id": message_id,
+                "payload": payload,
+            }
+        )
+        raw_reply = self.pool.request(hostport, request)
+        try:
+            reply = wirecodec.decode_body(raw_reply)
+        except wirecodec.WireCodecError as error:
+            raise DeliveryError(
+                f"peer at {hostport[0]}:{hostport[1]} sent an undecodable "
+                f"reply: {error}"
+            ) from error
+        if not isinstance(reply, dict) or reply.get("seq") != seq:
+            raise DeliveryError(
+                f"peer at {hostport[0]}:{hostport[1]} answered out of sequence "
+                f"(frame correlation lost)"
+            )
+        return reply
+
+    def _deliver_remote(self, hostport: HostPort, message: Message) -> Any:
+        """Deliver across a socket; accounting resolves on the reply."""
+        try:
+            reply = self._round_trip(
+                hostport,
+                message.sender,
+                message.destination,
+                message.operation,
+                message.payload,
+                message.message_id,
+            )
+        except (wirecodec.WireCodecError, DeliveryError, FramingError):
+            # Every round-trip failure -- permanent or retryable, see
+            # _round_trip -- is a loss: the message never reached a handler.
+            with self._lock:
+                self.statistics.messages_dropped += 1
+            raise
+        if reply.get("status") == "ok":
+            with self._lock:
+                self._account_delivered_locked(message)
+            return reply.get("result")
+        # The peer reports whether the message reached its handler: handler
+        # failures count as delivered (the simulator delivers before the
+        # handler runs), transport-stage failures count as dropped.
+        error = wirecodec.revive_error(
+            reply.get("error_type", "DeliveryError"),
+            reply.get("error_message", "peer reported an unspecified failure"),
+        )
+        with self._lock:
+            if reply.get("delivered"):
+                self._account_delivered_locked(message)
+            else:
+                self.statistics.messages_dropped += 1
+        raise error
+
+    def _resolve(self, destination: str) -> Tuple[Optional[Endpoint], Optional[HostPort]]:
+        """Map a destination to a local endpoint or a peer process."""
+        with self._lock:
+            endpoint = self._endpoints.get(destination)
+        if endpoint is not None:
+            return endpoint, None
+        return None, self.address_book.resolve(destination)
+
+    def send(self, sender: str, destination: str, operation: str, payload: Any) -> Any:
+        """Deliver a message and return the destination handler's reply.
+
+        Same contract as :meth:`SimulatedNetwork.send`: raises
+        :class:`DeliveryError` on (real) loss, :class:`UnknownEndpointError`
+        when no node hosts the destination; callers needing guaranteed
+        delivery wrap sends in a :class:`ReliableChannel`.
+        """
+        message = Message(
+            sender=sender,
+            destination=destination,
+            operation=operation,
+            payload=payload,
+            message_id=self._message_counter.next(),
+        )
+        with self._lock:
+            self._admit_locked(message)
+            try:
+                endpoint, hostport = self._resolve(destination)
+            except UnknownEndpointError:
+                self.statistics.messages_dropped += 1
+                raise
+        if endpoint is not None:
+            return self._deliver_local(endpoint, message)
+        return self._deliver_remote(hostport, message)
+
+    def send_batch(
+        self, sender: str, entries: List[Tuple[str, str, Any]]
+    ) -> List[BatchResult]:
+        """Deliver a fan-out, accounting each entry exactly like ``send``.
+
+        Admission runs under one lock acquisition in entry order (counters
+        are deterministic regardless of strategy); the admitted deliveries
+        then run through the configured :class:`DispatchStrategy` -- under
+        :class:`~repro.transport.network.ParallelDispatch` the socket round
+        trips of one wave overlap across destinations.  Per-entry failures
+        are returned, never raised.
+        """
+        results: List[BatchResult] = [BatchResult() for _ in entries]
+        admitted: List[Tuple[int, Message, Optional[Endpoint], Optional[HostPort]]] = []
+        with self._lock:
+            for index, (destination, operation, payload) in enumerate(entries):
+                message = Message(
+                    sender=sender,
+                    destination=destination,
+                    operation=operation,
+                    payload=payload,
+                    message_id=self._message_counter.next(),
+                )
+                self._admit_locked(message)
+                try:
+                    endpoint, hostport = self._resolve(destination)
+                except UnknownEndpointError as error:
+                    self.statistics.messages_dropped += 1
+                    results[index].error = error
+                    continue
+                admitted.append((index, message, endpoint, hostport))
+
+        def make_unit(
+            index: int,
+            message: Message,
+            endpoint: Optional[Endpoint],
+            hostport: Optional[HostPort],
+        ) -> Callable[[], None]:
+            def unit() -> None:
+                try:
+                    if endpoint is not None:
+                        results[index].result = self._deliver_local(endpoint, message)
+                    else:
+                        results[index].result = self._deliver_remote(hostport, message)
+                except Exception as error:  # per-entry isolation, as simulated
+                    results[index].error = error
+
+            return unit
+
+        self.dispatch.run([make_unit(*entry) for entry in admitted])
+        return results
+
+    # -- system (infrastructure) requests ------------------------------------------
+
+    def system_request(self, hostport: HostPort, operation: str, payload: Any) -> Any:
+        """Call a peer node's system handler (unaccounted infrastructure traffic).
+
+        Same round-trip taxonomy as protocol traffic (see
+        :meth:`_round_trip`) minus the statistics; raises the error the
+        peer's system handler raised when the call itself failed there.
+        """
+        reply = self._round_trip(
+            hostport, SYSTEM_ADDRESS, SYSTEM_ADDRESS, operation, payload, 0
+        )
+        if reply.get("status") == "ok":
+            return reply.get("result")
+        raise wirecodec.revive_error(
+            reply.get("error_type", "DeliveryError"),
+            reply.get("error_message", "peer reported an unspecified failure"),
+        )
+
+    # -- serving -------------------------------------------------------------------
+
+    def _serve_frame(self, raw_request: bytes) -> bytes:
+        """Handle one inbound frame; never raises (errors become replies)."""
+        seq = 0
+        try:
+            request = wirecodec.decode_body(raw_request)
+            if not isinstance(request, dict) or request.get("kind") != "call":
+                raise wirecodec.WireCodecError("frame is not a call envelope")
+            seq = request.get("seq", 0)
+            destination = request.get("destination", "")
+            operation = request.get("operation", "")
+            if destination == SYSTEM_ADDRESS:
+                result = self._serve_system(operation, request.get("payload"))
+                return self._ok_reply(seq, result)
+            with self._lock:
+                endpoint = self._endpoints.get(destination)
+            if endpoint is None:
+                raise UnknownEndpointError(
+                    f"no endpoint registered at {destination!r}"
+                )
+            if not endpoint.online:
+                raise DeliveryError(f"endpoint {destination!r} is offline")
+        except Exception as error:  # transport stage: message never delivered
+            return self._error_reply(seq, error, delivered=False)
+        message = Message(
+            sender=request.get("sender", ""),
+            destination=destination,
+            operation=operation,
+            payload=request.get("payload"),
+            message_id=request.get("message_id", -1),
+        )
+        try:
+            result = endpoint.handler(message)
+            return self._ok_reply(seq, result)
+        except Exception as error:  # handler stage: delivered, then failed
+            return self._error_reply(seq, error, delivered=True)
+
+    def _serve_system(self, operation: str, payload: Any) -> Any:
+        with self._lock:
+            handler = self._system_handlers.get(operation)
+        if handler is None:
+            raise UnknownEndpointError(
+                f"this node serves no system operation {operation!r}"
+            )
+        return handler(payload)
+
+    def _ok_reply(self, seq: int, result: Any) -> bytes:
+        try:
+            reply = wirecodec.encode_body(
+                {"kind": "reply", "seq": seq, "status": "ok", "result": result}
+            )
+        except wirecodec.WireCodecError as error:
+            # The handler returned something the wire cannot carry; report
+            # it as a delivered-but-failed call rather than killing the
+            # connection.
+            return self._error_reply(seq, error, delivered=True)
+        if len(reply) > MAX_FRAME_BYTES:
+            # An oversized reply would fail write_frame and kill the
+            # connection -- which the sender would read as a retryable loss
+            # and re-invoke the handler for.  Report the size violation as
+            # a delivered-but-failed call instead.
+            return self._error_reply(
+                seq,
+                FramingError(
+                    f"handler reply of {len(reply)} bytes exceeds the "
+                    f"{MAX_FRAME_BYTES}-byte frame limit"
+                ),
+                delivered=True,
+            )
+        return reply
+
+    def _error_reply(self, seq: int, error: BaseException, delivered: bool) -> bytes:
+        envelope = {"kind": "reply", "seq": seq, "status": "error", "delivered": delivered}
+        envelope.update(wirecodec.flatten_error(error))
+        return wirecodec.encode_body(envelope)
+
+    # -- introspection / teardown ----------------------------------------------------
+
+    @property
+    def trace(self) -> List[Message]:
+        """Originated messages (only populated when ``trace_enabled`` is set)."""
+        return list(self._trace)
+
+    def clear_trace(self) -> None:
+        self._trace.clear()
+
+    def reset_statistics(self) -> None:
+        self.statistics = NetworkStatistics()
+
+    def close(self) -> None:
+        """Stop serving and close every client connection (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.server.close()
+        self.pool.close()
+
+    def __enter__(self) -> "WireNetwork":
+        return self
+
+    def __exit__(self, *_exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,68 @@
+"""Peer address book: endpoint names to ``host:port``.
+
+The simulated network resolves a destination address (a URI such as
+``urn:org:supplier``) to an in-process handler.  Across processes the same
+URI must first resolve to the TCP endpoint of the *process hosting it*; the
+:class:`PeerAddressBook` is that mapping.  Many URIs may map to one
+``host:port`` (one process hosts one organisation's interceptors, which is
+several endpoints), and entries can be added at runtime as peers introduce
+themselves (see :class:`repro.transport.wire.transport.WireTransport`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import UnknownEndpointError
+
+__all__ = ["PeerAddressBook"]
+
+HostPort = Tuple[str, int]
+
+
+class PeerAddressBook:
+    """Thread-safe mapping of endpoint addresses (URIs) to TCP endpoints."""
+
+    def __init__(self, entries: Optional[Dict[str, HostPort]] = None) -> None:
+        self._entries: Dict[str, HostPort] = {}
+        self._lock = threading.Lock()
+        for address, hostport in (entries or {}).items():
+            self.add(address, hostport[0], hostport[1])
+
+    def add(self, address: str, host: str, port: int) -> None:
+        """Map ``address`` to ``host:port`` (replacing any previous entry)."""
+        if not address:
+            raise ValueError("cannot map an empty address")
+        if not 0 < port < 65536:
+            raise ValueError(f"port {port} out of range for {address!r}")
+        with self._lock:
+            self._entries[address] = (host, port)
+
+    def remove(self, address: str) -> None:
+        with self._lock:
+            self._entries.pop(address, None)
+
+    def resolve(self, address: str) -> HostPort:
+        """Return the TCP endpoint hosting ``address``.
+
+        Raises :class:`UnknownEndpointError` for unmapped addresses -- the
+        same *permanent* failure an unregistered simulated endpoint raises,
+        so retry layers give up instead of spinning on a name that no
+        process claims.
+        """
+        with self._lock:
+            hostport = self._entries.get(address)
+        if hostport is None:
+            raise UnknownEndpointError(
+                f"no peer process is known to host endpoint {address!r}"
+            )
+        return hostport
+
+    def knows(self, address: str) -> bool:
+        with self._lock:
+            return address in self._entries
+
+    def addresses(self) -> List[str]:
+        with self._lock:
+            return sorted(self._entries)

@@ -1,0 +1,153 @@
+"""Serve loop: accept peer connections, dispatch inbound frames.
+
+One :class:`WireServer` is the listening half of a wire network node.  It
+accepts connections from peer processes and runs one reader thread per
+connection: read a request frame, hand the bytes to the node's dispatch
+callable, write the reply frame.  Requests on *one* connection are served in
+order (the pool on the sending side never pipelines), while requests
+arriving on different connections are served concurrently -- which is what
+makes a parallel sender-side dispatch strategy overlap real round trips.
+
+The dispatch callable owns all content handling (decoding, endpoint lookup,
+handler invocation, error marshalling) and must never raise; the server only
+manages sockets.  Reader threads exit on peer disconnect or server close.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Callable, List
+
+from repro.errors import TransportError
+from repro.transport.wire.framing import read_frame, write_frame
+
+__all__ = ["WireServer"]
+
+
+class WireServer:
+    """Listening socket plus per-connection serve threads."""
+
+    def __init__(
+        self,
+        dispatch: Callable[[bytes], bytes],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._dispatch = dispatch
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            self._listener.bind((host, port))
+            self._listener.listen(64)
+        except OSError as error:
+            self._listener.close()
+            raise TransportError(
+                f"wire server cannot listen on {host}:{port}: {error}"
+            ) from error
+        self._host, self._port = self._listener.getsockname()[:2]
+        self._closed = False
+        self._lock = threading.Lock()
+        self._client_sockets: List[socket.socket] = []
+        self.connections_accepted = 0
+        self.frames_served = 0
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"wire-accept-{self._port}", daemon=True
+        )
+        self._accept_thread.start()
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    # -- accept / serve -----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                client, _peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            with self._lock:
+                if self._closed:
+                    client.close()
+                    return
+                self._client_sockets.append(client)
+                self.connections_accepted += 1
+            # Per-client setup must never take the accept loop down: a peer
+            # that resets immediately can make setsockopt raise, and thread
+            # exhaustion can make start() raise -- both lose one client,
+            # not the node's ability to accept the next.
+            try:
+                client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                threading.Thread(
+                    target=self._serve_connection,
+                    args=(client,),
+                    name=f"wire-serve-{self._port}",
+                    daemon=True,
+                ).start()
+            except (OSError, RuntimeError):
+                with self._lock:
+                    if client in self._client_sockets:
+                        self._client_sockets.remove(client)
+                try:
+                    client.close()
+                except OSError:
+                    pass
+
+    def _serve_connection(self, client: socket.socket) -> None:
+        try:
+            while True:
+                try:
+                    request = read_frame(client)
+                except (TransportError, OSError):
+                    return  # peer went away (or the server is closing)
+                reply = self._dispatch(request)
+                with self._lock:
+                    self.frames_served += 1
+                try:
+                    write_frame(client, reply)
+                except (TransportError, OSError):
+                    return
+        finally:
+            with self._lock:
+                if client in self._client_sockets:
+                    self._client_sockets.remove(client)
+            try:
+                client.close()
+            except OSError:
+                pass
+
+    # -- teardown -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting, close every connection, end the serve threads."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            clients = list(self._client_sockets)
+        # shutdown() wakes a thread blocked in accept(); close() alone does
+        # not reliably do so, which would stall teardown on the join below.
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for client in clients:
+            try:
+                client.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                client.close()
+            except OSError:
+                pass
+        self._accept_thread.join(timeout=1.0)

@@ -1,0 +1,184 @@
+"""Canonical encoding and object revival for wire frames.
+
+Encoding reuses the encode-once pipeline of :mod:`repro.codec` unchanged: a
+frame envelope is an ordinary dictionary, and any pre-canonicalised content
+inside it (a :class:`repro.codec.Encoded` payload, a protocol message or
+evidence token with a cached ``canonical_encoded``) is spliced into the
+output verbatim, so putting a message on the wire costs only the envelope --
+exactly what the in-process network pays for traffic accounting.
+
+Decoding is where the wire differs from the simulator: the simulator hands
+the receiving handler the *same Python objects* the sender built, while a
+socket hands it bytes.  :func:`decode_body` parses the canonical JSON and
+*revives* tagged values:
+
+* ``{"__bytes__": hex}`` -> ``bytes`` and ``{"__set__": [...]}`` -> ``set``
+  (same as :func:`repro.codec.from_jsonable`);
+* ``{"__object__": name, "data": {...}}`` -> an instance, when ``name`` is
+  found in the wire type registry (a ``from_dict`` per class).  Protocol
+  messages and evidence tokens are registered by default, which is what the
+  B2B coordinator's exported methods expect to receive.  Unregistered object
+  tags decay to their plain ``data`` dictionary -- the behaviour handlers
+  already get from :func:`repro.codec.from_jsonable` -- so application
+  payloads keep flowing as plain data.
+
+Exceptions cross the wire by name: the serving side flattens a raised error
+into ``(type name, message)`` and :func:`revive_error` reconstructs the
+matching :mod:`repro.errors` class on the caller, so the retry layer's
+distinction between retryable (:class:`DeliveryError`) and permanent
+(:class:`UnknownEndpointError`) failures survives the socket hop.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Callable, Dict, Mapping
+
+from repro import codec
+from repro import errors as _errors
+from repro.errors import RemoteInvocationError, TransportError
+
+__all__ = [
+    "WireCodecError",
+    "decode_body",
+    "encode_body",
+    "flatten_error",
+    "register_wire_type",
+    "revive_error",
+]
+
+
+class WireCodecError(TransportError):
+    """A frame body could not be encoded or decoded."""
+
+
+# -- wire type registry -------------------------------------------------------
+
+_registry_lock = threading.Lock()
+_registry: Dict[str, Callable[[Mapping[str, Any]], Any]] = {}
+_defaults_installed = False
+
+
+def register_wire_type(
+    name: str, from_dict: Callable[[Mapping[str, Any]], Any]
+) -> None:
+    """Register a reviver for ``{"__object__": name}`` tags on the wire.
+
+    ``from_dict`` receives the already-revived ``data`` mapping.  Used by
+    applications whose protocol payloads carry their own value classes;
+    the library's protocol types are pre-registered.
+    """
+    with _registry_lock:
+        _registry[name] = from_dict
+
+
+def _install_defaults() -> None:
+    """Register the library's protocol types (lazily, to avoid import cycles)."""
+    global _defaults_installed
+    if _defaults_installed:
+        return
+    from repro.core.evidence import EvidenceToken
+    from repro.core.messages import B2BProtocolMessage
+    from repro.crypto.certificates import Certificate
+    from repro.crypto.keys import PublicKey
+    from repro.crypto.signature import Signature
+    from repro.crypto.timestamp import TimestampToken
+
+    with _registry_lock:
+        # Reviver input is already walked bottom-up by decode_body;
+        # from_dict implementations that would re-walk it get told so.
+        _registry.setdefault(
+            B2BProtocolMessage.__name__,
+            lambda data: B2BProtocolMessage.from_dict(data, revived=True),
+        )
+        _registry.setdefault(
+            EvidenceToken.__name__,
+            lambda data: EvidenceToken.from_dict(data, revived=True),
+        )
+        for cls in (Certificate, PublicKey, Signature, TimestampToken):
+            _registry.setdefault(cls.__name__, cls.from_dict)
+        _defaults_installed = True
+
+
+def _reviver_for(name: str) -> Callable[[Mapping[str, Any]], Any] | None:
+    _install_defaults()
+    with _registry_lock:
+        return _registry.get(name)
+
+
+# -- body encode / decode -----------------------------------------------------
+
+
+def encode_body(envelope: Mapping[str, Any]) -> bytes:
+    """Canonical bytes of a frame envelope (splices cached encodings)."""
+    try:
+        return codec.encode(dict(envelope))
+    except codec.CodecError as error:
+        raise WireCodecError(
+            "frame content is not canonically encodable -- the wire transport "
+            f"carries codec-encodable payloads only: {error}"
+        ) from error
+
+
+def _revive_object(name: str, data: Any) -> Any:
+    """Object-tag hook for :func:`codec.from_jsonable` (one tag traversal)."""
+    reviver = _reviver_for(name)
+    if reviver is None:
+        return data  # decay to plain data, codec's own default behaviour
+    try:
+        return reviver(data)
+    except Exception as error:  # noqa: BLE001 - surface as codec error
+        raise WireCodecError(
+            f"reviving a wire {name!r} failed: {error}"
+        ) from error
+
+
+def decode_body(data: bytes) -> Any:
+    """Parse canonical frame bytes, reviving registered protocol objects."""
+    try:
+        parsed = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireCodecError(f"malformed frame body: {error}") from error
+    return codec.from_jsonable(parsed, object_reviver=_revive_object)
+
+
+# -- exception marshalling ----------------------------------------------------
+
+#: Exception classes a peer may legitimately raise across the wire: the
+#: library hierarchy plus a handful of builtins handlers commonly raise.
+_BUILTIN_ERRORS = {
+    cls.__name__: cls
+    for cls in (KeyError, ValueError, TypeError, RuntimeError, AssertionError)
+}
+
+#: Cap on a flattened error message.  An exception embedding a huge state
+#: dump must never produce an error reply that itself violates the frame
+#: bound -- that would kill the connection and turn a delivered-but-failed
+#: call into a retryable-looking loss (re-invoking the handler per retry).
+_MAX_ERROR_MESSAGE_CHARS = 16 * 1024
+
+
+def flatten_error(error: BaseException) -> Dict[str, str]:
+    """Flatten an exception into the wire's ``(type, message)`` form."""
+    message = str(error)
+    if len(message) > _MAX_ERROR_MESSAGE_CHARS:
+        message = message[:_MAX_ERROR_MESSAGE_CHARS] + "... [truncated]"
+    return {"error_type": type(error).__name__, "error_message": message}
+
+
+def revive_error(error_type: str, error_message: str) -> Exception:
+    """Reconstruct a remote exception from its wire form.
+
+    Known :mod:`repro.errors` classes (and a few builtins) are revived as
+    themselves so ``except DeliveryError`` / ``except UnknownEndpointError``
+    keep their retry semantics; anything else becomes a
+    :class:`RemoteInvocationError` carrying the original type name.
+    """
+    cls = getattr(_errors, error_type, None)
+    if isinstance(cls, type) and issubclass(cls, _errors.ReproError):
+        return cls(error_message)
+    cls = _BUILTIN_ERRORS.get(error_type)
+    if cls is not None:
+        return cls(error_message)
+    return RemoteInvocationError(f"{error_type}: {error_message}")

@@ -18,6 +18,7 @@ EXAMPLES = [
     "trust_domains.py",
     "information_sharing.py",
     "fault_tolerance.py",
+    "two_process_sharing.py",
 ]
 
 
@@ -45,6 +46,18 @@ def test_quickstart_reports_complete_evidence():
     for token_type in ("nro-request", "nrr-request", "nro-response", "nrr-response"):
         assert token_type in result.stdout
     assert "audit log intact: True" in result.stdout
+
+
+def test_two_process_example_verifies_evidence_on_both_sides():
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "two_process_sharing.py"))
+    result = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True, timeout=300, check=True
+    )
+    assert "update agreed across processes" in result.stdout
+    assert "A holds verified evidence: nro-update (generated)" in result.stdout
+    assert "B holds verified evidence: nro-update (received)" in result.stdout
+    assert "B holds verified evidence: nr-outcome (received)" in result.stdout
+    assert "verified on both sides of the socket" in result.stdout
 
 
 def test_trust_domains_example_reports_all_styles():

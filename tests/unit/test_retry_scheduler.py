@@ -379,3 +379,81 @@ class TestSchedulerThreadSafety:
             thread.join(timeout=30)
         assert results == ["ok"] * 4
         assert network.retry_scheduler.pending_timers() == 0
+
+
+class TestQuiescence:
+    """The formal 'simulation reached time T' criterion for external drivers."""
+
+    def test_reports_timers_within_the_horizon(self):
+        clock = SimulatedClock()
+        scheduler = RetryScheduler(clock)
+        scheduler.schedule(1.0, lambda: None)
+        scheduler.schedule(5.0, lambda: None)
+        sample = scheduler.quiescence()
+        assert sample.pending_timers == 2
+        assert sample.due_timers == 2
+        assert not sample.idle
+        # Nothing falls before T=0.5, so the engine is quiescent up to there.
+        assert scheduler.is_quiescent(until=0.5)
+        assert not scheduler.is_quiescent(until=1.0)
+
+    def test_wait_quiescent_fires_only_inside_the_horizon(self):
+        clock = SimulatedClock()
+        scheduler = RetryScheduler(clock)
+        fired = []
+        scheduler.schedule(1.0, lambda: fired.append("in"))
+        scheduler.schedule(5.0, lambda: fired.append("beyond"))
+        assert scheduler.wait_quiescent(until=2.0, timeout=10)
+        assert fired == ["in"]
+        assert clock.now() == 1.0  # never advanced past the horizon
+        assert scheduler.pending_timers() == 1
+        assert scheduler.wait_quiescent(timeout=10)
+        assert fired == ["in", "beyond"]
+        assert scheduler.pending_timers() == 0
+
+    def test_advance_holds_block_quiescence(self):
+        scheduler = RetryScheduler(SimulatedClock())
+        hold = scheduler.hold_advance()
+        assert scheduler.quiescence().advance_holds == 1
+        assert not scheduler.is_quiescent()
+
+        released = []
+
+        def check_from_other_thread():
+            released.append(scheduler.is_quiescent())
+
+        worker = threading.Thread(target=check_from_other_thread)
+        worker.start()
+        worker.join()
+        assert released == [False]
+        hold.release()
+        assert scheduler.is_quiescent()
+
+    def test_executor_work_blocks_quiescence(self):
+        from repro import parallel
+
+        scheduler = RetryScheduler(SystemClock())
+        gate = threading.Event()
+        future = parallel.submit(gate.wait)
+        try:
+            assert scheduler.quiescence().executor_queue_depth >= 1
+            assert not scheduler.is_quiescent()
+        finally:
+            gate.set()
+            if future is not None:
+                future.result(timeout=10)
+        assert scheduler.wait_quiescent(timeout=10)
+
+    def test_channel_teardown_leaves_a_quiescent_engine(self):
+        clock = SimulatedClock()
+        network = scheduled_network(clock=clock)
+        network.register("urn:dst", lambda message: "ok")
+        network.partition.sever("urn:src", "urn:dst")
+        policy = RetryPolicy(max_attempts=5, backoff_seconds=0.5)
+        channel = ReliableChannel(network, "urn:src", policy)
+        future = channel.send_scheduled("urn:dst", "op", {})
+        assert not network.retry_scheduler.is_quiescent()
+        channel.close()
+        with pytest.raises(DeliveryError):
+            future.result(timeout=5)
+        assert network.retry_scheduler.wait_quiescent(timeout=10)
