@@ -182,6 +182,64 @@ On top of the encode-once substrate, the protocol engine runs concurrently:
   secret from the cache, so forward security never depends on cache luck.
   Signature bytes are identical to the uncached path.
 
+Durability architecture
+-----------------------
+
+A trusted interceptor process can die mid-coordination.  Without durability
+a crashed proposer silently strands its run: peers hold half-collected
+evidence and responder state for a round that will never settle, and a
+restarted proposer has no memory the run ever existed.
+``TrustDomain.create(durable_runs=True)`` (or
+``Organisation(durable_runs=True)``) closes that gap:
+
+* **Write-ahead run journal** -- ``repro.persistence.run_journal.RunJournal``
+  records each coordination run's phase transition *before its side effects
+  dispatch*, behind the same ``StorageBackend`` interface as the evidence
+  store (pair it with a ``run_journal_backend_factory`` returning
+  ``FileBackend`` directories for real crash recovery).  Three records per
+  run, keyed ``runjournal:{owner}:{run_id}:{phase}``: ``proposed`` (the
+  canonical proposal -- spliced encode-once -- plus the fan-out wave
+  membership, written before the first proposal message leaves),
+  ``committed`` (written inside the commit barrier before any outcome
+  message leaves: the outcome payload/attributes, recipients, the original
+  per-recipient message ids, and the signed ``NR_OUTCOME`` token) and
+  ``settled`` (the run resolved; no recovery needed).
+
+* **Recovery semantics** -- ``Organisation.recover_runs()`` (or
+  ``TrustDomain.recover_runs()``) replays open journal entries
+  deterministically, in run-id order.  The commit barrier decides the
+  direction: a run journaled only as ``proposed`` never dispatched its
+  outcome, so *no peer can have applied anything* -- recovery aborts it
+  through the existing abort machinery and sends every wave member an
+  explicit wire-level abort notice (``RunAbortNotice``, action ``abort``).
+  A run journaled as ``committed`` may already be applied at peers, so
+  recovery *resumes* it: the outcome wave is re-dispatched verbatim (the
+  journaled message ids make re-delivery deduplicate at peers that already
+  processed it) and the local apply re-driven, version-guarded so a double
+  recovery never re-applies.  Both paths settle the journal, making
+  ``recover_runs()`` idempotent.  Restarted processes must present the same
+  key their peers pinned (``keypair_factory``); the journaled evidence was
+  signed with it.
+
+* **Orphan expiry** -- responders arm a proposal-age timer
+  (``orphan_run_timeout`` seconds, riding the ``RetryScheduler`` with an
+  ``orphan:{party}:{run_id}`` tag) when they return a decision; an outcome
+  or abort notice cancels it, and expiry garbage-collects the orphaned
+  responder run state -- no divergent replica state, no leaked timers --
+  covering proposers that die and never recover.
+
+* **Crash-atomic storage** -- ``FileBackend`` writes records to a temp
+  file, fsyncs and renames; the index entry is the commit point of a put.
+  Torn index lines, orphaned record files and leftover temp files from a
+  crash are ignored (and temp files swept) on reopen.
+
+The kill/restart chaos suite (``tests/property/test_durable_runs_wire.py``)
+SIGKILLs a proposer process mid-run over real TCP at a seeded schedule of
+crash points, restarts it against the same journal/evidence directories,
+recovers, and asserts converge-never-diverge: responder replicas end
+mutually identical (state, version and evidence multisets) and no scheduler
+timers leak.
+
 Deployment architecture
 -----------------------
 
@@ -251,7 +309,12 @@ from repro.core.invocation import (
 )
 from repro.core.messages import B2BProtocolMessage
 from repro.core.organisation import Organisation
-from repro.core.sharing import B2BObjectController, RunFuture, SharingOutcome
+from repro.core.sharing import (
+    B2BObjectController,
+    RunAbortNotice,
+    RunFuture,
+    SharingOutcome,
+)
 from repro.core.transactions import SharedStateTransaction, TransactionManager
 from repro.core.contracts import ContractFSM, ContractMonitor, ContractValidator
 from repro.core.fair_exchange import FairExchangeClient
@@ -264,8 +327,9 @@ from repro.core.validators import (
     ValidationDecision,
 )
 from repro.errors import ReproError
+from repro.persistence.run_journal import JournaledRun, RunJournal
 from repro.transport.network import FaultModel, SimulatedNetwork
-from repro.transport.wire import WireNetwork, WireTransport
+from repro.transport.wire import WireNetwork, WireTransport, wire_type
 
 __version__ = "1.0.0"
 
@@ -298,9 +362,12 @@ __all__ = [
     "InvocationOutcome",
     "InvocationResult",
     "InvocationStatus",
+    "JournaledRun",
     "Organisation",
     "ReproError",
+    "RunAbortNotice",
     "RunFuture",
+    "RunJournal",
     "SharedStateTransaction",
     "SharingOutcome",
     "SimulatedNetwork",
@@ -314,4 +381,5 @@ __all__ = [
     "WireNetwork",
     "WireTransport",
     "__version__",
+    "wire_type",
 ]

@@ -228,7 +228,9 @@ def _write(value: Any, out: List[str]) -> None:
         return
     if isinstance(value, (set, frozenset)):
         out.append('{"__set__":')
-        _write_sequence(_ordered_set_jsonables(value), out)
+        # The ordered items are already jsonable (their dicts are intended
+        # tags, e.g. {"__bytes__": ...}), so they must not be re-escaped.
+        _write_jsonable(_ordered_set_jsonables(value), out)
         out.append("}")
         return
     canonical = getattr(value, "canonical_encoded", None)
@@ -251,6 +253,11 @@ def _write_dict(value: Dict[Any, Any], out: List[str]) -> None:
         keys = sorted(value)
     except TypeError:
         keys = list(value)  # let the per-key check below raise CodecError
+    # A plain dict shaped exactly like a codec tag must be escaped, or the
+    # decoder would misread it as that tag (see _RESERVED_TAG_SHAPES).
+    escaped = set(keys) in _RESERVED_TAG_SHAPES
+    if escaped:
+        out.append('{"__literal__":')
     out.append("{")
     first = True
     for key in keys:
@@ -264,6 +271,42 @@ def _write_dict(value: Dict[Any, Any], out: List[str]) -> None:
         out.append(":")
         _write(value[key], out)
     out.append("}")
+    if escaped:
+        out.append("}")
+
+
+def _write_jsonable(value: Any, out: List[str]) -> None:
+    """Write a value that is *already* jsonable (from :func:`to_jsonable`).
+
+    Unlike :func:`_write_dict`, dicts here are written verbatim: any
+    tag-shaped dict in converted output is an intended codec tag, and any
+    escaping a plain dict needed has already been applied.
+    """
+    if isinstance(value, dict):
+        out.append("{")
+        first = True
+        for key in sorted(value):
+            if first:
+                first = False
+            else:
+                out.append(",")
+            out.append(_escape_str(key))
+            out.append(":")
+            _write_jsonable(value[key], out)
+        out.append("}")
+        return
+    if isinstance(value, list):
+        out.append("[")
+        first = True
+        for item in value:
+            if first:
+                first = False
+            else:
+                out.append(",")
+            _write_jsonable(item, out)
+        out.append("]")
+        return
+    _write(value, out)
 
 
 def _write_sequence(value: Any, out: List[str]) -> None:
@@ -312,6 +355,17 @@ def canonicalize(value: Any) -> Encoded:
     return Encoded(encode_text(value), source=value)
 
 
+#: Key sets the decoder interprets as codec tags.  A *plain* dict with one
+#: of these exact shapes must be escaped on encode (``__literal__``) or it
+#: would come back as the tagged type instead of itself.
+_RESERVED_TAG_SHAPES = (
+    {"__bytes__"},
+    {"__set__"},
+    {"__literal__"},
+    {"__object__", "data"},
+)
+
+
 def to_jsonable(value: Any) -> Any:
     """Convert ``value`` into JSON-encodable structures.
 
@@ -332,6 +386,11 @@ def to_jsonable(value: Any) -> Any:
             if not isinstance(key, str):
                 raise CodecError(f"dictionary keys must be strings, got {type(key)}")
             converted[key] = to_jsonable(item)
+        if set(converted.keys()) in _RESERVED_TAG_SHAPES:
+            # A plain dict whose keys collide with a codec tag would be
+            # misread as that tag on decode; escape it so the roundtrip
+            # stays lossless for every input.
+            return {"__literal__": converted}
         return converted
     if isinstance(value, (list, tuple)):
         return [to_jsonable(item) for item in value]
@@ -356,6 +415,12 @@ def from_jsonable(
     there is exactly one implementation of the canonical tag rules.
     """
     if isinstance(value, dict):
+        if set(value.keys()) == {"__literal__"}:
+            # An escaped plain dict whose own keys look like a codec tag.
+            return {
+                key: from_jsonable(item, object_reviver)
+                for key, item in value["__literal__"].items()
+            }
         if set(value.keys()) == {"__bytes__"}:
             return bytes.fromhex(value["__bytes__"])
         if set(value.keys()) == {"__set__"}:

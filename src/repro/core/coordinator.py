@@ -31,6 +31,7 @@ from repro.core.protocol import B2BProtocolHandler
 from repro.errors import ProtocolError
 from repro.persistence.audit_log import AuditLog
 from repro.persistence.evidence_store import EvidenceStore
+from repro.persistence.run_journal import RunJournal
 from repro.persistence.state_store import StateStore
 from repro.transport.delivery import RetryPolicy
 from repro.transport.network import SimulatedNetwork
@@ -55,6 +56,9 @@ class LocalServices:
     state_store: StateStore
     audit_log: AuditLog
     clock: Clock = field(default_factory=SystemClock)
+    #: Write-ahead journal of in-flight coordination runs; ``None`` keeps
+    #: runs process-local (no durability, no recovery on restart).
+    run_journal: Optional[RunJournal] = None
 
 
 class B2BCoordinator:

@@ -109,7 +109,10 @@ class EvidenceToken:
             "recipient": self.recipient,
             "payload_digest": self.payload_digest.hex(),
             "issued_at": self.issued_at,
-            "details": self._details_jsonable(),
+            # Raw, not _details_jsonable(): the canonical writer converts
+            # exactly once, so a second pass would escape the already-built
+            # tags (e.g. {"__bytes__": ...}) and break from_dict revival.
+            "details": dict(self.details),
         }
         if self.signature is not None:
             payload["signature"] = self.signature.to_dict()

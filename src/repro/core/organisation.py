@@ -51,6 +51,7 @@ from repro.errors import ProtocolError
 from repro.membership.service import MembershipService
 from repro.persistence.audit_log import AuditLog
 from repro.persistence.evidence_store import EvidenceStore
+from repro.persistence.run_journal import RunJournal
 from repro.persistence.state_store import StateStore
 from repro.persistence.storage import StorageBackend
 from repro.transport.delivery import RetryPolicy
@@ -81,6 +82,9 @@ class Organisation:
         display_name: str = "",
         evidence_backend: Optional[StorageBackend] = None,
         async_runs: bool = False,
+        durable_runs: bool = False,
+        run_journal_backend: Optional[StorageBackend] = None,
+        orphan_run_timeout: Optional[float] = None,
     ) -> None:
         self.uri = uri
         self.display_name = display_name or uri
@@ -105,6 +109,14 @@ class Organisation:
             owner=uri, backend=evidence_backend, clock=self.clock
         )
         self.state_store = StateStore(owner=uri)
+        # ``durable_runs`` (or an explicit backend) turns on the write-ahead
+        # run journal: every coordination run this organisation proposes is
+        # journaled before its side effects dispatch, and
+        # :meth:`recover_runs` replays open runs after a restart.  Pair it
+        # with a file-backed ``run_journal_backend`` for real crash recovery.
+        self.run_journal: Optional[RunJournal] = None
+        if durable_runs or run_journal_backend is not None:
+            self.run_journal = RunJournal(owner=uri, backend=run_journal_backend)
         self.membership = MembershipService(clock=self.clock)
         self.role_manager = RoleManager(clock=self.clock)
         self.access_policy = AccessPolicy(owner=uri)
@@ -133,6 +145,7 @@ class Organisation:
             state_store=self.state_store,
             audit_log=self.audit_log,
             clock=self.clock,
+            run_journal=self.run_journal,
         )
         self.coordinator = B2BCoordinator(
             party=uri,
@@ -151,6 +164,7 @@ class Organisation:
             coordinator=self.coordinator,
             membership=self.membership,
             async_runs=async_runs,
+            orphan_run_timeout=orphan_run_timeout,
         )
 
         # -- container integration of the NR middleware ------------------------------------
@@ -310,6 +324,16 @@ class Organisation:
     ) -> RunFuture:
         """Start a non-blocking coordination run; returns its :class:`RunFuture`."""
         return self.controller.propose_update_async(object_id, new_state, deadline)
+
+    def recover_runs(self) -> Dict[str, str]:
+        """Replay the run journal after a restart; returns ``run_id -> action``.
+
+        Resumes runs journaled past the commit barrier, aborts (and notifies
+        the wave of) runs that never reached it.  A no-op without
+        ``durable_runs`` and idempotent with it -- see
+        :meth:`repro.core.sharing.B2BObjectController.recover_runs`.
+        """
+        return self.controller.recover_runs()
 
     def shared_state(self, object_id: str) -> Any:
         return self.controller.get_state(object_id)

@@ -83,7 +83,13 @@ from repro.errors import (
     ProtocolError,
 )
 from repro.membership.service import Member, MembershipService
+from repro.persistence.run_journal import (
+    PHASE_COMMITTED,
+    JournaledRun,
+    RunJournal,
+)
 from repro.transport.scheduler import DeliveryFuture, RetryScheduler, TimerHandle
+from repro.transport.wire.wirecodec import wire_type
 
 #: Protocol name for state and membership coordination.
 NR_SHARING_PROTOCOL = "nr-sharing"
@@ -95,6 +101,58 @@ ACTION_PROPOSE = "propose"
 ACTION_OUTCOME = "outcome"
 ACTION_MEMBERSHIP_PROPOSE = "membership-propose"
 ACTION_MEMBERSHIP_OUTCOME = "membership-outcome"
+ACTION_ABORT = "abort"
+
+
+@wire_type
+@dataclass(frozen=True)
+class RunAbortNotice:
+    """Wire-level notification that a coordination run died before commit.
+
+    Sent by a recovering proposer for every journaled run that never passed
+    the commit barrier, so peers learn the run is dead instead of holding
+    its responder state until their orphan expiry fires.  Registered for
+    wire revival through the :func:`~repro.transport.wire.wire_type`
+    decorator, so it crosses process boundaries without per-deployment
+    registration.
+    """
+
+    run_id: str
+    object_id: str
+    proposer: str
+    reason: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "object_id": self.object_id,
+            "proposer": self.proposer,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "RunAbortNotice":
+        return cls(
+            run_id=data["run_id"],
+            object_id=data["object_id"],
+            proposer=data["proposer"],
+            reason=data.get("reason", ""),
+        )
+
+
+#: Test seam for crash-fault injection: when set, called as
+#: ``injector(stage, run)`` right after each durable journal write and may
+#: raise (simulating an in-process crash) or SIGKILL the process (chaos
+#: suites).  Stages: ``"after-journal-proposed"``, ``"after-journal-committed"``.
+_run_fault_injector: Optional[Callable[[str, "_CoordinationRun"], None]] = None
+
+
+def set_run_fault_injector(
+    injector: Optional[Callable[[str, "_CoordinationRun"], None]],
+) -> None:
+    """Install (or clear, with ``None``) the crash-fault injection hook."""
+    global _run_fault_injector
+    _run_fault_injector = injector
 
 
 @dataclass
@@ -191,8 +249,19 @@ class _CoordinationRun:
         # the proposer disowned -- permanent divergence).
         self._committed = False
         self._fan_outs: List = []
+        self._journal: Optional[RunJournal] = self._services.run_journal
         self.future = RunFuture(run_id, self._scheduler)
         self.future._machine = self
+        if self._journal is not None:
+            # Whichever way the run resolves -- completion, abort, deadline
+            # expiry or engine failure -- the settled record marks it as
+            # needing no recovery.  The callback fires after the future is
+            # resolved, so the journal can never declare settled a run whose
+            # outcome is still undecided.
+            self.future.add_done_callback(self._journal_settled)
+
+    #: Journal tag for the run kind; subclasses override.
+    _journal_kind = "run"
 
     # -- protocol hooks (one coordination round = three steps) -------------------
 
@@ -221,9 +290,7 @@ class _CoordinationRun:
         against: each fan-out is awaited in place (the wait itself drives
         the retry scheduler when one is attached).
         """
-        decision_fan_out = self._register_fan_out(
-            self._coordinator.request_all_async(self._phase1_messages())
-        )
+        decision_fan_out = self._phase1_fan_out()
         outcome_messages = self._phase2_messages(decision_fan_out.results())
         outcome_fan_out = self._commit_outcome(outcome_messages)
         if outcome_fan_out is None:  # aborted concurrently; future holds why
@@ -246,7 +313,12 @@ class _CoordinationRun:
             self._committed = True
         # Only now is the outcome part of the run's permanent record: an
         # abort that won the race above must leave no generated evidence
-        # asserting an outcome that never shipped.
+        # asserting an outcome that never shipped.  The journal record is
+        # written before any side effect (evidence persistence, outcome
+        # dispatch), so a crash from here on recovers by *resuming* the
+        # committed run -- peers may already hold the outcome.
+        self._journal_committed(outcome_messages)
+        self._inject_fault("after-journal-committed")
         self._on_committed()
         return self._register_fan_out(
             self._coordinator.send_all_async(outcome_messages)
@@ -254,6 +326,88 @@ class _CoordinationRun:
 
     def _on_committed(self) -> None:
         """Persist outcome evidence; runs only when the outcome really ships."""
+
+    # -- durability (write-ahead journal) ------------------------------------------
+
+    def _phase1_fan_out(self):
+        """Build phase 1, journal the intent, then dispatch the fan-out.
+
+        The journal record lands *before* the first proposal message leaves:
+        a run a peer has heard of is always a run the journal can recover
+        (abort-and-notify), while a crash before the record behaves as if
+        the run never existed -- no peer saw it either, since nothing was
+        dispatched.
+        """
+        messages = self._phase1_messages()
+        self._journal_proposed(messages)
+        self._inject_fault("after-journal-proposed")
+        return self._register_fan_out(
+            self._coordinator.request_all_async(messages)
+        )
+
+    def _journal_proposed(self, messages: List[B2BProtocolMessage]) -> None:
+        if self._journal is None:
+            return
+        self._journal.record_proposed(
+            self.run_id,
+            kind=self._journal_kind,
+            object_id=self.object_id,
+            proposer=self._controller.party,
+            peers=[message.recipient for message in messages],
+            proposal=self._proposal,
+            deadline=self._deadline,
+        )
+
+    def _journal_commit_apply(self) -> Dict[str, Any]:
+        """Declarative local-apply spec for the committed record; subclass hook."""
+        raise NotImplementedError
+
+    def _journal_committed(self, messages: List[B2BProtocolMessage]) -> None:
+        if self._journal is None:
+            return
+        if messages:
+            first = messages[0]
+            payload, attributes, step = first.payload, first.attributes, first.step
+        else:  # a wave with no recipients still commits its local apply
+            payload, attributes, step = None, {}, 3
+        self._journal.record_committed(
+            self.run_id,
+            payload=payload,
+            attributes=attributes,
+            recipients=[message.recipient for message in messages],
+            message_ids={
+                message.recipient: message.message_id for message in messages
+            },
+            step=step,
+            nr_outcome=self._nr_outcome,
+            apply=self._journal_commit_apply(),
+        )
+
+    def _journal_settled(self, future: DeliveryFuture) -> None:
+        error = future.error
+        if error is not None:
+            agreed, reason = False, f"run failed: {error}"
+        else:
+            outcome = future.result()
+            agreed, reason = outcome.agreed, outcome.reason
+        try:
+            self._journal.record_settled(self.run_id, agreed=agreed, reason=reason)
+        except Exception as journal_error:  # noqa: BLE001 - resolution beats GC
+            # The run resolved; failing the resolver over a lost GC marker
+            # would strand waiters, so record the failure and move on (the
+            # worst case is a spurious recovery pass on next restart).
+            self._services.audit_log.append(
+                category=AUDIT_CATEGORY_SHARING,
+                subject=self.run_id,
+                details={
+                    "event": "journal-settle-failed",
+                    "error": str(journal_error),
+                },
+            )
+
+    def _inject_fault(self, stage: str) -> None:
+        if _run_fault_injector is not None:
+            _run_fault_injector(stage, self)
 
     def _register_fan_out(self, fan_out):
         """Track a live fan-out so an abort can close its retry channel.
@@ -294,9 +448,7 @@ class _CoordinationRun:
                     self._deadline, self._expire, run_id=self.run_id
                 )
             try:
-                decision_fan_out = self._register_fan_out(
-                    self._coordinator.request_all_async(self._phase1_messages())
-                )
+                decision_fan_out = self._phase1_fan_out()
             except Exception:
                 self._cancel_deadline()
                 raise
@@ -471,6 +623,7 @@ class B2BObjectController:
         coordinator: B2BCoordinator,
         membership: Optional[MembershipService] = None,
         async_runs: bool = False,
+        orphan_run_timeout: Optional[float] = None,
     ) -> None:
         self.party = party
         self._coordinator = coordinator
@@ -479,6 +632,12 @@ class B2BObjectController:
         #: driver (``propose_update`` == ``propose_update_async().result()``);
         #: when clear they drive the same state machine inline.
         self.async_runs = async_runs
+        #: Responder-side proposal-age expiry (seconds): a proposal whose
+        #: outcome has not arrived within this window is treated as orphaned
+        #: -- its proposer died or partitioned away -- and its responder
+        #: state is garbage-collected.  ``None`` disables the expiry clock.
+        self.orphan_run_timeout = orphan_run_timeout
+        self._orphan_timers: Dict[str, TimerHandle] = {}
         self._objects: Dict[str, _SharedObject] = {}
         self._lock = threading.RLock()
         self._handler = SharingProtocolHandler(self)
@@ -816,6 +975,271 @@ class B2BObjectController:
                 with self._lock:
                     self._objects.pop(object_id, None)
 
+    # -- durability: crash recovery, orphan expiry, abort notices ---------------------------
+
+    @property
+    def run_journal(self) -> Optional[RunJournal]:
+        return self._coordinator.services.run_journal
+
+    def recover_runs(self) -> Dict[str, str]:
+        """Replay the run journal after a restart; returns ``run_id -> action``.
+
+        A run journaled past the commit barrier is *resumed*: its outcome
+        wave is re-dispatched verbatim (original per-recipient message ids,
+        so peers that already processed it deduplicate) and its local apply
+        re-driven -- peers may already hold the outcome, so aborting would
+        diverge the replicas.  A run that never reached the barrier is
+        *aborted*: no peer can have applied anything, so the recovering
+        proposer settles it as not-agreed and sends every wave member an
+        explicit :class:`RunAbortNotice` instead of leaving them to wait out
+        the orphan expiry.  Idempotent: each recovered run gains a settled
+        journal record, so a second call finds nothing open.
+        """
+        journal = self.run_journal
+        if journal is None:
+            return {}
+        actions: Dict[str, str] = {}
+        for record in journal.open_runs():
+            if record.phase == PHASE_COMMITTED:
+                self._recover_resume(record)
+                actions[record.run_id] = "resumed"
+            else:
+                self._recover_abort(record)
+                actions[record.run_id] = "aborted"
+        return actions
+
+    def _recover_resume(self, record: JournaledRun) -> None:
+        """Drive a crashed-but-committed run to completion."""
+        services = self._coordinator.services
+        committed = record.committed or {}
+        proposed = record.proposed or {}
+        run_id = record.run_id
+        nr_outcome = EvidenceToken.from_dict(
+            dict(committed["nr_outcome"]), revived=True
+        )
+        # The commit record is written before _on_committed persists the
+        # token, so the crash may or may not have left it in the store.
+        stored_outcomes = services.evidence_store.tokens_of_type(
+            run_id, nr_outcome.token_type
+        )
+        if not any(
+            stored.role == services.evidence_store.ROLE_GENERATED
+            for stored in stored_outcomes
+        ):
+            services.evidence_store.store(
+                run_id=run_id,
+                token_type=nr_outcome.token_type,
+                token=nr_outcome,
+                role=services.evidence_store.ROLE_GENERATED,
+            )
+        # The peers' decision evidence was persisted during phase 2 (before
+        # the barrier), so the resent wave can forward it like the original.
+        decision_tokens = [
+            # Stored token dicts round-trip the store as *unrevived*
+            # jsonables (encode escapes their tags, decode unwraps them),
+            # so revive here -- same as dispute/fair-exchange replay.
+            EvidenceToken.from_dict(dict(stored.token))
+            for stored in services.evidence_store.tokens_of_type(
+                run_id, TokenType.NR_DECISION.value
+            )
+            if stored.role == services.evidence_store.ROLE_RECEIVED
+        ]
+        recipients = list(committed.get("recipients") or [])
+        message_ids = dict(committed.get("message_ids") or {})
+        attributes = dict(committed.get("attributes") or {})
+        messages = [
+            B2BProtocolMessage(
+                run_id=run_id,
+                protocol=NR_SHARING_PROTOCOL,
+                step=int(committed.get("step", 3)),
+                sender=self.party,
+                recipient=recipient,
+                payload=committed.get("payload"),
+                tokens=[nr_outcome] + decision_tokens,
+                attributes=attributes,
+                reply_to=self._coordinator.address,
+                message_id=message_ids.get(recipient) or new_unique_id("msg"),
+            )
+            for recipient in recipients
+        ]
+        errors = self._coordinator.send_all(messages) if messages else []
+        apply = dict(committed.get("apply") or {})
+        object_id = proposed.get("object_id") or dict(
+            attributes.get("proposal") or {}
+        ).get("object_id", "")
+        applied = False
+        if apply.get("agreed"):
+            if "action" in apply:  # membership runs apply idempotently
+                self._apply_membership_change(
+                    object_id, apply["action"], apply["member"]
+                )
+                applied = True
+            elif self.is_shared(object_id):
+                proposal = dict(attributes.get("proposal") or {})
+                new_version = apply.get("new_version")
+                proposed_state = proposal.get("proposed_state")
+                # Version-guarded like handle_outcome: a crash after the
+                # local apply (or a double recovery) must not re-apply.
+                if (
+                    proposed_state is not None
+                    and new_version == self._shared(object_id).version + 1
+                ):
+                    self._apply_update(object_id, proposed_state, new_version)
+                    applied = True
+        services.audit_log.append(
+            category=AUDIT_CATEGORY_SHARING,
+            subject=run_id,
+            details={
+                "event": "run-recovered",
+                "action": "resumed",
+                "object_id": object_id,
+                "agreed": bool(apply.get("agreed")),
+                "applied": applied,
+                "undelivered_outcomes": [
+                    recipient
+                    for recipient, error in zip(recipients, errors)
+                    if error is not None
+                ],
+            },
+        )
+        self.run_journal.record_settled(
+            run_id, agreed=bool(apply.get("agreed")), reason="resumed after crash"
+        )
+
+    def _recover_abort(self, record: JournaledRun) -> None:
+        """Settle a crashed pre-commit run as dead and tell its wave so."""
+        proposed = record.proposed or {}
+        run_id = record.run_id
+        object_id = proposed.get("object_id", "")
+        reason = "recovered after crash: aborted before commit"
+        notice = RunAbortNotice(
+            run_id=run_id,
+            object_id=object_id,
+            proposer=self.party,
+            reason=reason,
+        )
+        peers = list(proposed.get("peers") or [])
+        messages = [
+            B2BProtocolMessage(
+                run_id=run_id,
+                protocol=NR_SHARING_PROTOCOL,
+                step=3,
+                sender=self.party,
+                recipient=peer,
+                payload=notice,
+                attributes={"action": ACTION_ABORT},
+                reply_to=self._coordinator.address,
+            )
+            for peer in peers
+        ]
+        # Best-effort: an unreachable peer's own orphan expiry is the backstop.
+        errors = self._coordinator.send_all(messages) if messages else []
+        self._coordinator.services.audit_log.append(
+            category=AUDIT_CATEGORY_SHARING,
+            subject=run_id,
+            details={
+                "event": "run-recovered",
+                "action": "aborted",
+                "object_id": object_id,
+                "reason": reason,
+                "unnotified_peers": [
+                    peer
+                    for peer, error in zip(peers, errors)
+                    if error is not None
+                ],
+            },
+        )
+        self.run_journal.record_settled(run_id, agreed=False, reason=reason)
+
+    def handle_abort(self, message: B2BProtocolMessage) -> None:
+        """GC responder state for a run its proposer recovered-aborted."""
+        payload = message.payload
+        notice = (
+            payload
+            if isinstance(payload, RunAbortNotice)
+            else RunAbortNotice.from_dict(dict(payload or {}))
+        )
+        run = self._handler.runs.get(message.run_id)
+        if run is not None and run.initiator != message.sender:
+            # Only the proposer that started a run may declare it dead.
+            self._coordinator.services.audit_log.append(
+                category=AUDIT_CATEGORY_SHARING,
+                subject=message.run_id,
+                details={
+                    "event": "abort-refused",
+                    "claimed_proposer": message.sender,
+                    "initiator": run.initiator,
+                },
+            )
+            return
+        self._clear_orphan_watch(message.run_id)
+        if run is not None and not run.finished:
+            run.abort()
+        self._coordinator.services.audit_log.append(
+            category=AUDIT_CATEGORY_SHARING,
+            subject=message.run_id,
+            details={
+                "event": "run-abort-received",
+                "object_id": notice.object_id,
+                "proposer": message.sender,
+                "reason": notice.reason,
+            },
+        )
+
+    def _watch_orphan_run(
+        self, run_id: str, proposer: str, object_id: str
+    ) -> None:
+        """Start the proposal-age expiry clock for a responder-side run.
+
+        The timer is tagged ``orphan:{party}:{run_id}`` -- *not* the bare
+        run id: in a simulated network every party shares one scheduler, so
+        a bare tag would let a proposer-side ``cancel_run`` (abort, settle)
+        silently withdraw this responder's expiry watch, and vice versa.
+        """
+        timeout = self.orphan_run_timeout
+        scheduler = self._coordinator.network.retry_scheduler
+        if timeout is None or scheduler is None:
+            return
+        with self._lock:
+            if run_id in self._orphan_timers:
+                return
+            self._orphan_timers[run_id] = scheduler.schedule(
+                timeout,
+                lambda: self._expire_orphan_run(run_id, proposer, object_id),
+                run_id=f"orphan:{self.party}:{run_id}",
+            )
+
+    def _clear_orphan_watch(self, run_id: str) -> None:
+        with self._lock:
+            handle = self._orphan_timers.pop(run_id, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _expire_orphan_run(
+        self, run_id: str, proposer: str, object_id: str
+    ) -> None:
+        with self._lock:
+            self._orphan_timers.pop(run_id, None)
+        run = self._handler.runs.get(run_id)
+        if run is None or run.finished:
+            return
+        run.abort()
+        self._coordinator.services.audit_log.append(
+            category=AUDIT_CATEGORY_SHARING,
+            subject=run_id,
+            details={
+                "event": "orphan-run-expired",
+                "object_id": object_id,
+                "proposer": proposer,
+                "timeout": self.orphan_run_timeout,
+            },
+        )
+
+    def pending_orphan_watches(self) -> List[str]:
+        """Run ids whose orphan expiry clock is still ticking (sorted)."""
+        with self._lock:
+            return sorted(self._orphan_timers)
+
     # -- handling incoming protocol messages (called by the handler) ----------------------------
 
     def handle_proposal(self, message: B2BProtocolMessage) -> B2BProtocolMessage:
@@ -1122,6 +1546,14 @@ class _UpdateRun(_CoordinationRun):
         self._new_version: Optional[int] = None
         self._nr_outcome: Optional[EvidenceToken] = None
 
+    _journal_kind = "update"
+
+    def _journal_commit_apply(self) -> Dict[str, Any]:
+        return {
+            "agreed": self._agreed,
+            "new_version": self._new_version,
+        }
+
     def _phase1_messages(self) -> List[B2BProtocolMessage]:
         controller, services = self._controller, self._services
         self._base_version = self._shared.version
@@ -1352,6 +1784,15 @@ class _MembershipRun(_CoordinationRun):
         self._agreed = False
         self._nr_outcome: Optional[EvidenceToken] = None
 
+    _journal_kind = "membership"
+
+    def _journal_commit_apply(self) -> Dict[str, Any]:
+        return {
+            "agreed": self._agreed,
+            "action": self._action,
+            "member": self._member,
+        }
+
     def _phase1_messages(self) -> List[B2BProtocolMessage]:
         controller, services = self._controller, self._services
         action, member = self._action, self._member
@@ -1558,10 +1999,18 @@ class SharingProtocolHandler(B2BProtocolHandler):
         )
         run.record_message(message)
         if action == ACTION_PROPOSE:
-            return self._controller.handle_proposal(message)
-        if action == ACTION_MEMBERSHIP_PROPOSE:
-            return self._controller.handle_membership_proposal(message)
-        raise ProtocolError(f"unsupported sharing request action {action!r}")
+            response = self._controller.handle_proposal(message)
+        elif action == ACTION_MEMBERSHIP_PROPOSE:
+            response = self._controller.handle_membership_proposal(message)
+        else:
+            raise ProtocolError(f"unsupported sharing request action {action!r}")
+        # The decision is about to leave with no outcome back yet: start the
+        # proposal-age expiry clock so a proposer that dies mid-run cannot
+        # strand this responder's run state forever.
+        self._controller._watch_orphan_run(  # noqa: SLF001 - same module
+            message.run_id, message.sender, message.payload["object_id"]
+        )
+        return response
 
     def process(self, message: B2BProtocolMessage) -> None:
         action = message.attributes.get("action")
@@ -1576,12 +2025,17 @@ class SharingProtocolHandler(B2BProtocolHandler):
         if not run.record_message(message):
             return
         if action == ACTION_OUTCOME:
+            self._controller._clear_orphan_watch(message.run_id)  # noqa: SLF001
             self._controller.handle_outcome(message)
             run.complete()
             return
         if action == ACTION_MEMBERSHIP_OUTCOME:
+            self._controller._clear_orphan_watch(message.run_id)  # noqa: SLF001
             self._controller.handle_membership_outcome(message)
             run.complete()
+            return
+        if action == ACTION_ABORT:
+            self._controller.handle_abort(message)
             return
         raise ProtocolError(f"unsupported sharing one-way action {action!r}")
 

@@ -85,6 +85,12 @@ class TrustDomain:
         async_runs: bool = False,
         evidence_backend_factory: Optional[Callable[[str], StorageBackend]] = None,
         transport: Optional["WireTransport"] = None,  # noqa: F821 - lazy import
+        durable_runs: bool = False,
+        run_journal_backend_factory: Optional[
+            Callable[[str], StorageBackend]
+        ] = None,
+        orphan_run_timeout: Optional[float] = None,
+        keypair_factory: Optional[Callable[[str], "KeyPair"]] = None,  # noqa: F821
     ) -> "TrustDomain":
         """Build a trust domain of the requested style for ``party_uris``.
 
@@ -111,6 +117,19 @@ class TrustDomain:
         socket-backed :class:`~repro.transport.wire.WireNetwork`, and every
         other party of ``party_uris`` is resolved through the wire
         credential exchange instead of direct object access.
+
+        ``durable_runs`` (optionally with a ``run_journal_backend_factory``
+        mapping each party URI to a storage backend, e.g. a
+        :class:`~repro.persistence.storage.FileBackend` directory) gives
+        every organisation a write-ahead run journal;
+        :meth:`recover_runs` replays open runs after a restart.
+        ``orphan_run_timeout`` (seconds) arms the responder-side
+        proposal-age expiry: a proposal whose outcome never arrives is
+        garbage-collected instead of stranding run state forever.
+        ``keypair_factory`` maps a party URI to the key pair it should use
+        -- a restarted process must present the *same* key its peers pinned
+        (wire key pinning is trust-on-first-use), so durable deployments
+        persist keys and rebuild organisations through this hook.
         """
         if len(party_uris) < 2:
             raise ProtocolError("a trust domain needs at least two organisations")
@@ -132,6 +151,10 @@ class TrustDomain:
                 scheduled_retries=scheduled_retries,
                 async_runs=async_runs,
                 evidence_backend_factory=evidence_backend_factory,
+                durable_runs=durable_runs,
+                run_journal_backend_factory=run_journal_backend_factory,
+                orphan_run_timeout=orphan_run_timeout,
+                keypair_factory=keypair_factory,
             )
         clock = clock or SimulatedClock()
         network = network or SimulatedNetwork(
@@ -156,6 +179,7 @@ class TrustDomain:
                 uri=uri,
                 network=network,
                 ca=ca,
+                keypair=keypair_factory(uri) if keypair_factory else None,
                 scheme=scheme,
                 clock=clock,
                 timestamp_authority=tsa,
@@ -163,6 +187,13 @@ class TrustDomain:
                     evidence_backend_factory(uri) if evidence_backend_factory else None
                 ),
                 async_runs=async_runs,
+                durable_runs=durable_runs,
+                run_journal_backend=(
+                    run_journal_backend_factory(uri)
+                    if run_journal_backend_factory
+                    else None
+                ),
+                orphan_run_timeout=orphan_run_timeout,
             )
         # Everybody learns everybody's keys (credential exchange).
         organisations = list(domain.organisations.values())
@@ -198,6 +229,12 @@ class TrustDomain:
         scheduled_retries: bool,
         async_runs: bool,
         evidence_backend_factory: Optional[Callable[[str], StorageBackend]],
+        durable_runs: bool = False,
+        run_journal_backend_factory: Optional[
+            Callable[[str], StorageBackend]
+        ] = None,
+        orphan_run_timeout: Optional[float] = None,
+        keypair_factory: Optional[Callable[[str], "KeyPair"]] = None,  # noqa: F821
     ) -> "TrustDomain":
         """Build one process's share of a socket-connected trust domain.
 
@@ -264,12 +301,20 @@ class TrustDomain:
                 uri=uri,
                 network=wire_network,
                 ca=ca,
+                keypair=keypair_factory(uri) if keypair_factory else None,
                 scheme=scheme,
                 clock=clock,
                 evidence_backend=(
                     evidence_backend_factory(uri) if evidence_backend_factory else None
                 ),
                 async_runs=async_runs,
+                durable_runs=durable_runs,
+                run_journal_backend=(
+                    run_journal_backend_factory(uri)
+                    if run_journal_backend_factory
+                    else None
+                ),
+                orphan_run_timeout=orphan_run_timeout,
             )
         # Local parties exchange credentials directly; publishing them on
         # the transport makes them introducible to (and by) peer processes.
@@ -416,6 +461,19 @@ class TrustDomain:
                 self.organisation(uri).share_object(object_id, initial_state, members)
             elif uri not in self.remote_parties:
                 raise ProtocolError(f"no organisation {uri!r} in this trust domain")
+
+    def recover_runs(self) -> Dict[str, Dict[str, str]]:
+        """Replay every local organisation's run journal after a restart.
+
+        Returns ``party uri -> {run_id: action}`` for the runs recovered
+        (``"resumed"`` past the commit barrier, ``"aborted"`` before it).
+        Deterministic -- organisations in sorted order, runs in run-id order
+        -- and idempotent: recovered runs are settled in their journals.
+        """
+        return {
+            uri: self.organisations[uri].recover_runs()
+            for uri in sorted(self.organisations)
+        }
 
     def total_relayed_messages(self) -> int:
         """Number of protocol messages that passed through TTP relays."""

@@ -12,10 +12,13 @@ representation of state in the state store".
 * :mod:`repro.persistence.evidence_store` -- evidence records indexed by
   protocol run.
 * :mod:`repro.persistence.state_store` -- digest -> state mapping.
+* :mod:`repro.persistence.run_journal` -- write-ahead journal of in-flight
+  coordination runs (crash recovery).
 """
 
 from repro.persistence.audit_log import AuditLog, AuditRecord
 from repro.persistence.evidence_store import EvidenceStore, StoredEvidence
+from repro.persistence.run_journal import JournaledRun, RunJournal
 from repro.persistence.state_store import StateStore
 from repro.persistence.storage import FileBackend, InMemoryBackend, StorageBackend
 
@@ -25,6 +28,8 @@ __all__ = [
     "EvidenceStore",
     "FileBackend",
     "InMemoryBackend",
+    "JournaledRun",
+    "RunJournal",
     "StateStore",
     "StorageBackend",
     "StoredEvidence",

@@ -75,9 +75,19 @@ class FileBackend(StorageBackend):
 
     Keys are encoded to safe file names; an index file preserves insertion
     order so hash-chain verification can replay records in order.
+
+    Writes are crash-atomic: record bytes land in a same-directory temp
+    file, are fsynced, and reach their final name through an atomic rename,
+    so a process killed mid-write can never leave a torn record -- only a
+    ``.tmp`` leftover, which is swept on reopen and never served.  The
+    index append is fsynced too, and the index entry is the *commit point*
+    of a put: a record file whose index entry never completed (or whose
+    trailing index line was torn) is treated as if the put never happened,
+    which is exactly the write-ahead semantics the run journal relies on.
     """
 
     _INDEX_NAME = "_index"
+    _TEMP_SUFFIX = ".tmp"
 
     def __init__(self, directory: str) -> None:
         self._directory = directory
@@ -87,6 +97,54 @@ class FileBackend(StorageBackend):
         if not os.path.exists(self._index_path):
             with open(self._index_path, "w", encoding="utf-8"):
                 pass
+        self._sweep_temp_files()
+        # In-memory mirror of the committed index (order + membership), so
+        # put/get need not re-read the index file on every call.  Torn
+        # trailing entries from a killed writer never enter the mirror.
+        self._entries: List[str] = []
+        self._committed = set()
+        for encoded in self._read_index():
+            if self._valid_entry(encoded) and encoded not in self._committed:
+                self._entries.append(encoded)
+                self._committed.add(encoded)
+        self._repair_index()
+
+    def _repair_index(self) -> None:
+        """Rewrite the index if it differs from the committed entries.
+
+        A writer killed mid-append leaves a torn, newline-less trailing
+        line; without a rewrite the next append would concatenate onto it
+        and corrupt that entry too.
+        """
+        canonical = "".join(entry + "\n" for entry in self._entries).encode("utf-8")
+        with open(self._index_path, "rb") as index_file:
+            raw = index_file.read()
+        if raw != canonical:
+            self._replace_atomically(self._index_path, canonical)
+
+    def _sweep_temp_files(self) -> None:
+        """Remove temp files a killed writer left behind; they never committed.
+
+        Temp names embed the writer's pid (``<final>.<pid>.tmp``): sibling
+        processes share evidence directories, so a sweep must only claim
+        temps whose writer is gone -- deleting a live writer's temp would
+        make its imminent rename fail.
+        """
+        for name in os.listdir(self._directory):
+            if not name.endswith(self._TEMP_SUFFIX):
+                continue
+            try:
+                pid = int(name[: -len(self._TEMP_SUFFIX)].rsplit(".", 1)[1])
+                os.kill(pid, 0)  # raises if no such process
+                continue  # the writer is alive; its rename is still coming
+            except (IndexError, ValueError, ProcessLookupError):
+                pass  # unparseable or dead writer: the temp never committed
+            except PermissionError:
+                continue  # alive, but owned by another user
+            try:
+                os.remove(os.path.join(self._directory, name))
+            except OSError:
+                pass  # concurrent sweeper/writer; the file is not served anyway
 
     def _encode_key(self, key: str) -> str:
         return key.encode("utf-8").hex()
@@ -98,19 +156,43 @@ class FileBackend(StorageBackend):
         with open(self._index_path, "r", encoding="utf-8") as index_file:
             return [line.strip() for line in index_file if line.strip()]
 
+    def _valid_entry(self, encoded: str) -> bool:
+        """An index entry committed iff it decodes and its record file exists."""
+        try:
+            key = bytes.fromhex(encoded).decode("utf-8")
+        except ValueError:
+            return False  # torn trailing append from a killed writer
+        return os.path.exists(self._path_for(key))
+
+    @staticmethod
+    def _write_durable(path: str, data: bytes, mode: str) -> None:
+        with open(path, mode) as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _replace_atomically(self, final_path: str, data: bytes) -> None:
+        temp_path = f"{final_path}.{os.getpid()}{self._TEMP_SUFFIX}"
+        self._write_durable(temp_path, data, "wb")
+        os.replace(temp_path, final_path)
+
     def put(self, key: str, value: bytes) -> None:
         if not isinstance(value, (bytes, bytearray)):
             raise PersistenceError("storage values must be bytes")
         with self._lock:
-            is_new = not os.path.exists(self._path_for(key))
-            with open(self._path_for(key), "wb") as record_file:
-                record_file.write(bytes(value))
-            if is_new:
-                with open(self._index_path, "a", encoding="utf-8") as index_file:
-                    index_file.write(self._encode_key(key) + "\n")
+            encoded = self._encode_key(key)
+            self._replace_atomically(self._path_for(key), bytes(value))
+            if encoded not in self._committed:
+                self._write_durable(
+                    self._index_path, (encoded + "\n").encode("utf-8"), "ab"
+                )
+                self._entries.append(encoded)
+                self._committed.add(encoded)
 
     def get(self, key: str) -> Optional[bytes]:
         with self._lock:
+            if self._encode_key(key) not in self._committed:
+                return None
             path = self._path_for(key)
             if not os.path.exists(path):
                 return None
@@ -119,22 +201,24 @@ class FileBackend(StorageBackend):
 
     def delete(self, key: str) -> None:
         with self._lock:
+            encoded = self._encode_key(key)
+            if encoded not in self._committed:
+                return
+            self._entries.remove(encoded)
+            self._committed.discard(encoded)
+            # Rewrite the index first (atomic replace): the entry is the
+            # commit point, so once it is gone the record is logically
+            # deleted even if a crash lands before the file unlink.
+            self._replace_atomically(
+                self._index_path,
+                "".join(entry + "\n" for entry in self._entries).encode("utf-8"),
+            )
             path = self._path_for(key)
             if os.path.exists(path):
                 os.remove(path)
-            encoded = self._encode_key(key)
-            remaining = [entry for entry in self._read_index() if entry != encoded]
-            with open(self._index_path, "w", encoding="utf-8") as index_file:
-                index_file.write("".join(entry + "\n" for entry in remaining))
 
     def keys(self) -> List[str]:
         with self._lock:
-            keys = []
-            for encoded in self._read_index():
-                try:
-                    keys.append(bytes.fromhex(encoded).decode("utf-8"))
-                except ValueError:
-                    raise PersistenceError(
-                        f"corrupt index entry {encoded!r} in {self._directory!r}"
-                    ) from None
-            return keys
+            return [
+                bytes.fromhex(encoded).decode("utf-8") for encoded in self._entries
+            ]

@@ -45,6 +45,7 @@ from repro.transport.wire.wirecodec import (
     encode_body,
     register_wire_type,
     revive_error,
+    wire_type,
 )
 
 __all__ = [
@@ -63,5 +64,6 @@ __all__ = [
     "read_frame",
     "register_wire_type",
     "revive_error",
+    "wire_type",
     "write_frame",
 ]

@@ -46,6 +46,7 @@ __all__ = [
     "flatten_error",
     "register_wire_type",
     "revive_error",
+    "wire_type",
 ]
 
 
@@ -71,6 +72,44 @@ def register_wire_type(
     """
     with _registry_lock:
         _registry[name] = from_dict
+
+
+def wire_type(cls: Any = None, *, name: str = None):
+    """Class decorator registering a payload class for wire revival.
+
+    The codec tags any ``to_dict``-bearing object as
+    ``{"__object__": <class name>, "data": to_dict()}``; decorating the
+    class registers its ``from_dict`` under that tag, so instances survive
+    the socket hop without a manual :func:`register_wire_type` call at every
+    deployment site::
+
+        @wire_type
+        @dataclass(frozen=True)
+        class PurchaseOrder:
+            def to_dict(self): ...
+            @classmethod
+            def from_dict(cls, data): ...
+
+    ``name`` overrides the registry tag (default: the class name, which is
+    what the codec emits).  Usable bare or with arguments.
+    """
+
+    def apply(klass: type) -> type:
+        from_dict = getattr(klass, "from_dict", None)
+        if not callable(from_dict):
+            raise TypeError(
+                f"@wire_type class {klass.__name__!r} must define a callable "
+                "from_dict(data) classmethod to be revivable"
+            )
+        if not callable(getattr(klass, "to_dict", None)):
+            raise TypeError(
+                f"@wire_type class {klass.__name__!r} must define to_dict() "
+                "so the codec can put instances on the wire"
+            )
+        register_wire_type(name or klass.__name__, from_dict)
+        return klass
+
+    return apply if cls is None else apply(cls)
 
 
 def _install_defaults() -> None:

@@ -23,6 +23,28 @@ class TestCodec:
     def test_sets_roundtrip(self):
         assert codec.decode(codec.encode({"members": {"a", "b"}}))["members"] == {"a", "b"}
 
+    def test_tag_shaped_plain_dicts_roundtrip(self):
+        # Plain dicts whose keys collide with the codec's own tags must be
+        # escaped, not misread as the tagged type on decode.
+        for value in (
+            {"__set__": None},
+            {"__set__": ["a", "b"]},
+            {"__bytes__": "not hex"},
+            {"__object__": "X", "data": 1},
+            {"__literal__": {"nested": True}},
+            {"__literal__": {"__set__": [1]}},
+        ):
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_tag_shaped_dict_escape_is_canonical(self):
+        # Both encoder paths (streaming writer and to_jsonable) agree.
+        value = {"__set__": [1, 2]}
+        import json
+
+        assert codec.encode(value) == json.dumps(
+            codec.to_jsonable(value), separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+
     def test_encoding_is_canonical_and_order_independent(self):
         a = codec.encode({"x": 1, "y": 2})
         b = codec.encode({"y": 2, "x": 1})

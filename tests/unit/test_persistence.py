@@ -75,6 +75,77 @@ class TestFileBackend:
         assert backend.keys() == [key]
 
 
+class TestFileBackendCrashAtomicity:
+    """A process killed mid-write must never corrupt or resurrect records."""
+
+    def test_leftover_temp_files_are_swept_and_never_served(self, tmp_path):
+        directory = str(tmp_path / "store")
+        backend = FileBackend(directory)
+        backend.put("key", b"committed")
+        # Simulate a writer killed between temp-write and rename.
+        temp = tmp_path / "store" / (bytes("key", "utf-8").hex() + ".rec.tmp")
+        temp.write_bytes(b"torn half-write")
+        orphan = tmp_path / "store" / "deadbeef.rec.tmp"
+        orphan.write_bytes(b"unrelated torn write")
+        reopened = FileBackend(directory)
+        assert reopened.get("key") == b"committed"
+        assert reopened.keys() == ["key"]
+        assert not temp.exists()
+        assert not orphan.exists()
+
+    def test_torn_trailing_index_line_is_ignored_not_fatal(self, tmp_path):
+        directory = str(tmp_path / "store")
+        backend = FileBackend(directory)
+        backend.put("a", b"1")
+        backend.put("b", b"2")
+        # Simulate a crash that tore the last index append mid-line: the
+        # trailing entry is not valid hex and has no newline.
+        with open(tmp_path / "store" / "_index", "ab") as index_file:
+            index_file.write(b"6q")  # not hex -> torn
+        reopened = FileBackend(directory)
+        assert reopened.keys() == ["a", "b"]
+        assert reopened.get("a") == b"1"
+        # The reopened backend keeps working past the torn line.
+        reopened.put("c", b"3")
+        assert FileBackend(directory).keys() == ["a", "b", "c"]
+
+    def test_record_file_without_index_entry_reads_as_never_written(
+        self, tmp_path
+    ):
+        directory = str(tmp_path / "store")
+        backend = FileBackend(directory)
+        backend.put("kept", b"v")
+        # Simulate a crash after the record rename but before the index
+        # append committed the put.
+        ghost = tmp_path / "store" / (bytes("ghost", "utf-8").hex() + ".rec")
+        ghost.write_bytes(b"uncommitted")
+        reopened = FileBackend(directory)
+        assert reopened.get("ghost") is None
+        assert reopened.keys() == ["kept"]
+
+    def test_index_entry_without_record_file_is_skipped(self, tmp_path):
+        directory = str(tmp_path / "store")
+        backend = FileBackend(directory)
+        backend.put("real", b"v")
+        # An entry whose record file vanished (e.g. a crash mid-delete after
+        # the old index was replaced by an older snapshot) must not be served.
+        with open(tmp_path / "store" / "_index", "ab") as index_file:
+            index_file.write(bytes("gone", "utf-8").hex().encode() + b"\n")
+        reopened = FileBackend(directory)
+        assert reopened.keys() == ["real"]
+        assert reopened.get("gone") is None
+
+    def test_delete_survives_reopen(self, tmp_path):
+        directory = str(tmp_path / "store")
+        backend = FileBackend(directory)
+        backend.put("a", b"1")
+        backend.put("b", b"2")
+        backend.delete("a")
+        reopened = FileBackend(directory)
+        assert reopened.keys() == ["b"]
+        assert reopened.get("a") is None
+
+
 class TestAuditLog:
     def test_append_and_read_back(self):
         log = AuditLog("urn:org:a", clock=SimulatedClock(start=7.0))

@@ -1,0 +1,221 @@
+"""Unit tests for the run journal and the wire-type registry decorator."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.persistence.run_journal import (
+    PHASE_COMMITTED,
+    PHASE_PROPOSED,
+    PHASE_SETTLED,
+    RunJournal,
+)
+from repro.persistence.storage import InMemoryBackend
+from repro.transport.wire.wirecodec import decode_body, encode_body, wire_type
+
+
+def _propose(journal, run_id, peers=("urn:org:b", "urn:org:c")):
+    journal.record_proposed(
+        run_id,
+        kind="update",
+        object_id="obj-1",
+        proposer="urn:org:a",
+        peers=list(peers),
+        proposal={"proposed_state": {"v": 1}},
+        deadline=12.5,
+    )
+
+
+def _commit(journal, run_id):
+    journal.record_committed(
+        run_id,
+        payload={"object_id": "obj-1"},
+        attributes={"action": "outcome"},
+        recipients=["urn:org:b", "urn:org:c"],
+        message_ids={"urn:org:b": "msg-1", "urn:org:c": "msg-2"},
+        step=3,
+        nr_outcome={"token_type": "nr-outcome"},
+        apply={"agreed": True, "new_version": 1},
+    )
+
+
+class TestRunJournal:
+    def test_proposed_record_round_trips(self):
+        journal = RunJournal(owner="urn:org:a")
+        _propose(journal, "run-1")
+        run = journal.run("run-1")
+        assert run.phase == PHASE_PROPOSED
+        assert run.open
+        assert run.proposed["kind"] == "update"
+        assert run.proposed["proposer"] == "urn:org:a"
+        assert run.proposed["peers"] == ["urn:org:b", "urn:org:c"]
+        assert run.proposed["proposal"] == {"proposed_state": {"v": 1}}
+        assert run.proposed["deadline"] == 12.5
+        assert run.committed is None and run.settled is None
+
+    def test_committed_record_round_trips_and_outranks_proposed(self):
+        journal = RunJournal(owner="urn:org:a")
+        _propose(journal, "run-1")
+        _commit(journal, "run-1")
+        run = journal.run("run-1")
+        assert run.phase == PHASE_COMMITTED
+        assert run.open
+        assert run.committed["message_ids"] == {
+            "urn:org:b": "msg-1",
+            "urn:org:c": "msg-2",
+        }
+        assert run.committed["step"] == 3
+        assert run.committed["apply"] == {"agreed": True, "new_version": 1}
+        # The proposed record is still available alongside.
+        assert run.proposed["object_id"] == "obj-1"
+
+    def test_settled_record_closes_the_run(self):
+        journal = RunJournal(owner="urn:org:a")
+        _propose(journal, "run-1")
+        _commit(journal, "run-1")
+        journal.record_settled("run-1", agreed=True, reason="completed")
+        run = journal.run("run-1")
+        assert run.phase == PHASE_SETTLED
+        assert not run.open
+        assert run.settled == {
+            "run_id": "run-1",
+            "phase": PHASE_SETTLED,
+            "agreed": True,
+            "reason": "completed",
+        }
+
+    def test_open_runs_skips_settled_and_sorts_by_run_id(self):
+        journal = RunJournal(owner="urn:org:a")
+        _propose(journal, "run-c")
+        _propose(journal, "run-a")
+        _propose(journal, "run-b")
+        journal.record_settled("run-b", agreed=False, reason="aborted")
+        assert [run.run_id for run in journal.open_runs()] == ["run-a", "run-c"]
+
+    def test_owner_prefix_isolates_journals_on_a_shared_backend(self):
+        backend = InMemoryBackend()
+        alpha = RunJournal(owner="urn:org:a", backend=backend)
+        beta = RunJournal(owner="urn:org:b", backend=backend)
+        _propose(alpha, "run-1")
+        _propose(beta, "run-2")
+        assert list(alpha.all_runs()) == ["run-1"]
+        assert list(beta.all_runs()) == ["run-2"]
+
+    def test_forget_drops_every_phase_record(self):
+        backend = InMemoryBackend()
+        journal = RunJournal(owner="urn:org:a", backend=backend)
+        _propose(journal, "run-1")
+        _commit(journal, "run-1")
+        journal.record_settled("run-1", agreed=True)
+        journal.forget("run-1")
+        assert journal.run("run-1") is None
+        assert backend.keys() == []
+
+    def test_prune_settled_keeps_open_runs(self):
+        journal = RunJournal(owner="urn:org:a")
+        _propose(journal, "run-open")
+        _propose(journal, "run-done")
+        journal.record_settled("run-done", agreed=True)
+        assert journal.prune_settled() == 1
+        assert journal.run("run-done") is None
+        assert journal.run("run-open").open
+
+    def test_corrupt_record_raises_persistence_error(self):
+        backend = InMemoryBackend()
+        journal = RunJournal(owner="urn:org:a", backend=backend)
+        backend.put("runjournal:urn:org:a:run-1:proposed", b"\xff not json")
+        with pytest.raises(PersistenceError, match="corrupt run-journal"):
+            journal.all_runs()
+
+    def test_record_without_phase_or_run_id_raises(self):
+        from repro import codec
+
+        backend = InMemoryBackend()
+        journal = RunJournal(owner="urn:org:a", backend=backend)
+        backend.put(
+            "runjournal:urn:org:a:run-1:proposed",
+            codec.encode({"phase": "nonsense", "run_id": "run-1"}),
+        )
+        with pytest.raises(PersistenceError, match="valid phase"):
+            journal.all_runs()
+
+    def test_journal_survives_backend_reopen(self, tmp_path):
+        from repro.persistence.storage import FileBackend
+
+        directory = str(tmp_path / "journal")
+        journal = RunJournal(owner="urn:org:a", backend=FileBackend(directory))
+        _propose(journal, "run-1")
+        _commit(journal, "run-1")
+        reopened = RunJournal(owner="urn:org:a", backend=FileBackend(directory))
+        run = reopened.run("run-1")
+        assert run.phase == PHASE_COMMITTED
+        assert run.committed["recipients"] == ["urn:org:b", "urn:org:c"]
+
+
+class TestWireTypeDecorator:
+    def test_bare_decorator_round_trips_through_the_wire_codec(self):
+        @wire_type
+        @dataclass(frozen=True)
+        class _Parcel:
+            weight: int
+            label: str
+
+            def to_dict(self):
+                return {"weight": self.weight, "label": self.label}
+
+            @classmethod
+            def from_dict(cls, data):
+                return cls(weight=data["weight"], label=data["label"])
+
+        body = encode_body({"payload": _Parcel(weight=3, label="fragile")})
+        revived = decode_body(body)["payload"]
+        assert isinstance(revived, _Parcel)
+        assert revived == _Parcel(weight=3, label="fragile")
+
+    def test_name_override_registers_under_the_given_tag(self):
+        @wire_type(name="_RenamedParcel")
+        @dataclass(frozen=True)
+        class _Inner:
+            value: int
+
+            def to_dict(self):
+                return {"value": self.value}
+
+            @classmethod
+            def from_dict(cls, data):
+                return cls(value=data["value"])
+
+        from repro.transport.wire.wirecodec import _reviver_for
+
+        assert _reviver_for("_RenamedParcel")({"value": 7}) == _Inner(value=7)
+
+    def test_missing_from_dict_is_rejected(self):
+        with pytest.raises(TypeError, match="from_dict"):
+
+            @wire_type
+            class _NoFromDict:
+                def to_dict(self):
+                    return {}
+
+    def test_missing_to_dict_is_rejected(self):
+        with pytest.raises(TypeError, match="to_dict"):
+
+            @wire_type
+            class _NoToDict:
+                @classmethod
+                def from_dict(cls, data):
+                    return cls()
+
+    def test_run_abort_notice_is_wire_revivable(self):
+        from repro.core.sharing import RunAbortNotice
+
+        notice = RunAbortNotice(
+            run_id="run-1",
+            object_id="obj-1",
+            proposer="urn:org:a",
+            reason="recovered after crash",
+        )
+        revived = decode_body(encode_body({"payload": notice}))["payload"]
+        assert isinstance(revived, RunAbortNotice)
+        assert revived == notice
