@@ -276,16 +276,32 @@ deployment-agnostic:
   knows which process serves which URI, so application and protocol code
   never see ``host:port``.
 
-* **Failure model** -- the wire injects no faults; its failures are real.
-  Socket-level failures (refused, reset, timeout, killed connection) and
-  offline endpoints surface as retryable ``DeliveryError`` -- recovered by
-  the same retry state machines, which simply reconnect on their next
-  attempt -- while unmapped/unregistered endpoints are permanent
-  ``UnknownEndpointError`` and remote handler exceptions are revived as
-  themselves after the delivery was counted.  Statistics are sender-side,
-  so summing every node's counters reproduces the simulator's global view;
-  at 0% loss a split deployment is property-tested counter-identical to
-  the simulated one.
+* **Failure model** -- one fault plane serves both transports.  A seeded
+  ``repro.faults.FaultPlan`` (drop, delay+jitter, duplicate, reorder,
+  corrupt frames, connection resets, partition windows, crash failpoints)
+  drives a deterministic ``FaultInjector`` consulted at message admission
+  by *either* network: the simulator realises decisions virtually, while
+  the wire maps them onto real sockets -- an injected reset kills the
+  connection under the exchange, an injected corrupt frame makes the peer
+  reject a framing violation -- so injected failures flow through the
+  organic ``DeliveryError`` taxonomy and the organic recovery machinery.
+  Organic wire failures behave as before: socket-level failures (refused,
+  reset, timeout, killed connection) and offline endpoints surface as
+  retryable ``DeliveryError``; unmapped endpoints are permanent
+  ``UnknownEndpointError``; remote handler exceptions are revived as
+  themselves after the delivery was counted.  Hardening rides the same
+  plane: channels honour a per-peer ``repro.faults.CircuitBreaker``
+  (audited closed/open/half-open transitions), retry policies offer
+  opt-in deterministic full-jitter backoff, wire servers shed inbound
+  frames beyond ``max_inflight_frames`` with a retryable overload reply,
+  the protocol layer suppresses duplicate message ids and replays cached
+  responses, and partition-exhausted runs resolve not-agreed with an
+  audited ``run-degraded`` reason instead of stranding waiters.
+  Statistics are sender-side, so summing every node's counters reproduces
+  the simulator's global view; at 0% loss a split deployment is
+  property-tested counter-identical to the simulated one, and under a
+  seeded plan (``repro.faults.chaos``) both transports are CI-gated to
+  resolve identical outcomes, evidence multisets and replica states.
 
 * **Quiescence** -- external drivers (serve loops, benchmark orchestrators)
   can *check* that the engine has settled instead of sleeping:

@@ -14,12 +14,21 @@ interceptor keeps while the protocol executes.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, List, Optional
 
 from repro.core.messages import B2BProtocolMessage
 from repro.errors import ProtocolError, ProtocolStateError
+
+#: Per-run bounds on duplicate-suppression state.  The dedup window caps how
+#: many message ids a run remembers (evicting oldest-first); the response
+#: cache keeps the replies recorded for replay to transport duplicates.
+#: Real runs see a handful of messages -- the bounds only matter under
+#: sustained injected duplication, where they keep memory flat.
+DEDUP_WINDOW = 256
+RESPONSE_CACHE = 64
 
 
 class RunStatus(Enum):
@@ -44,17 +53,41 @@ class ProtocolRun:
     data: Dict[str, Any] = field(default_factory=dict)
     messages_seen: List[str] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # Set-backed mirror of messages_seen for O(1) duplicate checks (the
+        # list stays the public record, e.g. for recovered runs built with
+        # pre-populated ids).
+        self._seen_ids = set(self.messages_seen)
+        self._responses: "OrderedDict[str, B2BProtocolMessage]" = OrderedDict()
+
     def record_message(self, message: B2BProtocolMessage) -> bool:
         """Record a message against this run.
 
         Returns ``False`` when the message id was already seen (a transport
-        duplicate), which handlers use for at-most-once semantics.
+        duplicate, or a sender's retry of a request whose reply was lost),
+        which handlers use for at-most-once semantics.  The window is
+        bounded at :data:`DEDUP_WINDOW` ids, oldest evicted first.
         """
-        if message.message_id in self.messages_seen:
+        if message.message_id in self._seen_ids:
             return False
         self.messages_seen.append(message.message_id)
+        self._seen_ids.add(message.message_id)
+        while len(self.messages_seen) > DEDUP_WINDOW:
+            self._seen_ids.discard(self.messages_seen.pop(0))
         self.last_step = max(self.last_step, message.step)
         return True
+
+    def cache_response(
+        self, message_id: str, response: B2BProtocolMessage
+    ) -> None:
+        """Remember the response produced for ``message_id`` for replay."""
+        self._responses[message_id] = response
+        while len(self._responses) > RESPONSE_CACHE:
+            self._responses.popitem(last=False)
+
+    def cached_response(self, message_id: str) -> Optional[B2BProtocolMessage]:
+        """The recorded response for a duplicate request, if still cached."""
+        return self._responses.get(message_id)
 
     def complete(self) -> None:
         self.status = RunStatus.COMPLETED

@@ -1543,6 +1543,7 @@ class _UpdateRun(_CoordinationRun):
         self._decision_tokens: Dict[str, EvidenceToken] = {}
         self._reason = ""
         self._agreed = False
+        self._degraded = False
         self._new_version: Optional[int] = None
         self._nr_outcome: Optional[EvidenceToken] = None
 
@@ -1661,6 +1662,26 @@ class _UpdateRun(_CoordinationRun):
             recipient=self.object_id,
             payload=outcome,
         )
+        # Graceful degradation: when *every* peer was unreachable in phase 1
+        # (an exhausted partition window, a severed network) the outcome wave
+        # can only burn the same retry budgets again.  Resolve not-agreed
+        # with an audited reason and skip the fan-out -- the proposer's
+        # waiter settles normally instead of stranding on hopeless retries;
+        # peers recover the signed outcome from the proposer later.
+        if self._peers and all(error is not None for _response, error in results):
+            self._degraded = True
+            services.audit_log.append(
+                category=AUDIT_CATEGORY_SHARING,
+                subject=self.run_id,
+                details={
+                    "event": "run-degraded",
+                    "object_id": self.object_id,
+                    "reason": "all peers unreachable; suspected partition",
+                    "peers": list(self._peers),
+                    "outcome_wave_skipped": True,
+                },
+            )
+            return []
         # Stored by _on_committed once the commit barrier is passed, so an
         # abort racing this continuation never leaves a generated NR_OUTCOME
         # contradicting the run's not-agreed result in the evidence store.
@@ -1696,9 +1717,15 @@ class _UpdateRun(_CoordinationRun):
         # decision, so the peer can recover the result later.  A
         # failed-to-validate peer cannot have agreed, so the outcome for it
         # is never an apply.
-        undelivered_outcomes = [
-            peer for peer, error in zip(self._peers, errors) if error is not None
-        ]
+        undelivered_outcomes = (
+            list(self._peers)
+            if self._degraded
+            else [
+                peer
+                for peer, error in zip(self._peers, errors)
+                if error is not None
+            ]
+        )
         if self._agreed:
             controller._apply_update(  # noqa: SLF001
                 self.object_id, self._proposal["proposed_state"], self._new_version
@@ -1782,6 +1809,7 @@ class _MembershipRun(_CoordinationRun):
         self._decisions: Dict[str, ValidationDecision] = {}
         self._decision_tokens: Dict[str, EvidenceToken] = {}
         self._agreed = False
+        self._degraded = False
         self._nr_outcome: Optional[EvidenceToken] = None
 
     _journal_kind = "membership"
@@ -1891,6 +1919,23 @@ class _MembershipRun(_CoordinationRun):
             recipient=self.object_id,
             payload=outcome,
         )
+        # Same degraded path as the update run: a vote wave that reached
+        # nobody means the outcome wave cannot reach anybody either.
+        if self._voters and all(error is not None for _response, error in results):
+            self._degraded = True
+            self._ordered_recipients = []
+            services.audit_log.append(
+                category=AUDIT_CATEGORY_SHARING,
+                subject=self.run_id,
+                details={
+                    "event": "run-degraded",
+                    "object_id": self.object_id,
+                    "reason": "all peers unreachable; suspected partition",
+                    "peers": list(self._voters),
+                    "outcome_wave_skipped": True,
+                },
+            )
+            return []
         recipients = set(controller.peers(self.object_id))
         if action == "connect" and self._agreed:
             recipients.add(member)
@@ -1997,7 +2042,17 @@ class SharingProtocolHandler(B2BProtocolHandler):
                 responder=self._controller.party,
             )
         )
-        run.record_message(message)
+        if not run.record_message(message):
+            # A transport duplicate, or the sender's retry of a request whose
+            # reply was lost in transit: replay the recorded response
+            # verbatim instead of re-validating, so the evidence store holds
+            # exactly one NRO_UPDATE/NR_DECISION pair per proposal no matter
+            # how many times the request arrives.  (If the cached response
+            # was evicted -- only possible under pathological duplication --
+            # fall through and re-serve; handlers tolerate the re-store.)
+            cached = run.cached_response(message.message_id)
+            if cached is not None:
+                return cached
         if action == ACTION_PROPOSE:
             response = self._controller.handle_proposal(message)
         elif action == ACTION_MEMBERSHIP_PROPOSE:
@@ -2010,6 +2065,7 @@ class SharingProtocolHandler(B2BProtocolHandler):
         self._controller._watch_orphan_run(  # noqa: SLF001 - same module
             message.run_id, message.sender, message.payload["object_id"]
         )
+        run.cache_response(message.message_id, response)
         return response
 
     def process(self, message: B2BProtocolMessage) -> None:

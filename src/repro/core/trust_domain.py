@@ -32,6 +32,7 @@ from repro.core.ttp import RelayProtocolHandler, TTPArbitrator, install_relays
 from repro.crypto.certificates import CertificateAuthority
 from repro.crypto.timestamp import TimestampAuthority
 from repro.errors import ProtocolError
+from repro.faults import FaultPlan
 from repro.persistence.storage import StorageBackend
 from repro.transport.network import DispatchStrategy, FaultModel, SimulatedNetwork
 from repro.transport.scheduler import RetryScheduler
@@ -91,6 +92,7 @@ class TrustDomain:
         ] = None,
         orphan_run_timeout: Optional[float] = None,
         keypair_factory: Optional[Callable[[str], "KeyPair"]] = None,  # noqa: F821
+        fault_plan: Optional[FaultPlan] = None,
     ) -> "TrustDomain":
         """Build a trust domain of the requested style for ``party_uris``.
 
@@ -130,11 +132,22 @@ class TrustDomain:
         -- a restarted process must present the *same* key its peers pinned
         (wire key pinning is trust-on-first-use), so durable deployments
         persist keys and rebuild organisations through this hook.
+        ``fault_plan`` (a :class:`repro.faults.FaultPlan`) injects seeded
+        deterministic faults into message admission on *either* transport:
+        simulated domains build their network with it, wire domains install
+        it on the transport's :class:`~repro.transport.wire.WireNetwork`
+        (``fault_model`` is likewise accepted on wire domains, converted via
+        :meth:`FaultPlan.from_fault_model`).  Pass at most one of the two.
         """
         if len(party_uris) < 2:
             raise ProtocolError("a trust domain needs at least two organisations")
         if len(set(party_uris)) != len(party_uris):
             raise ProtocolError("party URIs must be unique")
+        if fault_model is not None and fault_plan is not None:
+            raise ProtocolError(
+                "pass fault_model= or fault_plan=, not both (a FaultModel "
+                "is expressible as a FaultPlan via from_fault_model)"
+            )
         if transport is not None:
             return cls._create_wired(
                 party_uris=party_uris,
@@ -142,6 +155,7 @@ class TrustDomain:
                 style=style,
                 network=network,
                 fault_model=fault_model,
+                fault_plan=fault_plan,
                 clock=clock,
                 dispatch=dispatch,
                 scheme=scheme,
@@ -158,7 +172,10 @@ class TrustDomain:
             )
         clock = clock or SimulatedClock()
         network = network or SimulatedNetwork(
-            fault_model=fault_model, clock=clock, dispatch=dispatch
+            fault_model=fault_model,
+            clock=clock,
+            dispatch=dispatch,
+            fault_plan=fault_plan,
         )
         if (scheduled_retries or async_runs) and network.retry_scheduler is None:
             network.set_retry_scheduler(RetryScheduler(network.clock))
@@ -235,6 +252,7 @@ class TrustDomain:
         ] = None,
         orphan_run_timeout: Optional[float] = None,
         keypair_factory: Optional[Callable[[str], "KeyPair"]] = None,  # noqa: F821
+        fault_plan: Optional[FaultPlan] = None,
     ) -> "TrustDomain":
         """Build one process's share of a socket-connected trust domain.
 
@@ -242,9 +260,11 @@ class TrustDomain:
         and registered on its :class:`~repro.transport.wire.WireNetwork`;
         remote parties are learned through the wire credential exchange
         (pinned keys plus routed coordinator addresses).  The wire carries
-        no injected fault model and no relayed styles: faults are real
-        (killed connections, stopped peers) and every party talks to every
-        other directly.
+        no relayed styles: every party talks to every other directly.  A
+        ``fault_plan`` (or a ``fault_model``, converted to a plan) installs
+        seeded fault injection on the wire network, where injected resets
+        and corrupt frames kill *real* sockets and recover through the real
+        retry machinery.
         """
         from repro.transport.wire import WireTransport  # local: avoid cycle
 
@@ -258,10 +278,11 @@ class TrustDomain:
                 "(no relayed protocols); TTP-relayed styles need an "
                 "in-process TTP host"
             )
-        if network is not None or fault_model is not None:
+        if network is not None:
             raise ProtocolError(
-                "a wire domain uses the transport's own network; pass neither "
-                "network= nor fault_model= (the wire injects no faults)"
+                "a wire domain uses the transport's own network; to inject "
+                "faults pass fault_plan= (or fault_model=) instead of a "
+                "SimulatedNetwork"
             )
         if use_timestamping or with_arbitrator:
             raise ProtocolError(
@@ -275,6 +296,15 @@ class TrustDomain:
                 f"transport hosts parties outside the domain: {unknown}"
             )
         wire_network = transport.network
+        # Route either fault surface to the wire-side injector: a legacy
+        # FaultModel becomes an equivalent plan, a FaultPlan installs as-is.
+        plan = (
+            FaultPlan.from_fault_model(fault_model)
+            if fault_model is not None
+            else fault_plan
+        )
+        if plan is not None:
+            wire_network.set_fault_plan(plan)
         if clock is not None and clock is not wire_network.clock:
             # A half-applied clock (organisations virtual, network/scheduler
             # wall) would mix timestamp domains; the transport owns the

@@ -1,0 +1,53 @@
+"""Unified fault plane: seeded chaos shared by both transports.
+
+``repro.faults`` turns fault injection from a simulator-only feature into
+a first-class subsystem:
+
+* :mod:`repro.faults.plan` -- the declarative :class:`FaultPlan` /
+  :class:`FaultRule` schedule DSL and the deterministic
+  :class:`FaultInjector` both networks consult at admission;
+* :mod:`repro.faults.failpoints` -- the :class:`FailpointRegistry` the
+  wire server fires at named points (crash-at-failpoint injection);
+* :mod:`repro.faults.breaker` -- the per-peer :class:`CircuitBreaker`
+  (closed/open/half-open, audited transitions) channels consult before
+  burning retry budget on a dead peer;
+* :mod:`repro.faults.chaos` -- the cross-transport scenario runner that
+  replays one seeded plan over the simulator and a 2-node wire loopback
+  deployment and checks converged, identical evidence and state.
+
+The same seed and plan reproduce the same fault sequence on either
+transport, which is what lets CI assert the paper's
+converge-never-diverge property under chaos rather than merely under
+clean networks.
+"""
+
+from repro.faults.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
+from repro.faults.failpoints import VERB_CLOSE, FailpointRegistry
+from repro.faults.plan import (
+    FAULT_KINDS,
+    LOSS_FAULTS,
+    FaultDecision,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "LOSS_FAULTS",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "CircuitBreaker",
+    "FailpointRegistry",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "VERB_CLOSE",
+]

@@ -1,0 +1,157 @@
+"""Per-peer circuit breaker guarding retry budgets.
+
+Repeated :class:`~repro.errors.DeliveryError`\\ s against one destination
+trip that destination's circuit from *closed* to *open*; while open, a
+:class:`~repro.transport.delivery.ReliableChannel` refuses attempts
+locally (no socket touched, no network-statistics attempt burned) and the
+refusal is counted in ``NetworkStatistics.circuit_open_refusals``.  After
+``recovery_seconds`` the circuit moves to *half-open* and admits exactly
+one probe: a successful probe closes the circuit, a failed one re-opens
+it.  Every transition is reported through ``on_event`` -- networks wire
+that to their attached audit log, so breaker behaviour is evidence, not
+folklore.
+
+The breaker is deliberately transport-agnostic: attach one to either
+network with ``network.attach_circuit_breaker(breaker)`` and every
+channel over that network starts consulting it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+__all__ = ["CircuitBreaker", "STATE_CLOSED", "STATE_HALF_OPEN", "STATE_OPEN"]
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+OnEvent = Callable[[str, str, str, str], None]
+
+
+class _Circuit:
+    __slots__ = ("state", "failures", "opened_at", "probe_in_flight")
+
+    def __init__(self) -> None:
+        self.state = STATE_CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.probe_in_flight = False
+
+
+class CircuitBreaker:
+    """Closed/open/half-open breaker keyed by destination address."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_seconds: float = 1.0,
+        clock: Optional[object] = None,
+        on_event: Optional[OnEvent] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if recovery_seconds < 0:
+            raise ValueError("recovery_seconds must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.recovery_seconds = recovery_seconds
+        self._clock = clock
+        self._on_event = on_event
+        self._lock = threading.Lock()
+        self._circuits: Dict[str, _Circuit] = {}
+
+    def bind(self, clock=None, on_event: Optional[OnEvent] = None) -> None:
+        """Late-bind the clock / event sink (done by ``attach_circuit_breaker``)."""
+        if clock is not None:
+            self._clock = clock
+        if on_event is not None:
+            self._on_event = on_event
+
+    def _now(self) -> float:
+        if self._clock is not None:
+            return self._clock.now()
+        return time.monotonic()
+
+    def state(self, destination: str) -> str:
+        with self._lock:
+            circuit = self._circuits.get(destination)
+            if circuit is None:
+                return STATE_CLOSED
+            self._advance_locked(destination, circuit)
+            return circuit.state
+
+    def allow(self, destination: str) -> bool:
+        """May an attempt go out to ``destination`` right now?
+
+        In half-open state only one probe is admitted at a time; callers
+        MUST follow up with :meth:`record_success` or
+        :meth:`record_failure` so the probe slot is released.
+        """
+        with self._lock:
+            circuit = self._circuits.get(destination)
+            if circuit is None or circuit.state == STATE_CLOSED:
+                return True
+            self._advance_locked(destination, circuit)
+            if circuit.state == STATE_OPEN:
+                return False
+            if circuit.probe_in_flight:
+                return False
+            circuit.probe_in_flight = True
+            return True
+
+    def record_success(self, destination: str) -> None:
+        with self._lock:
+            circuit = self._circuits.get(destination)
+            if circuit is None:
+                return
+            if circuit.state != STATE_CLOSED:
+                self._transition_locked(
+                    destination, circuit, STATE_CLOSED, "delivery succeeded"
+                )
+            circuit.failures = 0
+            circuit.probe_in_flight = False
+
+    def record_failure(self, destination: str) -> None:
+        with self._lock:
+            circuit = self._circuits.setdefault(destination, _Circuit())
+            if circuit.state == STATE_HALF_OPEN:
+                circuit.probe_in_flight = False
+                circuit.opened_at = self._now()
+                self._transition_locked(
+                    destination, circuit, STATE_OPEN, "probe failed"
+                )
+                return
+            if circuit.state == STATE_OPEN:
+                return  # an in-flight attempt from before the trip; already open
+            circuit.failures += 1
+            if circuit.failures >= self.failure_threshold:
+                circuit.opened_at = self._now()
+                self._transition_locked(
+                    destination,
+                    circuit,
+                    STATE_OPEN,
+                    f"{circuit.failures} consecutive delivery failures",
+                )
+
+    def _advance_locked(self, destination: str, circuit: _Circuit) -> None:
+        if circuit.state != STATE_OPEN:
+            return
+        if self._now() - circuit.opened_at >= self.recovery_seconds:
+            circuit.probe_in_flight = False
+            self._transition_locked(
+                destination, circuit, STATE_HALF_OPEN, "recovery timeout elapsed"
+            )
+
+    def _transition_locked(
+        self, destination: str, circuit: _Circuit, new_state: str, reason: str
+    ) -> None:
+        old_state, circuit.state = circuit.state, new_state
+        sink = self._on_event
+        if sink is None:
+            return
+        try:
+            sink(destination, old_state, new_state, reason)
+        except Exception:  # noqa: BLE001 - auditing must never break delivery
+            pass

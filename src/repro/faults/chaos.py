@@ -1,0 +1,272 @@
+"""Cross-transport chaos scenarios: one seeded plan, two transports.
+
+The acceptance property of the unified fault plane: replaying the *same*
+seeded :class:`~repro.faults.FaultPlan` over the in-process simulator and
+over a 2-node wire loopback deployment must leave every party with the
+same evidence multiset and the same replica state.  With the proposer
+alone on its wire node, the wire node's admission sequence is identical
+to the simulator's global sequence, so the same seed produces the same
+fault pattern on both transports and the comparison can be exact -- not
+merely "both converged somewhere".
+
+Statistics are deliberately *not* compared under faults: retry attempts
+against a partitioned peer depend on per-link bookkeeping that the two
+deployments spread differently across nodes.  Evidence and state are the
+paper's non-repudiation currency; those must match token for token.
+
+This module is imported explicitly (``repro.faults.chaos``), not
+re-exported by the package: it pulls in the full core stack, which the
+injector-level modules must not.
+
+Run from the command line for a quick reproduction::
+
+    PYTHONPATH=src python -m repro.faults.chaos --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.clock import SimulatedClock
+from repro.core.trust_domain import TrustDomain
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.transport.wire import WireTransport
+
+__all__ = [
+    "ChaosReport",
+    "run_cross_transport_scenario",
+    "standard_chaos_plan",
+    "write_failure_artifact",
+]
+
+#: Object id shared objects are coordinated under in every scenario.
+OBJECT_ID = "chaos-doc"
+
+
+def standard_chaos_plan(seed: int) -> FaultPlan:
+    """The stock chaos mix: drop + duplicate + reorder + a partition window.
+
+    Probabilities and the partition width are chosen so the worst case the
+    plan can produce (the 3-message partition window followed by the
+    plan's bounded run of consecutive losses) still resolves within the
+    default 10-attempt retry budget: chaos exercises the recovery
+    machinery, it never manufactures unwinnable runs.
+    """
+    return FaultPlan(
+        rules=(
+            FaultRule(fault="drop", probability=0.2),
+            FaultRule(fault="duplicate", probability=0.3),
+            FaultRule(fault="reorder", probability=0.5),
+            FaultRule(fault="partition", after_message=5, until_message=8),
+        ),
+        seed=f"chaos-{seed}".encode("utf-8"),
+        name=f"standard-chaos-{seed}",
+    )
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one cross-transport scenario, ready for comparison."""
+
+    plan: FaultPlan
+    parties: int
+    split: int
+    values: List[int]
+    #: Per-transport summaries: outcome flags, evidence multisets, states.
+    simulated: Dict[str, Any] = field(default_factory=dict)
+    wired: Dict[str, Any] = field(default_factory=dict)
+
+    def mismatches(self) -> List[str]:
+        """Human-readable divergences between the two transports."""
+        problems: List[str] = []
+        for key in ("outcomes", "evidence", "states"):
+            if self.simulated.get(key) != self.wired.get(key):
+                problems.append(
+                    f"{key} diverged:\n"
+                    f"  simulated: {self.simulated.get(key)!r}\n"
+                    f"  wired:     {self.wired.get(key)!r}"
+                )
+        return problems
+
+    @property
+    def converged(self) -> bool:
+        return not self.mismatches()
+
+
+def _uris(parties: int) -> List[str]:
+    return [f"urn:org:chaos{i}" for i in range(parties)]
+
+
+def _evidence_summary(organisation, run_ids) -> Dict[str, int]:
+    counts: Counter = Counter()
+    for run_id in run_ids:
+        for record in organisation.evidence_store.evidence_for_run(run_id):
+            counts[f"{record.token_type}/{record.role}"] += 1
+    return dict(sorted(counts.items()))
+
+
+def _drive(proposer, values):
+    """Propose each value in turn; chaos may legitimately defeat a run.
+
+    A not-agreed outcome is part of the record, not a scenario failure:
+    the property under test is that *both* transports resolve each run
+    the same way, agreed or not.
+    """
+    outcomes = []
+    run_ids = []
+    for value in values:
+        outcome = proposer.propose_update(OBJECT_ID, {"v": value})
+        outcomes.append((outcome.agreed, outcome.new_version))
+        run_ids.append(outcome.run_id)
+    return outcomes, run_ids
+
+
+def _summarize(outcomes, run_ids, uris, org_for) -> Dict[str, Any]:
+    return {
+        "outcomes": outcomes,
+        "evidence": {
+            uri: _evidence_summary(org_for(uri), run_ids) for uri in uris
+        },
+        "states": {
+            uri: (
+                org_for(uri).shared_state(OBJECT_ID),
+                org_for(uri).shared_version(OBJECT_ID),
+            )
+            for uri in uris
+        },
+    }
+
+
+def _simulated_run(plan: FaultPlan, parties: int, values: List[int]):
+    uris = _uris(parties)
+    domain = TrustDomain.create(
+        uris, scheme="hmac", clock=SimulatedClock(), fault_plan=plan
+    )
+    domain.share_object(OBJECT_ID, {"v": 0})
+    outcomes, run_ids = _drive(domain.organisation(uris[0]), values)
+    return _summarize(
+        outcomes, run_ids, uris, lambda uri: domain.organisation(uri)
+    )
+
+
+def _wire_run(plan: FaultPlan, parties: int, split: int, values: List[int]):
+    uris = _uris(parties)
+    local_a, local_b = uris[:split], uris[split:]
+    with WireTransport(
+        local_parties=local_a,
+        await_remote_credentials=False,
+        clock=SimulatedClock(),
+    ) as ta, WireTransport(
+        local_parties=local_b,
+        await_remote_credentials=False,
+        clock=SimulatedClock(),
+    ) as tb:
+        # The plan installs on both nodes; with split=1 only the proposer's
+        # node originates accounted traffic, so only its injector draws --
+        # which is exactly what makes the draw sequence match the simulator.
+        da = TrustDomain.create(
+            uris, transport=ta, scheme="hmac", fault_plan=plan
+        )
+        db = TrustDomain.create(
+            uris, transport=tb, scheme="hmac", fault_plan=plan
+        )
+        ta.introduce_to(tb.host, tb.port)
+        tb.introduce_to(ta.host, ta.port)
+        da.share_object(OBJECT_ID, {"v": 0})
+        db.share_object(OBJECT_ID, {"v": 0})
+        outcomes, run_ids = _drive(da.organisation(uris[0]), values)
+
+        def org_for(uri):
+            return (da if uri in da.organisations else db).organisation(uri)
+
+        return _summarize(outcomes, run_ids, uris, org_for)
+
+
+def run_cross_transport_scenario(
+    plan: FaultPlan,
+    parties: int = 3,
+    split: int = 1,
+    values: Optional[List[int]] = None,
+) -> ChaosReport:
+    """Replay ``plan`` on the simulator and a 2-node wire loopback.
+
+    Returns a :class:`ChaosReport` whose :meth:`~ChaosReport.mismatches`
+    is empty exactly when the two transports resolved every run the same
+    way and left identical evidence and replica state everywhere.  With
+    ``split=1`` (the default) the comparison is exact per-party equality;
+    larger splits move responders off the proposer's node, which changes
+    the wire draw sequence, so only use them for convergence smoke tests.
+    """
+    values = list(values) if values is not None else [1, 2, 3]
+    if not 1 <= split < parties:
+        raise ValueError("split must keep at least one party on each node")
+    report = ChaosReport(
+        plan=plan, parties=parties, split=split, values=values
+    )
+    report.simulated = _simulated_run(plan, parties, values)
+    report.wired = _wire_run(plan, parties, split, values)
+    return report
+
+
+def write_failure_artifact(report: ChaosReport, directory: str) -> str:
+    """Dump the plan schedule and both summaries for offline replay.
+
+    Returns the artifact path.  The schedule half round-trips through
+    :meth:`FaultPlan.from_schedule`, so a CI failure is reproducible from
+    the artifact alone.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(
+        directory, f"{report.plan.name or 'fault-plan'}.json"
+    )
+    payload = {
+        "schedule": report.plan.to_schedule(),
+        "parties": report.parties,
+        "split": report.split,
+        "values": report.values,
+        "mismatches": report.mismatches(),
+        "simulated": report.simulated,
+        "wired": report.wired,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return path
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Replay a seeded chaos plan across both transports."
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--parties", type=int, default=3)
+    parser.add_argument(
+        "--values", type=int, nargs="+", default=None,
+        help="update values to propose (default: 1 2 3)",
+    )
+    parser.add_argument(
+        "--artifact-dir", default=None,
+        help="write a replayable failure artifact here on divergence",
+    )
+    options = parser.parse_args(argv)
+    plan = standard_chaos_plan(options.seed)
+    report = run_cross_transport_scenario(
+        plan, parties=options.parties, values=options.values
+    )
+    if report.converged:
+        print(f"converged: plan {plan.name} over {options.parties} parties")
+        return 0
+    for problem in report.mismatches():
+        print(problem)
+    if options.artifact_dir:
+        print(f"artifact: {write_failure_artifact(report, options.artifact_dir)}")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,102 @@
+"""Named failpoints for server-side crash injection.
+
+A :class:`FailpointRegistry` is the wire server's hook surface: the server
+calls :meth:`fire` at well-known points (``server-before-dispatch``,
+``server-before-reply``) and acts on the returned verb.  Failpoints are
+armed two ways:
+
+* explicitly, with :meth:`arm` -- either a verb string (``"close"`` kills
+  the connection at that point) or a callable action (e.g. a chaos
+  harness SIGKILLing its own process);
+* from a :class:`~repro.faults.plan.FaultPlan` via
+  :meth:`bind_injector` -- the plan's ``crash`` rules trigger
+  deterministically by failpoint *hit count*, so concurrent server
+  threads never perturb the plan's admission RNG.
+
+``fire`` returning ``"close"`` before dispatch simulates a peer dying with
+the request unprocessed (sender retries a fresh delivery); firing before
+the reply simulates the processed-but-reply-lost case, which is exactly
+what the protocol layer's message-id dedup window must absorb.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional, Union
+
+__all__ = ["FailpointRegistry", "VERB_CLOSE"]
+
+#: The one verb the wire server interprets: drop the client connection now.
+VERB_CLOSE = "close"
+
+Action = Union[str, Callable[[Optional[Any]], Optional[str]]]
+
+
+class _Armed:
+    __slots__ = ("action", "max_shots", "after_hits", "hits", "shots")
+
+    def __init__(self, action: Action, max_shots: Optional[int], after_hits: int):
+        self.action = action
+        self.max_shots = max_shots
+        self.after_hits = after_hits
+        self.hits = 0
+        self.shots = 0
+
+
+class FailpointRegistry:
+    """Thread-safe registry of armed failpoints consulted by the server."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._armed: Dict[str, _Armed] = {}
+        self._injector: Optional[Any] = None
+
+    def bind_injector(self, injector: Optional[Any]) -> None:
+        """Route crash rules of a plan's injector through this registry."""
+        with self._lock:
+            self._injector = injector
+
+    def arm(
+        self,
+        name: str,
+        action: Action = VERB_CLOSE,
+        max_shots: Optional[int] = 1,
+        after_hits: int = 0,
+    ) -> None:
+        """Arm ``name``: skip the first ``after_hits`` hits, then trigger
+        ``action`` on up to ``max_shots`` subsequent hits (None = always)."""
+        if max_shots is not None and max_shots < 1:
+            raise ValueError("max_shots must be at least 1")
+        if after_hits < 0:
+            raise ValueError("after_hits must be non-negative")
+        with self._lock:
+            self._armed[name] = _Armed(action, max_shots, after_hits)
+
+    def disarm(self, name: str) -> None:
+        with self._lock:
+            self._armed.pop(name, None)
+
+    def fire(self, name: str, context: Optional[Any] = None) -> Optional[str]:
+        """Record one hit of ``name``; return the verb to act on (or None).
+
+        Callable actions run *outside* the registry lock (they may block or
+        never return); a callable's string return value becomes the verb.
+        """
+        action: Optional[Action] = None
+        with self._lock:
+            armed = self._armed.get(name)
+            if armed is not None:
+                armed.hits += 1
+                past_warmup = armed.hits > armed.after_hits
+                shots_left = armed.max_shots is None or armed.shots < armed.max_shots
+                if past_warmup and shots_left:
+                    armed.shots += 1
+                    action = armed.action
+            injector = self._injector
+        if action is None and injector is not None and injector.should_trigger(name):
+            action = VERB_CLOSE
+        if action is None:
+            return None
+        if callable(action):
+            return action(context)
+        return action

@@ -27,6 +27,8 @@ Two retry execution modes share one policy:
 
 from __future__ import annotations
 
+import hashlib
+import hmac as hmac_module
 import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -36,15 +38,30 @@ from repro.errors import DeliveryError, UnknownEndpointError
 from repro.transport.network import BatchResult, SimulatedNetwork
 from repro.transport.scheduler import DeliveryFuture, RetryScheduler, TimerHandle
 
+#: ``RetryPolicy.jitter`` values.
+JITTER_NONE = "none"
+JITTER_FULL = "full"
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Retry behaviour for a reliable channel."""
+    """Retry behaviour for a reliable channel.
+
+    ``jitter="full"`` opts into full-jitter backoff: each retry sleeps a
+    deterministic pseudo-random fraction of the exponential delay, spreading
+    the retry storms of many channels that tripped at the same instant.  The
+    fraction is a pure function of ``(jitter_seed, attempt)`` -- no mutable
+    RNG state -- so blocking and scheduled execution of the same policy stay
+    byte-identical and a seeded test reproduces its exact timings.  The
+    default (``jitter="none"``) preserves the historical fixed schedule.
+    """
 
     max_attempts: int = 10
     backoff_seconds: float = 0.05
     backoff_multiplier: float = 2.0
     max_backoff_seconds: float = 2.0
+    jitter: str = JITTER_NONE
+    jitter_seed: bytes = b""
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -53,11 +70,25 @@ class RetryPolicy:
             raise ValueError("backoff values must be non-negative")
         if self.backoff_multiplier < 1.0:
             raise ValueError("backoff_multiplier must be >= 1.0")
+        if self.jitter not in (JITTER_NONE, JITTER_FULL):
+            raise ValueError(
+                f"jitter must be {JITTER_NONE!r} or {JITTER_FULL!r}, "
+                f"got {self.jitter!r}"
+            )
 
     def backoff_for_attempt(self, attempt: int) -> float:
         """Backoff before retry number ``attempt`` (0-based)."""
         delay = self.backoff_seconds * (self.backoff_multiplier ** attempt)
-        return min(delay, self.max_backoff_seconds)
+        delay = min(delay, self.max_backoff_seconds)
+        if self.jitter == JITTER_FULL and delay > 0:
+            digest = hmac_module.new(
+                self.jitter_seed or b"repro-retry-jitter",
+                attempt.to_bytes(8, "big"),
+                hashlib.sha256,
+            ).digest()
+            fraction = int.from_bytes(digest[:8], "big") / 2**64
+            delay *= fraction
+        return delay
 
 
 class ReliableChannel:
@@ -108,6 +139,44 @@ class ReliableChannel:
             self.attempts_made += attempts
             self.retries_made += retries
 
+    # -- circuit breaker ---------------------------------------------------------
+    #
+    # When the network carries a per-peer CircuitBreaker (see
+    # ``SimulatedNetwork.attach_circuit_breaker`` /
+    # ``WireNetwork.attach_circuit_breaker``), every attempt consults it
+    # first: an open circuit turns the attempt into a local, retryable
+    # refusal -- the retry budget still burns (so exhaustion semantics are
+    # unchanged) but no socket is touched and no network attempt counter
+    # moves.  The breaker is read at attempt time, so attaching one to a
+    # network immediately covers its live channels.  Without a breaker the
+    # behaviour is byte-identical to earlier releases.
+
+    def _refused_by_breaker(self, destination: str) -> Optional[DeliveryError]:
+        breaker = getattr(self._network, "circuit_breaker", None)
+        if breaker is None or breaker.allow(destination):
+            return None
+        record = getattr(self._network, "record_circuit_refusal", None)
+        if record is not None:
+            record(destination)
+        return DeliveryError(
+            f"circuit for {destination!r} is open; attempt refused locally"
+        )
+
+    def _record_outcome(self, destination: str, error: Optional[Exception]) -> None:
+        """Feed a network attempt's outcome to the breaker (if any).
+
+        Only :class:`DeliveryError` counts as a failure -- permanent
+        :class:`UnknownEndpointError` and handler-raised exceptions say
+        nothing about link health.
+        """
+        breaker = getattr(self._network, "circuit_breaker", None)
+        if breaker is None:
+            return
+        if error is None:
+            breaker.record_success(destination)
+        elif isinstance(error, DeliveryError):
+            breaker.record_failure(destination)
+
     # -- blocking entry points --------------------------------------------------
 
     def send(self, destination: str, operation: str, payload: Any) -> Any:
@@ -125,12 +194,22 @@ class ReliableChannel:
             self._count(attempts=1, retries=1 if attempt > 0 else 0)
             if attempt > 0:
                 self._clock.sleep(self._policy.backoff_for_attempt(attempt - 1))
+            refused = self._refused_by_breaker(destination)
+            if refused is not None:
+                last_error = refused
+                continue
             try:
-                return self._network.send(self._source, destination, operation, payload)
+                reply = self._network.send(
+                    self._source, destination, operation, payload
+                )
             except UnknownEndpointError:
                 raise
             except DeliveryError as error:
+                self._record_outcome(destination, error)
                 last_error = error
+                continue
+            self._record_outcome(destination, None)
+            return reply
         raise DeliveryError(
             f"delivery from {self._source!r} to {destination!r} failed after "
             f"{self._policy.max_attempts} attempts: {last_error}"
@@ -164,20 +243,35 @@ class ReliableChannel:
                 self._count(attempts=0, retries=len(pending))
                 self._clock.sleep(self._policy.backoff_for_attempt(attempt - 1))
             self._count(attempts=len(pending), retries=0)
-            batch = self._network.send_batch(
-                self._source, [entries[index] for index in pending]
-            )
+            to_send: List[int] = []
             still_pending: List[int] = []
-            for index, outcome in zip(pending, batch):
+            for index in pending:
+                refused = self._refused_by_breaker(entries[index][0])
+                if refused is None:
+                    to_send.append(index)
+                else:
+                    results[index] = BatchResult(error=refused)
+                    still_pending.append(index)
+            batch = (
+                self._network.send_batch(
+                    self._source, [entries[index] for index in to_send]
+                )
+                if to_send
+                else []
+            )
+            for index, outcome in zip(to_send, batch):
                 if outcome.error is None:
+                    self._record_outcome(entries[index][0], None)
                     results[index] = outcome
                 elif isinstance(outcome.error, UnknownEndpointError):
                     results[index] = outcome  # permanent: retrying cannot help
                 elif isinstance(outcome.error, DeliveryError):
+                    self._record_outcome(entries[index][0], outcome.error)
                     results[index] = outcome
                     still_pending.append(index)
                 else:
                     results[index] = outcome  # handler-raised failure
+            still_pending.sort()
             pending = still_pending
             if not pending:
                 break
@@ -259,8 +353,25 @@ class ReliableChannel:
         scheduler = self._require_scheduler()
         future = DeliveryFuture(scheduler)
 
+        def retry_or_exhaust(attempt_no: int, error: Exception) -> None:
+            next_attempt = attempt_no + 1
+            if next_attempt >= self._policy.max_attempts:
+                future.fail(self._exhausted(destination, error))
+                return
+            self._schedule_retry(
+                self._policy.backoff_for_attempt(attempt_no),
+                lambda: attempt(next_attempt),
+                on_cancel=lambda: future.fail(
+                    self._closed_in_flight(destination, error)
+                ),
+            )
+
         def attempt(attempt_no: int) -> None:
             self._count(attempts=1, retries=1 if attempt_no > 0 else 0)
+            refused = self._refused_by_breaker(destination)
+            if refused is not None:
+                retry_or_exhaust(attempt_no, refused)
+                return
             try:
                 reply = self._network.send(
                     self._source, destination, operation, payload
@@ -269,24 +380,13 @@ class ReliableChannel:
                 future.fail(error)  # permanent: no reattempt is scheduled
                 return
             except DeliveryError as error:
-                next_attempt = attempt_no + 1
-                if next_attempt >= self._policy.max_attempts:
-                    future.fail(self._exhausted(destination, error))
-                    return
-                # ``except`` unbinds its name on exit; keep the error alive
-                # for the deferred cancellation closure.
-                last_error = error
-                self._schedule_retry(
-                    self._policy.backoff_for_attempt(attempt_no),
-                    lambda: attempt(next_attempt),
-                    on_cancel=lambda: future.fail(
-                        self._closed_in_flight(destination, last_error)
-                    ),
-                )
+                self._record_outcome(destination, error)
+                retry_or_exhaust(attempt_no, error)
                 return
             except Exception as error:  # handler-raised: propagate, no retry
                 future.fail(error)
                 return
+            self._record_outcome(destination, None)
             future.complete(reply)
 
         attempt(0)
@@ -313,9 +413,22 @@ class ReliableChannel:
                 attempts=len(pending),
                 retries=len(pending) if attempt_no > 0 else 0,
             )
+            to_send: List[int] = []
+            still_pending: List[int] = []
+            for index in pending:
+                refused = self._refused_by_breaker(entries[index][0])
+                if refused is None:
+                    to_send.append(index)
+                else:
+                    last[index] = refused
+                    still_pending.append(index)
             try:
-                batch = self._network.send_batch(
-                    self._source, [entries[index] for index in pending]
+                batch = (
+                    self._network.send_batch(
+                        self._source, [entries[index] for index in to_send]
+                    )
+                    if to_send
+                    else []
                 )
             except Exception as error:  # noqa: BLE001 - must resolve the wave
                 # The first attempt runs on the calling thread: propagate,
@@ -329,17 +442,20 @@ class ReliableChannel:
                 for index in pending:
                     futures[index].complete(BatchResult(error=error))
                 return
-            still_pending: List[int] = []
-            for index, outcome in zip(pending, batch):
+            for index, outcome in zip(to_send, batch):
                 if outcome.error is None or isinstance(
                     outcome.error, UnknownEndpointError
                 ):
+                    if outcome.error is None:
+                        self._record_outcome(entries[index][0], None)
                     futures[index].complete(outcome)
                 elif isinstance(outcome.error, DeliveryError):
+                    self._record_outcome(entries[index][0], outcome.error)
                     last[index] = outcome.error
                     still_pending.append(index)
                 else:
                     futures[index].complete(outcome)  # handler-raised failure
+            still_pending.sort()
             if not still_pending:
                 return
             next_attempt = attempt_no + 1

@@ -2,10 +2,17 @@
 
 Organisations register :class:`Endpoint` handlers under their address
 (a URI).  Senders deliver :class:`Message` objects through
-:meth:`SimulatedNetwork.send`; the network applies the configured
-:class:`FaultModel` (message loss, duplication, latency, partitions) before
+:meth:`SimulatedNetwork.send`; the network applies the configured faults
+(message loss, duplication, latency, reordering, partitions) before
 dispatching to the destination handler and accounting the traffic in
 :class:`NetworkStatistics`.
+
+Faults come from either the legacy :class:`FaultModel` (probabilistic
+drop/latency/duplicate, preserved draw-for-draw for seeded tests) or a
+declarative :class:`repro.faults.FaultPlan` -- both are evaluated by one
+:class:`repro.faults.FaultInjector`, the same engine the wire transport
+consults, so a seeded plan produces the identical fault sequence on either
+transport.
 
 The simulation is synchronous: ``send`` returns the handler's reply, which
 keeps protocol code easy to follow while still exercising loss/duplication/
@@ -32,14 +39,19 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro import codec, parallel
 from repro.clock import Clock, MonotonicCounter, SimulatedClock
-from repro.crypto.rng import SecureRandom
 from repro.errors import DeliveryError, UnknownEndpointError
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.plan import FaultDecision, FaultInjector, FaultPlan
 from repro.transport.scheduler import RetryScheduler
 
 
 #: ``Message.sizing`` values: how the byte size of a message was obtained.
 SIZING_CANONICAL = "canonical"
 SIZING_REPR = "repr"
+
+#: Audit-log category used for transport-level events (circuit-breaker
+#: transitions, load shedding, frame-decode failures) on both transports.
+AUDIT_CATEGORY_TRANSPORT = "transport"
 
 
 @dataclass
@@ -179,6 +191,16 @@ class NetworkStatistics:
     messages_delivered: int = 0
     messages_dropped: int = 0
     messages_duplicated: int = 0
+    #: Messages an injected fault deferred to the end of their batch wave.
+    messages_reordered: int = 0
+    #: Inbound frames refused by wire-server backpressure (load shedding).
+    messages_shed: int = 0
+    #: Inbound frames that failed to decode (corrupt/oversized); each one
+    #: cost the peer its connection.
+    frame_decode_failures: int = 0
+    #: Send attempts refused locally because the destination's circuit
+    #: breaker was open (no socket touched, no attempt counter burned).
+    circuit_open_refusals: int = 0
     bytes_delivered: int = 0
     #: Messages whose size came from the lossy ``repr`` fallback rather than
     #: the canonical encoding; nonzero means byte counters are approximate.
@@ -222,6 +244,10 @@ class NetworkStatistics:
             messages_delivered=self.messages_delivered,
             messages_dropped=self.messages_dropped,
             messages_duplicated=self.messages_duplicated,
+            messages_reordered=self.messages_reordered,
+            messages_shed=self.messages_shed,
+            frame_decode_failures=self.frame_decode_failures,
+            circuit_open_refusals=self.circuit_open_refusals,
             bytes_delivered=self.bytes_delivered,
             messages_sized_by_repr=self.messages_sized_by_repr,
             total_latency=self.total_latency,
@@ -237,6 +263,14 @@ class NetworkStatistics:
             messages_delivered=self.messages_delivered - earlier.messages_delivered,
             messages_dropped=self.messages_dropped - earlier.messages_dropped,
             messages_duplicated=self.messages_duplicated - earlier.messages_duplicated,
+            messages_reordered=self.messages_reordered - earlier.messages_reordered,
+            messages_shed=self.messages_shed - earlier.messages_shed,
+            frame_decode_failures=(
+                self.frame_decode_failures - earlier.frame_decode_failures
+            ),
+            circuit_open_refusals=(
+                self.circuit_open_refusals - earlier.circuit_open_refusals
+            ),
             bytes_delivered=self.bytes_delivered - earlier.bytes_delivered,
             messages_sized_by_repr=(
                 self.messages_sized_by_repr - earlier.messages_sized_by_repr
@@ -347,8 +381,12 @@ class SimulatedNetwork:
         clock: Optional[Clock] = None,
         dispatch: Optional[DispatchStrategy] = None,
         retry_scheduler: Optional["RetryScheduler"] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
+        if fault_model is not None and fault_plan is not None:
+            raise ValueError("pass either fault_model= or fault_plan=, not both")
         self.fault_model = fault_model or FaultModel()
+        self.fault_plan = fault_plan
         self.clock = clock or SimulatedClock()
         self.dispatch = dispatch or SequentialDispatch()
         #: When set, every :class:`repro.transport.delivery.ReliableChannel`
@@ -357,10 +395,16 @@ class SimulatedNetwork:
         self.retry_scheduler = retry_scheduler
         self.partition = NetworkPartition()
         self.statistics = NetworkStatistics()
+        #: Optional per-peer breaker consulted by channels over this network
+        #: (see :meth:`attach_circuit_breaker`).
+        self.circuit_breaker: Optional[CircuitBreaker] = None
+        self.audit_log = None
         self._endpoints: Dict[str, Endpoint] = {}
-        self._rng = SecureRandom(self.fault_model.seed)
+        if fault_plan is not None:
+            self._injector = FaultInjector(plan=fault_plan)
+        else:
+            self._injector = FaultInjector(model=self.fault_model)
         self._message_counter = MonotonicCounter(1)
-        self._consecutive_drops: Dict[Tuple[str, str], int] = {}
         self._lock = threading.RLock()
         self._trace: List[Message] = []
         self.trace_enabled = False
@@ -403,51 +447,66 @@ class SimulatedNetwork:
         """Simulate a node crash (``online=False``) or recovery."""
         self.endpoint(address).online = online
 
-    # -- fault decisions -------------------------------------------------------
+    # -- fault plane / observability --------------------------------------------
 
-    def _should_drop(self, link: Tuple[str, str]) -> bool:
-        model = self.fault_model
-        if model.drop_probability <= 0.0:
-            return False
-        consecutive = self._consecutive_drops.get(link, 0)
-        if consecutive >= model.max_consecutive_drops:
-            self._consecutive_drops[link] = 0
-            return False
-        roll = self._rng.random_int_below(1_000_000) / 1_000_000.0
-        if roll < model.drop_probability:
-            self._consecutive_drops[link] = consecutive + 1
-            return True
-        self._consecutive_drops[link] = 0
-        return False
+    def attach_audit_log(self, audit_log) -> None:
+        """Route transport-level events (breaker transitions, shedding) to
+        ``audit_log`` under the ``"transport"`` category."""
+        self.audit_log = audit_log
 
-    def _should_duplicate(self) -> bool:
-        model = self.fault_model
-        if model.duplicate_probability <= 0.0:
-            return False
-        roll = self._rng.random_int_below(1_000_000) / 1_000_000.0
-        return roll < model.duplicate_probability
+    def attach_circuit_breaker(self, breaker: CircuitBreaker) -> None:
+        """Install a per-peer breaker; channels over this network consult it.
 
-    def _latency(self) -> float:
-        model = self.fault_model
-        latency = model.latency_seconds
-        if model.jitter_seconds > 0:
-            jitter = self._rng.random_int_below(1_000_000) / 1_000_000.0
-            latency += jitter * model.jitter_seconds
-        return latency
+        The breaker is bound to this network's clock and its transitions are
+        appended to the attached audit log (attach the log first if both are
+        wanted).
+        """
+        breaker.bind(clock=self.clock, on_event=self._on_breaker_event)
+        self.circuit_breaker = breaker
+
+    def record_circuit_refusal(self, destination: str) -> None:
+        """Count one locally-refused attempt (open circuit) for statistics."""
+        with self._lock:
+            self.statistics.circuit_open_refusals += 1
+
+    def _on_breaker_event(
+        self, destination: str, old_state: str, new_state: str, reason: str
+    ) -> None:
+        self._audit(
+            destination,
+            {
+                "event": "circuit-breaker-transition",
+                "from": old_state,
+                "to": new_state,
+                "reason": reason,
+            },
+        )
+
+    def _audit(self, subject: str, details: Dict[str, Any]) -> None:
+        log = self.audit_log
+        if log is None:
+            return
+        try:
+            log.append(
+                category=AUDIT_CATEGORY_TRANSPORT, subject=subject, details=details
+            )
+        except Exception:  # noqa: BLE001 - observability must not break delivery
+            pass
 
     # -- sending ----------------------------------------------------------------
 
-    def _admit_locked(self, message: Message) -> Tuple[Endpoint, bool, float]:
+    def _admit_locked(self, message: Message) -> Tuple[Endpoint, FaultDecision]:
         """Account and fault-check one message; caller must hold the lock.
 
-        Returns ``(endpoint, duplicate, latency)`` on admission; raises
+        Returns ``(endpoint, decision)`` on admission; raises
         :class:`DeliveryError` / :class:`UnknownEndpointError` on loss.  All
         statistics -- including the duplicate counter -- are taken here, under
         the lock and before any handler runs, so accounting is identical for
         ``send`` and ``send_batch`` and independent of the dispatch strategy.
-        The latency itself is *paid* by the caller during dispatch, outside
-        the lock, so concurrent deliveries of a parallel batch overlap their
-        link latency instead of serialising it through admission.
+        The decision's latency is *paid* by the caller during dispatch,
+        outside the lock, so concurrent deliveries of a parallel batch
+        overlap their link latency instead of serialising it through
+        admission.
         """
         sender, destination = message.sender, message.destination
         self.statistics.messages_sent += 1
@@ -460,7 +519,6 @@ class SimulatedNetwork:
         if self.trace_enabled:
             self._trace.append(message)
 
-        link = (sender, destination)
         if self.partition.is_severed(sender, destination):
             self.statistics.messages_dropped += 1
             raise DeliveryError(f"link {sender!r} -> {destination!r} is partitioned")
@@ -471,15 +529,34 @@ class SimulatedNetwork:
         if not endpoint.online:
             self.statistics.messages_dropped += 1
             raise DeliveryError(f"endpoint {destination!r} is offline")
-        if self._should_drop(link):
+
+        decision = self._injector.decide(sender, destination, message.operation)
+        if decision.partitioned:
+            self.statistics.messages_dropped += 1
+            raise DeliveryError(
+                f"link {sender!r} -> {destination!r} severed by fault plan: "
+                f"{decision.reason}"
+            )
+        if decision.drop:
             self.statistics.messages_dropped += 1
             raise DeliveryError(
                 f"message {message.message_id} from {sender!r} to "
                 f"{destination!r} was lost"
             )
+        if decision.corrupt:
+            self.statistics.messages_dropped += 1
+            raise DeliveryError(
+                f"message {message.message_id} from {sender!r} to "
+                f"{destination!r} was corrupted in transit"
+            )
+        if decision.reset:
+            self.statistics.messages_dropped += 1
+            raise DeliveryError(
+                f"connection {sender!r} -> {destination!r} was reset by "
+                "fault injection"
+            )
 
-        latency = self._latency()
-        self.statistics.total_latency += latency
+        self.statistics.total_latency += decision.latency
         self.statistics.messages_delivered += 1
         self.statistics.deliveries_per_destination[destination] = (
             self.statistics.deliveries_per_destination.get(destination, 0) + 1
@@ -488,10 +565,11 @@ class SimulatedNetwork:
         if message.sizing == SIZING_REPR:
             self.statistics.messages_sized_by_repr += 1
 
-        duplicate = self._should_duplicate()
-        if duplicate:
+        if decision.duplicate:
             self.statistics.messages_duplicated += 1
-        return endpoint, duplicate, latency
+        if decision.reorder:
+            self.statistics.messages_reordered += 1
+        return endpoint, decision
 
     def send(self, sender: str, destination: str, operation: str, payload: Any) -> Any:
         """Deliver a message and return the destination handler's reply.
@@ -508,11 +586,11 @@ class SimulatedNetwork:
                 payload=payload,
                 message_id=self._message_counter.next(),
             )
-            endpoint, duplicate, latency = self._admit_locked(message)
+            endpoint, decision = self._admit_locked(message)
 
         # Dispatch outside the lock so handlers can themselves send messages.
-        self.clock.sleep(latency)
-        if duplicate:
+        self.clock.sleep(decision.latency)
+        if decision.duplicate:
             endpoint.handler(message)
         return endpoint.handler(message)
 
@@ -535,7 +613,7 @@ class SimulatedNetwork:
         (:class:`BatchResult`) rather than raised, so one lost link never
         masks the remaining deliveries.
         """
-        admitted: List[Tuple[int, Message, Endpoint, bool, float]] = []
+        admitted: List[Tuple[int, Message, Endpoint, FaultDecision]] = []
         results: List[BatchResult] = [BatchResult() for _ in entries]
         with self._lock:
             for index, (destination, operation, payload) in enumerate(entries):
@@ -547,23 +625,31 @@ class SimulatedNetwork:
                     message_id=self._message_counter.next(),
                 )
                 try:
-                    endpoint, duplicate, latency = self._admit_locked(message)
+                    endpoint, decision = self._admit_locked(message)
                 except (DeliveryError, UnknownEndpointError) as error:
                     results[index].error = error
                     continue
-                admitted.append((index, message, endpoint, duplicate, latency))
+                admitted.append((index, message, endpoint, decision))
+
+        # Injected reordering: flagged entries are deferred behind the rest
+        # of the wave (a stable shuffle, so the fault sequence stays
+        # deterministic).  Statistics were taken at admission in entry order
+        # and are unaffected.
+        if any(entry[3].reorder for entry in admitted):
+            admitted = [e for e in admitted if not e[3].reorder] + [
+                e for e in admitted if e[3].reorder
+            ]
 
         def make_unit(
             index: int,
             message: Message,
             endpoint: Endpoint,
-            duplicate: bool,
-            latency: float,
+            decision: FaultDecision,
         ) -> Callable[[], None]:
             def unit() -> None:
                 try:
-                    self.clock.sleep(latency)
-                    if duplicate:
+                    self.clock.sleep(decision.latency)
+                    if decision.duplicate:
                         endpoint.handler(message)
                     results[index].result = endpoint.handler(message)
                 except Exception as error:  # per-entry isolation, mirrors

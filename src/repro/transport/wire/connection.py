@@ -13,21 +13,35 @@ surfaces as a retryable :class:`~repro.errors.DeliveryError`.  The existing
 retry state machines (:class:`repro.transport.delivery.ReliableChannel`,
 scheduled or blocking) then drive recovery: their next attempt simply opens
 a fresh connection.  :meth:`ConnectionPool.kill` closes live sockets on
-purpose -- the fault-injection hook the recovery tests use.
+purpose, and :meth:`ConnectionPool.request` accepts an injected ``fault``
+("reset" kills the socket under the request, "corrupt-frame" sends a
+deliberately malformed frame) -- both flow through the *same* discard +
+:class:`DeliveryError` path as organic failures, which is the point: chaos
+plans exercise the real recovery machinery, not a parallel code path.
 """
 
 from __future__ import annotations
 
 import socket
+import struct
 import threading
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import DeliveryError
-from repro.transport.wire.framing import FramingError, read_frame, write_frame
+from repro.transport.wire.framing import (
+    MAX_FRAME_BYTES,
+    FramingError,
+    read_frame,
+    write_frame,
+)
 
 __all__ = ["ConnectionPool"]
 
 HostPort = Tuple[str, int]
+
+#: A length prefix announcing an impossible frame: the receiving server must
+#: reject it as a framing violation and kill the connection.
+_CORRUPT_FRAME = struct.pack("!I", MAX_FRAME_BYTES + 1) + b"\xde\xad\xbe\xef"
 
 
 class _Connection:
@@ -167,13 +181,21 @@ class ConnectionPool:
 
     # -- request/response ---------------------------------------------------------
 
-    def request(self, hostport: HostPort, payload: bytes) -> bytes:
+    def request(
+        self, hostport: HostPort, payload: bytes, fault: Optional[str] = None
+    ) -> bytes:
         """Send one frame to the peer at ``hostport`` and await its reply.
 
         Any transport-level failure closes the connection and raises a
         retryable :class:`DeliveryError`; the next attempt reconnects.
+
+        ``fault`` injects a transport failure into this exchange instead of
+        performing it (see :meth:`_faulted_request`); the caller's retry
+        machinery recovers exactly as it would from the organic equivalent.
         """
         conn = self._acquire(hostport)
+        if fault is not None:
+            self._faulted_request(conn, hostport, fault)
         try:
             write_frame(conn.sock, payload)
         except FramingError:
@@ -211,6 +233,46 @@ class ConnectionPool:
             self.requests_sent += 1
         self._release(conn)
         return reply
+
+    def _faulted_request(
+        self, conn: _Connection, hostport: HostPort, fault: str
+    ) -> None:
+        """Apply an injected transport fault to an acquired connection.
+
+        Always raises: ``"reset"`` closes the socket under the exchange (the
+        peer observes a clean disconnect, the caller a failed request);
+        ``"corrupt-frame"`` sends a malformed length prefix the server must
+        reject, killing the connection from the far side.  Either way the
+        connection is discarded and a retryable :class:`DeliveryError`
+        surfaces -- the same taxonomy as organic socket failures.
+        """
+        try:
+            if fault == "reset":
+                conn.close()
+                raise DeliveryError(
+                    f"connection to peer process at {hostport[0]}:{hostport[1]} "
+                    "was reset by fault injection"
+                )
+            if fault == "corrupt-frame":
+                conn.sock.sendall(_CORRUPT_FRAME)
+                # A correct peer kills the connection on the framing
+                # violation; the read below surfaces that as EOF.
+                read_frame(conn.sock)
+                raise DeliveryError(
+                    f"peer process at {hostport[0]}:{hostport[1]} answered a "
+                    "corrupt frame instead of closing the connection"
+                )
+            raise DeliveryError(f"unknown injected fault {fault!r}")
+        except Exception as error:
+            with self._condition:
+                self._discard(conn)
+            conn.close()
+            if isinstance(error, DeliveryError):
+                raise
+            raise DeliveryError(
+                f"request to peer process at {hostport[0]}:{hostport[1]} "
+                f"failed: {error}"
+            ) from error
 
     # -- fault injection and teardown ---------------------------------------------
 

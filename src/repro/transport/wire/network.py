@@ -38,9 +38,20 @@ Invariants preserved relative to the simulator:
   in process (no socket), like the simulator would; only genuinely remote
   destinations pay a frame round trip.
 
-There is no injected fault model: the wire's faults are real (kill a
-connection, stop a peer).  Deployments needing deterministic loss keep
-using the simulator.
+Fault injection: a seeded :class:`repro.faults.FaultPlan` attached via
+``fault_plan=`` (or :meth:`WireNetwork.set_fault_plan`) is consulted at
+admission by the same :class:`repro.faults.FaultInjector` engine the
+simulator uses -- but here the decisions are realised as *real* transport
+faults: a drop skips the round trip, a corrupt frame or injected reset is
+performed on the actual socket (see
+:meth:`~repro.transport.wire.connection.ConnectionPool.request`), a
+duplicate performs the exchange twice, and crash rules fire the server's
+:class:`~repro.faults.FailpointRegistry`.  Every injected failure flows
+through the organic :class:`~repro.errors.DeliveryError` taxonomy, so the
+recovery machinery exercised under chaos is exactly the machinery
+production traffic relies on.  With no plan attached behaviour is
+byte-identical to earlier releases; the wire's organic faults (kill a
+connection, stop a peer) remain available regardless.
 """
 
 from __future__ import annotations
@@ -50,7 +61,11 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.clock import Clock, MonotonicCounter, SystemClock
 from repro.errors import DeliveryError, UnknownEndpointError
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.failpoints import FailpointRegistry
+from repro.faults.plan import FaultDecision, FaultPlan
 from repro.transport.network import (
+    AUDIT_CATEGORY_TRANSPORT,
     BatchResult,
     DispatchStrategy,
     Endpoint,
@@ -89,6 +104,8 @@ class WireNetwork:
         address_book: Optional[PeerAddressBook] = None,
         connection_pool: Optional[ConnectionPool] = None,
         system_handlers: Optional[Dict[str, Callable[[Any], Any]]] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        max_inflight_frames: Optional[int] = None,
     ) -> None:
         self.clock = clock or SystemClock()
         self.dispatch = dispatch or SequentialDispatch()
@@ -96,6 +113,15 @@ class WireNetwork:
         self.address_book = address_book or PeerAddressBook()
         self.statistics = NetworkStatistics()
         self.pool = connection_pool or ConnectionPool()
+        #: Named failpoints the serve loop fires; armed explicitly or by a
+        #: fault plan's ``crash`` rules.
+        self.failpoints = FailpointRegistry()
+        self.fault_plan: Optional[FaultPlan] = None
+        self.fault_injector = None
+        #: Optional per-peer breaker consulted by channels over this node
+        #: (see :meth:`attach_circuit_breaker`).
+        self.circuit_breaker: Optional[CircuitBreaker] = None
+        self.audit_log = None
         self._endpoints: Dict[str, Endpoint] = {}
         # ``system_handlers`` passed here are installed BEFORE the server
         # starts accepting: on a fixed port, a fast peer's first frame can
@@ -110,7 +136,17 @@ class WireNetwork:
         self._trace: List[Message] = []
         self.trace_enabled = False
         self._closed = False
-        self.server = WireServer(self._serve_frame, host=host, port=port)
+        if fault_plan is not None:
+            self.set_fault_plan(fault_plan)
+        self.server = WireServer(
+            self._serve_frame,
+            host=host,
+            port=port,
+            max_inflight=max_inflight_frames,
+            shed_reply=self._shed_reply,
+            on_frame_error=self._on_frame_error,
+            failpoints=self.failpoints,
+        )
 
     # -- node identity -----------------------------------------------------------
 
@@ -164,6 +200,103 @@ class WireNetwork:
         with self._lock:
             self._system_handlers[operation] = handler
 
+    # -- fault plane / observability -----------------------------------------------
+
+    def set_fault_plan(self, plan: Optional[FaultPlan]) -> None:
+        """Attach (or, with ``None``, detach) a seeded fault plan.
+
+        Subsequent admissions consult the plan's injector; its ``crash``
+        rules are routed through :attr:`failpoints` so the serve loop fires
+        them deterministically.  System traffic (credential exchange, peer
+        introduction) is never faulted -- it is unaccounted infrastructure,
+        exactly as on the simulator.
+        """
+        with self._lock:
+            self.fault_plan = plan
+            self.fault_injector = plan.injector() if plan is not None else None
+        self.failpoints.bind_injector(self.fault_injector)
+
+    def attach_audit_log(self, audit_log) -> None:
+        """Route transport-level events (breaker transitions, shedding,
+        frame-decode failures) to ``audit_log`` under ``"transport"``."""
+        self.audit_log = audit_log
+
+    def attach_circuit_breaker(self, breaker: CircuitBreaker) -> None:
+        """Install a per-peer breaker; channels over this node consult it."""
+        breaker.bind(clock=self.clock, on_event=self._on_breaker_event)
+        self.circuit_breaker = breaker
+
+    def record_circuit_refusal(self, destination: str) -> None:
+        """Count one locally-refused attempt (open circuit) for statistics."""
+        with self._lock:
+            self.statistics.circuit_open_refusals += 1
+
+    def _on_breaker_event(
+        self, destination: str, old_state: str, new_state: str, reason: str
+    ) -> None:
+        self._audit(
+            destination,
+            {
+                "event": "circuit-breaker-transition",
+                "from": old_state,
+                "to": new_state,
+                "reason": reason,
+            },
+        )
+
+    def _audit(self, subject: str, details: Dict[str, Any]) -> None:
+        log = self.audit_log
+        if log is None:
+            return
+        try:
+            log.append(
+                category=AUDIT_CATEGORY_TRANSPORT, subject=subject, details=details
+            )
+        except Exception:  # noqa: BLE001 - observability must not break serving
+            pass
+
+    def _on_frame_error(self, error: Exception) -> None:
+        """An inbound frame failed to decode; the connection is being killed.
+
+        Receiver-side observability only: the *sender* accounts the drop
+        when its request fails (sender-side accounting keeps node sums equal
+        to the simulator's global view), but the poisoned stream is counted
+        and audited here so it is never silent.
+        """
+        with self._lock:
+            self.statistics.frame_decode_failures += 1
+        self._audit(
+            f"{self.host}:{self.port}",
+            {
+                "event": "frame-decode-failure",
+                "error": str(error),
+                "action": "connection closed",
+            },
+        )
+
+    def _shed_reply(self, raw_request: bytes) -> bytes:
+        """Build the retryable error reply for a load-shed inbound frame."""
+        seq = 0
+        try:
+            request = wirecodec.decode_body(raw_request)
+            if isinstance(request, dict):
+                seq = request.get("seq", 0) or 0
+        except Exception:  # noqa: BLE001 - shed even what we cannot decode
+            pass
+        with self._lock:
+            self.statistics.messages_shed += 1
+        self._audit(
+            f"{self.host}:{self.port}",
+            {"event": "inbound-frame-shed", "seq": seq, "reason": "overload"},
+        )
+        return self._error_reply(
+            seq,
+            DeliveryError(
+                "node overloaded: inbound frame shed by backpressure; retry"
+            ),
+            delivered=False,
+        )
+
     # -- sending -------------------------------------------------------------------
 
     def _admit_locked(self, message: Message) -> None:
@@ -178,6 +311,39 @@ class WireNetwork:
         if self.trace_enabled:
             self._trace.append(message)
 
+    def _decide_locked(self, message: Message) -> Optional[FaultDecision]:
+        """Consult the fault injector for one admitted message.
+
+        Called under the admission lock, in entry order, so the draw
+        sequence is deterministic -- and identical to the simulator's for
+        the same traffic, which is what the cross-transport chaos suite
+        leans on.  Duplicate/reorder counters are taken here, mirroring the
+        simulator's admission accounting.
+        """
+        if self.fault_injector is None:
+            return None
+        decision = self.fault_injector.decide(
+            message.sender, message.destination, message.operation
+        )
+        if decision.duplicate:
+            self.statistics.messages_duplicated += 1
+        if decision.reorder:
+            self.statistics.messages_reordered += 1
+        if decision.latency:
+            self.statistics.total_latency += decision.latency
+        return decision
+
+    def _loss_error(self, message: Message, decision: FaultDecision) -> DeliveryError:
+        if decision.partitioned:
+            return DeliveryError(
+                f"link {message.sender!r} -> {message.destination!r} severed "
+                f"by fault plan: {decision.reason}"
+            )
+        return DeliveryError(
+            f"message {message.message_id} from {message.sender!r} to "
+            f"{message.destination!r} was lost ({decision.reason})"
+        )
+
     def _account_delivered_locked(self, message: Message) -> None:
         self.statistics.messages_delivered += 1
         self.statistics.deliveries_per_destination[message.destination] = (
@@ -187,13 +353,32 @@ class WireNetwork:
         if message.sizing == "repr":
             self.statistics.messages_sized_by_repr += 1
 
-    def _deliver_local(self, endpoint: Endpoint, message: Message) -> Any:
-        """Deliver to an endpoint hosted on this node (no socket)."""
+    def _deliver_local(
+        self,
+        endpoint: Endpoint,
+        message: Message,
+        decision: Optional[FaultDecision] = None,
+    ) -> Any:
+        """Deliver to an endpoint hosted on this node (no socket).
+
+        Injected losses (drop / corrupt / reset / partition window) destroy
+        the message before the handler, exactly like on the simulator; a
+        duplicate invokes the handler twice.
+        """
+        if decision is not None and decision.lost:
+            with self._lock:
+                self.statistics.messages_dropped += 1
+            raise self._loss_error(message, decision)
         with self._lock:
             if not endpoint.online:
                 self.statistics.messages_dropped += 1
                 raise DeliveryError(f"endpoint {message.destination!r} is offline")
             self._account_delivered_locked(message)
+        if decision is not None:
+            if decision.latency:
+                self.clock.sleep(decision.latency)
+            if decision.duplicate:
+                endpoint.handler(message)
         return endpoint.handler(message)
 
     def _round_trip(
@@ -204,6 +389,7 @@ class WireNetwork:
         operation: str,
         payload: Any,
         message_id: int,
+        fault: Optional[str] = None,
     ) -> Dict[str, Any]:
         """One request/reply exchange with a peer; returns the reply envelope.
 
@@ -228,7 +414,7 @@ class WireNetwork:
                 "payload": payload,
             }
         )
-        raw_reply = self.pool.request(hostport, request)
+        raw_reply = self.pool.request(hostport, request, fault=fault)
         try:
             reply = wirecodec.decode_body(raw_reply)
         except wirecodec.WireCodecError as error:
@@ -243,8 +429,45 @@ class WireNetwork:
             )
         return reply
 
-    def _deliver_remote(self, hostport: HostPort, message: Message) -> Any:
-        """Deliver across a socket; accounting resolves on the reply."""
+    def _deliver_remote(
+        self,
+        hostport: HostPort,
+        message: Message,
+        decision: Optional[FaultDecision] = None,
+    ) -> Any:
+        """Deliver across a socket; accounting resolves on the reply.
+
+        Injected faults are realised here: a drop (or partition window)
+        skips the round trip and counts the loss; corrupt-frame and reset
+        decisions are performed on the real socket by the pool; a duplicate
+        performs a best-effort extra exchange first (same ``message_id``, so
+        receivers exercise their duplicate suppression) with the primary
+        exchange deciding the outcome.
+        """
+        fault = None
+        if decision is not None:
+            if decision.drop or decision.partitioned:
+                with self._lock:
+                    self.statistics.messages_dropped += 1
+                raise self._loss_error(message, decision)
+            if decision.latency:
+                self.clock.sleep(decision.latency)
+            if decision.corrupt:
+                fault = "corrupt-frame"
+            elif decision.reset:
+                fault = "reset"
+            elif decision.duplicate:
+                try:
+                    self._round_trip(
+                        hostport,
+                        message.sender,
+                        message.destination,
+                        message.operation,
+                        message.payload,
+                        message.message_id,
+                    )
+                except Exception:  # noqa: BLE001 - the duplicate leg is
+                    pass  # best-effort; the primary leg decides the outcome
         try:
             reply = self._round_trip(
                 hostport,
@@ -253,6 +476,7 @@ class WireNetwork:
                 message.operation,
                 message.payload,
                 message.message_id,
+                fault=fault,
             )
         except (wirecodec.WireCodecError, DeliveryError, FramingError):
             # Every round-trip failure -- permanent or retryable, see
@@ -308,9 +532,13 @@ class WireNetwork:
             except UnknownEndpointError:
                 self.statistics.messages_dropped += 1
                 raise
+            # Decide AFTER the endpoint resolves (unknown destinations draw
+            # no faults), matching the simulator's admission order so seeded
+            # draw sequences stay identical across transports.
+            decision = self._decide_locked(message)
         if endpoint is not None:
-            return self._deliver_local(endpoint, message)
-        return self._deliver_remote(hostport, message)
+            return self._deliver_local(endpoint, message, decision)
+        return self._deliver_remote(hostport, message, decision)
 
     def send_batch(
         self, sender: str, entries: List[Tuple[str, str, Any]]
@@ -325,7 +553,15 @@ class WireNetwork:
         are returned, never raised.
         """
         results: List[BatchResult] = [BatchResult() for _ in entries]
-        admitted: List[Tuple[int, Message, Optional[Endpoint], Optional[HostPort]]] = []
+        admitted: List[
+            Tuple[
+                int,
+                Message,
+                Optional[Endpoint],
+                Optional[HostPort],
+                Optional[FaultDecision],
+            ]
+        ] = []
         with self._lock:
             for index, (destination, operation, payload) in enumerate(entries):
                 message = Message(
@@ -342,20 +578,33 @@ class WireNetwork:
                     self.statistics.messages_dropped += 1
                     results[index].error = error
                     continue
-                admitted.append((index, message, endpoint, hostport))
+                decision = self._decide_locked(message)
+                admitted.append((index, message, endpoint, hostport, decision))
+
+        # Injected reordering: deterministically defer flagged entries to
+        # the back of the wave (stable), mirroring the simulator.
+        if any(entry[4] is not None and entry[4].reorder for entry in admitted):
+            admitted = [
+                e for e in admitted if e[4] is None or not e[4].reorder
+            ] + [e for e in admitted if e[4] is not None and e[4].reorder]
 
         def make_unit(
             index: int,
             message: Message,
             endpoint: Optional[Endpoint],
             hostport: Optional[HostPort],
+            decision: Optional[FaultDecision],
         ) -> Callable[[], None]:
             def unit() -> None:
                 try:
                     if endpoint is not None:
-                        results[index].result = self._deliver_local(endpoint, message)
+                        results[index].result = self._deliver_local(
+                            endpoint, message, decision
+                        )
                     else:
-                        results[index].result = self._deliver_remote(hostport, message)
+                        results[index].result = self._deliver_remote(
+                            hostport, message, decision
+                        )
                 except Exception as error:  # per-entry isolation, as simulated
                     results[index].error = error
 

@@ -11,18 +11,37 @@ makes a parallel sender-side dispatch strategy overlap real round trips.
 The dispatch callable owns all content handling (decoding, endpoint lookup,
 handler invocation, error marshalling) and must never raise; the server only
 manages sockets.  Reader threads exit on peer disconnect or server close.
+
+Robustness hooks:
+
+* ``max_inflight`` bounds concurrently dispatched frames; excess frames are
+  *shed* -- answered with ``shed_reply``'s retryable error frame (or, with
+  no shed handler, by dropping the connection).  Overload therefore always
+  surfaces to the sender's retry machinery instead of hanging it.
+* ``on_frame_error`` observes undecodable inbound frames (corrupt or
+  oversized length prefixes, resets mid-frame) before the connection is
+  killed, so a poisoned stream is audited and counted, never silent.
+* ``failpoints`` (a :class:`repro.faults.FailpointRegistry`) is fired at
+  ``server-before-dispatch`` and ``server-before-reply``; the ``"close"``
+  verb kills the connection there, simulating a peer dying with the request
+  unprocessed, or processed-but-reply-lost (the case the protocol layer's
+  duplicate suppression must absorb).
 """
 
 from __future__ import annotations
 
 import socket
 import threading
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from repro.errors import TransportError
-from repro.transport.wire.framing import read_frame, write_frame
+from repro.transport.wire.framing import ConnectionClosed, read_frame, write_frame
 
 __all__ = ["WireServer"]
+
+#: Failpoint names the serve loop fires, in order.
+FAILPOINT_BEFORE_DISPATCH = "server-before-dispatch"
+FAILPOINT_BEFORE_REPLY = "server-before-reply"
 
 
 class WireServer:
@@ -33,8 +52,24 @@ class WireServer:
         dispatch: Callable[[bytes], bytes],
         host: str = "127.0.0.1",
         port: int = 0,
+        max_inflight: Optional[int] = None,
+        shed_reply: Optional[Callable[[bytes], Optional[bytes]]] = None,
+        on_frame_error: Optional[Callable[[Exception], None]] = None,
+        failpoints=None,
     ) -> None:
+        if max_inflight is not None and max_inflight < 0:
+            raise ValueError("max_inflight must be non-negative")
         self._dispatch = dispatch
+        # BoundedSemaphore(0) sheds every frame -- useful for overload tests.
+        self._inflight = (
+            threading.BoundedSemaphore(max_inflight)
+            if max_inflight is not None
+            else None
+        )
+        self._shed_reply = shed_reply
+        self._on_frame_error = on_frame_error
+        self._failpoints = failpoints
+        self.frames_shed = 0
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         try:
@@ -104,11 +139,41 @@ class WireServer:
             while True:
                 try:
                     request = read_frame(client)
-                except (TransportError, OSError):
+                except ConnectionClosed:
                     return  # peer went away (or the server is closing)
-                reply = self._dispatch(request)
+                except (TransportError, OSError) as error:
+                    # A frame that cannot be decoded (corrupt/oversized
+                    # length prefix, reset mid-frame) desyncs the stream: no
+                    # later frame on this connection can be trusted.  Report
+                    # it -- audited and counted by the network's hook -- then
+                    # kill the connection; the sender sees a retryable
+                    # failure, never a silent hang.
+                    self._report_frame_error(error)
+                    return
+                if self._fire(FAILPOINT_BEFORE_DISPATCH):
+                    return
+                if self._inflight is not None and not self._inflight.acquire(
+                    blocking=False
+                ):
+                    reply = self._shed(request)
+                    if reply is None:
+                        return  # no shed handler: drop the connection
+                    with self._lock:
+                        self.frames_shed += 1
+                    try:
+                        write_frame(client, reply)
+                    except (TransportError, OSError):
+                        return
+                    continue
+                try:
+                    reply = self._dispatch(request)
+                finally:
+                    if self._inflight is not None:
+                        self._inflight.release()
                 with self._lock:
                     self.frames_served += 1
+                if self._fire(FAILPOINT_BEFORE_REPLY):
+                    return
                 try:
                     write_frame(client, reply)
                 except (TransportError, OSError):
@@ -121,6 +186,31 @@ class WireServer:
                 client.close()
             except OSError:
                 pass
+
+    def _fire(self, name: str) -> bool:
+        """Fire a failpoint; True means the connection must close here."""
+        if self._failpoints is None:
+            return False
+        return self._failpoints.fire(name) == "close"
+
+    def _shed(self, request: bytes) -> Optional[bytes]:
+        if self._shed_reply is None:
+            return None
+        try:
+            return self._shed_reply(request)
+        except Exception:  # noqa: BLE001 - shedding must not kill the thread
+            return None
+
+    def _report_frame_error(self, error: Exception) -> None:
+        with self._lock:
+            if self._closed:
+                return  # our own teardown, not a peer's corruption
+        if self._on_frame_error is None:
+            return
+        try:
+            self._on_frame_error(error)
+        except Exception:  # noqa: BLE001 - observability must not kill serving
+            pass
 
     # -- teardown -----------------------------------------------------------------
 

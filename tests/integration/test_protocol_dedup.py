@@ -1,0 +1,214 @@
+"""At-most-once protocol semantics under injected duplication and reordering.
+
+The transports deliberately do NOT deduplicate (a wire retry after a lost
+reply is indistinguishable from a duplicate); the protocol layer must.
+Under a seeded plan that duplicates and reorders every message, on either
+transport, runs must still agree and every party's evidence store must
+hold exactly the same token multiset as a clean run -- interceptors are
+idempotent and the evidence store never double-inserts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro import TrustDomain
+from repro.clock import SimulatedClock
+from repro.core.messages import B2BProtocolMessage
+from repro.core.protocol import DEDUP_WINDOW, RESPONSE_CACHE, ProtocolRun
+from repro.faults import FaultPlan, FaultRule
+from repro.transport.wire import WireTransport
+from repro.transport.wire.server import FAILPOINT_BEFORE_REPLY
+
+OBJECT_ID = "dedup-doc"
+URIS = [f"urn:org:dedup{i}" for i in range(3)]
+
+
+def _chatty_plan():
+    """Duplicate and reorder every protocol message."""
+    return FaultPlan(
+        rules=(
+            FaultRule(fault="duplicate", probability=1.0),
+            FaultRule(fault="reorder", probability=1.0),
+        ),
+        seed=b"dedup",
+    )
+
+
+def _evidence(org, run_ids):
+    counts = Counter()
+    for run_id in run_ids:
+        for record in org.evidence_store.evidence_for_run(run_id):
+            counts[(record.token_type, record.role)] += 1
+    return counts
+
+
+def _drive(domain, values):
+    proposer = domain.organisation(URIS[0])
+    run_ids = []
+    for value in values:
+        outcome = proposer.propose_update(OBJECT_ID, {"v": value})
+        assert outcome.agreed, outcome.reason
+        run_ids.append(outcome.run_id)
+    return run_ids
+
+
+def _simulated(fault_plan=None):
+    domain = TrustDomain.create(
+        URIS, scheme="hmac", clock=SimulatedClock(), fault_plan=fault_plan
+    )
+    domain.share_object(OBJECT_ID, {"v": 0})
+    run_ids = _drive(domain, [1, 2])
+    return {
+        uri: _evidence(domain.organisation(uri), run_ids) for uri in URIS
+    }, {
+        uri: (
+            domain.organisation(uri).shared_state(OBJECT_ID),
+            domain.organisation(uri).shared_version(OBJECT_ID),
+        )
+        for uri in URIS
+    }
+
+
+class TestProtocolRunDedup:
+    def _message(self, message_id, step=1):
+        return B2BProtocolMessage(
+            run_id="run-1",
+            protocol="p",
+            step=step,
+            sender="urn:a",
+            recipient="urn:b",
+            payload={},
+            message_id=message_id,
+        )
+
+    def test_duplicate_message_ids_are_refused_once_recorded(self):
+        run = ProtocolRun(
+            run_id="run-1", protocol="p", initiator="urn:a", responder="urn:b"
+        )
+        assert run.record_message(self._message("m-1"))
+        assert not run.record_message(self._message("m-1"))
+        assert run.record_message(self._message("m-2"))
+        assert run.messages_seen == ["m-1", "m-2"]
+
+    def test_response_cache_replays_and_is_bounded(self):
+        run = ProtocolRun(
+            run_id="run-1", protocol="p", initiator="urn:a", responder="urn:b"
+        )
+        reply = self._message("r-1", step=2)
+        run.cache_response("m-1", reply)
+        assert run.cached_response("m-1") is reply
+        assert run.cached_response("m-unknown") is None
+        for n in range(RESPONSE_CACHE + 5):
+            run.cache_response(f"m-fill-{n}", reply)
+        assert run.cached_response("m-1") is None  # evicted oldest-first
+        assert run.cached_response(f"m-fill-{RESPONSE_CACHE + 4}") is reply
+
+    def test_dedup_window_is_bounded_and_evicts_oldest(self):
+        run = ProtocolRun(
+            run_id="run-1", protocol="p", initiator="urn:a", responder="urn:b"
+        )
+        for n in range(DEDUP_WINDOW + 10):
+            assert run.record_message(self._message(f"m-{n}"))
+        assert len(run.messages_seen) == DEDUP_WINDOW
+        # The oldest ids fell out of the window; the newest are still known.
+        assert run.record_message(self._message("m-0"))
+        assert not run.record_message(
+            self._message(f"m-{DEDUP_WINDOW + 9}")
+        )
+
+    def test_recovered_runs_seed_the_window_from_the_record(self):
+        run = ProtocolRun(
+            run_id="run-1",
+            protocol="p",
+            initiator="urn:a",
+            responder="urn:b",
+            messages_seen=["m-1"],
+        )
+        assert not run.record_message(self._message("m-1"))
+
+
+class TestDuplicationAcrossTransports:
+    def test_simulated_duplication_leaves_clean_run_evidence(self):
+        clean_evidence, clean_states = _simulated()
+        noisy_evidence, noisy_states = _simulated(fault_plan=_chatty_plan())
+        assert noisy_evidence == clean_evidence
+        assert noisy_states == clean_states
+
+    def test_wire_duplication_leaves_clean_run_evidence(self):
+        clean_evidence, clean_states = _simulated()
+        plan = _chatty_plan()
+        with WireTransport(
+            local_parties=URIS[:1],
+            await_remote_credentials=False,
+            clock=SimulatedClock(),
+        ) as ta, WireTransport(
+            local_parties=URIS[1:],
+            await_remote_credentials=False,
+            clock=SimulatedClock(),
+        ) as tb:
+            da = TrustDomain.create(
+                URIS, transport=ta, scheme="hmac", fault_plan=plan
+            )
+            db = TrustDomain.create(URIS, transport=tb, scheme="hmac")
+            ta.introduce_to(tb.host, tb.port)
+            tb.introduce_to(ta.host, ta.port)
+            da.share_object(OBJECT_ID, {"v": 0})
+            db.share_object(OBJECT_ID, {"v": 0})
+            run_ids = _drive(da, [1, 2])
+
+            def org(uri):
+                return (da if uri in da.organisations else db).organisation(uri)
+
+            assert {
+                uri: _evidence(org(uri), run_ids) for uri in URIS
+            } == clean_evidence
+            assert {
+                uri: (
+                    org(uri).shared_state(OBJECT_ID),
+                    org(uri).shared_version(OBJECT_ID),
+                )
+                for uri in URIS
+            } == clean_states
+            assert da.network.statistics.messages_duplicated > 0
+
+    def test_lost_reply_retry_is_absorbed_as_a_duplicate(self):
+        # Crash-before-reply on the responder node: the request is
+        # processed, the reply lost, and the sender's retry re-delivers the
+        # SAME message id.  The protocol layer must replay its cached
+        # response instead of re-running the interceptor -- exactly one
+        # received NRO_UPDATE and one generated NR_DECISION per responder.
+        clean_evidence, _clean_states = _simulated()
+        with WireTransport(
+            local_parties=URIS[:1],
+            await_remote_credentials=False,
+            clock=SimulatedClock(),
+        ) as ta, WireTransport(
+            local_parties=URIS[1:],
+            await_remote_credentials=False,
+            clock=SimulatedClock(),
+        ) as tb:
+            da = TrustDomain.create(URIS, transport=ta, scheme="hmac")
+            db = TrustDomain.create(URIS, transport=tb, scheme="hmac")
+            ta.introduce_to(tb.host, tb.port)
+            tb.introduce_to(ta.host, ta.port)
+            da.share_object(OBJECT_ID, {"v": 0})
+            db.share_object(OBJECT_ID, {"v": 0})
+            tb.network.failpoints.arm(FAILPOINT_BEFORE_REPLY, max_shots=1)
+            run_ids = _drive(da, [1, 2])
+
+            def org(uri):
+                return (da if uri in da.organisations else db).organisation(uri)
+
+            assert {
+                uri: _evidence(org(uri), run_ids) for uri in URIS
+            } == clean_evidence
+            # The retry really happened: the proposer paid a failed attempt.
+            failed = da.network.statistics.failed_attempts_per_destination()
+            assert sum(failed.values()) >= 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v"]))

@@ -1,0 +1,233 @@
+"""Unit tests for the per-peer circuit breaker and its channel integration.
+
+The state machine itself (closed -> open -> half-open -> closed/open),
+single-probe gating, event reporting, and the end-to-end property the
+breaker exists for: a channel retrying against a dead peer stops burning
+network attempts once the circuit opens, the refusals are counted in
+``NetworkStatistics.circuit_open_refusals``, and the transitions land in
+the attached audit log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.errors import DeliveryError
+from repro.faults import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
+from repro.persistence.audit_log import AuditLog
+from repro.transport.delivery import ReliableChannel, RetryPolicy
+from repro.transport.network import AUDIT_CATEGORY_TRANSPORT, SimulatedNetwork
+
+DEST = "urn:org:peer"
+
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def now(self) -> float:
+        return self.t
+
+
+class TestCircuitStateMachine:
+    def _breaker(self, **kwargs):
+        clock = _FakeClock()
+        events = []
+        breaker = CircuitBreaker(
+            failure_threshold=kwargs.pop("failure_threshold", 3),
+            recovery_seconds=kwargs.pop("recovery_seconds", 10.0),
+            clock=clock,
+            on_event=lambda *event: events.append(event),
+            **kwargs,
+        )
+        return breaker, clock, events
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="recovery_seconds"):
+            CircuitBreaker(recovery_seconds=-1)
+
+    def test_threshold_failures_open_the_circuit(self):
+        breaker, _clock, events = self._breaker()
+        for _ in range(2):
+            breaker.record_failure(DEST)
+        assert breaker.state(DEST) == STATE_CLOSED
+        assert breaker.allow(DEST)
+        breaker.record_failure(DEST)
+        assert breaker.state(DEST) == STATE_OPEN
+        assert not breaker.allow(DEST)
+        assert events == [
+            (DEST, STATE_CLOSED, STATE_OPEN, "3 consecutive delivery failures")
+        ]
+
+    def test_success_resets_the_failure_count(self):
+        breaker, _clock, _events = self._breaker()
+        breaker.record_failure(DEST)
+        breaker.record_failure(DEST)
+        breaker.record_success(DEST)
+        breaker.record_failure(DEST)
+        breaker.record_failure(DEST)
+        assert breaker.state(DEST) == STATE_CLOSED
+
+    def test_half_open_admits_a_single_probe(self):
+        breaker, clock, _events = self._breaker()
+        for _ in range(3):
+            breaker.record_failure(DEST)
+        clock.t = 10.0
+        assert breaker.state(DEST) == STATE_HALF_OPEN
+        assert breaker.allow(DEST)  # the probe
+        assert not breaker.allow(DEST)  # gated until the probe resolves
+
+    def test_successful_probe_closes(self):
+        breaker, clock, events = self._breaker()
+        for _ in range(3):
+            breaker.record_failure(DEST)
+        clock.t = 10.0
+        assert breaker.allow(DEST)
+        breaker.record_success(DEST)
+        assert breaker.state(DEST) == STATE_CLOSED
+        assert breaker.allow(DEST)
+        assert [e[2] for e in events] == [
+            STATE_OPEN, STATE_HALF_OPEN, STATE_CLOSED,
+        ]
+
+    def test_failed_probe_reopens_and_restamps(self):
+        breaker, clock, events = self._breaker()
+        for _ in range(3):
+            breaker.record_failure(DEST)
+        clock.t = 10.0
+        assert breaker.allow(DEST)
+        breaker.record_failure(DEST)
+        assert not breaker.allow(DEST)  # open again, freshly stamped
+        clock.t = 19.0
+        assert breaker.state(DEST) == STATE_OPEN
+        clock.t = 20.0
+        assert breaker.state(DEST) == STATE_HALF_OPEN
+        assert [e[2] for e in events] == [
+            STATE_OPEN, STATE_HALF_OPEN, STATE_OPEN, STATE_HALF_OPEN,
+        ]
+
+    def test_late_failures_while_open_are_ignored(self):
+        breaker, _clock, events = self._breaker()
+        for _ in range(4):
+            breaker.record_failure(DEST)
+        assert len(events) == 1  # no re-transition, no re-stamp
+
+    def test_destinations_are_independent(self):
+        breaker, _clock, _events = self._breaker()
+        for _ in range(3):
+            breaker.record_failure(DEST)
+        assert not breaker.allow(DEST)
+        assert breaker.allow("urn:org:other")
+
+
+class TestChannelIntegration:
+    def _network_with_dead_peer(self):
+        clock = SimulatedClock()
+        network = SimulatedNetwork(clock=clock)
+        network.register(DEST, lambda message: "pong")
+        network.set_online(DEST, False)
+        return network
+
+    def test_open_circuit_stops_burning_network_attempts(self):
+        network = self._network_with_dead_peer()
+        audit = AuditLog(owner="urn:org:sender", clock=network.clock)
+        network.attach_audit_log(audit)
+        network.attach_circuit_breaker(
+            CircuitBreaker(failure_threshold=3, recovery_seconds=60.0)
+        )
+        channel = ReliableChannel(
+            network,
+            "urn:org:sender",
+            policy=RetryPolicy(max_attempts=8, backoff_seconds=0.001),
+        )
+        with pytest.raises(DeliveryError, match="failed after 8 attempts"):
+            channel.send(DEST, "ping", {})
+        stats = network.statistics
+        # 3 real attempts tripped the breaker; the remaining 5 were refused
+        # locally without touching the network.
+        assert stats.attempts_per_destination[DEST] == 3
+        assert stats.circuit_open_refusals == 5
+        assert network.circuit_breaker.state(DEST) == STATE_OPEN
+        transitions = [
+            record.details
+            for record in audit.records(category=AUDIT_CATEGORY_TRANSPORT)
+            if record.details.get("event") == "circuit-breaker-transition"
+        ]
+        assert transitions == [
+            {
+                "event": "circuit-breaker-transition",
+                "from": STATE_CLOSED,
+                "to": STATE_OPEN,
+                "reason": "3 consecutive delivery failures",
+            }
+        ]
+
+    def test_recovered_peer_closes_the_circuit_through_a_probe(self):
+        network = self._network_with_dead_peer()
+        network.attach_circuit_breaker(
+            CircuitBreaker(failure_threshold=2, recovery_seconds=0.05)
+        )
+        channel = ReliableChannel(
+            network,
+            "urn:org:sender",
+            policy=RetryPolicy(max_attempts=6, backoff_seconds=0.1),
+        )
+        with pytest.raises(DeliveryError):
+            channel.send(DEST, "ping", {})
+        assert network.circuit_breaker.state(DEST) == STATE_OPEN
+        # The peer comes back; the backoff outlives recovery_seconds, so the
+        # next send probes half-open, succeeds, and the circuit closes.
+        network.set_online(DEST, True)
+        network.clock.sleep(0.05)
+        assert channel.send(DEST, "ping", {}) == "pong"
+        assert network.circuit_breaker.state(DEST) == STATE_CLOSED
+
+    def test_refusals_do_not_feed_back_into_the_breaker(self):
+        # A refusal is not evidence about the link; only DeliveryError from
+        # a real attempt may count. 8 refused attempts must not re-stamp or
+        # deepen the open circuit.
+        network = self._network_with_dead_peer()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_seconds=30.0)
+        network.attach_circuit_breaker(breaker)
+        channel = ReliableChannel(
+            network,
+            "urn:org:sender",
+            policy=RetryPolicy(max_attempts=8, backoff_seconds=0.001),
+        )
+        with pytest.raises(DeliveryError):
+            channel.send(DEST, "ping", {})
+        assert network.statistics.attempts_per_destination[DEST] == 1
+        assert network.statistics.circuit_open_refusals == 7
+        network.set_online(DEST, True)
+        network.clock.sleep(30.0)
+        assert channel.send(DEST, "ping", {}) == "pong"
+
+    def test_batch_entries_to_open_circuits_are_refused_locally(self):
+        network = self._network_with_dead_peer()
+        network.register("urn:org:alive", lambda message: "ok")
+        network.attach_circuit_breaker(
+            CircuitBreaker(failure_threshold=2, recovery_seconds=60.0)
+        )
+        channel = ReliableChannel(
+            network,
+            "urn:org:sender",
+            policy=RetryPolicy(max_attempts=5, backoff_seconds=0.001),
+        )
+        results = channel.send_batch(
+            [(DEST, "ping", {}), ("urn:org:alive", "ping", {})]
+        )
+        assert results[0].error is not None
+        assert results[1].result == "ok"
+        # The dead peer saw only the 2 attempts that tripped the breaker.
+        assert network.statistics.attempts_per_destination[DEST] == 2
+        assert network.statistics.circuit_open_refusals >= 1
+        # The healthy peer was never refused.
+        assert network.statistics.deliveries_per_destination["urn:org:alive"] == 1

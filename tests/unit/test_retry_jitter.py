@@ -1,0 +1,90 @@
+"""Unit tests for opt-in full-jitter retry backoff.
+
+The default policy must keep its historical fixed schedule byte-for-byte;
+``jitter="full"`` must stay within the exponential envelope, be a pure
+deterministic function of ``(jitter_seed, attempt)``, and vary across
+seeds and attempts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transport.delivery import (
+    JITTER_FULL,
+    JITTER_NONE,
+    ReliableChannel,
+    RetryPolicy,
+)
+from repro.clock import SimulatedClock
+from repro.errors import DeliveryError
+from repro.transport.network import SimulatedNetwork
+
+
+class TestJitterPolicy:
+    def test_default_schedule_is_unchanged(self):
+        policy = RetryPolicy(
+            backoff_seconds=0.05, backoff_multiplier=2.0, max_backoff_seconds=2.0
+        )
+        assert policy.jitter == JITTER_NONE
+        assert [policy.backoff_for_attempt(n) for n in range(8)] == [
+            0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 2.0, 2.0,
+        ]
+
+    def test_full_jitter_stays_within_the_envelope(self):
+        policy = RetryPolicy(jitter=JITTER_FULL, jitter_seed=b"envelope")
+        base = RetryPolicy()
+        for attempt in range(12):
+            delay = policy.backoff_for_attempt(attempt)
+            assert 0.0 <= delay <= base.backoff_for_attempt(attempt)
+
+    def test_full_jitter_is_deterministic_per_seed_and_attempt(self):
+        one = RetryPolicy(jitter=JITTER_FULL, jitter_seed=b"seed")
+        two = RetryPolicy(jitter=JITTER_FULL, jitter_seed=b"seed")
+        assert [one.backoff_for_attempt(n) for n in range(10)] == [
+            two.backoff_for_attempt(n) for n in range(10)
+        ]
+
+    def test_different_seeds_and_attempts_spread(self):
+        a = RetryPolicy(jitter=JITTER_FULL, jitter_seed=b"alpha")
+        b = RetryPolicy(jitter=JITTER_FULL, jitter_seed=b"beta")
+        assert a.backoff_for_attempt(3) != b.backoff_for_attempt(3)
+        # Attempts draw independent fractions, not a single scaled curve.
+        series = [a.backoff_for_attempt(n) for n in range(6)]
+        unscaled = [RetryPolicy().backoff_for_attempt(n) for n in range(6)]
+        ratios = {
+            round(got / full, 12)
+            for got, full in zip(series, unscaled)
+        }
+        assert len(ratios) > 1
+
+    def test_zero_backoff_stays_zero(self):
+        policy = RetryPolicy(
+            jitter=JITTER_FULL, backoff_seconds=0.0, max_backoff_seconds=0.0
+        )
+        assert policy.backoff_for_attempt(5) == 0.0
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter="bogus")
+
+
+class TestJitteredChannel:
+    def test_blocking_retries_pay_the_jittered_schedule(self):
+        clock = SimulatedClock()
+        network = SimulatedNetwork(clock=clock)
+        network.register("urn:dead", lambda message: "pong")
+        network.set_online("urn:dead", False)
+        policy = RetryPolicy(
+            max_attempts=4, jitter=JITTER_FULL, jitter_seed=b"channel"
+        )
+        channel = ReliableChannel(network, "urn:src", policy=policy)
+        start = clock.now()
+        with pytest.raises(DeliveryError):
+            channel.send("urn:dead", "ping", {})
+        slept = clock.now() - start
+        expected = sum(policy.backoff_for_attempt(n) for n in range(3))
+        assert slept == pytest.approx(expected)
+        assert 0.0 < slept < sum(
+            RetryPolicy().backoff_for_attempt(n) for n in range(3)
+        )

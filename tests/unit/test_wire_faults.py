@@ -1,0 +1,222 @@
+"""Wire-side fault injection: real sockets, real recovery.
+
+Injected resets and corrupt frames must flow through the organic
+``DeliveryError`` taxonomy and be recovered by the ordinary retry
+machinery; receiver-side frame corruption must be audited and counted
+(never a silent reader-thread death); overload must shed with a
+retryable reply instead of hanging the sender; and server failpoints
+must simulate crash-before-dispatch / crash-before-reply.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.errors import DeliveryError
+from repro.faults import FaultPlan, FaultRule
+from repro.persistence.audit_log import AuditLog
+from repro.transport.delivery import ReliableChannel, RetryPolicy
+from repro.transport.network import AUDIT_CATEGORY_TRANSPORT
+from repro.transport.wire import WireNetwork
+from repro.transport.wire.server import (
+    FAILPOINT_BEFORE_DISPATCH,
+    FAILPOINT_BEFORE_REPLY,
+)
+
+
+@pytest.fixture
+def wire_pair():
+    b = WireNetwork(clock=SimulatedClock())
+    a = WireNetwork(clock=SimulatedClock())
+    yield a, b
+    a.close()
+    b.close()
+
+
+def _link(a: WireNetwork, b: WireNetwork, address: str) -> None:
+    a.address_book.add(address, b.host, b.port)
+
+
+def _plan(*rules, **kwargs):
+    return FaultPlan(rules=tuple(rules), seed=b"wire-faults", **kwargs)
+
+
+class TestInjectedSocketFaults:
+    def test_injected_reset_recovers_through_retries(self, wire_pair):
+        a, b = wire_pair
+        calls = []
+        b.register("urn:echo", lambda message: calls.append(1) or "pong")
+        _link(a, b, "urn:echo")
+        a.set_fault_plan(
+            _plan(FaultRule(fault="reset", max_shots=1))
+        )
+        channel = ReliableChannel(
+            a, "urn:src", policy=RetryPolicy(max_attempts=4, backoff_seconds=0.001)
+        )
+        assert channel.send("urn:echo", "op", {"n": 1}) == "pong"
+        # The reset destroyed the first attempt before the request left.
+        assert calls == [1]
+        assert a.statistics.messages_dropped == 1
+        assert a.statistics.messages_delivered == 1
+
+    def test_injected_corrupt_frame_is_audited_and_counted_by_the_peer(
+        self, wire_pair
+    ):
+        a, b = wire_pair
+        b.register("urn:echo", lambda message: "pong")
+        _link(a, b, "urn:echo")
+        audit = AuditLog(owner="b", clock=b.clock)
+        b.attach_audit_log(audit)
+        a.set_fault_plan(
+            _plan(FaultRule(fault="corrupt", max_shots=1))
+        )
+        channel = ReliableChannel(
+            a, "urn:src", policy=RetryPolicy(max_attempts=4, backoff_seconds=0.001)
+        )
+        assert channel.send("urn:echo", "op", {"n": 1}) == "pong"
+        assert a.statistics.messages_dropped == 1
+        # The victim saw a framing violation, counted it, audited it, and
+        # killed the poisoned connection -- no silent reader-thread death.
+        assert b.statistics.frame_decode_failures == 1
+        failures = [
+            record.details
+            for record in audit.records(category=AUDIT_CATEGORY_TRANSPORT)
+            if record.details.get("event") == "frame-decode-failure"
+        ]
+        assert len(failures) == 1
+        assert failures[0]["action"] == "connection closed"
+
+    def test_unfiltered_raw_send_surfaces_the_injected_loss(self, wire_pair):
+        a, b = wire_pair
+        b.register("urn:echo", lambda message: "pong")
+        _link(a, b, "urn:echo")
+        a.set_fault_plan(_plan(FaultRule(fault="drop", max_shots=1)))
+        with pytest.raises(DeliveryError, match="was lost"):
+            a.send("urn:src", "urn:echo", "op", {})
+        assert a.send("urn:src", "urn:echo", "op", {}) == "pong"
+
+    def test_partition_window_severs_then_heals(self, wire_pair):
+        a, b = wire_pair
+        b.register("urn:echo", lambda message: "pong")
+        _link(a, b, "urn:echo")
+        a.set_fault_plan(
+            _plan(
+                FaultRule(fault="partition", after_message=0, until_message=2)
+            )
+        )
+        for _ in range(2):
+            with pytest.raises(DeliveryError, match="severed by fault plan"):
+                a.send("urn:src", "urn:echo", "op", {})
+        assert a.send("urn:src", "urn:echo", "op", {}) == "pong"
+        assert a.statistics.messages_dropped == 2
+
+    def test_injected_duplicate_reaches_the_handler_twice(self, wire_pair):
+        a, b = wire_pair
+        calls = []
+        b.register("urn:echo", lambda message: calls.append(1) or "pong")
+        _link(a, b, "urn:echo")
+        a.set_fault_plan(
+            _plan(FaultRule(fault="duplicate", max_shots=1))
+        )
+        assert a.send("urn:src", "urn:echo", "op", {}) == "pong"
+        assert calls == [1, 1]
+        assert a.statistics.messages_duplicated == 1
+
+
+class TestLoadShedding:
+    def test_shed_frames_surface_as_retryable_overload(self):
+        # max_inflight_frames=0 sheds every inbound frame: the degenerate
+        # configuration that makes overload deterministic in a test.
+        b = WireNetwork(clock=SimulatedClock(), max_inflight_frames=0)
+        a = WireNetwork(clock=SimulatedClock())
+        try:
+            b.register("urn:echo", lambda message: "pong")
+            _link(a, b, "urn:echo")
+            audit = AuditLog(owner="b", clock=b.clock)
+            b.attach_audit_log(audit)
+            with pytest.raises(DeliveryError, match="overloaded"):
+                a.send("urn:src", "urn:echo", "op", {})
+            assert b.statistics.messages_shed == 1
+            assert b.server.frames_shed == 1
+            shed = [
+                record.details
+                for record in audit.records(category=AUDIT_CATEGORY_TRANSPORT)
+                if record.details.get("event") == "inbound-frame-shed"
+            ]
+            assert len(shed) == 1
+        finally:
+            a.close()
+            b.close()
+
+    def test_shedding_is_retryable_never_a_hang(self):
+        b = WireNetwork(clock=SimulatedClock(), max_inflight_frames=0)
+        a = WireNetwork(clock=SimulatedClock())
+        try:
+            b.register("urn:echo", lambda message: "pong")
+            _link(a, b, "urn:echo")
+            channel = ReliableChannel(
+                a,
+                "urn:src",
+                policy=RetryPolicy(max_attempts=3, backoff_seconds=0.001),
+            )
+            # Every attempt is shed; the channel exhausts its budget with a
+            # clean retryable error instead of blocking forever.
+            with pytest.raises(DeliveryError, match="failed after 3 attempts"):
+                channel.send("urn:echo", "op", {})
+            assert b.statistics.messages_shed == 3
+        finally:
+            a.close()
+            b.close()
+
+
+class TestServerFailpoints:
+    def test_crash_before_reply_loses_the_reply_not_the_dispatch(
+        self, wire_pair
+    ):
+        a, b = wire_pair
+        calls = []
+        b.register("urn:echo", lambda message: calls.append(1) or "pong")
+        _link(a, b, "urn:echo")
+        b.failpoints.arm(FAILPOINT_BEFORE_REPLY, max_shots=1)
+        channel = ReliableChannel(
+            a, "urn:src", policy=RetryPolicy(max_attempts=4, backoff_seconds=0.001)
+        )
+        assert channel.send("urn:echo", "op", {"n": 1}) == "pong"
+        # Processed-but-reply-lost: the handler ran on both attempts (the
+        # wire has no dedup; at-most-once belongs to the protocol layer).
+        assert calls == [1, 1]
+
+    def test_crash_before_dispatch_loses_the_request_entirely(self, wire_pair):
+        a, b = wire_pair
+        calls = []
+        b.register("urn:echo", lambda message: calls.append(1) or "pong")
+        _link(a, b, "urn:echo")
+        b.failpoints.arm(FAILPOINT_BEFORE_DISPATCH, max_shots=1)
+        channel = ReliableChannel(
+            a, "urn:src", policy=RetryPolicy(max_attempts=4, backoff_seconds=0.001)
+        )
+        assert channel.send("urn:echo", "op", {"n": 1}) == "pong"
+        assert calls == [1]
+
+    def test_crash_rules_in_a_plan_drive_the_server_failpoints(self, wire_pair):
+        a, b = wire_pair
+        calls = []
+        b.register("urn:echo", lambda message: calls.append(1) or "pong")
+        _link(a, b, "urn:echo")
+        # The plan installs on the RECEIVER: its injector feeds the server's
+        # failpoint registry through bind_injector.
+        b.set_fault_plan(
+            _plan(
+                FaultRule(
+                    fault="crash",
+                    failpoint=FAILPOINT_BEFORE_REPLY,
+                    max_shots=1,
+                )
+            )
+        )
+        channel = ReliableChannel(
+            a, "urn:src", policy=RetryPolicy(max_attempts=4, backoff_seconds=0.001)
+        )
+        assert channel.send("urn:echo", "op", {"n": 1}) == "pong"
+        assert calls == [1, 1]

@@ -25,8 +25,9 @@ from repro.errors import (
     RemoteInvocationError,
     UnknownEndpointError,
 )
+from repro.faults import FaultPlan, FaultRule
 from repro.transport.delivery import ReliableChannel, RetryPolicy
-from repro.transport.network import FaultModel
+from repro.transport.network import FaultModel, SimulatedNetwork
 from repro.transport.scheduler import RetryScheduler
 from repro.transport.wire import (
     ConnectionClosed,
@@ -524,16 +525,49 @@ class TestWireTrustDomain:
                 TrustDomain.create(
                     URIS, transport=transport, style=DeploymentStyle.INLINE_TTP
                 )
-            with pytest.raises(ProtocolError, match="fault_model"):
-                TrustDomain.create(
-                    URIS,
-                    transport=transport,
-                    fault_model=FaultModel(drop_probability=0.5),
-                )
             with pytest.raises(ProtocolError, match="in-process"):
                 TrustDomain.create(URIS, transport=transport, with_arbitrator=True)
             with pytest.raises(ProtocolError, match="outside the domain"):
                 TrustDomain.create(URIS[1:], transport=transport)
+            with pytest.raises(ProtocolError, match="transport's own network"):
+                TrustDomain.create(
+                    URIS,
+                    transport=transport,
+                    network=SimulatedNetwork(clock=SimulatedClock()),
+                )
+            with pytest.raises(ProtocolError, match="not both"):
+                TrustDomain.create(
+                    URIS,
+                    transport=transport,
+                    fault_model=FaultModel(drop_probability=0.5),
+                    fault_plan=FaultPlan(seed=b"x"),
+                )
+
+    def test_wire_domain_accepts_either_fault_surface(self):
+        # fault_model= on a wire domain routes to the wire-side injector as
+        # an equivalent FaultPlan instead of being rejected.
+        with WireTransport(
+            local_parties=[URIS[0]], await_remote_credentials=False
+        ) as transport:
+            domain = TrustDomain.create(
+                URIS,
+                transport=transport,
+                scheme="hmac",
+                fault_model=FaultModel(drop_probability=0.5, seed=b"guard"),
+            )
+            assert domain.network is transport.network
+            assert domain.network.fault_plan is not None
+            assert domain.network.fault_injector is not None
+        with WireTransport(
+            local_parties=[URIS[0]], await_remote_credentials=False
+        ) as transport:
+            plan = FaultPlan(
+                rules=(FaultRule(fault="drop", probability=0.25),), seed=b"p"
+            )
+            domain = TrustDomain.create(
+                URIS, transport=transport, scheme="hmac", fault_plan=plan
+            )
+            assert domain.network.fault_plan is plan
 
     def test_remote_parties_are_listed_but_not_instantiated(self):
         with WireTransport(
