@@ -1,0 +1,159 @@
+"""P5 -- many-peer scale-out: one node, 1k+ lazily managed peer channels.
+
+"Millions of users" means thousands of pairwise peer relationships per
+node, most of them cold at any moment.  This benchmark builds one
+proposer node and 1024 peer parties spread over a set of hub processes
+(in-process wire transports -- real sockets, real frames), with the
+node's :class:`~repro.peering.PeerChannelManager` capped far below the
+peer count.  A sweep coordinates one agreed update with *every* peer:
+every channel is created lazily on first touch, least-recently-used
+channels are evicted as the sweep advances (audited), and pooled
+sockets are released whenever a hub endpoint's last channel goes -- so
+live transport state stays bounded by the cap while the node sustains
+updates across the whole 1k+ peer set.
+
+Peers are assigned to hubs in contiguous blocks, so the LRU sweep
+retires whole endpoints behind it and the socket bound is exercised,
+not just the channel-table bound.
+"""
+
+import pytest
+
+from repro import DomainConfig, PeeringConfig, TransportConfig, TrustDomain
+from repro.peering import AUDIT_CATEGORY_PEERING
+from repro.transport.wire import WireTransport
+
+NODE = "urn:bench:node"
+HUBS = 32
+PEERS_PER_HUB = 32
+PEER_COUNT = HUBS * PEERS_PER_HUB  # 1024
+CHANNEL_CAP = 64
+
+
+def _peer(hub, index):
+    return f"urn:bench:peer{hub}x{index}"
+
+
+PEERS = [_peer(h, i) for h in range(HUBS) for i in range(PEERS_PER_HUB)]
+
+
+@pytest.fixture(scope="module")
+def many_peer_node():
+    hubs = [
+        WireTransport(
+            [_peer(h, i) for i in range(PEERS_PER_HUB)],
+            port=0,
+            await_remote_credentials=False,
+        )
+        for h in range(HUBS)
+    ]
+    node = WireTransport(
+        [NODE],
+        port=0,
+        peers={
+            _peer(h, i): (hubs[h].host, hubs[h].port)
+            for h in range(HUBS)
+            for i in range(PEERS_PER_HUB)
+        },
+    )
+    for hub in hubs:
+        hub.network.address_book.add(NODE, node.host, node.port)
+    node_domain = TrustDomain.create(
+        [NODE] + PEERS,
+        config=DomainConfig(
+            transport=TransportConfig(wire=node),
+            peering=PeeringConfig(max_live_channels=CHANNEL_CAP),
+        ),
+    )
+    hub_domains = [
+        TrustDomain.create([NODE] + PEERS, transport=hub) for hub in hubs
+    ]
+    for index, peer in enumerate(PEERS):
+        members = [NODE, peer]
+        hub_domains[index // PEERS_PER_HUB].share_object(
+            f"doc-{index}", {"v": 0}, members
+        )
+        node_domain.share_object(f"doc-{index}", {"v": 0}, members)
+    try:
+        yield node, node_domain
+    finally:
+        node.close()
+        for hub in hubs:
+            hub.close()
+
+
+def test_thousand_peer_sweep(benchmark, many_peer_node):
+    """One agreed update with each of 1024 peers through a 64-channel cap."""
+    node, node_domain = many_peer_node
+    org = node_domain.organisation(NODE)
+    version = {"n": 0}
+
+    def sweep():
+        version["n"] += 1
+        for index in range(PEER_COUNT):
+            outcome = org.propose_update(f"doc-{index}", {"v": version["n"]})
+            assert outcome.agreed
+
+    before = node.network.statistics.snapshot()
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    delta = node.network.statistics.delta(before)
+    sweeps = version["n"]
+
+    stats = node.peer_manager.stats
+    # every peer held a live channel at some point ...
+    assert stats.created >= PEER_COUNT
+    # ... but live transport state stayed bounded by the cap throughout
+    assert stats.peak_live <= CHANNEL_CAP
+    assert node.peer_manager.live_channels() <= CHANNEL_CAP
+    assert node.network.pool.live_connections() <= CHANNEL_CAP
+    assert stats.evicted >= PEER_COUNT - CHANNEL_CAP
+    # whole hub endpoints went cold behind the sweep: sockets were released
+    assert node.network.pool.peer_releases >= HUBS - (CHANNEL_CAP // PEERS_PER_HUB)
+    # evictions left an audit trail on the node
+    audited = org.audit_log.records(category=AUDIT_CATEGORY_PEERING)
+    assert len(audited) >= stats.evicted
+
+    updates = sweeps * PEER_COUNT
+    benchmark.extra_info["peer_count"] = PEER_COUNT
+    benchmark.extra_info["channel_cap"] = CHANNEL_CAP
+    benchmark.extra_info["channels_created"] = stats.created
+    benchmark.extra_info["peak_live_channels"] = stats.peak_live
+    benchmark.extra_info["live_sockets_after"] = node.network.pool.live_connections()
+    benchmark.extra_info["channels_evicted"] = stats.evicted
+    benchmark.extra_info["endpoint_releases"] = node.network.pool.peer_releases
+    benchmark.extra_info["messages_per_update"] = round(
+        delta.messages_sent / updates, 2
+    )
+    benchmark.extra_info["bytes_per_update"] = round(
+        delta.bytes_delivered / updates, 1
+    )
+
+
+def test_hot_peer_update_under_churn(benchmark, many_peer_node):
+    """Steady-state update cost while the channel table keeps churning.
+
+    Alternates one hot peer with a rotating cold peer, so every other
+    update rides an existing channel while the table keeps evicting and
+    recreating around it -- the common regime of a node with a few active
+    counterparties and a long cold tail.
+    """
+    node, node_domain = many_peer_node
+    org = node_domain.organisation(NODE)
+    state = {"cold": 0, "v": 0}
+
+    def update():
+        state["v"] += 1
+        assert org.propose_update("doc-0", {"v": state["v"]}).agreed
+        state["cold"] = (state["cold"] + 1) % PEER_COUNT
+        assert org.propose_update(
+            f"doc-{state['cold']}", {"v": state["v"]}
+        ).agreed
+
+    counter_before = node.peer_manager.stats.recreated
+    benchmark(update)
+    assert node.peer_manager.stats.recreated > counter_before
+    assert node.peer_manager.live_channels() <= CHANNEL_CAP
+    benchmark.extra_info["updates_per_call"] = 2
+    benchmark.extra_info["recreations"] = (
+        node.peer_manager.stats.recreated - counter_before
+    )

@@ -20,7 +20,13 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ComponentDescriptor, FaultModel, TrustDomain
+from repro import (
+    ComponentDescriptor,
+    DomainConfig,
+    FaultConfig,
+    FaultModel,
+    TrustDomain,
+)
 
 
 class InventoryService:
@@ -44,7 +50,9 @@ def main() -> None:
         seed=b"fault-tolerance-example",
     )
     parties = ["urn:org:buyer", "urn:org:warehouse", "urn:org:auditor"]
-    domain = TrustDomain.create(parties, fault_model=fault_model)
+    domain = TrustDomain.create(
+        parties, config=DomainConfig(faults=FaultConfig(model=fault_model))
+    )
     buyer = domain.organisation("urn:org:buyer")
     warehouse = domain.organisation("urn:org:warehouse")
     auditor = domain.organisation("urn:org:auditor")

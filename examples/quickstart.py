@@ -12,7 +12,13 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ComponentDescriptor, DeploymentStyle, TokenType, TrustDomain
+from repro import (
+    ComponentDescriptor,
+    DeploymentStyle,
+    DomainConfig,
+    TokenType,
+    TrustDomain,
+)
 
 
 class OrderService:
@@ -30,8 +36,11 @@ class OrderService:
 def main() -> None:
     # 1. Form a direct trust domain (Figure 3(c)): each organisation hosts its
     #    own trusted interceptor; keys/certificates are exchanged up front.
+    #    DomainConfig is the primary configuration surface: deployment knobs
+    #    are grouped and cross-validated before anything is built.
     domain = TrustDomain.create(
-        ["urn:org:dealer", "urn:org:manufacturer"], style=DeploymentStyle.DIRECT
+        ["urn:org:dealer", "urn:org:manufacturer"],
+        config=DomainConfig(style=DeploymentStyle.DIRECT),
     )
     dealer = domain.organisation("urn:org:dealer")
     manufacturer = domain.organisation("urn:org:manufacturer")

@@ -21,7 +21,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ComponentDescriptor, DeploymentStyle, TrustDomain
+from repro import ComponentDescriptor, DeploymentStyle, DomainConfig, TrustDomain
 from repro.core.fair_exchange import FairExchangeClient
 
 
@@ -33,7 +33,7 @@ class QuoteService:
 def run_scenario(style: DeploymentStyle) -> dict:
     """Build a domain of the given style and run one invocation + one update."""
     domain = TrustDomain.create(
-        ["urn:org:client", "urn:org:provider"], style=style
+        ["urn:org:client", "urn:org:provider"], config=DomainConfig(style=style)
     )
     provider = domain.organisation("urn:org:provider")
     client = domain.organisation("urn:org:client")
@@ -64,7 +64,8 @@ def run_scenario(style: DeploymentStyle) -> dict:
 def demonstrate_offline_arbitrator() -> None:
     """Direct deployment + offline TTP arbitrator for fair-exchange recovery."""
     domain = TrustDomain.create(
-        ["urn:org:client", "urn:org:provider"], with_arbitrator=True
+        ["urn:org:client", "urn:org:provider"],
+        config=DomainConfig(with_arbitrator=True),
     )
     provider = domain.organisation("urn:org:provider")
     client = domain.organisation("urn:org:client")

@@ -16,6 +16,12 @@ agreed state and verifies the evidence *it* holds -- so after the run, both
 sides can prove origin and agreement of the update to a third party without
 trusting each other.
 
+Both processes configure their domain through the ``storage="sqlite:..."``
+profile pointing at the *same* embedded-KV file: each organisation's
+evidence, audit and journal records live under its own key prefix, so one
+store serves every process and a later reopen sees the evidence without
+rebuilding any in-memory index.
+
 Run with::
 
     python examples/two_process_sharing.py
@@ -32,7 +38,13 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro import TokenType, TrustDomain
+from repro import (
+    DomainConfig,
+    DurabilityConfig,
+    TokenType,
+    TransportConfig,
+    TrustDomain,
+)
 from repro.transport.wire import WireTransport
 
 ORG_A = "urn:org:design-house"
@@ -41,6 +53,17 @@ PARTIES = [ORG_A, ORG_B]
 OBJECT_ID = "component-spec"
 INITIAL_STATE = {"material": "unspecified", "tolerance_mm": None, "revision": 0}
 AGREED_STATE = {"material": "Ti-6Al-4V", "tolerance_mm": 0.05, "revision": 1}
+
+
+def domain_config(transport: WireTransport, directory: str) -> DomainConfig:
+    """Both processes share one SQLite evidence file under the run directory."""
+    return DomainConfig(
+        scheme="hmac",
+        transport=TransportConfig(wire=transport),
+        durability=DurabilityConfig(
+            storage=f"sqlite:{Path(directory) / 'evidence.db'}"
+        ),
+    )
 
 
 def verify_held_evidence(organisation, run_id):
@@ -66,7 +89,9 @@ def peer_main(directory: str) -> None:
     )
     # create() exchanges credentials with A's process over the socket before
     # returning: B can then verify A's signatures, and vice versa.
-    domain = TrustDomain.create(PARTIES, transport=transport, scheme="hmac")
+    domain = TrustDomain.create(
+        PARTIES, config=domain_config(transport, directory)
+    )
     domain.share_object(OBJECT_ID, dict(INITIAL_STATE))
     org_b = domain.organisation(ORG_B)
     (Path(directory) / "org-b-ready").touch()
@@ -104,7 +129,7 @@ def main() -> None:
         local_parties=[ORG_A],
         await_remote_credentials=False,  # B introduces itself when it starts
     )
-    domain = TrustDomain.create(PARTIES, transport=transport, scheme="hmac")
+    domain = TrustDomain.create(PARTIES, config=domain_config(transport, directory))
     (Path(directory) / "org-a.json").write_text(
         json.dumps({"host": transport.host, "port": transport.port})
     )
@@ -142,6 +167,18 @@ def main() -> None:
         for token_type, role in peer_result["verified_evidence"]:
             print(f"  B holds verified evidence: {token_type} ({role})")
         print("non-repudiation evidence verified on both sides of the socket")
+
+        # Both processes wrote into the same embedded-KV file, each under its
+        # own key prefix: the store outlives both interpreters, and a reopen
+        # scans only what it queries instead of rebuilding an index.
+        from repro.persistence import SQLiteBackend
+
+        with SQLiteBackend(str(Path(directory) / "evidence.db")) as store:
+            for uri in PARTIES:
+                records, size = store.scan_stats(f"evidence:{uri}:")
+                print(f"  shared store: {records} evidence records"
+                      f" ({size} bytes) under evidence:{uri}:")
+                assert records > 0
     finally:
         if peer.poll() is None:
             peer.kill()

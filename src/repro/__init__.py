@@ -309,6 +309,40 @@ deployment-agnostic:
   a horizon), advance holds and the shared executor's queue depth, and
   ``wait_quiescent(until=T)`` drives the engine up to -- never past -- the
   horizon.
+
+* **Many-peer scale-out** -- a wire node no longer has to pre-register and
+  eagerly exchange credentials with its whole peer set.  With
+  ``PeeringConfig`` (``TrustDomain.create(config=DomainConfig(...,
+  peering=...))`` or ``WireTransport(peering=PeeringPolicy(...))``), a
+  ``repro.peering.PeerChannelManager`` creates each peer's channel --
+  credential introduction, pinned key, route, pooled sockets, breaker
+  entry -- lazily on first send, tracks last activity, and evicts
+  least-recently-used or idle channels under a configurable cap
+  (``max_live_channels``, ``idle_timeout_seconds``).  Evictions are
+  audited (``transport.peering``) and release only *transport* resources
+  (sockets via per-peer pool retirement, breaker state); pinned keys and
+  routes survive, so a re-touched peer is re-dialled without a second
+  trust-on-first-use window.  ``benchmarks/bench_many_peers.py`` drives
+  one node over 1000+ peer channels with live sockets bounded by the cap.
+
+* **Storage profiles** -- ``TrustDomain.create(storage=...)`` provisions
+  every organisation's persistence from one selector: ``"memory"``
+  (fresh in-memory backends), ``"file:<dir>"`` (one
+  ``repro.persistence.storage.FileBackend`` directory per organisation
+  and store), or ``"sqlite:<path>"`` (one shared
+  ``repro.persistence.sqlite_backend.SQLiteBackend`` embedded-KV file,
+  WAL-journalled so many processes of a wire deployment can share it).
+  Backends that advertise ``supports_prefix_scan`` serve the evidence
+  store's ``(run, token_type)`` queries and the audit-chain replay by
+  indexed range scans -- reopening such a store reads only what is
+  queried instead of rebuilding an in-memory index over every record.
+
+* **Configuration** -- ``repro.core.config.DomainConfig`` groups
+  ``TrustDomain.create``'s two dozen knobs into ``TransportConfig``,
+  ``ReliabilityConfig``, ``DurabilityConfig``, ``FaultConfig`` and
+  ``PeeringConfig``; every cross-field validity rule lives in
+  ``DomainConfig.validate()``.  The flat keyword surface remains and
+  delegates through the same path.
 """
 
 from repro.container.component import Component, ComponentDescriptor, ComponentType
@@ -334,7 +368,16 @@ from repro.core.sharing import (
 from repro.core.transactions import SharedStateTransaction, TransactionManager
 from repro.core.contracts import ContractFSM, ContractMonitor, ContractValidator
 from repro.core.fair_exchange import FairExchangeClient
+from repro.core.config import (
+    DomainConfig,
+    DurabilityConfig,
+    FaultConfig,
+    PeeringConfig,
+    ReliabilityConfig,
+    TransportConfig,
+)
 from repro.core.trust_domain import DeploymentStyle, TrustDomain
+from repro.peering import PeerChannelManager, PeeringPolicy
 from repro.core.validators import (
     CallableValidator,
     CompositeValidator,
@@ -344,12 +387,15 @@ from repro.core.validators import (
 )
 from repro.errors import ReproError
 from repro.persistence.run_journal import JournaledRun, RunJournal
+from repro.persistence.sqlite_backend import SQLiteBackend
+from repro.persistence.storage import StorageProfile
 from repro.transport.network import FaultModel, SimulatedNetwork
 from repro.transport.wire import WireNetwork, WireTransport, wire_type
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "__version__",
     "B2BCoordinator",
     "B2BInvocation",
     "B2BInvocationHandler",
@@ -368,10 +414,13 @@ __all__ = [
     "DeploymentStyle",
     "DisputeClaim",
     "DisputeResolver",
+    "DomainConfig",
+    "DurabilityConfig",
     "EvidenceBuilder",
     "EvidenceToken",
     "EvidenceVerifier",
     "FairExchangeClient",
+    "FaultConfig",
     "FaultModel",
     "Interceptor",
     "Invocation",
@@ -380,6 +429,10 @@ __all__ = [
     "InvocationStatus",
     "JournaledRun",
     "Organisation",
+    "PeerChannelManager",
+    "PeeringConfig",
+    "PeeringPolicy",
+    "ReliabilityConfig",
     "ReproError",
     "RunAbortNotice",
     "RunFuture",
@@ -387,15 +440,17 @@ __all__ = [
     "SharedStateTransaction",
     "SharingOutcome",
     "SimulatedNetwork",
+    "SQLiteBackend",
     "StateValidator",
+    "StorageProfile",
     "TokenType",
     "TransactionManager",
+    "TransportConfig",
     "TrustDomain",
     "ValidationContext",
     "ValidationDecision",
     "Verdict",
+    "wire_type",
     "WireNetwork",
     "WireTransport",
-    "__version__",
-    "wire_type",
 ]

@@ -77,6 +77,7 @@ class B2BCoordinator:
         self._retry_policy = retry_policy
         self._handlers: Dict[str, B2BProtocolHandler] = {}
         self._routes: Dict[str, str] = {}
+        self._route_resolver: Optional[Callable[[str], str]] = None
         self._lock = threading.RLock()
         invoker.export(
             COORDINATOR_OBJECT_NAME, self, methods=["deliver", "deliver_request"]
@@ -132,9 +133,37 @@ class B2BCoordinator:
         with self._lock:
             self._routes[party] = coordinator_address
 
+    def set_route_resolver(self, resolver: Optional[Callable[[str], str]]) -> None:
+        """Resolve unknown parties on demand instead of failing.
+
+        ``resolver(party)`` is invoked on a :meth:`route_for` miss and
+        returns the party's coordinator address (a lazy wire transport
+        performs the credential introduction as a side effect -- see
+        :meth:`WireTransport.ensure_party`).  The result is cached as an
+        ordinary route.  The resolver must be thread-safe; a failure
+        surfaces as the standard no-route :class:`ProtocolError` carrying
+        the underlying error, so per-recipient fan-out isolation treats it
+        like any unroutable party.
+        """
+        with self._lock:
+            self._route_resolver = resolver
+
     def route_for(self, party: str) -> str:
         with self._lock:
             address = self._routes.get(party)
+            resolver = self._route_resolver
+        if address is None and resolver is not None:
+            try:
+                address = resolver(party)
+            except ProtocolError:
+                raise
+            except Exception as error:  # noqa: BLE001 - taxonomy-normalising
+                raise ProtocolError(
+                    f"coordinator of {self.party!r} could not resolve a route "
+                    f"to party {party!r}: {error}"
+                ) from error
+            if address is not None:
+                self.add_route(party, address)
         if address is None:
             raise ProtocolError(
                 f"coordinator of {self.party!r} has no route to party {party!r}"

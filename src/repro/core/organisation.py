@@ -85,6 +85,7 @@ class Organisation:
         durable_runs: bool = False,
         run_journal_backend: Optional[StorageBackend] = None,
         orphan_run_timeout: Optional[float] = None,
+        audit_backend: Optional[StorageBackend] = None,
     ) -> None:
         self.uri = uri
         self.display_name = display_name or uri
@@ -101,7 +102,10 @@ class Organisation:
             self.certificate_store.add_certificate(self.certificate)
 
         # -- persistence / infrastructure -----------------------------------------
-        self.audit_log = AuditLog(owner=uri, clock=self.clock)
+        # ``audit_backend`` persists the hash-chained audit trail alongside
+        # evidence and run state (the ``storage=`` profile provisions all
+        # three consistently); the default stays in memory.
+        self.audit_log = AuditLog(owner=uri, backend=audit_backend, clock=self.clock)
         # ``evidence_backend`` lets a deployment persist evidence outside the
         # process (file-backed store shared across interceptor processes);
         # the default stays in memory for tests and simulation.

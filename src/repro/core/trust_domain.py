@@ -21,10 +21,14 @@ this to compare the message/latency cost of the three styles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from enum import Enum
 from typing import Callable, Dict, List, Optional
 
 from repro.clock import Clock, SimulatedClock
+from repro.core.config import (
+    DeploymentStyle,
+    DomainConfig,
+    PeeringConfig,
+)
 from repro.core.invocation import NR_INVOCATION_PROTOCOL
 from repro.core.organisation import Organisation
 from repro.core.sharing import NR_SHARING_PROTOCOL
@@ -37,16 +41,10 @@ from repro.persistence.storage import StorageBackend
 from repro.transport.network import DispatchStrategy, FaultModel, SimulatedNetwork
 from repro.transport.scheduler import RetryScheduler
 
+__all__ = ["DEFAULT_RELAYED_PROTOCOLS", "DeploymentStyle", "TrustDomain"]
+
 #: Protocols relayed by inline TTPs by default.
 DEFAULT_RELAYED_PROTOCOLS = [NR_INVOCATION_PROTOCOL, NR_SHARING_PROTOCOL]
-
-
-class DeploymentStyle(Enum):
-    """The three deployment styles of Figure 3."""
-
-    DIRECT = "direct"
-    INLINE_TTP = "inline-ttp"
-    DISTRIBUTED_TTP = "distributed-ttp"
 
 
 @dataclass
@@ -93,8 +91,32 @@ class TrustDomain:
         orphan_run_timeout: Optional[float] = None,
         keypair_factory: Optional[Callable[[str], "KeyPair"]] = None,  # noqa: F821
         fault_plan: Optional[FaultPlan] = None,
+        storage: Optional[str] = None,
+        peering: Optional[PeeringConfig] = None,
+        config: Optional[DomainConfig] = None,
     ) -> "TrustDomain":
         """Build a trust domain of the requested style for ``party_uris``.
+
+        ``config`` (a :class:`repro.core.config.DomainConfig`) is the
+        primary way to describe the deployment: the knobs below, grouped
+        by concern, with every cross-field rule checked in
+        :meth:`DomainConfig.validate`.  The individual keyword arguments
+        remain supported for backward compatibility and delegate through
+        the same config path unchanged (deprecation note: prefer
+        ``config=`` in new code; the flat kwargs may gain a
+        ``DeprecationWarning`` in a future release).  Passing ``config=``
+        together with a non-default individual kwarg is an error.
+
+        ``storage`` provisions persistence for *every* organisation from
+        one profile string -- ``"memory"``, ``"file:<dir>"`` or
+        ``"sqlite:<path>"`` -- covering evidence stores and audit logs
+        always and run journals when ``durable_runs`` is set (the SQLite
+        profile keeps all stores in one embedded-KV file that many
+        processes can share).  ``peering`` (a
+        :class:`~repro.core.config.PeeringConfig`) enables the lazy
+        per-peer channel manager on a wire domain: no eager credential
+        exchange at build time; channels are created on first touch and
+        evicted LRU/idle under the configured cap.
 
         ``dispatch`` selects the network's handler-dispatch strategy (e.g.
         :class:`repro.transport.network.ParallelDispatch` to run batched
@@ -139,50 +161,101 @@ class TrustDomain:
         (``fault_model`` is likewise accepted on wire domains, converted via
         :meth:`FaultPlan.from_fault_model`).  Pass at most one of the two.
         """
-        if len(party_uris) < 2:
-            raise ProtocolError("a trust domain needs at least two organisations")
-        if len(set(party_uris)) != len(party_uris):
-            raise ProtocolError("party URIs must be unique")
-        if fault_model is not None and fault_plan is not None:
-            raise ProtocolError(
-                "pass fault_model= or fault_plan=, not both (a FaultModel "
-                "is expressible as a FaultPlan via from_fault_model)"
-            )
-        if transport is not None:
-            return cls._create_wired(
-                party_uris=party_uris,
-                transport=transport,
+        if config is None:
+            config = DomainConfig.from_legacy_kwargs(
                 style=style,
                 network=network,
                 fault_model=fault_model,
-                fault_plan=fault_plan,
                 clock=clock,
-                dispatch=dispatch,
                 scheme=scheme,
                 use_timestamping=use_timestamping,
                 relayed_protocols=relayed_protocols,
                 with_arbitrator=with_arbitrator,
+                dispatch=dispatch,
                 scheduled_retries=scheduled_retries,
                 async_runs=async_runs,
                 evidence_backend_factory=evidence_backend_factory,
+                transport=transport,
                 durable_runs=durable_runs,
                 run_journal_backend_factory=run_journal_backend_factory,
                 orphan_run_timeout=orphan_run_timeout,
                 keypair_factory=keypair_factory,
+                fault_plan=fault_plan,
+                storage=storage,
+                peering=peering,
             )
-        clock = clock or SimulatedClock()
-        network = network or SimulatedNetwork(
-            fault_model=fault_model,
-            clock=clock,
-            dispatch=dispatch,
-            fault_plan=fault_plan,
+        else:
+            # A config fully describes the deployment; a non-default flat
+            # kwarg next to it would be silently ignored -- reject instead.
+            overridden = sorted(
+                name
+                for name, (value, default) in {
+                    "style": (style, DeploymentStyle.DIRECT),
+                    "network": (network, None),
+                    "fault_model": (fault_model, None),
+                    "clock": (clock, None),
+                    "scheme": (scheme, "rsa"),
+                    "use_timestamping": (use_timestamping, False),
+                    "relayed_protocols": (relayed_protocols, None),
+                    "with_arbitrator": (with_arbitrator, False),
+                    "dispatch": (dispatch, None),
+                    "scheduled_retries": (scheduled_retries, False),
+                    "async_runs": (async_runs, False),
+                    "evidence_backend_factory": (evidence_backend_factory, None),
+                    "transport": (transport, None),
+                    "durable_runs": (durable_runs, False),
+                    "run_journal_backend_factory": (
+                        run_journal_backend_factory,
+                        None,
+                    ),
+                    "orphan_run_timeout": (orphan_run_timeout, None),
+                    "keypair_factory": (keypair_factory, None),
+                    "fault_plan": (fault_plan, None),
+                    "storage": (storage, None),
+                    "peering": (peering, None),
+                }.items()
+                if value != default
+            )
+            if overridden:
+                raise ProtocolError(
+                    "pass config= or individual keyword arguments, not both "
+                    f"(also given: {', '.join(overridden)})"
+                )
+        return cls._build(party_uris, config)
+
+    @classmethod
+    def _build(cls, party_uris: List[str], config: DomainConfig) -> "TrustDomain":
+        """One implementation path behind both ``create`` surfaces."""
+        if len(party_uris) < 2:
+            raise ProtocolError("a trust domain needs at least two organisations")
+        if len(set(party_uris)) != len(party_uris):
+            raise ProtocolError("party URIs must be unique")
+        config.validate()
+        if config.transport.wire is not None:
+            return cls._create_wired(party_uris, config)
+        style = config.style
+        scheme = config.scheme
+        keypair_factory = config.keypair_factory
+        reliability = config.reliability
+        evidence_factory, journal_factory, audit_factory = (
+            config.durability.resolve_factories()
         )
-        if (scheduled_retries or async_runs) and network.retry_scheduler is None:
+        clock = config.transport.clock or SimulatedClock()
+        network = config.transport.network or SimulatedNetwork(
+            fault_model=config.faults.model,
+            clock=clock,
+            dispatch=config.transport.dispatch,
+            fault_plan=config.faults.plan,
+        )
+        if (
+            reliability.effective_scheduled_retries
+            and network.retry_scheduler is None
+        ):
             network.set_retry_scheduler(RetryScheduler(network.clock))
         ca = CertificateAuthority("urn:repro:ca", scheme=scheme, clock=clock)
         tsa = (
             TimestampAuthority("urn:repro:tsa", scheme=scheme, clock=clock)
-            if use_timestamping
+            if config.use_timestamping
             else None
         )
         domain = cls(
@@ -201,16 +274,15 @@ class TrustDomain:
                 clock=clock,
                 timestamp_authority=tsa,
                 evidence_backend=(
-                    evidence_backend_factory(uri) if evidence_backend_factory else None
+                    evidence_factory(uri) if evidence_factory else None
                 ),
-                async_runs=async_runs,
-                durable_runs=durable_runs,
+                async_runs=reliability.async_runs,
+                durable_runs=config.durability.durable_runs,
                 run_journal_backend=(
-                    run_journal_backend_factory(uri)
-                    if run_journal_backend_factory
-                    else None
+                    journal_factory(uri) if journal_factory else None
                 ),
-                orphan_run_timeout=orphan_run_timeout,
+                orphan_run_timeout=config.durability.orphan_run_timeout,
+                audit_backend=audit_factory(uri) if audit_factory else None,
             )
         # Everybody learns everybody's keys (credential exchange).
         organisations = list(domain.organisations.values())
@@ -219,40 +291,19 @@ class TrustDomain:
                 if org is not other:
                     org.trust(other)
 
-        relayed = relayed_protocols or list(DEFAULT_RELAYED_PROTOCOLS)
+        relayed = config.relayed_protocols or list(DEFAULT_RELAYED_PROTOCOLS)
         if style is DeploymentStyle.INLINE_TTP:
             domain._wire_inline_ttp(ca, clock, scheme, tsa, relayed)
         elif style is DeploymentStyle.DISTRIBUTED_TTP:
             domain._wire_distributed_ttp(ca, clock, scheme, tsa, relayed)
 
-        if with_arbitrator:
+        if config.with_arbitrator:
             domain._install_arbitrator(ca, clock, scheme, tsa)
         return domain
 
     @classmethod
     def _create_wired(
-        cls,
-        party_uris: List[str],
-        transport: "WireTransport",  # noqa: F821 - lazy import below
-        style: DeploymentStyle,
-        network: Optional[SimulatedNetwork],
-        fault_model: Optional[FaultModel],
-        clock: Optional[Clock],
-        dispatch: Optional[DispatchStrategy],
-        scheme: str,
-        use_timestamping: bool,
-        relayed_protocols: Optional[List[str]],
-        with_arbitrator: bool,
-        scheduled_retries: bool,
-        async_runs: bool,
-        evidence_backend_factory: Optional[Callable[[str], StorageBackend]],
-        durable_runs: bool = False,
-        run_journal_backend_factory: Optional[
-            Callable[[str], StorageBackend]
-        ] = None,
-        orphan_run_timeout: Optional[float] = None,
-        keypair_factory: Optional[Callable[[str], "KeyPair"]] = None,  # noqa: F821
-        fault_plan: Optional[FaultPlan] = None,
+        cls, party_uris: List[str], config: DomainConfig
     ) -> "TrustDomain":
         """Build one process's share of a socket-connected trust domain.
 
@@ -265,30 +316,21 @@ class TrustDomain:
         seeded fault injection on the wire network, where injected resets
         and corrupt frames kill *real* sockets and recover through the real
         retry machinery.
-        """
-        from repro.transport.wire import WireTransport  # local: avoid cycle
 
-        if not isinstance(transport, WireTransport):
-            raise ProtocolError(
-                f"transport must be a WireTransport, got {type(transport).__name__}"
-            )
-        if style is not DeploymentStyle.DIRECT or relayed_protocols is not None:
-            raise ProtocolError(
-                "wire transports support the DIRECT deployment style only "
-                "(no relayed protocols); TTP-relayed styles need an "
-                "in-process TTP host"
-            )
-        if network is not None:
-            raise ProtocolError(
-                "a wire domain uses the transport's own network; to inject "
-                "faults pass fault_plan= (or fault_model=) instead of a "
-                "SimulatedNetwork"
-            )
-        if use_timestamping or with_arbitrator:
-            raise ProtocolError(
-                "timestamping authorities and arbitrators are in-process "
-                "services; host them as parties instead on a wire domain"
-            )
+        With ``peering`` configured (or peering already enabled on the
+        transport), the eager credential exchange with every remote party
+        is skipped: each local coordinator gets a route resolver backed by
+        :meth:`WireTransport.ensure_party`, so credentials and routes are
+        fetched on the first message to a peer and the per-peer transport
+        state lives in the transport's bounded channel manager.
+        """
+        transport = config.transport.wire
+        scheme = config.scheme
+        keypair_factory = config.keypair_factory
+        reliability = config.reliability
+        evidence_factory, journal_factory, audit_factory = (
+            config.durability.resolve_factories()
+        )
         local = list(transport.local_parties)
         unknown = sorted(set(local) - set(party_uris))
         if unknown:
@@ -299,28 +341,25 @@ class TrustDomain:
         # Route either fault surface to the wire-side injector: a legacy
         # FaultModel becomes an equivalent plan, a FaultPlan installs as-is.
         plan = (
-            FaultPlan.from_fault_model(fault_model)
-            if fault_model is not None
-            else fault_plan
+            FaultPlan.from_fault_model(config.faults.model)
+            if config.faults.model is not None
+            else config.faults.plan
         )
         if plan is not None:
             wire_network.set_fault_plan(plan)
-        if clock is not None and clock is not wire_network.clock:
-            # A half-applied clock (organisations virtual, network/scheduler
-            # wall) would mix timestamp domains; the transport owns the
-            # clock, so it must be set there.
-            raise ProtocolError(
-                "a wire domain runs on its transport's clock; pass clock= to "
-                "WireTransport(...) instead"
-            )
         clock = wire_network.clock
-        if dispatch is not None:
-            wire_network.set_dispatch(dispatch)
-        if (scheduled_retries or async_runs) and wire_network.retry_scheduler is None:
+        if config.transport.dispatch is not None:
+            wire_network.set_dispatch(config.transport.dispatch)
+        if (
+            reliability.effective_scheduled_retries
+            and wire_network.retry_scheduler is None
+        ):
             wire_network.set_retry_scheduler(RetryScheduler(wire_network.clock))
+        if config.peering is not None and transport.peer_manager is None:
+            transport.enable_peering(config.peering.to_policy())
         ca = CertificateAuthority("urn:repro:ca", scheme=scheme, clock=clock)
         domain = cls(
-            style=style,
+            style=config.style,
             network=wire_network,
             certificate_authority=ca,
             remote_parties=sorted(set(party_uris) - set(local)),
@@ -335,16 +374,15 @@ class TrustDomain:
                 scheme=scheme,
                 clock=clock,
                 evidence_backend=(
-                    evidence_backend_factory(uri) if evidence_backend_factory else None
+                    evidence_factory(uri) if evidence_factory else None
                 ),
-                async_runs=async_runs,
-                durable_runs=durable_runs,
+                async_runs=reliability.async_runs,
+                durable_runs=config.durability.durable_runs,
                 run_journal_backend=(
-                    run_journal_backend_factory(uri)
-                    if run_journal_backend_factory
-                    else None
+                    journal_factory(uri) if journal_factory else None
                 ),
-                orphan_run_timeout=orphan_run_timeout,
+                orphan_run_timeout=config.durability.orphan_run_timeout,
+                audit_backend=audit_factory(uri) if audit_factory else None,
             )
         # Local parties exchange credentials directly; publishing them on
         # the transport makes them introducible to (and by) peer processes.
@@ -355,7 +393,17 @@ class TrustDomain:
                     org.trust(other)
         for org in organisations:
             transport.publish(org)
-        if transport.await_remote_credentials and domain.remote_parties:
+        if transport.peer_manager is not None:
+            # Lazy peering: skip the eager exchange.  First contact with a
+            # peer resolves credentials and a route through the channel
+            # manager instead (ensure_party), bounded by the peering cap.
+            # Channel evictions must leave an audit trail; anchor it in the
+            # process's first organisation unless one is already attached.
+            if wire_network.audit_log is None:
+                wire_network.attach_audit_log(organisations[0].audit_log)
+            for org in organisations:
+                org.coordinator.set_route_resolver(transport.ensure_party)
+        elif transport.await_remote_credentials and domain.remote_parties:
             transport.exchange(domain.remote_parties)
         return domain
 

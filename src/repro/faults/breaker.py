@@ -113,6 +113,16 @@ class CircuitBreaker:
             circuit.failures = 0
             circuit.probe_in_flight = False
 
+    def forget(self, destination: str) -> bool:
+        """Drop one destination's circuit state (peer-channel eviction).
+
+        The destination reverts to a pristine closed circuit; if it is
+        touched again later, failure counting starts from zero.  Returns
+        False when no state was held.
+        """
+        with self._lock:
+            return self._circuits.pop(destination, None) is not None
+
     def record_failure(self, destination: str) -> None:
         with self._lock:
             circuit = self._circuits.setdefault(destination, _Circuit())

@@ -26,13 +26,17 @@ Run from the command line for a quick reproduction::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
+import shutil
+import tempfile
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.clock import SimulatedClock
+from repro.core.config import PeeringConfig
 from repro.core.trust_domain import TrustDomain
 from repro.faults.plan import FaultPlan, FaultRule
 from repro.transport.wire import WireTransport
@@ -142,22 +146,64 @@ def _summarize(outcomes, run_ids, uris, org_for) -> Dict[str, Any]:
     }
 
 
-def _simulated_run(plan: FaultPlan, parties: int, values: List[int]):
+@contextlib.contextmanager
+def _storage_profile(kind: Optional[str]) -> Iterator[Optional[str]]:
+    """Provision a throwaway ``storage=`` profile of ``kind`` for one run.
+
+    ``None`` and ``"memory"`` pass through; ``"file"`` and ``"sqlite"``
+    get a fresh temporary location, removed afterwards, so chaos runs
+    over persistent backends never see each other's state.
+    """
+    if kind is None or kind == "memory":
+        yield kind
+        return
+    if kind not in ("file", "sqlite"):
+        raise ValueError(
+            f"chaos storage kind must be memory, file or sqlite, got {kind!r}"
+        )
+    directory = tempfile.mkdtemp(prefix="chaos-storage-")
+    try:
+        if kind == "file":
+            yield f"file:{directory}"
+        else:
+            yield f"sqlite:{os.path.join(directory, 'chaos.db')}"
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def _simulated_run(
+    plan: FaultPlan,
+    parties: int,
+    values: List[int],
+    storage: Optional[str] = None,
+):
     uris = _uris(parties)
-    domain = TrustDomain.create(
-        uris, scheme="hmac", clock=SimulatedClock(), fault_plan=plan
-    )
-    domain.share_object(OBJECT_ID, {"v": 0})
-    outcomes, run_ids = _drive(domain.organisation(uris[0]), values)
-    return _summarize(
-        outcomes, run_ids, uris, lambda uri: domain.organisation(uri)
-    )
+    with _storage_profile(storage) as profile:
+        domain = TrustDomain.create(
+            uris,
+            scheme="hmac",
+            clock=SimulatedClock(),
+            fault_plan=plan,
+            storage=profile,
+        )
+        domain.share_object(OBJECT_ID, {"v": 0})
+        outcomes, run_ids = _drive(domain.organisation(uris[0]), values)
+        return _summarize(
+            outcomes, run_ids, uris, lambda uri: domain.organisation(uri)
+        )
 
 
-def _wire_run(plan: FaultPlan, parties: int, split: int, values: List[int]):
+def _wire_run(
+    plan: FaultPlan,
+    parties: int,
+    split: int,
+    values: List[int],
+    storage: Optional[str] = None,
+    peering_cap: Optional[int] = None,
+):
     uris = _uris(parties)
     local_a, local_b = uris[:split], uris[split:]
-    with WireTransport(
+    with _storage_profile(storage) as profile, WireTransport(
         local_parties=local_a,
         await_remote_credentials=False,
         clock=SimulatedClock(),
@@ -169,11 +215,23 @@ def _wire_run(plan: FaultPlan, parties: int, split: int, values: List[int]):
         # The plan installs on both nodes; with split=1 only the proposer's
         # node originates accounted traffic, so only its injector draws --
         # which is exactly what makes the draw sequence match the simulator.
+        # Both nodes share one storage profile: under ``sqlite`` that is
+        # one embedded-KV file serving every party of both processes.
+        peering = (
+            PeeringConfig(max_live_channels=peering_cap)
+            if peering_cap is not None
+            else None
+        )
         da = TrustDomain.create(
-            uris, transport=ta, scheme="hmac", fault_plan=plan
+            uris,
+            transport=ta,
+            scheme="hmac",
+            fault_plan=plan,
+            storage=profile,
+            peering=peering,
         )
         db = TrustDomain.create(
-            uris, transport=tb, scheme="hmac", fault_plan=plan
+            uris, transport=tb, scheme="hmac", fault_plan=plan, storage=profile
         )
         ta.introduce_to(tb.host, tb.port)
         tb.introduce_to(ta.host, ta.port)
@@ -192,6 +250,8 @@ def run_cross_transport_scenario(
     parties: int = 3,
     split: int = 1,
     values: Optional[List[int]] = None,
+    storage: Optional[str] = None,
+    peering_cap: Optional[int] = None,
 ) -> ChaosReport:
     """Replay ``plan`` on the simulator and a 2-node wire loopback.
 
@@ -201,6 +261,14 @@ def run_cross_transport_scenario(
     ``split=1`` (the default) the comparison is exact per-party equality;
     larger splits move responders off the proposer's node, which changes
     the wire draw sequence, so only use them for convergence smoke tests.
+
+    ``storage`` selects a backend kind (``"memory"``/``"file"``/
+    ``"sqlite"``) provisioned as a throwaway profile per run, so the
+    convergence property is also checked over persistent evidence
+    backends -- under ``sqlite`` both wire nodes share one embedded-KV
+    file.  ``peering_cap`` enables the lazy channel manager on the
+    proposer's wire node with that ``max_live_channels``, making channel
+    eviction/recreation churn part of the faulted scenario.
     """
     values = list(values) if values is not None else [1, 2, 3]
     if not 1 <= split < parties:
@@ -208,8 +276,10 @@ def run_cross_transport_scenario(
     report = ChaosReport(
         plan=plan, parties=parties, split=split, values=values
     )
-    report.simulated = _simulated_run(plan, parties, values)
-    report.wired = _wire_run(plan, parties, split, values)
+    report.simulated = _simulated_run(plan, parties, values, storage=storage)
+    report.wired = _wire_run(
+        plan, parties, split, values, storage=storage, peering_cap=peering_cap
+    )
     return report
 
 

@@ -1,0 +1,34 @@
+"""Lazy per-peer channel management for many-peer scale-out.
+
+A node talking to thousands of peers cannot pre-register them all:
+:class:`PeerChannelManager` creates per-peer channel state (wire
+connections, credential exchange, routes, circuit-breaker entries) on
+first use, tracks last-activity, and evicts least-recently-used or idle
+channels under a configurable cap -- with every eviction audited and the
+channel safely recreated on its next touch.  The wire transport threads
+the manager through ``WireTransport.enable_peering`` /
+``WireNetwork.attach_peer_manager``; :class:`PeeringPolicy` carries the
+bounds and rides in :class:`repro.core.config.PeeringConfig`.
+"""
+
+from repro.peering.manager import (
+    AUDIT_CATEGORY_PEERING,
+    EVICT_EXPLICIT,
+    EVICT_IDLE,
+    EVICT_LRU,
+    ChannelStats,
+    PeerChannel,
+    PeerChannelManager,
+    PeeringPolicy,
+)
+
+__all__ = [
+    "AUDIT_CATEGORY_PEERING",
+    "EVICT_EXPLICIT",
+    "EVICT_IDLE",
+    "EVICT_LRU",
+    "ChannelStats",
+    "PeerChannel",
+    "PeerChannelManager",
+    "PeeringPolicy",
+]

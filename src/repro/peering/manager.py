@@ -1,0 +1,284 @@
+"""Lazy per-peer channel lifecycle.
+
+Everything before this module assumed a node knows its whole peer set up
+front: the wire transport eagerly exchanged credentials with every
+configured peer, and per-peer state (pooled sockets, pinned keys, routes,
+circuit breakers) accumulated forever.  "Millions of users" means
+thousands of pairwise peer relationships per node, most of them cold at
+any moment -- so per-peer state must be created **on first use** and
+evicted when idle, the way an off-chain VASP keeps one lazily-created
+channel object per counterparty.
+
+:class:`PeerChannelManager` owns that lifecycle.  It is deliberately
+transport-agnostic: a *resolver* callback performs whatever work makes a
+peer reachable (credential introduction, route installation, endpoint
+lookup) and returns an opaque endpoint token (the wire layer uses
+``(host, port)``); an *on_evict* callback releases transport resources
+when a channel dies.  The manager contributes the policy: LRU eviction
+over a live-channel cap, idle-timeout sweeps, audited evictions, safe
+re-creation on the next touch, and thread-safety that never holds the
+manager lock across a resolver's network round trip.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.clock import Clock, SystemClock
+from repro.errors import ProtocolError
+
+#: Audit category for channel lifecycle events.
+AUDIT_CATEGORY_PEERING = "transport.peering"
+
+#: Eviction reasons recorded in stats and audit records.
+EVICT_LRU = "lru-cap"
+EVICT_IDLE = "idle-timeout"
+EVICT_EXPLICIT = "explicit"
+
+
+@dataclass(frozen=True)
+class PeeringPolicy:
+    """Bounds on live per-peer channel state.
+
+    ``max_live_channels`` caps how many peers may hold live channel state
+    at once (least-recently-used channels are evicted over the cap);
+    ``idle_timeout_seconds`` additionally retires channels untouched for
+    that long (``None`` disables idle sweeps).
+    """
+
+    max_live_channels: int = 128
+    idle_timeout_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_live_channels < 1:
+            raise ProtocolError(
+                f"peering cap must be >= 1, got {self.max_live_channels}"
+            )
+        if self.idle_timeout_seconds is not None and self.idle_timeout_seconds <= 0:
+            raise ProtocolError(
+                f"peering idle timeout must be positive, got "
+                f"{self.idle_timeout_seconds}"
+            )
+
+
+@dataclass
+class PeerChannel:
+    """Live channel state for one peer: endpoint plus activity tracking."""
+
+    party: str
+    endpoint: Any
+    created_at: float
+    last_activity: float
+    touches: int = 0
+
+
+@dataclass
+class ChannelStats:
+    """Lifetime counters; ``live``/``peak_live`` track the channel table."""
+
+    created: int = 0
+    recreated: int = 0
+    touches: int = 0
+    peak_live: int = 0
+    evictions: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def evicted(self) -> int:
+        return sum(self.evictions.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "created": self.created,
+            "recreated": self.recreated,
+            "touches": self.touches,
+            "peak_live": self.peak_live,
+            "evicted": self.evicted,
+            "evictions": dict(self.evictions),
+        }
+
+
+class PeerChannelManager:
+    """Create peer channels lazily, evict them under a cap, recreate on touch.
+
+    ``resolver(party)`` is invoked exactly once per channel creation (never
+    under the manager lock, so concurrent touches of *different* peers
+    resolve in parallel while concurrent touches of the *same* peer share
+    one resolution); whatever it returns becomes the channel's endpoint.
+    ``on_evict(channel, reason, endpoint_unused)`` runs after a channel
+    leaves the table -- ``endpoint_unused`` is True when no other live
+    channel shares the endpoint, i.e. endpoint-level resources (pooled
+    sockets) may be released.
+    """
+
+    def __init__(
+        self,
+        resolver: Callable[[str], Any],
+        policy: Optional[PeeringPolicy] = None,
+        clock: Optional[Clock] = None,
+        on_evict: Optional[Callable[[PeerChannel, str, bool], None]] = None,
+    ) -> None:
+        self._resolver = resolver
+        self.policy = policy or PeeringPolicy()
+        self._clock = clock or SystemClock()
+        self._on_evict = on_evict
+        self._lock = threading.RLock()
+        self._channels: "OrderedDict[str, PeerChannel]" = OrderedDict()
+        self._creating: Dict[str, threading.Event] = {}
+        self._endpoint_refs: Dict[Any, int] = {}
+        self._known_parties: set = set()
+        self.stats = ChannelStats()
+        self.audit_log = None
+
+    def attach_audit_log(self, audit_log) -> None:
+        """Record channel evictions in ``audit_log`` from now on."""
+        self.audit_log = audit_log
+
+    # -- the touch -----------------------------------------------------------
+
+    def resolve(self, party: str) -> Any:
+        """Return ``party``'s endpoint, creating its channel if needed.
+
+        Every call is a *touch*: it refreshes the channel's LRU position
+        and last-activity stamp, and opportunistically sweeps idle
+        channels.  A concurrent eviction between two touches is invisible
+        to callers -- the next touch simply recreates the channel.
+        """
+        while True:
+            hit = None
+            owns_creation = False
+            with self._lock:
+                swept = self._sweep_idle_locked(self._clock.now())
+                channel = self._channels.get(party)
+                if channel is not None:
+                    channel.last_activity = self._clock.now()
+                    channel.touches += 1
+                    self.stats.touches += 1
+                    self._channels.move_to_end(party)
+                    hit = channel
+                else:
+                    pending = self._creating.get(party)
+                    if pending is None:
+                        pending = self._creating[party] = threading.Event()
+                        owns_creation = True
+            for victim, reason, endpoint_unused in swept:
+                self._notify_evicted(victim, reason, endpoint_unused)
+            if hit is not None:
+                return hit.endpoint
+            if owns_creation:
+                break
+            pending.wait()
+        try:
+            endpoint = self._resolver(party)
+        except BaseException:
+            with self._lock:
+                self._creating.pop(party, None)
+            pending.set()
+            raise
+        evicted: List[PeerChannel] = []
+        with self._lock:
+            now = self._clock.now()
+            channel = PeerChannel(
+                party=party, endpoint=endpoint, created_at=now,
+                last_activity=now, touches=1,
+            )
+            self._channels[party] = channel
+            self._endpoint_refs[endpoint] = self._endpoint_refs.get(endpoint, 0) + 1
+            self.stats.created += 1
+            self.stats.touches += 1
+            if party in self._known_parties:
+                self.stats.recreated += 1
+            self._known_parties.add(party)
+            while len(self._channels) > self.policy.max_live_channels:
+                evicted.append(self._remove_locked(
+                    next(iter(self._channels)), EVICT_LRU
+                ))
+            self.stats.peak_live = max(self.stats.peak_live, len(self._channels))
+            self._creating.pop(party, None)
+        pending.set()
+        for victim, reason, endpoint_unused in evicted:
+            self._notify_evicted(victim, reason, endpoint_unused)
+        return endpoint
+
+    # -- eviction ------------------------------------------------------------
+
+    def _remove_locked(self, party: str, reason: str):
+        channel = self._channels.pop(party)
+        refs = self._endpoint_refs.get(channel.endpoint, 1) - 1
+        if refs <= 0:
+            self._endpoint_refs.pop(channel.endpoint, None)
+        else:
+            self._endpoint_refs[channel.endpoint] = refs
+        self.stats.evictions[reason] = self.stats.evictions.get(reason, 0) + 1
+        return channel, reason, refs <= 0
+
+    def _notify_evicted(
+        self, channel: PeerChannel, reason: str, endpoint_unused: bool
+    ) -> None:
+        if self.audit_log is not None:
+            self.audit_log.append(
+                category=AUDIT_CATEGORY_PEERING,
+                subject=channel.party,
+                details={
+                    "event": "peer-channel-evicted",
+                    "reason": reason,
+                    "idle_seconds": self._clock.now() - channel.last_activity,
+                    "touches": channel.touches,
+                    "live_channels": len(self._channels),
+                },
+            )
+        if self._on_evict is not None:
+            self._on_evict(channel, reason, endpoint_unused)
+
+    def _sweep_idle_locked(self, now: float) -> List[tuple]:
+        timeout = self.policy.idle_timeout_seconds
+        evicted = []
+        if timeout is None:
+            return evicted
+        while self._channels:
+            party, channel = next(iter(self._channels.items()))
+            if now - channel.last_activity < timeout:
+                break  # LRU head is the stalest; the rest are fresher
+            evicted.append(self._remove_locked(party, EVICT_IDLE))
+        return evicted
+
+    def evict_idle(self) -> List[str]:
+        """Evict every channel idle past the policy timeout; return parties."""
+        with self._lock:
+            evicted = self._sweep_idle_locked(self._clock.now())
+        for channel, reason, endpoint_unused in evicted:
+            self._notify_evicted(channel, reason, endpoint_unused)
+        return [channel.party for channel, _, _ in evicted]
+
+    def evict(self, party: str, reason: str = EVICT_EXPLICIT) -> bool:
+        """Evict one channel now; returns False when no channel is live."""
+        with self._lock:
+            if party not in self._channels:
+                return False
+            channel, reason, endpoint_unused = self._remove_locked(party, reason)
+        self._notify_evicted(channel, reason, endpoint_unused)
+        return True
+
+    def close(self) -> None:
+        """Evict everything (shutdown path)."""
+        with self._lock:
+            parties = list(self._channels)
+        for party in parties:
+            self.evict(party, EVICT_EXPLICIT)
+
+    # -- introspection -------------------------------------------------------
+
+    def live_channels(self) -> int:
+        with self._lock:
+            return len(self._channels)
+
+    def live_parties(self) -> List[str]:
+        """Live parties in LRU order (stalest first)."""
+        with self._lock:
+            return list(self._channels)
+
+    def channel(self, party: str) -> Optional[PeerChannel]:
+        with self._lock:
+            return self._channels.get(party)

@@ -6,7 +6,11 @@ shared information", including "the mapping of the state digest to the
 representation of state in the state store".
 
 * :mod:`repro.persistence.storage` -- in-memory and file-backed key/value
-  backends shared by the stores.
+  backends shared by the stores, plus the ``storage=`` profile selector
+  (:class:`StorageProfile`) that provisions them consistently.
+* :mod:`repro.persistence.sqlite_backend` -- embedded-KV backend with
+  indexed prefix scans; many processes share one database file and
+  stores reopen without rebuilding derived indexes.
 * :mod:`repro.persistence.audit_log` -- append-only, hash-chained log with
   tamper detection.
 * :mod:`repro.persistence.evidence_store` -- evidence records indexed by
@@ -19,8 +23,14 @@ representation of state in the state store".
 from repro.persistence.audit_log import AuditLog, AuditRecord
 from repro.persistence.evidence_store import EvidenceStore, StoredEvidence
 from repro.persistence.run_journal import JournaledRun, RunJournal
+from repro.persistence.sqlite_backend import SQLiteBackend
 from repro.persistence.state_store import StateStore
-from repro.persistence.storage import FileBackend, InMemoryBackend, StorageBackend
+from repro.persistence.storage import (
+    FileBackend,
+    InMemoryBackend,
+    StorageBackend,
+    StorageProfile,
+)
 
 __all__ = [
     "AuditLog",
@@ -30,7 +40,9 @@ __all__ = [
     "InMemoryBackend",
     "JournaledRun",
     "RunJournal",
+    "SQLiteBackend",
     "StateStore",
     "StorageBackend",
+    "StorageProfile",
     "StoredEvidence",
 ]

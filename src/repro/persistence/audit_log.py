@@ -70,8 +70,25 @@ class AuditLog:
         return f"audit:{self.owner}:{index:012d}"
 
     def _replay_existing(self) -> None:
-        """Rebuild the in-memory hash chain from a pre-populated backend."""
+        """Rebuild the in-memory hash chain from a pre-populated backend.
+
+        On a prefix-scan backend this is one range query: the zero-padded
+        index in each key makes lexicographic scan order equal append
+        order.  (The suffix check keeps an owner whose URI prefixes
+        another owner's URI from absorbing that owner's records in a
+        shared database.)  Plain backends replay by sequential gets.
+        """
         index = 0
+        if self._backend.supports_prefix_scan:
+            prefix = f"audit:{self.owner}:"
+            for key, raw in self._backend.scan(prefix):
+                suffix = key[len(prefix):]
+                if len(suffix) != 12 or not suffix.isdigit():
+                    continue
+                self._chain.append(raw)
+                index += 1
+            self._count = index
+            return
         while True:
             raw = self._backend.get(self._key_for(index))
             if raw is None:

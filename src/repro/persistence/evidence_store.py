@@ -66,6 +66,15 @@ class EvidenceStore:
     :meth:`evidence_for_run` calls decode each record at most once per
     process).  All indexes are derived state: they are rebuilt from the
     backend on construction and maintained incrementally by :meth:`store`.
+
+    On a backend advertising ``supports_prefix_scan`` (the embedded-KV
+    SQLite backend) the in-memory indexes are not built at all: opening
+    the store reads *nothing*, and every query is an indexed backend
+    range scan over the key layout
+    ``evidence:{owner}:{run}:{type}:{role}:{seq}`` -- so reopening costs
+    O(queried) rather than O(all records), and many processes share one
+    store without each paying a full rebuild.  Only the decoded-record
+    memo survives in that mode, purely as a cache.
     """
 
     ROLE_GENERATED = "generated"
@@ -86,7 +95,13 @@ class EvidenceStore:
         self._total_bytes = 0
         self._decoded: Dict[str, StoredEvidence] = {}
         self._lock = threading.RLock()
-        self._rebuild_index()
+        # Scan-backed mode: the backend answers prefix queries natively, so
+        # no derived state is rebuilt on open -- only per-run next-sequence
+        # counters, primed lazily on the first store() touching a run.
+        self._scan_backed = bool(self._backend.supports_prefix_scan)
+        self._sequences: Dict[str, int] = {}
+        if not self._scan_backed:
+            self._rebuild_index()
 
     @staticmethod
     def _sequence_of(key: str) -> Optional[int]:
@@ -140,6 +155,59 @@ class EvidenceStore:
     def _key_for(self, run_id: str, token_type: str, role: str, sequence: int) -> str:
         return f"evidence:{self.owner}:{run_id}:{token_type}:{role}:{sequence}"
 
+    def _owner_prefix(self) -> str:
+        return f"evidence:{self.owner}:"
+
+    def _run_prefix(self, run_id: str) -> str:
+        return f"evidence:{self.owner}:{run_id}:"
+
+    def _next_sequence_locked(self, run_id: str) -> int:
+        """Next per-run sequence number; caller must hold the lock.
+
+        In scan-backed mode the counter is primed from the backend the
+        first time a run is touched (one key-only range scan); otherwise
+        the in-memory per-run index carries it.
+        """
+        if not self._scan_backed:
+            return len(self._index.get(run_id, []))
+        next_sequence = self._sequences.get(run_id)
+        if next_sequence is None:
+            sequences = [
+                self._sequence_of(key)
+                for key in self._backend.scan_keys(self._run_prefix(run_id))
+            ]
+            next_sequence = (
+                max((s for s in sequences if s is not None), default=-1) + 1
+            )
+        return next_sequence
+
+    def _scan_records_locked(
+        self, prefix: str, run_id: str, token_type: Optional[str] = None
+    ) -> List[StoredEvidence]:
+        """Range-scan records under ``prefix`` in storage order.
+
+        Scan order is lexicographic by key, but the sequence suffix is an
+        unpadded integer (``10`` sorts before ``2``), so records are
+        re-ordered by the parsed suffix.  Decoded records are double-checked
+        against ``run_id``/``token_type``: a run id that is a ``:``-joined
+        prefix of another run id would otherwise leak that run's records
+        into the scan.
+        """
+        entries = []
+        for position, (key, raw) in enumerate(self._backend.scan(prefix)):
+            record = self._decoded.get(key)
+            if record is None:
+                record = StoredEvidence.from_dict(codec.decode(raw))
+                self._decoded[key] = record
+            if record.run_id != run_id:
+                continue
+            if token_type is not None and record.token_type != token_type:
+                continue
+            sequence = self._sequence_of(key)
+            sort_key = (0, sequence) if sequence is not None else (1, position)
+            entries.append((sort_key, record))
+        return [record for _, record in sorted(entries, key=lambda e: e[0])]
+
     def store(
         self,
         run_id: str,
@@ -172,11 +240,15 @@ class EvidenceStore:
             payload = record.to_dict()
             if callable(data_encoded):
                 payload["token"] = data_encoded()  # spliced pre-computed bytes
-            sequence = len(self._index.get(run_id, []))
+            sequence = self._next_sequence_locked(run_id)
             key = self._key_for(run_id, token_type, role, sequence)
             encoded = codec.encode(payload)
             self._backend.put(key, encoded)
-            self._register_locked(key, record, len(encoded))
+            if self._scan_backed:
+                self._sequences[run_id] = sequence + 1
+                self._decoded[key] = record
+            else:
+                self._register_locked(key, record, len(encoded))
             return record
 
     def _record_for_locked(self, key: str) -> StoredEvidence:
@@ -197,6 +269,8 @@ class EvidenceStore:
         their ``token`` mappings) as read-only.
         """
         with self._lock:
+            if self._scan_backed:
+                return self._scan_records_locked(self._run_prefix(run_id), run_id)
             return [
                 self._record_for_locked(key) for key in self._index.get(run_id, [])
             ]
@@ -208,6 +282,10 @@ class EvidenceStore:
         types are neither read from the backend nor decoded.
         """
         with self._lock:
+            if self._scan_backed:
+                return self._scan_records_locked(
+                    f"{self._run_prefix(run_id)}{token_type}:", run_id, token_type
+                )
             return [
                 self._record_for_locked(key)
                 for key in self._type_index.get((run_id, token_type), [])
@@ -215,10 +293,19 @@ class EvidenceStore:
 
     def run_ids(self) -> List[str]:
         with self._lock:
+            if self._scan_backed:
+                prefix = self._owner_prefix()
+                runs = {
+                    key[len(prefix):].rsplit(":", 3)[0]
+                    for key in self._backend.scan_keys(prefix)
+                }
+                return sorted(runs)
             return sorted(self._index)
 
     def total_records(self) -> int:
         with self._lock:
+            if self._scan_backed:
+                return self._backend.scan_stats(self._owner_prefix())[0]
             return sum(len(keys) for keys in self._index.values())
 
     def storage_bytes(self) -> int:
@@ -227,7 +314,11 @@ class EvidenceStore:
         Used by the evidence-space-overhead benchmark (paper Section 6 names
         "the space overhead of evidence generated" as a cost dimension).
         Maintained as a running total from the per-record size cache, so no
-        backend reads or re-encodes happen here.
+        backend reads or re-encodes happen here.  In scan-backed mode the
+        total is one backend aggregate query instead (SQL ``SUM`` over the
+        owner's key range).
         """
         with self._lock:
+            if self._scan_backed:
+                return self._backend.scan_stats(self._owner_prefix())[1]
             return self._total_bytes

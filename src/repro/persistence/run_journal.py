@@ -169,14 +169,24 @@ class RunJournal:
         return f"runjournal:{self.owner}:"
 
     def all_runs(self) -> Dict[str, JournaledRun]:
-        """Decode every journaled run, keyed by run id."""
+        """Decode every journaled run, keyed by run id.
+
+        On a prefix-scan backend (SQLite) this is one indexed range query
+        over the owner's ``runjournal:`` keyspace; on plain backends it
+        filters ``keys()`` as before.
+        """
         prefix = self._prefix()
         per_run: Dict[str, Dict[str, Dict[str, Any]]] = {}
         with self._lock:
-            for key in self._backend.keys():
-                if not key.startswith(prefix):
-                    continue
-                raw = self._backend.get(key)
+            if self._backend.supports_prefix_scan:
+                records = self._backend.scan(prefix)
+            else:
+                records = (
+                    (key, self._backend.get(key))
+                    for key in self._backend.keys()
+                    if key.startswith(prefix)
+                )
+            for key, raw in records:
                 if raw is None:
                     continue
                 try:

@@ -13,13 +13,27 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import PersistenceError
 
 
 class StorageBackend:
-    """Minimal ordered key/value store interface."""
+    """Minimal ordered key/value store interface.
+
+    Besides point reads the interface carries *prefix scans*
+    (:meth:`scan` / :meth:`scan_keys` / :meth:`scan_stats`).  The default
+    implementations walk ``keys()``, which any backend supports; backends
+    that can answer a prefix scan with an indexed range query (the SQLite
+    backend) advertise it with ``supports_prefix_scan = True``, and stores
+    use that flag to serve derived indexes straight from the backend
+    instead of rebuilding them in memory on open.
+    """
+
+    #: True when :meth:`scan` is an indexed range query rather than a
+    #: filter over every key.  Stores may skip rebuild-on-open derived
+    #: state for such backends.
+    supports_prefix_scan = False
 
     def put(self, key: str, value: bytes) -> None:
         raise NotImplementedError
@@ -42,6 +56,34 @@ class StorageBackend:
             value = self.get(key)
             if value is not None:
                 yield key, value
+
+    def scan(self, prefix: str) -> List[Tuple[str, bytes]]:
+        """Return ``(key, value)`` pairs for keys with ``prefix``, key-sorted.
+
+        Ordering is lexicographic by key (the order an embedded KV's range
+        scan yields), *not* insertion order: callers that need storage
+        order encode it into the key (zero-padded counters, or a sortable
+        sequence suffix they parse back out).
+        """
+        return [
+            (key, value)
+            for key in self.scan_keys(prefix)
+            for value in (self.get(key),)
+            if value is not None
+        ]
+
+    def scan_keys(self, prefix: str) -> List[str]:
+        """Return keys with ``prefix`` in lexicographic order."""
+        return sorted(key for key in self.keys() if key.startswith(prefix))
+
+    def scan_stats(self, prefix: str) -> Tuple[int, int]:
+        """Return ``(record_count, total_value_bytes)`` under ``prefix``."""
+        count = 0
+        total = 0
+        for _, value in self.scan(prefix):
+            count += 1
+            total += len(value)
+        return count, total
 
 
 class InMemoryBackend(StorageBackend):
@@ -222,3 +264,72 @@ class FileBackend(StorageBackend):
             return [
                 bytes.fromhex(encoded).decode("utf-8") for encoded in self._entries
             ]
+
+
+class StorageProfile:
+    """One ``storage=`` selector provisioning every per-organisation backend.
+
+    A profile string names where *all* of an organisation's persistent
+    stores (evidence, run journal, audit log) live:
+
+    ``"memory"``
+        A fresh :class:`InMemoryBackend` per store -- the default,
+        equivalent to passing no backends at all.
+    ``"file:<dir>"``
+        A crash-atomic :class:`FileBackend` per store under
+        ``<dir>/<owner>/<store>``.  Stores get separate directories
+        because ``FileBackend`` owns its directory's index file
+        exclusively.
+    ``"sqlite:<path>"``
+        One shared :class:`~repro.persistence.sqlite_backend.SQLiteBackend`
+        database file.  Key prefixes (``evidence:``/``runjournal:``/
+        ``audit:`` plus the owner URI) already namespace every store and
+        owner, so many organisations -- and many OS processes -- share the
+        single embedded-KV file, and reopening stores costs O(queried)
+        via prefix scans instead of O(all records).
+    """
+
+    KINDS = ("memory", "file", "sqlite")
+
+    def __init__(self, kind: str, location: Optional[str] = None) -> None:
+        self.kind = kind
+        self.location = location
+
+    @classmethod
+    def parse(cls, profile: "str | StorageProfile") -> "StorageProfile":
+        if isinstance(profile, StorageProfile):
+            return profile
+        if not isinstance(profile, str):
+            raise PersistenceError(
+                f"storage profile must be a string, got {type(profile).__name__}"
+            )
+        kind, _, location = profile.partition(":")
+        if kind == "memory" and not location:
+            return cls("memory")
+        if kind in ("file", "sqlite") and location:
+            return cls(kind, location)
+        raise PersistenceError(
+            f"unknown storage profile {profile!r}: expected 'memory', "
+            "'file:<dir>' or 'sqlite:<path>'"
+        )
+
+    @staticmethod
+    def _safe_segment(owner: str) -> str:
+        return "".join(ch if ch.isalnum() or ch in "-._" else "_" for ch in owner)
+
+    def backend_for(self, owner: str, store: str) -> StorageBackend:
+        """Provision the backend for one store (``evidence``/``runjournal``/
+        ``audit``) of ``owner``."""
+        if self.kind == "memory":
+            return InMemoryBackend()
+        if self.kind == "file":
+            return FileBackend(
+                os.path.join(self.location, self._safe_segment(owner), store)
+            )
+        from repro.persistence.sqlite_backend import SQLiteBackend
+
+        return SQLiteBackend(self.location)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        suffix = f":{self.location}" if self.location else ""
+        return f"StorageProfile({self.kind}{suffix})"

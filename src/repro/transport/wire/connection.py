@@ -51,13 +51,16 @@ class _Connection:
     still in progress (no kernel resources are held for placeholders).
     """
 
-    __slots__ = ("sock", "hostport", "busy", "alive")
+    __slots__ = ("sock", "hostport", "busy", "alive", "retire")
 
     def __init__(self, sock: Optional[socket.socket], hostport: HostPort) -> None:
         self.sock = sock
         self.hostport = hostport
         self.busy = False
         self.alive = True
+        # Marked by close_peer() on a busy connection: finish the in-flight
+        # exchange, then close instead of returning to the pool.
+        self.retire = False
 
     def close(self) -> None:
         self.alive = False
@@ -95,9 +98,14 @@ class ConnectionPool:
         # swept the pool must not hand back a live connection the sweep
         # could not see (it would dodge both fault injection and close()).
         self._kill_epoch = 0
+        # Per-peer counterpart, bumped by close_peer(): a channel eviction
+        # must not strand a connection whose connect it could not see,
+        # without invalidating in-progress connects to unrelated peers.
+        self._peer_epochs: Dict[HostPort, int] = {}
         self.connections_opened = 0
         self.connection_failures = 0
         self.requests_sent = 0
+        self.peer_releases = 0
 
     # -- acquisition --------------------------------------------------------------
 
@@ -139,7 +147,7 @@ class ConnectionPool:
                     placeholder.busy = True
                     placeholder.alive = False  # not usable until connected
                     pool.append(placeholder)
-                    epoch = self._kill_epoch
+                    epoch = (self._kill_epoch, self._peer_epochs.get(hostport, 0))
                     break
                 self._condition.wait(0.05)
         try:
@@ -149,7 +157,8 @@ class ConnectionPool:
                 self._discard(placeholder)
             raise
         with self._condition:
-            if not self._closed and self._kill_epoch == epoch:
+            current = (self._kill_epoch, self._peer_epochs.get(hostport, 0))
+            if not self._closed and current == epoch:
                 placeholder.sock = sock
                 placeholder.alive = True
                 self.connections_opened += 1
@@ -177,7 +186,13 @@ class ConnectionPool:
     def _release(self, conn: _Connection) -> None:
         with self._condition:
             conn.busy = False
+            if conn.retire and conn.alive:
+                self._discard(conn)
+            else:
+                conn = None
             self._condition.notify_all()
+        if conn is not None:
+            conn.close()
 
     # -- request/response ---------------------------------------------------------
 
@@ -304,6 +319,29 @@ class ConnectionPool:
             ]
             for conn in victims:
                 self._discard(conn)
+        for conn in victims:
+            conn.close()
+        return len(victims)
+
+    def close_peer(self, hostport: HostPort) -> int:
+        """Gracefully release one peer's pooled connections (channel eviction).
+
+        Unlike :meth:`kill`, this is a resource-reclaim path, not a fault:
+        idle connections close immediately, while busy ones finish their
+        in-flight exchange and close on release instead of returning to
+        the pool -- no request is failed.  Returns how many idle
+        connections were closed now.
+        """
+        with self._condition:
+            self._peer_epochs[hostport] = self._peer_epochs.get(hostport, 0) + 1
+            pool = self._connections.get(hostport, [])
+            victims = [conn for conn in pool if conn.alive and not conn.busy]
+            for conn in victims:
+                self._discard(conn)
+            for conn in pool:
+                if conn.alive and conn.busy:
+                    conn.retire = True
+            self.peer_releases += 1
         for conn in victims:
             conn.close()
         return len(victims)

@@ -121,6 +121,8 @@ class WireNetwork:
         #: Optional per-peer breaker consulted by channels over this node
         #: (see :meth:`attach_circuit_breaker`).
         self.circuit_breaker: Optional[CircuitBreaker] = None
+        #: Optional lazy channel manager (see :meth:`attach_peer_manager`).
+        self.peer_manager = None
         self.audit_log = None
         self._endpoints: Dict[str, Endpoint] = {}
         # ``system_handlers`` passed here are installed BEFORE the server
@@ -220,6 +222,23 @@ class WireNetwork:
         """Route transport-level events (breaker transitions, shedding,
         frame-decode failures) to ``audit_log`` under ``"transport"``."""
         self.audit_log = audit_log
+        if self.peer_manager is not None:
+            self.peer_manager.attach_audit_log(audit_log)
+
+    def attach_peer_manager(self, manager) -> None:
+        """Route remote destination resolution through a lazy channel manager.
+
+        With a :class:`~repro.peering.PeerChannelManager` attached, a
+        remote destination's first send creates its channel on demand (the
+        manager's resolver typically performs the credential introduction)
+        instead of requiring the whole peer set to be pre-registered, and
+        idle channels are evicted under the manager's policy.  Channel
+        evictions are recorded in this node's audit log when one is
+        attached.
+        """
+        self.peer_manager = manager
+        if self.audit_log is not None:
+            manager.attach_audit_log(self.audit_log)
 
     def attach_circuit_breaker(self, breaker: CircuitBreaker) -> None:
         """Install a per-peer breaker; channels over this node consult it."""
@@ -525,6 +544,8 @@ class WireNetwork:
             payload=payload,
             message_id=self._message_counter.next(),
         )
+        if self.peer_manager is not None:
+            return self._send_via_manager(message)
         with self._lock:
             self._admit_locked(message)
             try:
@@ -535,6 +556,34 @@ class WireNetwork:
             # Decide AFTER the endpoint resolves (unknown destinations draw
             # no faults), matching the simulator's admission order so seeded
             # draw sequences stay identical across transports.
+            decision = self._decide_locked(message)
+        if endpoint is not None:
+            return self._deliver_local(endpoint, message, decision)
+        return self._deliver_remote(hostport, message, decision)
+
+    def _send_via_manager(self, message: Message) -> Any:
+        """``send`` with a lazy channel manager attached.
+
+        Channel resolution may perform a credential round trip, so it runs
+        *outside* the admission lock; the fault decision is still drawn
+        only after the destination resolves (unknown destinations draw no
+        faults), keeping seeded draw sequences identical to the
+        manager-less path and the simulator.  A failed lazy resolution
+        counts as a drop of the admitted message: retryable resolver
+        failures surface as :class:`DeliveryError` for the retry machinery,
+        unknown peers as permanent :class:`UnknownEndpointError`.
+        """
+        with self._lock:
+            self._admit_locked(message)
+            endpoint = self._endpoints.get(message.destination)
+        if endpoint is None:
+            try:
+                hostport = self.peer_manager.resolve(message.destination)
+            except (UnknownEndpointError, DeliveryError):
+                with self._lock:
+                    self.statistics.messages_dropped += 1
+                raise
+        with self._lock:
             decision = self._decide_locked(message)
         if endpoint is not None:
             return self._deliver_local(endpoint, message, decision)
@@ -553,33 +602,10 @@ class WireNetwork:
         are returned, never raised.
         """
         results: List[BatchResult] = [BatchResult() for _ in entries]
-        admitted: List[
-            Tuple[
-                int,
-                Message,
-                Optional[Endpoint],
-                Optional[HostPort],
-                Optional[FaultDecision],
-            ]
-        ] = []
-        with self._lock:
-            for index, (destination, operation, payload) in enumerate(entries):
-                message = Message(
-                    sender=sender,
-                    destination=destination,
-                    operation=operation,
-                    payload=payload,
-                    message_id=self._message_counter.next(),
-                )
-                self._admit_locked(message)
-                try:
-                    endpoint, hostport = self._resolve(destination)
-                except UnknownEndpointError as error:
-                    self.statistics.messages_dropped += 1
-                    results[index].error = error
-                    continue
-                decision = self._decide_locked(message)
-                admitted.append((index, message, endpoint, hostport, decision))
+        if self.peer_manager is not None:
+            admitted = self._admit_batch_via_manager(sender, entries, results)
+        else:
+            admitted = self._admit_batch(sender, entries, results)
 
         # Injected reordering: deterministically defer flagged entries to
         # the back of the wave (stable), mirroring the simulator.
@@ -612,6 +638,94 @@ class WireNetwork:
 
         self.dispatch.run([make_unit(*entry) for entry in admitted])
         return results
+
+    def _admit_batch(
+        self,
+        sender: str,
+        entries: List[Tuple[str, str, Any]],
+        results: List[BatchResult],
+    ) -> List[
+        Tuple[
+            int,
+            Message,
+            Optional[Endpoint],
+            Optional[HostPort],
+            Optional[FaultDecision],
+        ]
+    ]:
+        """Admission + resolution + fault draws, one lock pass in entry order."""
+        admitted = []
+        with self._lock:
+            for index, (destination, operation, payload) in enumerate(entries):
+                message = Message(
+                    sender=sender,
+                    destination=destination,
+                    operation=operation,
+                    payload=payload,
+                    message_id=self._message_counter.next(),
+                )
+                self._admit_locked(message)
+                try:
+                    endpoint, hostport = self._resolve(destination)
+                except UnknownEndpointError as error:
+                    self.statistics.messages_dropped += 1
+                    results[index].error = error
+                    continue
+                decision = self._decide_locked(message)
+                admitted.append((index, message, endpoint, hostport, decision))
+        return admitted
+
+    def _admit_batch_via_manager(
+        self,
+        sender: str,
+        entries: List[Tuple[str, str, Any]],
+        results: List[BatchResult],
+    ) -> List[
+        Tuple[
+            int,
+            Message,
+            Optional[Endpoint],
+            Optional[HostPort],
+            Optional[FaultDecision],
+        ]
+    ]:
+        """Batch admission with lazy channel resolution between lock passes.
+
+        Mirrors :meth:`_send_via_manager`: admission (entry order, one lock
+        pass), then manager resolution outside the lock -- a wave touching
+        many cold peers creates their channels here, possibly evicting
+        others -- then fault draws in entry order for the entries that
+        resolved, matching the manager-less draw sequence.
+        """
+        staged = []
+        with self._lock:
+            for index, (destination, operation, payload) in enumerate(entries):
+                message = Message(
+                    sender=sender,
+                    destination=destination,
+                    operation=operation,
+                    payload=payload,
+                    message_id=self._message_counter.next(),
+                )
+                self._admit_locked(message)
+                staged.append((index, message, self._endpoints.get(destination)))
+        resolved = []
+        for index, message, endpoint in staged:
+            hostport = None
+            if endpoint is None:
+                try:
+                    hostport = self.peer_manager.resolve(message.destination)
+                except (UnknownEndpointError, DeliveryError) as error:
+                    with self._lock:
+                        self.statistics.messages_dropped += 1
+                    results[index].error = error
+                    continue
+            resolved.append((index, message, endpoint, hostport))
+        with self._lock:
+            return [
+                (index, message, endpoint, hostport, self._decide_locked(message))
+                for index, message, endpoint, hostport in resolved
+            ]
 
     # -- system (infrastructure) requests ------------------------------------------
 

@@ -40,6 +40,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.clock import Clock
 from repro.crypto.keys import PublicKey
 from repro.errors import DeliveryError, ProtocolError, UnknownEndpointError
+from repro.peering import PeerChannel, PeerChannelManager, PeeringPolicy
 from repro.transport.network import DispatchStrategy
 from repro.transport.wire.network import WireNetwork
 from repro.transport.wire.peers import PeerAddressBook
@@ -64,6 +65,7 @@ class WireTransport:
         await_remote_credentials: bool = True,
         credential_timeout: float = 30.0,
         advertised_host: Optional[str] = None,
+        peering: Optional[PeeringPolicy] = None,
     ) -> None:
         """Create the node and start serving.
 
@@ -79,6 +81,8 @@ class WireTransport:
         ``advertised_host`` is the address peers are told to connect back
         to; it defaults to the bind ``host`` and is *required* when binding
         a wildcard address (``0.0.0.0`` / ``::``), which peers cannot dial.
+        ``peering`` enables the lazy channel manager (see
+        :meth:`enable_peering`) with the given policy.
         """
         if not local_parties:
             raise ProtocolError("a wire transport must host at least one party")
@@ -113,6 +117,7 @@ class WireTransport:
         # the handlers answer with a *retryable* error, so such a peer
         # simply tries again instead of seeing a permanent failure.
         self._ready = False
+        self.peer_manager: Optional[PeerChannelManager] = None
         self.network = WireNetwork(
             host=host,
             port=port,
@@ -125,6 +130,8 @@ class WireTransport:
             },
         )
         self._ready = True
+        if peering is not None:
+            self.enable_peering(peering)
 
     @property
     def host(self) -> str:
@@ -133,6 +140,113 @@ class WireTransport:
     @property
     def port(self) -> int:
         return self.network.port
+
+    # -- lazy peering --------------------------------------------------------------
+
+    def enable_peering(self, policy: Optional[PeeringPolicy] = None) -> PeerChannelManager:
+        """Manage per-peer channel state lazily instead of pre-registering it.
+
+        Installs a :class:`~repro.peering.PeerChannelManager` on the node:
+        the first send to a peer creates its channel on demand (performing
+        the credential introduction right there if the peer is only an
+        address-book hint), least-recently-used and idle channels are
+        evicted under ``policy``, and an evicted channel is transparently
+        recreated on its next touch.  Eviction releases the peer's pooled
+        sockets (once no other live channel shares the endpoint) and
+        forgets its circuit-breaker state -- but never unpins credentials:
+        trust-on-first-use means a learned key stays pinned for the
+        process's lifetime, so recreation cannot be a substitution window.
+
+        A domain created over a peering-enabled transport skips the eager
+        whole-peer-set credential exchange.
+        """
+        if self.peer_manager is not None:
+            raise ProtocolError("peering is already enabled on this transport")
+        self.peer_manager = PeerChannelManager(
+            resolver=self._resolve_peer_channel,
+            policy=policy,
+            clock=self.network.clock,
+            on_evict=self._on_channel_evicted,
+        )
+        self.network.attach_peer_manager(self.peer_manager)
+        return self.peer_manager
+
+    def _resolve_peer_channel(self, destination: str) -> Tuple[str, int]:
+        """Create one peer channel: learn credentials, return the endpoint.
+
+        ``destination`` is a coordinator address, which for wire domains is
+        the party URI.  The peer address book supplies the host/port hint
+        (seeded via ``peers=`` or a previous introduction); if the party's
+        credentials are not pinned yet, one introduction round trip learns
+        them.  Failure taxonomy matches delivery: an unmapped party is
+        permanent (:class:`UnknownEndpointError`), an unreachable or
+        not-yet-published peer is retryable (:class:`DeliveryError`).
+        """
+        hostport = self.network.address_book.resolve(destination)
+        if not self.knows_party(destination):
+            # Single attempt: lazy resolution runs inside a send, and the
+            # send layer already owns retrying -- a 30s blocking loop here
+            # (the eager exchange's courtesy for still-starting peers)
+            # would stack under every channel-retry attempt.
+            self.introduce_to(hostport[0], hostport[1], timeout=0.0)
+            if not self.knows_party(destination):
+                raise DeliveryError(
+                    f"peer at {hostport[0]}:{hostport[1]} has not published "
+                    f"credentials for {destination!r} yet; retry"
+                )
+        try:
+            return self.network.address_book.resolve(destination)
+        except UnknownEndpointError:
+            return hostport
+
+    def _on_channel_evicted(
+        self, channel: PeerChannel, reason: str, endpoint_unused: bool
+    ) -> None:
+        """Release transport resources of an evicted channel.
+
+        Pooled sockets are endpoint-level and shared by every party hosted
+        on that process, so they are only released when the *last* channel
+        using the endpoint goes; breaker state is per-party.  Pinned keys
+        and installed routes survive eviction by design (see
+        :meth:`enable_peering`).
+        """
+        if endpoint_unused:
+            self.network.pool.close_peer(channel.endpoint)
+        breaker = self.network.circuit_breaker
+        if breaker is not None:
+            breaker.forget(channel.party)
+
+    def ensure_party(self, party: str) -> str:
+        """Make ``party`` routable on demand; returns its coordinator address.
+
+        The lazy-mode counterpart of the eager :meth:`exchange`: installed
+        as the coordinators' route resolver by
+        :meth:`TrustDomain.create`, so a proposer touching a peer for the
+        first time triggers exactly one introduction instead of the domain
+        pre-exchanging with its whole peer set.
+        """
+        if not self.knows_party(party):
+            try:
+                hostport = self.network.address_book.resolve(party)
+            except UnknownEndpointError:
+                raise ProtocolError(
+                    f"party {party!r} is neither known nor in the peer "
+                    "address map; add it to peers= or have it introduce itself"
+                ) from None
+            # Single attempt, like _resolve_peer_channel: the caller is a
+            # mid-send route resolution whose retry policy lives above us.
+            self.introduce_to(hostport[0], hostport[1], timeout=0.0)
+        with self._lock:
+            address = self._remote_addresses.get(party)
+            if address is None:
+                published = self._published.get(party)
+                if published is not None:
+                    address = published["coordinator_address"]
+        if address is None:
+            raise DeliveryError(
+                f"peer did not publish credentials for {party!r}; retry"
+            )
+        return address
 
     # -- publication (this process's parties) --------------------------------------
 

@@ -7,10 +7,15 @@ identical evidence multisets and replica states on every party -- and
 every proposer call must return (zero stranded waiters).
 
 Seeds come from ``CHAOS_SEEDS`` (comma-separated; the CI chaos matrix
-sets one per job).  The tier-1 default is a single seed to keep the
-suite fast.  On divergence the failing plan's schedule is written to
-``chaos-artifacts/`` so the exact run can be replayed offline with
-``python -m repro.faults.chaos``.
+sets one per job).  ``CHAOS_STORAGE`` selects a persistent evidence
+backend kind (``memory``/``file``/``sqlite``) provisioned fresh per
+run, and ``CHAOS_PEERING_CAP`` enables the lazy channel manager on the
+proposer's wire node with that cap -- the CI matrix uses these to check
+the convergence property over the embedded-KV backend with channel
+eviction churn in the loop.  The tier-1 default is a single seed on the
+in-memory backend to keep the suite fast.  On divergence the failing
+plan's schedule is written to ``chaos-artifacts/`` so the exact run can
+be replayed offline with ``python -m repro.faults.chaos``.
 """
 
 from __future__ import annotations
@@ -31,12 +36,17 @@ SEEDS = [
     for seed in os.environ.get("CHAOS_SEEDS", "7").split(",")
     if seed.strip()
 ]
+STORAGE = os.environ.get("CHAOS_STORAGE") or None
+_CAP = os.environ.get("CHAOS_PEERING_CAP", "").strip()
+PEERING_CAP = int(_CAP) if _CAP else None
 
 
 @pytest.mark.parametrize("seed", SEEDS)
 def test_same_plan_converges_identically_on_both_transports(seed):
     plan = standard_chaos_plan(seed)
-    report = run_cross_transport_scenario(plan)
+    report = run_cross_transport_scenario(
+        plan, storage=STORAGE, peering_cap=PEERING_CAP
+    )
     if not report.converged:
         path = write_failure_artifact(report, "chaos-artifacts")
         pytest.fail(

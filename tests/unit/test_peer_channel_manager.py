@@ -1,0 +1,223 @@
+"""Unit tests for the lazy per-peer channel manager."""
+
+import threading
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.errors import ProtocolError
+from repro.peering import (
+    AUDIT_CATEGORY_PEERING,
+    EVICT_EXPLICIT,
+    EVICT_IDLE,
+    EVICT_LRU,
+    PeerChannelManager,
+    PeeringPolicy,
+)
+from repro.persistence.audit_log import AuditLog
+
+
+class Resolver:
+    """Counts resolutions; endpoint defaults to the party name itself."""
+
+    def __init__(self, endpoint_for=None):
+        self.calls = []
+        self.endpoint_for = endpoint_for or (lambda party: f"endpoint:{party}")
+        self.gate = None  # optionally block resolutions to force overlap
+
+    def __call__(self, party):
+        if self.gate is not None:
+            self.gate.wait()
+        self.calls.append(party)
+        return self.endpoint_for(party)
+
+
+class TestPolicy:
+    def test_rejects_zero_cap(self):
+        with pytest.raises(ProtocolError, match="cap must be >= 1"):
+            PeeringPolicy(max_live_channels=0)
+
+    def test_rejects_non_positive_idle_timeout(self):
+        with pytest.raises(ProtocolError, match="idle timeout must be positive"):
+            PeeringPolicy(idle_timeout_seconds=0)
+
+
+class TestLazyCreation:
+    def test_channel_created_on_first_touch_only(self):
+        resolver = Resolver()
+        manager = PeerChannelManager(resolver)
+        assert manager.live_channels() == 0
+        assert resolver.calls == []
+        endpoint = manager.resolve("urn:p:1")
+        assert endpoint == "endpoint:urn:p:1"
+        assert resolver.calls == ["urn:p:1"]
+        # a second touch reuses the channel, no second resolution
+        assert manager.resolve("urn:p:1") == endpoint
+        assert resolver.calls == ["urn:p:1"]
+        assert manager.stats.created == 1
+        assert manager.stats.touches == 2
+
+    def test_resolver_failure_leaves_no_channel(self):
+        def failing(party):
+            raise RuntimeError("introduction refused")
+
+        manager = PeerChannelManager(failing)
+        with pytest.raises(RuntimeError):
+            manager.resolve("urn:p:1")
+        assert manager.live_channels() == 0
+        # the failed creation does not wedge later touches
+        ok = PeerChannelManager(Resolver())
+        assert ok.resolve("urn:p:1")
+
+    def test_concurrent_touches_of_one_peer_resolve_once(self):
+        resolver = Resolver()
+        resolver.gate = threading.Event()
+        manager = PeerChannelManager(resolver)
+        results = []
+        threads = [
+            threading.Thread(target=lambda: results.append(manager.resolve("urn:p:1")))
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        resolver.gate.set()
+        for t in threads:
+            t.join()
+        assert results == ["endpoint:urn:p:1"] * 8
+        assert resolver.calls == ["urn:p:1"]
+        assert manager.stats.created == 1
+
+
+class TestCapEviction:
+    def test_lru_eviction_over_cap(self):
+        manager = PeerChannelManager(
+            Resolver(), policy=PeeringPolicy(max_live_channels=2)
+        )
+        manager.resolve("urn:p:1")
+        manager.resolve("urn:p:2")
+        manager.resolve("urn:p:1")  # p1 becomes most-recent
+        manager.resolve("urn:p:3")  # evicts p2, the LRU victim
+        assert sorted(manager.live_parties()) == ["urn:p:1", "urn:p:3"]
+        assert manager.stats.evictions == {EVICT_LRU: 1}
+        assert manager.stats.peak_live == 2
+
+    def test_eviction_then_reuse_recreates(self):
+        resolver = Resolver()
+        manager = PeerChannelManager(
+            resolver, policy=PeeringPolicy(max_live_channels=1)
+        )
+        manager.resolve("urn:p:1")
+        manager.resolve("urn:p:2")  # evicts p1
+        assert manager.resolve("urn:p:1") == "endpoint:urn:p:1"  # recreated
+        assert resolver.calls == ["urn:p:1", "urn:p:2", "urn:p:1"]
+        assert manager.stats.created == 3
+        assert manager.stats.recreated == 1
+
+    def test_cap_enforced_under_concurrent_touch(self):
+        manager = PeerChannelManager(
+            Resolver(), policy=PeeringPolicy(max_live_channels=4)
+        )
+        errors = []
+
+        def worker(index):
+            try:
+                for round_ in range(20):
+                    manager.resolve(f"urn:p:{(index + round_) % 12}")
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert manager.live_channels() <= 4
+        assert manager.stats.peak_live <= 4
+        assert manager.stats.evicted >= 8  # 12 distinct peers through a cap of 4
+
+    def test_on_evict_reports_endpoint_unused_with_refcounts(self):
+        # Two parties share one endpoint: evicting the first must not
+        # release the endpoint, evicting the second must.
+        events = []
+        manager = PeerChannelManager(
+            Resolver(endpoint_for=lambda party: "shared"),
+            on_evict=lambda ch, reason, unused: events.append((ch.party, unused)),
+        )
+        manager.resolve("urn:p:1")
+        manager.resolve("urn:p:2")
+        manager.evict("urn:p:1")
+        manager.evict("urn:p:2")
+        assert events == [("urn:p:1", False), ("urn:p:2", True)]
+
+
+class TestIdleEviction:
+    def test_idle_channels_swept_on_touch(self):
+        clock = SimulatedClock()
+        manager = PeerChannelManager(
+            Resolver(),
+            policy=PeeringPolicy(idle_timeout_seconds=10.0),
+            clock=clock,
+        )
+        manager.resolve("urn:p:1")
+        clock.advance(11.0)
+        manager.resolve("urn:p:2")  # the touch sweeps the stale p1
+        assert manager.live_parties() == ["urn:p:2"]
+        assert manager.stats.evictions == {EVICT_IDLE: 1}
+
+    def test_evict_idle_is_explicit_and_returns_victims(self):
+        clock = SimulatedClock()
+        manager = PeerChannelManager(
+            Resolver(),
+            policy=PeeringPolicy(idle_timeout_seconds=5.0),
+            clock=clock,
+        )
+        manager.resolve("urn:p:1")
+        clock.advance(2.0)
+        manager.resolve("urn:p:2")
+        clock.advance(4.0)  # p1 idle 6s > 5s, p2 idle 4s < 5s
+        assert manager.evict_idle() == ["urn:p:1"]
+        assert manager.live_parties() == ["urn:p:2"]
+
+    def test_fresh_touch_defers_idle_eviction(self):
+        clock = SimulatedClock()
+        manager = PeerChannelManager(
+            Resolver(),
+            policy=PeeringPolicy(idle_timeout_seconds=10.0),
+            clock=clock,
+        )
+        manager.resolve("urn:p:1")
+        clock.advance(9.0)
+        manager.resolve("urn:p:1")  # refreshes last_activity
+        clock.advance(9.0)
+        assert manager.evict_idle() == []
+        assert manager.live_parties() == ["urn:p:1"]
+
+
+class TestAuditAndClose:
+    def test_evictions_are_audited(self):
+        audit = AuditLog(owner="urn:p:node")
+        manager = PeerChannelManager(
+            Resolver(), policy=PeeringPolicy(max_live_channels=1)
+        )
+        manager.attach_audit_log(audit)
+        manager.resolve("urn:p:1")
+        manager.resolve("urn:p:2")
+        records = audit.records(category=AUDIT_CATEGORY_PEERING)
+        assert len(records) == 1
+        assert records[0].subject == "urn:p:1"
+        assert records[0].details["event"] == "peer-channel-evicted"
+        assert records[0].details["reason"] == EVICT_LRU
+        assert audit.verify_integrity()
+
+    def test_close_evicts_everything(self):
+        manager = PeerChannelManager(Resolver())
+        for i in range(5):
+            manager.resolve(f"urn:p:{i}")
+        manager.close()
+        assert manager.live_channels() == 0
+        assert manager.stats.evictions == {EVICT_EXPLICIT: 5}
+
+    def test_evict_unknown_party_is_false(self):
+        manager = PeerChannelManager(Resolver())
+        assert manager.evict("urn:p:ghost") is False

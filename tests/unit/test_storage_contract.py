@@ -1,0 +1,203 @@
+"""Contract suite run against every storage backend, plus profile selection.
+
+One parametrized battery asserts the :class:`StorageBackend` semantics the
+stores above rely on -- bytes-only values, insertion-ordered ``keys()``,
+upsert keeping position, prefix scans in key order -- identically for the
+in-memory, file and SQLite backends.  A second battery covers what is
+specific to the embedded-KV backend (persistence across reopen, many
+logical stores sharing one database file) and the ``StorageProfile``
+selector behind ``TrustDomain.create(storage=...)``.
+"""
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.persistence.sqlite_backend import SQLiteBackend
+from repro.persistence.storage import (
+    FileBackend,
+    InMemoryBackend,
+    StorageProfile,
+)
+
+BACKENDS = ["memory", "file", "sqlite"]
+
+
+@pytest.fixture
+def backend(request, tmp_path):
+    kind = request.param
+    if kind == "memory":
+        yield InMemoryBackend()
+    elif kind == "file":
+        yield FileBackend(tmp_path / "store")
+    else:
+        with SQLiteBackend(tmp_path / "store.db") as db:
+            yield db
+
+
+@pytest.mark.parametrize("backend", BACKENDS, indirect=True)
+class TestBackendContract:
+    def test_put_get_delete_contains(self, backend):
+        assert backend.get("k") is None
+        backend.put("k", b"v")
+        assert backend.get("k") == b"v"
+        assert "k" in backend
+        backend.delete("k")
+        assert backend.get("k") is None
+        assert "k" not in backend
+        backend.delete("k")  # deleting a missing key is a no-op
+
+    def test_values_must_be_bytes(self, backend):
+        with pytest.raises(PersistenceError):
+            backend.put("k", "not bytes")
+
+    def test_keys_preserve_insertion_order(self, backend):
+        for name in ("c", "a", "b"):
+            backend.put(name, b"x")
+        assert backend.keys() == ["c", "a", "b"]
+
+    def test_upsert_keeps_position_and_replaces_value(self, backend):
+        backend.put("c", b"1")
+        backend.put("a", b"2")
+        backend.put("c", b"3")
+        assert backend.keys() == ["c", "a"]
+        assert backend.get("c") == b"3"
+
+    def test_items_iterates_pairs(self, backend):
+        backend.put("a", b"1")
+        backend.put("b", b"2")
+        assert list(backend.items()) == [("a", b"1"), ("b", b"2")]
+
+    def test_scan_keys_sorted_and_filtered(self, backend):
+        for key in ("p:2", "q:1", "p:1", "p:10", "pz"):
+            backend.put(key, b"x")
+        assert backend.scan_keys("p:") == ["p:1", "p:10", "p:2"]
+
+    def test_scan_returns_pairs_in_key_order(self, backend):
+        backend.put("p:b", b"2")
+        backend.put("p:a", b"1")
+        backend.put("q:a", b"3")
+        assert list(backend.scan("p:")) == [("p:a", b"1"), ("p:b", b"2")]
+
+    def test_scan_empty_prefix_is_everything(self, backend):
+        backend.put("b", b"2")
+        backend.put("a", b"1")
+        assert backend.scan_keys("") == ["a", "b"]
+
+    def test_scan_stats_counts_and_sizes(self, backend):
+        backend.put("p:a", b"12")
+        backend.put("p:b", b"345")
+        backend.put("q:a", b"6789")
+        count, total = backend.scan_stats("p:")
+        assert (count, total) == (2, 5)
+
+    def test_scan_prefix_at_char_boundary(self, backend):
+        # A prefix ending in 0xFF-adjacent characters must not leak
+        # neighbouring keys (the upper scan bound increments the last char).
+        backend.put("p", b"0")
+        backend.put("p\x7f", b"1")
+        backend.put("q", b"2")
+        assert backend.scan_keys("p") == ["p", "p\x7f"]
+
+
+class TestSQLiteBackend:
+    def test_supports_prefix_scan_flag(self, tmp_path):
+        with SQLiteBackend(tmp_path / "s.db") as db:
+            assert db.supports_prefix_scan
+        assert not InMemoryBackend().supports_prefix_scan
+
+    def test_reopen_preserves_data_and_order(self, tmp_path):
+        path = tmp_path / "s.db"
+        with SQLiteBackend(path) as db:
+            db.put("c", b"1")
+            db.put("a", b"2")
+        with SQLiteBackend(path) as db:
+            assert db.keys() == ["c", "a"]
+            assert db.get("a") == b"2"
+
+    def test_two_handles_share_one_file(self, tmp_path):
+        path = tmp_path / "s.db"
+        with SQLiteBackend(path) as one, SQLiteBackend(path) as two:
+            one.put("k", b"from-one")
+            assert two.get("k") == b"from-one"
+            two.put("k", b"from-two")
+            assert one.get("k") == b"from-two"
+
+    def test_creates_parent_directories(self, tmp_path):
+        with SQLiteBackend(tmp_path / "deep" / "er" / "s.db") as db:
+            db.put("k", b"v")
+            assert db.get("k") == b"v"
+
+
+class TestStorageProfile:
+    def test_parse_memory(self):
+        profile = StorageProfile.parse("memory")
+        assert profile.kind == "memory"
+
+    def test_parse_file_and_sqlite_locations(self, tmp_path):
+        assert StorageProfile.parse(f"file:{tmp_path}").kind == "file"
+        assert StorageProfile.parse(f"sqlite:{tmp_path}/x.db").kind == "sqlite"
+
+    @pytest.mark.parametrize(
+        "bad", ["", "postgres:db", "file", "file:", "sqlite:", "mem"]
+    )
+    def test_parse_rejects_unknown_profiles(self, bad):
+        with pytest.raises(PersistenceError):
+            StorageProfile.parse(bad)
+
+    def test_memory_backends_are_fresh_per_store(self):
+        profile = StorageProfile.parse("memory")
+        a = profile.backend_for("urn:org:a", "evidence")
+        b = profile.backend_for("urn:org:a", "evidence")
+        a.put("k", b"v")
+        assert b.get("k") is None
+
+    def test_file_backends_are_isolated_per_owner_and_store(self, tmp_path):
+        profile = StorageProfile.parse(f"file:{tmp_path}")
+        a_ev = profile.backend_for("urn:org:a", "evidence")
+        a_au = profile.backend_for("urn:org:a", "audit")
+        b_ev = profile.backend_for("urn:org:b", "evidence")
+        a_ev.put("k", b"1")
+        assert a_au.get("k") is None
+        assert b_ev.get("k") is None
+
+    def test_sqlite_evidence_store_reopen_does_no_index_rebuild(self, tmp_path):
+        # Non-scan backends pay an O(all records) rebuild at open: every
+        # key enumerated, every record fetched and decoded.  A scan-backed
+        # store must open cold and touch only what is queried.
+        from repro.persistence.evidence_store import EvidenceStore
+
+        class SpyBackend(SQLiteBackend):
+            def __init__(self, path):
+                super().__init__(path)
+                self.keys_calls = 0
+                self.get_calls = 0
+
+            def keys(self):
+                self.keys_calls += 1
+                return super().keys()
+
+            def get(self, key):
+                self.get_calls += 1
+                return super().get(key)
+
+        path = tmp_path / "evidence.db"
+        with SpyBackend(path) as backend:
+            store = EvidenceStore(owner="urn:org:a", backend=backend)
+            for run in ("run:1", "run:2"):
+                for token_type in ("NRO", "NRR"):
+                    store.store(run, token_type, {"body": f"{run}/{token_type}"})
+        with SpyBackend(path) as backend:
+            store = EvidenceStore(owner="urn:org:a", backend=backend)
+            assert backend.keys_calls == 0  # no full enumeration at open
+            assert backend.get_calls == 0  # no per-record fetch at open
+            records = store.tokens_of_type("run:1", "NRO")
+            assert [r.token["body"] for r in records] == ["run:1/NRO"]
+            assert backend.keys_calls == 0  # queries scan, never enumerate
+
+    def test_sqlite_backends_share_one_database(self, tmp_path):
+        profile = StorageProfile.parse(f"sqlite:{tmp_path}/kv.db")
+        a = profile.backend_for("urn:org:a", "evidence")
+        b = profile.backend_for("urn:org:b", "audit")
+        a.put("k", b"v")
+        assert b.get("k") == b"v"  # one shared KV; key prefixes namespace it
+        assert a.supports_prefix_scan

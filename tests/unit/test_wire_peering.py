@@ -1,0 +1,129 @@
+"""Lazy peer-channel management on the wire transport.
+
+Two real socket-backed nodes: a hub process hosting many parties and a
+single-party node with a small peering cap.  The node must reach every
+hub party without eager credential exchange, with live channel state
+bounded by the cap, evictions audited, evicted peers reachable again on
+the next touch, and pooled sockets released when every channel of an
+endpoint is gone.
+"""
+
+import pytest
+
+from repro.core.config import DomainConfig, PeeringConfig, TransportConfig
+from repro.core.trust_domain import TrustDomain
+from repro.errors import DeliveryError, ProtocolError
+from repro.peering import AUDIT_CATEGORY_PEERING, EVICT_EXPLICIT, PeeringPolicy
+from repro.transport.wire import WireTransport
+
+NODE = "urn:wp:node"
+PEERS = [f"urn:wp:peer{i}" for i in range(4)]
+ALL = [NODE] + PEERS
+
+
+@pytest.fixture
+def deployment():
+    hub = WireTransport(PEERS, port=0)
+    node = WireTransport(
+        [NODE],
+        port=0,
+        peers={peer: (hub.host, hub.port) for peer in PEERS},
+    )
+    hub.network.address_book.add(NODE, node.host, node.port)
+    node_domain = TrustDomain.create(
+        ALL,
+        config=DomainConfig(
+            transport=TransportConfig(wire=node),
+            peering=PeeringConfig(max_live_channels=2),
+        ),
+    )
+    hub_domain = TrustDomain.create(ALL, transport=hub)
+    for i, peer in enumerate(PEERS):
+        members = [NODE, peer]
+        hub_domain.share_object(f"doc-{i}", {"v": 0}, members)
+        node_domain.share_object(f"doc-{i}", {"v": 0}, members)
+    try:
+        yield node, node_domain, hub_domain
+    finally:
+        node.close()
+        hub.close()
+
+
+class TestLazyDomain:
+    def test_no_eager_exchange_and_bounded_channels(self, deployment):
+        node, node_domain, _hub_domain = deployment
+        assert node.peer_manager is not None
+        # nothing resolved yet: domain creation performed no exchange
+        assert node.peer_manager.live_channels() == 0
+        org = node_domain.organisation(NODE)
+        for i in range(len(PEERS)):
+            assert org.propose_update(f"doc-{i}", {"v": i + 1}).agreed
+        stats = node.peer_manager.stats
+        assert stats.created == len(PEERS)
+        assert stats.peak_live <= 2
+        assert node.peer_manager.live_channels() <= 2
+        assert stats.evicted >= len(PEERS) - 2
+
+    def test_evictions_are_audited_on_the_node(self, deployment):
+        node, node_domain, _hub_domain = deployment
+        org = node_domain.organisation(NODE)
+        for i in range(len(PEERS)):
+            org.propose_update(f"doc-{i}", {"v": 1})
+        records = org.audit_log.records(category=AUDIT_CATEGORY_PEERING)
+        assert records, "channel evictions must be audited"
+        assert {r.details["event"] for r in records} == {"peer-channel-evicted"}
+        assert all(r.details["reason"] == "lru-cap" for r in records)
+
+    def test_evicted_peer_is_reachable_again(self, deployment):
+        node, node_domain, _hub_domain = deployment
+        org = node_domain.organisation(NODE)
+        for i in range(len(PEERS)):
+            org.propose_update(f"doc-{i}", {"v": 1})
+        # doc-0's peer was evicted (cap 2, four peers touched in order)
+        assert PEERS[0] not in node.peer_manager.live_parties()
+        assert org.propose_update("doc-0", {"v": 2}).agreed
+        assert node.peer_manager.stats.recreated >= 1
+
+    def test_draining_an_endpoint_releases_its_sockets(self, deployment):
+        node, node_domain, _hub_domain = deployment
+        org = node_domain.organisation(NODE)
+        for i in range(len(PEERS)):
+            org.propose_update(f"doc-{i}", {"v": 1})
+        # every hub party shares one endpoint; evicting all live channels
+        # drops its refcount to zero and retires the pooled connections
+        for party in list(node.peer_manager.live_parties()):
+            node.peer_manager.evict(party, EVICT_EXPLICIT)
+        assert node.network.pool.peer_releases >= 1
+        # ... and the hub is still reachable afterwards (fresh dial)
+        assert org.propose_update("doc-1", {"v": 9}).agreed
+
+
+class TestTransportSurface:
+    def test_constructor_peering_policy_enables_manager(self):
+        with WireTransport(
+            ["urn:wp:solo"], port=0, peering=PeeringPolicy(max_live_channels=7)
+        ) as transport:
+            assert transport.peer_manager is not None
+            assert transport.peer_manager.policy.max_live_channels == 7
+
+    def test_enable_peering_twice_is_an_error(self):
+        with WireTransport(["urn:wp:solo"], port=0) as transport:
+            transport.enable_peering()
+            with pytest.raises(ProtocolError, match="already enabled"):
+                transport.enable_peering()
+
+    def test_ensure_party_rejects_unmapped_party(self):
+        with WireTransport(["urn:wp:solo"], port=0) as transport:
+            transport.enable_peering()
+            with pytest.raises(ProtocolError, match="neither known nor"):
+                transport.ensure_party("urn:wp:ghost")
+
+    def test_unreachable_mapped_peer_is_retryable(self):
+        # A mapped peer whose process is down must surface as DeliveryError
+        # (retryable), not wedge the channel manager for later touches.
+        with WireTransport(["urn:wp:solo"], port=0) as transport:
+            transport.enable_peering()
+            transport.network.address_book.add("urn:wp:down", "127.0.0.1", 1)
+            with pytest.raises(DeliveryError):
+                transport.ensure_party("urn:wp:down")
+            assert transport.peer_manager.live_channels() == 0
