@@ -11,6 +11,9 @@ also crashes a participant, to show:
 * duplicated messages never cause double execution (at-most-once);
 * a crashed or vetoing participant can block agreement but can never cause
   replicas to diverge or unauthorised state to be applied (safety);
+* an update that *agrees* but whose signed outcome wave never reaches one
+  peer heals itself through proposer-driven outcome re-delivery, with every
+  step audited;
 * the evidence and audit trail remain complete and verifiable throughout.
 
 Run with::
@@ -27,6 +30,7 @@ from repro import (
     FaultModel,
     TrustDomain,
 )
+from repro.core.sharing import set_run_fault_injector
 
 
 class InventoryService:
@@ -109,6 +113,51 @@ def main() -> None:
     print(f"\ntotal evidence records across parties: {total_evidence}")
     print("audit logs intact:",
           all(org.audit_log.verify_integrity() for org in (buyer, warehouse, auditor)))
+
+    # 5. A degraded run heals itself.  Agreement is decided in phase 1, so a
+    #    partition that hits *between* the commit barrier and the outcome
+    #    wave leaves the run agreed everywhere but one peer never learns the
+    #    result.  With outcome re-delivery enabled the proposer queues the
+    #    signed outcome and a scheduler task re-pushes it until the peer
+    #    acks -- no operator action, and the whole repair is in the audit log.
+    healing = TrustDomain.create(
+        parties, outcome_redelivery=True, scheduled_retries=True
+    )
+    h_buyer = healing.organisation("urn:org:buyer")
+    h_auditor = healing.organisation("urn:org:auditor")
+    healing.share_object("orders", {"accepted": 0})
+
+    def sever_outcome_wave(stage, run):
+        # Fires on the proposer between "everyone decided" and "send the
+        # signed outcome": the auditor approved the update but never hears
+        # that it won.
+        if stage == "after-journal-committed":
+            healing.network.partition.sever(h_buyer.uri, h_auditor.uri)
+
+    set_run_fault_injector(sever_outcome_wave)
+    try:
+        degraded = h_buyer.propose_update("orders", {"accepted": 1})
+    finally:
+        set_run_fault_injector(None)
+    print("\nupdate agreed with its outcome wave severed:", degraded.agreed)
+    print("auditor left one version behind:",
+          h_auditor.shared_version("orders"), "<", h_buyer.shared_version("orders"))
+    print("outcome queued for re-delivery:",
+          h_buyer.controller.pending_redeliveries() == [degraded.run_id])
+
+    healing.network.partition.heal_all()
+    healing.retry_scheduler.drive_until(
+        lambda: not h_buyer.controller.pending_redeliveries()
+    )
+    print("after the link heals, auditor caught up:",
+          h_auditor.shared_state("orders") == h_buyer.shared_state("orders"))
+    print("re-delivery audit trail (buyer):")
+    for record in h_buyer.audit_records(subject=degraded.run_id):
+        event = record.details.get("event", "")
+        if event.startswith("outcome-redeliver"):
+            extras = {k: v for k, v in record.details.items()
+                      if k not in ("event", "object_id")}
+            print(f"  {event} {extras}" if extras else f"  {event}")
 
 
 if __name__ == "__main__":

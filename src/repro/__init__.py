@@ -240,6 +240,61 @@ recovers, and asserts converge-never-diverge: responder replicas end
 mutually identical (state, version and evidence multisets) and no scheduler
 timers leak.
 
+Recovery architecture
+---------------------
+
+Three self-healing layers sit above the journal, each owning a failure the
+others cannot see.  All are opt-in through ``DurabilityConfig`` /
+``TrustDomain.create`` and all default off:
+
+* **Journal replay** (``durable_runs=True``, above) heals the *proposer's
+  own crash*: ``recover_runs()`` aborts half-proposed runs and resumes
+  committed ones.  It cannot help when the proposer stayed up but a *peer*
+  missed the outcome -- the run is settled, the journal closed.
+
+* **Outcome re-delivery** (``outcome_redelivery=True``, requires
+  ``scheduled_retries``) heals the *undelivered outcome wave*: when an
+  agreed run's outcome fan-out fails for some peers (and when a degraded
+  run could not dispatch at all), the proposer queues the exact journaled
+  wave messages and a ``RetryScheduler`` task pushes them --
+  exponential-backoff timers tagged ``redeliver:{party}:{run_id}``,
+  circuit-breaker-open peers skipped passively -- until every peer acks or
+  the object advances past the run's version (then the task retires,
+  audited ``outcome-redelivery-superseded``, without re-sending).  Peers
+  absorb late waves idempotently: evidence is stored unconditionally, the
+  apply is version-guarded, and the original message ids deduplicate
+  re-sends at peers that already processed the wave.  Observable via
+  ``pending_redeliveries()`` and ``outcome-redelivery-*`` audit records.
+
+* **Durable object state + restart-time resync** (``durable_state=True``,
+  ``resync_on_connect=True``) heal the *restarted replica*: every committed
+  apply persists ``(version, state digest)`` and the signed outcome record
+  through the digest-addressed ``StateStore`` (under the same ``storage=``
+  profile), so ``register_object`` resumes a known object at its recorded
+  version (audited ``object-resumed``) instead of re-registering from
+  configuration.  A replica that was *down while versions were agreed* then
+  anti-entropy-pulls what it missed: peers exchange per-object
+  ``(version, digest)`` vectors over the wire's ``@system`` channel
+  (``WireTransport.resync_with`` / ``resync_with_peers``, automatic after
+  ``introduce_to``/``exchange`` when ``resync_on_connect`` is set), and the
+  stale side fetches the missing signed outcome + decision evidence,
+  verifying signatures and applying version-guarded (the same path is
+  drivable in-process through ``resync_vector`` / ``resync_records`` /
+  ``apply_resync_record`` on the controller; same-version digest mismatches
+  audit ``resync-divergence``).
+
+Responder-side orphan GC (above) composes with all three: an expiry racing
+a late outcome application cancels itself (audited
+``orphan-expiry-cancelled``) rather than aborting a committing run, and a
+wave re-delivered *after* GC still applies -- the excluded peer ends
+byte-identical to one healed by re-delivery or resync
+(``tests/property/test_recovery_convergence.py``).  The composed stack is
+chaos-gated end to end on both transports
+(``tests/property/test_self_healing_chaos.py``): a replica SIGKILLed through
+the client-side crash failpoint right after committing restarts over its
+persistent store and must reconverge -- durable resume, journal recovery,
+resync -- with zero manual re-registration.
+
 Deployment architecture
 -----------------------
 

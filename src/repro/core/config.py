@@ -101,6 +101,17 @@ class DurabilityConfig:
     styles are mutually exclusive.  ``durable_runs`` turns on the
     write-ahead run journal (under a profile, the journal rides the same
     storage); ``orphan_run_timeout`` arms responder-side proposal-age GC.
+
+    The self-healing knobs: ``durable_state`` persists each replica's
+    agreed ``(version, state-digest)`` history through its
+    :class:`~repro.persistence.StateStore` so a restarted process resumes
+    shared objects at their recorded version instead of re-registering
+    from configuration; ``outcome_redelivery`` makes a proposer whose
+    outcome wave was (partly) undeliverable keep pushing it through the
+    retry scheduler, breaker-aware per peer, until every peer acked or
+    the object advanced past it; ``resync_on_connect`` makes wire peers
+    compare per-object ``(version, digest)`` vectors at credential
+    exchange and pull any missed signed outcomes (anti-entropy).
     """
 
     durable_runs: bool = False
@@ -108,24 +119,33 @@ class DurabilityConfig:
     evidence_backend_factory: Optional[BackendFactory] = None
     run_journal_backend_factory: Optional[BackendFactory] = None
     orphan_run_timeout: Optional[float] = None
+    durable_state: bool = False
+    outcome_redelivery: bool = False
+    resync_on_connect: bool = False
+    state_backend_factory: Optional[BackendFactory] = None
 
     def resolve_factories(
         self,
     ) -> Tuple[
-        Optional[BackendFactory], Optional[BackendFactory], Optional[BackendFactory]
+        Optional[BackendFactory],
+        Optional[BackendFactory],
+        Optional[BackendFactory],
+        Optional[BackendFactory],
     ]:
-        """Return ``(evidence, run_journal, audit)`` backend factories.
+        """Return ``(evidence, run_journal, audit, state)`` backend factories.
 
         A ``storage`` profile provisions evidence and audit backends for
-        every organisation, and run-journal backends when ``durable_runs``
-        is on; without a profile the explicit factories pass through (no
-        audit backend -- the in-memory default applies, as before).
+        every organisation, run-journal backends when ``durable_runs`` is
+        on, and state backends when ``durable_state`` is on; without a
+        profile the explicit factories pass through (no audit backend --
+        the in-memory default applies, as before).
         """
         if self.storage is None:
             return (
                 self.evidence_backend_factory,
                 self.run_journal_backend_factory,
                 None,
+                self.state_backend_factory,
             )
         profile = StorageProfile.parse(self.storage)
         journal_factory = (
@@ -133,10 +153,16 @@ class DurabilityConfig:
             if self.durable_runs
             else None
         )
+        state_factory = (
+            (lambda owner: profile.backend_for(owner, "state"))
+            if self.durable_state
+            else None
+        )
         return (
             lambda owner: profile.backend_for(owner, "evidence"),
             journal_factory,
             lambda owner: profile.backend_for(owner, "audit"),
+            state_factory,
         )
 
 
@@ -209,6 +235,10 @@ class DomainConfig:
         fault_plan: Optional[FaultPlan] = None,
         storage: Optional[str] = None,
         peering: Optional[PeeringConfig] = None,
+        durable_state: bool = False,
+        outcome_redelivery: bool = False,
+        resync_on_connect: bool = False,
+        state_backend_factory: Optional[BackendFactory] = None,
     ) -> "DomainConfig":
         """Build a config from the historical flat keyword surface."""
         return cls(
@@ -230,6 +260,10 @@ class DomainConfig:
                 evidence_backend_factory=evidence_backend_factory,
                 run_journal_backend_factory=run_journal_backend_factory,
                 orphan_run_timeout=orphan_run_timeout,
+                durable_state=durable_state,
+                outcome_redelivery=outcome_redelivery,
+                resync_on_connect=resync_on_connect,
+                state_backend_factory=state_backend_factory,
             ),
             faults=FaultConfig(plan=fault_plan, model=fault_model),
             peering=peering,
@@ -251,6 +285,7 @@ class DomainConfig:
         if self.durability.storage is not None and (
             self.durability.evidence_backend_factory is not None
             or self.durability.run_journal_backend_factory is not None
+            or self.durability.state_backend_factory is not None
         ):
             raise ProtocolError(
                 "pass storage= or explicit backend factories, not both: a "
@@ -258,6 +293,12 @@ class DomainConfig:
             )
         if self.durability.storage is not None:
             StorageProfile.parse(self.durability.storage)  # raises on nonsense
+        if self.durability.resync_on_connect and not self.durability.durable_state:
+            raise ProtocolError(
+                "resync_on_connect= needs durable_state=: the (version, "
+                "digest) vectors and stored outcome records that anti-entropy "
+                "serves live in the durable state store"
+            )
         if self.peering is not None:
             self.peering.to_policy()  # bounds-checks the policy fields
         wire = self.transport.wire

@@ -86,6 +86,9 @@ class Organisation:
         run_journal_backend: Optional[StorageBackend] = None,
         orphan_run_timeout: Optional[float] = None,
         audit_backend: Optional[StorageBackend] = None,
+        state_backend: Optional[StorageBackend] = None,
+        durable_state: bool = False,
+        outcome_redelivery: bool = False,
     ) -> None:
         self.uri = uri
         self.display_name = display_name or uri
@@ -112,7 +115,11 @@ class Organisation:
         self.evidence_store = EvidenceStore(
             owner=uri, backend=evidence_backend, clock=self.clock
         )
-        self.state_store = StateStore(owner=uri)
+        # ``state_backend`` + ``durable_state`` make the agreed version
+        # history of every shared object survive a restart: registration
+        # resumes each replica at its recorded ``(version, digest)`` instead
+        # of re-recording version 0 from configuration.
+        self.state_store = StateStore(owner=uri, backend=state_backend)
         # ``durable_runs`` (or an explicit backend) turns on the write-ahead
         # run journal: every coordination run this organisation proposes is
         # journaled before its side effects dispatch, and
@@ -169,6 +176,8 @@ class Organisation:
             membership=self.membership,
             async_runs=async_runs,
             orphan_run_timeout=orphan_run_timeout,
+            durable_state=durable_state,
+            outcome_redelivery=outcome_redelivery,
         )
 
         # -- container integration of the NR middleware ------------------------------------

@@ -82,6 +82,7 @@ from repro.errors import (
     MembershipError,
     ProtocolError,
 )
+from repro.faults.breaker import STATE_OPEN as BREAKER_STATE_OPEN
 from repro.membership.service import Member, MembershipService
 from repro.persistence.run_journal import (
     PHASE_COMMITTED,
@@ -102,6 +103,12 @@ ACTION_OUTCOME = "outcome"
 ACTION_MEMBERSHIP_PROPOSE = "membership-propose"
 ACTION_MEMBERSHIP_OUTCOME = "membership-outcome"
 ACTION_ABORT = "abort"
+
+#: Outcome re-delivery backoff (seconds): the delay doubles per attempt from
+#: the base up to the cap; re-delivery itself is unbounded (it stops only on
+#: full acknowledgement or when the object advances past the outcome).
+REDELIVERY_BASE_DELAY = 0.25
+REDELIVERY_MAX_DELAY = 5.0
 
 
 @wire_type
@@ -249,6 +256,11 @@ class _CoordinationRun:
         # the proposer disowned -- permanent divergence).
         self._committed = False
         self._fan_outs: List = []
+        #: The built outcome wave, stashed by the phase-2 hook even when the
+        #: dispatch is skipped (degraded run): the journal and the proposer's
+        #: re-delivery task resend exactly these messages, so peers dedup on
+        #: the original message ids no matter which path reaches them first.
+        self._outcome_wave: List[B2BProtocolMessage] = []
         self._journal: Optional[RunJournal] = self._services.run_journal
         self.future = RunFuture(run_id, self._scheduler)
         self.future._machine = self
@@ -365,8 +377,13 @@ class _CoordinationRun:
     def _journal_committed(self, messages: List[B2BProtocolMessage]) -> None:
         if self._journal is None:
             return
-        if messages:
-            first = messages[0]
+        # A degraded run skips its dispatch but still built the wave: journal
+        # the *built* wave, not the (empty) dispatched one, so a recovering
+        # proposer resends the exact messages the peers never saw instead of
+        # forgetting them.
+        wave = messages or self._outcome_wave
+        if wave:
+            first = wave[0]
             payload, attributes, step = first.payload, first.attributes, first.step
         else:  # a wave with no recipients still commits its local apply
             payload, attributes, step = None, {}, 3
@@ -374,9 +391,9 @@ class _CoordinationRun:
             self.run_id,
             payload=payload,
             attributes=attributes,
-            recipients=[message.recipient for message in messages],
+            recipients=[message.recipient for message in wave],
             message_ids={
-                message.recipient: message.message_id for message in messages
+                message.recipient: message.message_id for message in wave
             },
             step=step,
             nr_outcome=self._nr_outcome,
@@ -624,10 +641,21 @@ class B2BObjectController:
         membership: Optional[MembershipService] = None,
         async_runs: bool = False,
         orphan_run_timeout: Optional[float] = None,
+        durable_state: bool = False,
+        outcome_redelivery: bool = False,
     ) -> None:
         self.party = party
         self._coordinator = coordinator
         self.membership = membership or MembershipService()
+        #: Persist every committed apply (version history plus the signed
+        #: outcome record) through the coordinator's state store, and resume
+        #: registration from that history after a restart instead of
+        #: re-registering from configuration.
+        self.durable_state = durable_state
+        #: Re-deliver an undelivered outcome wave through the retry
+        #: scheduler (breaker-aware per peer) until every peer has
+        #: acknowledged it or the object advances past it.
+        self.outcome_redelivery = outcome_redelivery
         #: When set, the blocking entry points delegate to the continuation
         #: driver (``propose_update`` == ``propose_update_async().result()``);
         #: when clear they drive the same state machine inline.
@@ -638,6 +666,15 @@ class B2BObjectController:
         #: state is garbage-collected.  ``None`` disables the expiry clock.
         self.orphan_run_timeout = orphan_run_timeout
         self._orphan_timers: Dict[str, TimerHandle] = {}
+        # Run ids whose (late) outcome is being applied right now: an orphan
+        # expiry that fires mid-apply must cancel cleanly instead of
+        # aborting a run whose outcome is already committed.
+        self._applying_outcomes: set = set()
+        # Outcome waves awaiting re-delivery, keyed by run id; each entry
+        # holds the per-peer pending messages and the attempt counter that
+        # drives the backoff.
+        self._redeliveries: Dict[str, Dict[str, Any]] = {}
+        self._redelivery_timers: Dict[str, TimerHandle] = {}
         self._objects: Dict[str, _SharedObject] = {}
         self._lock = threading.RLock()
         self._handler = SharingProtocolHandler(self)
@@ -685,11 +722,34 @@ class B2BObjectController:
             self.membership.create_group(
                 object_id, [Member(uri=uri) for uri in member_uris]
             )
-        self._coordinator.services.state_store.record_version(object_id, shared.state)
+        state_store = self._coordinator.services.state_store
+        resumed_version: Optional[int] = None
+        if self.durable_state and state_store.version_count(object_id) > 0:
+            # Durable resume: the backend already holds this object's agreed
+            # history (the store's history index *is* the version number), so
+            # pick up at the recorded version instead of re-registering from
+            # configuration.  recover_runs() replay stays safe against this:
+            # its new_version == version + 1 guard no-ops on a version the
+            # resume already restored.
+            resumed_version = state_store.version_count(object_id) - 1
+            with self._lock:
+                shared.version = resumed_version
+                shared.state = codec.canonicalize(
+                    state_store.state_at_version(object_id, resumed_version)
+                )
+        else:
+            state_store.record_version(object_id, shared.state)
+        details: Dict[str, Any] = {
+            "event": "object-registered",
+            "members": sorted(member_uris),
+        }
+        if resumed_version is not None:
+            details["event"] = "object-resumed"
+            details["resumed_version"] = resumed_version
         self._coordinator.services.audit_log.append(
             category=AUDIT_CATEGORY_SHARING,
             subject=object_id,
-            details={"event": "object-registered", "members": sorted(member_uris)},
+            details=details,
         )
 
     def add_validator(self, object_id: str, validator: StateValidator) -> None:
@@ -865,7 +925,13 @@ class B2BObjectController:
 
     # -- applying agreed updates ----------------------------------------------------------
 
-    def _apply_update(self, object_id: str, new_state: Any, new_version: int) -> None:
+    def _apply_update(
+        self,
+        object_id: str,
+        new_state: Any,
+        new_version: int,
+        outcome_record: Optional[Dict[str, Any]] = None,
+    ) -> None:
         shared = self._shared(object_id)
         agreed_state = codec.canonicalize(new_state)
         with self._lock:
@@ -873,7 +939,41 @@ class B2BObjectController:
             shared.version = new_version
             if shared.bound_instance is not None:
                 shared.bound_instance.set_state(shared.state_copy())
-        self._coordinator.services.state_store.record_version(object_id, agreed_state)
+        state_store = self._coordinator.services.state_store
+        state_store.record_version(object_id, agreed_state)
+        if self.durable_state and outcome_record is not None:
+            state_store.record_outcome(object_id, new_version, outcome_record)
+
+    def _build_outcome_record(
+        self,
+        run_id: str,
+        proposer: str,
+        object_id: str,
+        new_version: Optional[int],
+        outcome_payload: Any,
+        proposal: Any,
+        nr_outcome: EvidenceToken,
+        decision_tokens: List[EvidenceToken],
+    ) -> Optional[Dict[str, Any]]:
+        """The durable per-version record restart-time resync serves verbatim.
+
+        Carries everything a stale peer needs for a signature-checked
+        catch-up apply: the canonical outcome and proposal payloads plus the
+        evidence tokens in dictionary form.  ``None`` when durable state is
+        off -- callers pass the result straight to :meth:`_apply_update`.
+        """
+        if not self.durable_state:
+            return None
+        return {
+            "run_id": run_id,
+            "proposer": proposer,
+            "object_id": object_id,
+            "new_version": new_version,
+            "outcome": outcome_payload,
+            "proposal": proposal,
+            "nr_outcome": nr_outcome.to_dict(),
+            "decisions": [token.to_dict() for token in decision_tokens],
+        }
 
     def revert_component_state(self, object_id: str) -> None:
         """Push the agreed replica state back into the bound component."""
@@ -1084,7 +1184,22 @@ class B2BObjectController:
                     proposed_state is not None
                     and new_version == self._shared(object_id).version + 1
                 ):
-                    self._apply_update(object_id, proposed_state, new_version)
+                    outcome_record = self._build_outcome_record(
+                        run_id=run_id,
+                        proposer=self.party,
+                        object_id=object_id,
+                        new_version=new_version,
+                        outcome_payload=committed.get("payload"),
+                        proposal=proposal,
+                        nr_outcome=nr_outcome,
+                        decision_tokens=decision_tokens,
+                    )
+                    self._apply_update(
+                        object_id,
+                        proposed_state,
+                        new_version,
+                        outcome_record=outcome_record,
+                    )
                     applied = True
         services.audit_log.append(
             category=AUDIT_CATEGORY_SHARING,
@@ -1215,11 +1330,47 @@ class B2BObjectController:
         if handle is not None:
             handle.cancel()
 
+    @contextmanager
+    def _outcome_application(self, run_id: str) -> Iterator[None]:
+        """Mark ``run_id`` as mid-apply so a racing orphan expiry cancels.
+
+        The marker and the orphan-timer pop happen under one lock hold: an
+        expiry firing concurrently either sees the marker (and cancels,
+        audited) or ran to completion before the apply began -- it can never
+        abort a run whose outcome is already being committed.
+        """
+        with self._lock:
+            self._applying_outcomes.add(run_id)
+            handle = self._orphan_timers.pop(run_id, None)
+        if handle is not None:
+            handle.cancel()
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._applying_outcomes.discard(run_id)
+
     def _expire_orphan_run(
         self, run_id: str, proposer: str, object_id: str
     ) -> None:
         with self._lock:
             self._orphan_timers.pop(run_id, None)
+            applying = run_id in self._applying_outcomes
+        if applying:
+            # The "orphaned" run's outcome arrived after all and is being
+            # applied right now: expiring it would abort an
+            # already-committed run.  Cancel the expiry instead, audited.
+            self._coordinator.services.audit_log.append(
+                category=AUDIT_CATEGORY_SHARING,
+                subject=run_id,
+                details={
+                    "event": "orphan-expiry-cancelled",
+                    "object_id": object_id,
+                    "proposer": proposer,
+                    "reason": "outcome application in progress",
+                },
+            )
+            return
         run = self._handler.runs.get(run_id)
         if run is None or run.finished:
             return
@@ -1239,6 +1390,305 @@ class B2BObjectController:
         """Run ids whose orphan expiry clock is still ticking (sorted)."""
         with self._lock:
             return sorted(self._orphan_timers)
+
+    # -- proposer outcome re-delivery ------------------------------------------------
+
+    def _schedule_outcome_redelivery(
+        self,
+        run_id: str,
+        object_id: str,
+        new_version: Optional[int],
+        messages: List[B2BProtocolMessage],
+    ) -> None:
+        """Queue an undelivered outcome wave for scheduler-driven re-delivery.
+
+        Fires on the network's :class:`RetryScheduler` with exponential
+        backoff and no attempt cap: re-delivery stops only when every peer
+        has acknowledged its message or (for agreed updates) the object has
+        advanced past ``new_version`` -- stragglers then catch up through
+        resync instead.  Peers whose circuit breaker is open are skipped for
+        the attempt rather than burned against the half-open probe budget.
+        Re-sent messages keep their original message ids, so a peer the
+        journal recovery or a duplicate attempt already reached dedups them.
+        """
+        if not self.outcome_redelivery or not messages:
+            return
+        scheduler = self._coordinator.network.retry_scheduler
+        if scheduler is None:
+            return
+        with self._lock:
+            if run_id in self._redeliveries:
+                return
+            self._redeliveries[run_id] = {
+                "object_id": object_id,
+                "new_version": new_version,
+                "pending": {
+                    message.recipient: message for message in messages
+                },
+                "attempts": 0,
+            }
+        self._coordinator.services.audit_log.append(
+            category=AUDIT_CATEGORY_SHARING,
+            subject=run_id,
+            details={
+                "event": "outcome-redelivery-scheduled",
+                "object_id": object_id,
+                "peers": sorted(message.recipient for message in messages),
+            },
+        )
+        self._arm_redelivery(run_id, REDELIVERY_BASE_DELAY)
+
+    @staticmethod
+    def _redelivery_delay(attempts: int) -> float:
+        return min(REDELIVERY_BASE_DELAY * (2**attempts), REDELIVERY_MAX_DELAY)
+
+    def _arm_redelivery(self, run_id: str, delay: float) -> None:
+        scheduler = self._coordinator.network.retry_scheduler
+        with self._lock:
+            if run_id not in self._redeliveries or run_id in self._redelivery_timers:
+                return
+            # Tagged like the orphan watch: party-qualified so one shared
+            # scheduler (simulated networks) never cross-cancels.
+            self._redelivery_timers[run_id] = scheduler.schedule(
+                delay,
+                lambda: self._fire_redelivery(run_id),
+                run_id=f"redeliver:{self.party}:{run_id}",
+            )
+
+    def _fire_redelivery(self, run_id: str) -> None:
+        with self._lock:
+            self._redelivery_timers.pop(run_id, None)
+            task = self._redeliveries.get(run_id)
+            if task is None:
+                return
+            object_id = task["object_id"]
+            new_version = task["new_version"]
+            pending = dict(task["pending"])
+            attempts = task["attempts"]
+        if (
+            new_version is not None
+            and self.is_shared(object_id)
+            and self._shared(object_id).version > new_version
+        ):
+            # The object advanced past this outcome; a straggler can no
+            # longer apply it (version guard) and catches up via resync,
+            # which serves the newer versions too.
+            with self._lock:
+                self._redeliveries.pop(run_id, None)
+            self._coordinator.services.audit_log.append(
+                category=AUDIT_CATEGORY_SHARING,
+                subject=run_id,
+                details={
+                    "event": "outcome-redelivery-superseded",
+                    "object_id": object_id,
+                    "new_version": new_version,
+                    "unacked_peers": sorted(pending),
+                },
+            )
+            return
+        breaker = getattr(self._coordinator.network, "circuit_breaker", None)
+        sendable = [
+            message
+            for peer, message in sorted(pending.items())
+            if breaker is None or breaker.state(peer) != BREAKER_STATE_OPEN
+        ]
+        if not sendable:  # every unacked peer's breaker is open; back off
+            with self._lock:
+                if run_id not in self._redeliveries:
+                    return
+                self._redeliveries[run_id]["attempts"] = attempts + 1
+            self._arm_redelivery(run_id, self._redelivery_delay(attempts + 1))
+            return
+        recipients = [message.recipient for message in sendable]
+        fan_out = self._coordinator.send_all_async(sendable)
+        fan_out.add_done_callback(
+            lambda _fo: self._redelivery_done(run_id, recipients, fan_out)
+        )
+
+    def _redelivery_done(
+        self, run_id: str, recipients: List[str], fan_out
+    ) -> None:
+        errors = fan_out.errors()
+        delivered = [
+            peer for peer, error in zip(recipients, errors) if error is None
+        ]
+        with self._lock:
+            task = self._redeliveries.get(run_id)
+            if task is None:
+                return
+            for peer in delivered:
+                task["pending"].pop(peer, None)
+            task["attempts"] += 1
+            attempts = task["attempts"]
+            object_id = task["object_id"]
+            remaining = sorted(task["pending"])
+            if not remaining:
+                self._redeliveries.pop(run_id, None)
+        audit = self._coordinator.services.audit_log
+        if delivered:
+            audit.append(
+                category=AUDIT_CATEGORY_SHARING,
+                subject=run_id,
+                details={
+                    "event": "outcome-redelivered",
+                    "object_id": object_id,
+                    "peers": delivered,
+                    "unacked_peers": remaining,
+                },
+            )
+        if remaining:
+            self._arm_redelivery(run_id, self._redelivery_delay(attempts))
+            return
+        audit.append(
+            category=AUDIT_CATEGORY_SHARING,
+            subject=run_id,
+            details={
+                "event": "outcome-redelivery-complete",
+                "object_id": object_id,
+            },
+        )
+
+    def pending_redeliveries(self) -> List[str]:
+        """Run ids with an outcome wave still awaiting re-delivery (sorted)."""
+        with self._lock:
+            return sorted(self._redeliveries)
+
+    # -- restart-time resync (anti-entropy) ------------------------------------------
+
+    def resync_vector(self) -> Dict[str, Dict[str, Any]]:
+        """Per-object ``{"version", "digest"}`` vector for anti-entropy compare."""
+        return {
+            object_id: {
+                "version": self._shared(object_id).version,
+                "digest": self.state_digest(object_id).hex(),
+            }
+            for object_id in self.object_ids()
+        }
+
+    def resync_records(
+        self, object_id: str, from_version: int
+    ) -> List[Dict[str, Any]]:
+        """Stored outcome records for every agreed version above ``from_version``.
+
+        Serves ``from_version + 1 .. current`` in order, stopping at the
+        first gap: a version this party applied without a durable outcome
+        record (durable state off at the time, or a membership bootstrap)
+        cannot be served signature-checked, and anything past the gap would
+        fail the receiver's version guard anyway.
+        """
+        if not self.durable_state or not self.is_shared(object_id):
+            return []
+        state_store = self._coordinator.services.state_store
+        records: List[Dict[str, Any]] = []
+        current = self._shared(object_id).version
+        for version in range(from_version + 1, current + 1):
+            record = state_store.outcome_record(object_id, version)
+            if record is None or record.get("outcome") is None:
+                break
+            records.append(record)
+        return records
+
+    def apply_resync_record(self, record: Dict[str, Any]) -> bool:
+        """Apply one signature-checked catch-up record from a fresher peer.
+
+        Exactly the live :meth:`handle_outcome` discipline, replayed from a
+        peer's durable store: the proposer's ``NR_OUTCOME`` must verify
+        against the record's outcome payload, the apply is version-guarded
+        (``new_version == version + 1``), evidence lands with the same roles
+        a live wave would produce, and the record is re-persisted so a
+        transitively-stale third peer can pull it from here later.  Returns
+        ``True`` when the record advanced the replica.
+        """
+        object_id = record.get("object_id")
+        if not object_id or not self.is_shared(object_id):
+            return False
+        run_id = str(record.get("run_id") or "")
+        proposer = record.get("proposer")
+        new_version = record.get("new_version")
+        outcome_payload = record.get("outcome")
+        proposal = dict(record.get("proposal") or {})
+        proposed_state = proposal.get("proposed_state")
+        if (
+            not run_id
+            or outcome_payload is None
+            or proposed_state is None
+            or new_version is None
+        ):
+            return False
+        if new_version != self._shared(object_id).version + 1:
+            return False
+        services = self._coordinator.services
+        nr_outcome = EvidenceToken.from_dict(dict(record.get("nr_outcome") or {}))
+        services.evidence_verifier.require_valid(
+            nr_outcome,
+            expected_type=TokenType.NR_OUTCOME,
+            expected_run_id=run_id,
+            expected_payload=outcome_payload,
+            expected_issuer=proposer,
+        )
+        with self._outcome_application(run_id):
+            # Re-check under the marker: a live (re-)delivered outcome for
+            # the same version racing this resync must win exactly once.
+            if new_version != self._shared(object_id).version + 1:
+                return False
+            services.evidence_store.store(
+                run_id=run_id,
+                token_type=nr_outcome.token_type,
+                token=nr_outcome,
+                role=services.evidence_store.ROLE_RECEIVED,
+            )
+            for token_dict in record.get("decisions") or []:
+                token = EvidenceToken.from_dict(dict(token_dict))
+                try:
+                    services.evidence_verifier.require_valid(
+                        token,
+                        expected_type=TokenType.NR_DECISION,
+                        expected_run_id=run_id,
+                    )
+                except EvidenceVerificationError:
+                    continue
+                services.evidence_store.store(
+                    run_id=run_id,
+                    token_type=token.token_type,
+                    token=token,
+                    role=services.evidence_store.ROLE_RECEIVED,
+                )
+            self._apply_update(
+                object_id, proposed_state, new_version, outcome_record=record
+            )
+        services.audit_log.append(
+            category=AUDIT_CATEGORY_SHARING,
+            subject=run_id,
+            details={
+                "event": "resync-applied",
+                "object_id": object_id,
+                "new_version": new_version,
+                "proposer": proposer,
+            },
+        )
+        return True
+
+    def note_resync_divergence(
+        self, object_id: str, peer: str, version: int, remote_digest: str
+    ) -> None:
+        """Audit a same-version digest mismatch found during anti-entropy.
+
+        Converge-never-diverge: resync only ever *advances* a replica along
+        the agreed history, so two replicas disagreeing at the *same*
+        version is evidence of corruption or misbehaviour -- recorded for
+        dispute resolution, never papered over by overwriting state.
+        """
+        self._coordinator.services.audit_log.append(
+            category=AUDIT_CATEGORY_SHARING,
+            subject=object_id,
+            details={
+                "event": "resync-divergence",
+                "peer": peer,
+                "version": version,
+                "local_digest": self.state_digest(object_id).hex(),
+                "remote_digest": remote_digest,
+            },
+        )
 
     # -- handling incoming protocol messages (called by the handler) ----------------------------
 
@@ -1414,7 +1864,23 @@ class B2BObjectController:
             new_version = outcome_payload.get("new_version")
             shared = self._shared(object_id)
             if proposed_state is not None and new_version == shared.version + 1:
-                self._apply_update(object_id, proposed_state, new_version)
+                record = self._build_outcome_record(
+                    run_id=message.run_id,
+                    proposer=message.sender,
+                    object_id=object_id,
+                    new_version=new_version,
+                    outcome_payload=outcome_payload,
+                    proposal=proposal,
+                    nr_outcome=nr_outcome,
+                    decision_tokens=[
+                        token
+                        for token, error in zip(decision_tokens, verdicts)
+                        if error is None
+                    ],
+                )
+                self._apply_update(
+                    object_id, proposed_state, new_version, outcome_record=record
+                )
                 applied = True
         services.audit_log.append(
             category=AUDIT_CATEGORY_SHARING,
@@ -1546,6 +2012,7 @@ class _UpdateRun(_CoordinationRun):
         self._degraded = False
         self._new_version: Optional[int] = None
         self._nr_outcome: Optional[EvidenceToken] = None
+        self._outcome_payload: Any = None
 
     _journal_kind = "update"
 
@@ -1662,12 +2129,32 @@ class _UpdateRun(_CoordinationRun):
             recipient=self.object_id,
             payload=outcome,
         )
+        self._outcome_payload = outcome
+        # Stored by _on_committed once the commit barrier is passed, so an
+        # abort racing this continuation never leaves a generated NR_OUTCOME
+        # contradicting the run's not-agreed result in the evidence store.
+        outcome_tokens = [self._nr_outcome] + list(self._decision_tokens.values())
+        self._outcome_wave = [
+            B2BProtocolMessage(
+                run_id=self.run_id,
+                protocol=NR_SHARING_PROTOCOL,
+                step=3,
+                sender=controller.party,
+                recipient=peer,
+                payload=outcome,
+                tokens=outcome_tokens,
+                attributes={"action": ACTION_OUTCOME, "proposal": self._proposal},
+                reply_to=self._coordinator.address,
+            )
+            for peer in self._peers
+        ]
         # Graceful degradation: when *every* peer was unreachable in phase 1
         # (an exhausted partition window, a severed network) the outcome wave
         # can only burn the same retry budgets again.  Resolve not-agreed
         # with an audited reason and skip the fan-out -- the proposer's
         # waiter settles normally instead of stranding on hopeless retries;
-        # peers recover the signed outcome from the proposer later.
+        # the built wave stays stashed for journal recovery and the
+        # scheduler-driven re-delivery task.
         if self._peers and all(error is not None for _response, error in results):
             self._degraded = True
             services.audit_log.append(
@@ -1682,24 +2169,7 @@ class _UpdateRun(_CoordinationRun):
                 },
             )
             return []
-        # Stored by _on_committed once the commit barrier is passed, so an
-        # abort racing this continuation never leaves a generated NR_OUTCOME
-        # contradicting the run's not-agreed result in the evidence store.
-        outcome_tokens = [self._nr_outcome] + list(self._decision_tokens.values())
-        return [
-            B2BProtocolMessage(
-                run_id=self.run_id,
-                protocol=NR_SHARING_PROTOCOL,
-                step=3,
-                sender=controller.party,
-                recipient=peer,
-                payload=outcome,
-                tokens=outcome_tokens,
-                attributes={"action": ACTION_OUTCOME, "proposal": self._proposal},
-                reply_to=self._coordinator.address,
-            )
-            for peer in self._peers
-        ]
+        return self._outcome_wave
 
     def _on_committed(self) -> None:
         services = self._services
@@ -1727,8 +2197,33 @@ class _UpdateRun(_CoordinationRun):
             ]
         )
         if self._agreed:
+            outcome_record = controller._build_outcome_record(  # noqa: SLF001
+                run_id=self.run_id,
+                proposer=controller.party,
+                object_id=self.object_id,
+                new_version=self._new_version,
+                outcome_payload=self._outcome_payload,
+                proposal=self._proposal,
+                nr_outcome=self._nr_outcome,
+                decision_tokens=list(self._decision_tokens.values()),
+            )
             controller._apply_update(  # noqa: SLF001
-                self.object_id, self._proposal["proposed_state"], self._new_version
+                self.object_id,
+                self._proposal["proposed_state"],
+                self._new_version,
+                outcome_record=outcome_record,
+            )
+        if undelivered_outcomes:
+            missed = set(undelivered_outcomes)
+            controller._schedule_outcome_redelivery(  # noqa: SLF001
+                self.run_id,
+                self.object_id,
+                self._new_version,
+                [
+                    message
+                    for message in self._outcome_wave
+                    if message.recipient in missed
+                ],
             )
         services.audit_log.append(
             category=AUDIT_CATEGORY_SHARING,
@@ -1919,29 +2414,11 @@ class _MembershipRun(_CoordinationRun):
             recipient=self.object_id,
             payload=outcome,
         )
-        # Same degraded path as the update run: a vote wave that reached
-        # nobody means the outcome wave cannot reach anybody either.
-        if self._voters and all(error is not None for _response, error in results):
-            self._degraded = True
-            self._ordered_recipients = []
-            services.audit_log.append(
-                category=AUDIT_CATEGORY_SHARING,
-                subject=self.run_id,
-                details={
-                    "event": "run-degraded",
-                    "object_id": self.object_id,
-                    "reason": "all peers unreachable; suspected partition",
-                    "peers": list(self._voters),
-                    "outcome_wave_skipped": True,
-                },
-            )
-            return []
         recipients = set(controller.peers(self.object_id))
         if action == "connect" and self._agreed:
             recipients.add(member)
-        self._ordered_recipients = sorted(recipients)
         outcome_tokens = [self._nr_outcome] + list(self._decision_tokens.values())
-        return [
+        self._outcome_wave = [
             B2BProtocolMessage(
                 run_id=self.run_id,
                 protocol=NR_SHARING_PROTOCOL,
@@ -1958,8 +2435,28 @@ class _MembershipRun(_CoordinationRun):
                 },
                 reply_to=self._coordinator.address,
             )
-            for peer in self._ordered_recipients
+            for peer in sorted(recipients)
         ]
+        # Same degraded path as the update run: a vote wave that reached
+        # nobody means the outcome wave cannot reach anybody either.  The
+        # built wave stays stashed for journal recovery and re-delivery.
+        if self._voters and all(error is not None for _response, error in results):
+            self._degraded = True
+            self._ordered_recipients = []
+            services.audit_log.append(
+                category=AUDIT_CATEGORY_SHARING,
+                subject=self.run_id,
+                details={
+                    "event": "run-degraded",
+                    "object_id": self.object_id,
+                    "reason": "all peers unreachable; suspected partition",
+                    "peers": list(self._voters),
+                    "outcome_wave_skipped": True,
+                },
+            )
+            return []
+        self._ordered_recipients = sorted(recipients)
+        return self._outcome_wave
 
     def _finalize(self, errors: List[Optional[Exception]]) -> SharingOutcome:
         controller, services = self._controller, self._services
@@ -1971,6 +2468,15 @@ class _MembershipRun(_CoordinationRun):
         if agreed:
             controller._apply_membership_change(  # noqa: SLF001
                 self.object_id, action, member
+            )
+        if self._degraded:
+            # A degraded membership run settles not-agreed everywhere, so
+            # re-delivering its wave converges the *evidence*, never state;
+            # partial membership failures keep their existing semantics (a
+            # connect whose new member was unreachable already demoted to
+            # not-agreed above).
+            controller._schedule_outcome_redelivery(  # noqa: SLF001
+                self.run_id, self.object_id, None, list(self._outcome_wave)
             )
         services.audit_log.append(
             category=AUDIT_CATEGORY_SHARING,
@@ -2081,14 +2587,21 @@ class SharingProtocolHandler(B2BProtocolHandler):
         if not run.record_message(message):
             return
         if action == ACTION_OUTCOME:
-            self._controller._clear_orphan_watch(message.run_id)  # noqa: SLF001
-            self._controller.handle_outcome(message)
-            run.complete()
+            # The application marker subsumes _clear_orphan_watch (it pops
+            # the timer itself) and makes a concurrently-firing orphan
+            # expiry cancel instead of aborting the committing run.
+            with self._controller._outcome_application(  # noqa: SLF001
+                message.run_id
+            ):
+                self._controller.handle_outcome(message)
+                run.complete()
             return
         if action == ACTION_MEMBERSHIP_OUTCOME:
-            self._controller._clear_orphan_watch(message.run_id)  # noqa: SLF001
-            self._controller.handle_membership_outcome(message)
-            run.complete()
+            with self._controller._outcome_application(  # noqa: SLF001
+                message.run_id
+            ):
+                self._controller.handle_membership_outcome(message)
+                run.complete()
             return
         if action == ACTION_ABORT:
             self._controller.handle_abort(message)

@@ -93,6 +93,9 @@ class TrustDomain:
         fault_plan: Optional[FaultPlan] = None,
         storage: Optional[str] = None,
         peering: Optional[PeeringConfig] = None,
+        durable_state: bool = False,
+        outcome_redelivery: bool = False,
+        resync_on_connect: bool = False,
         config: Optional[DomainConfig] = None,
     ) -> "TrustDomain":
         """Build a trust domain of the requested style for ``party_uris``.
@@ -183,6 +186,9 @@ class TrustDomain:
                 fault_plan=fault_plan,
                 storage=storage,
                 peering=peering,
+                durable_state=durable_state,
+                outcome_redelivery=outcome_redelivery,
+                resync_on_connect=resync_on_connect,
             )
         else:
             # A config fully describes the deployment; a non-default flat
@@ -213,6 +219,9 @@ class TrustDomain:
                     "fault_plan": (fault_plan, None),
                     "storage": (storage, None),
                     "peering": (peering, None),
+                    "durable_state": (durable_state, False),
+                    "outcome_redelivery": (outcome_redelivery, False),
+                    "resync_on_connect": (resync_on_connect, False),
                 }.items()
                 if value != default
             )
@@ -237,7 +246,7 @@ class TrustDomain:
         scheme = config.scheme
         keypair_factory = config.keypair_factory
         reliability = config.reliability
-        evidence_factory, journal_factory, audit_factory = (
+        evidence_factory, journal_factory, audit_factory, state_factory = (
             config.durability.resolve_factories()
         )
         clock = config.transport.clock or SimulatedClock()
@@ -283,6 +292,9 @@ class TrustDomain:
                 ),
                 orphan_run_timeout=config.durability.orphan_run_timeout,
                 audit_backend=audit_factory(uri) if audit_factory else None,
+                state_backend=state_factory(uri) if state_factory else None,
+                durable_state=config.durability.durable_state,
+                outcome_redelivery=config.durability.outcome_redelivery,
             )
         # Everybody learns everybody's keys (credential exchange).
         organisations = list(domain.organisations.values())
@@ -328,7 +340,7 @@ class TrustDomain:
         scheme = config.scheme
         keypair_factory = config.keypair_factory
         reliability = config.reliability
-        evidence_factory, journal_factory, audit_factory = (
+        evidence_factory, journal_factory, audit_factory, state_factory = (
             config.durability.resolve_factories()
         )
         local = list(transport.local_parties)
@@ -383,6 +395,9 @@ class TrustDomain:
                 ),
                 orphan_run_timeout=config.durability.orphan_run_timeout,
                 audit_backend=audit_factory(uri) if audit_factory else None,
+                state_backend=state_factory(uri) if state_factory else None,
+                durable_state=config.durability.durable_state,
+                outcome_redelivery=config.durability.outcome_redelivery,
             )
         # Local parties exchange credentials directly; publishing them on
         # the transport makes them introducible to (and by) peer processes.
@@ -393,6 +408,15 @@ class TrustDomain:
                     org.trust(other)
         for org in organisations:
             transport.publish(org)
+        if config.durability.resync_on_connect:
+            # Anti-entropy rides every introduction from here on: each
+            # (re)connect and credential re-exchange compares per-object
+            # (version, digest) vectors and the stale side pulls the
+            # missing signed outcomes.  Objects are usually registered
+            # *after* create() (share_object), so a restarted process also
+            # calls transport.resync_with_peers() once its replicas are
+            # resumed -- see Organisation.share_object's resume path.
+            transport.resync_on_connect = True
         if transport.peer_manager is not None:
             # Lazy peering: skip the eager exchange.  First contact with a
             # peer resolves credentials and a route through the channel

@@ -7,6 +7,18 @@ the state digest to the representation of state in the state store."
 agreed version history so "a subsequent reconstruction of information state
 is a state previously agreed by the organisations who share the information"
 (Section 3.4) can be demonstrated.
+
+The version history is itself durable: every :meth:`record_version` persists
+the per-object digest sequence through the backing
+:class:`~repro.persistence.storage.StorageBackend` (under
+``state:{owner}:history:{object_id}``, with an object index at
+``state:{owner}:objects``), and reopening the store against the same backend
+rebuilds the history — so a restarted replica resumes each shared object at
+its last *agreed* version instead of re-registering from configuration.
+Alongside each agreed version the store can keep the signed *outcome record*
+that produced it (:meth:`record_outcome`), which is what restart-time resync
+serves to stale peers: the full outcome payload plus evidence tokens, so a
+catch-up apply is signature-checked exactly like a live one.
 """
 
 from __future__ import annotations
@@ -28,6 +40,22 @@ class StateStore:
         self._backend = backend or InMemoryBackend()
         self._history: Dict[str, List[str]] = {}
         self._lock = threading.RLock()
+        self._load_history()
+
+    def _load_history(self) -> None:
+        """Rebuild the per-object version history from the backend.
+
+        The object index and per-object history lists are ordinary backend
+        values (no prefix scan needed), so any backend — memory, file or
+        SQLite — makes the agreed history survive a restart.
+        """
+        raw_index = self._backend.get(self._objects_key())
+        if raw_index is None:
+            return
+        for object_id in codec.decode(raw_index):
+            raw_history = self._backend.get(self._history_key(object_id))
+            if raw_history is not None:
+                self._history[object_id] = list(codec.decode(raw_history))
 
     # -- digest-addressed snapshots -------------------------------------------
 
@@ -64,6 +92,15 @@ class StateStore:
     def _snapshot_key(self, digest: bytes) -> str:
         return f"state:{self.owner}:snapshot:{digest.hex()}"
 
+    def _objects_key(self) -> str:
+        return f"state:{self.owner}:objects"
+
+    def _history_key(self, object_id: str) -> str:
+        return f"state:{self.owner}:history:{object_id}"
+
+    def _outcome_key(self, object_id: str, version: int) -> str:
+        return f"state:{self.owner}:outcome:{object_id}:{version}"
+
     # -- per-object agreed history ---------------------------------------------
 
     def record_version(self, object_id: str, state: Any) -> Tuple[int, bytes]:
@@ -73,8 +110,14 @@ class StateStore:
         """
         digest = self.store_state(state)
         with self._lock:
+            new_object = object_id not in self._history
             history = self._history.setdefault(object_id, [])
             history.append(digest.hex())
+            self._backend.put(self._history_key(object_id), codec.encode(history))
+            if new_object:
+                self._backend.put(
+                    self._objects_key(), codec.encode(sorted(self._history))
+                )
             return len(history) - 1, digest
 
     def version_count(self, object_id: str) -> int:
@@ -110,3 +153,28 @@ class StateStore:
     def object_ids(self) -> List[str]:
         with self._lock:
             return sorted(self._history)
+
+    # -- per-version outcome records (resync source material) ------------------
+
+    def record_outcome(
+        self, object_id: str, version: int, record: Dict[str, Any]
+    ) -> None:
+        """Persist the signed outcome that agreed ``version`` of ``object_id``.
+
+        ``record`` carries everything a stale peer needs for a
+        signature-checked catch-up apply: the run id, the proposer, the
+        canonical proposal and outcome payloads, and the evidence tokens in
+        their dictionary form.  Stored alongside the version history so
+        restart-time resync can serve any missed version verbatim.
+        """
+        with self._lock:
+            self._backend.put(
+                self._outcome_key(object_id, version), codec.encode(record)
+            )
+
+    def outcome_record(self, object_id: str, version: int) -> Optional[Dict[str, Any]]:
+        """The stored outcome record for ``version``, or ``None`` if absent."""
+        raw = self._backend.get(self._outcome_key(object_id, version))
+        if raw is None:
+            return None
+        return codec.decode(raw)

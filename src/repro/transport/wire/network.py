@@ -62,7 +62,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.clock import Clock, MonotonicCounter, SystemClock
 from repro.errors import DeliveryError, UnknownEndpointError
 from repro.faults.breaker import CircuitBreaker
-from repro.faults.failpoints import FailpointRegistry
+from repro.faults.failpoints import VERB_CLOSE, FailpointRegistry
 from repro.faults.plan import FaultDecision, FaultPlan
 from repro.transport.network import (
     AUDIT_CATEGORY_TRANSPORT,
@@ -81,7 +81,12 @@ from repro.transport.wire.framing import MAX_FRAME_BYTES, FramingError
 from repro.transport.wire.peers import HostPort, PeerAddressBook
 from repro.transport.wire.server import WireServer
 
-__all__ = ["SYSTEM_ADDRESS", "WireNetwork"]
+__all__ = [
+    "FAILPOINT_CLIENT_AFTER_SEND",
+    "FAILPOINT_CLIENT_BEFORE_SEND",
+    "SYSTEM_ADDRESS",
+    "WireNetwork",
+]
 
 #: Reserved destination served by the node itself (credential exchange,
 #: peer introduction) rather than by a registered endpoint.  System traffic
@@ -89,6 +94,16 @@ __all__ = ["SYSTEM_ADDRESS", "WireNetwork"]
 #: ``statistics`` -- mirroring the simulator, where key exchange happens out
 #: of band.
 SYSTEM_ADDRESS = "@system"
+
+#: Client-side crash failpoints, fired around the primary socket exchange of
+#: every remote protocol delivery (system traffic is infrastructure and draws
+#: none).  ``before-send`` models a sender dying with the message unsent --
+#: no peer ever sees it; ``after-send`` models the classic reply-lost window
+#: -- the peer processed the message but the sender never learns it, so a
+#: retry exercises the receiver's duplicate suppression.  The server-side
+#: counterparts are ``server-before-dispatch`` / ``server-before-reply``.
+FAILPOINT_CLIENT_BEFORE_SEND = "client-before-send"
+FAILPOINT_CLIENT_AFTER_SEND = "client-after-send"
 
 
 class WireNetwork:
@@ -487,6 +502,16 @@ class WireNetwork:
                     )
                 except Exception:  # noqa: BLE001 - the duplicate leg is
                     pass  # best-effort; the primary leg decides the outcome
+        # Client-side crash failpoint, pre-send: a plan's crash rule (or an
+        # armed callable, which may SIGKILL this process) fires with the
+        # message still unsent -- the peer never sees it.
+        if self.failpoints.fire(FAILPOINT_CLIENT_BEFORE_SEND, message) == VERB_CLOSE:
+            self.pool.close_peer(hostport)
+            with self._lock:
+                self.statistics.messages_dropped += 1
+            raise DeliveryError(
+                f"client crash failpoint before send to {message.destination!r}"
+            )
         try:
             reply = self._round_trip(
                 hostport,
@@ -503,6 +528,17 @@ class WireNetwork:
             with self._lock:
                 self.statistics.messages_dropped += 1
             raise
+        # Client-side crash failpoint, post-exchange: the peer (most likely)
+        # processed the message, but this sender dies before accounting the
+        # reply -- the reply-lost window the receivers' dedup absorbs when
+        # the retry machinery re-sends.
+        if self.failpoints.fire(FAILPOINT_CLIENT_AFTER_SEND, message) == VERB_CLOSE:
+            self.pool.close_peer(hostport)
+            with self._lock:
+                self.statistics.messages_dropped += 1
+            raise DeliveryError(
+                f"client crash failpoint after send to {message.destination!r}"
+            )
         if reply.get("status") == "ok":
             with self._lock:
                 self._account_delivered_locked(message)

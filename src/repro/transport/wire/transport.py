@@ -37,9 +37,15 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import codec
 from repro.clock import Clock
 from repro.crypto.keys import PublicKey
-from repro.errors import DeliveryError, ProtocolError, UnknownEndpointError
+from repro.errors import (
+    DeliveryError,
+    EvidenceVerificationError,
+    ProtocolError,
+    UnknownEndpointError,
+)
 from repro.peering import PeerChannel, PeerChannelManager, PeeringPolicy
 from repro.transport.network import DispatchStrategy
 from repro.transport.wire.network import WireNetwork
@@ -117,6 +123,11 @@ class WireTransport:
         # the handlers answer with a *retryable* error, so such a peer
         # simply tries again instead of seeing a permanent failure.
         self._ready = False
+        #: When set (see ``DomainConfig.durability.resync_on_connect``),
+        #: every successful introduction is followed by one anti-entropy
+        #: round trip with the peer node, so replicas that went stale while
+        #: disconnected converge as part of reconnecting.
+        self.resync_on_connect = False
         self.peer_manager: Optional[PeerChannelManager] = None
         self.network = WireNetwork(
             host=host,
@@ -127,6 +138,8 @@ class WireTransport:
             system_handlers={
                 "introduce": self._handle_introduce,
                 "credentials": self._handle_credentials,
+                "resync": self._handle_resync,
+                "resync-apply": self._handle_resync_apply,
             },
         )
         self._ready = True
@@ -375,6 +388,14 @@ class WireTransport:
                 time.sleep(_EXCHANGE_RETRY_SECONDS)
                 continue
             self._absorb((reply or {}).get("credentials", []))
+            if self.resync_on_connect:
+                # Anti-entropy rides the (re)introduction: replicas that
+                # went stale on either side converge right as the two
+                # processes reconnect.
+                try:
+                    self.resync_with(host, port)
+                except DeliveryError:
+                    pass  # peer vanished mid-handshake; next reconnect resyncs
             return
 
     def exchange(self, remote_parties: List[str], timeout: Optional[float] = None) -> None:
@@ -428,6 +449,153 @@ class WireTransport:
                     f"party {party!r} did not introduce itself within {budget:.1f}s"
                 )
             time.sleep(_EXCHANGE_RETRY_SECONDS)
+
+    # -- restart-time resync (anti-entropy) ------------------------------------------
+
+    def _local_vectors(self) -> Dict[str, Dict[str, Dict[str, Any]]]:
+        """Per-local-party resync vectors: ``{party: {object: {version, digest}}}``."""
+        with self._lock:
+            orgs = list(self._local_orgs)
+        return {org.uri: org.controller.resync_vector() for org in orgs}
+
+    def _records_for_remote(
+        self, remote_vectors: Dict[str, Dict[str, Dict[str, Any]]]
+    ) -> Dict[str, List[bytes]]:
+        """Outcome records the remote replicas lack, per object id.
+
+        For every object a remote vector mentions, the lowest remote version
+        decides what to serve; any local controller that holds the missing
+        durable records supplies them (they carry the *proposer's* signed
+        evidence, so it does not matter which local replica serves them).
+        Records cross the wire as canonical-codec bytes: the receiver
+        decodes them to exactly the jsonable form its own store would have
+        produced, keeping signature checks byte-stable.  Same-version digest
+        mismatches are audited as divergence on the local side -- resync
+        only ever advances a replica, never overwrites one.
+        """
+        with self._lock:
+            orgs = list(self._local_orgs)
+        wanted: Dict[str, int] = {}
+        for remote_party, vector in (remote_vectors or {}).items():
+            for object_id, entry in (vector or {}).items():
+                version = int((entry or {}).get("version") or 0)
+                if object_id not in wanted or version < wanted[object_id]:
+                    wanted[object_id] = version
+                digest = str((entry or {}).get("digest") or "")
+                for org in orgs:
+                    controller = org.controller
+                    if (
+                        controller.is_shared(object_id)
+                        and controller.get_version(object_id) == version
+                        and controller.state_digest(object_id).hex() != digest
+                    ):
+                        controller.note_resync_divergence(
+                            object_id, remote_party, version, digest
+                        )
+        records: Dict[str, List[bytes]] = {}
+        for object_id, from_version in sorted(wanted.items()):
+            for org in orgs:
+                served = org.controller.resync_records(object_id, from_version)
+                if served:
+                    records[object_id] = [
+                        codec.encode(record) for record in served
+                    ]
+                    break
+        return records
+
+    def _apply_resync_records(self, records: Dict[str, List[bytes]]) -> int:
+        """Apply served records to every stale local replica; counts applies.
+
+        Each apply is signature-checked and version-guarded by the
+        controller (:meth:`B2BObjectController.apply_resync_record`); a
+        record that fails verification stops that replica's catch-up at the
+        last good version instead of poisoning it.
+        """
+        with self._lock:
+            orgs = list(self._local_orgs)
+        applied = 0
+        for object_id in sorted(records or {}):
+            decoded = [codec.decode(raw) for raw in records[object_id]]
+            decoded.sort(key=lambda record: int(record.get("new_version") or 0))
+            for org in orgs:
+                controller = org.controller
+                if not controller.is_shared(object_id):
+                    continue
+                for record in decoded:
+                    try:
+                        if controller.apply_resync_record(dict(record)):
+                            applied += 1
+                    except EvidenceVerificationError:
+                        break
+        return applied
+
+    def _handle_resync(self, payload: Any) -> Dict[str, Any]:
+        """Serve one anti-entropy compare: our vectors plus what the caller lacks."""
+        self._require_ready()
+        remote_vectors = (payload or {}).get("vectors") or {}
+        return {
+            "vectors": self._local_vectors(),
+            "records": self._records_for_remote(remote_vectors),
+        }
+
+    def _handle_resync_apply(self, payload: Any) -> Dict[str, Any]:
+        """Absorb records a fresher caller pushed for replicas we are behind on."""
+        self._require_ready()
+        applied = self._apply_resync_records((payload or {}).get("records") or {})
+        return {"applied": applied}
+
+    def resync_with(self, host: str, port: int) -> Dict[str, int]:
+        """One anti-entropy round with the node at ``host:port``.
+
+        Compares per-object ``(version, digest)`` vectors over the system
+        channel: whatever the peer is ahead on comes back and is applied
+        here (signature-checked, version-guarded), and whatever *we* are
+        ahead on is pushed to the peer in a follow-up ``resync-apply``.  One
+        initiator therefore converges both sides.  Returns the applied
+        counts as ``{"pulled": n, "pushed": m}``.
+        """
+        reply = self.network.system_request(
+            (host, port), "resync", {"vectors": self._local_vectors()}
+        )
+        pulled = self._apply_resync_records((reply or {}).get("records") or {})
+        push = self._records_for_remote((reply or {}).get("vectors") or {})
+        pushed = 0
+        if push:
+            apply_reply = self.network.system_request(
+                (host, port), "resync-apply", {"records": push}
+            )
+            pushed = int((apply_reply or {}).get("applied") or 0)
+        return {"pulled": pulled, "pushed": pushed}
+
+    def resync_with_peers(self) -> Dict[str, Dict[str, int]]:
+        """Run one anti-entropy round with every known peer process.
+
+        The restart-time entry point: a recovering process registers its
+        objects (resuming their durable versions), replays its run journal,
+        then calls this to pull whatever was agreed while it was down.
+        Unreachable peers are skipped -- the next reconnect's automatic
+        resync (see ``resync_on_connect``) is the backstop.
+        """
+        with self._lock:
+            addresses = sorted(set(self._remote_addresses.values()))
+        own = (self.advertised_host, self.port)
+        seen: set = set()
+        results: Dict[str, Dict[str, int]] = {}
+        for address in addresses:
+            try:
+                hostport = self.network.address_book.resolve(address)
+            except UnknownEndpointError:
+                continue
+            if hostport == own or hostport in seen:
+                continue
+            seen.add(hostport)
+            try:
+                results[f"{hostport[0]}:{hostport[1]}"] = self.resync_with(
+                    hostport[0], hostport[1]
+                )
+            except DeliveryError:
+                continue
+        return results
 
     # -- teardown ------------------------------------------------------------------
 
