@@ -14,7 +14,9 @@ also crashes a participant, to show:
 * an update that *agrees* but whose signed outcome wave never reaches one
   peer heals itself through proposer-driven outcome re-delivery, with every
   step audited;
-* the evidence and audit trail remain complete and verifiable throughout.
+* the evidence and audit trail remain complete and verifiable throughout;
+* with the observability plane on, the degraded run and its self-repair
+  show up as one span tree, and the metrics registry prices the work.
 
 Run with::
 
@@ -30,7 +32,11 @@ from repro import (
     FaultModel,
     TrustDomain,
 )
+from repro.core.config import ObservabilityConfig
 from repro.core.sharing import set_run_fault_injector
+from repro.observability import runtime as observability
+from repro.observability.exporters import metrics_snapshot
+from repro.observability.tracing import render_tree
 
 
 class InventoryService:
@@ -120,9 +126,14 @@ def main() -> None:
     #    result.  With outcome re-delivery enabled the proposer queues the
     #    signed outcome and a scheduler task re-pushes it until the peer
     #    acks -- no operator action, and the whole repair is in the audit log.
-    healing = TrustDomain.create(
-        parties, outcome_redelivery=True, scheduled_retries=True
+    #    Observability is on for this domain, so the degraded run -- fan-out,
+    #    commit, severed outcome wave and the re-delivery that repairs it --
+    #    is captured as one span tree (section 6 renders it).
+    healing_config = DomainConfig.from_legacy_kwargs(
+        outcome_redelivery=True, scheduled_retries=True
     )
+    healing_config.observability = ObservabilityConfig()
+    healing = TrustDomain.create(parties, config=healing_config)
     h_buyer = healing.organisation("urn:org:buyer")
     h_auditor = healing.organisation("urn:org:auditor")
     healing.share_object("orders", {"accepted": 0})
@@ -158,6 +169,19 @@ def main() -> None:
             extras = {k: v for k, v in record.details.items()
                       if k not in ("event", "object_id")}
             print(f"  {event} {extras}" if extras else f"  {event}")
+
+    # 6. The whole story on the observability plane: the run id is the trace
+    #    id, so the degraded update, the commit barrier its severed outcome
+    #    wave hung off, and the re-delivery that finally reached the auditor
+    #    render as one connected tree; the metrics registry priced the work.
+    print("\nspan tree of the self-healing run:")
+    print(render_tree(observability.STATE.tracing.spans(), degraded.run_id))
+    snapshot = metrics_snapshot()
+    print("metrics snapshot (selected):")
+    for name in ("crypto.sign_seconds", "run.duration_seconds"):
+        histogram = snapshot["histograms"][name]
+        print(f"  {name}: count={histogram['count']} sum={histogram['sum']:.4f}s")
+    observability.disable()
 
 
 if __name__ == "__main__":

@@ -22,6 +22,12 @@ evidence, audit and journal records live under its own key prefix, so one
 store serves every process and a later reopen sees the evidence without
 rebuilding any in-memory index.
 
+Both processes also run with the observability plane on.  The trace context
+crosses the socket inside the call envelope, so when B ships its spans back
+to A the two halves assemble into one connected span tree for the run --
+proposer fan-out, B's remote handlers, commit and outcome delivery -- which
+A renders alongside Prometheus-text and JSON metric exports.
+
 Run with::
 
     python examples/two_process_sharing.py
@@ -45,6 +51,14 @@ from repro import (
     TransportConfig,
     TrustDomain,
 )
+from repro.core.config import ObservabilityConfig
+from repro.observability import runtime as observability
+from repro.observability.exporters import (
+    metrics_snapshot,
+    render_json,
+    render_prometheus,
+)
+from repro.observability.tracing import render_tree
 from repro.transport.wire import WireTransport
 
 ORG_A = "urn:org:design-house"
@@ -63,6 +77,7 @@ def domain_config(transport: WireTransport, directory: str) -> DomainConfig:
         durability=DurabilityConfig(
             storage=f"sqlite:{Path(directory) / 'evidence.db'}"
         ),
+        observability=ObservabilityConfig(),
     )
 
 
@@ -115,6 +130,9 @@ def peer_main(directory: str) -> None:
         "run_id": run_id,
         "state": org_b.shared_state(OBJECT_ID),
         "verified_evidence": verify_held_evidence(org_b, run_id),
+        # B's half of the distributed trace: the handler spans this process
+        # recorded for the run, for A to merge into the full tree.
+        "spans": observability.STATE.tracing.spans(run_id),
     }
     (Path(directory) / "org-b-result.json").write_text(json.dumps(result))
     transport.close()
@@ -179,6 +197,27 @@ def main() -> None:
                 print(f"  shared store: {records} evidence records"
                       f" ({size} bytes) under evidence:{uri}:")
                 assert records > 0
+
+        # The run's trace crossed the socket with it: merging A's spans with
+        # the ones B shipped back yields one connected tree for the run --
+        # B's handlers parent to the contexts A's messages carried over TCP.
+        merged = observability.STATE.tracing.spans(outcome.run_id) + [
+            span for span in peer_result["spans"]
+            if span["trace_id"] == outcome.run_id
+        ]
+        print("\ndistributed span tree of the cross-process update:")
+        print(render_tree(merged, outcome.run_id))
+        prometheus = render_prometheus(metrics_snapshot())
+        print("metrics (Prometheus text, excerpt):")
+        for line in prometheus.splitlines():
+            if line.startswith("repro_wire_round_trip_seconds_count") or (
+                line.startswith("repro_run_duration_seconds_")
+                and "bucket" not in line
+            ):
+                print(f"  {line}")
+        metrics_json = json.loads(render_json())
+        print("metrics (JSON): histograms exported ="
+              f" {len(metrics_json['histograms'])}")
     finally:
         if peer.poll() is None:
             peer.kill()

@@ -398,6 +398,54 @@ deployment-agnostic:
   ``PeeringConfig``; every cross-field validity rule lives in
   ``DomainConfig.validate()``.  The flat keyword surface remains and
   delegates through the same path.
+
+Observability architecture
+--------------------------
+
+``repro.observability`` is one opt-in plane -- run-scoped distributed
+tracing, a process-wide metrics registry and exporters -- shared by both
+transports, enabled by ``DomainConfig(observability=ObservabilityConfig())``
+(or programmatically via ``repro.observability.runtime.enable``).  When
+disabled (the default) every instrumented site is a single attribute load
+against ``runtime.STATE`` -- no spans, no timing, no allocation -- and
+``benchmarks/bench_observability.py`` asserts the gated traffic counters
+stay byte-identical either way.
+
+* **Tracing** -- a coordination run is one trace: the run id is the trace
+  id, and ``_CoordinationRun`` opens the root span (``run:update`` /
+  ``run:membership``).  Context rides a thread-local ambient slot,
+  captured onto every outbound ``Message`` at construction and restored
+  around handler dispatch on both transports (the wire carries it in the
+  frame envelope, *outside* the canonical byte-accounted payload), onto
+  scheduler timers at ``schedule()`` time, and across executor hops by
+  explicit re-activation -- so one proposal yields one connected tree
+  across processes: per-peer ``request:<peer>``/``send:<peer>`` legs, each
+  peer's ``handle:*`` spans, a ``commit`` barrier span covering the
+  outcome wave, plus ``redeliver`` attempts and (as a second root in the
+  same trace) ``resync:apply`` on a caught-up replica.  Spans land in a
+  bounded ``SpanCollector``; ``repro.observability.tracing`` renders and
+  compares trees (``render_tree`` / ``tree_shape``), and
+  ``python -m repro.observability.trace spans.json`` renders an exported
+  file.  Audit records appended under an active span gain
+  ``trace_id``/``span_id`` details, and ``audit_records(trace_id=...)``
+  joins the evidence trail against the tree.
+
+* **Metrics** -- ``MetricsRegistry`` holds counters, gauges and
+  per-thread-sharded histograms (lock-free ``observe`` on the hot path).
+  Push-side instruments cover crypto (``crypto.sign_seconds``,
+  ``crypto.verify_seconds``), the codec (``codec.encode_seconds``), wire
+  round trips (``wire.round_trip_seconds``) and whole runs
+  (``run.duration_seconds``); everything else is *pull* collectors
+  registered by ``TrustDomain`` -- network statistics, scheduler depth,
+  circuit-breaker states, peering occupancy/evictions, evidence/audit/
+  journal sizes, nonce pools, executor queue depth -- evaluated only when
+  a snapshot is taken.
+
+* **Exporters** -- ``render_prometheus``/``render_json`` serialise a
+  snapshot; ``WireTransport.serve_observability(port)`` (or
+  ``ObservabilityConfig(http_port=...)``) serves ``/metrics``,
+  ``/metrics.json`` and ``/spans.json`` from a daemon-threaded local HTTP
+  endpoint, stopped with the transport.
 """
 
 from repro.container.component import Component, ComponentDescriptor, ComponentType
@@ -427,6 +475,7 @@ from repro.core.config import (
     DomainConfig,
     DurabilityConfig,
     FaultConfig,
+    ObservabilityConfig,
     PeeringConfig,
     ReliabilityConfig,
     TransportConfig,
@@ -441,6 +490,7 @@ from repro.core.validators import (
     ValidationDecision,
 )
 from repro.errors import ReproError
+from repro.observability import MetricsRegistry, SpanCollector
 from repro.persistence.run_journal import JournaledRun, RunJournal
 from repro.persistence.sqlite_backend import SQLiteBackend
 from repro.persistence.storage import StorageProfile
@@ -483,6 +533,8 @@ __all__ = [
     "InvocationResult",
     "InvocationStatus",
     "JournaledRun",
+    "MetricsRegistry",
+    "ObservabilityConfig",
     "Organisation",
     "PeerChannelManager",
     "PeeringConfig",
@@ -495,6 +547,7 @@ __all__ = [
     "SharedStateTransaction",
     "SharingOutcome",
     "SimulatedNetwork",
+    "SpanCollector",
     "SQLiteBackend",
     "StateValidator",
     "StorageProfile",

@@ -43,10 +43,12 @@ from __future__ import annotations
 import json
 import threading
 from collections import OrderedDict
+from time import perf_counter
 from typing import Any, Callable, Dict, Hashable, Iterator, List, Optional, Tuple
 
 from repro.crypto.hashing import secure_hash
 from repro.errors import ReproError
+from repro.observability.runtime import STATE as _OBS
 
 try:  # the C escaper when available, byte-identical to json.dumps defaults
     from json.encoder import encode_basestring_ascii as _escape_str
@@ -444,7 +446,13 @@ def encode(value: Any) -> bytes:
     """Encode ``value`` to canonical bytes (sorted keys, no whitespace)."""
     if type(value) is Encoded:
         return value.data
-    return encode_text(value).encode("utf-8")
+    observe = _OBS.observe_encode
+    if observe is None:
+        return encode_text(value).encode("utf-8")
+    started = perf_counter()
+    data = encode_text(value).encode("utf-8")
+    observe(perf_counter() - started)
+    return data
 
 
 def decode(data: bytes) -> Any:

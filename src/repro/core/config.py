@@ -40,6 +40,7 @@ __all__ = [
     "DomainConfig",
     "DurabilityConfig",
     "FaultConfig",
+    "ObservabilityConfig",
     "PeeringConfig",
     "ReliabilityConfig",
     "TransportConfig",
@@ -197,6 +198,33 @@ class PeeringConfig:
 
 
 @dataclass
+class ObservabilityConfig:
+    """The process-global observability plane (tracing/metrics/exporters).
+
+    Attaching one to a :class:`DomainConfig` turns observability on for
+    the *process* when the domain is built (the plane is process-global
+    and idempotent across domains).  ``tracing`` collects run-scoped
+    spans into a bounded buffer of ``span_capacity``; ``metrics``
+    creates the process :class:`~repro.observability.MetricsRegistry`
+    and registers the domain's pull collectors (network statistics,
+    scheduler quiescence, breaker states, peering occupancy, store
+    sizes, nonce pools, executor depth); ``http_port`` (wire domains
+    only; 0 binds an ephemeral port) serves ``/metrics`` (Prometheus
+    text), ``/metrics.json`` and ``/spans.json`` from the transport.
+    ``message_trace_cap`` bounds the debug message recorder on the
+    domain's network.  Without an ``ObservabilityConfig`` nothing is
+    enabled and every instrumented call site reduces to one attribute
+    load.
+    """
+
+    tracing: bool = True
+    metrics: bool = True
+    span_capacity: int = 10_000
+    message_trace_cap: int = 10_000
+    http_port: Optional[int] = None
+
+
+@dataclass
 class DomainConfig:
     """Everything :meth:`TrustDomain.create` needs beyond the party list."""
 
@@ -211,6 +239,7 @@ class DomainConfig:
     durability: DurabilityConfig = field(default_factory=DurabilityConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
     peering: Optional[PeeringConfig] = None
+    observability: Optional[ObservabilityConfig] = None
 
     @classmethod
     def from_legacy_kwargs(
@@ -301,12 +330,32 @@ class DomainConfig:
             )
         if self.peering is not None:
             self.peering.to_policy()  # bounds-checks the policy fields
+        observability = self.observability
+        if observability is not None:
+            if observability.span_capacity <= 0:
+                raise ProtocolError("observability span_capacity must be positive")
+            if observability.message_trace_cap <= 0:
+                raise ProtocolError("observability message_trace_cap must be positive")
+            port = observability.http_port
+            if port is not None and not (0 <= port <= 65535):
+                raise ProtocolError(
+                    f"observability http_port must be 0..65535, got {port}"
+                )
         wire = self.transport.wire
         if wire is None:
             if self.peering is not None:
                 raise ProtocolError(
                     "peering= needs a wire transport: lazy channel management "
                     "applies to socket-backed deployments (pass transport=)"
+                )
+            if (
+                self.observability is not None
+                and self.observability.http_port is not None
+            ):
+                raise ProtocolError(
+                    "observability http_port= needs a wire transport: the "
+                    "exporter endpoint is served from the WireTransport "
+                    "(in-process domains dump snapshots directly)"
                 )
             return
         from repro.transport.wire import WireTransport  # local: avoid cycle

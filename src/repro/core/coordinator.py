@@ -29,6 +29,7 @@ from repro.core.evidence import EvidenceBuilder, EvidenceVerifier
 from repro.core.messages import B2BProtocolMessage
 from repro.core.protocol import B2BProtocolHandler
 from repro.errors import ProtocolError
+from repro.observability.runtime import STATE as _OBS
 from repro.persistence.audit_log import AuditLog
 from repro.persistence.evidence_store import EvidenceStore
 from repro.persistence.run_journal import RunJournal
@@ -215,6 +216,9 @@ class B2BCoordinator:
         results: List[Tuple[Any, Optional[Exception]]] = [(None, None)] * len(messages)
         indices: List[int] = []
         run_id: Optional[str] = None
+        tracer = _OBS.tracing
+        span_kind = "request" if method == "deliver_request" else "send"
+        spans: Dict[int, Any] = {}
         for index, message in enumerate(messages):
             message.reply_to = message.reply_to or self.address
             run_id = run_id or message.run_id
@@ -222,7 +226,11 @@ class B2BCoordinator:
                 address = self.route_for(message.recipient)
             except ProtocolError as error:
                 results[index] = (None, error)
+                if tracer is not None:
+                    tracer.start_span(f"{span_kind}:{message.recipient}").end("error")
                 continue
+            if tracer is not None:
+                spans[index] = tracer.start_span(f"{span_kind}:{message.recipient}")
             calls.append((address, COORDINATOR_OBJECT_NAME, method, [message], {}))
             indices.append(index)
         batch = None
@@ -232,7 +240,16 @@ class B2BCoordinator:
             batch = self._invoker.call_batch_async(
                 calls, retry_policy=self._retry_policy, run_id=run_id
             )
-        return CoordinatorFanOut(results, indices, batch)
+        fan_out = CoordinatorFanOut(results, indices, batch)
+        if spans:
+            def _end_spans(handle: "CoordinatorFanOut") -> None:
+                outcomes = handle.results()
+                for span_index, span in spans.items():
+                    error = outcomes[span_index][1]
+                    span.end("error" if error is not None else "ok")
+
+            fan_out.add_done_callback(_end_spans)
+        return fan_out
 
     def send_all(
         self, messages: List[B2BProtocolMessage]

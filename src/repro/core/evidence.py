@@ -16,9 +16,11 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from enum import Enum
+from time import perf_counter
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro import codec, parallel
+from repro.observability.runtime import STATE as _OBS
 from repro.clock import Clock, SystemClock
 from repro.crypto.certificates import CertificateStore
 from repro.crypto.hashing import secure_hash
@@ -345,7 +347,14 @@ class EvidenceVerifier:
                 f"no verification key known for issuer {token.issuer!r}"
             )
         scheme = get_scheme(key.scheme)
-        if not scheme.verify(key, token.body_bytes(), token.signature):
+        observe = _OBS.observe_verify
+        if observe is None:
+            valid = scheme.verify(key, token.body_bytes(), token.signature)
+        else:
+            started = perf_counter()
+            valid = scheme.verify(key, token.body_bytes(), token.signature)
+            observe(perf_counter() - started)
+        if not valid:
             raise EvidenceVerificationError(
                 f"signature verification failed for token {token.token_id!r} "
                 f"issued by {token.issuer!r}"

@@ -360,8 +360,15 @@ class Organisation:
         """All evidence this organisation holds for a protocol run."""
         return self.evidence_store.evidence_for_run(run_id)
 
-    def audit_records(self, category: Optional[str] = None, subject: Optional[str] = None):
-        return self.audit_log.records(category=category, subject=subject)
+    def audit_records(
+        self,
+        category: Optional[str] = None,
+        subject: Optional[str] = None,
+        trace_id: Optional[str] = None,
+    ):
+        return self.audit_log.records(
+            category=category, subject=subject, trace_id=trace_id
+        )
 
     def __repr__(self) -> str:
         return f"Organisation({self.uri!r})"

@@ -54,6 +54,7 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro import codec, parallel
@@ -84,6 +85,8 @@ from repro.errors import (
 )
 from repro.faults.breaker import STATE_OPEN as BREAKER_STATE_OPEN
 from repro.membership.service import Member, MembershipService
+from repro.observability import tracing as _tracing
+from repro.observability.runtime import STATE as _OBS
 from repro.persistence.run_journal import (
     PHASE_COMMITTED,
     JournaledRun,
@@ -109,6 +112,35 @@ ACTION_ABORT = "abort"
 #: full acknowledgement or when the object advances past the outcome).
 REDELIVERY_BASE_DELAY = 0.25
 REDELIVERY_MAX_DELAY = 5.0
+
+#: Responder-side span names keyed by the action that triggered the handler.
+_HANDLE_SPAN_NAMES = {
+    ACTION_PROPOSE: "handle:proposal",
+    ACTION_OUTCOME: "handle:outcome",
+    ACTION_MEMBERSHIP_PROPOSE: "handle:membership-proposal",
+    ACTION_MEMBERSHIP_OUTCOME: "handle:membership-outcome",
+    ACTION_ABORT: "handle:abort",
+}
+
+
+class _NullScope:
+    """Stateless no-op context manager (safe to share and re-enter)."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+def _span_scope(span):
+    """Activate ``span``'s trace context for a block; no-op when ``span`` is None."""
+    if span is None:
+        return _NULL_SCOPE
+    return span.activate()
 
 
 @wire_type
@@ -262,8 +294,28 @@ class _CoordinationRun:
         #: the original message ids no matter which path reaches them first.
         self._outcome_wave: List[B2BProtocolMessage] = []
         self._journal: Optional[RunJournal] = self._services.run_journal
+        # Root span for the whole coordination round: the run id *is* the
+        # trace id, so every message stamped inside an activation below (and
+        # every handler span a peer opens for it, in-process or across the
+        # wire) lands in the same tree.
+        self._span = None
+        self._run_started = 0.0
+        tracer = _OBS.tracing
+        if tracer is not None:
+            self._span = tracer.start_span(
+                f"run:{self._journal_kind}",
+                trace_id=run_id,
+                use_ambient_parent=False,
+                attributes={
+                    "object_id": object_id,
+                    "party": controller.party,
+                },
+            )
         self.future = RunFuture(run_id, self._scheduler)
         self.future._machine = self
+        if self._span is not None or _OBS.metrics is not None:
+            self._run_started = perf_counter()
+            self.future.add_done_callback(self._end_root_span)
         if self._journal is not None:
             # Whichever way the run resolves -- completion, abort, deadline
             # expiry or engine failure -- the settled record marks it as
@@ -302,14 +354,15 @@ class _CoordinationRun:
         against: each fan-out is awaited in place (the wait itself drives
         the retry scheduler when one is attached).
         """
-        decision_fan_out = self._phase1_fan_out()
-        outcome_messages = self._phase2_messages(decision_fan_out.results())
-        outcome_fan_out = self._commit_outcome(outcome_messages)
-        if outcome_fan_out is None:  # aborted concurrently; future holds why
-            return self.future.result()
-        outcome = self._finalize(outcome_fan_out.errors())
-        self._settle(lambda: self.future.complete(outcome))
-        return outcome
+        with _span_scope(self._span):
+            decision_fan_out = self._phase1_fan_out()
+            outcome_messages = self._phase2_messages(decision_fan_out.results())
+            outcome_fan_out = self._commit_outcome(outcome_messages)
+            if outcome_fan_out is None:  # aborted concurrently; future holds why
+                return self.future.result()
+            outcome = self._finalize(outcome_fan_out.errors())
+            self._settle(lambda: self.future.complete(outcome))
+            return outcome
 
     def _commit_outcome(self, outcome_messages: List[B2BProtocolMessage]):
         """Mark the run committed and dispatch the outcome fan-out.
@@ -329,12 +382,33 @@ class _CoordinationRun:
         # written before any side effect (evidence persistence, outcome
         # dispatch), so a crash from here on recovers by *resuming* the
         # committed run -- peers may already hold the outcome.
-        self._journal_committed(outcome_messages)
-        self._inject_fault("after-journal-committed")
-        self._on_committed()
-        return self._register_fan_out(
-            self._coordinator.send_all_async(outcome_messages)
-        )
+        # The commit barrier gets its own span so the outcome wave (sends
+        # stamped inside the activation) and every peer's ``handle:outcome``
+        # parent under it rather than directly under the run root.
+        tracer = _OBS.tracing
+        commit_span = None
+        if tracer is not None:
+            commit_span = tracer.start_span(
+                "commit",
+                trace_id=self.run_id,
+                parent=self._span.ctx if self._span is not None else None,
+                use_ambient_parent=False,
+            )
+        try:
+            with _span_scope(commit_span):
+                self._journal_committed(outcome_messages)
+                self._inject_fault("after-journal-committed")
+                self._on_committed()
+                fan_out = self._register_fan_out(
+                    self._coordinator.send_all_async(outcome_messages)
+                )
+        except Exception:
+            if commit_span is not None:
+                commit_span.end("error")
+            raise
+        if commit_span is not None:
+            commit_span.end("ok")
+        return fan_out
 
     def _on_committed(self) -> None:
         """Persist outcome evidence; runs only when the outcome really ships."""
@@ -422,6 +496,20 @@ class _CoordinationRun:
                 },
             )
 
+    def _end_root_span(self, future: DeliveryFuture) -> None:
+        """Close the run's root span and record its end-to-end latency."""
+        observe = _OBS.observe_run_duration
+        if observe is not None:
+            observe(perf_counter() - self._run_started)
+        span, self._span = self._span, None
+        if span is None:
+            return
+        if future.error is not None:
+            span.end("failed")
+        else:
+            outcome = future.result()
+            span.end("agreed" if outcome.agreed else "not-agreed")
+
     def _inject_fault(self, stage: str) -> None:
         if _run_fault_injector is not None:
             _run_fault_injector(stage, self)
@@ -455,21 +543,22 @@ class _CoordinationRun:
         """
         hold = self._hold_advance()
         try:
-            if self._deadline is not None:
-                if self._scheduler is None:
-                    raise CoordinationError(
-                        f"a deadline for the run on {self.object_id!r} requires a "
-                        "retry scheduler on the network"
+            with _span_scope(self._span):
+                if self._deadline is not None:
+                    if self._scheduler is None:
+                        raise CoordinationError(
+                            f"a deadline for the run on {self.object_id!r} requires a "
+                            "retry scheduler on the network"
+                        )
+                    self._deadline_handle = self._scheduler.schedule(
+                        self._deadline, self._expire, run_id=self.run_id
                     )
-                self._deadline_handle = self._scheduler.schedule(
-                    self._deadline, self._expire, run_id=self.run_id
-                )
-            try:
-                decision_fan_out = self._phase1_fan_out()
-            except Exception:
-                self._cancel_deadline()
-                raise
-            self._chain(decision_fan_out, self._after_phase1)
+                try:
+                    decision_fan_out = self._phase1_fan_out()
+                except Exception:
+                    self._cancel_deadline()
+                    raise
+                self._chain(decision_fan_out, self._after_phase1)
         finally:
             if hold is not None:
                 hold.release()
@@ -510,27 +599,34 @@ class _CoordinationRun:
         fan_out.add_done_callback(resume)
 
     def _after_phase1(self, decision_fan_out) -> None:
-        if self._done():
-            return
-        try:
-            outcome_messages = self._phase2_messages(decision_fan_out.results())
-            outcome_fan_out = self._commit_outcome(outcome_messages)
-            if outcome_fan_out is None:  # aborted while verifying: no outcome
+        # Continuations run on executor workers, which carry whatever trace
+        # context their previous task left behind -- re-activate the run root
+        # explicitly so everything this phase sends is attributed correctly.
+        with _span_scope(self._span):
+            if self._done():
                 return
-        except Exception as error:  # noqa: BLE001 - resolve, never strand waiters
-            self._settle(lambda: self.future.fail(error))
-            return
-        self._chain(outcome_fan_out, self._after_phase2)
+            try:
+                outcome_messages = self._phase2_messages(
+                    decision_fan_out.results()
+                )
+                outcome_fan_out = self._commit_outcome(outcome_messages)
+                if outcome_fan_out is None:  # aborted while verifying
+                    return
+            except Exception as error:  # noqa: BLE001 - resolve, never strand waiters
+                self._settle(lambda: self.future.fail(error))
+                return
+            self._chain(outcome_fan_out, self._after_phase2)
 
     def _after_phase2(self, outcome_fan_out) -> None:
-        if self._done():
-            return
-        try:
-            outcome = self._finalize(outcome_fan_out.errors())
-        except Exception as error:  # noqa: BLE001 - resolve, never strand waiters
-            self._settle(lambda: self.future.fail(error))
-            return
-        self._settle(lambda: self.future.complete(outcome))
+        with _span_scope(self._span):
+            if self._done():
+                return
+            try:
+                outcome = self._finalize(outcome_fan_out.errors())
+            except Exception as error:  # noqa: BLE001 - resolve, never strand waiters
+                self._settle(lambda: self.future.fail(error))
+                return
+            self._settle(lambda: self.future.complete(outcome))
 
     # -- abort / timeout ----------------------------------------------------------
 
@@ -1426,6 +1522,13 @@ class B2BObjectController:
                     message.recipient: message for message in messages
                 },
                 "attempts": 0,
+                # Parent context for the per-attempt ``redeliver`` spans:
+                # captured here (still inside the run's activation) because
+                # the attempts themselves fire on scheduler/executor threads
+                # with unrelated ambient context.
+                "trace_parent": _tracing.current_ctx()
+                if _OBS.tracing is not None
+                else None,
             }
         self._coordinator.services.audit_log.append(
             category=AUDIT_CATEGORY_SHARING,
@@ -1465,6 +1568,17 @@ class B2BObjectController:
             new_version = task["new_version"]
             pending = dict(task["pending"])
             attempts = task["attempts"]
+            trace_parent = task.get("trace_parent")
+        tracer = _OBS.tracing
+        span = None
+        if tracer is not None:
+            span = tracer.start_span(
+                "redeliver",
+                trace_id=run_id,
+                parent=trace_parent,
+                use_ambient_parent=False,
+                attributes={"attempt": attempts + 1, "object_id": object_id},
+            )
         if (
             new_version is not None
             and self.is_shared(object_id)
@@ -1485,6 +1599,8 @@ class B2BObjectController:
                     "unacked_peers": sorted(pending),
                 },
             )
+            if span is not None:
+                span.end("superseded")
             return
         breaker = getattr(self._coordinator.network, "circuit_breaker", None)
         sendable = [
@@ -1495,18 +1611,23 @@ class B2BObjectController:
         if not sendable:  # every unacked peer's breaker is open; back off
             with self._lock:
                 if run_id not in self._redeliveries:
+                    if span is not None:
+                        span.end("cancelled")
                     return
                 self._redeliveries[run_id]["attempts"] = attempts + 1
             self._arm_redelivery(run_id, self._redelivery_delay(attempts + 1))
+            if span is not None:
+                span.end("skipped")
             return
         recipients = [message.recipient for message in sendable]
-        fan_out = self._coordinator.send_all_async(sendable)
+        with _span_scope(span):  # stamp the resent messages with this attempt
+            fan_out = self._coordinator.send_all_async(sendable)
         fan_out.add_done_callback(
-            lambda _fo: self._redelivery_done(run_id, recipients, fan_out)
+            lambda _fo: self._redelivery_done(run_id, recipients, fan_out, span)
         )
 
     def _redelivery_done(
-        self, run_id: str, recipients: List[str], fan_out
+        self, run_id: str, recipients: List[str], fan_out, span=None
     ) -> None:
         errors = fan_out.errors()
         delivered = [
@@ -1515,6 +1636,8 @@ class B2BObjectController:
         with self._lock:
             task = self._redeliveries.get(run_id)
             if task is None:
+                if span is not None:
+                    span.end("cancelled")
                 return
             for peer in delivered:
                 task["pending"].pop(peer, None)
@@ -1525,28 +1648,33 @@ class B2BObjectController:
             if not remaining:
                 self._redeliveries.pop(run_id, None)
         audit = self._coordinator.services.audit_log
-        if delivered:
+        with _span_scope(span):  # correlate the re-delivery audits
+            if delivered:
+                audit.append(
+                    category=AUDIT_CATEGORY_SHARING,
+                    subject=run_id,
+                    details={
+                        "event": "outcome-redelivered",
+                        "object_id": object_id,
+                        "peers": delivered,
+                        "unacked_peers": remaining,
+                    },
+                )
+            if remaining:
+                self._arm_redelivery(run_id, self._redelivery_delay(attempts))
+                if span is not None:
+                    span.end("retry")
+                return
             audit.append(
                 category=AUDIT_CATEGORY_SHARING,
                 subject=run_id,
                 details={
-                    "event": "outcome-redelivered",
+                    "event": "outcome-redelivery-complete",
                     "object_id": object_id,
-                    "peers": delivered,
-                    "unacked_peers": remaining,
                 },
             )
-        if remaining:
-            self._arm_redelivery(run_id, self._redelivery_delay(attempts))
-            return
-        audit.append(
-            category=AUDIT_CATEGORY_SHARING,
-            subject=run_id,
-            details={
-                "event": "outcome-redelivery-complete",
-                "object_id": object_id,
-            },
-        )
+        if span is not None:
+            span.end("ok")
 
     def pending_redeliveries(self) -> List[str]:
         """Run ids with an outcome wave still awaiting re-delivery (sorted)."""
@@ -1626,47 +1754,74 @@ class B2BObjectController:
             expected_payload=outcome_payload,
             expected_issuer=proposer,
         )
-        with self._outcome_application(run_id):
-            # Re-check under the marker: a live (re-)delivered outcome for
-            # the same version racing this resync must win exactly once.
-            if new_version != self._shared(object_id).version + 1:
-                return False
-            services.evidence_store.store(
-                run_id=run_id,
-                token_type=nr_outcome.token_type,
-                token=nr_outcome,
-                role=services.evidence_store.ROLE_RECEIVED,
+        # The resync apply joins the original run's trace (trace id == run
+        # id) as a second root: the proposer's tree ended long ago in
+        # another process, so there is no parent to attach to.
+        tracer = _OBS.tracing
+        span = None
+        if tracer is not None:
+            span = tracer.start_span(
+                "resync:apply",
+                trace_id=run_id,
+                use_ambient_parent=False,
+                attributes={
+                    "object_id": object_id,
+                    "new_version": new_version,
+                    "party": self.party,
+                },
             )
-            for token_dict in record.get("decisions") or []:
-                token = EvidenceToken.from_dict(dict(token_dict))
-                try:
-                    services.evidence_verifier.require_valid(
-                        token,
-                        expected_type=TokenType.NR_DECISION,
-                        expected_run_id=run_id,
+        applied = False
+        try:
+            with _span_scope(span):
+                with self._outcome_application(run_id):
+                    # Re-check under the marker: a live (re-)delivered outcome
+                    # for the same version racing this resync must win exactly
+                    # once.
+                    if new_version != self._shared(object_id).version + 1:
+                        return False
+                    services.evidence_store.store(
+                        run_id=run_id,
+                        token_type=nr_outcome.token_type,
+                        token=nr_outcome,
+                        role=services.evidence_store.ROLE_RECEIVED,
                     )
-                except EvidenceVerificationError:
-                    continue
-                services.evidence_store.store(
-                    run_id=run_id,
-                    token_type=token.token_type,
-                    token=token,
-                    role=services.evidence_store.ROLE_RECEIVED,
+                    for token_dict in record.get("decisions") or []:
+                        token = EvidenceToken.from_dict(dict(token_dict))
+                        try:
+                            services.evidence_verifier.require_valid(
+                                token,
+                                expected_type=TokenType.NR_DECISION,
+                                expected_run_id=run_id,
+                            )
+                        except EvidenceVerificationError:
+                            continue
+                        services.evidence_store.store(
+                            run_id=run_id,
+                            token_type=token.token_type,
+                            token=token,
+                            role=services.evidence_store.ROLE_RECEIVED,
+                        )
+                    self._apply_update(
+                        object_id,
+                        proposed_state,
+                        new_version,
+                        outcome_record=record,
+                    )
+                services.audit_log.append(
+                    category=AUDIT_CATEGORY_SHARING,
+                    subject=run_id,
+                    details={
+                        "event": "resync-applied",
+                        "object_id": object_id,
+                        "new_version": new_version,
+                        "proposer": proposer,
+                    },
                 )
-            self._apply_update(
-                object_id, proposed_state, new_version, outcome_record=record
-            )
-        services.audit_log.append(
-            category=AUDIT_CATEGORY_SHARING,
-            subject=run_id,
-            details={
-                "event": "resync-applied",
-                "object_id": object_id,
-                "new_version": new_version,
-                "proposer": proposer,
-            },
-        )
-        return True
+                applied = True
+                return True
+        finally:
+            if span is not None:
+                span.end("ok" if applied else "skipped")
 
     def note_resync_divergence(
         self, object_id: str, peer: str, version: int, remote_digest: str
@@ -2559,18 +2714,41 @@ class SharingProtocolHandler(B2BProtocolHandler):
             cached = run.cached_response(message.message_id)
             if cached is not None:
                 return cached
-        if action == ACTION_PROPOSE:
-            response = self._controller.handle_proposal(message)
-        elif action == ACTION_MEMBERSHIP_PROPOSE:
-            response = self._controller.handle_membership_proposal(message)
-        else:
-            raise ProtocolError(f"unsupported sharing request action {action!r}")
-        # The decision is about to leave with no outcome back yet: start the
-        # proposal-age expiry clock so a proposer that dies mid-run cannot
-        # strand this responder's run state forever.
-        self._controller._watch_orphan_run(  # noqa: SLF001 - same module
-            message.run_id, message.sender, message.payload["object_id"]
-        )
+        # The responder's span parents to the context the transports carried
+        # over from the proposer (run root or commit span) -- the same tree no
+        # matter which transport delivered the request.
+        tracer = _OBS.tracing
+        span = None
+        if tracer is not None:
+            span = tracer.start_span(
+                _HANDLE_SPAN_NAMES.get(action) or "handle:%s" % action,
+                trace_id=message.run_id,
+                attributes={"party": self._controller.party},
+            )
+        try:
+            with _span_scope(span):
+                if action == ACTION_PROPOSE:
+                    response = self._controller.handle_proposal(message)
+                elif action == ACTION_MEMBERSHIP_PROPOSE:
+                    response = self._controller.handle_membership_proposal(
+                        message
+                    )
+                else:
+                    raise ProtocolError(
+                        f"unsupported sharing request action {action!r}"
+                    )
+                # The decision is about to leave with no outcome back yet:
+                # start the proposal-age expiry clock so a proposer that dies
+                # mid-run cannot strand this responder's run state forever.
+                self._controller._watch_orphan_run(  # noqa: SLF001 - same module
+                    message.run_id, message.sender, message.payload["object_id"]
+                )
+        except Exception:
+            if span is not None:
+                span.end("error")
+            raise
+        if span is not None:
+            span.end("ok")
         run.cache_response(message.message_id, response)
         return response
 
@@ -2586,27 +2764,44 @@ class SharingProtocolHandler(B2BProtocolHandler):
         )
         if not run.record_message(message):
             return
-        if action == ACTION_OUTCOME:
-            # The application marker subsumes _clear_orphan_watch (it pops
-            # the timer itself) and makes a concurrently-firing orphan
-            # expiry cancel instead of aborting the committing run.
-            with self._controller._outcome_application(  # noqa: SLF001
-                message.run_id
-            ):
-                self._controller.handle_outcome(message)
-                run.complete()
-            return
-        if action == ACTION_MEMBERSHIP_OUTCOME:
-            with self._controller._outcome_application(  # noqa: SLF001
-                message.run_id
-            ):
-                self._controller.handle_membership_outcome(message)
-                run.complete()
-            return
-        if action == ACTION_ABORT:
-            self._controller.handle_abort(message)
-            return
-        raise ProtocolError(f"unsupported sharing one-way action {action!r}")
+        tracer = _OBS.tracing
+        span = None
+        if tracer is not None:
+            span = tracer.start_span(
+                _HANDLE_SPAN_NAMES.get(action) or "handle:%s" % action,
+                trace_id=message.run_id,
+                attributes={"party": self._controller.party},
+            )
+        try:
+            with _span_scope(span):
+                if action == ACTION_OUTCOME:
+                    # The application marker subsumes _clear_orphan_watch (it
+                    # pops the timer itself) and makes a concurrently-firing
+                    # orphan expiry cancel instead of aborting the committing
+                    # run.
+                    with self._controller._outcome_application(  # noqa: SLF001
+                        message.run_id
+                    ):
+                        self._controller.handle_outcome(message)
+                        run.complete()
+                elif action == ACTION_MEMBERSHIP_OUTCOME:
+                    with self._controller._outcome_application(  # noqa: SLF001
+                        message.run_id
+                    ):
+                        self._controller.handle_membership_outcome(message)
+                        run.complete()
+                elif action == ACTION_ABORT:
+                    self._controller.handle_abort(message)
+                else:
+                    raise ProtocolError(
+                        f"unsupported sharing one-way action {action!r}"
+                    )
+        except Exception:
+            if span is not None:
+                span.end("error")
+            raise
+        if span is not None:
+            span.end("ok")
 
 
 #: Method-name prefixes treated as state mutators when no explicit list is given.

@@ -37,6 +37,7 @@ from repro.crypto.certificates import CertificateAuthority
 from repro.crypto.timestamp import TimestampAuthority
 from repro.errors import ProtocolError
 from repro.faults import FaultPlan
+from repro.faults.breaker import STATE_HALF_OPEN, STATE_OPEN
 from repro.persistence.storage import StorageBackend
 from repro.transport.network import DispatchStrategy, FaultModel, SimulatedNetwork
 from repro.transport.scheduler import RetryScheduler
@@ -311,6 +312,7 @@ class TrustDomain:
 
         if config.with_arbitrator:
             domain._install_arbitrator(ca, clock, scheme, tsa)
+        domain._install_observability(config)
         return domain
 
     @classmethod
@@ -429,7 +431,89 @@ class TrustDomain:
                 org.coordinator.set_route_resolver(transport.ensure_party)
         elif transport.await_remote_credentials and domain.remote_parties:
             transport.exchange(domain.remote_parties)
+        domain._install_observability(config)
         return domain
+
+    def _install_observability(self, config: DomainConfig) -> None:
+        """Turn on the process-wide observability plane for this domain.
+
+        Idempotent across domains sharing a process: ``enable`` reuses the
+        live span collector and metrics registry, and collector names are
+        qualified per network/organisation so re-registration (a rebuilt
+        domain) overwrites rather than duplicates.  All metric sources are
+        *pull* collectors -- they cost nothing until a snapshot is taken.
+        """
+        settings = config.observability
+        if settings is None:
+            return
+        from repro import parallel
+        from repro.crypto import dsa
+        from repro.observability import runtime as observability_runtime
+
+        observability_runtime.enable(settings)
+        self.network.set_trace_capacity(settings.message_trace_cap)
+        registry = observability_runtime.STATE.metrics
+        if registry is None:
+            return
+        network = self.network
+        transport = self.transport
+
+        def network_metrics() -> Dict[str, float]:
+            stats = network.statistics
+            metrics = {
+                "network.messages_sent": stats.messages_sent,
+                "network.messages_delivered": stats.messages_delivered,
+                "network.messages_dropped": stats.messages_dropped,
+                "network.messages_duplicated": stats.messages_duplicated,
+                "network.messages_shed": stats.messages_shed,
+                "network.bytes_delivered": stats.bytes_delivered,
+                "network.circuit_open_refusals": stats.circuit_open_refusals,
+                "executor.queue_depth": parallel.executor_queue_depth(),
+            }
+            scheduler = network.retry_scheduler
+            if scheduler is not None:
+                metrics["scheduler.pending_timers"] = scheduler.pending_timers()
+            breaker = network.circuit_breaker
+            if breaker is not None:
+                states = list(breaker.states().values())
+                metrics["breaker.circuits_open"] = states.count(STATE_OPEN)
+                metrics["breaker.circuits_half_open"] = states.count(
+                    STATE_HALF_OPEN
+                )
+            pools = dsa.nonce_pool_stats().values()
+            metrics["crypto.nonce_pool_size"] = sum(p["size"] for p in pools)
+            metrics["crypto.nonce_pool_hits"] = sum(p["hits"] for p in pools)
+            metrics["crypto.nonce_pool_misses"] = sum(
+                p["misses"] for p in pools
+            )
+            if transport is not None and transport.peer_manager is not None:
+                manager = transport.peer_manager
+                metrics["peering.live_channels"] = manager.live_channels
+                metrics["peering.channels_created"] = manager.stats.created
+                metrics["peering.channels_evicted"] = manager.stats.evicted
+            return metrics
+
+        registry.register_collector(
+            f"network:{id(network):x}", network_metrics
+        )
+
+        def org_metrics(org: Organisation, uri: str) -> Dict[str, float]:
+            metrics = {
+                f"evidence.records.{uri}": org.evidence_store.total_records(),
+                f"audit.records.{uri}": len(org.audit_log),
+            }
+            journal = org.coordinator.services.run_journal
+            if journal is not None:
+                metrics[f"journal.open_runs.{uri}"] = len(journal.open_runs())
+            return metrics
+
+        for uri, org in self.organisations.items():
+            registry.register_collector(
+                f"org:{uri}",
+                lambda org=org, uri=uri: org_metrics(org, uri),
+            )
+        if settings.http_port is not None and transport is not None:
+            transport.serve_observability(settings.http_port)
 
     def _new_ttp(
         self,

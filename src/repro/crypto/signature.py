@@ -13,11 +13,13 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.crypto.hashing import secure_hash
 from repro.crypto.keys import KeyPair, PrivateKey, PublicKey
 from repro.errors import SignatureError
+from repro.observability.runtime import STATE as _OBS
 
 
 @dataclass(frozen=True)
@@ -239,7 +241,13 @@ class Signer:
 
     def sign(self, message: bytes) -> Signature:
         """Sign ``message`` (hash-then-sign)."""
-        return self._scheme.sign(self._private_key, message)
+        observe = _OBS.observe_sign
+        if observe is None:
+            return self._scheme.sign(self._private_key, message)
+        started = perf_counter()
+        signature = self._scheme.sign(self._private_key, message)
+        observe(perf_counter() - started)
+        return signature
 
 
 class Verifier:
@@ -259,7 +267,13 @@ class Verifier:
 
     def verify(self, message: bytes, signature: Signature) -> bool:
         """Return ``True`` if ``signature`` is valid for ``message``."""
-        return self._scheme.verify(self._public_key, message, signature)
+        observe = _OBS.observe_verify
+        if observe is None:
+            return self._scheme.verify(self._public_key, message, signature)
+        started = perf_counter()
+        valid = self._scheme.verify(self._public_key, message, signature)
+        observe(perf_counter() - started)
+        return valid
 
 
 def generate_keypair(scheme: str = "rsa", **options: Any) -> KeyPair:

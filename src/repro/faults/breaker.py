@@ -82,6 +82,15 @@ class CircuitBreaker:
             self._advance_locked(destination, circuit)
             return circuit.state
 
+    def states(self) -> Dict[str, str]:
+        """Current state per known destination (advancing open circuits)."""
+        with self._lock:
+            result = {}
+            for destination, circuit in self._circuits.items():
+                self._advance_locked(destination, circuit)
+                result[destination] = circuit.state
+            return result
+
     def allow(self, destination: str) -> bool:
         """May an attempt go out to ``destination`` right now?
 

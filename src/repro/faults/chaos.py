@@ -42,11 +42,13 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.clock import SimulatedClock
-from repro.core.config import PeeringConfig
+from repro.core.config import ObservabilityConfig, PeeringConfig
 from repro.core.sharing import set_run_fault_injector
 from repro.core.trust_domain import TrustDomain
 from repro.faults.failpoints import VERB_CLOSE
 from repro.faults.plan import FaultPlan, FaultRule
+from repro.observability import runtime as _obs_runtime
+from repro.observability.tracing import render_tree
 from repro.transport.wire import WireTransport
 from repro.transport.wire.network import FAILPOINT_CLIENT_BEFORE_SEND
 
@@ -58,6 +60,7 @@ __all__ = [
     "standard_chaos_plan",
     "write_failure_artifact",
     "write_self_healing_artifact",
+    "write_trace_artifact",
 ]
 
 #: Object id shared objects are coordinated under in every scenario.
@@ -183,14 +186,46 @@ def _storage_profile(kind: Optional[str]) -> Iterator[Optional[str]]:
         shutil.rmtree(directory, ignore_errors=True)
 
 
+@contextlib.contextmanager
+def _leg_tracing(capture: bool):
+    """Record one leg's span trees without disturbing the host's plane.
+
+    Yields a renderer mapping run ids to their ASCII span trees (empty when
+    ``capture`` is off).  A fresh tracing-only plane is enabled for the leg
+    and whatever observability state the process had before is suspended
+    around it, so each leg's trace is self-contained.  Capture cannot
+    perturb convergence: trace context rides out-of-band and injector draws
+    never touch the observability plane.
+    """
+    if not capture:
+        yield lambda run_ids: {}
+        return
+    previous = _obs_runtime.suspend()
+    _obs_runtime.enable(ObservabilityConfig(metrics=False))
+    collector = _obs_runtime.STATE.tracing
+    try:
+        def render(run_ids):
+            spans = collector.spans()
+            return {
+                run_id: render_tree(spans, run_id) for run_id in run_ids
+            }
+        yield render
+    finally:
+        _obs_runtime.disable()
+        _obs_runtime.resume(previous)
+
+
 def _simulated_run(
     plan: FaultPlan,
     parties: int,
     values: List[int],
     storage: Optional[str] = None,
+    capture_traces: bool = False,
 ):
     uris = _uris(parties)
-    with _storage_profile(storage) as profile:
+    with _storage_profile(storage) as profile, _leg_tracing(
+        capture_traces
+    ) as render:
         domain = TrustDomain.create(
             uris,
             scheme="hmac",
@@ -200,9 +235,12 @@ def _simulated_run(
         )
         domain.share_object(OBJECT_ID, {"v": 0})
         outcomes, run_ids = _drive(domain.organisation(uris[0]), values)
-        return _summarize(
+        summary = _summarize(
             outcomes, run_ids, uris, lambda uri: domain.organisation(uri)
         )
+        if capture_traces:
+            summary["traces"] = render(run_ids)
+        return summary
 
 
 def _wire_run(
@@ -212,10 +250,13 @@ def _wire_run(
     values: List[int],
     storage: Optional[str] = None,
     peering_cap: Optional[int] = None,
+    capture_traces: bool = False,
 ):
     uris = _uris(parties)
     local_a, local_b = uris[:split], uris[split:]
-    with _storage_profile(storage) as profile, WireTransport(
+    with _storage_profile(storage) as profile, _leg_tracing(
+        capture_traces
+    ) as render, WireTransport(
         local_parties=local_a,
         await_remote_credentials=False,
         clock=SimulatedClock(),
@@ -254,7 +295,10 @@ def _wire_run(
         def org_for(uri):
             return (da if uri in da.organisations else db).organisation(uri)
 
-        return _summarize(outcomes, run_ids, uris, org_for)
+        summary = _summarize(outcomes, run_ids, uris, org_for)
+        if capture_traces:
+            summary["traces"] = render(run_ids)
+        return summary
 
 
 def run_cross_transport_scenario(
@@ -264,6 +308,7 @@ def run_cross_transport_scenario(
     values: Optional[List[int]] = None,
     storage: Optional[str] = None,
     peering_cap: Optional[int] = None,
+    capture_traces: bool = False,
 ) -> ChaosReport:
     """Replay ``plan`` on the simulator and a 2-node wire loopback.
 
@@ -281,6 +326,11 @@ def run_cross_transport_scenario(
     file.  ``peering_cap`` enables the lazy channel manager on the
     proposer's wire node with that ``max_live_channels``, making channel
     eviction/recreation churn part of the faulted scenario.
+
+    ``capture_traces`` records each leg under a throwaway tracing plane
+    and attaches the rendered per-run span trees to the summaries (under
+    ``"traces"``), so a divergence artifact shows *where inside the run*
+    the two transports parted ways, not just the end states.
     """
     values = list(values) if values is not None else [1, 2, 3]
     if not 1 <= split < parties:
@@ -288,9 +338,17 @@ def run_cross_transport_scenario(
     report = ChaosReport(
         plan=plan, parties=parties, split=split, values=values
     )
-    report.simulated = _simulated_run(plan, parties, values, storage=storage)
+    report.simulated = _simulated_run(
+        plan, parties, values, storage=storage, capture_traces=capture_traces
+    )
     report.wired = _wire_run(
-        plan, parties, split, values, storage=storage, peering_cap=peering_cap
+        plan,
+        parties,
+        split,
+        values,
+        storage=storage,
+        peering_cap=peering_cap,
+        capture_traces=capture_traces,
     )
     return report
 
@@ -318,6 +376,30 @@ def write_failure_artifact(report: ChaosReport, directory: str) -> str:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True, default=str)
         handle.write("\n")
+    return path
+
+
+def write_trace_artifact(report: ChaosReport, directory: str) -> str:
+    """Dump both legs' rendered span trees next to the replayable plan.
+
+    Requires the report to have been produced with ``capture_traces=True``;
+    runs a leg never traced render as ``(no spans recorded)``.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(
+        directory, f"{report.plan.name or 'fault-plan'}-traces.txt"
+    )
+    sections = []
+    for leg, summary in (("simulated", report.simulated), ("wired", report.wired)):
+        sections.append(f"== {leg} leg ==")
+        traces = summary.get("traces") or {}
+        if not traces:
+            sections.append("(no spans recorded)")
+        for run_id in sorted(traces):
+            sections.append(traces[run_id])
+        sections.append("")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(sections))
     return path
 
 
@@ -1012,6 +1094,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write a replayable failure artifact here on divergence",
     )
     parser.add_argument(
+        "--trace-artifact", default=None, metavar="DIR",
+        help=(
+            "trace both legs and, on divergence, write their rendered "
+            "span trees here alongside the replayable plan"
+        ),
+    )
+    parser.add_argument(
         "--self-healing", action="store_true",
         help="run the kill/restart/resync scenario instead of the fault plan",
     )
@@ -1053,7 +1142,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     plan = standard_chaos_plan(options.seed)
     report = run_cross_transport_scenario(
-        plan, parties=options.parties, values=options.values
+        plan,
+        parties=options.parties,
+        values=options.values,
+        capture_traces=options.trace_artifact is not None,
     )
     if report.converged:
         print(f"converged: plan {plan.name} over {options.parties} parties")
@@ -1062,6 +1154,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(problem)
     if options.artifact_dir:
         print(f"artifact: {write_failure_artifact(report, options.artifact_dir)}")
+    if options.trace_artifact:
+        print(f"traces: {write_trace_artifact(report, options.trace_artifact)}")
     return 1
 
 

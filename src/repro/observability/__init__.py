@@ -1,0 +1,61 @@
+"""Unified observability plane: tracing, metrics, exporters.
+
+See the "Observability architecture" section of :mod:`repro` for the
+propagation model and naming conventions.  The public surface:
+
+* :func:`enable` / :func:`disable` / :func:`enabled` — the process-global
+  switch (normally driven by ``ObservabilityConfig`` on ``DomainConfig``).
+* :data:`runtime.STATE` — ``.tracing`` (a :class:`SpanCollector`) and
+  ``.metrics`` (a :class:`MetricsRegistry`), both ``None`` when disabled.
+* :mod:`tracing` — span primitives, context propagation helpers, and the
+  tree build/render/shape utilities.
+* :mod:`metrics` — counters, gauges, per-thread-sharded histograms, pull
+  collectors.
+* :mod:`exporters` — Prometheus text, JSON snapshots, and the opt-in HTTP
+  endpoint.
+* ``python -m repro.observability.trace`` — render exported span trees.
+"""
+
+from __future__ import annotations
+
+from repro.observability.exporters import (
+    ObservabilityHTTPServer,
+    metrics_snapshot,
+    render_json,
+    render_prometheus,
+)
+from repro.observability.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.observability.runtime import STATE, disable, enable, enabled
+from repro.observability.tracing import (
+    Span,
+    SpanCollector,
+    activate,
+    build_tree,
+    call_in_ctx,
+    current_ctx,
+    render_tree,
+    tree_shape,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObservabilityHTTPServer",
+    "STATE",
+    "Span",
+    "SpanCollector",
+    "activate",
+    "build_tree",
+    "call_in_ctx",
+    "current_ctx",
+    "disable",
+    "enable",
+    "enabled",
+    "metrics_snapshot",
+    "render_json",
+    "render_prometheus",
+    "render_tree",
+    "tree_shape",
+]

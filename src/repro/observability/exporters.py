@@ -1,0 +1,137 @@
+"""Exporters: Prometheus text format, JSON snapshots, and an opt-in HTTP
+endpoint.
+
+The HTTP endpoint is a tiny stdlib ``ThreadingHTTPServer`` serving
+
+* ``/metrics`` — Prometheus text format (the registry snapshot, including
+  pull collectors, rendered with a ``repro_`` prefix),
+* ``/metrics.json`` — the same snapshot as JSON,
+* ``/spans.json`` — the span collector's buffer as JSON.
+
+It is only started when ``ObservabilityConfig.http_port`` is set (port 0
+binds an ephemeral port) and is owned by the ``WireTransport`` that started
+it; both renderers are also directly callable for in-process dumps.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+from repro.observability.runtime import STATE
+
+__all__ = [
+    "render_prometheus",
+    "render_json",
+    "metrics_snapshot",
+    "ObservabilityHTTPServer",
+]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: Dict[str, Any]) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` in Prometheus text format."""
+
+    lines = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(snapshot['counters'][name])}")
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(snapshot['gauges'][name])}")
+    for name in sorted(snapshot.get("histograms", {})):
+        data = snapshot["histograms"][name]
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        for bound, count in data["buckets"]:
+            lines.append(f'{metric}_bucket{{le="{_prom_value(bound)}"}} {count}')
+        lines.append(f"{metric}_sum {_prom_value(data['sum'])}")
+        lines.append(f"{metric}_count {data['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def metrics_snapshot() -> Dict[str, Any]:
+    """The live registry snapshot, or an empty shell when metrics are off."""
+
+    registry = STATE.metrics
+    if registry is None:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+    return registry.snapshot()
+
+
+def render_json(snapshot: Optional[Dict[str, Any]] = None) -> str:
+    if snapshot is None:
+        snapshot = metrics_snapshot()
+    return json.dumps(snapshot, indent=2, sort_keys=True, default=str)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_prometheus(metrics_snapshot()).encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/metrics.json":
+            body = render_json().encode("utf-8")
+            content_type = "application/json"
+        elif path == "/spans.json":
+            collector = STATE.tracing
+            spans = collector.spans() if collector is not None else []
+            body = json.dumps({"spans": spans}, default=str).encode("utf-8")
+            content_type = "application/json"
+        else:
+            self.send_error(404)
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args: Any) -> None:  # silence request logging
+        return
+
+
+class ObservabilityHTTPServer:
+    """A daemon-threaded HTTP server exposing the process's metrics/spans."""
+
+    def __init__(self, port: int = 0, host: str = "127.0.0.1") -> None:
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-observability-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)

@@ -1,0 +1,239 @@
+"""Process-wide metrics registry.
+
+Three instrument kinds:
+
+* :class:`Counter` — monotonically increasing, lock-guarded (push sites are
+  not on per-message hot paths).
+* :class:`Gauge` — last-write-wins point-in-time value.
+* :class:`Histogram` — latency distributions with *per-thread shards*: an
+  ``observe()`` touches only the calling thread's shard (no lock on the hot
+  path; the only lock is taken once per thread at shard creation), and the
+  shards are merged at scrape time.
+
+Beyond push instruments, the registry supports *pull collectors*: named
+callbacks returning ``{metric_name: value}`` mappings, evaluated only when a
+snapshot is taken.  Existing signal sources (``NetworkStatistics``, the
+retry scheduler's quiescence probe, circuit breakers, peering caps, stores,
+nonce pools, the shared executor) are absorbed this way, so enabling metrics
+adds no work to their hot paths at all.  Registering a collector under an
+existing name replaces it (processes hosting several trust domains re-bind
+cleanly), and a collector that raises is skipped for that scrape.
+
+Metric names are dotted lowercase (``crypto.sign_seconds``,
+``network.messages_sent``); exporters map them to backend-specific forms.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+
+class Counter:
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class _Shard:
+    __slots__ = ("count", "total", "bucket_counts")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.bucket_counts = [0] * (len(buckets) + 1)  # trailing +Inf bucket
+
+
+class Histogram:
+    """Histogram with per-thread shards; ``observe`` is lock-free after the
+    first observation on a thread."""
+
+    __slots__ = ("name", "buckets", "_tls", "_lock", "_shards")
+
+    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        self.buckets: Tuple[float, ...] = tuple(buckets or DEFAULT_BUCKETS)
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self._shards: List[_Shard] = []
+
+    def _shard(self) -> _Shard:
+        try:
+            return self._tls.shard
+        except AttributeError:
+            shard = _Shard(self.buckets)
+            with self._lock:
+                self._shards.append(shard)
+            self._tls.shard = shard
+            return shard
+
+    def observe(self, value: float) -> None:
+        try:
+            shard = self._tls.shard
+        except AttributeError:
+            shard = self._shard()
+        shard.count += 1
+        shard.total += value
+        # bisect_left on sorted bounds == first bucket with value <= bound;
+        # an off-the-end index lands in the trailing +Inf slot.
+        shard.bucket_counts[bisect_left(self.buckets, value)] += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Merge all per-thread shards into cumulative Prometheus-style data."""
+
+        with self._lock:
+            shards = list(self._shards)
+        count = 0
+        total = 0.0
+        merged = [0] * (len(self.buckets) + 1)
+        for shard in shards:
+            count += shard.count
+            total += shard.total
+            for index, bucket_count in enumerate(shard.bucket_counts):
+                merged[index] += bucket_count
+        cumulative: List[Tuple[float, int]] = []
+        running = 0
+        for index, bound in enumerate(self.buckets):
+            running += merged[index]
+            cumulative.append((bound, running))
+        cumulative.append((float("inf"), running + merged[-1]))
+        return {"count": count, "sum": total, "buckets": cumulative}
+
+
+class MetricsRegistry:
+    """Named instruments plus pull collectors, snapshot-able at any time."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._collectors: Dict[str, Callable[[], Mapping[str, float]]] = {}
+
+    # -- instrument accessors (create on first use) ------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter(name))
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(name, Gauge(name))
+        return gauge
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(name, Histogram(name, buckets))
+        return histogram
+
+    # -- convenience push helpers -----------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- pull collectors ---------------------------------------------------
+
+    def register_collector(
+        self, name: str, fn: Callable[[], Mapping[str, float]]
+    ) -> None:
+        with self._lock:
+            self._collectors[name] = fn
+
+    def unregister_collector(self, name: str) -> None:
+        with self._lock:
+            self._collectors.pop(name, None)
+
+    # -- scraping ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+            collectors = dict(self._collectors)
+        result: Dict[str, Any] = {
+            "counters": {name: counter.value for name, counter in counters.items()},
+            "gauges": {name: gauge.value for name, gauge in gauges.items()},
+            "histograms": {
+                name: histogram.snapshot() for name, histogram in histograms.items()
+            },
+        }
+        for collector_name, fn in collectors.items():
+            try:
+                values = fn()
+            except Exception:  # a broken probe must never break the scrape
+                continue
+            for metric_name, value in values.items():
+                try:
+                    result["gauges"][metric_name] = float(value)
+                except (TypeError, ValueError):
+                    continue
+        return result

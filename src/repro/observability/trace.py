@@ -1,0 +1,74 @@
+"""CLI rendering collected span trees.
+
+Usage::
+
+    python -m repro.observability.trace spans.json            # all traces
+    python -m repro.observability.trace spans.json --trace ID # one run's tree
+    python -m repro.observability.trace spans.json --list     # trace ids only
+
+The input is a JSON file as produced by
+:meth:`repro.observability.tracing.SpanCollector.export_json` or the
+``/spans.json`` HTTP endpoint: either ``{"spans": [...]}`` or a bare list
+of span dicts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List
+
+from repro.observability.tracing import render_tree
+
+__all__ = ["main"]
+
+
+def _load_spans(path: str) -> List[Dict[str, Any]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if isinstance(data, dict):
+        data = data.get("spans", [])
+    if not isinstance(data, list):
+        raise SystemExit(f"{path}: expected a span list or {{'spans': [...]}}")
+    return data
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability.trace",
+        description="Render collected spans as per-run trees.",
+    )
+    parser.add_argument("spans", help="path to a JSON span export")
+    parser.add_argument("--trace", help="render only this trace (run) id")
+    parser.add_argument(
+        "--list", action="store_true", help="list trace ids and span counts"
+    )
+    options = parser.parse_args(argv)
+
+    spans = _load_spans(options.spans)
+    trace_ids: List[str] = []
+    for span in spans:
+        trace_id = span.get("trace_id")
+        if trace_id is not None and trace_id not in trace_ids:
+            trace_ids.append(trace_id)
+
+    if options.list:
+        for trace_id in trace_ids:
+            count = sum(1 for span in spans if span.get("trace_id") == trace_id)
+            print(f"{trace_id}  ({count} spans)")
+        return 0
+
+    selected = [options.trace] if options.trace else trace_ids
+    if options.trace and options.trace not in trace_ids:
+        print(f"trace {options.trace!r} not found", file=sys.stderr)
+        return 1
+    for index, trace_id in enumerate(selected):
+        if index:
+            print()
+        print(render_tree(spans, trace_id))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,8 @@ from repro import codec
 from repro.clock import Clock, SystemClock
 from repro.crypto.hashing import HashChain
 from repro.errors import AuditLogError, AuditLogTamperedError
+from repro.observability import tracing as _tracing
+from repro.observability.runtime import STATE as _OBS
 from repro.persistence.storage import InMemoryBackend, StorageBackend
 
 
@@ -117,16 +119,26 @@ class AuditLog:
         ``"nr.sharing.decision"``); ``subject`` is normally the protocol run
         identifier so all evidence of one interaction can be retrieved
         together.
+
+        When tracing is enabled and a span is active on the appending
+        thread, the record's details gain ``trace_id``/``span_id`` so audit
+        events can be joined against the exported span tree (explicit
+        ``trace_id``/``span_id`` keys in ``details`` win).
         """
         if not category:
             raise AuditLogError("audit record category must not be empty")
+        details = dict(details or {})
+        if _OBS.tracing is not None and "trace_id" not in details:
+            ctx = _tracing.current_ctx()
+            if ctx is not None:
+                details["trace_id"], details["span_id"] = ctx
         with self._lock:
             record = AuditRecord(
                 index=self._count,
                 category=category,
                 subject=subject,
                 timestamp=self._clock.now(),
-                details=dict(details or {}),
+                details=details,
             )
             raw = codec.encode(record.to_dict())
             self._backend.put(self._key_for(record.index), raw)
@@ -145,14 +157,18 @@ class AuditLog:
         self,
         category: Optional[str] = None,
         subject: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> List[AuditRecord]:
-        """Return records, optionally filtered by category and/or subject."""
+        """Return records, optionally filtered by category, subject and/or
+        the ``trace_id`` their details were stamped with at append time."""
         results = []
         for index in range(self._count):
             record = self.record(index)
             if category is not None and record.category != category:
                 continue
             if subject is not None and record.subject != subject:
+                continue
+            if trace_id is not None and record.details.get("trace_id") != trace_id:
                 continue
             results.append(record)
         return results

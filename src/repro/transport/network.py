@@ -42,6 +42,9 @@ from repro.clock import Clock, MonotonicCounter, SimulatedClock
 from repro.errors import DeliveryError, UnknownEndpointError
 from repro.faults.breaker import CircuitBreaker
 from repro.faults.plan import FaultDecision, FaultInjector, FaultPlan
+from repro.observability import tracing as _tracing
+from repro.observability.runtime import STATE as _OBS
+from repro.transport.recorder import MessageTraceRecorder
 from repro.transport.scheduler import RetryScheduler
 
 
@@ -76,6 +79,11 @@ class Message:
     #: How this message was sized: ``"canonical"`` for the canonical codec
     #: encoding, ``"repr"`` for the lossy fallback (set by ``encoded_size``).
     sizing: str = SIZING_CANONICAL
+
+    #: Ambient ``(trace_id, span_id)`` at construction time, when tracing is
+    #: enabled.  Carried out-of-band: never part of the canonical envelope,
+    #: so byte accounting is identical with tracing on or off.
+    trace: Optional[Tuple[str, str]] = None
 
     def encoded_size(self) -> int:
         """Size of the message payload in canonical bytes, computed once.
@@ -406,7 +414,7 @@ class SimulatedNetwork:
             self._injector = FaultInjector(model=self.fault_model)
         self._message_counter = MonotonicCounter(1)
         self._lock = threading.RLock()
-        self._trace: List[Message] = []
+        self._recorder = MessageTraceRecorder()
         self.trace_enabled = False
 
     def set_dispatch(self, dispatch: DispatchStrategy) -> None:
@@ -517,7 +525,7 @@ class SimulatedNetwork:
             self.statistics.attempts_per_destination.get(destination, 0) + 1
         )
         if self.trace_enabled:
-            self._trace.append(message)
+            self._recorder.record(message)
 
         if self.partition.is_severed(sender, destination):
             self.statistics.messages_dropped += 1
@@ -586,9 +594,13 @@ class SimulatedNetwork:
                 payload=payload,
                 message_id=self._message_counter.next(),
             )
+            if _OBS.tracing is not None:
+                message.trace = _tracing.current_ctx()
             endpoint, decision = self._admit_locked(message)
 
         # Dispatch outside the lock so handlers can themselves send messages.
+        # The handler runs on the calling thread, where the message's span
+        # context (if any) is already ambient -- no activation needed here.
         self.clock.sleep(decision.latency)
         if decision.duplicate:
             endpoint.handler(message)
@@ -615,6 +627,7 @@ class SimulatedNetwork:
         """
         admitted: List[Tuple[int, Message, Endpoint, FaultDecision]] = []
         results: List[BatchResult] = [BatchResult() for _ in entries]
+        trace_ctx = _tracing.current_ctx() if _OBS.tracing is not None else None
         with self._lock:
             for index, (destination, operation, payload) in enumerate(entries):
                 message = Message(
@@ -623,6 +636,7 @@ class SimulatedNetwork:
                     operation=operation,
                     payload=payload,
                     message_id=self._message_counter.next(),
+                    trace=trace_ctx,
                 )
                 try:
                     endpoint, decision = self._admit_locked(message)
@@ -646,12 +660,20 @@ class SimulatedNetwork:
             endpoint: Endpoint,
             decision: FaultDecision,
         ) -> Callable[[], None]:
+            def invoke() -> Any:
+                if decision.duplicate:
+                    endpoint.handler(message)
+                return endpoint.handler(message)
+
             def unit() -> None:
                 try:
                     self.clock.sleep(decision.latency)
-                    if decision.duplicate:
-                        endpoint.handler(message)
-                    results[index].result = endpoint.handler(message)
+                    # Parallel dispatch may hop threads: restore the sender's
+                    # span context around the handler so responder spans stay
+                    # parented to the run.
+                    results[index].result = _tracing.call_in_ctx(
+                        message.trace, invoke
+                    )
                 except Exception as error:  # per-entry isolation, mirrors
                     results[index].error = error  # callers' per-peer semantics
 
@@ -665,10 +687,14 @@ class SimulatedNetwork:
     @property
     def trace(self) -> List[Message]:
         """Recorded messages (only populated when ``trace_enabled`` is set)."""
-        return list(self._trace)
+        return self._recorder.messages()
 
     def clear_trace(self) -> None:
-        self._trace.clear()
+        self._recorder.clear()
+
+    def set_trace_capacity(self, cap: int) -> None:
+        """Re-bound the message recorder (existing entries are kept FIFO)."""
+        self._recorder.set_cap(cap)
 
     def reset_statistics(self) -> None:
         self.statistics = NetworkStatistics()

@@ -1,0 +1,44 @@
+"""Shared bounded message-capture recorder.
+
+Both transports used to keep their own unbounded ``_trace`` list guarded by
+a ``trace_enabled`` flag — copied code, and a memory leak on any long-lived
+node that left tracing on.  This recorder is the single implementation: a
+bounded deque (default cap 10k messages) that both ``SimulatedNetwork`` and
+``WireNetwork`` append admitted messages to.  The networks keep their
+public ``trace_enabled`` / ``trace`` / ``clear_trace()`` surface.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, List
+
+__all__ = ["MessageTraceRecorder", "DEFAULT_TRACE_CAP"]
+
+DEFAULT_TRACE_CAP = 10_000
+
+
+class MessageTraceRecorder:
+    """Bounded FIFO of captured messages (oldest dropped past the cap)."""
+
+    def __init__(self, cap: int = DEFAULT_TRACE_CAP) -> None:
+        self._messages: deque = deque(maxlen=max(1, int(cap)))
+
+    def record(self, message: Any) -> None:
+        self._messages.append(message)
+
+    def messages(self) -> List[Any]:
+        return list(self._messages)
+
+    def clear(self) -> None:
+        self._messages.clear()
+
+    def set_cap(self, cap: int) -> None:
+        self._messages = deque(self._messages, maxlen=max(1, int(cap)))
+
+    @property
+    def cap(self) -> int:
+        return self._messages.maxlen or 0
+
+    def __len__(self) -> int:
+        return len(self._messages)

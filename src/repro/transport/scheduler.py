@@ -47,6 +47,8 @@ from typing import Any, Callable, Iterable, List, Optional
 
 from repro import parallel
 from repro.clock import Clock
+from repro.observability import tracing as _tracing
+from repro.observability.runtime import STATE as _OBS
 
 __all__ = [
     "AdvanceHold",
@@ -80,7 +82,15 @@ class TimerHandle:
     hanging.
     """
 
-    __slots__ = ("deadline", "run_id", "_scheduler", "_callback", "_on_cancel", "_state")
+    __slots__ = (
+        "deadline",
+        "run_id",
+        "_scheduler",
+        "_callback",
+        "_on_cancel",
+        "_state",
+        "_trace_ctx",
+    )
 
     def __init__(
         self,
@@ -89,6 +99,7 @@ class TimerHandle:
         callback: Callable[[], None],
         run_id: Optional[str] = None,
         on_cancel: Optional[Callable[[], None]] = None,
+        trace_ctx: Optional[Any] = None,
     ) -> None:
         self.deadline = deadline
         self.run_id = run_id
@@ -96,6 +107,17 @@ class TimerHandle:
         self._callback = callback
         self._on_cancel = on_cancel
         self._state = _PENDING
+        # Ambient span context captured at scheduling time; restored around
+        # the callback at fire time so retry waves, redelivery pushes and
+        # deadline expiries stay attributed to the run that scheduled them.
+        self._trace_ctx = trace_ctx
+
+    def _run_callback(self) -> None:
+        ctx = self._trace_ctx
+        if ctx is None:
+            self._callback()
+        else:
+            _tracing.call_in_ctx(ctx, self._callback)
 
     def cancel(self) -> bool:
         """Withdraw the timer; returns False when it already fired."""
@@ -329,9 +351,11 @@ class RetryScheduler:
         """
         if delay < 0:
             raise ValueError("cannot schedule a timer in the past")
+        trace_ctx = _tracing.current_ctx() if _OBS.tracing is not None else None
         with self._condition:
             handle = TimerHandle(
-                self, self._clock.now() + delay, callback, run_id, on_cancel
+                self, self._clock.now() + delay, callback, run_id, on_cancel,
+                trace_ctx=trace_ctx,
             )
             heapq.heappush(self._heap, (handle.deadline, next(self._seq), handle))
             self._pending += 1
@@ -558,12 +582,12 @@ class RetryScheduler:
         """
         if self._clock.virtual or len(due) == 1:
             for handle in due:
-                handle._callback()
+                handle._run_callback()
             self._notify()
             return
         for handle in due[1:]:
-            parallel.submit(handle._callback)
-        due[0]._callback()
+            parallel.submit(handle._run_callback)
+        due[0]._run_callback()
         self._notify()
 
     def fire_due(self) -> int:

@@ -57,6 +57,7 @@ connection, stop a peer) remain available regardless.
 from __future__ import annotations
 
 import threading
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.clock import Clock, MonotonicCounter, SystemClock
@@ -64,6 +65,8 @@ from repro.errors import DeliveryError, UnknownEndpointError
 from repro.faults.breaker import CircuitBreaker
 from repro.faults.failpoints import VERB_CLOSE, FailpointRegistry
 from repro.faults.plan import FaultDecision, FaultPlan
+from repro.observability import tracing as _tracing
+from repro.observability.runtime import STATE as _OBS
 from repro.transport.network import (
     AUDIT_CATEGORY_TRANSPORT,
     BatchResult,
@@ -74,6 +77,7 @@ from repro.transport.network import (
     NetworkStatistics,
     SequentialDispatch,
 )
+from repro.transport.recorder import MessageTraceRecorder
 from repro.transport.scheduler import RetryScheduler
 from repro.transport.wire import wirecodec
 from repro.transport.wire.connection import ConnectionPool
@@ -150,7 +154,7 @@ class WireNetwork:
         self._lock = threading.RLock()
         self._message_counter = MonotonicCounter(1)
         self._seq = MonotonicCounter(1)
-        self._trace: List[Message] = []
+        self._recorder = MessageTraceRecorder()
         self.trace_enabled = False
         self._closed = False
         if fault_plan is not None:
@@ -343,7 +347,7 @@ class WireNetwork:
             self.statistics.attempts_per_destination.get(message.destination, 0) + 1
         )
         if self.trace_enabled:
-            self._trace.append(message)
+            self._recorder.record(message)
 
     def _decide_locked(self, message: Message) -> Optional[FaultDecision]:
         """Consult the fault injector for one admitted message.
@@ -412,8 +416,10 @@ class WireNetwork:
             if decision.latency:
                 self.clock.sleep(decision.latency)
             if decision.duplicate:
-                endpoint.handler(message)
-        return endpoint.handler(message)
+                _tracing.call_in_ctx(message.trace, endpoint.handler, message)
+        # Batch dispatch may hop threads: restore the sender's span context
+        # around the handler so responder spans stay parented to the run.
+        return _tracing.call_in_ctx(message.trace, endpoint.handler, message)
 
     def _round_trip(
         self,
@@ -424,6 +430,7 @@ class WireNetwork:
         payload: Any,
         message_id: int,
         fault: Optional[str] = None,
+        trace: Optional[Tuple[str, str]] = None,
     ) -> Dict[str, Any]:
         """One request/reply exchange with a peer; returns the reply envelope.
 
@@ -437,18 +444,27 @@ class WireNetwork:
         correlation -- which retries recover.
         """
         seq = self._seq.next()
-        request = wirecodec.encode_body(
-            {
-                "kind": "call",
-                "seq": seq,
-                "sender": sender,
-                "destination": destination,
-                "operation": operation,
-                "message_id": message_id,
-                "payload": payload,
-            }
-        )
+        envelope = {
+            "kind": "call",
+            "seq": seq,
+            "sender": sender,
+            "destination": destination,
+            "operation": operation,
+            "message_id": message_id,
+            "payload": payload,
+        }
+        if trace is not None:
+            # In-band span-context propagation.  The key is simply absent
+            # when tracing is off, and frame bytes are never what the
+            # statistics charge (they use the canonical envelope size), so
+            # accounted byte counters are identical either way.
+            envelope["trace"] = list(trace)
+        request = wirecodec.encode_body(envelope)
+        observe = _OBS.observe_round_trip
+        started = perf_counter() if observe is not None else 0.0
         raw_reply = self.pool.request(hostport, request, fault=fault)
+        if observe is not None:
+            observe(perf_counter() - started)
         try:
             reply = wirecodec.decode_body(raw_reply)
         except wirecodec.WireCodecError as error:
@@ -499,6 +515,7 @@ class WireNetwork:
                         message.operation,
                         message.payload,
                         message.message_id,
+                        trace=message.trace,
                     )
                 except Exception:  # noqa: BLE001 - the duplicate leg is
                     pass  # best-effort; the primary leg decides the outcome
@@ -521,6 +538,7 @@ class WireNetwork:
                 message.payload,
                 message.message_id,
                 fault=fault,
+                trace=message.trace,
             )
         except (wirecodec.WireCodecError, DeliveryError, FramingError):
             # Every round-trip failure -- permanent or retryable, see
@@ -580,6 +598,8 @@ class WireNetwork:
             payload=payload,
             message_id=self._message_counter.next(),
         )
+        if _OBS.tracing is not None:
+            message.trace = _tracing.current_ctx()
         if self.peer_manager is not None:
             return self._send_via_manager(message)
         with self._lock:
@@ -691,6 +711,7 @@ class WireNetwork:
     ]:
         """Admission + resolution + fault draws, one lock pass in entry order."""
         admitted = []
+        trace_ctx = _tracing.current_ctx() if _OBS.tracing is not None else None
         with self._lock:
             for index, (destination, operation, payload) in enumerate(entries):
                 message = Message(
@@ -699,6 +720,7 @@ class WireNetwork:
                     operation=operation,
                     payload=payload,
                     message_id=self._message_counter.next(),
+                    trace=trace_ctx,
                 )
                 self._admit_locked(message)
                 try:
@@ -734,6 +756,7 @@ class WireNetwork:
         resolved, matching the manager-less draw sequence.
         """
         staged = []
+        trace_ctx = _tracing.current_ctx() if _OBS.tracing is not None else None
         with self._lock:
             for index, (destination, operation, payload) in enumerate(entries):
                 message = Message(
@@ -742,6 +765,7 @@ class WireNetwork:
                     operation=operation,
                     payload=payload,
                     message_id=self._message_counter.next(),
+                    trace=trace_ctx,
                 )
                 self._admit_locked(message)
                 staged.append((index, message, self._endpoints.get(destination)))
@@ -814,8 +838,14 @@ class WireNetwork:
             payload=request.get("payload"),
             message_id=request.get("message_id", -1),
         )
+        trace = request.get("trace")
+        if trace is not None and isinstance(trace, (list, tuple)) and len(trace) == 2:
+            message.trace = (str(trace[0]), str(trace[1]))
         try:
-            result = endpoint.handler(message)
+            # Activate the sender's propagated span context (if any) around
+            # the handler: spans created while serving this frame join the
+            # originating run's trace.
+            result = _tracing.call_in_ctx(message.trace, endpoint.handler, message)
             return self._ok_reply(seq, result)
         except Exception as error:  # handler stage: delivered, then failed
             return self._error_reply(seq, error, delivered=True)
@@ -864,10 +894,14 @@ class WireNetwork:
     @property
     def trace(self) -> List[Message]:
         """Originated messages (only populated when ``trace_enabled`` is set)."""
-        return list(self._trace)
+        return self._recorder.messages()
 
     def clear_trace(self) -> None:
-        self._trace.clear()
+        self._recorder.clear()
+
+    def set_trace_capacity(self, cap: int) -> None:
+        """Re-bound the message recorder (existing entries are kept FIFO)."""
+        self._recorder.set_cap(cap)
 
     def reset_statistics(self) -> None:
         self.statistics = NetworkStatistics()

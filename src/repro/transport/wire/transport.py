@@ -143,6 +143,8 @@ class WireTransport:
             },
         )
         self._ready = True
+        #: Opt-in metrics/spans HTTP endpoint (see :meth:`serve_observability`).
+        self.observability_server: Optional[Any] = None
         if peering is not None:
             self.enable_peering(peering)
 
@@ -599,8 +601,25 @@ class WireTransport:
 
     # -- teardown ------------------------------------------------------------------
 
+    def serve_observability(self, port: int = 0):
+        """Start (or return) the node's metrics/spans HTTP endpoint.
+
+        Serves ``/metrics`` (Prometheus text), ``/metrics.json`` and
+        ``/spans.json`` for the *process-wide* observability plane on
+        ``127.0.0.1:port`` (``0`` picks a free port; read it back from
+        ``observability_server.port``).  Stopped by :meth:`close`.
+        """
+        if self.observability_server is None:
+            from repro.observability.exporters import ObservabilityHTTPServer
+
+            self.observability_server = ObservabilityHTTPServer(port=port)
+        return self.observability_server
+
     def close(self) -> None:
         """Stop the node (serve loop and client connections)."""
+        server, self.observability_server = self.observability_server, None
+        if server is not None:
+            server.close()
         self.network.close()
 
     def __enter__(self) -> "WireTransport":

@@ -60,6 +60,35 @@ def test_two_process_example_verifies_evidence_on_both_sides():
     assert "verified on both sides of the socket" in result.stdout
 
 
+def test_two_process_example_renders_distributed_trace():
+    """The wire run yields one connected tree plus both metric exports."""
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "two_process_sharing.py"))
+    result = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True, timeout=300, check=True
+    )
+    assert "distributed span tree of the cross-process update:" in result.stdout
+    # One tree: the root run span plus B's handler spans recorded in the
+    # other OS process, parented through the context the socket carried.
+    assert "run:update [agreed]" in result.stdout
+    assert "handle:proposal [ok]" in result.stdout
+    assert "handle:outcome [ok]" in result.stdout
+    assert "repro_run_duration_seconds_count 1" in result.stdout
+    assert "metrics (JSON): histograms exported = 5" in result.stdout
+
+
+def test_fault_tolerance_example_traces_the_self_healing_run():
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "fault_tolerance.py"))
+    result = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True, timeout=300, check=True
+    )
+    assert "span tree of the self-healing run:" in result.stdout
+    assert "run:update [agreed]" in result.stdout
+    # The severed outcome wave and the re-delivery repair are both spans.
+    assert "[error]" in result.stdout
+    assert "redeliver [ok]" in result.stdout
+    assert "crypto.sign_seconds: count=" in result.stdout
+
+
 def test_trust_domains_example_reports_all_styles():
     path = os.path.abspath(os.path.join(EXAMPLES_DIR, "trust_domains.py"))
     result = subprocess.run(

@@ -28,8 +28,10 @@ from repro.faults.chaos import (
     run_cross_transport_scenario,
     standard_chaos_plan,
     write_failure_artifact,
+    write_trace_artifact,
 )
 from repro.faults.plan import FaultPlan
+from repro.observability import runtime as _obs_runtime
 
 SEEDS = [
     int(seed)
@@ -60,6 +62,29 @@ def test_same_plan_converges_identically_on_both_transports(seed):
     assert all(state == final_states[0] for state in final_states)
     # The plan schedule round-trips, so a CI artifact is always replayable.
     assert FaultPlan.from_schedule(plan.to_schedule()) == plan
+
+
+def test_trace_capture_renders_both_legs(tmp_path):
+    """``capture_traces`` attaches one span tree per run on each leg.
+
+    The trace artifact is what ``--trace-artifact`` ships next to the
+    replayable plan on divergence, so a converged scenario must already
+    produce complete, renderable trees for both transports.
+    """
+    plan = standard_chaos_plan(SEEDS[0])
+    report = run_cross_transport_scenario(plan, capture_traces=True)
+    for leg in (report.simulated, report.wired):
+        traces = leg["traces"]
+        assert len(traces) == len(report.values)
+        assert all("run:update" in tree for tree in traces.values())
+    path = write_trace_artifact(report, str(tmp_path))
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    assert "== simulated leg ==" in text
+    assert "== wired leg ==" in text
+    assert "run:update" in text
+    # The throwaway capture plane never leaks into the process.
+    assert not _obs_runtime.enabled()
 
 
 @pytest.mark.parametrize("seed", SEEDS)

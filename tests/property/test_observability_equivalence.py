@@ -1,0 +1,137 @@
+"""Span-tree equivalence of the wire transport and the simulated network.
+
+Tracing must be as transport-agnostic as the protocol itself: the same
+proposal driven over the in-process simulator and over a 2-node loopback
+wire deployment (real TCP, context carried in frame envelopes) must produce
+*shape-identical* span trees — same names, parentage and statuses — modulo
+timings and ids.  This extends the counter/evidence/state equivalence of
+``test_wire_equivalence.py`` to the observability plane.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import TrustDomain
+from repro.clock import SimulatedClock
+from repro.core.config import ObservabilityConfig
+from repro.observability import runtime
+from repro.observability.tracing import build_tree, tree_shape
+from repro.transport.wire import WireTransport
+
+_SETTINGS = settings(
+    max_examples=4, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+OBJECT_ID = "obs-doc"
+
+
+def _uris(parties):
+    return [f"urn:org:oeq{i}" for i in range(parties)]
+
+
+def _drive(proposer, values):
+    run_ids = []
+    for value in values:
+        outcome = proposer.propose_update(OBJECT_ID, {"v": value})
+        assert outcome.agreed, outcome.reason
+        run_ids.append(outcome.run_id)
+    return run_ids
+
+
+def _shapes(run_ids):
+    collector = runtime.STATE.tracing
+    spans = collector.spans()
+    return [tree_shape(spans, run_id) for run_id in run_ids]
+
+
+def _simulated_shapes(parties, values):
+    runtime.enable(ObservabilityConfig())
+    runtime.STATE.tracing.clear()
+    uris = _uris(parties)
+    domain = TrustDomain.create(uris, scheme="hmac", clock=SimulatedClock())
+    domain.share_object(OBJECT_ID, {"v": 0})
+    return _shapes(_drive(domain.organisation(uris[0]), values))
+
+
+def _wire_shapes(parties, split, values):
+    runtime.enable(ObservabilityConfig())
+    runtime.STATE.tracing.clear()
+    uris = _uris(parties)
+    local_a, local_b = uris[:split], uris[split:]
+    with WireTransport(
+        local_parties=local_a,
+        await_remote_credentials=False,
+        clock=SimulatedClock(),
+    ) as ta, WireTransport(
+        local_parties=local_b,
+        await_remote_credentials=False,
+        clock=SimulatedClock(),
+    ) as tb:
+        da = TrustDomain.create(uris, transport=ta, scheme="hmac")
+        db = TrustDomain.create(uris, transport=tb, scheme="hmac")
+        ta.introduce_to(tb.host, tb.port)
+        tb.introduce_to(ta.host, ta.port)
+        da.share_object(OBJECT_ID, {"v": 0})
+        db.share_object(OBJECT_ID, {"v": 0})
+        return _shapes(_drive(da.organisation(uris[0]), values))
+
+
+class TestSpanTreeEquivalence:
+    def teardown_method(self):
+        runtime.disable()
+
+    @_SETTINGS
+    @given(
+        parties=st.integers(min_value=3, max_value=4),
+        split=st.integers(min_value=1, max_value=2),
+        values=st.lists(
+            st.integers(min_value=1, max_value=1000),
+            min_size=1,
+            max_size=2,
+            unique=True,
+        ),
+    )
+    def test_wire_and_simulator_trees_are_shape_identical(
+        self, parties, split, values
+    ):
+        try:
+            reference = _simulated_shapes(parties, values)
+            wired = _wire_shapes(parties, split, values)
+        finally:
+            runtime.disable()
+        assert wired == reference
+        # And the shape is the protocol's: one run root with a commit child.
+        for shape in reference:
+            assert len(shape) == 1
+            name, status, children = shape[0]
+            assert name == "run:update"
+            assert status == "agreed"
+            assert "commit" in {child[0] for child in children}
+
+    def test_every_run_is_one_connected_tree_on_both_transports(self):
+        try:
+            runtime.enable(ObservabilityConfig())
+            runtime.STATE.tracing.clear()
+            uris = _uris(3)
+            domain = TrustDomain.create(
+                uris, scheme="hmac", clock=SimulatedClock()
+            )
+            domain.share_object(OBJECT_ID, {"v": 0})
+            run_ids = _drive(domain.organisation(uris[0]), [1, 2])
+            spans = runtime.STATE.tracing.spans()
+            for run_id in run_ids:
+                roots = build_tree(spans, run_id)
+                assert len(roots) == 1, "disconnected span tree"
+                total = []
+
+                def _count(node):
+                    total.append(node["name"])
+                    for child in node["children"]:
+                        _count(child)
+
+                _count(roots[0])
+                # root + 2 requests + 2 handles + commit (+ sends/outcomes).
+                assert len(total) >= 6
+        finally:
+            runtime.disable()
